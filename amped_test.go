@@ -1,0 +1,171 @@
+package amped
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEvaluate(t *testing.T) {
+	m := Megatron145B()
+	sys := CaseStudy1System()
+	bd, err := Evaluate(&m, &sys,
+		Mapping{TPIntra: 8, PPInter: 2, DPInter: 64},
+		Training{Batch: Batch{Global: 8192}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.PerBatch() <= 0 || bd.TFLOPSPerGPU() <= 0 {
+		t.Errorf("breakdown = %v", bd)
+	}
+}
+
+func TestFacadeEfficiencyAndEnergy(t *testing.T) {
+	m := Megatron145B()
+	sys := CaseStudy1System()
+	bd, err := EvaluateWithEfficiency(&m, &sys,
+		Mapping{TPIntra: 8, PPInter: 8, DPInter: 16},
+		Training{Batch: Batch{Global: 8192, Microbatches: 64}, NumBatches: 10},
+		FixedEfficiency(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Efficiency != 0.5 {
+		t.Errorf("efficiency = %v", bd.Efficiency)
+	}
+	en, err := Energy(bd, &sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.Total() <= 0 {
+		t.Error("non-positive energy")
+	}
+}
+
+func TestFacadeSweepAndBest(t *testing.T) {
+	m := Megatron145B()
+	sys := CaseStudy1System()
+	pts, err := Sweep(Scenario{Model: &m, System: &sys}, SweepOptions{
+		Batches:          []int{8192},
+		Enumerate:        EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := BestMapping(pts)
+	if best == nil {
+		t.Fatal("no best mapping")
+	}
+	if best.Mapping.Workers() != 1024 {
+		t.Errorf("best mapping %v does not use the machine", best.Mapping)
+	}
+}
+
+func TestFacadeMemoryAndMicrobatches(t *testing.T) {
+	m := MinGPT()
+	fp, err := MemoryEstimate(&m, Mapping{}, Batch{Global: 8, Microbatches: 1},
+		MemoryConfig{Operands: Mixed16()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Total() <= 0 {
+		t.Error("empty footprint")
+	}
+	sys := CaseStudy1System()
+	big := Megatron145B()
+	n, bd, err := OptimalMicrobatches(Estimator{
+		Model: &big, System: &sys,
+		Mapping:  Mapping{TPIntra: 8, PPInter: 8, DPInter: 16},
+		Training: Training{Batch: Batch{Global: 8192}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 8 || bd == nil {
+		t.Errorf("optimal microbatches = %d", n)
+	}
+}
+
+func TestFacadePresets(t *testing.T) {
+	names := ModelPresetList()
+	if len(names) < 9 {
+		t.Errorf("model presets = %v", names)
+	}
+	if _, err := ModelPreset("glam"); err != nil {
+		t.Error(err)
+	}
+	if DefaultEfficiency().Floor != 0.25 {
+		t.Errorf("default efficiency floor = %v", DefaultEfficiency().Floor)
+	}
+	g := GLaM()
+	if !strings.Contains(g.String(), "GLaM") {
+		t.Errorf("GLaM preset = %v", g.String())
+	}
+	for _, f := range []func() Accelerator{NvidiaP100, NvidiaV100, NvidiaA100, NvidiaH100} {
+		a := f()
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestFacadeEnumerate(t *testing.T) {
+	sys := CaseStudy1System()
+	maps := EnumerateMappings(&sys, EnumerateOptions{PowerOfTwo: true, MaxTP: 8})
+	if len(maps) == 0 {
+		t.Fatal("no mappings")
+	}
+	for _, mp := range maps {
+		if mp.TP() > 8 {
+			t.Fatalf("MaxTP violated by %v", mp)
+		}
+	}
+}
+
+func TestFacadeEstimateBubbleRatio(t *testing.T) {
+	r, err := EstimateBubbleRatio(8, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.2 || r > 0.3 {
+		t.Errorf("R for 4-chunk interleaving = %v, want ~0.25", r)
+	}
+	one, err := EstimateBubbleRatio(8, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one < 0.99 || one > 1.01 {
+		t.Errorf("R for naive schedule = %v, want 1", one)
+	}
+	if _, err := EstimateBubbleRatio(1, 32, 2); err == nil {
+		t.Error("single-stage R accepted")
+	}
+}
+
+func TestFacadeAttentionVariant(t *testing.T) {
+	base := GPT3175B()
+	gqa, err := AttentionVariant{KVHeads: 8}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gqa.TotalParams() >= base.TotalParams() {
+		t.Error("GQA did not shrink the model")
+	}
+}
+
+func TestFacadeStageMemory(t *testing.T) {
+	m := MinGPTPipeline()
+	cfg := MemoryConfig{Operands: Mixed16(), Optimizer: Adam}
+	stages, err := StageMemory(&m, Mapping{PPIntra: 8}, Batch{Global: 256, Microbatches: 8}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 8 || stages[7].Total() <= stages[0].Total() {
+		t.Errorf("stage footprints = %v", stages)
+	}
+	accel := NvidiaV100()
+	max := MaxGlobalBatch(&m, Mapping{PPIntra: 8}, 8, cfg, accel.Memory, 0.1)
+	if max <= 0 {
+		t.Errorf("max batch = %d", max)
+	}
+}

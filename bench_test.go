@@ -1,0 +1,591 @@
+// Benchmark harness: one benchmark per table and figure of the AMPeD paper,
+// each regenerating the artifact and reporting its headline quantity as a
+// custom metric, plus ablation benchmarks for the design knobs DESIGN.md
+// calls out (bubble ratio R, collective topology, ZeRO overhead, operand
+// precision, microbatch tuning).
+//
+//	go test -bench=. -benchmem
+package amped_test
+
+import (
+	"testing"
+
+	"amped"
+	"amped/internal/collective"
+	"amped/internal/hardware"
+	"amped/internal/hetero"
+	"amped/internal/pipesim"
+	"amped/internal/topology"
+	"amped/internal/units"
+	"amped/internal/validate"
+)
+
+// BenchmarkTableII regenerates Table II (Megatron TFLOP/s/GPU) and reports
+// the worst error against the published measurements.
+func BenchmarkTableII(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		rows, err := validate.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr = 0
+		for _, r := range rows {
+			if r.ErrVsPublished > maxErr {
+				maxErr = r.ErrVsPublished
+			}
+		}
+	}
+	b.ReportMetric(maxErr, "max_err_vs_published_%")
+}
+
+// BenchmarkTableIII regenerates the GPipe speedup table and reports the
+// 8-GPU speedup (published: 3.3, paper's AMPeD: 3.19).
+func BenchmarkTableIII(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := validate.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Predicted[len(res.Predicted)-1]
+	}
+	b.ReportMetric(speedup, "speedup_8gpu")
+}
+
+// BenchmarkFig1 regenerates the utilization view of the validation runs.
+func BenchmarkFig1(b *testing.B) {
+	var bubble float64
+	for i := 0; i < b.N; i++ {
+		res, err := validate.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bubble = res.PPBubbleFraction
+	}
+	b.ReportMetric(bubble*100, "pp_bubble_%")
+}
+
+// fig2Worst reports the largest predicted-vs-simulated deviation of a
+// Fig. 2 curve.
+func fig2Worst(b *testing.B, gen func() ([]validate.Fig2Point, error)) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		pts, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range pts {
+			if e := validate.PercentError(p.Predicted, p.Simulated); e > worst {
+				worst = e
+			}
+		}
+	}
+	b.ReportMetric(worst, "max_pred_vs_sim_%")
+}
+
+// BenchmarkFig2a regenerates the DP validation curve (1-16 GPUs).
+func BenchmarkFig2a(b *testing.B) { fig2Worst(b, validate.Fig2a) }
+
+// BenchmarkFig2b regenerates the PP validation curve (2-16 GPUs).
+func BenchmarkFig2b(b *testing.B) { fig2Worst(b, validate.Fig2b) }
+
+// BenchmarkFig2c regenerates the GPT-3 batch-size sweep and reports the
+// error at the paper's two anchor microbatch sizes.
+func BenchmarkFig2c(b *testing.B) {
+	var err12, err60 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := validate.Fig2c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			switch p.Microbatch {
+			case 12:
+				err12 = p.Err
+			case 60:
+				err60 = p.Err
+			}
+		}
+	}
+	b.ReportMetric(err12, "err_ub12_%")
+	b.ReportMetric(err60, "err_ub60_%")
+}
+
+// BenchmarkFig3 regenerates the breakdown comparison and reports the
+// defining shares: the PP config's bubble and the TP config's inter comm.
+func BenchmarkFig3(b *testing.B) {
+	var ppBubble, tpComm float64
+	for i := 0; i < b.N; i++ {
+		configs, err := validate.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp, tp := configs[0].Breakdown, configs[1].Breakdown
+		ppBubble = float64(pp.Bubble) / float64(pp.PerBatch())
+		tpComm = float64(tp.TPInterComm) / float64(tp.PerBatch())
+	}
+	b.ReportMetric(ppBubble*100, "pp_bubble_share_%")
+	b.ReportMetric(tpComm*100, "tp_comm_share_%")
+}
+
+// benchFigure regenerates a Case-Study-I sweep figure and reports its best
+// (minimum) training time at batch 16384.
+func benchFigure(b *testing.B, gen func() (*validate.Figure, error)) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		fig, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 1e18
+		for _, p := range fig.Points {
+			if d := p.Days[16384]; d < best {
+				best = d
+			}
+		}
+	}
+	b.ReportMetric(best, "best_days_B16384")
+}
+
+// BenchmarkFig4 regenerates the TP-intra / TP+PP-inter sweep.
+func BenchmarkFig4(b *testing.B) { benchFigure(b, validate.Fig4) }
+
+// BenchmarkFig5 regenerates the TP-intra / TP+DP-inter sweep.
+func BenchmarkFig5(b *testing.B) { benchFigure(b, validate.Fig5) }
+
+// BenchmarkFig6 regenerates the TP-intra / PP+DP-inter sweep (the family
+// holding the paper's ~18-21 day winners).
+func BenchmarkFig6(b *testing.B) { benchFigure(b, validate.Fig6) }
+
+// BenchmarkFig7 regenerates the DP-intra / TP+PP-inter sweep.
+func BenchmarkFig7(b *testing.B) { benchFigure(b, validate.Fig7) }
+
+// BenchmarkFig8 regenerates the DP-intra / TP+DP-inter sweep (the
+// efficiency-floor-artifact figure).
+func BenchmarkFig8(b *testing.B) { benchFigure(b, validate.Fig8) }
+
+// BenchmarkFig9 regenerates the DP-intra / PP+DP-inter sweep.
+func BenchmarkFig9(b *testing.B) { benchFigure(b, validate.Fig9) }
+
+// BenchmarkFig10 regenerates the low-end-system study and reports the
+// PP-over-DP advantage at one accelerator per node (paper: PP much faster).
+func BenchmarkFig10(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := validate.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = pts[0].DPDays / pts[0].PPDays
+	}
+	b.ReportMetric(ratio, "dp_over_pp_at_1nic")
+}
+
+// BenchmarkFig11 regenerates the optical-substrate study and reports the
+// compound speedup of the final bar (paper: up to ~4x).
+func BenchmarkFig11(b *testing.B) {
+	var final float64
+	for i := 0; i < b.N; i++ {
+		bars, err := validate.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = bars[len(bars)-1].Performance
+	}
+	b.ReportMetric(final, "compound_speedup_x")
+}
+
+// BenchmarkConclusions re-derives the five §VI-E findings.
+func BenchmarkConclusions(b *testing.B) {
+	var holds int
+	for i := 0; i < b.N; i++ {
+		cons, err := validate.CaseStudy1Conclusions()
+		if err != nil {
+			b.Fatal(err)
+		}
+		holds = 0
+		for _, c := range cons {
+			if c.Holds {
+				holds++
+			}
+		}
+	}
+	b.ReportMetric(float64(holds), "conclusions_holding")
+}
+
+// BenchmarkEvaluate measures the raw cost of one analytical evaluation —
+// the quantity that makes exhaustive design-space exploration viable.
+func BenchmarkEvaluate(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	est := amped.Estimator{
+		Model: &m, System: &sys,
+		Mapping:  amped.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64},
+		Training: amped.Training{Batch: amped.Batch{Global: 8192, Microbatches: 64}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Evaluate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep measures a full Case-Study-I exploration: every
+// power-of-two mapping of the 1024-accelerator machine at one batch size.
+func BenchmarkSweep(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	sc := amped.Scenario{Model: &m, System: &sys}
+	opt := amped.SweepOptions{
+		Batches:          []int{8192},
+		Enumerate:        amped.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 128,
+	}
+	var n int
+	for i := 0; i < b.N; i++ {
+		pts, err := amped.Sweep(sc, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(pts)
+	}
+	b.ReportMetric(float64(n), "design_points")
+}
+
+// BenchmarkAblationBubbleRatio quantifies the R knob of Eq. 8: the speedup
+// a perfectly-overlapped pipeline schedule (R=0) would give over the naive
+// one (R=1) for a deep inter-node pipeline.
+func BenchmarkAblationBubbleRatio(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	eval := func(r float64) float64 {
+		est := amped.Estimator{
+			Model: &m, System: &sys,
+			Mapping: amped.Mapping{TPIntra: 8, PPInter: 64, DPInter: 2},
+			Training: amped.Training{
+				Batch:       amped.Batch{Global: 8192, Microbatches: 64},
+				BubbleRatio: r,
+			},
+		}
+		bd, err := est.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(bd.PerBatch())
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gain = eval(1) / eval(1e-9)
+	}
+	b.ReportMetric(gain, "naive_over_overlapped")
+}
+
+// BenchmarkAblationTopology compares ring against tree all-reduce for the
+// latency-sensitive wide-DP gradient reduction.
+func BenchmarkAblationTopology(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	eval := func(kind topology.Kind) float64 {
+		est := amped.Estimator{
+			Model: &m, System: &sys,
+			Mapping: amped.Mapping{TPIntra: 8, DPInter: 128},
+			Training: amped.Training{
+				Batch:    amped.Batch{Global: 8192, Microbatches: 1},
+				Topology: topology.Choice{AllReduce: kind, AllToAll: topology.PairwiseAllToAll},
+			},
+		}
+		bd, err := est.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(bd.GradInterComm)
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = eval(topology.Ring) / eval(topology.Tree)
+	}
+	b.ReportMetric(ratio, "ring_over_tree_gradAR")
+}
+
+// BenchmarkAblationHierarchicalAllReduce executes both all-reduce
+// strategies in the collective simulator: hierarchical (Eq. 10) against a
+// flat inter-node ring over all workers.
+func BenchmarkAblationHierarchicalAllReduce(b *testing.B) {
+	payload := units.Bits(145e9 * 32 / 64) // one worker's gradient shard
+	intra := hardware.NVLinkA100()
+	inter := hardware.InfinibandHDR()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		h := collective.HierarchicalAllReduce(8, 128, payload, intra, inter)
+		flat := collective.RingAllReduce(1024, payload, inter)
+		ratio = float64(flat.Time) / float64(h.Time)
+	}
+	b.ReportMetric(ratio, "flat_over_hierarchical")
+}
+
+// BenchmarkAblationZeRO quantifies the ZeRO-DP communication overhead
+// factor against plain DP.
+func BenchmarkAblationZeRO(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	eval := func(overhead float64) float64 {
+		est := amped.Estimator{
+			Model: &m, System: &sys,
+			Mapping: amped.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64},
+			Training: amped.Training{
+				Batch:        amped.Batch{Global: 8192, Microbatches: 64},
+				ZeROOverhead: overhead,
+			},
+		}
+		bd, err := est.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(bd.PerBatch())
+	}
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		slowdown = eval(0.5) / eval(0)
+	}
+	b.ReportMetric(slowdown, "zero_slowdown_x")
+}
+
+// BenchmarkAblationPrecision compares FP8/FP16/FP32 training on an
+// FP8-native accelerator (H100): Eq. 2's ceil scaling plus communication
+// volume effects.
+func BenchmarkAblationPrecision(b *testing.B) {
+	g := amped.GLaM()
+	sys := amped.System{
+		Name: "64x8 H100", Accel: amped.NvidiaH100(),
+		Nodes: 64, AccelsPerNode: 8,
+		Intra:       amped.Link{Name: "nvl", Latency: 2e-6, Bandwidth: 3.6e12},
+		Inter:       amped.Link{Name: "ndr", Latency: 5e-6, Bandwidth: 4e11},
+		NICsPerNode: 8,
+	}
+	eval := func(p amped.Precision) float64 {
+		est := amped.Estimator{
+			Model: &g, System: &sys,
+			Mapping: amped.Mapping{TPIntra: 8, DPInter: 64, ExpertParallel: true},
+			Training: amped.Training{
+				Batch:    amped.Batch{Global: 4096, Microbatches: 1},
+				Operands: amped.Operands{Param: p, Act: p, Nonlin: amped.FP32, Grad: amped.FP32},
+			},
+		}
+		bd, err := est.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(bd.PerBatch())
+	}
+	var fp16Cost, fp32Cost float64
+	for i := 0; i < b.N; i++ {
+		base := eval(amped.FP8)
+		fp16Cost = eval(amped.FP16) / base
+		fp32Cost = eval(amped.FP32) / base
+	}
+	b.ReportMetric(fp16Cost, "fp16_over_fp8")
+	b.ReportMetric(fp32Cost, "fp32_over_fp8")
+}
+
+// BenchmarkAblationMicrobatchTuning quantifies what automatic N_ub tuning
+// buys over the naive N_ub = N_PP default for a deep pipeline.
+func BenchmarkAblationMicrobatchTuning(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	est := amped.Estimator{
+		Model: &m, System: &sys,
+		Mapping:  amped.Mapping{TPIntra: 8, PPInter: 64, DPInter: 2},
+		Training: amped.Training{Batch: amped.Batch{Global: 16384}},
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		naive := est
+		naive.Training.Batch.Microbatches = 64 // N_ub = N_PP
+		nb, err := naive.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, tuned, err := amped.OptimalMicrobatches(est)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(nb.PerBatch()) / float64(tuned.PerBatch())
+	}
+	b.ReportMetric(gain, "tuning_speedup_x")
+}
+
+// BenchmarkBaselineVsAMPeD quantifies AMPeD's value over the naive
+// compute-only predictor on the Table II configurations: mean error vs the
+// published measurements at identical utilization.
+func BenchmarkBaselineVsAMPeD(b *testing.B) {
+	var ampedErr, naiveErr float64
+	for i := 0; i < b.N; i++ {
+		rows, err := validate.BaselineComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ampedErr, naiveErr = validate.MeanErrors(rows)
+	}
+	b.ReportMetric(ampedErr, "amped_mean_err_%")
+	b.ReportMetric(naiveErr, "baseline_mean_err_%")
+}
+
+// BenchmarkSensitivity measures a full elasticity analysis (9 evaluations).
+func BenchmarkSensitivity(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	est := amped.Estimator{
+		Model: &m, System: &sys,
+		Mapping:  amped.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64},
+		Training: amped.Training{Batch: amped.Batch{Global: 8192, Microbatches: 64}},
+	}
+	var top string
+	for i := 0; i < b.N; i++ {
+		res, err := amped.Sensitivity(est, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top = string(res[0].Knob)
+	}
+	if top == "" {
+		b.Fatal("no top knob")
+	}
+}
+
+// BenchmarkSolver measures one capacity-planning query (scan over machine
+// sizes with a full mapping sweep at each).
+func BenchmarkSolver(b *testing.B) {
+	m := amped.Megatron145B()
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		plan, err := amped.MinimumNodes(amped.PlanRequest{
+			Model:    &m,
+			Template: amped.CaseStudy1System(),
+			Training: amped.Training{
+				Batch:      amped.Batch{Global: 8192},
+				NumBatches: 17880,
+			},
+			TargetDays: 30,
+			MaxNodes:   512,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = plan.Nodes
+	}
+	b.ReportMetric(float64(nodes), "planned_nodes")
+}
+
+// BenchmarkAblationHeterogeneous quantifies balanced against naive layer
+// assignment on a mixed A100+H100 pipeline.
+func BenchmarkAblationHeterogeneous(b *testing.B) {
+	m := amped.Megatron145B()
+	pipeline := hetero.Pipeline{
+		Model: &m,
+		Stages: []hetero.Stage{
+			{Accel: amped.NvidiaA100(), TP: 8},
+			{Accel: amped.NvidiaA100(), TP: 8},
+			{Accel: amped.NvidiaH100(), TP: 8},
+			{Accel: amped.NvidiaH100(), TP: 8},
+		},
+		Batch:        amped.Batch{Global: 512, Microbatches: 64},
+		Interconnect: amped.CaseStudy1System().Inter,
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		balanced, err := pipeline.Balance()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, err := balanced.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive := pipeline
+		naive.Stages = make([]hetero.Stage, 4)
+		copy(naive.Stages, pipeline.Stages)
+		for j := range naive.Stages {
+			naive.Stages[j].Layers = 20
+		}
+		slow, err := naive.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(slow.PerBatch) / float64(fast.PerBatch)
+	}
+	b.ReportMetric(gain, "balance_speedup_x")
+}
+
+// BenchmarkMemoryEstimate measures the memory-footprint evaluation used to
+// filter sweeps.
+func BenchmarkMemoryEstimate(b *testing.B) {
+	m := amped.Megatron530B()
+	cfg := amped.MemoryConfig{
+		Operands:      amped.Mixed16(),
+		Optimizer:     amped.Adam,
+		Checkpointing: true,
+		Schedule:      amped.OneFOneB,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := amped.MemoryEstimate(&m,
+			amped.Mapping{TPIntra: 8, PPInter: 35, DPInter: 9},
+			amped.Batch{Global: 2520, Microbatches: 280}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipesim measures the discrete-event GPipe schedule at the
+// Table III scale (8 stages, 32 microbatches).
+func BenchmarkPipesim(b *testing.B) {
+	cfg := pipesim.Config{Stages: 8, Microbatches: 32, FwdTime: 1, BwdTime: 2, CommTime: 0.1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipesim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectiveSim measures a simulated 1024-worker ring all-reduce.
+func BenchmarkCollectiveSim(b *testing.B) {
+	link := hardware.InfinibandHDR()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := collective.RingAllReduce(1024, 1e12, link)
+		if r.Steps != 2046 {
+			b.Fatalf("steps = %d", r.Steps)
+		}
+	}
+}
+
+// BenchmarkAblationCommOverlap quantifies how much of a TP-inter-heavy
+// configuration's time is recoverable by compute/communication overlap.
+func BenchmarkAblationCommOverlap(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	eval := func(overlap float64) float64 {
+		est := amped.Estimator{
+			Model: &m, System: &sys,
+			Mapping: amped.Mapping{TPIntra: 8, TPInter: 2, DPInter: 64},
+			Training: amped.Training{
+				Batch:       amped.Batch{Global: 16384, Microbatches: 1},
+				CommOverlap: overlap,
+			},
+		}
+		bd, err := est.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(bd.PerBatch())
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gain = eval(0) / eval(0.9)
+	}
+	b.ReportMetric(gain, "overlap_speedup_x")
+}

@@ -1,0 +1,193 @@
+// Command amped-explore runs a design-space exploration: it enumerates
+// every parallelism mapping that tiles the machine, evaluates the analytical
+// model for each (optionally across several batch sizes), and prints the
+// ranked results — the workflow behind the paper's Case Study I.
+//
+//	amped-explore -model megatron-145b -batches 4096,8192,16384 -top 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"amped/internal/efficiency"
+	"amped/internal/explore"
+	"amped/internal/hardware"
+	"amped/internal/memkit"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/report"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "amped-explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("amped-explore", flag.ContinueOnError)
+	var (
+		modelName = fs.String("model", "megatron-145b", "model preset")
+		accelName = fs.String("accel", "a100", "accelerator preset")
+		nodes     = fs.Int("nodes", 128, "node count")
+		accels    = fs.Int("accels", 8, "accelerators per node")
+		interGbps = fs.Float64("inter-gbps", 200, "inter-node NIC bandwidth (Gbit/s)")
+		batches   = fs.String("batches", "8192", "comma-separated global batch sizes")
+		target    = fs.Int("microbatch", 128, "preferred microbatch size")
+		top       = fs.Int("top", 10, "print the fastest N points")
+		pow2      = fs.Bool("pow2", true, "restrict degrees to powers of two")
+		numBatch  = fs.Int("num-batches", 17880, "batches in the training run")
+		checkMem  = fs.Bool("memory", false, "filter memory-infeasible mappings (Adam, ckpt, 1F1B)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		heat      = fs.Bool("heatmap", false, "also render a days heatmap of the top mappings x batches")
+		ep        = fs.Bool("expert-parallel", false, "enable MoE expert parallelism in every mapping")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := transformer.Preset(*modelName)
+	if err != nil {
+		return err
+	}
+	accel, err := hardware.AcceleratorPreset(*accelName)
+	if err != nil {
+		return err
+	}
+	sys := hardware.System{
+		Name:          fmt.Sprintf("%dx%d %s", *nodes, *accels, accel.Name),
+		Accel:         accel,
+		Nodes:         *nodes,
+		AccelsPerNode: *accels,
+		Intra:         hardware.NVLinkA100(),
+		Inter:         hardware.Link{Name: "inter", Latency: 5e-6, Bandwidth: gbps(*interGbps)},
+		NICsPerNode:   *accels,
+	}
+
+	var batchList []int
+	for _, s := range strings.Split(*batches, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad batch size %q: %w", s, err)
+		}
+		batchList = append(batchList, b)
+	}
+
+	sc := explore.Scenario{
+		Name:     sys.Name,
+		Model:    &m,
+		System:   &sys,
+		Training: model.Training{NumBatches: *numBatch},
+		Eff:      efficiency.Default(),
+	}
+	if *checkMem {
+		sc.Memory = &memkit.Config{
+			Operands:      precision.Mixed16(),
+			Optimizer:     memkit.Adam,
+			Checkpointing: true,
+			Schedule:      memkit.OneFOneB,
+		}
+		sc.MemoryReserve = 0.1
+	}
+	points, err := explore.Sweep(sc, explore.Options{
+		Batches:          batchList,
+		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: *pow2, ExpertParallel: *ep},
+		MicrobatchTarget: *target,
+	})
+	if err != nil {
+		return err
+	}
+	explore.SortByTime(points)
+
+	fmt.Fprintf(out, "%s: %d mappings x %d batch sizes -> %d evaluable points\n\n",
+		sc.Name, len(points)/len(batchList), len(batchList), len(points))
+	tab := report.NewTable(fmt.Sprintf("fastest %d configurations", *top),
+		"mapping", "batch", "N_ub", "eff", "days", "TFLOP/s/GPU", "fits")
+	for i, p := range points {
+		if i >= *top {
+			break
+		}
+		fits := "-"
+		if p.Footprint != nil {
+			fits = fmt.Sprintf("%v", p.Fits)
+		}
+		tab.AddRow(
+			p.Mapping.String(),
+			strconv.Itoa(p.Batch),
+			strconv.Itoa(p.Microbatches),
+			fmt.Sprintf("%.2f", p.Breakdown.Efficiency),
+			fmt.Sprintf("%.1f", p.Breakdown.TotalTime().Days()),
+			fmt.Sprintf("%.1f", p.Breakdown.TFLOPSPerGPU()),
+			fits,
+		)
+	}
+	if *csv {
+		fmt.Fprint(out, tab.CSV())
+	} else {
+		fmt.Fprint(out, tab)
+	}
+	if best := explore.Best(points); best != nil {
+		fmt.Fprintf(out, "\nbest: %v at batch %d -> %.1f days\n",
+			best.Mapping, best.Batch, best.Breakdown.TotalTime().Days())
+	}
+	if *heat && len(batchList) > 1 {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, heatmap(points, batchList, *top))
+	}
+	return nil
+}
+
+// heatmap renders the fastest mappings' training days across batch sizes
+// as an intensity grid (cold = fast).
+func heatmap(points []explore.Point, batches []int, top int) string {
+	// Points are already time-sorted; take the first `top` unique mappings.
+	var mappings []string
+	index := map[string]int{}
+	for _, p := range points {
+		if p.Err != nil || p.Breakdown == nil {
+			continue
+		}
+		key := p.Mapping.String()
+		if _, ok := index[key]; !ok && len(mappings) < top {
+			index[key] = len(mappings)
+			mappings = append(mappings, key)
+		}
+	}
+	grid := make([][]float64, len(mappings))
+	for i := range grid {
+		grid[i] = make([]float64, len(batches))
+		for j := range grid[i] {
+			grid[i][j] = math.NaN()
+		}
+	}
+	col := map[int]int{}
+	for j, b := range batches {
+		col[b] = j
+	}
+	for _, p := range points {
+		if p.Err != nil || p.Breakdown == nil {
+			continue
+		}
+		if i, ok := index[p.Mapping.String()]; ok {
+			grid[i][col[p.Batch]] = p.Breakdown.TotalTime().Days()
+		}
+	}
+	labels := make([]string, len(batches))
+	for j, b := range batches {
+		labels[j] = strconv.Itoa(b)
+	}
+	return report.Heatmap("training days (cold = fast)", mappings, labels, grid)
+}
+
+// gbps converts gigabits per second to bit/s.
+func gbps(v float64) units.BitsPerSecond { return units.BitsPerSecond(v * 1e9) }

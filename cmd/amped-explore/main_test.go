@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExploreRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-batches", "8192", "-top", "5", "-num-batches", "100"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fastest 5 configurations", "best:", "TFLOP/s/GPU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The known Case-Study-I winner shape: intra-node TP, inter-node DP.
+	if !strings.Contains(out, "best: TP8x1") {
+		t.Errorf("unexpected best mapping:\n%s", out)
+	}
+}
+
+func TestExploreCSVAndMemory(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-batches", "8192", "-top", "3", "-csv", "-memory", "-num-batches", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mapping,batch,N_ub") {
+		t.Errorf("no CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "true") && !strings.Contains(out, "false") {
+		t.Errorf("memory column missing:\n%s", out)
+	}
+}
+
+func TestExploreMultipleBatches(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-batches", "4096, 8192", "-top", "2", "-num-batches", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 batch sizes") {
+		t.Errorf("batch-size parsing:\n%s", buf.String())
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "nope"}, &buf); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-batches", "abc"}, &buf); err == nil {
+		t.Error("junk batch list accepted")
+	}
+	if err := run([]string{"-accel", "nope"}, &buf); err == nil {
+		t.Error("unknown accelerator accepted")
+	}
+}
+
+func TestExploreHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-batches", "4096,8192", "-top", "4", "-heatmap", "-num-batches", "100"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "training days (cold = fast)") {
+		t.Errorf("heatmap missing:\n%s", out)
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Errorf("heatmap scale missing:\n%s", out)
+	}
+	// Single batch: no heatmap even with the flag.
+	buf.Reset()
+	if err := run([]string{"-batches", "4096", "-heatmap", "-num-batches", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "cold = fast") {
+		t.Error("heatmap rendered for a single batch size")
+	}
+}
+
+func TestExploreExpertParallel(t *testing.T) {
+	var buf bytes.Buffer
+	// 64 power-of-two nodes so the pow2 enumeration has mappings.
+	err := run([]string{"-model", "glam", "-accel", "h100", "-nodes", "64",
+		"-batches", "8192", "-top", "3", "-expert-parallel", "-num-batches", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+EP") {
+		t.Errorf("expert parallelism not applied:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,163 @@
+// Command amped-fit derives microbatch-efficiency curves — the eff(ub)
+// input of AMPeD's Eq. 3 — either by least-squares fitting the paper's
+// a·ub/(b+ub) form to measured points, or by predicting the curve from
+// hardware parameters with the roofline model.
+//
+// Fit measured points from a CSV of "microbatch,efficiency" lines:
+//
+//	amped-fit -csv measurements.csv
+//
+// Predict a curve from hardware (no measurements needed):
+//
+//	amped-fit -predict -accel a100 -model megatron-145b -tp 8
+//
+// Both modes print the curve parameters and a sampled table ready to use
+// as config-file knobs (eff_asymptote / eff_half_point).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/precision"
+	"amped/internal/report"
+	"amped/internal/transformer"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "amped-fit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("amped-fit", flag.ContinueOnError)
+	var (
+		csvPath   = fs.String("csv", "", "CSV file of microbatch,efficiency measurements")
+		predict   = fs.Bool("predict", false, "derive the curve from hardware via the roofline model")
+		accelName = fs.String("accel", "a100", "accelerator preset (predict mode)")
+		modelName = fs.String("model", "megatron-145b", "model preset (predict mode)")
+		tp        = fs.Int("tp", 1, "tensor-parallel degree sharding the GEMMs (predict mode)")
+		floor     = fs.Float64("floor", 0, "efficiency floor to attach to the fitted curve")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *csvPath != "":
+		return fitFromCSV(*csvPath, *floor, out)
+	case *predict:
+		return predictFromHardware(*accelName, *modelName, *tp, *floor, out)
+	default:
+		return fmt.Errorf("need either -csv points.csv or -predict")
+	}
+}
+
+// parsePoints reads "ub,eff" lines, skipping blanks, comments and a header.
+func parsePoints(r io.Reader) ([]efficiency.Point, error) {
+	var pts []efficiency.Point
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want 'microbatch,efficiency', got %q", line, text)
+		}
+		ub, err1 := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		eff, err2 := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err1 != nil || err2 != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("line %d: bad numbers in %q", line, text)
+		}
+		pts = append(pts, efficiency.Point{UB: ub, Eff: eff})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func fitFromCSV(path string, floor float64, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	pts, err := parsePoints(f)
+	if err != nil {
+		return err
+	}
+	fit, err := efficiency.Fit(pts)
+	if err != nil {
+		return err
+	}
+	fit.Floor = floor
+	fmt.Fprintf(out, "fitted %d points: %v\n\n", len(pts), fit)
+	fmt.Fprintf(out, "config knobs: \"eff_asymptote\": %.4g, \"eff_half_point\": %.4g", fit.A, fit.B)
+	if floor > 0 {
+		fmt.Fprintf(out, ", \"eff_floor\": %.4g", floor)
+	}
+	fmt.Fprintln(out)
+	printCurve(out, fit, pts)
+	return nil
+}
+
+// printCurve samples the fitted curve at the measured points.
+func printCurve(out io.Writer, m efficiency.Model, pts []efficiency.Point) {
+	tab := report.NewTable("\nfit vs measurements", "microbatch", "measured", "fitted")
+	for _, p := range pts {
+		tab.AddRow(fmt.Sprintf("%g", p.UB),
+			fmt.Sprintf("%.3f", p.Eff),
+			fmt.Sprintf("%.3f", m.Eff(p.UB)))
+	}
+	fmt.Fprint(out, tab)
+}
+
+func predictFromHardware(accelName, modelName string, tp int, floor float64, out io.Writer) error {
+	accel, err := hardware.AcceleratorPreset(accelName)
+	if err != nil {
+		return err
+	}
+	m, err := transformer.Preset(modelName)
+	if err != nil {
+		return err
+	}
+	roofline, err := model.RooflinePredictor(accel, &m, tp, precision.Mixed16())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "roofline prediction for %s running %s at TP=%d\n", accel.Name, m.Name, tp)
+	fmt.Fprintf(out, "half-saturation microbatch: %.3g sequences\n", roofline.HalfSaturation())
+
+	// Express it in the paper's functional form for use as config knobs.
+	var pts []efficiency.Point
+	for _, ub := range []float64{0.125, 0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128} {
+		pts = append(pts, efficiency.Point{UB: ub, Eff: roofline.Eff(ub)})
+	}
+	fit, err := efficiency.Fit(pts)
+	if err != nil {
+		return err
+	}
+	fit.Floor = floor
+	fmt.Fprintf(out, "saturating-form equivalent: %v\n", fit)
+	fmt.Fprintf(out, "config knobs: \"eff_asymptote\": %.4g, \"eff_half_point\": %.4g\n", fit.A, fit.B)
+	printCurve(out, roofline, pts)
+	return nil
+}

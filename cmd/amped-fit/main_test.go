@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFitFromCSV(t *testing.T) {
+	csv := "microbatch,efficiency\n1,0.10\n2,0.17\n4,0.28\n8,0.42\n16,0.55\n# comment\n\n32,0.65\n64,0.72\n"
+	path := filepath.Join(t.TempDir(), "points.csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", path, "-floor", "0.1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fitted 7 points", "eff_asymptote", "eff_half_point", "eff_floor", "fit vs measurements"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPredictFromHardware(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-predict", "-accel", "a100", "-model", "megatron-145b", "-tp", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"roofline prediction", "half-saturation", "saturating-form equivalent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-csv", "/does/not/exist"}, &buf); err == nil {
+		t.Error("missing csv accepted")
+	}
+	if err := run([]string{"-predict", "-accel", "nope"}, &buf); err == nil {
+		t.Error("bad accelerator accepted")
+	}
+	if err := run([]string{"-predict", "-model", "nope"}, &buf); err == nil {
+		t.Error("bad model accepted")
+	}
+	if err := run([]string{"-predict", "-tp", "0"}, &buf); err == nil {
+		t.Error("zero TP accepted")
+	}
+}
+
+func TestParsePoints(t *testing.T) {
+	pts, err := parsePoints(strings.NewReader("1,0.5\n2,0.6\n"))
+	if err != nil || len(pts) != 2 {
+		t.Fatalf("pts=%v err=%v", pts, err)
+	}
+	if _, err := parsePoints(strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("3-field line accepted")
+	}
+	if _, err := parsePoints(strings.NewReader("1,0.5\nx,y\n")); err == nil {
+		t.Error("junk non-header line accepted")
+	}
+	// A lone header is fine but fitting will fail downstream.
+	pts, err = parsePoints(strings.NewReader("ub,eff\n"))
+	if err != nil || len(pts) != 0 {
+		t.Errorf("header-only parse: %v, %v", pts, err)
+	}
+}
+
+func TestFitCSVTooFewPoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "one.csv")
+	if err := os.WriteFile(path, []byte("1,0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-csv", path}, &buf); err == nil {
+		t.Error("single-point fit accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlanMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-target-days", "40", "-max-nodes", "512"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"plan:", "predicted:", "nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlanInfeasible(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-target-days", "0.001", "-max-nodes", "16"}, &buf); err == nil {
+		t.Error("impossible deadline produced a plan")
+	}
+}
+
+func TestSensitivityMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-sensitivity", "-nodes", "128", "-tp-intra", "8"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"time elasticity", "peak MAC throughput", "verdict:", "best investment:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSensitivityWithPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-sensitivity", "-nodes", "128", "-tp-intra", "8", "-pp-inter", "8"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bubble ratio R") {
+		t.Errorf("pipeline sensitivity missing bubble knob:\n%s", buf.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "nope"}, &buf); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-accel", "nope"}, &buf); err == nil {
+		t.Error("unknown accelerator accepted")
+	}
+	if err := run([]string{"-sensitivity", "-tp-intra", "3"}, &buf); err == nil {
+		t.Error("non-tiling sensitivity mapping accepted")
+	}
+}
+
+func TestRecipeMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-recipe", "-model", "megatron-530b", "-nodes", "128",
+		"-batch", "2520", "-num-batches", "100"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"recipe for", "mapping:", "memory levers:", "predicted:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

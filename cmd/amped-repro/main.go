@@ -1,0 +1,398 @@
+// Command amped-repro regenerates every table and figure of the AMPeD
+// paper's validation and case-study sections and prints paper-vs-reproduced
+// comparisons.
+//
+//	amped-repro -exp all
+//	amped-repro -exp table2
+//	amped-repro -exp fig11 -csv
+//
+// Experiment ids: table2, table3, fig1, fig2a, fig2b, fig2c, fig3, fig4,
+// fig5, fig6, fig7, fig8, fig9, fig10, fig11, conclusions, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"amped/internal/report"
+	"amped/internal/validate"
+)
+
+// experiment is one regenerable artifact.
+type experiment struct {
+	id   string
+	desc string
+	run  func(io.Writer, bool) error
+}
+
+// experiments lists every artifact in paper order.
+var experiments = []experiment{
+	{"table2", "AMPeD vs published TFLOP/s/GPU (Megatron 145B-1T)", runTable2},
+	{"table3", "GPipe normalized throughput on P100s, M=32", runTable3},
+	{"fig1", "device utilization during the DP/PP validation runs", runFig1},
+	{"fig2a", "normalized DP training time, minGPT on 1-16 GPUs", runFig2a},
+	{"fig2b", "normalized PP training time, minGPT-1.24B on 2-16 GPUs", runFig2b},
+	{"fig2c", "GPT-3 175B TFLOP/s/GPU vs microbatch size, 96 GPUs", runFig2c},
+	{"fig3", "training-time breakdown, PP_inter=2 vs TP_inter=2", runFig3},
+	{"fig4", "TP intra-node, TP+PP inter-node sweep", figRunner(validate.Fig4)},
+	{"fig5", "TP intra-node, TP+DP inter-node sweep", figRunner(validate.Fig5)},
+	{"fig6", "TP intra-node, PP+DP inter-node sweep", figRunner(validate.Fig6)},
+	{"fig7", "DP intra-node, TP+PP inter-node sweep", figRunner(validate.Fig7)},
+	{"fig8", "DP intra-node, TP+DP inter-node sweep", figRunner(validate.Fig8)},
+	{"fig9", "DP intra-node, PP+DP inter-node sweep", figRunner(validate.Fig9)},
+	{"fig10", "DP vs PP inter-node on low-end EDR systems", runFig10},
+	{"fig11", "optical communication substrates (GLaM, 3072 H100)", runFig11},
+	{"conclusions", "the five qualitative findings of case study I", runConclusions},
+	{"attribution", "error-budget ladder: what each modeled mechanism buys (145B)", runAttribution},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (or 'all', 'list')")
+	csv := flag.Bool("csv", false, "emit CSV where available")
+	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<id>.txt")
+	flag.Parse()
+	if err := run(*exp, *csv, *outDir, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "amped-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, csv bool, outDir string, out io.Writer) error {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	runOne := func(e experiment) error {
+		w := out
+		var file *os.File
+		if outDir != "" {
+			var err error
+			file, err = os.Create(filepath.Join(outDir, e.id+".txt"))
+			if err != nil {
+				return err
+			}
+			defer file.Close()
+			w = io.MultiWriter(out, file)
+		}
+		return e.run(w, csv)
+	}
+	if exp == "list" {
+		for _, e := range experiments {
+			fmt.Fprintf(out, "%-12s %s\n", e.id, e.desc)
+		}
+		return nil
+	}
+	if exp == "all" {
+		for _, e := range experiments {
+			fmt.Fprintf(out, "==== %s: %s ====\n", e.id, e.desc)
+			if err := runOne(e); err != nil {
+				return fmt.Errorf("%s: %w", e.id, err)
+			}
+			fmt.Fprintln(out)
+		}
+		summary, err := validate.Summarize()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "==== scorecard ====\n%v\n", summary)
+		return nil
+	}
+	for _, e := range experiments {
+		if e.id == exp {
+			return runOne(e)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (try -exp list)", exp)
+}
+
+// emit writes a table as text or CSV.
+func emit(out io.Writer, tab *report.Table, csv bool) {
+	if csv {
+		fmt.Fprint(out, tab.CSV())
+	} else {
+		fmt.Fprint(out, tab)
+	}
+}
+
+func runTable2(out io.Writer, csv bool) error {
+	rows, err := validate.TableII()
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Table II — TFLOP/s/GPU, AMPeD vs published [8]",
+		"model", "TP", "PP", "DP", "reproduced", "paper AMPeD", "published",
+		"err vs paper", "err vs published")
+	for _, r := range rows {
+		tab.AddRow(r.ModelSize,
+			strconv.Itoa(r.TP), strconv.Itoa(r.PP), strconv.Itoa(r.DP),
+			fmt.Sprintf("%.1f", r.Predicted),
+			fmt.Sprintf("%.1f", r.PaperAMPeD),
+			fmt.Sprintf("%.0f", r.Published),
+			fmt.Sprintf("%.1f%%", r.ErrVsPaper),
+			fmt.Sprintf("%.1f%%", r.ErrVsPublished))
+	}
+	emit(out, tab, csv)
+	return nil
+}
+
+func runTable3(out io.Writer, csv bool) error {
+	res, err := validate.TableIII()
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Table III — GPipe speedup, 24-layer transformer, P100+PCIe, M=32",
+		"GPUs", "published [26]", "paper AMPeD", "reproduced")
+	for i, g := range res.GPUs {
+		tab.AddRow(strconv.Itoa(g),
+			fmt.Sprintf("%.2f", res.Published[i]),
+			fmt.Sprintf("%.2f", res.PaperPredicted[i]),
+			fmt.Sprintf("%.2f", res.Predicted[i]))
+	}
+	emit(out, tab, csv)
+	fmt.Fprintf(out, "max error: %.1f%% vs published, %.1f%% vs the paper's prediction\n",
+		res.MaxErrVsPublished, res.MaxErrVsPaper)
+	return nil
+}
+
+func runFig1(out io.Writer, _ bool) error {
+	res, err := validate.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "DP on 8 GPUs: mean device utilization %.0f%% (idle share is the gradient all-reduce)\n",
+		res.DPUtilization*100)
+	labels := make([]string, len(res.PPUtilization))
+	for i := range labels {
+		labels[i] = fmt.Sprintf("stage %d", i)
+	}
+	fmt.Fprint(out, report.Bars("PP on 4 GPUs: per-stage utilization (GPipe fill/drain bubbles idle the rest)",
+		labels, res.PPUtilization, 40))
+	fmt.Fprintf(out, "pipeline bubble fraction: %.0f%%\n", res.PPBubbleFraction*100)
+	rows := make([]report.GanttRow, len(res.PPTraces))
+	for s, trace := range res.PPTraces {
+		row := report.GanttRow{Label: fmt.Sprintf("stage %d", s)}
+		for _, iv := range trace {
+			g := byte('F')
+			if len(iv.Label) > 0 && iv.Label[0] == 'B' {
+				g = 'B'
+			}
+			row.Spans = append(row.Spans, report.GanttSpan{
+				Start: float64(iv.Start), End: float64(iv.End), Glyph: g,
+			})
+		}
+		rows[s] = row
+	}
+	fmt.Fprint(out, report.Gantt("GPipe schedule timeline (F=forward, B=backward, .=bubble)", rows, 64))
+	return nil
+}
+
+func fig2Table(title string, pts []validate.Fig2Point) *report.Table {
+	tab := report.NewTable(title, "GPUs", "simulated (DES)", "predicted (AMPeD)", "delta")
+	for _, p := range pts {
+		tab.AddRow(strconv.Itoa(p.GPUs),
+			fmt.Sprintf("%.3f", p.Simulated),
+			fmt.Sprintf("%.3f", p.Predicted),
+			fmt.Sprintf("%.1f%%", validate.PercentError(p.Predicted, p.Simulated)))
+	}
+	return tab
+}
+
+func runFig2a(out io.Writer, csv bool) error {
+	pts, err := validate.Fig2a()
+	if err != nil {
+		return err
+	}
+	emit(out, fig2Table("Fig. 2a — normalized DP training time (minGPT-85M, HGX-2)", pts), csv)
+	return nil
+}
+
+func runFig2b(out io.Writer, csv bool) error {
+	pts, err := validate.Fig2b()
+	if err != nil {
+		return err
+	}
+	emit(out, fig2Table("Fig. 2b — normalized PP per-sequence time (minGPT-1.24B, GPipe)", pts), csv)
+	return nil
+}
+
+func runFig2c(out io.Writer, csv bool) error {
+	pts, err := validate.Fig2c()
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Fig. 2c — GPT-3 175B TFLOP/s/GPU vs microbatch size (96 GPUs, PP)",
+		"microbatch", "published [8]", "predicted", "error")
+	for _, p := range pts {
+		tab.AddRow(fmt.Sprintf("%.0f", p.Microbatch),
+			fmt.Sprintf("%.0f", p.Published),
+			fmt.Sprintf("%.1f", p.Predicted),
+			fmt.Sprintf("%.1f%%", p.Err))
+	}
+	emit(out, tab, csv)
+	return nil
+}
+
+func runFig3(out io.Writer, _ bool) error {
+	configs, err := validate.Fig3()
+	if err != nil {
+		return err
+	}
+	var stacks []report.Stack
+	for _, c := range configs {
+		var parts []report.Part
+		for _, comp := range c.Breakdown.Components() {
+			if comp.Time > 0 {
+				parts = append(parts, report.Part{Name: comp.Name, Value: float64(comp.Time)})
+			}
+		}
+		stacks = append(stacks, report.Stack{Label: c.Label, Parts: parts})
+	}
+	fmt.Fprint(out, report.StackedBars(
+		"Fig. 3 — per-batch breakdown (s), DP_intra=8 DP_inter=64, batch 16384", stacks, 60))
+	return nil
+}
+
+// figRunner adapts a case-study figure generator to the experiment shape.
+func figRunner(f func() (*validate.Figure, error)) func(io.Writer, bool) error {
+	return func(out io.Writer, csv bool) error {
+		fig, err := f()
+		if err != nil {
+			return err
+		}
+		headers := []string{"inter-node config"}
+		for _, b := range validate.CS1Batches {
+			headers = append(headers, fmt.Sprintf("B=%d (days)", b), fmt.Sprintf("B=%d eff", b))
+		}
+		tab := report.NewTable(fig.Name+" — Megatron 145B on 1024 A100s", headers...)
+		for _, p := range fig.Points {
+			row := []string{p.Label}
+			for _, b := range validate.CS1Batches {
+				row = append(row, fmt.Sprintf("%.1f", p.Days[b]), fmt.Sprintf("%.2f", p.Eff[b]))
+			}
+			tab.AddRow(row...)
+		}
+		emit(out, tab, csv)
+		if !csv {
+			var series []report.Series
+			for _, b := range validate.CS1Batches {
+				sr := report.Series{Name: fmt.Sprintf("B=%d", b)}
+				for i, p := range fig.Points {
+					sr.X = append(sr.X, float64(i))
+					sr.Y = append(sr.Y, p.Days[b])
+				}
+				series = append(series, sr)
+			}
+			fmt.Fprint(out, report.LineChart(
+				"training days across the sweep (x = config index)", series, 56, 10))
+		}
+		return nil
+	}
+}
+
+func runFig10(out io.Writer, csv bool) error {
+	pts, err := validate.Fig10()
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("Fig. 10 — Megatron 145B, batch 8192, 1024 A100s on EDR low-end nodes",
+		"accels+NICs/node", "DP inter (days)", "PP inter (days)", "PP bubble", "break-even idle power")
+	for _, p := range pts {
+		tab.AddRow(strconv.Itoa(p.AccelsPerNode),
+			fmt.Sprintf("%.1f", p.DPDays),
+			fmt.Sprintf("%.1f", p.PPDays),
+			fmt.Sprintf("%.1f%%", p.PPBubbleShare*100),
+			formatBreakEven(p.BreakEvenIdle))
+	}
+	emit(out, tab, csv)
+	return nil
+}
+
+// formatBreakEven renders the break-even idle fraction with its sentinels.
+func formatBreakEven(f float64) string {
+	switch {
+	case f > 1:
+		return "always (PP faster outright)"
+	case f < 0:
+		return "never"
+	default:
+		return fmt.Sprintf("%.2f x TDP", f)
+	}
+}
+
+func runFig11(out io.Writer, csv bool) error {
+	bars, err := validate.Fig11()
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(bars))
+	values := make([]float64, len(bars))
+	tab := report.NewTable("Fig. 11 — GLaM on 3072 H100-class accelerators, 8-bit",
+		"configuration", "performance (x ref)", "MoE comm share", "days")
+	for i, b := range bars {
+		labels[i], values[i] = b.Label, b.Performance
+		tab.AddRow(b.Label,
+			fmt.Sprintf("%.2f", b.Performance),
+			fmt.Sprintf("%.1f%%", b.MoECommShare*100),
+			fmt.Sprintf("%.2f", b.Days))
+	}
+	emit(out, tab, csv)
+	if !csv {
+		fmt.Fprint(out, report.Bars("normalized performance", labels, values, 40))
+	}
+	return nil
+}
+
+func runAttribution(out io.Writer, csv bool) error {
+	ladder, err := validate.Attribute()
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable("mechanism ladder — Table II 145B row (published: 148 TFLOP/s/GPU)",
+		"mechanism", "TFLOP/s/GPU", "delta", "err vs published")
+	for _, a := range ladder {
+		delta := "-"
+		if a.Delta != 0 {
+			delta = fmt.Sprintf("%+.1f", a.Delta)
+		}
+		tab.AddRow(a.Mechanism,
+			fmt.Sprintf("%.1f", a.TFLOPs), delta,
+			fmt.Sprintf("%.1f%%", a.ErrVsPublished))
+	}
+	emit(out, tab, csv)
+	return nil
+}
+
+func runConclusions(out io.Writer, _ bool) error {
+	cons, err := validate.CaseStudy1Conclusions()
+	if err != nil {
+		return err
+	}
+	holds := 0
+	for _, c := range cons {
+		mark := "HOLDS "
+		if c.Holds {
+			holds++
+		} else {
+			mark = "FAILED"
+		}
+		fmt.Fprintf(out, "%s  %s\n        %s\n", mark, c.Claim, c.Detail)
+	}
+	fmt.Fprintf(out, "%d/%d of the paper's case-study-I conclusions hold\n", holds, len(cons))
+	return nil
+}
+
+// sortedIDs is used by tests to verify the registry stays addressable.
+func sortedIDs() []string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.id
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range experiments {
+		var buf bytes.Buffer
+		if err := e.run(&buf, false); err != nil {
+			t.Errorf("%s failed: %v", e.id, err)
+			continue
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", e.id)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("table3", false, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Errorf("table3 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run("list", false, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range experiments {
+		if !strings.Contains(buf.String(), e.id) {
+			t.Errorf("list missing %s", e.id)
+		}
+	}
+	if err := run("nope", false, "", &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("all", false, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range experiments {
+		if !strings.Contains(out, "==== "+e.id) {
+			t.Errorf("all output missing section %s", e.id)
+		}
+	}
+	// The headline claims surface in the combined output.
+	for _, want := range []string{"Table II", "5/5", "normalized performance",
+		"scorecard", "within the paper's 12% bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("all output missing %q", want)
+		}
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("table2", true, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "model,TP,PP,DP") {
+		t.Errorf("CSV mode output:\n%s", buf.String())
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := sortedIDs()
+	if len(ids) != len(experiments) {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate experiment id %q", id)
+		}
+		seen[id] = true
+	}
+	// Every paper artifact is covered.
+	for _, want := range []string{"table2", "table3", "fig1", "fig2a", "fig2b",
+		"fig2c", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "conclusions"} {
+		if !seen[want] {
+			t.Errorf("experiment %q missing from the registry", want)
+		}
+	}
+}
+
+func TestFormatBreakEven(t *testing.T) {
+	if got := formatBreakEven(1.5); !strings.Contains(got, "always") {
+		t.Errorf("formatBreakEven(1.5) = %q", got)
+	}
+	if got := formatBreakEven(-0.5); got != "never" {
+		t.Errorf("formatBreakEven(-0.5) = %q", got)
+	}
+	if got := formatBreakEven(0.3); !strings.Contains(got, "0.30") {
+		t.Errorf("formatBreakEven(0.3) = %q", got)
+	}
+}
+
+func TestOutDirWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run("table2", false, dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Table II") {
+		t.Errorf("artifact content:\n%s", data)
+	}
+	// The console copy is identical.
+	if buf.String() != string(data) {
+		t.Error("console and file outputs differ")
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWithFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-model", "megatron-145b", "-tp-intra", "8", "-dp-inter", "128",
+		"-batch", "8192", "-num-batches", "100", "-memory", "-energy",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Megatron 145B", "TP8x1", "per-batch time breakdown",
+		"TFLOP/s/GPU", "memory:", "energy:", "MWh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTunesMicrobatches(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-tp-intra", "8", "-pp-inter", "8", "-dp-inter", "16", "-batch", "8192",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tuned microbatches:") {
+		t.Errorf("PP run did not tune microbatches:\n%s", buf.String())
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	doc := `{
+	  "model": {"preset": "mingpt"},
+	  "system": {
+	    "accelerator": {"preset": "v100"},
+	    "nodes": 1, "accels_per_node": 8,
+	    "intra": {"latency_s": 2e-6, "bandwidth_bps": "2.4T"},
+	    "inter": {"latency_s": 5e-6, "bandwidth_bps": "200G"}
+	  },
+	  "mapping": {"dp_intra": 8},
+	  "training": {"global_batch": 256, "microbatches": 1}
+	}`
+	path := filepath.Join(t.TempDir(), "point.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-config", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "minGPT") {
+		t.Errorf("config-driven run output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-model", "nope"}, &buf); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-accel", "nope"}, &buf); err == nil {
+		t.Error("unknown accelerator accepted")
+	}
+	if err := run([]string{"-config", "/does/not/exist.json"}, &buf); err == nil {
+		t.Error("missing config accepted")
+	}
+	// Mapping that does not tile the machine.
+	if err := run([]string{"-tp-intra", "4", "-dp-inter", "128"}, &buf); err == nil {
+		t.Error("non-tiling mapping accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-tp-intra", "8", "-dp-inter", "128", "-batch", "8192", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if res["model"] != "Megatron 145B" || res["accelerators"].(float64) != 1024 {
+		t.Errorf("result = %v", res)
+	}
+	comps := res["components_s"].(map[string]any)
+	var sum float64
+	for _, v := range comps {
+		sum += v.(float64)
+	}
+	if math.Abs(sum-res["per_batch_s"].(float64)) > 1e-9*sum {
+		t.Errorf("components sum %v != per_batch %v", sum, res["per_batch_s"])
+	}
+}
+
+func TestProfileOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-model", "glam", "-accel", "h100", "-nodes", "384",
+		"-tp-intra", "8", "-dp-inter", "384", "-expert-parallel",
+		"-batch", "6144", "-microbatches", "1", "-profile"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "per-layer profile") {
+		t.Errorf("no profile table:\n%s", out)
+	}
+	// GLaM alternates dense and MoE layers.
+	if !strings.Contains(out, "moe") || !strings.Contains(out, "dense") {
+		t.Errorf("layer kinds missing:\n%s", out)
+	}
+}

@@ -1,0 +1,79 @@
+package amped_test
+
+import (
+	"fmt"
+	"log"
+
+	"amped"
+)
+
+// The basic workflow: describe a model and a machine, pick a mapping, and
+// read the predicted training time.
+func ExampleEvaluate() {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	bd, err := amped.Evaluate(&m, &sys,
+		amped.Mapping{TPIntra: 8, DPInter: 128},
+		amped.Training{Batch: amped.Batch{Global: 8192}, NumBatches: 17880})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training time: %.1f days\n", bd.TotalTime().Days())
+	fmt.Printf("throughput: %.0f TFLOP/s/GPU\n", bd.TFLOPSPerGPU())
+	// Output:
+	// training time: 18.7 days
+	// throughput: 162 TFLOP/s/GPU
+}
+
+// Exhaustively explore every parallelism mapping of a machine and pick the
+// fastest — the paper's Case Study I in four statements.
+func ExampleSweep() {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	points, err := amped.Sweep(
+		amped.Scenario{Model: &m, System: &sys},
+		amped.SweepOptions{
+			Batches:          []int{16384},
+			Enumerate:        amped.EnumerateOptions{PowerOfTwo: true},
+			MicrobatchTarget: 128,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := amped.BestMapping(points)
+	fmt.Println("best mapping:", best.Mapping)
+	// Output:
+	// best mapping: TP8x1 PP1x1 DP1x128
+}
+
+// Check whether a training configuration fits the accelerator's memory.
+func ExampleMemoryEstimate() {
+	m := amped.Megatron145B()
+	fp, err := amped.MemoryEstimate(&m,
+		amped.Mapping{TPIntra: 8, PPInter: 8, DPInter: 16},
+		amped.Batch{Global: 8192, Microbatches: 512},
+		amped.MemoryConfig{
+			Operands:      amped.Mixed16(),
+			Optimizer:     amped.Adam,
+			Checkpointing: true,
+			Schedule:      amped.OneFOneB,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("params per GPU: %v\n", fp.Params)
+	// Output:
+	// params per GPU: 4.24 GiB
+}
+
+// Derive Eq. 8's bubble ratio R for an interleaved pipeline schedule from
+// a discrete-event simulation instead of guessing it.
+func ExampleEstimateBubbleRatio() {
+	r, err := amped.EstimateBubbleRatio(8, 32, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R for 4-way interleaving: %.2f\n", r)
+	// Output:
+	// R for 4-way interleaving: 0.25
+}

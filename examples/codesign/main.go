@@ -1,0 +1,72 @@
+// Codesign: the hardware-software co-design loop AMPeD enables. Start from
+// a deadline, let the solver size the machine, ask the sensitivity
+// analysis where the next hardware dollar goes, apply that upgrade, and
+// re-plan — the machine shrinks.
+//
+//	go run ./examples/codesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amped"
+)
+
+func main() {
+	m := amped.Megatron145B()
+	template := amped.CaseStudy1System() // 8xA100 nodes, NVLink + HDR
+
+	plan := func(t amped.System, label string) *amped.Plan {
+		p, err := amped.MinimumNodes(amped.PlanRequest{
+			Model:    &m,
+			Template: t,
+			Training: amped.Training{
+				Batch:      amped.Batch{Global: 8192},
+				NumBatches: 17880, // ~300B tokens
+			},
+			TargetDays: 25,
+			MaxNodes:   2048,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%-26s %4d nodes -> %.1f days with %v\n",
+			label, p.Nodes, p.Days, p.Mapping)
+		return p
+	}
+
+	fmt.Println("Goal: train Megatron 145B (~300B tokens) in 25 days.")
+	fmt.Println()
+	base := plan(template, "baseline nodes:")
+
+	// Where does the next hardware dollar go at the planned design point?
+	sysAt := template
+	sysAt.Nodes = base.Nodes
+	results, err := amped.Sensitivity(amped.Estimator{
+		Model:    &m,
+		System:   &sysAt,
+		Mapping:  base.Mapping,
+		Training: amped.Training{Batch: amped.Batch{Global: 8192}},
+	}, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Sensitivity at the planned design point:")
+	for _, r := range results {
+		fmt.Printf("  %v\n", r)
+	}
+	fmt.Printf("  -> best investment: %s\n\n", results[0].Knob)
+
+	// Apply the indicated upgrade (a faster accelerator generation raises
+	// exactly the peak-compute knob) and re-plan.
+	upgraded := template
+	upgraded.Accel = amped.NvidiaH100()
+	upgraded.Intra = amped.Link{Name: "NVLink4", Latency: 2e-6, Bandwidth: 3.6e12}
+	plan(upgraded, "after H100 upgrade:")
+
+	fmt.Println()
+	fmt.Println("One pass of the loop: deadline -> machine size -> bottleneck ->")
+	fmt.Println("targeted upgrade -> smaller machine. Each arrow is one API call.")
+}

@@ -1,0 +1,75 @@
+// Lowend: pick the right inter-node parallelism for cheap cloud nodes — the
+// paper's Case Study II. On thin nodes with few network cards the DP
+// gradient all-reduce chokes, and pipeline parallelism (point-to-point
+// traffic, some idle bubbles) wins; with more NICs per node DP takes over.
+// The example also asks the energy question: when do PP's idle bubbles make
+// it the cheaper run even while slower?
+//
+//	go run ./examples/lowend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amped"
+)
+
+func main() {
+	m := amped.Megatron145B()
+	fmt.Println("Megatron 145B, batch 8192, 1024 A100 total, EDR network")
+	fmt.Println()
+	fmt.Printf("%-18s %-14s %-14s %s\n", "accels+NICs/node", "DP inter", "PP inter", "verdict")
+
+	for _, perNode := range []int{1, 2, 4, 8} {
+		sys := amped.LowEndSystem(perNode)
+
+		eval := func(mp amped.Mapping) *amped.Breakdown {
+			est := amped.Estimator{
+				Model: &m, System: &sys, Mapping: mp,
+				Training: amped.Training{
+					Batch:      amped.Batch{Global: 8192},
+					NumBatches: 17880,
+				},
+			}
+			_, bd, err := amped.OptimalMicrobatches(est)
+			if err != nil {
+				log.Fatalf("n=%d %v: %v", perNode, mp, err)
+			}
+			return bd
+		}
+
+		dp := eval(amped.Mapping{TPIntra: perNode, DPInter: sys.Nodes})
+		pp := eval(amped.Mapping{TPIntra: perNode, PPInter: 64, DPInter: sys.Nodes / 64})
+
+		verdict := "DP wins"
+		if pp.TotalTime() < dp.TotalTime() {
+			verdict = "PP wins (all-reduce starved)"
+		}
+		fmt.Printf("%-18d %-14s %-14s %s\n", perNode,
+			fmt.Sprintf("%.1f days", dp.TotalTime().Days()),
+			fmt.Sprintf("%.1f days", pp.TotalTime().Days()),
+			verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("Energy view at 4 accelerators per node:")
+	sys := amped.LowEndSystem(4)
+	est := amped.Estimator{
+		Model: &m, System: &sys,
+		Mapping:  amped.Mapping{TPIntra: 4, PPInter: 64, DPInter: 4},
+		Training: amped.Training{Batch: amped.Batch{Global: 8192}, NumBatches: 17880},
+	}
+	_, pp, err := amped.OptimalMicrobatches(est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	en, err := amped.Energy(pp, &sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  PP run: %v, bubble share %.1f%%\n",
+		en, 100*float64(pp.Bubble)/float64(pp.PerBatch()))
+	fmt.Println("  During bubbles the accelerators idle at a fraction of TDP;")
+	fmt.Println("  if that fraction is low enough, the slower PP run costs less energy.")
+}

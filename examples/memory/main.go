@@ -1,0 +1,65 @@
+// Memory: size a 530B-parameter training job — how much parallelism and
+// which memory optimizations (ZeRO stages, activation checkpointing, 1F1B)
+// it takes before a replica fits an 80 GB accelerator. This exercises the
+// memory-model extension the paper names as future work.
+//
+//	go run ./examples/memory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amped"
+)
+
+func main() {
+	m := amped.Megatron530B()
+	accel := amped.NvidiaA100()
+	batch := amped.Batch{Global: 2520, Microbatches: 2520 / 9}
+
+	fmt.Printf("%v on %s (%v usable)\n\n", &m, accel.Name, accel.Memory)
+	fmt.Printf("%-42s %-12s %-10s %s\n", "configuration", "params+opt", "acts", "fits?")
+
+	show := func(label string, mp amped.Mapping, cfg amped.MemoryConfig) {
+		fp, err := amped.MemoryEstimate(&m, mp, batch, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fits := "no"
+		if float64(fp.Total()) <= float64(accel.Memory)*0.9 {
+			fits = "YES"
+		}
+		fmt.Printf("%-42s %-12v %-10v %s\n", label,
+			fp.Params+fp.Grads+fp.Optimizer, fp.Activations, fits)
+	}
+
+	base := amped.MemoryConfig{Operands: amped.Mixed16(), Optimizer: amped.Adam}
+
+	// A single replica: hopeless.
+	show("single GPU", amped.Mapping{}, base)
+
+	// Model parallelism shards parameters 280-way (TP8 x PP35).
+	sharded := amped.Mapping{TPIntra: 8, PPInter: 35, DPInter: 9}
+	show("TP8 x PP35 x DP9", sharded, base)
+
+	// Activation checkpointing trims the working set.
+	ckpt := base
+	ckpt.Checkpointing = true
+	show("+ activation checkpointing", sharded, ckpt)
+
+	// 1F1B bounds live microbatches by the pipeline depth.
+	fb := ckpt
+	fb.Schedule = amped.OneFOneB
+	show("+ 1F1B schedule", sharded, fb)
+
+	// ZeRO-1 shards the optimizer states across the 9 DP replicas.
+	zero := fb
+	zero.ZeROStage = 1
+	show("+ ZeRO-1 optimizer sharding", sharded, zero)
+
+	fmt.Println()
+	fmt.Println("Exactly the Megatron-style recipe: model parallelism for the")
+	fmt.Println("parameters, checkpointing + 1F1B for activations, ZeRO for the")
+	fmt.Println("optimizer — and only the combination fits the accelerator.")
+}

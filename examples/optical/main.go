@@ -1,0 +1,80 @@
+// Optical: explore how photonic communication substrates speed up training
+// of a mixture-of-experts model — the paper's Case Study III. The example
+// walks the three optimizations (fiber-per-accelerator, denser substrates,
+// higher off-chip bandwidth) and shows the compounding speedup.
+//
+//	go run ./examples/optical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amped"
+)
+
+// evaluate returns the per-batch time of GLaM on the given machine with TP
+// inside each node, DP across nodes and expert parallelism on.
+func evaluate(sys amped.System) (*amped.Breakdown, error) {
+	g := amped.GLaM()
+	est := amped.Estimator{
+		Model:   &g,
+		System:  &sys,
+		Mapping: amped.Mapping{TPIntra: sys.AccelsPerNode, DPInter: sys.Nodes, ExpertParallel: true},
+		Training: amped.Training{
+			Batch: amped.Batch{Global: 9216},
+			Operands: amped.Operands{
+				Param: amped.FP8, Act: amped.FP8,
+				Nonlin: amped.FP32, Grad: amped.FP32,
+			},
+		},
+	}
+	_, bd, err := amped.OptimalMicrobatches(est)
+	return bd, err
+}
+
+func main() {
+	// Reference: conventional 8xH100 nodes on NDR InfiniBand.
+	reference := amped.System{
+		Name:          "8xH100 + NDR InfiniBand",
+		Accel:         amped.NvidiaH100(),
+		Nodes:         384,
+		AccelsPerNode: 8,
+		Intra:         amped.Link{Name: "NVLink4", Latency: 2e-6, Bandwidth: 3.6e12},
+		Inter:         amped.Link{Name: "NDR", Latency: 5e-6, Bandwidth: 4e11},
+		NICsPerNode:   8,
+	}
+
+	ladder := []struct {
+		label string
+		sys   amped.System
+	}{
+		{"reference", reference},
+		{"Opt1: fiber per accelerator", amped.OpticalSystem(amped.OpticalOptions{
+			AccelsPerNode: 8, EdgeAccels: 8, TotalAccels: 3072})},
+		{"Opt2: 48 accels per substrate", amped.OpticalSystem(amped.OpticalOptions{
+			AccelsPerNode: 48, EdgeAccels: 24, TotalAccels: 3072})},
+		{"Opt3: 4x off-chip bandwidth", amped.OpticalSystem(amped.OpticalOptions{
+			AccelsPerNode: 48, EdgeAccels: 24, OffChipBWFactor: 4, TotalAccels: 3072})},
+	}
+
+	fmt.Println("GLaM (64 experts) on 3072 H100-class accelerators, 8-bit training")
+	fmt.Println()
+	var ref float64
+	for i, step := range ladder {
+		bd, err := evaluate(step.sys)
+		if err != nil {
+			log.Fatalf("%s: %v", step.label, err)
+		}
+		t := float64(bd.PerBatch())
+		if i == 0 {
+			ref = t
+		}
+		fmt.Printf("%-32s per batch %v  (%.2fx, MoE all-to-all %.1f%%)\n",
+			step.label, bd.PerBatch(), ref/t,
+			100*float64(bd.MoEComm)/float64(bd.PerBatch()))
+	}
+	fmt.Println()
+	fmt.Println("Each optimization removes a communication bottleneck without")
+	fmt.Println("touching peak compute — the paper's headline is 'up to ~4x'.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: predict the training time of a 145B-parameter transformer on
+// 1024 A100s and print the full per-phase breakdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amped"
+)
+
+func main() {
+	// The model: Megatron 145B (80 layers, hidden 12288, seq 2048).
+	m := amped.Megatron145B()
+
+	// The machine: 128 nodes x 8 A100s, NVLink inside, HDR InfiniBand out.
+	sys := amped.CaseStudy1System()
+
+	// The mapping: tensor parallelism across the 8 GPUs of each node,
+	// data parallelism across the 128 nodes — the paper's best recipe.
+	mapping := amped.Mapping{TPIntra: 8, DPInter: 128}
+
+	// The training run: batch 8192, ~300B tokens worth of batches.
+	training := amped.Training{
+		Batch:      amped.Batch{Global: 8192},
+		NumBatches: 17880,
+	}
+
+	bd, err := amped.Evaluate(&m, &sys, mapping, training)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model:        %v\n", &m)
+	fmt.Printf("system:       %s (%d accelerators)\n", sys.Name, sys.TotalAccelerators())
+	fmt.Printf("mapping:      %v\n", mapping)
+	fmt.Printf("microbatch:   %.0f sequences at %.0f%% efficiency\n\n",
+		bd.Microbatch, bd.Efficiency*100)
+
+	for _, c := range bd.Components() {
+		if c.Time > 0 {
+			fmt.Printf("  %-14s %v\n", c.Name, c.Time)
+		}
+	}
+	fmt.Printf("\nper batch:    %v\n", bd.PerBatch())
+	fmt.Printf("training run: %v\n", bd.TotalTime())
+	fmt.Printf("throughput:   %.1f TFLOP/s per GPU\n", bd.TFLOPSPerGPU())
+
+	// What would the same job cost in energy?
+	if en, err := amped.Energy(bd, &sys); err == nil {
+		fmt.Printf("energy:       %v\n", en)
+	}
+}

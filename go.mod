@@ -1,0 +1,3 @@
+module amped
+
+go 1.22

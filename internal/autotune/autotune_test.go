@@ -1,0 +1,128 @@
+package autotune
+
+import (
+	"strings"
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/memkit"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+)
+
+func TestTuneSmallModelNeedsNoLevers(t *testing.T) {
+	// minGPT on an HGX-2: plenty of memory, the fastest mapping should win
+	// with no ZeRO or checkpointing engaged.
+	m := transformer.MinGPT()
+	sys := hardware.HGX2(8)
+	recipe, err := Tune(Request{
+		Model:       &m,
+		System:      &sys,
+		GlobalBatch: 256,
+		NumBatches:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recipe.ZeROStage != 0 || recipe.Checkpointing {
+		t.Errorf("small model engaged levers: %v", recipe)
+	}
+	if recipe.Breakdown == nil || recipe.Breakdown.PerBatch() <= 0 {
+		t.Fatalf("bad breakdown in %v", recipe)
+	}
+	if !strings.Contains(recipe.String(), "N_ub=") {
+		t.Errorf("String() = %q", recipe.String())
+	}
+}
+
+func TestTuneLargeModelEngagesLevers(t *testing.T) {
+	// Megatron 530B on 1024 A100s at batch 2520: no mapping fits without
+	// memory levers (even TP8xPP64 leaves ~1 GB params but hundreds of GB
+	// of activations), so the recipe must engage checkpointing.
+	m := transformer.Megatron530B()
+	sys := hardware.CaseStudy1System()
+	recipe, err := Tune(Request{
+		Model:       &m,
+		System:      &sys,
+		GlobalBatch: 2520,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recipe.Checkpointing && recipe.ZeROStage == 0 {
+		t.Errorf("530B recipe engaged no levers: %v", recipe)
+	}
+	// The recipe is genuinely feasible: re-check the worst stage.
+	cfg := memkit.Config{
+		Operands:      precision.Mixed16(),
+		Optimizer:     memkit.Adam,
+		ZeROStage:     recipe.ZeROStage,
+		Checkpointing: recipe.Checkpointing,
+		Schedule:      memkit.OneFOneB,
+	}
+	stages, err := memkit.StageFootprints(&m, recipe.Mapping,
+		parallel.Batch{Global: 2520, Microbatches: recipe.Microbatches}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usable := float64(sys.Accel.Memory) * 0.9
+	for i, fp := range stages {
+		if float64(fp.Total()) > usable {
+			t.Errorf("stage %d does not fit: %v", i, fp)
+		}
+	}
+	// ZeRO-3 recipes must carry the Eq. 5 overhead in the reported time.
+	if recipe.ZeROStage == 3 && recipe.Breakdown.ZeROComm == 0 {
+		t.Error("ZeRO-3 recipe reports no ZeRO communication")
+	}
+}
+
+func TestTuneRespectsSpeedRanking(t *testing.T) {
+	// For the 145B model the known-best mapping family (TP intra + DP
+	// inter) should surface as long as it fits with cheap levers.
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	recipe, err := Tune(Request{
+		Model:       &m,
+		System:      &sys,
+		GlobalBatch: 8192,
+		NumBatches:  17880,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recipe.Mapping.TPIntra < 2 {
+		t.Errorf("recipe %v does not use intra-node TP", recipe)
+	}
+	days := recipe.Breakdown.TotalTime().Days()
+	if days < 10 || days > 60 {
+		t.Errorf("recipe time %v days outside the plausible band", days)
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	m := transformer.MinGPT()
+	sys := hardware.HGX2(8)
+	if _, err := Tune(Request{Model: &m, System: &sys}); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := Tune(Request{Model: &m, System: &sys, GlobalBatch: 8, MemoryReserve: 1}); err == nil {
+		t.Error("reserve 1 accepted")
+	}
+	broken := m
+	broken.Layers = 0
+	if _, err := Tune(Request{Model: &broken, System: &sys, GlobalBatch: 8}); err == nil {
+		t.Error("broken model accepted")
+	}
+	var nilReq *Request
+	if err := nilReq.validate(); err == nil {
+		t.Error("nil request accepted")
+	}
+	// Nothing fits: a 175B model on a single 16 GB P100.
+	huge := transformer.GPT3175B()
+	tiny := hardware.P100Cluster(2)
+	if _, err := Tune(Request{Model: &huge, System: &tiny, GlobalBatch: 2}); err == nil {
+		t.Error("impossible problem produced a recipe")
+	}
+}

@@ -1,0 +1,103 @@
+// Package baseline implements the naive performance predictor AMPeD is
+// implicitly compared against: perfect linear scaling of pure computation
+// across workers at a fixed utilization, with no communication, pipeline
+// or precision modeling — the back-of-the-envelope estimate (FLOPs /
+// (workers x peak x utilization)) that capacity planning commonly starts
+// from, and that the simpler related-work models reduce to for
+// transformers.
+//
+// Its purpose here is quantitative: the validation harness measures how
+// much closer AMPeD's Eq. 1-12 get to published measurements than this
+// baseline does (see BenchmarkBaselineVsAMPeD).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/hardware"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// Predictor is the compute-only estimator.
+type Predictor struct {
+	// Model is the transformer architecture.
+	Model *transformer.Model
+	// Accel is the accelerator design point.
+	Accel hardware.Accelerator
+	// Workers is the accelerator count the work divides across.
+	Workers int
+	// Utilization is the assumed fraction of peak sustained (the single
+	// fudge factor such estimates carry). Zero means 1 (the most naive
+	// form).
+	Utilization float64
+}
+
+// Validate checks the predictor's inputs.
+func (p *Predictor) Validate() error {
+	if p == nil {
+		return errors.New("baseline: nil predictor")
+	}
+	if err := p.Model.Validate(); err != nil {
+		return err
+	}
+	if err := p.Accel.Validate(); err != nil {
+		return err
+	}
+	if p.Workers <= 0 {
+		return fmt.Errorf("baseline: worker count %d must be positive", p.Workers)
+	}
+	if p.Utilization < 0 || p.Utilization > 1 {
+		return fmt.Errorf("baseline: utilization %g outside [0,1]", p.Utilization)
+	}
+	return nil
+}
+
+// utilization returns the effective utilization with the naive default.
+func (p *Predictor) utilization() float64 {
+	if p.Utilization == 0 {
+		return 1
+	}
+	return p.Utilization
+}
+
+// BatchTime predicts the time for one global batch: total training MACs
+// divided evenly across all workers at the assumed utilization. No
+// communication, no bubbles, no precision passes.
+func (p *Predictor) BatchTime(batch int) (units.Seconds, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if batch <= 0 {
+		return 0, fmt.Errorf("baseline: batch %d must be positive", batch)
+	}
+	macs := float64(p.Model.ForwardMACs(batch)) * 3 // fwd + 2x bwd
+	rate := float64(p.Accel.PeakMACRate()) * p.utilization() * float64(p.Workers)
+	return units.Seconds(macs / rate), nil
+}
+
+// TFLOPSPerGPU predicts the achieved useful throughput per worker, the
+// metric Table II reports. By construction it equals peak x utilization
+// (FLOPs cancel), which is exactly why the baseline cannot explain the
+// published numbers: it has no mechanism to lose time anywhere else.
+func (p *Predictor) TFLOPSPerGPU(batch int) (float64, error) {
+	t, err := p.BatchTime(batch)
+	if err != nil {
+		return 0, err
+	}
+	flops := float64(p.Model.TrainingFLOPs(batch))
+	return flops / float64(t) / float64(p.Workers) / units.Tera, nil
+}
+
+// TrainingTime predicts the full run: numBatches x BatchTime.
+func (p *Predictor) TrainingTime(batch, numBatches int) (units.Seconds, error) {
+	if numBatches <= 0 {
+		return 0, fmt.Errorf("baseline: batch count %d must be positive", numBatches)
+	}
+	t, err := p.BatchTime(batch)
+	if err != nil {
+		return 0, err
+	}
+	return units.Seconds(float64(t) * float64(numBatches)), nil
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+func predictor() *Predictor {
+	m := transformer.Megatron145B()
+	return &Predictor{
+		Model:       &m,
+		Accel:       hardware.NvidiaA100(),
+		Workers:     1536,
+		Utilization: 0.55,
+	}
+}
+
+func TestBatchTimeLinearScaling(t *testing.T) {
+	p := predictor()
+	one, err := p.BatchTime(2304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers *= 2
+	half, err := p.BatchTime(2304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(one) / float64(half); math.Abs(got-2) > 1e-9 {
+		t.Errorf("doubling workers scaled time by %v, want exactly 2 (the baseline's defining flaw)", got)
+	}
+}
+
+func TestTFLOPSIsPeakTimesUtilization(t *testing.T) {
+	p := predictor()
+	got, err := p.TFLOPSPerGPU(2304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Accel.PeakFLOPS() / units.Tera * 0.55
+	if math.Abs(got-want) > 0.02*want {
+		t.Errorf("baseline TFLOP/s = %v, want ~peak x utilization = %v", got, want)
+	}
+}
+
+func TestBaselineOverpredictsPublished(t *testing.T) {
+	// At the same utilization AMPeD uses for Table II (0.55), the baseline
+	// lands ~17% above the published 148 TFLOP/s for the 145B row because
+	// it ignores bubbles and communication entirely.
+	p := predictor()
+	got, err := p.TFLOPSPerGPU(2304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 160 {
+		t.Errorf("baseline = %v TFLOP/s, expected clear overprediction of 148", got)
+	}
+}
+
+func TestTrainingTime(t *testing.T) {
+	p := predictor()
+	batchTime, err := p.BatchTime(2304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := p.TrainingTime(2304, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(total) / float64(batchTime); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("training time ratio = %v", got)
+	}
+}
+
+func TestDefaultUtilization(t *testing.T) {
+	p := predictor()
+	p.Utilization = 0
+	got, err := p.TFLOPSPerGPU(2304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := p.Accel.PeakFLOPS() / units.Tera
+	if math.Abs(got-peak) > 0.02*peak {
+		t.Errorf("default-utilization TFLOP/s = %v, want ~peak %v", got, peak)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	var nilP *Predictor
+	if err := nilP.Validate(); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	p := predictor()
+	p.Workers = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero workers accepted")
+	}
+	p = predictor()
+	p.Utilization = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("utilization > 1 accepted")
+	}
+	p = predictor()
+	broken := *p.Model
+	broken.Hidden = 0
+	p.Model = &broken
+	if err := p.Validate(); err == nil {
+		t.Error("broken model accepted")
+	}
+	p = predictor()
+	if _, err := p.BatchTime(0); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if _, err := p.TrainingTime(8, 0); err == nil {
+		t.Error("zero batch count accepted")
+	}
+}

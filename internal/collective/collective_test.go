@@ -1,0 +1,207 @@
+package collective
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amped/internal/hardware"
+	"amped/internal/topology"
+	"amped/internal/units"
+)
+
+var testLink = hardware.Link{Name: "test", Latency: 1e-6, Bandwidth: 1e11}
+
+func TestRingAllReduceMatchesTopologyFactor(t *testing.T) {
+	// The simulated per-worker volume must equal the closed-form topology
+	// factor the analytical model uses in Eq. 6/11.
+	payload := units.Bits(1e9)
+	for _, n := range []int{2, 3, 4, 8, 16, 24} {
+		r := RingAllReduce(n, payload, testLink)
+		want := topology.Factor(topology.Ring, n)
+		if got := r.EffectiveFactor(payload); math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d measured factor %v, closed form %v", n, got, want)
+		}
+		if r.Steps != topology.Steps(topology.Ring, n) {
+			t.Errorf("n=%d steps %d, want %d", n, r.Steps, topology.Steps(topology.Ring, n))
+		}
+	}
+}
+
+func TestRingAllReduceTimeClosedForm(t *testing.T) {
+	// 2(n-1) rounds of (latency + (bits/n)/BW).
+	n := 8
+	payload := units.Bits(8e8)
+	r := RingAllReduce(n, payload, testLink)
+	want := 14 * (1e-6 + 1e8/1e11)
+	if math.Abs(float64(r.Time)-want) > 1e-12 {
+		t.Errorf("time = %v, want %v", r.Time, want)
+	}
+}
+
+func TestPairwiseAllToAllMatchesTopologyFactor(t *testing.T) {
+	payload := units.Bits(1e9)
+	for _, n := range []int{2, 4, 7, 128} {
+		r := PairwiseAllToAll(n, payload, testLink)
+		want := topology.Factor(topology.PairwiseAllToAll, n)
+		if got := r.EffectiveFactor(payload); math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d measured factor %v, closed form %v", n, got, want)
+		}
+	}
+}
+
+func TestTreeAllReduceSteps(t *testing.T) {
+	r := TreeAllReduce(8, 1e6, testLink)
+	if r.Steps != 6 {
+		t.Errorf("tree steps = %d, want 6 (2·log2 8)", r.Steps)
+	}
+	r9 := TreeAllReduce(9, 1e6, testLink)
+	if r9.Steps != 8 {
+		t.Errorf("tree steps n=9 = %d, want 8 (2·ceil log2 9)", r9.Steps)
+	}
+}
+
+func TestTreeBeatsRingOnLatencyBoundPayloads(t *testing.T) {
+	// Tiny payload, many workers: latency dominates, tree's log steps win.
+	tiny := units.Bits(8)
+	ring := RingAllReduce(64, tiny, testLink)
+	tree := TreeAllReduce(64, tiny, testLink)
+	if tree.Time >= ring.Time {
+		t.Errorf("tree %v not faster than ring %v for latency-bound payload", tree.Time, ring.Time)
+	}
+	// Huge payload: ring's 1/n chunks win.
+	huge := units.Bits(1e12)
+	ring = RingAllReduce(64, huge, testLink)
+	tree = TreeAllReduce(64, huge, testLink)
+	if ring.Time >= tree.Time {
+		t.Errorf("ring %v not faster than tree %v for bandwidth-bound payload", ring.Time, tree.Time)
+	}
+}
+
+func TestChain(t *testing.T) {
+	r := Chain(3, 1e8, testLink)
+	want := 3 * (1e-6 + 1e8/1e11)
+	if math.Abs(float64(r.Time)-want) > 1e-12 {
+		t.Errorf("chain time = %v, want %v", r.Time, want)
+	}
+	if r.Steps != 3 {
+		t.Errorf("chain steps = %d", r.Steps)
+	}
+	if got := Chain(0, 1e8, testLink); got.Time != 0 {
+		t.Errorf("zero-hop chain = %v", got)
+	}
+}
+
+func TestHierarchicalAllReduce(t *testing.T) {
+	intra := hardware.NVLinkA100()
+	inter := hardware.InfinibandHDR()
+	payload := units.Bits(1e9)
+	h := HierarchicalAllReduce(8, 16, payload, intra, inter)
+	a := RingAllReduce(8, payload, intra)
+	b := RingAllReduce(16, payload, inter)
+	if h.Time != a.Time+b.Time {
+		t.Errorf("hierarchical time %v != %v + %v", h.Time, a.Time, b.Time)
+	}
+	if h.Steps != a.Steps+b.Steps {
+		t.Errorf("hierarchical steps %d", h.Steps)
+	}
+	// Hierarchy beats a flat inter-node ring over all workers when the
+	// intra link is much faster — the reason Eq. 10 assumes it.
+	flat := RingAllReduce(128, payload, inter)
+	if h.Time >= flat.Time {
+		t.Errorf("hierarchical %v not faster than flat %v", h.Time, flat.Time)
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	if r := RingAllReduce(1, 1e9, testLink); r.Time != 0 || r.Steps != 0 {
+		t.Errorf("n=1 ring = %+v", r)
+	}
+	if r := PairwiseAllToAll(1, 1e9, testLink); r.Time != 0 {
+		t.Errorf("n=1 all-to-all = %+v", r)
+	}
+	if r := TreeAllReduce(0, 1e9, testLink); r.Time != 0 {
+		t.Errorf("n=0 tree = %+v", r)
+	}
+	if got := (Result{}).EffectiveFactor(0); got != 0 {
+		t.Errorf("zero-payload factor = %v", got)
+	}
+}
+
+func TestMonotoneInPayload(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lo := units.Bits(min32(a, b))
+		hi := units.Bits(max32(a, b))
+		return RingAllReduce(8, lo, testLink).Time <= RingAllReduce(8, hi, testLink).Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestResultString(t *testing.T) {
+	s := RingAllReduce(4, 1e9, testLink).String()
+	if !strings.Contains(s, "steps") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAllGatherHalfOfAllReduce(t *testing.T) {
+	// Ring all-reduce = reduce-scatter + all-gather: the parts must sum to
+	// the whole, in both time and per-worker volume.
+	payload := units.Bits(1e9)
+	for _, n := range []int{2, 8, 64} {
+		ar := RingAllReduce(n, payload, testLink)
+		ag := AllGather(n, payload, testLink)
+		rs := ReduceScatter(n, payload, testLink)
+		if got, want := float64(ag.Time+rs.Time), float64(ar.Time); math.Abs(got-want) > 1e-12*want {
+			t.Errorf("n=%d: AG+RS time %v != AR time %v", n, got, want)
+		}
+		if got, want := float64(ag.BitsPerWorker), float64(ar.BitsPerWorker)/2; math.Abs(got-want) > 1e-6*want {
+			t.Errorf("n=%d: AG volume %v != AR/2 %v", n, got, want)
+		}
+	}
+}
+
+func TestZeRO3OverheadDerivation(t *testing.T) {
+	// The model's ZeROOverheadForStage(3) = 0.5 comes from this identity:
+	// stage 3 adds one forward all-gather on top of the reduce-scatter +
+	// all-gather pair, i.e. +50% traffic.
+	payload := units.Bits(4e9)
+	n := 16
+	plain := AllGather(n, payload, testLink).BitsPerWorker +
+		ReduceScatter(n, payload, testLink).BitsPerWorker
+	extra := AllGather(n, payload, testLink).BitsPerWorker
+	if got := float64(extra) / float64(plain); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("stage-3 extra traffic ratio = %v, want 0.5", got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	r := Broadcast(8, 1e8, testLink)
+	if r.Steps != 3 {
+		t.Errorf("broadcast steps = %d, want log2(8)", r.Steps)
+	}
+	want := 3 * (1e-6 + 1e8/1e11)
+	if math.Abs(float64(r.Time)-want) > 1e-12 {
+		t.Errorf("broadcast time = %v, want %v", r.Time, want)
+	}
+	if z := Broadcast(1, 1e8, testLink); z.Time != 0 {
+		t.Errorf("1-worker broadcast = %+v", z)
+	}
+}

@@ -1,0 +1,317 @@
+package config
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amped/internal/transformer"
+)
+
+const sampleDoc = `{
+  "model": {"preset": "megatron-145b"},
+  "system": {
+    "name": "cs1",
+    "accelerator": {"preset": "a100"},
+    "nodes": 128,
+    "accels_per_node": 8,
+    "intra": {"name": "nvlink", "latency_s": 2e-6, "bandwidth_bps": "2.4T"},
+    "inter": {"name": "hdr", "latency_s": 5e-6, "bandwidth_bps": "200G"}
+  },
+  "mapping": {"tp_intra": 8, "pp_inter": 2, "dp_inter": 64},
+  "training": {"global_batch": 8192, "microbatches": 64}
+}`
+
+func TestParseAndResolve(t *testing.T) {
+	doc, err := Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Model.Name != "Megatron 145B" {
+		t.Errorf("model = %q", est.Model.Name)
+	}
+	if est.System.TotalAccelerators() != 1024 {
+		t.Errorf("accelerators = %d", est.System.TotalAccelerators())
+	}
+	if got := float64(est.System.Intra.Bandwidth); got != 2.4e12 {
+		t.Errorf("intra bandwidth = %v", got)
+	}
+	if est.Mapping.TP() != 8 || est.Mapping.PP() != 2 || est.Mapping.DP() != 64 {
+		t.Errorf("mapping = %v", est.Mapping)
+	}
+	b, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PerBatch() <= 0 {
+		t.Error("non-positive per-batch time")
+	}
+}
+
+func TestQuantityForms(t *testing.T) {
+	var q Quantity
+	if err := q.UnmarshalJSON([]byte(`123.5`)); err != nil || q != 123.5 {
+		t.Errorf("number quantity = %v, %v", q, err)
+	}
+	if err := q.UnmarshalJSON([]byte(`"2.4T"`)); err != nil || q != 2.4e12 {
+		t.Errorf("string quantity = %v, %v", q, err)
+	}
+	if err := q.UnmarshalJSON([]byte(`"32GiB"`)); err != nil || math.Abs(float64(q)-32*(1<<30)) > 1 {
+		t.Errorf("binary quantity = %v, %v", q, err)
+	}
+	if err := q.UnmarshalJSON([]byte(`true`)); err == nil {
+		t.Error("bool quantity accepted")
+	}
+	if err := q.UnmarshalJSON([]byte(`"abc"`)); err == nil {
+		t.Error("junk quantity accepted")
+	}
+	out, err := Quantity(5).MarshalJSON()
+	if err != nil || string(out) != "5" {
+		t.Errorf("MarshalJSON = %s, %v", out, err)
+	}
+}
+
+func TestModelOverrides(t *testing.T) {
+	m := Model{Preset: "mingpt", Layers: 24, Name: "minGPT-deep"}
+	r, err := m.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Layers != 24 || r.Hidden != 768 || r.Name != "minGPT-deep" {
+		t.Errorf("resolved = %+v", r)
+	}
+	// From-scratch definition without preset.
+	scratch := Model{Name: "tiny", Layers: 2, Hidden: 64, Heads: 4, SeqLen: 32, Vocab: 100}
+	r2, err := scratch.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.FFNRatio != 4 {
+		t.Errorf("scratch FFN ratio = %v, want default 4", r2.FFNRatio)
+	}
+	if _, err := (Model{Preset: "nope"}).Resolve(); err == nil {
+		t.Error("bad preset accepted")
+	}
+	if _, err := (Model{Layers: 1}).Resolve(); err == nil {
+		t.Error("incomplete scratch model accepted")
+	}
+}
+
+func TestAcceleratorOverrides(t *testing.T) {
+	doc, err := Parse([]byte(strings.Replace(sampleDoc,
+		`{"preset": "a100"}`,
+		`{"preset": "a100", "freq_hz": "1.5G", "cores": 120}`, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(est.System.Accel.Freq); got != 1.5e9 {
+		t.Errorf("freq = %v", got)
+	}
+	if est.System.Accel.Cores != 120 {
+		t.Errorf("cores = %d", est.System.Accel.Cores)
+	}
+	// Untouched fields keep the preset.
+	if est.System.Accel.MACWidth != 256 {
+		t.Errorf("mac width = %d", est.System.Accel.MACWidth)
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	bad := strings.Replace(sampleDoc, `"global_batch": 8192`, `"global_batch": 8192, "typo_knob": 1`, 1)
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestMissingBatchRejected(t *testing.T) {
+	bad := strings.Replace(sampleDoc, `"global_batch": 8192, `, ``, 1)
+	if _, err := Parse([]byte(bad)); err == nil {
+		t.Error("missing global batch accepted")
+	}
+}
+
+func TestEfficiencySelection(t *testing.T) {
+	withEff := func(frag string) (*Document, error) {
+		s := strings.Replace(sampleDoc, `"microbatches": 64`, `"microbatches": 64, `+frag, 1)
+		return Parse([]byte(s))
+	}
+	doc, err := withEff(`"fixed_efficiency": 0.55`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Eff.Eff(1); got != 0.55 {
+		t.Errorf("fixed eff = %v", got)
+	}
+	doc, err = withEff(`"eff_asymptote": 0.9, "eff_half_point": 28, "eff_floor": 0.25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err = doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Eff.Eff(28); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("saturating eff(28) = %v", got)
+	}
+	if doc, err = withEff(`"fixed_efficiency": 1.5`); err == nil {
+		if _, err := doc.Estimator(); err == nil {
+			t.Error("fixed eff > 1 accepted")
+		}
+	}
+	if doc, err = withEff(`"eff_asymptote": 2, "eff_half_point": 28`); err == nil {
+		if _, err := doc.Estimator(); err == nil {
+			t.Error("asymptote > 1 accepted")
+		}
+	}
+}
+
+func TestPrecisionOverrides(t *testing.T) {
+	s := strings.Replace(sampleDoc, `"microbatches": 64`,
+		`"microbatches": 64, "param_bits": 8, "act_bits": 8, "grad_bits": 16`, 1)
+	doc, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := est.Training.Operands
+	if op.Param != 8 || op.Act != 8 || op.Grad != 16 {
+		t.Errorf("operands = %+v", op)
+	}
+	if op.Nonlin != 32 {
+		t.Errorf("nonlin kept default fp32, got %v", op.Nonlin)
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	doc, err := Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "point.json")
+	if err := Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mapping != doc.Mapping || back.Training != doc.Training {
+		t.Error("round trip changed mapping/training")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := Save(path, nil); err == nil {
+		t.Error("nil doc saved")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+func TestEstimatorValidationSurface(t *testing.T) {
+	// A mapping that does not tile the system must fail at Estimator().
+	s := strings.Replace(sampleDoc, `"tp_intra": 8, "pp_inter": 2, "dp_inter": 64`,
+		`"tp_intra": 4, "dp_inter": 64`, 1)
+	doc, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Estimator(); err == nil {
+		t.Error("non-tiling mapping accepted")
+	}
+}
+
+func TestAttentionVariantConfig(t *testing.T) {
+	s := strings.Replace(sampleDoc, `{"preset": "megatron-145b"}`,
+		`{"preset": "megatron-145b", "kv_heads": 8, "window": 1024}`, 1)
+	doc, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(est.Model.Name, "GQA8") || !strings.Contains(est.Model.Name, "SW1024") {
+		t.Errorf("variant not applied: %q", est.Model.Name)
+	}
+	base, _ := transformer.Preset("megatron-145b")
+	if est.Model.LayerParams(0) >= base.LayerParams(0) {
+		t.Error("GQA config did not shrink params")
+	}
+	// Invalid variant surfaces at Resolve.
+	bad := strings.Replace(sampleDoc, `{"preset": "megatron-145b"}`,
+		`{"preset": "megatron-145b", "kv_heads": 7}`, 1)
+	doc, err = Parse([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Estimator(); err == nil {
+		t.Error("non-divisor KV heads accepted")
+	}
+}
+
+func TestCommOverlapConfig(t *testing.T) {
+	s := strings.Replace(sampleDoc, `"microbatches": 64`,
+		`"microbatches": 64, "comm_overlap": 0.8`, 1)
+	doc, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Training.CommOverlap != 0.8 {
+		t.Errorf("comm overlap = %v", est.Training.CommOverlap)
+	}
+	bad := strings.Replace(sampleDoc, `"microbatches": 64`,
+		`"microbatches": 64, "comm_overlap": 1.5`, 1)
+	doc, err = Parse([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Estimator(); err == nil {
+		t.Error("overlap > 1 accepted")
+	}
+}
+
+func TestOversubscriptionConfig(t *testing.T) {
+	s := strings.Replace(sampleDoc, `"nodes": 128,`, `"nodes": 128, "oversubscription": 2,`, 1)
+	doc, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.System.Oversubscription != 2 {
+		t.Errorf("oversubscription = %v", est.System.Oversubscription)
+	}
+	half := float64(est.System.Inter.Bandwidth) / 2
+	if got := float64(est.System.EffectiveInterBW()); math.Abs(got-half) > 1e-6*half {
+		t.Errorf("effective BW = %v, want %v", got, half)
+	}
+}

@@ -1,0 +1,34 @@
+package config
+
+import "testing"
+
+// FuzzParse checks that arbitrary bytes never panic the config parser, and
+// that any document it accepts either resolves into a runnable estimator
+// or fails with an error — never a panic or a nil result.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleDoc))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"training":{"global_batch":1}}`))
+	f.Add([]byte(`{"model":{"preset":"mingpt"},"training":{"global_batch":-3}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if doc == nil {
+			t.Fatal("Parse returned nil document without error")
+		}
+		est, err := doc.Estimator()
+		if err != nil {
+			return
+		}
+		if est == nil {
+			t.Fatal("Estimator returned nil without error")
+		}
+		if _, err := est.Evaluate(); err == nil {
+			// A fully-valid fuzzed document must produce a finite result;
+			// Evaluate already guards non-finite internally.
+			return
+		}
+	})
+}

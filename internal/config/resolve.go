@@ -1,0 +1,91 @@
+package config
+
+import (
+	"fmt"
+
+	"amped/internal/efficiency"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+)
+
+// resolveTraining maps the JSON recipe onto the model's Training knobs.
+func (t Training) resolveTraining() (model.Training, error) {
+	operands := precision.Mixed16()
+	overrideBits := func(dst *precision.Precision, v int) {
+		if v != 0 {
+			*dst = precision.Precision(v)
+		}
+	}
+	overrideBits(&operands.Param, t.ParamBits)
+	overrideBits(&operands.Act, t.ActBits)
+	overrideBits(&operands.Nonlin, t.NonlinBits)
+	overrideBits(&operands.Grad, t.GradBits)
+	out := model.Training{
+		Batch: parallel.Batch{
+			Global:       t.GlobalBatch,
+			Microbatches: t.Microbatches,
+		},
+		NumBatches:       t.NumBatches,
+		BubbleRatio:      t.BubbleRatio,
+		ZeROOverhead:     t.ZeROOverhead,
+		CommOverlap:      t.CommOverlap,
+		Operands:         operands,
+		IncludeEmbedding: t.IncludeEmbed,
+	}
+	if err := out.Validate(); err != nil {
+		return model.Training{}, err
+	}
+	return out, nil
+}
+
+// resolveEff builds the efficiency model the recipe selects: a fixed value
+// takes precedence; otherwise explicit saturating parameters; otherwise the
+// library default.
+func (t Training) resolveEff() (efficiency.Model, error) {
+	if t.FixedEff != 0 {
+		if t.FixedEff < 0 || t.FixedEff > 1 {
+			return nil, fmt.Errorf("config: fixed_efficiency %v outside (0,1]", t.FixedEff)
+		}
+		return efficiency.Fixed(t.FixedEff), nil
+	}
+	if t.EffAsymptote != 0 || t.EffHalfPoint != 0 {
+		s := efficiency.Saturating{A: t.EffAsymptote, B: t.EffHalfPoint, Floor: t.EffFloor}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return efficiency.Default(), nil
+}
+
+// Estimator resolves the whole document into a ready-to-run estimator.
+func (d *Document) Estimator() (*model.Estimator, error) {
+	m, err := d.Model.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := d.System.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := d.Training.resolveTraining()
+	if err != nil {
+		return nil, err
+	}
+	eff, err := d.Training.resolveEff()
+	if err != nil {
+		return nil, err
+	}
+	est := &model.Estimator{
+		Model:    &m,
+		System:   &sys,
+		Mapping:  d.Mapping.Resolve(),
+		Training: tr,
+		Eff:      eff,
+	}
+	if err := est.Validate(); err != nil {
+		return nil, err
+	}
+	return est, nil
+}

@@ -1,0 +1,83 @@
+// Package cost converts the model's training-time predictions into money:
+// cloud rental cost at a per-accelerator-hour price, and the electricity
+// bill of the energy estimate. It closes the loop on the paper's
+// motivation — "executing these long-running experiments on cloud-hosted
+// systems is costly because users are billed per hour" — by making the
+// bill itself a model output.
+package cost
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/model"
+	"amped/internal/power"
+)
+
+// Rates carries the pricing inputs.
+type Rates struct {
+	// AcceleratorHourUSD is the rental price of one accelerator-hour
+	// (e.g. ~4 USD for cloud A100s at the time of the paper).
+	AcceleratorHourUSD float64
+	// ElectricityUSDPerMWh prices the energy estimate (0 = skip).
+	ElectricityUSDPerMWh float64
+}
+
+// Validate checks the pricing inputs.
+func (r Rates) Validate() error {
+	if r.AcceleratorHourUSD < 0 || r.ElectricityUSDPerMWh < 0 {
+		return errors.New("cost: negative rates")
+	}
+	if r.AcceleratorHourUSD == 0 && r.ElectricityUSDPerMWh == 0 {
+		return errors.New("cost: no rates set")
+	}
+	return nil
+}
+
+// Bill is the priced training run.
+type Bill struct {
+	// RentalUSD is accelerator-hours x price.
+	RentalUSD float64
+	// EnergyUSD is megawatt-hours x price.
+	EnergyUSD float64
+	// AcceleratorHours is the resource consumption the rental line prices.
+	AcceleratorHours float64
+}
+
+// Total sums the bill.
+func (b Bill) Total() float64 { return b.RentalUSD + b.EnergyUSD }
+
+// String renders the bill.
+func (b Bill) String() string {
+	return fmt.Sprintf("$%.0f (rental $%.0f for %.0f accel-hours, energy $%.0f)",
+		b.Total(), b.RentalUSD, b.AcceleratorHours, b.EnergyUSD)
+}
+
+// Price computes the bill for an evaluated training run. The energy line
+// requires an energy estimate (pass the zero value to price rental only).
+func Price(bd *model.Breakdown, en power.Estimate, rates Rates) (Bill, error) {
+	if bd == nil {
+		return Bill{}, errors.New("cost: nil breakdown")
+	}
+	if err := rates.Validate(); err != nil {
+		return Bill{}, err
+	}
+	hours := bd.TotalTime().Hours() * float64(bd.Workers)
+	return Bill{
+		RentalUSD:        hours * rates.AcceleratorHourUSD,
+		EnergyUSD:        en.MWh() * rates.ElectricityUSDPerMWh,
+		AcceleratorHours: hours,
+	}, nil
+}
+
+// CarbonKg converts an energy estimate into kilograms of CO2-equivalent at
+// the given grid intensity (gCO2e per kWh; ~380 for the 2023 world average,
+// ~50 for a hydro-heavy grid). It quantifies the sustainability argument of
+// the paper's introduction.
+func CarbonKg(en power.Estimate, gramsPerKWh float64) (float64, error) {
+	if gramsPerKWh < 0 {
+		return 0, errors.New("cost: negative grid intensity")
+	}
+	kwh := en.MWh() * 1000
+	return kwh * gramsPerKWh / 1000, nil
+}

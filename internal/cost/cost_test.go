@@ -1,0 +1,116 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/power"
+	"amped/internal/transformer"
+)
+
+func breakdown(t *testing.T) (*model.Breakdown, *hardware.System) {
+	t.Helper()
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	est := model.Estimator{
+		Model: &m, System: &sys,
+		Mapping: parallel.Mapping{TPIntra: 8, DPInter: 128},
+		Training: model.Training{
+			Batch:      parallel.Batch{Global: 8192, Microbatches: 1},
+			NumBatches: 17880,
+		},
+	}
+	bd, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bd, &sys
+}
+
+func TestPriceRental(t *testing.T) {
+	bd, _ := breakdown(t)
+	bill, err := Price(bd, power.Estimate{}, Rates{AcceleratorHourUSD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHours := bd.TotalTime().Hours() * 1024
+	if math.Abs(bill.AcceleratorHours-wantHours) > 1e-6*wantHours {
+		t.Errorf("accel-hours = %v, want %v", bill.AcceleratorHours, wantHours)
+	}
+	if math.Abs(bill.RentalUSD-4*wantHours) > 1e-6*bill.RentalUSD {
+		t.Errorf("rental = %v", bill.RentalUSD)
+	}
+	// The paper's motivating scale: GPT-3-class runs cost millions; a
+	// 145B run on 1024 A100s for ~19 days at $4/hr lands in that regime.
+	if bill.RentalUSD < 1e6 || bill.RentalUSD > 1e7 {
+		t.Errorf("rental $%.0f outside the expected millions scale", bill.RentalUSD)
+	}
+	if bill.EnergyUSD != 0 {
+		t.Errorf("energy priced without a rate: %v", bill.EnergyUSD)
+	}
+	if !strings.Contains(bill.String(), "accel-hours") {
+		t.Errorf("String() = %q", bill.String())
+	}
+}
+
+func TestPriceEnergy(t *testing.T) {
+	bd, sys := breakdown(t)
+	en, err := power.FromBreakdown(bd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bill, err := Price(bd, en, Rates{ElectricityUSDPerMWh: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bill.EnergyUSD-en.MWh()*100) > 1e-9*bill.EnergyUSD {
+		t.Errorf("energy bill = %v", bill.EnergyUSD)
+	}
+	if bill.Total() != bill.RentalUSD+bill.EnergyUSD {
+		t.Error("Total mismatch")
+	}
+}
+
+func TestPriceErrors(t *testing.T) {
+	bd, _ := breakdown(t)
+	if _, err := Price(nil, power.Estimate{}, Rates{AcceleratorHourUSD: 1}); err == nil {
+		t.Error("nil breakdown accepted")
+	}
+	if _, err := Price(bd, power.Estimate{}, Rates{}); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := Price(bd, power.Estimate{}, Rates{AcceleratorHourUSD: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestCarbonKg(t *testing.T) {
+	bd, sys := breakdown(t)
+	en, err := power.FromBreakdown(bd, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg, err := CarbonKg(en, 380)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := en.MWh() * 1000 * 380 / 1000
+	if math.Abs(kg-want) > 1e-9*want {
+		t.Errorf("carbon = %v, want %v", kg, want)
+	}
+	// A ~19-day 1024-A100 run emits tens of tonnes at world-average grid
+	// intensity — the paper's sustainability motivation at its own scale.
+	if kg < 10e3 || kg > 200e3 {
+		t.Errorf("carbon = %.0f kg, outside the expected tens-of-tonnes scale", kg)
+	}
+	if zero, err := CarbonKg(en, 0); err != nil || zero != 0 {
+		t.Errorf("zero intensity = %v, %v", zero, err)
+	}
+	if _, err := CarbonKg(en, -1); err == nil {
+		t.Error("negative intensity accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package efficiency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSaturatingBasics(t *testing.T) {
+	s := Saturating{A: 0.9, B: 28}
+	if got := s.Eff(28); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("Eff at half-saturation = %v, want 0.45", got)
+	}
+	if got := s.Eff(1e12); math.Abs(got-0.9) > 1e-6 {
+		t.Errorf("asymptote = %v, want ~0.9", got)
+	}
+	if got := s.Eff(0); got != 1e-9 {
+		t.Errorf("Eff(0) without floor = %v, want epsilon", got)
+	}
+}
+
+func TestFloorClamp(t *testing.T) {
+	s := Default()
+	if got := s.Eff(1); got != 0.25 {
+		t.Errorf("Eff(1) = %v, want floor 0.25", got)
+	}
+	if got := s.Eff(0); got != 0.25 {
+		t.Errorf("Eff(0) = %v, want floor 0.25", got)
+	}
+	// Above the floor the curve takes over.
+	if got := s.Eff(128); got <= 0.25 || got >= 0.9 {
+		t.Errorf("Eff(128) = %v, want in (0.25, 0.9)", got)
+	}
+}
+
+func TestDefaultCalibration(t *testing.T) {
+	// The paper narrative this repo calibrates to: ~30% at ub=16 (§VI-B
+	// quotes "approx. 31%"), ~70-80% at per-replica batch 128 (§VI-C).
+	d := Default()
+	if got := d.Eff(16); got < 0.27 || got > 0.36 {
+		t.Errorf("Eff(16) = %v, want ~0.31", got)
+	}
+	if got := d.Eff(128); got < 0.68 || got > 0.82 {
+		t.Errorf("Eff(128) = %v, want ~0.75", got)
+	}
+}
+
+func TestSaturatingMonotone(t *testing.T) {
+	s := Default()
+	f := func(a, b float64) bool {
+		x, y := math.Abs(a), math.Abs(b)
+		if math.IsNaN(x) || math.IsNaN(y) || x > 1e12 || y > 1e12 {
+			return true // microbatch sizes beyond any real batch
+		}
+		lo, hi := math.Min(x, y), math.Max(x, y)
+		el, eh := s.Eff(lo), s.Eff(hi)
+		return el <= eh && el >= 0.25 && eh <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturatingValidate(t *testing.T) {
+	cases := []struct {
+		s  Saturating
+		ok bool
+	}{
+		{Default(), true},
+		{Saturating{A: 0, B: 1}, false},
+		{Saturating{A: 1.5, B: 1}, false},
+		{Saturating{A: 0.5, B: 0}, false},
+		{Saturating{A: 0.5, B: 1, Floor: -0.1}, false},
+		{Saturating{A: 0.5, B: 1, Floor: 1.1}, false},
+		{Saturating{A: 1, B: 100, Floor: 1}, true},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.s, err, c.ok)
+		}
+	}
+	if s := Default().String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestFixed(t *testing.T) {
+	if got := Fixed(0.62).Eff(999); got != 0.62 {
+		t.Errorf("Fixed eff = %v", got)
+	}
+	if got := Fixed(0).Eff(1); got != 1e-9 {
+		t.Errorf("Fixed(0) = %v, want epsilon", got)
+	}
+	if got := Fixed(2).Eff(1); got != 1 {
+		t.Errorf("Fixed(2) = %v, want clamp to 1", got)
+	}
+}
+
+func TestFitRecoversKnownCurve(t *testing.T) {
+	truth := Saturating{A: 0.85, B: 12}
+	var pts []Point
+	for _, ub := range []float64{1, 2, 4, 8, 16, 32, 64, 128} {
+		pts = append(pts, Point{UB: ub, Eff: truth.Eff(ub)})
+	}
+	got, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-truth.A) > 0.01 {
+		t.Errorf("fitted A = %v, want %v", got.A, truth.A)
+	}
+	if math.Abs(got.B-truth.B)/truth.B > 0.05 {
+		t.Errorf("fitted B = %v, want %v", got.B, truth.B)
+	}
+}
+
+func TestFitNoisy(t *testing.T) {
+	truth := Saturating{A: 0.8, B: 20}
+	// Deterministic +/-2% alternating noise.
+	var pts []Point
+	sign := 1.0
+	for _, ub := range []float64{2, 5, 10, 20, 40, 80, 160} {
+		pts = append(pts, Point{UB: ub, Eff: truth.Eff(ub) * (1 + 0.02*sign)})
+		sign = -sign
+	}
+	got, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ub := range []float64{3, 30, 300} {
+		if math.Abs(got.Eff(ub)-truth.Eff(ub)) > 0.05 {
+			t.Errorf("fit at ub=%v: %v vs truth %v", ub, got.Eff(ub), truth.Eff(ub))
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := Fit([]Point{{UB: 1, Eff: 0.5}}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Fit([]Point{{UB: 4, Eff: 0.5}, {UB: 4, Eff: 0.6}}); err == nil {
+		t.Error("single distinct ub accepted")
+	}
+	if _, err := Fit([]Point{{UB: -1, Eff: 0.5}, {UB: 2, Eff: 0.6}}); err == nil {
+		t.Error("negative ub accepted")
+	}
+	if _, err := Fit([]Point{{UB: 1, Eff: 1.5}, {UB: 2, Eff: 0.6}}); err == nil {
+		t.Error("eff > 1 accepted")
+	}
+}
+
+func TestTableInterpolation(t *testing.T) {
+	tab, err := NewTable([]Point{{UB: 10, Eff: 0.5}, {UB: 1, Eff: 0.1}, {UB: 100, Eff: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Eff(0.5); got != 0.1 {
+		t.Errorf("below-range clamp = %v, want 0.1", got)
+	}
+	if got := tab.Eff(1000); got != 0.9 {
+		t.Errorf("above-range clamp = %v, want 0.9", got)
+	}
+	if got := tab.Eff(5.5); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("midpoint = %v, want 0.3", got)
+	}
+	if got := tab.Eff(10); got != 0.5 {
+		t.Errorf("exact point = %v, want 0.5", got)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	if _, err := NewTable(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := NewTable([]Point{{UB: 1, Eff: 0.5}, {UB: 1, Eff: 0.7}}); err == nil {
+		t.Error("duplicate ub accepted")
+	}
+	if _, err := NewTable([]Point{{UB: 0, Eff: 0.5}}); err == nil {
+		t.Error("zero ub accepted")
+	}
+	if _, err := NewTable([]Point{{UB: 1, Eff: 0}}); err == nil {
+		t.Error("zero eff accepted")
+	}
+}
+
+func TestTableMonotoneWhenInputMonotone(t *testing.T) {
+	tab, err := NewTable([]Point{{1, 0.1}, {4, 0.3}, {16, 0.6}, {64, 0.85}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for ub := 0.5; ub < 200; ub *= 1.3 {
+		e := tab.Eff(ub)
+		if e < prev {
+			t.Fatalf("table interpolation not monotone at ub=%v", ub)
+		}
+		prev = e
+	}
+}

@@ -1,0 +1,115 @@
+package efficiency
+
+import (
+	"fmt"
+	"math"
+)
+
+// Roofline is a first-principles microbatch-efficiency predictor — the
+// "predictive model for eff(ub)" the paper leaves as future work. Instead
+// of fitting a·ub/(b+ub) to measurements, it derives utilization from the
+// accelerator's compute/memory roofline plus a fixed per-kernel overhead,
+// evaluated on the transformer layer's dominant GEMM:
+//
+//	M = ub·s tokens,  K = h,  N = h / TPShard
+//	t_compute = M·K·N / PeakMACs
+//	t_memory  = (M·K + K·N + M·N) · BytesPerElem / MemBW
+//	t_total   = max(t_compute, t_memory) + KernelOverhead
+//	eff(ub)   = MaxEff · t_compute / t_total
+//
+// Small microbatches are memory- and launch-bound (the weight tile K·N
+// must stream regardless of M), so efficiency rises with ub and saturates
+// at MaxEff — reproducing the empirical saturating shape from hardware
+// parameters alone.
+type Roofline struct {
+	// PeakMACs is the accelerator's peak MAC throughput (MACs/s).
+	PeakMACs float64
+	// MemBW is the device memory bandwidth in bytes/s.
+	MemBW float64
+	// Hidden is h and SeqLen is s of the workload.
+	Hidden, SeqLen int
+	// TPShard divides the weight matrix across tensor-parallel workers
+	// (smaller local GEMMs saturate later). Zero means 1.
+	TPShard int
+	// BytesPerElem is the operand size (2 for FP16). Zero means 2.
+	BytesPerElem float64
+	// KernelOverhead is the fixed launch/synchronization cost charged per
+	// GEMM invocation. Zero means 5 µs.
+	KernelOverhead float64
+	// MaxEff is the asymptotic utilization (imperfect tiling, non-GEMM
+	// work). Zero means 0.9.
+	MaxEff float64
+}
+
+// withDefaults fills the zero-valued knobs.
+func (r Roofline) withDefaults() Roofline {
+	if r.TPShard <= 0 {
+		r.TPShard = 1
+	}
+	if r.BytesPerElem <= 0 {
+		r.BytesPerElem = 2
+	}
+	if r.KernelOverhead <= 0 {
+		r.KernelOverhead = 5e-6
+	}
+	if r.MaxEff <= 0 {
+		r.MaxEff = 0.9
+	}
+	return r
+}
+
+// Validate checks the physical parameters.
+func (r Roofline) Validate() error {
+	d := r.withDefaults()
+	switch {
+	case d.PeakMACs <= 0:
+		return fmt.Errorf("efficiency: roofline peak %g must be positive", d.PeakMACs)
+	case d.MemBW <= 0:
+		return fmt.Errorf("efficiency: roofline memory bandwidth %g must be positive", d.MemBW)
+	case d.Hidden <= 0 || d.SeqLen <= 0:
+		return fmt.Errorf("efficiency: roofline needs positive hidden (%d) and seq (%d)", d.Hidden, d.SeqLen)
+	case d.MaxEff > 1:
+		return fmt.Errorf("efficiency: roofline max efficiency %g above 1", d.MaxEff)
+	}
+	return nil
+}
+
+// Eff implements Model.
+func (r Roofline) Eff(ub float64) float64 {
+	d := r.withDefaults()
+	if ub <= 0 || d.PeakMACs <= 0 || d.MemBW <= 0 {
+		return 1e-9
+	}
+	m := ub * float64(d.SeqLen)
+	k := float64(d.Hidden)
+	n := k / float64(d.TPShard)
+	compute := m * k * n / d.PeakMACs
+	memory := (m*k + k*n + m*n) * d.BytesPerElem / d.MemBW
+	total := math.Max(compute, memory) + d.KernelOverhead
+	e := d.MaxEff * compute / total
+	if e <= 0 {
+		return 1e-9
+	}
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
+// HalfSaturation returns the microbatch size at which the predictor
+// reaches half of MaxEff — the analogue of the fitted curve's B parameter,
+// useful for comparing a derived roofline against a measured fit.
+func (r Roofline) HalfSaturation() float64 {
+	d := r.withDefaults()
+	target := d.MaxEff / 2
+	lo, hi := 1e-6, 1e9
+	for i := 0; i < 200 && hi/lo > 1+1e-12; i++ {
+		mid := math.Sqrt(lo * hi)
+		if d.Eff(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}

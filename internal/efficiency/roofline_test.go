@@ -1,0 +1,159 @@
+package efficiency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// a100Roofline is an A100-class roofline for a Megatron-145B-shaped layer.
+func a100Roofline() Roofline {
+	return Roofline{
+		PeakMACs: 1.56e14,  // 312 TFLOP/s FP16
+		MemBW:    2.039e12, // 2039 GB/s
+		Hidden:   12288,
+		SeqLen:   2048,
+		TPShard:  8,
+	}
+}
+
+func TestRooflineMonotoneSaturating(t *testing.T) {
+	r := a100Roofline()
+	prev := 0.0
+	for ub := 0.001; ub < 1e5; ub *= 2 {
+		e := r.Eff(ub)
+		if e < prev-1e-12 {
+			t.Fatalf("not monotone at ub=%v: %v < %v", ub, e, prev)
+		}
+		if e <= 0 || e > 0.9 {
+			t.Fatalf("eff(%v) = %v outside (0, MaxEff]", ub, e)
+		}
+		prev = e
+	}
+	if asym := r.Eff(1e9); math.Abs(asym-0.9) > 0.01 {
+		t.Errorf("asymptote = %v, want ~MaxEff 0.9", asym)
+	}
+}
+
+func TestRooflineDefaults(t *testing.T) {
+	r := Roofline{PeakMACs: 1e14, MemBW: 2e12, Hidden: 1024, SeqLen: 512}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Eff(0); got != 1e-9 {
+		t.Errorf("Eff(0) = %v, want epsilon", got)
+	}
+	if got := r.Eff(-1); got != 1e-9 {
+		t.Errorf("Eff(-1) = %v", got)
+	}
+}
+
+func TestRooflineValidate(t *testing.T) {
+	bad := []Roofline{
+		{PeakMACs: 0, MemBW: 1, Hidden: 8, SeqLen: 8},
+		{PeakMACs: 1, MemBW: 0, Hidden: 8, SeqLen: 8},
+		{PeakMACs: 1, MemBW: 1, Hidden: 0, SeqLen: 8},
+		{PeakMACs: 1, MemBW: 1, Hidden: 8, SeqLen: 0},
+		{PeakMACs: 1, MemBW: 1, Hidden: 8, SeqLen: 8, MaxEff: 1.5},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("roofline %d accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestRooflineTPShardDelaysSaturation(t *testing.T) {
+	// Sharding the weight tile across more TP workers shrinks the local
+	// GEMM, so the same microbatch utilizes the device less.
+	narrow := a100Roofline()
+	narrow.TPShard = 64
+	wide := a100Roofline()
+	wide.TPShard = 1
+	for _, ub := range []float64{0.01, 0.1, 1} {
+		if narrow.Eff(ub) >= wide.Eff(ub) {
+			t.Errorf("ub=%v: TP64 eff %v not below TP1 eff %v",
+				ub, narrow.Eff(ub), wide.Eff(ub))
+		}
+	}
+	if narrow.HalfSaturation() <= wide.HalfSaturation() {
+		t.Errorf("TP64 half-saturation %v not above TP1 %v",
+			narrow.HalfSaturation(), wide.HalfSaturation())
+	}
+}
+
+func TestRooflineBandwidthMatters(t *testing.T) {
+	// Unsharded weights keep the GEMM arithmetic intensity high enough
+	// that the compute-bound regime is reachable even at 1/10 bandwidth.
+	slow := a100Roofline()
+	slow.TPShard = 1
+	slow.MemBW /= 10
+	fast := a100Roofline()
+	fast.TPShard = 1
+	// At tiny microbatches the weight stream dominates: less bandwidth,
+	// less efficiency.
+	if slow.Eff(0.01) >= fast.Eff(0.01) {
+		t.Errorf("slow-memory eff %v not below fast %v", slow.Eff(0.01), fast.Eff(0.01))
+	}
+	// At huge microbatches both are compute-bound and equal.
+	if math.Abs(slow.Eff(1e7)-fast.Eff(1e7)) > 0.02 {
+		t.Errorf("compute-bound effs differ: %v vs %v", slow.Eff(1e7), fast.Eff(1e7))
+	}
+}
+
+func TestRooflineHalfSaturation(t *testing.T) {
+	r := a100Roofline()
+	half := r.HalfSaturation()
+	if half <= 0 {
+		t.Fatalf("half-saturation = %v", half)
+	}
+	if got := r.Eff(half); math.Abs(got-0.45) > 0.01 {
+		t.Errorf("eff at half-saturation = %v, want ~0.45", got)
+	}
+}
+
+func TestRooflineMatchesSaturatingShape(t *testing.T) {
+	// The derived curve should be well-approximated by the paper's
+	// empirical a·ub/(b+ub) form: fit one and compare across the range.
+	r := a100Roofline()
+	var pts []Point
+	for _, ub := range []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100} {
+		pts = append(pts, Point{UB: ub, Eff: r.Eff(ub)})
+	}
+	fit, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		// The roofline's max() kink is sharper than the smooth hyperbola,
+		// so allow a modest band around the crossover.
+		if math.Abs(fit.Eff(p.UB)-p.Eff) > 0.12 {
+			t.Errorf("fit deviates at ub=%v: roofline %v vs fit %v",
+				p.UB, p.Eff, fit.Eff(p.UB))
+		}
+	}
+}
+
+func TestRooflineImplementsModel(t *testing.T) {
+	var _ Model = Roofline{}
+	var _ Model = a100Roofline()
+}
+
+func TestRooflineProperty(t *testing.T) {
+	// Larger microbatch never reduces efficiency, whatever the shape.
+	f := func(h, s uint8, a, b float64) bool {
+		r := Roofline{
+			PeakMACs: 1e13, MemBW: 1e12,
+			Hidden: int(h)%64*64 + 64, SeqLen: int(s)%512 + 1,
+		}
+		x, y := math.Abs(a), math.Abs(b)
+		if math.IsNaN(x) || math.IsNaN(y) || x > 1e6 || y > 1e6 {
+			return true
+		}
+		lo, hi := math.Min(x, y), math.Max(x, y)
+		return r.Eff(lo) <= r.Eff(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var s Sim
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 3 {
+		t.Errorf("end time = %v, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndCascade(t *testing.T) {
+	var s Sim
+	var times []Time
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 3 || len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("end=%v times=%v", end, times)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var s Sim
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestLivelockGuard(t *testing.T) {
+	s := Sim{MaxEvents: 100}
+	var loop func()
+	loop = func() { s.After(0, loop) }
+	s.After(0, loop)
+	if _, err := s.Run(); err == nil {
+		t.Error("livelock not detected")
+	}
+}
+
+func TestResourceSerialization(t *testing.T) {
+	var s Sim
+	r := NewResource(&s, "gpu0", true)
+	var ends []Time
+	s.At(0, func() {
+		r.Acquire(5, "a", func() { ends = append(ends, s.Now()) })
+		r.Acquire(3, "b", func() { ends = append(ends, s.Now()) })
+	})
+	end, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 8 {
+		t.Errorf("end = %v, want 8 (5 then 3 serialized)", end)
+	}
+	if len(ends) != 2 || ends[0] != 5 || ends[1] != 8 {
+		t.Errorf("completion times = %v", ends)
+	}
+	if r.BusyTime() != 8 {
+		t.Errorf("busy = %v, want 8", r.BusyTime())
+	}
+	if got := r.Utilization(10); got != 0.8 {
+		t.Errorf("utilization = %v, want 0.8", got)
+	}
+	tr := r.Trace()
+	if len(tr) != 2 || tr[0].Label != "a" || tr[1].Start != 5 {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestResourceQueuesAcrossTime(t *testing.T) {
+	var s Sim
+	r := NewResource(&s, "link", false)
+	s.At(0, func() { r.Acquire(10, "x", nil) })
+	// Arrives at t=4 while busy until 10: runs 10..13.
+	s.At(4, func() {
+		if end := r.Acquire(3, "y", nil); end != 13 {
+			t.Errorf("queued end = %v, want 13", end)
+		}
+	})
+	// Arrives at t=20 when idle: runs immediately.
+	s.At(20, func() {
+		if end := r.Acquire(1, "z", nil); end != 21 {
+			t.Errorf("idle-start end = %v, want 21", end)
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Trace() != nil {
+		t.Error("trace recorded without keepTrace")
+	}
+}
+
+func TestUtilizationEdge(t *testing.T) {
+	var s Sim
+	r := NewResource(&s, "g", false)
+	if got := r.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v", got)
+	}
+	s.At(0, func() { r.Acquire(10, "", nil) })
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Utilization(5); got != 1 {
+		t.Errorf("over-horizon utilization = %v, want clamp to 1", got)
+	}
+}
+
+func TestNegativeAcquirePanics(t *testing.T) {
+	var s Sim
+	r := NewResource(&s, "g", false)
+	s.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative acquire did not panic")
+			}
+		}()
+		r.Acquire(-1, "", nil)
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	// Whatever the schedule, observed times are non-decreasing.
+	f := func(delays []uint16) bool {
+		var s Sim
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			d := Time(d)
+			s.After(d, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		_, err := s.Run()
+		return err == nil && ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package explore is AMPeD's design-space exploration engine: it sweeps
+// parallelism mappings and batch sizes over a scenario (model + system +
+// training recipe), evaluates every point with the analytical model
+// concurrently, filters memory-infeasible points, and ranks the survivors.
+// Case Studies I–III of the paper are thin drivers over this package.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/memkit"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// Scenario fixes everything a sweep does not vary.
+type Scenario struct {
+	// Name labels the sweep in reports.
+	Name string
+	// Model is the transformer architecture.
+	Model *transformer.Model
+	// System is the machine.
+	System *hardware.System
+	// Training carries the recipe knobs; Batch.Global and
+	// Batch.Microbatches are overridden per point.
+	Training model.Training
+	// Eff is the microbatch-efficiency model (nil = efficiency.Default).
+	Eff efficiency.Model
+	// Memory, when non-nil, enables the feasibility filter.
+	Memory *memkit.Config
+	// MemoryReserve is the fraction of device memory held back for
+	// framework overhead when filtering (e.g. 0.1).
+	MemoryReserve float64
+}
+
+// Options selects what the sweep varies.
+type Options struct {
+	// Mappings lists explicit mappings to evaluate. Empty means enumerate
+	// all mappings valid for the system via Enumerate.
+	Mappings []parallel.Mapping
+	// Enumerate configures the enumeration when Mappings is empty. MaxTP
+	// and MaxPP default to the model's head and layer counts.
+	Enumerate parallel.EnumerateOptions
+	// Batches lists the global batch sizes to sweep (required).
+	Batches []int
+	// MicrobatchTarget sets the preferred microbatch size; the sweep picks
+	// N_ub as the divisor of the per-replica batch nearest
+	// perReplica/target, at least the pipeline depth so the pipeline can
+	// fill. Zero keeps the scenario's Batch.Microbatches (or its default).
+	MicrobatchTarget int
+	// Concurrency bounds parallel evaluations (default: GOMAXPROCS).
+	Concurrency int
+	// KeepInvalid retains points whose evaluation failed (Err set) instead
+	// of dropping them.
+	KeepInvalid bool
+}
+
+// Point is one evaluated design point.
+type Point struct {
+	// Mapping and Batch identify the point.
+	Mapping parallel.Mapping
+	Batch   int
+	// Microbatches is the N_ub the sweep chose.
+	Microbatches int
+	// Breakdown is the model's output (nil if Err is set).
+	Breakdown *model.Breakdown
+	// Footprint is the per-accelerator memory estimate when the scenario
+	// enables the memory model.
+	Footprint *memkit.Footprint
+	// Fits reports the memory feasibility check (true when not checked).
+	Fits bool
+	// Err records an evaluation failure (invalid mapping/batch combos).
+	Err error
+}
+
+// String identifies the point.
+func (p Point) String() string {
+	return fmt.Sprintf("%v B=%d m=%d", p.Mapping, p.Batch, p.Microbatches)
+}
+
+// ChooseMicrobatches picks N_ub for a per-replica batch: the divisor of
+// perReplica closest to perReplica/target (i.e. microbatch size closest to
+// target), but at least the pipeline depth pp so every stage can be busy.
+// It returns perReplica itself (microbatch 1) when pp exceeds it.
+func ChooseMicrobatches(perReplica, pp, target int) int {
+	if perReplica <= 0 {
+		return 1
+	}
+	if pp > perReplica {
+		return perReplica
+	}
+	if target <= 0 {
+		target = 1
+	}
+	want := perReplica / target
+	if want < pp {
+		want = pp
+	}
+	best := perReplica
+	bestDist := perReplica
+	for d := 1; d <= perReplica; d++ {
+		if perReplica%d != 0 || d < pp {
+			continue
+		}
+		dist := d - want
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist < bestDist {
+			best, bestDist = d, dist
+		}
+	}
+	return best
+}
+
+// Sweep evaluates every (mapping, batch) combination and returns the points
+// in deterministic (mapping-major, batch-minor) order.
+func Sweep(sc Scenario, opt Options) ([]Point, error) {
+	if sc.Model == nil || sc.System == nil {
+		return nil, errors.New("explore: scenario needs a model and a system")
+	}
+	if len(opt.Batches) == 0 {
+		return nil, errors.New("explore: no batch sizes to sweep")
+	}
+	mappings := opt.Mappings
+	if len(mappings) == 0 {
+		en := opt.Enumerate
+		if en.MaxTP == 0 {
+			en.MaxTP = sc.Model.Heads
+		}
+		if en.MaxPP == 0 {
+			en.MaxPP = sc.Model.Layers
+		}
+		mappings = parallel.Enumerate(sc.System, en)
+	}
+	if len(mappings) == 0 {
+		return nil, errors.New("explore: no mappings to evaluate")
+	}
+	eff := sc.Eff
+	if eff == nil {
+		eff = efficiency.Default()
+	}
+
+	points := make([]Point, len(mappings)*len(opt.Batches))
+	idx := 0
+	for _, mp := range mappings {
+		for _, b := range opt.Batches {
+			points[idx] = Point{Mapping: mp, Batch: b, Fits: true}
+			idx++
+		}
+	}
+
+	workers := opt.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				evalPoint(&points[i], sc, opt, eff)
+			}
+		}()
+	}
+	for i := range points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	if !opt.KeepInvalid {
+		kept := points[:0]
+		for _, p := range points {
+			if p.Err == nil {
+				kept = append(kept, p)
+			}
+		}
+		points = kept
+	}
+	return points, nil
+}
+
+// evalPoint evaluates one sweep cell in place.
+func evalPoint(p *Point, sc Scenario, opt Options, eff efficiency.Model) {
+	tr := sc.Training
+	tr.Batch.Global = p.Batch
+	if opt.MicrobatchTarget > 0 {
+		per := p.Batch / p.Mapping.DP()
+		tr.Batch.Microbatches = ChooseMicrobatches(per, p.Mapping.PP(), opt.MicrobatchTarget)
+	}
+	p.Microbatches = tr.Batch.MicrobatchesOrDefault(p.Mapping)
+	est := model.Estimator{
+		Model:    sc.Model,
+		System:   sc.System,
+		Mapping:  p.Mapping,
+		Training: tr,
+		Eff:      eff,
+	}
+	bd, err := est.Evaluate()
+	if err != nil {
+		p.Err = err
+		return
+	}
+	p.Breakdown = bd
+	if sc.Memory != nil {
+		fp, err := memkit.Estimate(sc.Model, p.Mapping, tr.Batch, *sc.Memory)
+		if err != nil {
+			p.Err = err
+			return
+		}
+		p.Footprint = &fp
+		p.Fits = memkit.Fits(fp, sc.System.Accel, sc.MemoryReserve)
+	}
+}
+
+// SortByTime orders points fastest-first (infeasible and failed points
+// last), stable across equal times by the point's string identity.
+func SortByTime(points []Point) {
+	sort.SliceStable(points, func(i, j int) bool {
+		pi, pj := points[i], points[j]
+		oi, oj := pointOrder(pi), pointOrder(pj)
+		if oi != oj {
+			return oi < oj
+		}
+		if oi != 0 {
+			return pi.String() < pj.String()
+		}
+		ti := float64(pi.Breakdown.TotalTime())
+		tj := float64(pj.Breakdown.TotalTime())
+		if ti != tj {
+			return ti < tj
+		}
+		return pi.String() < pj.String()
+	})
+}
+
+// pointOrder buckets points: evaluable+fits, evaluable, failed.
+func pointOrder(p Point) int {
+	switch {
+	case p.Err != nil:
+		return 2
+	case !p.Fits:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Best returns the fastest feasible point, or nil when none evaluated.
+func Best(points []Point) *Point {
+	var best *Point
+	for i := range points {
+		p := &points[i]
+		if p.Err != nil || !p.Fits || p.Breakdown == nil {
+			continue
+		}
+		if best == nil || p.Breakdown.TotalTime() < best.Breakdown.TotalTime() {
+			best = p
+		}
+	}
+	return best
+}
+
+// FilterBatch returns the subset of points with the given global batch, in
+// their existing order.
+func FilterBatch(points []Point, batch int) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Batch == batch {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package explore
+
+import (
+	"errors"
+
+	"amped/internal/model"
+)
+
+// OptimalMicrobatches tunes N_ub for the estimator's mapping and batch: it
+// evaluates every divisor of the per-replica batch that can fill the
+// pipeline (N_ub >= N_PP, or the whole batch when the pipeline is deeper
+// than the batch) and returns the fastest choice with its breakdown.
+//
+// This mirrors what practitioners do on real systems — the microbatch count
+// trades pipeline-bubble amortization (large N_ub) against microbatch
+// efficiency (small N_ub) — and is the selection rule the case-study
+// reproductions use.
+func OptimalMicrobatches(est model.Estimator) (int, *model.Breakdown, error) {
+	dp := est.Mapping.DP()
+	if dp <= 0 || est.Training.Batch.Global <= 0 || est.Training.Batch.Global%dp != 0 {
+		return 0, nil, errors.New("explore: batch does not divide the data-parallel degree")
+	}
+	per := est.Training.Batch.Global / dp
+	pp := est.Mapping.PP()
+
+	var candidates []int
+	if pp > per {
+		candidates = []int{per}
+	} else {
+		for d := 1; d <= per; d++ {
+			if per%d == 0 && d >= pp {
+				candidates = append(candidates, d)
+			}
+		}
+	}
+
+	bestN := 0
+	var bestBD *model.Breakdown
+	var firstErr error
+	for _, n := range candidates {
+		e := est
+		e.Training.Batch.Microbatches = n
+		bd, err := e.Evaluate()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if bestBD == nil || bd.PerBatch() < bestBD.PerBatch() {
+			bestN, bestBD = n, bd
+		}
+	}
+	if bestBD == nil {
+		return 0, nil, firstErr
+	}
+	return bestN, bestBD, nil
+}

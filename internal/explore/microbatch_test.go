@@ -1,0 +1,93 @@
+package explore
+
+import (
+	"testing"
+
+	"amped/internal/model"
+	"amped/internal/parallel"
+)
+
+func cs1Est(mp parallel.Mapping, batch int) model.Estimator {
+	sc := cs1Scenario()
+	return model.Estimator{
+		Model:   sc.Model,
+		System:  sc.System,
+		Mapping: mp,
+		Training: model.Training{
+			Batch: parallel.Batch{Global: batch},
+		},
+	}
+}
+
+func TestOptimalMicrobatchesBeatsEveryFixedChoice(t *testing.T) {
+	est := cs1Est(parallel.Mapping{TPIntra: 8, PPInter: 8, DPInter: 16}, 8192)
+	nub, best, err := OptimalMicrobatches(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := 8192 / est.Mapping.DP()
+	if per%nub != 0 || nub < est.Mapping.PP() {
+		t.Fatalf("chosen N_ub=%d invalid for per-replica %d, PP %d", nub, per, est.Mapping.PP())
+	}
+	// Exhaustively verify optimality over the candidate set.
+	for d := est.Mapping.PP(); d <= per; d++ {
+		if per%d != 0 {
+			continue
+		}
+		e := est
+		e.Training.Batch.Microbatches = d
+		bd, err := e.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bd.PerBatch() < best.PerBatch() {
+			t.Errorf("N_ub=%d (%v) beats chosen %d (%v)", d, bd.PerBatch(), nub, best.PerBatch())
+		}
+	}
+}
+
+func TestOptimalMicrobatchesNoPipeline(t *testing.T) {
+	// Without PP, one microbatch (maximum ub) is optimal under the
+	// monotone efficiency curve.
+	est := cs1Est(parallel.Mapping{TPIntra: 8, DPInter: 128}, 8192)
+	nub, bd, err := OptimalMicrobatches(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nub != 1 {
+		t.Errorf("N_ub = %d, want 1 for a DP-only mapping", nub)
+	}
+	if bd.Bubble != 0 {
+		t.Errorf("bubble = %v", bd.Bubble)
+	}
+}
+
+func TestOptimalMicrobatchesDeepPipeline(t *testing.T) {
+	// PP deeper than the per-replica batch: the single candidate is the
+	// whole batch as microbatches of one sequence.
+	est := cs1Est(parallel.Mapping{TPIntra: 8, PPInter: 64, DPInter: 2}, 128)
+	nub, _, err := OptimalMicrobatches(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nub != 64 {
+		t.Errorf("N_ub = %d, want 64 (per-replica batch)", nub)
+	}
+}
+
+func TestOptimalMicrobatchesErrors(t *testing.T) {
+	// Batch not divisible by DP.
+	est := cs1Est(parallel.Mapping{TPIntra: 8, DPInter: 128}, 1000)
+	if _, _, err := OptimalMicrobatches(est); err == nil {
+		t.Error("non-divisible batch accepted")
+	}
+	// Every candidate fails (mapping does not tile the system).
+	est = cs1Est(parallel.Mapping{TPIntra: 4, DPInter: 128}, 8192)
+	if _, _, err := OptimalMicrobatches(est); err == nil {
+		t.Error("non-tiling mapping accepted")
+	}
+	est = cs1Est(parallel.Mapping{TPIntra: 8, DPInter: 128}, 0)
+	if _, _, err := OptimalMicrobatches(est); err == nil {
+		t.Error("zero batch accepted")
+	}
+}

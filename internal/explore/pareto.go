@@ -1,0 +1,54 @@
+package explore
+
+import (
+	"sort"
+
+	"amped/internal/hardware"
+	"amped/internal/power"
+)
+
+// TimeEnergyPoint is a sweep point annotated with its energy estimate.
+type TimeEnergyPoint struct {
+	Point
+	// Energy is the training-run energy accounting.
+	Energy power.Estimate
+}
+
+// ParetoTimeEnergy returns the non-dominated subset of the sweep under the
+// two objectives (training time, total energy), sorted fastest-first.
+// Pipeline-heavy mappings idle through bubbles at reduced power, so the
+// fastest configuration is not automatically the cheapest — the trade
+// Case Study II raises. Failed or infeasible points are skipped.
+func ParetoTimeEnergy(points []Point, sys *hardware.System) ([]TimeEnergyPoint, error) {
+	var annotated []TimeEnergyPoint
+	for _, p := range points {
+		if p.Err != nil || !p.Fits || p.Breakdown == nil {
+			continue
+		}
+		en, err := power.FromBreakdown(p.Breakdown, sys)
+		if err != nil {
+			return nil, err
+		}
+		annotated = append(annotated, TimeEnergyPoint{Point: p, Energy: en})
+	}
+	sort.Slice(annotated, func(i, j int) bool {
+		ti := annotated[i].Breakdown.TotalTime()
+		tj := annotated[j].Breakdown.TotalTime()
+		if ti != tj {
+			return ti < tj
+		}
+		return annotated[i].Energy.Total() < annotated[j].Energy.Total()
+	})
+	// Single sweep: a point survives iff its energy beats every faster
+	// point's (ties on both axes keep the first).
+	var front []TimeEnergyPoint
+	bestEnergy := 0.0
+	for i, p := range annotated {
+		e := p.Energy.Total()
+		if i == 0 || e < bestEnergy {
+			front = append(front, p)
+			bestEnergy = e
+		}
+	}
+	return front, nil
+}

@@ -1,0 +1,223 @@
+// Package hardware describes the system architecture AMPeD evaluates on:
+// accelerator micro-architecture parameters (Table IV of the paper),
+// communication links, nodes composed of homogeneous accelerators, and
+// multi-node distributed systems.
+//
+// The package is purely descriptive — timing math lives in internal/model —
+// but it owns the peak-throughput derivations of Eq. 3 and Eq. 4 because
+// they are pure functions of the accelerator design point.
+package hardware
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/precision"
+	"amped/internal/units"
+)
+
+// Accelerator is one accelerator design point: the tunable knobs of the
+// paper's Table IV plus the memory and off-chip-bandwidth attributes used by
+// the memory model and the optical-substrate case study.
+type Accelerator struct {
+	// Name identifies the design point in reports.
+	Name string
+	// Freq is f, the clock frequency in cycles per second.
+	Freq units.Hertz
+	// Cores is N_cores, the number of compute cores (SMs on NVIDIA parts).
+	Cores int
+	// MACUnits is N_FU, MAC functional units per core.
+	MACUnits int
+	// MACWidth is W_FU, MACs per cycle per functional unit, expressed at the
+	// unit's native precision MACPrecision.
+	MACWidth int
+	// MACPrecision is S_FU_MAC, the hardware-determined MAC operand width.
+	MACPrecision precision.Precision
+	// NonlinUnits is N_FU_nonlin, the non-linear (SFU) unit count. The paper
+	// models these as a per-chip pool, not per core (Eq. 4 has no N_cores).
+	NonlinUnits int
+	// NonlinWidth is W_FU_nonlin, ops per cycle per non-linear unit.
+	NonlinWidth int
+	// NonlinPrecision is S_FU_nonlin.
+	NonlinPrecision precision.Precision
+	// Memory is the usable device memory capacity.
+	Memory units.Bytes
+	// MemBW is the device (HBM) memory bandwidth, the roofline input of
+	// the predictive efficiency model. Zero means "not modeled".
+	MemBW units.BitsPerSecond
+	// OffChipBW is the aggregate off-chip I/O bandwidth of one accelerator,
+	// the quantity the optical substrate of Case Study III multiplies up.
+	OffChipBW units.BitsPerSecond
+	// TDP is the thermal design power in watts, used by the energy model.
+	TDP float64
+}
+
+// Validate checks that every structural parameter is positive.
+func (a *Accelerator) Validate() error {
+	switch {
+	case a == nil:
+		return errors.New("hardware: nil accelerator")
+	case a.Freq <= 0:
+		return fmt.Errorf("hardware: accelerator %q: frequency %v must be positive", a.Name, a.Freq)
+	case a.Cores <= 0:
+		return fmt.Errorf("hardware: accelerator %q: core count %d must be positive", a.Name, a.Cores)
+	case a.MACUnits <= 0 || a.MACWidth <= 0:
+		return fmt.Errorf("hardware: accelerator %q: MAC units %d x width %d must be positive", a.Name, a.MACUnits, a.MACWidth)
+	case !a.MACPrecision.Valid():
+		return fmt.Errorf("hardware: accelerator %q: invalid MAC precision %d", a.Name, a.MACPrecision)
+	case a.NonlinUnits <= 0 || a.NonlinWidth <= 0:
+		return fmt.Errorf("hardware: accelerator %q: nonlinear units %d x width %d must be positive", a.Name, a.NonlinUnits, a.NonlinWidth)
+	case !a.NonlinPrecision.Valid():
+		return fmt.Errorf("hardware: accelerator %q: invalid nonlinear precision %d", a.Name, a.NonlinPrecision)
+	}
+	return nil
+}
+
+// PeakMACRate is the peak MAC throughput f·N_cores·N_FU·W_FU of Eq. 3
+// before the microbatch-efficiency derating.
+func (a *Accelerator) PeakMACRate() units.OpsPerSecond {
+	return units.OpsPerSecond(float64(a.Freq) * float64(a.Cores) * float64(a.MACUnits) * float64(a.MACWidth))
+}
+
+// MACRate is the effective MAC throughput f·N_cores·N_FU·W_FU·eff(ub) of
+// Eq. 3. The reciprocal of this value is C_MAC.
+func (a *Accelerator) MACRate(eff float64) units.OpsPerSecond {
+	return units.OpsPerSecond(float64(a.PeakMACRate()) * eff)
+}
+
+// NonlinRate is the non-linear-op throughput f·N_FU_nonlin·W_FU_nonlin of
+// Eq. 4; its reciprocal is C_nonlin.
+func (a *Accelerator) NonlinRate() units.OpsPerSecond {
+	return units.OpsPerSecond(float64(a.Freq) * float64(a.NonlinUnits) * float64(a.NonlinWidth))
+}
+
+// PeakFLOPS is the marketing-style peak in FLOP/s (2 FLOPs per MAC) at the
+// unit's native precision, handy for sanity checks against datasheets.
+func (a *Accelerator) PeakFLOPS() float64 {
+	return float64(a.PeakMACRate()) * units.FLOPsPerMAC
+}
+
+// Link is a communication channel with a fixed per-message latency and a
+// bandwidth, the (C, BW) pairs of Eq. 6, 7, 9 and 11.
+type Link struct {
+	// Name identifies the interconnect generation in reports.
+	Name string
+	// Latency is the per-communication-step latency C (seconds).
+	Latency units.Seconds
+	// Bandwidth is the point-to-point bandwidth BW (bits/s) seen by one
+	// accelerator participating in the transfer.
+	Bandwidth units.BitsPerSecond
+}
+
+// Validate checks the link is physically meaningful.
+func (l Link) Validate() error {
+	if l.Latency < 0 {
+		return fmt.Errorf("hardware: link %q: negative latency", l.Name)
+	}
+	if l.Bandwidth <= 0 {
+		return fmt.Errorf("hardware: link %q: bandwidth must be positive", l.Name)
+	}
+	return nil
+}
+
+// Scale returns a copy of the link with bandwidth multiplied by factor,
+// used by the optical-substrate what-if scenarios.
+func (l Link) Scale(factor float64) Link {
+	l.Bandwidth = units.BitsPerSecond(float64(l.Bandwidth) * factor)
+	if factor != 1 {
+		l.Name = fmt.Sprintf("%s x%g", l.Name, factor)
+	}
+	return l
+}
+
+// System is the distributed machine: N_nodes homogeneous nodes, each with
+// AccelsPerNode accelerators joined by Intra, and nodes joined by Inter.
+type System struct {
+	// Name identifies the machine configuration in reports.
+	Name string
+	// Accel is the accelerator design every worker uses.
+	Accel Accelerator
+	// Nodes is N_nodes.
+	Nodes int
+	// AccelsPerNode is the number of accelerators in one node.
+	AccelsPerNode int
+	// Intra is the intra-node link (NVLink class or an optical substrate).
+	Intra Link
+	// Inter is the inter-node link as seen by a single NIC (EDR/HDR/NDR
+	// InfiniBand class, or optical fiber in Case Study III).
+	Inter Link
+	// NICsPerNode is the number of network cards per node. Case Study II
+	// varies this 1..8; the effective inter-node bandwidth one accelerator
+	// can use is Inter.Bandwidth * NICsPerNode / AccelsPerNode.
+	NICsPerNode int
+	// IdlePowerFraction is the fraction of TDP an accelerator draws while
+	// idling in a pipeline bubble; Case Study II argues ~0.3 is the
+	// break-even point. Zero means "not modeled".
+	IdlePowerFraction float64
+	// Oversubscription is the inter-node fabric's oversubscription ratio
+	// (full bisection = 1, a 2:1 tapered fat-tree = 2): the effective
+	// inter-node bandwidth every accelerator sees is divided by it. Zero
+	// means 1.
+	Oversubscription float64
+}
+
+// Validate checks structural consistency of the whole system description.
+func (s *System) Validate() error {
+	if s == nil {
+		return errors.New("hardware: nil system")
+	}
+	if err := s.Accel.Validate(); err != nil {
+		return err
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("hardware: system %q: node count %d must be positive", s.Name, s.Nodes)
+	}
+	if s.AccelsPerNode <= 0 {
+		return fmt.Errorf("hardware: system %q: accelerators per node %d must be positive", s.Name, s.AccelsPerNode)
+	}
+	if s.NICsPerNode <= 0 {
+		return fmt.Errorf("hardware: system %q: NICs per node %d must be positive", s.Name, s.NICsPerNode)
+	}
+	if err := s.Intra.Validate(); err != nil {
+		return fmt.Errorf("hardware: system %q intra-node: %w", s.Name, err)
+	}
+	if s.Nodes > 1 {
+		if err := s.Inter.Validate(); err != nil {
+			return fmt.Errorf("hardware: system %q inter-node: %w", s.Name, err)
+		}
+	}
+	if s.IdlePowerFraction < 0 || s.IdlePowerFraction > 1 {
+		return fmt.Errorf("hardware: system %q: idle power fraction %v outside [0,1]", s.Name, s.IdlePowerFraction)
+	}
+	if s.Oversubscription < 0 || (s.Oversubscription > 0 && s.Oversubscription < 1) {
+		return fmt.Errorf("hardware: system %q: oversubscription %v must be >= 1 (or 0 for none)", s.Name, s.Oversubscription)
+	}
+	return nil
+}
+
+// TotalAccelerators is the total worker count N_nodes · AccelsPerNode.
+func (s *System) TotalAccelerators() int { return s.Nodes * s.AccelsPerNode }
+
+// EffectiveInterBW is the inter-node bandwidth available to one accelerator:
+// the node's aggregate NIC bandwidth shared across its accelerators. With
+// one NIC per accelerator (the paper's high-end reference) this equals the
+// NIC bandwidth; Case Study II's low-end systems divide it down.
+func (s *System) EffectiveInterBW() units.BitsPerSecond {
+	if s.AccelsPerNode == 0 {
+		return 0
+	}
+	over := s.Oversubscription
+	if over < 1 {
+		over = 1
+	}
+	return units.BitsPerSecond(float64(s.Inter.Bandwidth) * float64(s.NICsPerNode) /
+		float64(s.AccelsPerNode) / over)
+}
+
+// InterLinkEffective returns the inter-node link with its bandwidth replaced
+// by the per-accelerator effective bandwidth; model equations use this view.
+func (s *System) InterLinkEffective() Link {
+	l := s.Inter
+	l.Bandwidth = s.EffectiveInterBW()
+	return l
+}

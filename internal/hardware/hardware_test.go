@@ -1,0 +1,291 @@
+package hardware
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amped/internal/units"
+)
+
+func TestAcceleratorPeaks(t *testing.T) {
+	// Datasheet cross-checks: peak FLOP/s at the native MAC precision.
+	cases := []struct {
+		a        Accelerator
+		wantTF   float64 // peak TFLOP/s
+		tolerate float64 // relative tolerance
+	}{
+		{NvidiaP100(), 10.6, 0.1},
+		{NvidiaV100(), 125, 0.05},
+		{NvidiaA100(), 312, 0.05},
+		{NvidiaH100(), 1979, 0.05},
+	}
+	for _, c := range cases {
+		got := c.a.PeakFLOPS() / units.Tera
+		if math.Abs(got-c.wantTF)/c.wantTF > c.tolerate {
+			t.Errorf("%s peak = %.1f TFLOP/s, want ~%.0f", c.a.Name, got, c.wantTF)
+		}
+	}
+}
+
+func TestMACRateScalesWithEfficiency(t *testing.T) {
+	a := NvidiaA100()
+	peak := a.PeakMACRate()
+	if got := a.MACRate(1); got != peak {
+		t.Errorf("MACRate(1) = %v, want peak %v", got, peak)
+	}
+	if got := a.MACRate(0.5); math.Abs(float64(got)-0.5*float64(peak)) > 1e-6*float64(peak) {
+		t.Errorf("MACRate(0.5) = %v, want half of %v", got, peak)
+	}
+	if got := a.MACRate(0); got != 0 {
+		t.Errorf("MACRate(0) = %v, want 0", got)
+	}
+}
+
+func TestNonlinRate(t *testing.T) {
+	a := NvidiaA100()
+	want := 1.41e9 * 192 * 4
+	if got := float64(a.NonlinRate()); math.Abs(got-want) > 1e-3*want {
+		t.Errorf("NonlinRate = %v, want %v", got, want)
+	}
+}
+
+func TestAcceleratorValidate(t *testing.T) {
+	good := NvidiaV100()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("preset invalid: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Accelerator)
+	}{
+		{"freq", func(a *Accelerator) { a.Freq = 0 }},
+		{"cores", func(a *Accelerator) { a.Cores = -1 }},
+		{"mac units", func(a *Accelerator) { a.MACUnits = 0 }},
+		{"mac width", func(a *Accelerator) { a.MACWidth = 0 }},
+		{"mac precision", func(a *Accelerator) { a.MACPrecision = 0 }},
+		{"nonlin units", func(a *Accelerator) { a.NonlinUnits = 0 }},
+		{"nonlin precision", func(a *Accelerator) { a.NonlinPrecision = -8 }},
+	}
+	for _, m := range mutations {
+		a := NvidiaV100()
+		m.mut(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %q accepted", m.name)
+		}
+	}
+	var nilAccel *Accelerator
+	if err := nilAccel.Validate(); err == nil {
+		t.Error("nil accelerator accepted")
+	}
+}
+
+func TestLinkValidateAndScale(t *testing.T) {
+	l := NVLinkA100()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("preset link invalid: %v", err)
+	}
+	if err := (Link{Name: "x", Latency: -1, Bandwidth: 1}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if err := (Link{Name: "x", Latency: 1, Bandwidth: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	scaled := l.Scale(2)
+	if float64(scaled.Bandwidth) != 2*float64(l.Bandwidth) {
+		t.Errorf("Scale(2) bandwidth = %v", scaled.Bandwidth)
+	}
+	if !strings.Contains(scaled.Name, "x2") {
+		t.Errorf("Scale(2) name = %q, want x2 marker", scaled.Name)
+	}
+	if same := l.Scale(1); same.Name != l.Name {
+		t.Errorf("Scale(1) renamed link to %q", same.Name)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	s := CaseStudy1System()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("case-study-1 system invalid: %v", err)
+	}
+	bad := CaseStudy1System()
+	bad.Nodes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad = CaseStudy1System()
+	bad.NICsPerNode = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero NICs accepted")
+	}
+	bad = CaseStudy1System()
+	bad.IdlePowerFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("idle power fraction > 1 accepted")
+	}
+	var nilSys *System
+	if err := nilSys.Validate(); err == nil {
+		t.Error("nil system accepted")
+	}
+	// Single-node systems tolerate a meaningless inter link.
+	one := HGX2(8)
+	one.Inter = Link{}
+	if err := one.Validate(); err != nil {
+		t.Errorf("single-node system with empty inter link rejected: %v", err)
+	}
+}
+
+func TestTotalAccelerators(t *testing.T) {
+	s := CaseStudy1System()
+	if got := s.TotalAccelerators(); got != 1024 {
+		t.Errorf("TotalAccelerators = %d, want 1024", got)
+	}
+}
+
+func TestEffectiveInterBW(t *testing.T) {
+	// Case Study I reference: one HDR NIC per accelerator.
+	s := CaseStudy1System()
+	if got, want := float64(s.EffectiveInterBW()), 2.0e11; math.Abs(got-want) > 1 {
+		t.Errorf("EffectiveInterBW = %v, want %v", got, want)
+	}
+	// Case Study II: 8 accels sharing fewer NICs scales down linearly.
+	low := LowEndSystem(8)
+	low.NICsPerNode = 2
+	if got, want := float64(low.EffectiveInterBW()), 1.0e11*2/8; math.Abs(got-want) > 1 {
+		t.Errorf("low-end EffectiveInterBW = %v, want %v", got, want)
+	}
+	eff := low.InterLinkEffective()
+	if eff.Bandwidth != low.EffectiveInterBW() {
+		t.Errorf("InterLinkEffective bandwidth = %v", eff.Bandwidth)
+	}
+	if eff.Latency != low.Inter.Latency {
+		t.Errorf("InterLinkEffective latency changed: %v", eff.Latency)
+	}
+}
+
+func TestEffectiveInterBWProperty(t *testing.T) {
+	// Per-accel bandwidth never exceeds NIC bandwidth * NICs and is
+	// monotone in NIC count.
+	f := func(accels, nics uint8) bool {
+		a := int(accels)%16 + 1
+		n := int(nics)%16 + 1
+		s := LowEndSystem(8)
+		s.AccelsPerNode = a
+		s.NICsPerNode = n
+		bw := float64(s.EffectiveInterBW())
+		s.NICsPerNode = n + 1
+		return bw <= float64(s.EffectiveInterBW())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowEndSystemShapes(t *testing.T) {
+	for _, per := range []int{1, 2, 4, 8} {
+		s := LowEndSystem(per)
+		if err := s.Validate(); err != nil {
+			t.Errorf("LowEndSystem(%d) invalid: %v", per, err)
+		}
+		if got := s.TotalAccelerators(); got != 1024 {
+			t.Errorf("LowEndSystem(%d) total = %d, want 1024", per, got)
+		}
+		if s.NICsPerNode != per {
+			t.Errorf("LowEndSystem(%d) NICs = %d", per, s.NICsPerNode)
+		}
+	}
+}
+
+func TestOpticalSystem(t *testing.T) {
+	ref := OpticalSystem(OpticalOptions{AccelsPerNode: 8, EdgeAccels: 8, TotalAccels: 3072})
+	if err := ref.Validate(); err != nil {
+		t.Fatalf("optical system invalid: %v", err)
+	}
+	if got := ref.TotalAccelerators(); got != 3072 {
+		t.Errorf("total = %d, want 3072", got)
+	}
+	// Opt. 1: every accelerator gets a fiber, so effective inter BW equals
+	// the off-chip bandwidth.
+	if got, want := float64(ref.EffectiveInterBW()), float64(ref.Accel.OffChipBW); math.Abs(got-want) > 1 {
+		t.Errorf("Opt1 effective BW = %v, want %v", got, want)
+	}
+	// Opt. 2: 48 accels share 24 fibers -> half the off-chip BW each.
+	big := OpticalSystem(OpticalOptions{AccelsPerNode: 48, EdgeAccels: 24, TotalAccels: 3072})
+	if got, want := float64(big.EffectiveInterBW()), float64(big.Accel.OffChipBW)/2; math.Abs(got-want) > 1e-3*want {
+		t.Errorf("Opt2 effective BW = %v, want %v", got, want)
+	}
+	// Opt. 3: doubling off-chip bandwidth doubles both links.
+	fast := OpticalSystem(OpticalOptions{AccelsPerNode: 48, EdgeAccels: 24, OffChipBWFactor: 2, TotalAccels: 3072})
+	if got, want := float64(fast.Intra.Bandwidth), 2*float64(big.Intra.Bandwidth); math.Abs(got-want) > 1e-3*want {
+		t.Errorf("Opt3 intra BW = %v, want %v", got, want)
+	}
+}
+
+func TestAcceleratorPreset(t *testing.T) {
+	for _, name := range AcceleratorPresetNames() {
+		a, err := AcceleratorPreset(name)
+		if err != nil {
+			t.Errorf("preset %q: %v", name, err)
+			continue
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, err := AcceleratorPreset("tpu"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	names := AcceleratorPresetNames()
+	if len(names) != 4 {
+		t.Errorf("preset names = %v, want 4 entries", names)
+	}
+	if !sortedStrings(names) {
+		t.Errorf("preset names not sorted: %v", names)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSeleneLikeRoundsUp(t *testing.T) {
+	s := SeleneLike(1536)
+	if s.Nodes != 192 {
+		t.Errorf("SeleneLike(1536) nodes = %d, want 192", s.Nodes)
+	}
+	odd := SeleneLike(1537)
+	if odd.Nodes != 193 {
+		t.Errorf("SeleneLike(1537) nodes = %d, want 193", odd.Nodes)
+	}
+}
+
+func TestOversubscription(t *testing.T) {
+	s := CaseStudy1System()
+	base := float64(s.EffectiveInterBW())
+	s.Oversubscription = 4
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(s.EffectiveInterBW()); math.Abs(got-base/4) > 1e-6*base {
+		t.Errorf("4:1 oversubscribed BW = %v, want %v", got, base/4)
+	}
+	s.Oversubscription = 0.5 // under 1 is meaningless
+	if err := s.Validate(); err == nil {
+		t.Error("oversubscription 0.5 accepted")
+	}
+	s.Oversubscription = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative oversubscription accepted")
+	}
+	// Zero means none.
+	s.Oversubscription = 0
+	if got := float64(s.EffectiveInterBW()); math.Abs(got-base) > 1e-6*base {
+		t.Errorf("zero oversubscription changed BW: %v", got)
+	}
+}

@@ -1,0 +1,273 @@
+package hardware
+
+import (
+	"fmt"
+	"sort"
+
+	"amped/internal/precision"
+	"amped/internal/units"
+)
+
+// Accelerator presets. MACWidth is expressed in MACs/cycle/unit; the paper's
+// Table IV quotes W_FU in FLOPs/cycle/unit, i.e. exactly 2x these values
+// (one MAC = one multiply + one add).
+
+// NvidiaP100 models the Pascal P100 used in the GPipe validation (Table III):
+// 56 SMs of 64 FP32 FMA lanes at 1.48 GHz boost, 9.5 TFLOP/s FP32 nominal.
+func NvidiaP100() Accelerator {
+	return Accelerator{
+		Name:            "NVIDIA P100",
+		Freq:            1.48e9,
+		Cores:           56,
+		MACUnits:        1,
+		MACWidth:        64,
+		MACPrecision:    precision.FP32,
+		NonlinUnits:     112,
+		NonlinWidth:     4,
+		NonlinPrecision: precision.FP32,
+		Memory:          16 * units.GiB,
+		MemBW:           5.86e12, // 732 GB/s HBM2
+		OffChipBW:       1.28e12,
+		TDP:             300,
+	}
+}
+
+// NvidiaV100 models the Volta V100 SXM3 of the paper's Table I validation
+// node: 80 SMs with 8 tensor cores each, 64 FP16 MACs/cycle/tensor core at
+// 1.53 GHz boost (125 TFLOP/s FP16 tensor peak).
+func NvidiaV100() Accelerator {
+	return Accelerator{
+		Name:            "NVIDIA V100",
+		Freq:            1.53e9,
+		Cores:           80,
+		MACUnits:        8,
+		MACWidth:        64,
+		MACPrecision:    precision.FP16,
+		NonlinUnits:     160,
+		NonlinWidth:     4,
+		NonlinPrecision: precision.FP32,
+		Memory:          31.75 * units.GiB,
+		MemBW:           7.18e12, // 897 GB/s HBM2 (Table I)
+		OffChipBW:       2.4e12,
+		TDP:             250,
+	}
+}
+
+// NvidiaA100 is the Table IV Ampere design point: f=1.41 GHz, 108 cores,
+// 4 FUs/core, W_FU=512 FLOPs/cycle (256 MACs), 312 TFLOP/s FP16 dense peak.
+func NvidiaA100() Accelerator {
+	return Accelerator{
+		Name:            "NVIDIA A100",
+		Freq:            1.41e9,
+		Cores:           108,
+		MACUnits:        4,
+		MACWidth:        256,
+		MACPrecision:    precision.FP16,
+		NonlinUnits:     192,
+		NonlinWidth:     4,
+		NonlinPrecision: precision.FP32,
+		Memory:          80 * units.GiB,
+		MemBW:           1.63e13, // 2039 GB/s HBM2e
+		OffChipBW:       4.8e12,
+		TDP:             400,
+	}
+}
+
+// NvidiaH100 is the Table IV Hopper design point: f=1.8 GHz, 132 cores,
+// 4 FUs/core, W_FU=1024 (Table IV quotes FLOPs/cycle at the functional
+// unit's native precision). Hopper tensor cores are natively 8-bit-capable:
+// 1024 FP8 MACs/cycle/FU gives ~1979 TFLOP/s FP8 dense and, via the Eq. 2
+// two-pass precision scaling, ~990 TFLOP/s FP16 — both matching the
+// datasheet.
+func NvidiaH100() Accelerator {
+	return Accelerator{
+		Name:            "NVIDIA H100",
+		Freq:            1.8e9,
+		Cores:           132,
+		MACUnits:        4,
+		MACWidth:        1024,
+		MACPrecision:    precision.FP8,
+		NonlinUnits:     320,
+		NonlinWidth:     4,
+		NonlinPrecision: precision.FP32,
+		Memory:          80 * units.GiB,
+		MemBW:           2.68e13, // 3350 GB/s HBM3
+		OffChipBW:       7.2e12,
+		TDP:             700,
+	}
+}
+
+// Link presets. Bandwidths are the per-accelerator (intra) or per-NIC
+// (inter) values in bits/s; latencies are typical end-to-end software
+// latencies for one communication step.
+
+// NVLinkV100 is the NVLink+NVSwitch fabric of an HGX-2 (300 GB/s per GPU).
+func NVLinkV100() Link { return Link{Name: "NVLink2+NVSwitch", Latency: 2e-6, Bandwidth: 2.4e12} }
+
+// NVLinkA100 is the Table IV A100 intra-node bandwidth (2.4 Tbit/s).
+func NVLinkA100() Link { return Link{Name: "NVLink3+NVSwitch", Latency: 2e-6, Bandwidth: 2.4e12} }
+
+// NVLinkH100 is the Table IV H100 intra-node bandwidth (3.6 Tbit/s).
+func NVLinkH100() Link { return Link{Name: "NVLink4+NVSwitch", Latency: 2e-6, Bandwidth: 3.6e12} }
+
+// PCIe3x16 is the Gen3 x16 host link of the GPipe P100 systems (~126 Gbit/s).
+func PCIe3x16() Link { return Link{Name: "PCIe3 x16", Latency: 5e-6, Bandwidth: 1.26e11} }
+
+// InfinibandEDR is one EDR HCA port (100 Gbit/s), Case Study II's low end.
+func InfinibandEDR() Link { return Link{Name: "InfiniBand EDR", Latency: 5e-6, Bandwidth: 1.0e11} }
+
+// InfinibandHDR is one HDR HCA port (200 Gbit/s), Case Study I's network.
+func InfinibandHDR() Link { return Link{Name: "InfiniBand HDR", Latency: 5e-6, Bandwidth: 2.0e11} }
+
+// InfinibandNDR is one NDR HCA port (400 Gbit/s), Case Study III's baseline.
+func InfinibandNDR() Link { return Link{Name: "InfiniBand NDR", Latency: 5e-6, Bandwidth: 4.0e11} }
+
+// OpticalSubstrate returns the photonic communication substrate of Case
+// Study III as an intra-node link: accelerators talk across the wafer at
+// their full off-chip bandwidth with a short conversion latency.
+func OpticalSubstrate(perAccelBW units.BitsPerSecond) Link {
+	return Link{Name: "optical substrate", Latency: 5e-7, Bandwidth: perAccelBW}
+}
+
+// System presets.
+
+// HGX2 is the paper's Table I validation node: up to 16 V100s behind
+// NVSwitch. A single node has no meaningful inter-node link; a loopback
+// placeholder keeps Validate happy for multi-node derivations.
+func HGX2(gpus int) System {
+	return System{
+		Name:          fmt.Sprintf("HGX-2 (%d x V100)", gpus),
+		Accel:         NvidiaV100(),
+		Nodes:         1,
+		AccelsPerNode: gpus,
+		Intra:         NVLinkV100(),
+		Inter:         InfinibandHDR(),
+		NICsPerNode:   1,
+	}
+}
+
+// CaseStudy1System is the exploration machine of Case Study I: 128 nodes of
+// 8 A100s (1024 accelerators), NVLink inside, one HDR NIC per accelerator.
+func CaseStudy1System() System {
+	return System{
+		Name:              "128x8 A100 + HDR",
+		Accel:             NvidiaA100(),
+		Nodes:             128,
+		AccelsPerNode:     8,
+		Intra:             NVLinkA100(),
+		Inter:             InfinibandHDR(),
+		NICsPerNode:       8,
+		IdlePowerFraction: 0.3,
+	}
+}
+
+// LowEndSystem is a Case Study II machine: the same 1024 A100 total but
+// spread over more, thinner nodes with accels EDR NICs each.
+func LowEndSystem(accelsPerNode int) System {
+	nodes := 1024 / accelsPerNode
+	return System{
+		Name:              fmt.Sprintf("%dx%d A100 + EDR", nodes, accelsPerNode),
+		Accel:             NvidiaA100(),
+		Nodes:             nodes,
+		AccelsPerNode:     accelsPerNode,
+		Intra:             NVLinkA100(),
+		Inter:             InfinibandEDR(),
+		NICsPerNode:       accelsPerNode,
+		IdlePowerFraction: 0.3,
+	}
+}
+
+// P100Cluster is the GPipe validation machine: P100s behind PCIe3 in one
+// host (Table III uses 2..8 GPUs).
+func P100Cluster(gpus int) System {
+	return System{
+		Name:          fmt.Sprintf("%d x P100 + PCIe3", gpus),
+		Accel:         NvidiaP100(),
+		Nodes:         1,
+		AccelsPerNode: gpus,
+		Intra:         PCIe3x16(),
+		Inter:         PCIe3x16(),
+		NICsPerNode:   1,
+	}
+}
+
+// SeleneLike is a DGX-A100 SuperPOD-shaped machine sized to hold total
+// accelerators in nodes of 8, used for the Table II Megatron validation.
+func SeleneLike(totalAccels int) System {
+	nodes := (totalAccels + 7) / 8
+	return System{
+		Name:          fmt.Sprintf("Selene-like (%d x A100)", totalAccels),
+		Accel:         NvidiaA100(),
+		Nodes:         nodes,
+		AccelsPerNode: 8,
+		Intra:         NVLinkA100(),
+		Inter:         InfinibandHDR(),
+		NICsPerNode:   8,
+	}
+}
+
+// OpticalOptions configures the Case Study III machine builder.
+type OpticalOptions struct {
+	// AccelsPerNode is the substrate population (8, 16, 32, 48 in Fig. 11).
+	AccelsPerNode int
+	// EdgeAccels is how many accelerators sit on the substrate edge and get
+	// a dedicated fiber (8 for 4x2, 12 for 4x4, 20 for 4x8, 24 for 6x8).
+	EdgeAccels int
+	// OffChipBWFactor scales the accelerator off-chip bandwidth (Opt. 3
+	// doubles and quadruples it).
+	OffChipBWFactor float64
+	// TotalAccels is the machine size (3072 in the paper).
+	TotalAccels int
+}
+
+// OpticalSystem builds a Case Study III machine: H100-class accelerators on
+// photonic substrates. Intra-node bandwidth is the (possibly scaled)
+// off-chip bandwidth of one accelerator; the node's aggregate inter-node
+// bandwidth is that bandwidth times the number of edge-attached fibers.
+func OpticalSystem(o OpticalOptions) System {
+	accel := NvidiaH100()
+	if o.OffChipBWFactor <= 0 {
+		o.OffChipBWFactor = 1
+	}
+	accel.OffChipBW = units.BitsPerSecond(float64(accel.OffChipBW) * o.OffChipBWFactor)
+	nodes := o.TotalAccels / o.AccelsPerNode
+	return System{
+		Name: fmt.Sprintf("optical %dxH100/node (%d fibers, BW x%g)",
+			o.AccelsPerNode, o.EdgeAccels, o.OffChipBWFactor),
+		Accel:             accel,
+		Nodes:             nodes,
+		AccelsPerNode:     o.AccelsPerNode,
+		Intra:             OpticalSubstrate(accel.OffChipBW),
+		Inter:             Link{Name: "optical fiber", Latency: 1e-6, Bandwidth: accel.OffChipBW},
+		NICsPerNode:       o.EdgeAccels,
+		IdlePowerFraction: 0.3,
+	}
+}
+
+// accelPresets indexes the accelerator presets for config-file lookup.
+var accelPresets = map[string]func() Accelerator{
+	"p100": NvidiaP100,
+	"v100": NvidiaV100,
+	"a100": NvidiaA100,
+	"h100": NvidiaH100,
+}
+
+// AcceleratorPreset returns a named accelerator preset (case-sensitive
+// lowercase key: "p100", "v100", "a100", "h100").
+func AcceleratorPreset(name string) (Accelerator, error) {
+	f, ok := accelPresets[name]
+	if !ok {
+		return Accelerator{}, fmt.Errorf("hardware: unknown accelerator preset %q (have %v)", name, AcceleratorPresetNames())
+	}
+	return f(), nil
+}
+
+// AcceleratorPresetNames lists the available preset keys in sorted order.
+func AcceleratorPresetNames() []string {
+	names := make([]string, 0, len(accelPresets))
+	for n := range accelPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,89 @@
+package memkit
+
+import (
+	"errors"
+
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// StageFootprints breaks the memory estimate down per pipeline stage,
+// including the torchgpipe-style output gather: the last stage accumulates
+// every microbatch's output tensor before the backward pass, which is the
+// bottleneck the paper blames for Fig. 2b's 8->16 GPU saturation ("it is
+// bottlenecked by the memory of the last GPU — all the microbatches are
+// gathered at the last GPU"). The returned slice has one entry per
+// pipeline stage; for PP = 1 it degenerates to the single Estimate.
+func StageFootprints(m *transformer.Model, mp parallel.Mapping, b parallel.Batch, cfg Config) ([]Footprint, error) {
+	if m == nil {
+		return nil, errors.New("memkit: nil model")
+	}
+	base, err := Estimate(m, mp, b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pp := mp.PP()
+	out := make([]Footprint, pp)
+	for i := range out {
+		out[i] = base
+	}
+	if pp > 1 {
+		// The gathered outputs: N_ub microbatch boundary tensors at
+		// activation precision, all resident on the last stage.
+		ub := b.Microbatch(mp)
+		nub := float64(b.MicrobatchesOrDefault(mp))
+		gather := ub * float64(m.SeqLen) * float64(m.Hidden) *
+			float64(cfg.Operands.Act.Bytes()) * nub / float64(mp.TP())
+		out[pp-1].Activations += units.Bytes(gather)
+	}
+	return out, nil
+}
+
+// MaxGlobalBatch searches the largest global batch (a multiple of the
+// data-parallel width times the microbatch count) whose worst pipeline
+// stage still fits the accelerator memory with the given reserve. It
+// returns 0 when even the smallest batch does not fit.
+func MaxGlobalBatch(m *transformer.Model, mp parallel.Mapping, microbatches int,
+	cfg Config, memory units.Bytes, reserve float64) int {
+	step := mp.DP()
+	if microbatches > 0 {
+		step *= microbatches
+	}
+	fits := func(batch int) bool {
+		b := parallel.Batch{Global: batch, Microbatches: microbatches}
+		stages, err := StageFootprints(m, mp, b, cfg)
+		if err != nil {
+			return false
+		}
+		usable := float64(memory) * (1 - reserve)
+		for _, fp := range stages {
+			if float64(fp.Total()) > usable {
+				return false
+			}
+		}
+		return true
+	}
+	if !fits(step) {
+		return 0
+	}
+	// Exponential probe then binary search on the multiple.
+	hi := 1
+	for fits(step * hi * 2) {
+		hi *= 2
+		if hi > 1<<20 {
+			break
+		}
+	}
+	lo := hi
+	hi *= 2
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if fits(step * mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return step * lo
+}

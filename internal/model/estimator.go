@@ -1,0 +1,161 @@
+package model
+
+import (
+	"errors"
+	"math"
+
+	"amped/internal/efficiency"
+	"amped/internal/units"
+)
+
+// Validate checks the estimator's inputs for structural and mutual
+// consistency (mapping tiles the system, batch divides the mapping, TP does
+// not exceed the head count, PP does not exceed the layer count).
+func (e *Estimator) Validate() error {
+	if e == nil {
+		return errors.New("model: nil estimator")
+	}
+	if err := e.Model.Validate(); err != nil {
+		return err
+	}
+	if err := e.System.Validate(); err != nil {
+		return err
+	}
+	if err := e.Mapping.Validate(e.System); err != nil {
+		return err
+	}
+	if err := e.Training.Validate(); err != nil {
+		return err
+	}
+	if err := e.Training.Batch.Validate(e.Mapping); err != nil {
+		return err
+	}
+	if tp := e.Mapping.TP(); tp > e.Model.Heads {
+		return errorsf("model: TP degree %d exceeds %d attention heads", tp, e.Model.Heads)
+	}
+	if pp := e.Mapping.PP(); pp > e.Model.Layers {
+		return errorsf("model: PP degree %d exceeds %d layers", pp, e.Model.Layers)
+	}
+	return nil
+}
+
+// errorsf mirrors fmt.Errorf without forcing the fmt import into every
+// file; kept tiny on purpose.
+func errorsf(format string, args ...any) error {
+	return errors.New(sprintf(format, args...))
+}
+
+// Evaluate runs the analytical model and returns the per-batch breakdown.
+func (e *Estimator) Evaluate() (*Breakdown, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	tr := e.Training.withDefaults()
+	effModel := e.Eff
+	if effModel == nil {
+		effModel = efficiency.Default()
+	}
+
+	m := e.Model
+	sys := e.System
+	mp := e.Mapping.Normalized()
+	B := tr.Batch.Global
+	workers := float64(mp.Workers())
+
+	ub := tr.Batch.Microbatch(mp)
+	eff := effModel.Eff(ub)
+	nub := float64(tr.Batch.MicrobatchesOrDefault(mp))
+
+	// Eq. 3 and 4: reciprocal throughputs.
+	cMAC := 1 / float64(sys.Accel.MACRate(eff))
+	cNonlin := 1 / float64(sys.Accel.NonlinRate())
+	macScale := float64(tr.Operands.MACScale(sys.Accel.MACPrecision))
+	nonlinScale := float64(tr.Operands.NonlinScale(sys.Accel.NonlinPrecision))
+
+	// Eq. 2: forward compute, full global batch on one worker, per layer.
+	var ufTotal, uwTotal float64
+	var macTotal units.Ops
+	for l := 0; l < m.Layers; l++ {
+		var uf float64
+		for _, op := range m.LayerOps(l, B) {
+			uf += float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
+			macTotal += op.MACs
+		}
+		ufTotal += uf
+		// Eq. 12: weight update is one MAC per parameter.
+		uwTotal += m.LayerParams(l) * cMAC * macScale
+	}
+	if tr.IncludeEmbedding {
+		emb := float64(m.EmbeddingMACs(B))
+		ufTotal += emb * cMAC * macScale
+		uwTotal += m.EmbeddingParams() * cMAC * macScale
+		macTotal += m.EmbeddingMACs(B)
+	}
+	ubTotal := tr.BackwardComputeFactor * ufTotal
+
+	// Communication (Eq. 5–7, 9): per-replica effective batch.
+	comm := e.commState(tr)
+	fwd := comm.forward(m, mp, sys)
+
+	// Backward communication mirrors the forward pass; overlapped
+	// communication hides under compute and leaves the critical path.
+	bf := tr.BackwardCommFactor
+	exposed := 1 - tr.CommOverlap
+
+	// Eq. 10–11: gradient all-reduce across the DP group.
+	grad := comm.gradient(m, mp, sys, tr)
+
+	// Eq. 8: pipeline bubbles. U_f and U_b inside the bracket are the
+	// model totals; the 1/L in the equation spreads them per layer, so the
+	// layer sum used here is the totals directly.
+	var bubble float64
+	if pp := mp.PP(); pp > 1 && nub > 0 {
+		step := (ufTotal+ubTotal)/workers + (1+bf)*exposed*fwd.total()
+		bubble = tr.BubbleRatio * float64(pp-1) / nub * step
+	}
+
+	zeroExtra := tr.ZeROOverhead * (1 + bf) * exposed * fwd.total()
+
+	bd := &Breakdown{
+		ComputeForward:  units.Seconds(ufTotal / workers),
+		ComputeBackward: units.Seconds(ubTotal / workers),
+		WeightUpdate:    units.Seconds(uwTotal / workers),
+		TPIntraComm:     units.Seconds((1 + bf) * exposed * fwd.tpIntra),
+		TPInterComm:     units.Seconds((1 + bf) * exposed * fwd.tpInter),
+		PPComm:          units.Seconds((1 + bf) * exposed * fwd.pp),
+		MoEComm:         units.Seconds((1 + bf) * exposed * fwd.moe),
+		ZeROComm:        units.Seconds(zeroExtra),
+		GradIntraComm:   units.Seconds(grad.intra),
+		GradInterComm:   units.Seconds(grad.inter),
+		Bubble:          units.Seconds(bubble),
+		Microbatch:      ub,
+		Efficiency:      eff,
+		Workers:         mp.Workers(),
+		NumBatches:      tr.NumBatches,
+		ModelFLOPs:      units.FLOPs(float64(macTotal) * 3 * units.FLOPsPerMAC),
+	}
+	if !finite(bd) {
+		return bd, errors.New("model: evaluation produced non-finite time (unusable link or degenerate mapping)")
+	}
+	return bd, nil
+}
+
+// finite reports whether every duration in the breakdown is a finite number.
+func finite(b *Breakdown) bool {
+	for _, c := range b.Components() {
+		if math.IsInf(float64(c.Time), 0) || math.IsNaN(float64(c.Time)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MustEvaluate is Evaluate for callers that have already validated inputs
+// (exploration sweeps); it panics on error.
+func (e *Estimator) MustEvaluate() *Breakdown {
+	b, err := e.Evaluate()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

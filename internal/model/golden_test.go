@@ -1,0 +1,198 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+)
+
+// Golden tests: every Eq. 6–12 component computed by hand for a tiny,
+// round-number configuration, asserted exactly against Evaluate's output.
+// These pin the equations themselves, independent of the shape/invariant
+// tests elsewhere.
+
+// goldenAccel is a round-number accelerator: 1e12 MACs/s peak (1 GHz x 10
+// cores x 10 FUs x 10 wide), 1e10 nonlinear ops/s, FP16 units.
+func goldenAccel() hardware.Accelerator {
+	return hardware.Accelerator{
+		Name: "golden", Freq: 1e9,
+		Cores: 10, MACUnits: 10, MACWidth: 10, MACPrecision: precision.FP16,
+		NonlinUnits: 10, NonlinWidth: 1, NonlinPrecision: precision.FP32,
+		Memory: 1 << 34, TDP: 100,
+	}
+}
+
+// goldenModel is a tiny transformer: 2 layers, h=64, a=4, s=16, r=4.
+func goldenModel() transformer.Model {
+	return transformer.Model{
+		Name: "golden", Layers: 2, Hidden: 64, Heads: 4, SeqLen: 16,
+		Vocab: 100, FFNRatio: 4,
+	}
+}
+
+// goldenSystem is 2 nodes x 2 accelerators with round links: intra 1e9
+// bit/s at 1 ms latency, inter 1e8 bit/s at 10 ms latency, 2 NICs/node
+// (so the effective per-accelerator inter bandwidth equals the NIC's).
+func goldenSystem() hardware.System {
+	return hardware.System{
+		Name: "golden", Accel: goldenAccel(),
+		Nodes: 2, AccelsPerNode: 2,
+		Intra:       hardware.Link{Name: "i", Latency: 1e-3, Bandwidth: 1e9},
+		Inter:       hardware.Link{Name: "e", Latency: 1e-2, Bandwidth: 1e8},
+		NICsPerNode: 2,
+	}
+}
+
+// exact asserts a == b to double-precision round-off.
+func exact(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(math.Abs(want), 1) {
+		t.Errorf("%s = %.12g, want %.12g", name, got, want)
+	}
+}
+
+func TestGoldenTPIntraComm(t *testing.T) {
+	// Eq. 6 with TP_intra=2, DP_inter=2, batch 8, N_ub=1:
+	//   ub = 8/2 = 4 (per-replica batch, one microbatch)
+	//   N_act,TP = 2·ub·s·h = 2·4·16·64 = 8192 elements at 16 bits
+	//   T(ring,2) = 1, steps = 2
+	//   per layer = 2 steps x 1e-3 latency + 8192·16/1e9 x 1
+	//             = 2e-3 + 1.31072e-4
+	//   x 2 layers x (1+bwd factor 1) = 4 x per layer
+	m := goldenModel()
+	sys := goldenSystem()
+	est := Estimator{
+		Model: &m, System: &sys,
+		Mapping:  parallel.Mapping{TPIntra: 2, DPInter: 2},
+		Training: Training{Batch: parallel.Batch{Global: 8, Microbatches: 1}},
+		Eff:      efficiency.Fixed(1),
+	}
+	bd, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer := 2*1e-3 + 8192*16.0/1e9
+	exact(t, "TPIntraComm", float64(bd.TPIntraComm), 4*perLayer)
+	if bd.TPInterComm != 0 || bd.PPComm != 0 || bd.MoEComm != 0 {
+		t.Errorf("unexpected comm: %+v", bd)
+	}
+}
+
+func TestGoldenGradAllReduce(t *testing.T) {
+	// Eq. 11 with DP_inter=2 (inter link), TP_intra=2:
+	//   N_g per layer = LayerParams/ (TP·PP) = LayerParams/2
+	//   layer params: attn 4·64²+4·64 = 16640; mlp 2·4·64²+5·64 = 33088;
+	//   norms 4·64 = 256 -> 49984; shard = 24992
+	//   per layer = steps(ring,2)=2 x 1e-2 + 24992·32 bits / 1e8 x T=1
+	//             = 2e-2 + 7.99744e-3
+	//   x 2 layers
+	m := goldenModel()
+	if got := m.LayerParams(0); got != 49984 {
+		t.Fatalf("layer params = %v, want 49984 (update the golden math)", got)
+	}
+	sys := goldenSystem()
+	est := Estimator{
+		Model: &m, System: &sys,
+		Mapping:  parallel.Mapping{TPIntra: 2, DPInter: 2},
+		Training: Training{Batch: parallel.Batch{Global: 8, Microbatches: 1}},
+		Eff:      efficiency.Fixed(1),
+	}
+	bd, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer := 2*1e-2 + 24992*32.0/1e8
+	exact(t, "GradInterComm", float64(bd.GradInterComm), 2*perLayer)
+	if bd.GradIntraComm != 0 {
+		t.Errorf("intra grad comm = %v with DP_intra=1", bd.GradIntraComm)
+	}
+}
+
+func TestGoldenPPCommAndBubble(t *testing.T) {
+	// Eq. 7/8 with PP_inter=2 (2 nodes), TP_intra=2, N_ub=2, batch 8:
+	//   DP=1 -> per-replica batch 8, ub = 4
+	//   N_act,PP = ub·s·h = 4·16·64 = 4096 elements at 16 bits
+	//   PP total (fwd) = C_inter + V/BW = 1e-2 + 4096·16/1e8 = 1.065536e-2
+	//   doubled for backward.
+	m := goldenModel()
+	sys := goldenSystem()
+	est := Estimator{
+		Model: &m, System: &sys,
+		Mapping:  parallel.Mapping{TPIntra: 2, PPInter: 2},
+		Training: Training{Batch: parallel.Batch{Global: 8, Microbatches: 2}},
+		Eff:      efficiency.Fixed(1),
+	}
+	bd, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppFwd := 1e-2 + 4096*16.0/1e8
+	exact(t, "PPComm", float64(bd.PPComm), 2*ppFwd)
+	// Eq. 8: bubble = R·(p-1)/N_ub x [ (Uf+Ub)/workers + Mf + Mb ]
+	//   = 1 x 1/2 x [ 3·Uf_total/4 + fwd comm + bwd comm ].
+	step := (float64(bd.ComputeForward) + float64(bd.ComputeBackward)) +
+		float64(bd.TPIntraComm) + float64(bd.PPComm)
+	exact(t, "Bubble", float64(bd.Bubble), 0.5*step)
+}
+
+func TestGoldenComputeTime(t *testing.T) {
+	// Eq. 2–4 with one worker, eff=1, batch 1:
+	//   layer MACs (fwd): attn (2+2)·1·16·64² + 2·1·16·16·64 = 262144+32768
+	//                   = 294912; mlp 2·1·16·64·256 = 524288 -> 819200/layer
+	//   x2 layers = 1638400 MACs at 1e12 MACs/s (FP16 on FP16: 1 pass)
+	//   nonlin: softmax 3·1·4·16·16=3072; gelu 4·16·256=16384;
+	//           norms 12·16·64=12288 -> 31744/layer x2 = 63488 at
+	//           1e10 op/s (FP32 on FP32: 1 pass)
+	m := goldenModel()
+	if got := float64(m.LayerMACs(0, 1)); got != 819200 {
+		t.Fatalf("layer MACs = %v, want 819200 (update the golden math)", got)
+	}
+	if got := float64(m.LayerNonlin(0, 1)); got != 31744 {
+		t.Fatalf("layer nonlin = %v, want 31744 (update the golden math)", got)
+	}
+	sys := goldenSystem()
+	sys.Nodes, sys.AccelsPerNode, sys.NICsPerNode = 1, 1, 1
+	est := Estimator{
+		Model: &m, System: &sys,
+		Mapping:  parallel.Mapping{},
+		Training: Training{Batch: parallel.Batch{Global: 1, Microbatches: 1}},
+		Eff:      efficiency.Fixed(1),
+	}
+	bd, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFwd := 1638400/1e12 + 63488/1e10
+	exact(t, "ComputeForward", float64(bd.ComputeForward), wantFwd)
+	exact(t, "ComputeBackward", float64(bd.ComputeBackward), 2*wantFwd)
+	// Eq. 12: weight update = params x C_MAC = 2·49984/1e12.
+	exact(t, "WeightUpdate", float64(bd.WeightUpdate), 2*49984/1e12)
+}
+
+func TestGoldenMoEComm(t *testing.T) {
+	// Eq. 9 with 2 nodes, every-layer MoE (2 experts, top-1), EP on:
+	//   T_MoE = (2-1)/2 = 0.5; N_act,MoE = ub·s·h = 4096 elements, 16 bits
+	//   per MoE layer = 2·C_inter·T·N + 2·V·S·T·[1/(N·BWintra) + (N-1)/(N·BWinter)]
+	//   = 2·1e-2·0.5·2 + 2·4096·16·0.5·[1/(2·1e9) + 1/(2·1e8)]
+	m := goldenModel()
+	m.Experts, m.MoEEvery, m.TopK = 2, 1, 1
+	sys := goldenSystem()
+	est := Estimator{
+		Model: &m, System: &sys,
+		Mapping:  parallel.Mapping{TPIntra: 2, DPInter: 2, ExpertParallel: true},
+		Training: Training{Batch: parallel.Batch{Global: 8, Microbatches: 1}},
+		Eff:      efficiency.Fixed(1),
+	}
+	bd, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer := 2*1e-2*0.5*2 + 2*4096*16*0.5*(1/(2*1e9)+1/(2*1e8))
+	// Two MoE layers, forward + backward.
+	exact(t, "MoEComm", float64(bd.MoEComm), 2*2*perLayer)
+}

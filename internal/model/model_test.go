@@ -1,0 +1,502 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+)
+
+// cs1Estimator builds a Case-Study-I-shaped estimator: Megatron 145B on
+// 1024 A100s with TP in intra-node accelerators.
+func cs1Estimator(mp parallel.Mapping, batch int) *Estimator {
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	return &Estimator{
+		Model:   &m,
+		System:  &sys,
+		Mapping: mp,
+		Training: Training{
+			Batch: parallel.Batch{Global: batch},
+		},
+	}
+}
+
+func TestEvaluateBasicConsistency(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	b, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PerBatch equals the sum of all components.
+	var sum float64
+	for _, c := range b.Components() {
+		if c.Time < 0 {
+			t.Errorf("component %q negative: %v", c.Name, c.Time)
+		}
+		sum += float64(c.Time)
+	}
+	if math.Abs(sum-float64(b.PerBatch()))/sum > 1e-12 {
+		t.Errorf("components sum %v != PerBatch %v", sum, b.PerBatch())
+	}
+	if b.Workers != 1024 {
+		t.Errorf("Workers = %d", b.Workers)
+	}
+	if b.Efficiency <= 0 || b.Efficiency > 1 {
+		t.Errorf("Efficiency = %v", b.Efficiency)
+	}
+	if got := b.TFLOPSPerGPU(); got <= 0 || got > 312 {
+		t.Errorf("TFLOPSPerGPU = %v, want in (0, peak]", got)
+	}
+	if !strings.Contains(b.String(), "TFLOP") {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+func TestComputeScalesWithWorkers(t *testing.T) {
+	// Same model and batch: doubling DP halves per-worker compute time.
+	small := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 16384)
+	big := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 4, DPInter: 32}, 16384)
+	// Force equal efficiency so only the worker division differs.
+	small.Eff = efficiency.Fixed(0.5)
+	big.Eff = efficiency.Fixed(0.5)
+	bs, err := small.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := big.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both have 1024 workers; compute time must be identical.
+	if math.Abs(float64(bs.ComputeForward)-float64(bb.ComputeForward)) > 1e-9*float64(bs.ComputeForward) {
+		t.Errorf("compute fwd differs across same-size mappings: %v vs %v",
+			bs.ComputeForward, bb.ComputeForward)
+	}
+}
+
+func TestTotalTimeScalesWithBatches(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	e.Training.NumBatches = 1000
+	b, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(b.TotalTime()), 1000*float64(b.PerBatch()); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("TotalTime = %v, want %v", got, want)
+	}
+}
+
+func TestTPInterMuchSlowerThanTPIntra(t *testing.T) {
+	// §VI-C: TP across the slow inter-node network is the dominant cost.
+	intra := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	inter := cs1Estimator(parallel.Mapping{TPIntra: 8, TPInter: 2, DPInter: 64}, 8192)
+	bi, err := intra.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := inter.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.TPInterComm <= bi.TPIntraComm {
+		t.Errorf("TP inter comm %v not above TP intra %v", be.TPInterComm, bi.TPIntraComm)
+	}
+	if be.PerBatch() <= bi.PerBatch() {
+		t.Errorf("TP-inter mapping %v not slower than PP-inter %v", be.PerBatch(), bi.PerBatch())
+	}
+}
+
+func TestBubbleBehaviour(t *testing.T) {
+	noPP := cs1Estimator(parallel.Mapping{TPIntra: 8, DPInter: 128}, 8192)
+	b0, err := noPP.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0.Bubble != 0 {
+		t.Errorf("bubble with PP=1 = %v, want 0", b0.Bubble)
+	}
+	pp := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 8, DPInter: 16}, 8192)
+	pp.Training.Batch.Microbatches = 8
+	b1, err := pp.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Bubble <= 0 {
+		t.Error("no bubble with PP=8")
+	}
+	// More microbatches amortize the bubble (Eq. 8's 1/N_ub).
+	pp.Training.Batch.Microbatches = 64
+	b2, err := pp.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Bubble >= b1.Bubble {
+		t.Errorf("bubble did not shrink with more microbatches: %v -> %v", b1.Bubble, b2.Bubble)
+	}
+	// R scales the bubble linearly.
+	pp.Training.Batch.Microbatches = 8
+	pp.Training.BubbleRatio = 0.5
+	b3, err := pp.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(b3.Bubble)-0.5*float64(b1.Bubble)) > 1e-9*float64(b1.Bubble) {
+		t.Errorf("R=0.5 bubble = %v, want half of %v", b3.Bubble, b1.Bubble)
+	}
+}
+
+func TestZeROOverhead(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	plain, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ZeROComm != 0 {
+		t.Errorf("plain DP has ZeRO comm %v", plain.ZeROComm)
+	}
+	e.Training.ZeROOverhead = 0.5
+	z, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdBwd := z.TPIntraComm + z.TPInterComm + z.PPComm + z.MoEComm
+	if math.Abs(float64(z.ZeROComm)-0.5*float64(fwdBwd)) > 1e-9*float64(fwdBwd) {
+		t.Errorf("ZeRO comm = %v, want 0.5 x %v", z.ZeROComm, fwdBwd)
+	}
+}
+
+func TestPrecisionScaling(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	e.Training.Operands = precision.Uniform(precision.FP16)
+	fp16, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Training.Operands = precision.Uniform(precision.FP32)
+	fp32, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FP32 on FP16 MAC units: 2 passes -> ~2x compute time (the small
+	// non-linear share runs on FP32 units either way and does not double).
+	if got := float64(fp32.ComputeForward) / float64(fp16.ComputeForward); got < 1.9 || got > 2.0 {
+		t.Errorf("fp32/fp16 compute ratio = %v, want ~2", got)
+	}
+	// And 2x communication volume.
+	if got := float64(fp32.TPIntraComm) / float64(fp16.TPIntraComm); got < 1.9 || got > 2.1 {
+		t.Errorf("fp32/fp16 TP comm ratio = %v, want ~2", got)
+	}
+	// FP8 keeps one MAC pass (unit is 16-bit) but halves comm volume.
+	e.Training.Operands = precision.Uniform(precision.FP8)
+	fp8, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp8.ComputeForward != fp16.ComputeForward {
+		t.Errorf("fp8 compute %v != fp16 compute %v (same unit passes)", fp8.ComputeForward, fp16.ComputeForward)
+	}
+	if got := float64(fp16.TPIntraComm) / float64(fp8.TPIntraComm); got < 1.9 || got > 2.1 {
+		t.Errorf("fp16/fp8 comm ratio = %v, want ~2", got)
+	}
+}
+
+func TestGradAllReduceOnlyWithDP(t *testing.T) {
+	pure := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 128}, 8192)
+	// PP=256 exceeds layers; use PP=64, leave 2 unused -> invalid mapping.
+	// Use a valid DP-free mapping instead: TP8 intra, PP 80? must divide
+	// 128. PP inter 128 > layers 80 -> invalid. So accept DP=2 minimal.
+	_ = pure
+	withDP := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	b, err := withDP.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GradInterComm <= 0 {
+		t.Error("no inter-node gradient all-reduce with DP_inter=64")
+	}
+	if b.GradIntraComm != 0 {
+		t.Errorf("intra gradient comm %v with DP_intra=1", b.GradIntraComm)
+	}
+	dpIntra := cs1Estimator(parallel.Mapping{DPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	b2, err := dpIntra.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.GradIntraComm <= 0 {
+		t.Error("no intra gradient comm with DP_intra=8")
+	}
+}
+
+func TestGradShardingByTPPP(t *testing.T) {
+	// Higher TP·PP shrinks each worker's gradient shard and thus the DP
+	// all-reduce volume.
+	small := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	large := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 8, DPInter: 16}, 8192)
+	bs, err := small.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := large.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.GradInterComm >= bs.GradInterComm {
+		t.Errorf("grad comm did not shrink with PP sharding: %v vs %v",
+			bl.GradInterComm, bs.GradInterComm)
+	}
+}
+
+func TestMoECommunication(t *testing.T) {
+	g := transformer.GLaM()
+	sys := hardware.OpticalSystem(hardware.OpticalOptions{
+		AccelsPerNode: 8, EdgeAccels: 8, TotalAccels: 3072,
+	})
+	e := &Estimator{
+		Model:   &g,
+		System:  &sys,
+		Mapping: parallel.Mapping{TPIntra: 8, DPInter: 384, ExpertParallel: true},
+		Training: Training{
+			Batch:    parallel.Batch{Global: 6144},
+			Operands: precision.Uniform(precision.FP8),
+		},
+	}
+	b, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MoEComm <= 0 {
+		t.Error("no MoE comm for GLaM with expert parallelism")
+	}
+	// Without expert parallelism there is no all-to-all.
+	e.Mapping.ExpertParallel = false
+	b2, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.MoEComm != 0 {
+		t.Errorf("MoE comm %v without expert parallelism", b2.MoEComm)
+	}
+	// Dense models never pay it either.
+	d := transformer.Megatron145B()
+	e.Model = &d
+	e.Mapping.ExpertParallel = true
+	e.Training.Batch.Global = 6144
+	b3, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.MoEComm != 0 {
+		t.Errorf("MoE comm %v for dense model", b3.MoEComm)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Estimator)
+	}{
+		{"tp exceeds heads", func(e *Estimator) {
+			e.Mapping = parallel.Mapping{TPIntra: 8, TPInter: 16, DPInter: 8}
+		}},
+		{"pp exceeds layers", func(e *Estimator) {
+			e.Mapping = parallel.Mapping{PPIntra: 8, PPInter: 128}
+		}},
+		{"mapping does not tile", func(e *Estimator) {
+			e.Mapping = parallel.Mapping{TPIntra: 4, DPInter: 128}
+		}},
+		{"batch not divisible", func(e *Estimator) {
+			e.Training.Batch.Global = 1000
+		}},
+		{"negative bubble ratio", func(e *Estimator) {
+			e.Training.BubbleRatio = -1
+		}},
+		{"negative zero overhead", func(e *Estimator) {
+			e.Training.ZeROOverhead = -0.5
+		}},
+		{"broken model", func(e *Estimator) {
+			e.Model.Layers = 0
+		}},
+		{"broken system", func(e *Estimator) {
+			e.System.Nodes = 0
+		}},
+	}
+	for _, c := range cases {
+		e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+		c.mut(e)
+		if _, err := e.Evaluate(); err == nil {
+			t.Errorf("case %q: invalid estimator accepted", c.name)
+		}
+	}
+	var nilEst *Estimator
+	if err := nilEst.Validate(); err == nil {
+		t.Error("nil estimator accepted")
+	}
+}
+
+func TestMustEvaluate(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	if b := e.MustEvaluate(); b == nil {
+		t.Fatal("nil breakdown")
+	}
+	e.Training.Batch.Global = -1
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEvaluate did not panic on invalid input")
+		}
+	}()
+	e.MustEvaluate()
+}
+
+func TestEmbeddingInclusion(t *testing.T) {
+	// For a small model the logit projection is a large share of compute;
+	// including it must increase compute time and model FLOPs.
+	m := transformer.MinGPT()
+	sys := hardware.HGX2(8)
+	base := &Estimator{
+		Model:   &m,
+		System:  &sys,
+		Mapping: parallel.Mapping{DPIntra: 8},
+		Training: Training{
+			Batch: parallel.Batch{Global: 64, Microbatches: 1},
+		},
+	}
+	without, err := base.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Training.IncludeEmbedding = true
+	with, err := base.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.ComputeForward <= without.ComputeForward {
+		t.Error("embedding inclusion did not increase compute")
+	}
+	if with.ModelFLOPs <= without.ModelFLOPs {
+		t.Error("embedding inclusion did not increase model FLOPs")
+	}
+	if with.GradIntraComm <= without.GradIntraComm {
+		t.Error("embedding inclusion did not increase gradient comm")
+	}
+}
+
+func TestEfficiencyPlumbing(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	e.Eff = efficiency.Fixed(0.25)
+	quarter, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Eff = efficiency.Fixed(0.5)
+	half, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MAC share doubles; the fixed non-linear share dilutes slightly.
+	if got := float64(quarter.ComputeForward) / float64(half.ComputeForward); got < 1.9 || got > 2.0 {
+		t.Errorf("eff 0.25 vs 0.5 compute ratio = %v, want ~2", got)
+	}
+	if quarter.Efficiency != 0.25 || half.Efficiency != 0.5 {
+		t.Errorf("efficiencies = %v, %v", quarter.Efficiency, half.Efficiency)
+	}
+}
+
+func TestHigherBandwidthReducesComm(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	slow, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	fast.System.Intra = fast.System.Intra.Scale(4)
+	fast.System.Inter = fast.System.Inter.Scale(4)
+	fb, err := fast.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.CommTime() >= slow.CommTime() {
+		t.Errorf("4x bandwidth did not reduce comm: %v vs %v", fb.CommTime(), slow.CommTime())
+	}
+	if fb.ComputeTime() != slow.ComputeTime() {
+		t.Errorf("bandwidth changed compute: %v vs %v", fb.ComputeTime(), slow.ComputeTime())
+	}
+}
+
+func TestZeROOverheadForStage(t *testing.T) {
+	for stage, want := range map[int]float64{0: 0, 1: 0, 2: 0, 3: 0.5} {
+		got, err := ZeROOverheadForStage(stage)
+		if err != nil {
+			t.Errorf("stage %d: %v", stage, err)
+		}
+		if got != want {
+			t.Errorf("stage %d overhead = %v, want %v", stage, got, want)
+		}
+	}
+	if _, err := ZeROOverheadForStage(4); err == nil {
+		t.Error("stage 4 accepted")
+	}
+	if _, err := ZeROOverheadForStage(-1); err == nil {
+		t.Error("stage -1 accepted")
+	}
+	// End to end: ZeRO-3 adds visible communication, stages 0-2 do not.
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	ov3, _ := ZeROOverheadForStage(3)
+	e.Training.ZeROOverhead = ov3
+	z3, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z3.ZeROComm <= 0 {
+		t.Error("ZeRO-3 added no communication")
+	}
+}
+
+func TestCommOverlap(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	exposed, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Training.CommOverlap = 0.5
+	half, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TP/PP comm halves; gradient all-reduce is untouched.
+	if got := float64(half.TPIntraComm) / float64(exposed.TPIntraComm); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("overlapped TP comm ratio = %v, want 0.5", got)
+	}
+	if got := float64(half.PPComm) / float64(exposed.PPComm); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("overlapped PP comm ratio = %v, want 0.5", got)
+	}
+	if half.GradInterComm != exposed.GradInterComm {
+		t.Error("overlap discounted the gradient all-reduce")
+	}
+	if half.ComputeTime() != exposed.ComputeTime() {
+		t.Error("overlap changed compute")
+	}
+	// Full overlap leaves only compute, grads and bubbles.
+	e.Training.CommOverlap = 1
+	full, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TPIntraComm != 0 || full.PPComm != 0 {
+		t.Errorf("full overlap left comm: %v / %v", full.TPIntraComm, full.PPComm)
+	}
+	// Rejections.
+	e.Training.CommOverlap = 1.5
+	if _, err := e.Evaluate(); err == nil {
+		t.Error("overlap > 1 accepted")
+	}
+	e.Training.CommOverlap = -0.1
+	if _, err := e.Evaluate(); err == nil {
+		t.Error("negative overlap accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"amped/internal/efficiency"
+	"amped/internal/units"
+)
+
+// LayerProfile is one transformer block's share of the per-batch time.
+type LayerProfile struct {
+	// Layer is the block index.
+	Layer int
+	// MoE flags Mixture-of-Experts blocks.
+	MoE bool
+	// Compute is the block's forward+backward+update compute time on the
+	// critical path (already divided by the worker count).
+	Compute units.Seconds
+	// Comm is the block's communication time (TP + PP share + MoE,
+	// forward and backward).
+	Comm units.Seconds
+	// GradAR is the block's gradient all-reduce time.
+	GradAR units.Seconds
+}
+
+// Total sums the profile's components.
+func (p LayerProfile) Total() units.Seconds { return p.Compute + p.Comm + p.GradAR }
+
+// ProfileLayers evaluates the model layer by layer, returning each block's
+// contribution to the per-batch time — the view that locates *which* layers
+// (dense vs MoE, attention-heavy vs MLP-heavy) dominate a configuration.
+// The profile sums to the breakdown's totals minus the pipeline bubble
+// (bubbles are a schedule property, not a layer's).
+func (e *Estimator) ProfileLayers() ([]LayerProfile, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	tr := e.Training.withDefaults()
+	effModel := e.Eff
+	if effModel == nil {
+		effModel = efficiency.Default()
+	}
+	m := e.Model
+	sys := e.System
+	mp := e.Mapping.Normalized()
+	B := tr.Batch.Global
+	workers := float64(mp.Workers())
+
+	ub := tr.Batch.Microbatch(mp)
+	eff := effModel.Eff(ub)
+	cMAC := 1 / float64(sys.Accel.MACRate(eff))
+	cNonlin := 1 / float64(sys.Accel.NonlinRate())
+	macScale := float64(tr.Operands.MACScale(sys.Accel.MACPrecision))
+	nonlinScale := float64(tr.Operands.NonlinScale(sys.Accel.NonlinPrecision))
+	bf := tr.BackwardCommFactor
+
+	// Reuse the communication machinery per layer by evaluating a
+	// single-layer view of each distinct layer kind; PP's 1/L spreading
+	// already makes forward() per-layer additive.
+	comm := e.commState(tr)
+	full := comm.forward(m, mp, sys)
+	L := float64(m.Layers)
+	moeLayers := m.MoELayers()
+
+	// Distribute the layer-uniform components evenly and the MoE
+	// component over MoE layers only.
+	perLayerBase := (full.tpIntra + full.tpInter + full.pp) / L
+	var perMoE float64
+	if moeLayers > 0 {
+		perMoE = full.moe / float64(moeLayers)
+	}
+	// Per-layer gradient all-reduce, with the expert-parallel sharding
+	// exactly as commState.gradient applies it.
+	shard := 1 / float64(mp.TP()*mp.PP())
+	gradBits := float64(tr.Operands.Grad.Bits())
+	inter := sys.InterLinkEffective()
+	gradFor := func(l int) float64 {
+		if mp.DP() <= 1 {
+			return 0
+		}
+		ng := m.LayerParams(l) * shard
+		if mp.ExpertParallel && m.IsMoELayer(l) {
+			sharedP := m.AttentionNormParams() * shard
+			ng = sharedP + (m.LayerParams(l)-m.AttentionNormParams())*shard/float64(m.Experts)
+		}
+		return allReduceTime(tr.Topology.AllReduce, mp.DPIntra, ng, gradBits, sys.Intra) +
+			allReduceTime(tr.Topology.AllReduce, mp.DPInter, ng, gradBits, inter)
+	}
+
+	out := make([]LayerProfile, m.Layers)
+	for l := 0; l < m.Layers; l++ {
+		var uf float64
+		for _, op := range m.LayerOps(l, B) {
+			uf += float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
+		}
+		uw := m.LayerParams(l) * cMAC * macScale
+		p := LayerProfile{
+			Layer:   l,
+			MoE:     m.IsMoELayer(l),
+			Compute: units.Seconds(((1 + tr.BackwardComputeFactor) * uf / workers) + uw/workers),
+			Comm:    units.Seconds((1 + bf) * perLayerBase),
+			GradAR:  units.Seconds(gradFor(l)),
+		}
+		if p.MoE {
+			p.Comm += units.Seconds((1 + bf) * perMoE)
+		}
+		out[l] = p
+	}
+	return out, nil
+}

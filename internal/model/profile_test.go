@@ -1,0 +1,110 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+)
+
+func TestProfileSumsToBreakdown(t *testing.T) {
+	// Layer profiles must add up to the breakdown's compute + comm + grad
+	// components (the bubble is a schedule property and excluded).
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 8192)
+	bd, err := e.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := e.ProfileLayers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 80 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	var compute, comm, grad float64
+	for _, p := range profiles {
+		compute += float64(p.Compute)
+		comm += float64(p.Comm)
+		grad += float64(p.GradAR)
+	}
+	wantCompute := float64(bd.ComputeTime())
+	if math.Abs(compute-wantCompute) > 1e-9*wantCompute {
+		t.Errorf("profile compute %v != breakdown %v", compute, wantCompute)
+	}
+	wantComm := float64(bd.TPIntraComm + bd.TPInterComm + bd.PPComm + bd.MoEComm)
+	if math.Abs(comm-wantComm) > 1e-9*wantComm {
+		t.Errorf("profile comm %v != breakdown %v", comm, wantComm)
+	}
+	wantGrad := float64(bd.GradIntraComm + bd.GradInterComm)
+	if math.Abs(grad-wantGrad) > 1e-9*wantGrad {
+		t.Errorf("profile grad %v != breakdown %v", grad, wantGrad)
+	}
+}
+
+func TestProfileDenseUniform(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 8, DPInter: 128}, 8192)
+	profiles, err := e.ProfileLayers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range profiles {
+		if p.MoE {
+			t.Fatalf("dense model flagged MoE at %d", i)
+		}
+		if p.Layer != i {
+			t.Fatalf("layer index %d at %d", p.Layer, i)
+		}
+		if p.Total() <= 0 {
+			t.Fatalf("layer %d non-positive total", i)
+		}
+		if i > 0 && math.Abs(float64(p.Total()-profiles[0].Total())) > 1e-12*float64(profiles[0].Total()) {
+			t.Fatalf("dense layers differ: %v vs %v", p.Total(), profiles[0].Total())
+		}
+	}
+}
+
+func TestProfileMoELayersStandOut(t *testing.T) {
+	g := transformer.GLaM()
+	sys := hardware.OpticalSystem(hardware.OpticalOptions{
+		AccelsPerNode: 8, EdgeAccels: 8, TotalAccels: 3072,
+	})
+	e := &Estimator{
+		Model:   &g,
+		System:  &sys,
+		Mapping: parallel.Mapping{TPIntra: 8, DPInter: 384, ExpertParallel: true},
+		Training: Training{
+			Batch:    parallel.Batch{Global: 6144},
+			Operands: precision.Uniform(precision.FP8),
+		},
+	}
+	profiles, err := e.ProfileLayers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moe, dense := 0, 0
+	for i, p := range profiles {
+		if p.MoE {
+			moe++
+			// MoE layers: more compute (top-2 experts), extra all-to-all.
+			if p.Compute <= profiles[0].Compute || p.Comm <= profiles[0].Comm {
+				t.Errorf("MoE layer %d not heavier than dense layer 0", i)
+			}
+		} else {
+			dense++
+		}
+	}
+	if moe != 32 || dense != 32 {
+		t.Errorf("moe/dense split = %d/%d", moe, dense)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	e := cs1Estimator(parallel.Mapping{TPIntra: 4, DPInter: 128}, 8192) // does not tile
+	if _, err := e.ProfileLayers(); err == nil {
+		t.Error("invalid estimator profiled")
+	}
+}

@@ -1,0 +1,130 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// randomMapping draws a random power-of-two mapping that tiles the
+// Case-Study-I machine (8 accels/node x 128 nodes) and respects the model's
+// head and layer caps. Deterministically seeded per test.
+func randomMapping(r *rand.Rand, m *transformer.Model) parallel.Mapping {
+	sys := hardware.CaseStudy1System()
+	maps := parallel.Enumerate(&sys, parallel.EnumerateOptions{
+		PowerOfTwo: true,
+		MaxTP:      m.Heads,
+		MaxPP:      m.Layers,
+	})
+	return maps[r.Intn(len(maps))]
+}
+
+// TestMetamorphicProperties checks model-wide invariants over random
+// mappings and batches: determinism, positivity, monotone response to
+// bandwidth, and worker-count consistency.
+func TestMetamorphicProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	batches := []int{4096, 8192, 16384}
+
+	for i := 0; i < 60; i++ {
+		mp := randomMapping(r, &m)
+		batch := batches[r.Intn(len(batches))]
+		est := Estimator{
+			Model: &m, System: &sys, Mapping: mp,
+			Training: Training{Batch: parallel.Batch{Global: batch}},
+		}
+		bd, err := est.Evaluate()
+		if err != nil {
+			t.Fatalf("mapping %v batch %d: %v", mp, batch, err)
+		}
+
+		// Determinism: a second evaluation is bit-identical.
+		bd2, err := est.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *bd != *bd2 {
+			t.Fatalf("mapping %v: non-deterministic evaluation", mp)
+		}
+
+		// Positivity and composition.
+		if bd.PerBatch() <= 0 {
+			t.Fatalf("mapping %v: non-positive per-batch time", mp)
+		}
+		if bd.Workers != 1024 {
+			t.Fatalf("mapping %v: workers = %d", mp, bd.Workers)
+		}
+		if bd.TFLOPSPerGPU() <= 0 || bd.TFLOPSPerGPU() > 312 {
+			t.Fatalf("mapping %v: TFLOPs = %v", mp, bd.TFLOPSPerGPU())
+		}
+
+		// Monotone in bandwidth: a uniformly faster machine is never
+		// slower.
+		fast := sys
+		fast.Intra = fast.Intra.Scale(2)
+		fast.Inter = fast.Inter.Scale(2)
+		festimator := est
+		festimator.System = &fast
+		fbd, err := festimator.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fbd.PerBatch() > bd.PerBatch()*(1+1e-12) {
+			t.Fatalf("mapping %v: 2x bandwidth slowed the run (%v -> %v)",
+				mp, bd.PerBatch(), fbd.PerBatch())
+		}
+
+		// Monotone in efficiency: a better efficiency curve never hurts.
+		bestimator := est
+		bestimator.Eff = efficiency.Fixed(1)
+		bbd, err := bestimator.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bbd.ComputeTime() > bd.ComputeTime()*(1+1e-12) {
+			t.Fatalf("mapping %v: eff=1 increased compute time", mp)
+		}
+	}
+}
+
+// TestMetamorphicBatchScaling checks that doubling the global batch (same
+// mapping, same N_ub policy) never more than doubles the per-batch time and
+// never reduces it — compute scales linearly, efficiency only improves.
+func TestMetamorphicBatchScaling(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	for i := 0; i < 30; i++ {
+		mp := randomMapping(r, &m)
+		eval := func(batch int) *Breakdown {
+			est := Estimator{
+				Model: &m, System: &sys, Mapping: mp,
+				Training: Training{Batch: parallel.Batch{Global: batch}},
+			}
+			bd, err := est.Evaluate()
+			if err != nil {
+				t.Fatalf("mapping %v batch %d: %v", mp, batch, err)
+			}
+			return bd
+		}
+		small, big := eval(8192), eval(16384)
+		if big.PerBatch() < small.PerBatch()*(1-1e-12) {
+			t.Fatalf("mapping %v: bigger batch ran faster per batch", mp)
+		}
+		if big.PerBatch() > small.PerBatch()*2*(1+1e-9) {
+			t.Fatalf("mapping %v: batch doubling more than doubled time (%v -> %v)",
+				mp, small.PerBatch(), big.PerBatch())
+		}
+		// Per-token throughput never degrades with batch size.
+		if big.TFLOPSPerGPU() < small.TFLOPSPerGPU()*(1-1e-9) {
+			t.Fatalf("mapping %v: TFLOPs fell with batch (%v -> %v)",
+				mp, small.TFLOPSPerGPU(), big.TFLOPSPerGPU())
+		}
+	}
+}

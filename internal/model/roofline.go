@@ -1,0 +1,49 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+)
+
+// RooflinePredictor derives a predictive microbatch-efficiency model from
+// hardware and workload parameters alone — the paper's declared future
+// work ("a predictive model for eff(ub) is left for future work"). The
+// prediction uses the accelerator's compute/memory roofline on the layer's
+// dominant GEMM, with the operand precision setting both the effective
+// peak (Eq. 2's pass count) and the element size, and the tensor-parallel
+// degree shrinking the local weight tile.
+func RooflinePredictor(accel hardware.Accelerator, m *transformer.Model, tp int, operands precision.Operands) (efficiency.Roofline, error) {
+	if err := accel.Validate(); err != nil {
+		return efficiency.Roofline{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return efficiency.Roofline{}, err
+	}
+	if accel.MemBW <= 0 {
+		return efficiency.Roofline{}, fmt.Errorf("model: accelerator %q has no memory bandwidth for a roofline", accel.Name)
+	}
+	if tp < 1 {
+		return efficiency.Roofline{}, errors.New("model: tensor-parallel degree must be >= 1")
+	}
+	if err := operands.Validate(); err != nil {
+		return efficiency.Roofline{}, err
+	}
+	scale := float64(operands.MACScale(accel.MACPrecision))
+	r := efficiency.Roofline{
+		PeakMACs:     float64(accel.PeakMACRate()) / scale,
+		MemBW:        float64(accel.MemBW) / 8,
+		Hidden:       m.Hidden,
+		SeqLen:       m.SeqLen,
+		TPShard:      tp,
+		BytesPerElem: float64(precision.Max(operands.Param, operands.Act).Bytes()),
+	}
+	if err := r.Validate(); err != nil {
+		return efficiency.Roofline{}, err
+	}
+	return r, nil
+}

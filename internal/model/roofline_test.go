@@ -1,0 +1,90 @@
+package model
+
+import (
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+)
+
+func TestRooflinePredictorConstruction(t *testing.T) {
+	m := transformer.Megatron145B()
+	r, err := RooflinePredictor(hardware.NvidiaA100(), &m, 8, precision.Mixed16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hidden != 12288 || r.SeqLen != 2048 || r.TPShard != 8 {
+		t.Errorf("roofline = %+v", r)
+	}
+	// A100 FP16: peak 1.56e14 MACs/s, one Eq. 2 pass.
+	if r.PeakMACs < 1.5e14 || r.PeakMACs > 1.6e14 {
+		t.Errorf("peak = %v", r.PeakMACs)
+	}
+	// FP32 operands on FP16 units halve the effective peak.
+	r32, err := RooflinePredictor(hardware.NvidiaA100(), &m, 8, precision.Uniform(precision.FP32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PeakMACs / r32.PeakMACs; got < 1.99 || got > 2.01 {
+		t.Errorf("fp16/fp32 peak ratio = %v, want 2", got)
+	}
+	if r32.BytesPerElem != 4 {
+		t.Errorf("fp32 bytes/elem = %v", r32.BytesPerElem)
+	}
+}
+
+func TestRooflinePredictorErrors(t *testing.T) {
+	m := transformer.Megatron145B()
+	noBW := hardware.NvidiaA100()
+	noBW.MemBW = 0
+	if _, err := RooflinePredictor(noBW, &m, 8, precision.Mixed16()); err == nil {
+		t.Error("accelerator without memory bandwidth accepted")
+	}
+	if _, err := RooflinePredictor(hardware.NvidiaA100(), &m, 0, precision.Mixed16()); err == nil {
+		t.Error("zero TP accepted")
+	}
+	broken := m
+	broken.Layers = 0
+	if _, err := RooflinePredictor(hardware.NvidiaA100(), &broken, 8, precision.Mixed16()); err == nil {
+		t.Error("broken model accepted")
+	}
+	bad := precision.Mixed16()
+	bad.Act = 0
+	if _, err := RooflinePredictor(hardware.NvidiaA100(), &m, 8, bad); err == nil {
+		t.Error("broken operands accepted")
+	}
+	brokenAccel := hardware.NvidiaA100()
+	brokenAccel.Cores = 0
+	if _, err := RooflinePredictor(brokenAccel, &m, 8, precision.Mixed16()); err == nil {
+		t.Error("broken accelerator accepted")
+	}
+}
+
+func TestEstimatorWithRooflineEfficiency(t *testing.T) {
+	// End to end: drive the full analytical model with the derived
+	// predictor instead of a fitted curve.
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	r, err := RooflinePredictor(sys.Accel, &m, 8, precision.Mixed16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := Estimator{
+		Model: &m, System: &sys,
+		Mapping:  parallel.Mapping{TPIntra: 8, DPInter: 128},
+		Training: Training{Batch: parallel.Batch{Global: 8192, Microbatches: 1}},
+		Eff:      r,
+	}
+	bd, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Efficiency <= 0.5 || bd.Efficiency > 0.9 {
+		t.Errorf("roofline efficiency at ub=64 = %v, want high (large GEMMs)", bd.Efficiency)
+	}
+	if bd.TFLOPSPerGPU() <= 0 || bd.TFLOPSPerGPU() > 312 {
+		t.Errorf("throughput = %v", bd.TFLOPSPerGPU())
+	}
+}

@@ -1,0 +1,22 @@
+package model
+
+import "fmt"
+
+// ZeROOverheadForStage derives Eq. 5's M_f_DP factor from the ZeRO stage
+// [Rajbhandari et al., SC'20]: stages 1 and 2 (optimizer-state and
+// gradient partitioning) keep the total communication volume of plain data
+// parallelism (a reduce-scatter plus an all-gather replace the all-reduce,
+// same 2Ψ bytes), so the extra forward/backward overhead is zero; stage 3
+// (parameter partitioning) must all-gather the weights on demand during
+// both passes, adding half again the baseline traffic (3Ψ total), i.e. an
+// overhead factor of 0.5.
+func ZeROOverheadForStage(stage int) (float64, error) {
+	switch stage {
+	case 0, 1, 2:
+		return 0, nil
+	case 3:
+		return 0.5, nil
+	default:
+		return 0, fmt.Errorf("model: ZeRO stage %d outside [0,3]", stage)
+	}
+}

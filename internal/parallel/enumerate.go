@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"sort"
+
+	"amped/internal/hardware"
+)
+
+// EnumerateOptions constrains the mapping enumeration of Enumerate.
+type EnumerateOptions struct {
+	// MaxTP caps the total tensor-parallel degree (TP cannot usefully
+	// exceed the attention-head count). Zero means unlimited.
+	MaxTP int
+	// MaxPP caps the total pipeline degree (bounded by the layer count).
+	// Zero means unlimited.
+	MaxPP int
+	// PowerOfTwo restricts every per-level degree to powers of two, the
+	// shape real deployments use. Default false enumerates all divisors.
+	PowerOfTwo bool
+	// ExpertParallel sets the flag on every produced mapping.
+	ExpertParallel bool
+}
+
+// divisorTriples returns all ordered triples (a,b,c) with a·b·c == n,
+// optionally restricted to powers of two.
+func divisorTriples(n int, pow2 bool) [][3]int {
+	var out [][3]int
+	for a := 1; a <= n; a++ {
+		if n%a != 0 || (pow2 && !isPow2(a)) {
+			continue
+		}
+		rest := n / a
+		for b := 1; b <= rest; b++ {
+			if rest%b != 0 || (pow2 && !isPow2(b)) {
+				continue
+			}
+			c := rest / b
+			if pow2 && !isPow2(c) {
+				continue
+			}
+			out = append(out, [3]int{a, b, c})
+		}
+	}
+	return out
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Enumerate lists every mapping that exactly tiles the system: all ways of
+// factoring the node population into intra-node (TP,PP,DP) and the node
+// count into inter-node (TP,PP,DP), subject to the options. The result is
+// sorted by total TP, then PP, then DP degree for deterministic output.
+func Enumerate(sys *hardware.System, opt EnumerateOptions) []Mapping {
+	if sys == nil || sys.AccelsPerNode <= 0 || sys.Nodes <= 0 {
+		return nil
+	}
+	intra := divisorTriples(sys.AccelsPerNode, opt.PowerOfTwo)
+	inter := divisorTriples(sys.Nodes, opt.PowerOfTwo)
+	var out []Mapping
+	for _, i := range intra {
+		for _, e := range inter {
+			m := Mapping{
+				TPIntra: i[0], PPIntra: i[1], DPIntra: i[2],
+				TPInter: e[0], PPInter: e[1], DPInter: e[2],
+				ExpertParallel: opt.ExpertParallel,
+			}
+			if opt.MaxTP > 0 && m.TP() > opt.MaxTP {
+				continue
+			}
+			if opt.MaxPP > 0 && m.PP() > opt.MaxPP {
+				continue
+			}
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ma, mb := out[a], out[b]
+		if ma.TP() != mb.TP() {
+			return ma.TP() < mb.TP()
+		}
+		if ma.PP() != mb.PP() {
+			return ma.PP() < mb.PP()
+		}
+		if ma.DP() != mb.DP() {
+			return ma.DP() < mb.DP()
+		}
+		return ma.String() < mb.String()
+	})
+	return out
+}

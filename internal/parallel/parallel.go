@@ -1,0 +1,180 @@
+// Package parallel describes how a training job is parallelized across a
+// distributed system: the degrees of tensor (TP), pipeline (PP), data (DP)
+// and expert (MoE) parallelism and their split between intra-node and
+// inter-node accelerators — the "mapping of parallelisms onto the system"
+// that AMPeD exposes as its central tunable knob.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/hardware"
+)
+
+// Mapping is one parallelism configuration. Total degree of each parallelism
+// is the product of its intra- and inter-node components; the product of all
+// three totals must equal the machine's accelerator count.
+type Mapping struct {
+	// TPIntra and TPInter compose N_TP = TPIntra · TPInter.
+	TPIntra, TPInter int
+	// PPIntra and PPInter compose N_PP.
+	PPIntra, PPInter int
+	// DPIntra and DPInter compose N_DP.
+	DPIntra, DPInter int
+	// ExpertParallel distributes MoE experts across workers; the paper
+	// models its communication as node-level all-to-all (Eq. 9), so the
+	// flag records intent and the expert count lives with the model.
+	ExpertParallel bool
+}
+
+// normalize returns a copy with zero degrees promoted to 1 so callers can
+// leave unused dimensions unset.
+func (m Mapping) normalize() Mapping {
+	one := func(v int) int {
+		if v == 0 {
+			return 1
+		}
+		return v
+	}
+	m.TPIntra, m.TPInter = one(m.TPIntra), one(m.TPInter)
+	m.PPIntra, m.PPInter = one(m.PPIntra), one(m.PPInter)
+	m.DPIntra, m.DPInter = one(m.DPIntra), one(m.DPInter)
+	return m
+}
+
+// Normalized returns the mapping with all degrees at least 1.
+func (m Mapping) Normalized() Mapping { return m.normalize() }
+
+// TP returns the total tensor-parallel degree N_TP.
+func (m Mapping) TP() int { n := m.normalize(); return n.TPIntra * n.TPInter }
+
+// PP returns the total pipeline-parallel degree N_PP.
+func (m Mapping) PP() int { n := m.normalize(); return n.PPIntra * n.PPInter }
+
+// DP returns the total data-parallel degree N_DP.
+func (m Mapping) DP() int { n := m.normalize(); return n.DPIntra * n.DPInter }
+
+// Workers returns the total accelerator count the mapping occupies.
+func (m Mapping) Workers() int { return m.TP() * m.PP() * m.DP() }
+
+// IntraDegree returns the accelerators per node the mapping uses.
+func (m Mapping) IntraDegree() int {
+	n := m.normalize()
+	return n.TPIntra * n.PPIntra * n.DPIntra
+}
+
+// InterDegree returns the node count the mapping uses.
+func (m Mapping) InterDegree() int {
+	n := m.normalize()
+	return n.TPInter * n.PPInter * n.DPInter
+}
+
+// String renders the mapping compactly, e.g. "TP8x1 PP1x2 DP1x64".
+func (m Mapping) String() string {
+	n := m.normalize()
+	s := fmt.Sprintf("TP%dx%d PP%dx%d DP%dx%d",
+		n.TPIntra, n.TPInter, n.PPIntra, n.PPInter, n.DPIntra, n.DPInter)
+	if m.ExpertParallel {
+		s += " +EP"
+	}
+	return s
+}
+
+// Validate checks that the mapping is internally consistent and fits the
+// system: positive degrees, intra-node product equal to the node population,
+// inter-node product equal to the node count.
+func (m Mapping) Validate(sys *hardware.System) error {
+	if sys == nil {
+		return errors.New("parallel: nil system")
+	}
+	n := m.normalize()
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"TP intra", n.TPIntra}, {"TP inter", n.TPInter},
+		{"PP intra", n.PPIntra}, {"PP inter", n.PPInter},
+		{"DP intra", n.DPIntra}, {"DP inter", n.DPInter},
+	} {
+		if d.v < 1 {
+			return fmt.Errorf("parallel: %s degree %d must be >= 1", d.name, d.v)
+		}
+	}
+	if got, want := n.IntraDegree(), sys.AccelsPerNode; got != want {
+		return fmt.Errorf("parallel: mapping %v uses %d accelerators per node, node has %d", m, got, want)
+	}
+	if got, want := n.InterDegree(), sys.Nodes; got != want {
+		return fmt.Errorf("parallel: mapping %v spans %d nodes, system has %d", m, got, want)
+	}
+	return nil
+}
+
+// Batch describes how the global batch is scheduled through a mapping.
+type Batch struct {
+	// Global is the total sequences per training step (the paper sweeps
+	// 4096/8192/16384 in Case Study I).
+	Global int
+	// Microbatches is N_ub, the microbatch count per pipeline (per
+	// replica). Zero lets callers derive a default (commonly N_PP).
+	Microbatches int
+}
+
+// Validate checks the batch configuration against a mapping: the global
+// batch must divide evenly into per-replica batches and microbatches.
+func (b Batch) Validate(m Mapping) error {
+	if b.Global <= 0 {
+		return fmt.Errorf("parallel: global batch %d must be positive", b.Global)
+	}
+	if b.Microbatches < 0 {
+		return fmt.Errorf("parallel: microbatch count %d must be non-negative", b.Microbatches)
+	}
+	dp := m.DP()
+	if b.Global%dp != 0 {
+		return fmt.Errorf("parallel: global batch %d not divisible by DP degree %d", b.Global, dp)
+	}
+	nub := b.MicrobatchesOrDefault(m)
+	if per := b.Global / dp; per%nub != 0 {
+		return fmt.Errorf("parallel: per-replica batch %d not divisible by %d microbatches", per, nub)
+	}
+	return nil
+}
+
+// MicrobatchesOrDefault returns N_ub, defaulting to the pipeline degree
+// (the paper's §V-B choice) clamped to at least 1 and at most the
+// per-replica batch so a microbatch always holds >= 1 sequence.
+func (b Batch) MicrobatchesOrDefault(m Mapping) int {
+	nub := b.Microbatches
+	if nub <= 0 {
+		nub = m.PP()
+	}
+	if per := b.PerReplica(m); nub > per && per > 0 {
+		nub = per
+	}
+	if nub < 1 {
+		nub = 1
+	}
+	return nub
+}
+
+// PerReplica returns b = B / N_DP, the effective batch one data-parallel
+// replica processes — the batch size entering the communication volumes of
+// Eq. 6/7/9.
+func (b Batch) PerReplica(m Mapping) int {
+	dp := m.DP()
+	if dp == 0 {
+		return 0
+	}
+	return b.Global / dp
+}
+
+// Microbatch returns ub = B / (N_DP · N_ub), the per-step batch that
+// determines microbatch efficiency (Eq. 3's eff(ub) argument).
+func (b Batch) Microbatch(m Mapping) float64 {
+	nub := b.MicrobatchesOrDefault(m)
+	per := b.PerReplica(m)
+	if nub == 0 {
+		return 0
+	}
+	return float64(per) / float64(nub)
+}

@@ -1,0 +1,237 @@
+package pipesim
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/eventsim"
+)
+
+// InterleavedConfig describes a virtual-stage (interleaved) pipeline run:
+// each physical stage holds Chunks non-contiguous layer chunks, so the
+// fill/drain bubble shrinks by roughly the chunk count — the schedule
+// behind Megatron-LM's interleaved pipelining and the mechanism the
+// paper's R factor (Eq. 8) abstracts.
+type InterleavedConfig struct {
+	// Stages is the physical pipeline depth p.
+	Stages int
+	// Chunks is v, the virtual chunks per stage (1 = plain GPipe).
+	Chunks int
+	// Microbatches is m.
+	Microbatches int
+	// FwdTime and BwdTime are per *full stage* per microbatch; one chunk
+	// task costs FwdTime/Chunks (resp. BwdTime/Chunks).
+	FwdTime, BwdTime eventsim.Time
+	// CommTime is the per-hop activation transfer time, including the
+	// wrap-around hop from the last stage back to the first between chunks.
+	CommTime eventsim.Time
+	// KeepTrace records per-stage busy intervals.
+	KeepTrace bool
+}
+
+// Validate checks the configuration.
+func (c InterleavedConfig) Validate() error {
+	switch {
+	case c.Stages <= 0:
+		return fmt.Errorf("pipesim: stage count %d must be positive", c.Stages)
+	case c.Chunks <= 0:
+		return fmt.Errorf("pipesim: chunk count %d must be positive", c.Chunks)
+	case c.Microbatches <= 0:
+		return fmt.Errorf("pipesim: microbatch count %d must be positive", c.Microbatches)
+	case c.FwdTime < 0 || c.BwdTime < 0 || c.CommTime < 0:
+		return errors.New("pipesim: negative task durations")
+	case c.FwdTime == 0 && c.BwdTime == 0:
+		return errors.New("pipesim: zero-work pipeline")
+	}
+	return nil
+}
+
+// ctask is one (kind, microbatch, chunk) unit of work on a stage.
+type ctask struct {
+	kind  kind
+	mb    int
+	chunk int
+}
+
+func (t ctask) String() string {
+	k := "F"
+	if t.kind == bwd {
+		k = "B"
+	}
+	return fmt.Sprintf("%s%d.%d", k, t.mb, t.chunk)
+}
+
+// RunInterleaved simulates one batch through the interleaved fill-drain
+// schedule: all chunk-0 forwards, then chunk-1 forwards (each microbatch
+// wrapping from the last stage back to the first), ..., then the backward
+// chunks in reverse. With Chunks=1 it reduces to Run's GPipe schedule.
+func RunInterleaved(cfg InterleavedConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p, v, m := cfg.Stages, cfg.Chunks, cfg.Microbatches
+
+	var sim eventsim.Sim
+	stages := make([]*eventsim.Resource, p)
+	for s := range stages {
+		stages[s] = eventsim.NewResource(&sim, fmt.Sprintf("stage%d", s), cfg.KeepTrace)
+	}
+
+	// done[kind][mb][chunk][stage]
+	done := [2][][][]bool{}
+	for k := range done {
+		done[k] = make([][][]bool, m)
+		for i := range done[k] {
+			done[k][i] = make([][]bool, v)
+			for c := range done[k][i] {
+				done[k][i][c] = make([]bool, p)
+			}
+		}
+	}
+
+	// Per-stage execution order: forward chunks ascending, backward
+	// chunks descending with microbatches reversed (fill-drain).
+	orderFor := func() []ctask {
+		out := make([]ctask, 0, 2*v*m)
+		for c := 0; c < v; c++ {
+			for i := 0; i < m; i++ {
+				out = append(out, ctask{fwd, i, c})
+			}
+		}
+		for c := v - 1; c >= 0; c-- {
+			for i := m - 1; i >= 0; i-- {
+				out = append(out, ctask{bwd, i, c})
+			}
+		}
+		return out
+	}
+	orders := make([][]ctask, p)
+	next := make([]int, p)
+	for s := 0; s < p; s++ {
+		orders[s] = orderFor()
+	}
+
+	depReady := func(t ctask, s int) bool {
+		switch t.kind {
+		case fwd:
+			if s > 0 {
+				return done[fwd][t.mb][t.chunk][s-1]
+			}
+			if t.chunk > 0 {
+				return done[fwd][t.mb][t.chunk-1][p-1] // wrap-around hop
+			}
+			return true
+		default:
+			if s < p-1 {
+				return done[bwd][t.mb][t.chunk][s+1]
+			}
+			if t.chunk < v-1 {
+				return done[bwd][t.mb][t.chunk+1][0] // wrap-around hop
+			}
+			return done[fwd][t.mb][v-1][p-1] // loss after the last forward
+		}
+	}
+	dur := func(t ctask) eventsim.Time {
+		if t.kind == fwd {
+			return cfg.FwdTime / eventsim.Time(v)
+		}
+		return cfg.BwdTime / eventsim.Time(v)
+	}
+
+	issued := make([]bool, p)
+	var tryIssue func(s int)
+	complete := func(t ctask, s int) {
+		done[t.kind][t.mb][t.chunk][s] = true
+		tryIssue(s)
+		notify := func(dst int) {
+			sim.After(cfg.CommTime, func() { tryIssue(dst) })
+		}
+		switch t.kind {
+		case fwd:
+			if s+1 < p {
+				notify(s + 1)
+			} else if t.chunk+1 < v {
+				notify(0) // wrap to the next chunk's first stage
+			} else {
+				tryIssue(s) // backward starts on the last stage
+			}
+		default:
+			if s-1 >= 0 {
+				notify(s - 1)
+			} else if t.chunk-1 >= 0 {
+				notify(p - 1) // wrap to the previous chunk's last stage
+			}
+		}
+	}
+	tryIssue = func(s int) {
+		if next[s] >= len(orders[s]) || issued[s] {
+			return
+		}
+		t := orders[s][next[s]]
+		if !depReady(t, s) {
+			return
+		}
+		issued[s] = true
+		stages[s].Acquire(dur(t), t.String(), func() {
+			issued[s] = false
+			next[s]++
+			complete(t, s)
+		})
+	}
+
+	sim.At(0, func() {
+		for s := 0; s < p; s++ {
+			tryIssue(s)
+		}
+	})
+	end, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < p; s++ {
+		if next[s] != len(orders[s]) {
+			return nil, fmt.Errorf("pipesim: interleaved stage %d stalled at task %d/%d",
+				s, next[s], len(orders[s]))
+		}
+	}
+
+	res := &Result{Makespan: end, StageBusy: make([]eventsim.Time, p)}
+	for s, r := range stages {
+		res.StageBusy[s] = r.BusyTime()
+		if cfg.KeepTrace {
+			res.Traces = append(res.Traces, r.Trace())
+		}
+	}
+	return res, nil
+}
+
+// EstimateR measures the Eq. 8 bubble ratio R of an interleaved schedule:
+// the simulated bubble time of the v-chunk schedule divided by the naive
+// (v=1) schedule's, for the same total work. This is how the paper's
+// "R can be tuned or modeled in more detail" knob is derived from first
+// principles instead of fitted.
+func EstimateR(stages, microbatches, chunks int, fwd, bwd, comm eventsim.Time) (float64, error) {
+	base := InterleavedConfig{
+		Stages: stages, Chunks: 1, Microbatches: microbatches,
+		FwdTime: fwd, BwdTime: bwd, CommTime: comm,
+	}
+	naive, err := RunInterleaved(base)
+	if err != nil {
+		return 0, err
+	}
+	base.Chunks = chunks
+	inter, err := RunInterleaved(base)
+	if err != nil {
+		return 0, err
+	}
+	ideal := eventsim.Time(microbatches) * (fwd + bwd)
+	naiveBubble := float64(naive.Makespan - ideal)
+	interBubble := float64(inter.Makespan - ideal)
+	if naiveBubble <= 0 {
+		return 0, errors.New("pipesim: no bubbles to compare (single stage?)")
+	}
+	if interBubble < 0 {
+		interBubble = 0
+	}
+	return interBubble / naiveBubble, nil
+}

@@ -1,0 +1,296 @@
+// Package pipesim is a discrete-event simulator of pipeline-parallel
+// training schedules at microbatch-task granularity. It executes the same
+// schedules the paper's validation hardware ran (GPipe-style fill-drain,
+// 1F1B) on simulated stage resources, yielding makespans, per-stage
+// utilization timelines (the Fig. 1 substitute) and empirical bubble
+// fractions that cross-check the closed-form Eq. 8.
+package pipesim
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/eventsim"
+)
+
+// Schedule selects the pipeline execution order.
+type Schedule int
+
+const (
+	// GPipe runs all microbatch forwards, then all backwards (fill-drain).
+	GPipe Schedule = iota
+	// OneFOneB interleaves one forward with one backward after a warmup
+	// of pipeline-depth forwards, bounding activation memory.
+	OneFOneB
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case GPipe:
+		return "gpipe"
+	case OneFOneB:
+		return "1f1b"
+	default:
+		return fmt.Sprintf("pipesim.Schedule(%d)", int(s))
+	}
+}
+
+// Config describes one pipeline run.
+type Config struct {
+	// Stages is the pipeline depth p.
+	Stages int
+	// Microbatches is m, the microbatch count per batch.
+	Microbatches int
+	// FwdTime and BwdTime are the per-stage compute times of one
+	// microbatch's forward and backward pass.
+	FwdTime, BwdTime eventsim.Time
+	// CommTime is the activation/gradient transfer time between adjacent
+	// stages (one hop, one microbatch).
+	CommTime eventsim.Time
+	// Schedule selects the execution order (default GPipe).
+	Schedule Schedule
+	// KeepTrace records per-stage busy intervals for visualization.
+	KeepTrace bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Stages <= 0:
+		return fmt.Errorf("pipesim: stage count %d must be positive", c.Stages)
+	case c.Microbatches <= 0:
+		return fmt.Errorf("pipesim: microbatch count %d must be positive", c.Microbatches)
+	case c.FwdTime < 0 || c.BwdTime < 0 || c.CommTime < 0:
+		return errors.New("pipesim: negative task durations")
+	case c.FwdTime == 0 && c.BwdTime == 0:
+		return errors.New("pipesim: zero-work pipeline")
+	case c.Schedule != GPipe && c.Schedule != OneFOneB:
+		return fmt.Errorf("pipesim: unknown schedule %d", int(c.Schedule))
+	}
+	return nil
+}
+
+// kind distinguishes forward from backward tasks.
+type kind int
+
+const (
+	fwd kind = iota
+	bwd
+)
+
+// task is one (kind, microbatch) unit of work on a stage.
+type task struct {
+	kind kind
+	mb   int
+}
+
+func (t task) String() string {
+	if t.kind == fwd {
+		return fmt.Sprintf("F%d", t.mb)
+	}
+	return fmt.Sprintf("B%d", t.mb)
+}
+
+// order returns the per-stage execution order for the schedule.
+func order(sched Schedule, stage, stages, m int) []task {
+	out := make([]task, 0, 2*m)
+	switch sched {
+	case GPipe:
+		for i := 0; i < m; i++ {
+			out = append(out, task{fwd, i})
+		}
+		// Backward drains in reverse microbatch order: the last microbatch
+		// reaches the loss first at the last stage's end of fill.
+		for i := m - 1; i >= 0; i-- {
+			out = append(out, task{bwd, i})
+		}
+	case OneFOneB:
+		// Warmup forwards: the further from the last stage, the more.
+		warm := stages - stage
+		if warm > m {
+			warm = m
+		}
+		for i := 0; i < warm; i++ {
+			out = append(out, task{fwd, i})
+		}
+		// Steady state: alternate B(i), F(i+warm).
+		b := 0
+		f := warm
+		for b < m {
+			out = append(out, task{bwd, b})
+			b++
+			if f < m {
+				out = append(out, task{fwd, f})
+				f++
+			}
+		}
+	}
+	return out
+}
+
+// Result is the outcome of one simulated batch.
+type Result struct {
+	// Makespan is the batch completion time.
+	Makespan eventsim.Time
+	// StageBusy is each stage's total busy time.
+	StageBusy []eventsim.Time
+	// Traces holds per-stage busy intervals when requested.
+	Traces [][]eventsim.Interval
+}
+
+// BubbleFraction is the idle share of the pipeline: 1 - Σbusy/(p·makespan).
+// For an ideal zero-bubble pipeline this approaches 0.
+func (r *Result) BubbleFraction() float64 {
+	if r.Makespan <= 0 || len(r.StageBusy) == 0 {
+		return 0
+	}
+	var busy eventsim.Time
+	for _, b := range r.StageBusy {
+		busy += b
+	}
+	f := 1 - float64(busy)/(float64(r.Makespan)*float64(len(r.StageBusy)))
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// Utilization returns per-stage busy/makespan fractions.
+func (r *Result) Utilization() []float64 {
+	out := make([]float64, len(r.StageBusy))
+	for i, b := range r.StageBusy {
+		if r.Makespan > 0 {
+			out[i] = float64(b) / float64(r.Makespan)
+		}
+	}
+	return out
+}
+
+// Run simulates one batch through the pipeline and returns the result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p, m := cfg.Stages, cfg.Microbatches
+
+	var sim eventsim.Sim
+	stages := make([]*eventsim.Resource, p)
+	for s := range stages {
+		stages[s] = eventsim.NewResource(&sim, fmt.Sprintf("stage%d", s), cfg.KeepTrace)
+	}
+
+	// done[kind][mb][stage] marks completed tasks; ready tasks wait for
+	// their stage's head-of-line position (schedule order) plus their data
+	// dependency.
+	done := [2][]map[int]bool{}
+	for k := range done {
+		done[k] = make([]map[int]bool, m)
+		for i := range done[k] {
+			done[k][i] = make(map[int]bool, p)
+		}
+	}
+	orders := make([][]task, p)
+	next := make([]int, p) // per-stage index of the next task to issue
+	for s := 0; s < p; s++ {
+		orders[s] = order(cfg.Schedule, s, p, m)
+	}
+
+	depReady := func(t task, s int) bool {
+		switch t.kind {
+		case fwd:
+			return s == 0 || done[fwd][t.mb][s-1]
+		default:
+			if s == p-1 {
+				return done[fwd][t.mb][s] // loss right after own forward
+			}
+			return done[bwd][t.mb][s+1]
+		}
+	}
+	dur := func(t task) eventsim.Time {
+		if t.kind == fwd {
+			return cfg.FwdTime
+		}
+		return cfg.BwdTime
+	}
+
+	// tryIssue issues the stage's head task when its dependency is met.
+	// The inter-stage transfer is modeled as a delay before the compute
+	// acquires the stage (sender-side time is assumed overlapped, as with
+	// DMA-capable interconnects).
+	var tryIssue func(s int)
+	complete := func(t task, s int) {
+		done[t.kind][t.mb][s] = true
+		tryIssue(s) // same stage: next task may now be unblocked
+		// Downstream dependents.
+		switch t.kind {
+		case fwd:
+			if s+1 < p {
+				sim.After(cfg.CommTime, func() { tryIssue(s + 1) })
+			} else {
+				tryIssue(s) // backward of this microbatch on the last stage
+			}
+		default:
+			if s-1 >= 0 {
+				sim.After(cfg.CommTime, func() { tryIssue(s - 1) })
+			}
+		}
+	}
+	issued := make([]bool, p) // head task already queued on the resource
+	tryIssue = func(s int) {
+		if next[s] >= len(orders[s]) || issued[s] {
+			return
+		}
+		t := orders[s][next[s]]
+		if !depReady(t, s) {
+			return
+		}
+		issued[s] = true
+		stages[s].Acquire(dur(t), t.String(), func() {
+			issued[s] = false
+			next[s]++
+			complete(t, s)
+		})
+	}
+
+	sim.At(0, func() {
+		for s := 0; s < p; s++ {
+			tryIssue(s)
+		}
+	})
+	end, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	// Every task must have completed; a stall means a schedule bug.
+	for s := 0; s < p; s++ {
+		if next[s] != len(orders[s]) {
+			return nil, fmt.Errorf("pipesim: stage %d stalled at task %d/%d (schedule deadlock)",
+				s, next[s], len(orders[s]))
+		}
+	}
+
+	res := &Result{Makespan: end, StageBusy: make([]eventsim.Time, p)}
+	for s, r := range stages {
+		res.StageBusy[s] = r.BusyTime()
+		if cfg.KeepTrace {
+			res.Traces = append(res.Traces, r.Trace())
+		}
+	}
+	return res, nil
+}
+
+// IdealMakespan is the zero-bubble lower bound m·(f+b) for one stage's
+// serial work, the denominator of speedup-per-stage comparisons.
+func IdealMakespan(cfg Config) eventsim.Time {
+	return eventsim.Time(cfg.Microbatches) * (cfg.FwdTime + cfg.BwdTime)
+}
+
+// AnalyticBubbleFraction is the closed-form GPipe bubble share
+// (p-1)/(m+p-1), for cross-checking Eq. 8 against the simulation.
+func AnalyticBubbleFraction(stages, microbatches int) float64 {
+	if stages <= 1 {
+		return 0
+	}
+	return float64(stages-1) / float64(microbatches+stages-1)
+}

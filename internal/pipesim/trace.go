@@ -1,0 +1,55 @@
+package pipesim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"amped/internal/eventsim"
+)
+
+// chromeEvent is one complete event ("ph":"X") of the Chrome trace-event
+// format, the JSON schema chrome://tracing and Perfetto consume.
+type chromeEvent struct {
+	Name     string  `json:"name"`
+	Phase    string  `json:"ph"`
+	TimeUS   float64 `json:"ts"`
+	DurUS    float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+	Category string  `json:"cat"`
+}
+
+// WriteChromeTrace renders a simulated schedule's per-stage busy intervals
+// as a Chrome trace-event JSON array, loadable in chrome://tracing or
+// Perfetto: one track (tid) per pipeline stage, forward and backward tasks
+// as complete events. The result must have been produced with KeepTrace.
+func (r *Result) WriteChromeTrace(w io.Writer) error {
+	if len(r.Traces) == 0 {
+		return fmt.Errorf("pipesim: no traces recorded (run with KeepTrace)")
+	}
+	var events []chromeEvent
+	for stage, trace := range r.Traces {
+		for _, iv := range trace {
+			cat := "forward"
+			if len(iv.Label) > 0 && iv.Label[0] == 'B' {
+				cat = "backward"
+			}
+			events = append(events, chromeEvent{
+				Name:     iv.Label,
+				Phase:    "X",
+				TimeUS:   us(iv.Start),
+				DurUS:    us(iv.End - iv.Start),
+				PID:      1,
+				TID:      stage,
+				Category: cat,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}
+
+// us converts simulated seconds to trace microseconds.
+func us(t eventsim.Time) float64 { return float64(t) * 1e6 }

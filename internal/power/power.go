@@ -1,0 +1,112 @@
+// Package power is the energy-model extension the paper sketches in Case
+// Study II: accelerators draw full power while computing or communicating
+// and a reduced idle power during pipeline bubbles, so a slightly slower
+// pipeline-parallel configuration can still win on energy when its bubbles
+// idle cheaply enough.
+package power
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/units"
+)
+
+// Estimate is the energy accounting of one training run.
+type Estimate struct {
+	// ActiveEnergy is accelerator-seconds at full TDP (joules).
+	ActiveEnergy float64
+	// IdleEnergy is accelerator-seconds at idle power during bubbles.
+	IdleEnergy float64
+	// Time is the wall-clock training time the energy was spent over.
+	Time units.Seconds
+	// Workers is the accelerator count.
+	Workers int
+}
+
+// Total returns the total accelerator energy in joules.
+func (e Estimate) Total() float64 { return e.ActiveEnergy + e.IdleEnergy }
+
+// MWh converts the total energy to megawatt-hours, the scale at which
+// large-model training is discussed.
+func (e Estimate) MWh() float64 { return e.Total() / 3.6e9 }
+
+// AveragePower returns the fleet's mean power draw in watts.
+func (e Estimate) AveragePower() float64 {
+	if e.Time <= 0 {
+		return 0
+	}
+	return e.Total() / float64(e.Time)
+}
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.2f MWh over %v on %d accelerators (avg %.0f kW)",
+		e.MWh(), e.Time, e.Workers, e.AveragePower()/1e3)
+}
+
+// FromBreakdown derives the energy estimate for a training run evaluated by
+// the analytical model: bubble time idles at sys.IdlePowerFraction·TDP,
+// everything else runs at TDP. Host, network and cooling power are out of
+// scope, as in the paper.
+func FromBreakdown(b *model.Breakdown, sys *hardware.System) (Estimate, error) {
+	if b == nil {
+		return Estimate{}, errors.New("power: nil breakdown")
+	}
+	if sys == nil {
+		return Estimate{}, errors.New("power: nil system")
+	}
+	if sys.IdlePowerFraction < 0 || sys.IdlePowerFraction > 1 {
+		return Estimate{}, fmt.Errorf("power: idle fraction %v outside [0,1]", sys.IdlePowerFraction)
+	}
+	total := float64(b.TotalTime())
+	perBatch := float64(b.PerBatch())
+	var bubbleShare float64
+	if perBatch > 0 {
+		bubbleShare = float64(b.Bubble) / perBatch
+	}
+	bubbleTime := total * bubbleShare
+	activeTime := total - bubbleTime
+	w := float64(b.Workers)
+	tdp := sys.Accel.TDP
+	return Estimate{
+		ActiveEnergy: activeTime * tdp * w,
+		IdleEnergy:   bubbleTime * tdp * sys.IdlePowerFraction * w,
+		Time:         units.Seconds(total),
+		Workers:      b.Workers,
+	}, nil
+}
+
+// BreakEvenIdleFraction answers the paper's Case Study II question: given a
+// faster configuration (fast) and a slower one whose bubbles idle (slow),
+// below what idle-power fraction does the slow configuration consume less
+// energy? Returns a value that may fall outside [0,1]: above 1 means slow
+// always wins, below 0 means it never does.
+func BreakEvenIdleFraction(fast, slow *model.Breakdown, sys *hardware.System) (float64, error) {
+	if fast == nil || slow == nil {
+		return 0, errors.New("power: nil breakdown")
+	}
+	if sys == nil {
+		return 0, errors.New("power: nil system")
+	}
+	tFast := float64(fast.TotalTime())
+	tSlow := float64(slow.TotalTime())
+	pbSlow := float64(slow.PerBatch())
+	if pbSlow <= 0 {
+		return 0, errors.New("power: degenerate slow breakdown")
+	}
+	bubble := tSlow * float64(slow.Bubble) / pbSlow
+	active := tSlow - bubble
+	if bubble <= 0 {
+		// No bubbles to save in: slow wins only if outright faster.
+		if tSlow < tFast {
+			return 2, nil
+		}
+		return -1, nil
+	}
+	// Energy parity (equal worker counts, equal TDP):
+	// tFast = active + f·bubble  =>  f = (tFast - active) / bubble.
+	return (tFast - active) / bubble, nil
+}

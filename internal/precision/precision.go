@@ -1,0 +1,125 @@
+// Package precision models operand and functional-unit precisions and the
+// precision-scaling factor of AMPeD's Eq. 2.
+//
+// The paper scales a functional unit's throughput by
+//
+//	ceil(max(S_p, S_act) / S_FU)
+//
+// where S_p and S_act are the parameter and activation precisions of the
+// operands and S_FU is the hardware-determined precision of the functional
+// unit: a 16-bit MAC unit needs two passes for a 32-bit operand.
+package precision
+
+import (
+	"fmt"
+
+	"amped/internal/units"
+)
+
+// Precision is an operand or functional-unit width in bits.
+type Precision int
+
+// Standard operand precisions.
+const (
+	FP8  Precision = 8
+	FP16 Precision = 16
+	BF16 Precision = 16
+	FP32 Precision = 32
+	FP64 Precision = 64
+)
+
+// Bits returns the width as a data volume for communication-size math.
+func (p Precision) Bits() units.Bits { return units.Bits(p) }
+
+// Bytes returns the width in bytes.
+func (p Precision) Bytes() units.Bytes { return p.Bits().Bytes() }
+
+// String renders the precision as e.g. "16-bit".
+func (p Precision) String() string { return fmt.Sprintf("%d-bit", int(p)) }
+
+// Valid reports whether the precision is a positive bit width.
+func (p Precision) Valid() bool { return p > 0 }
+
+// ScaleFactor implements the ceil(operand/unit) throughput penalty of Eq. 2:
+// the number of functional-unit passes needed to process one operand of the
+// given precision. An operand narrower than the unit still takes one pass
+// (the paper does not model sub-word packing gains beyond the unit width,
+// which is already expressed in W_FU). ScaleFactor panics if unit is not a
+// positive width, since that is a programming error in a hardware preset.
+func ScaleFactor(operand, unit Precision) int {
+	if unit <= 0 {
+		panic(fmt.Sprintf("precision: invalid functional-unit width %d", unit))
+	}
+	if operand <= 0 {
+		panic(fmt.Sprintf("precision: invalid operand width %d", operand))
+	}
+	n := (int(operand) + int(unit) - 1) / int(unit)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Max returns the wider of two precisions, the max(S_p, S_act) of Eq. 2.
+func Max(a, b Precision) Precision {
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+// Operands bundles the per-sublayer operand precisions that enter Eq. 2.
+type Operands struct {
+	// Param is S_p, the precision of the weight/parameter operands.
+	Param Precision
+	// Act is S_act, the precision of activation operands; it is also the
+	// per-element size used for communication volumes (Eq. 6, 7, 9).
+	Act Precision
+	// Nonlin is S_nonlin, the precision at which non-linear operations
+	// (softmax, GELU, LayerNorm arithmetic) execute.
+	Nonlin Precision
+	// Grad is S_g, the gradient element size used by the all-reduce of
+	// Eq. 11. Gradients are commonly accumulated wider than activations.
+	Grad Precision
+}
+
+// Uniform returns an operand set using the same precision everywhere, the
+// common homogeneous-precision training setup (e.g. pure FP16 or FP8).
+func Uniform(p Precision) Operands {
+	return Operands{Param: p, Act: p, Nonlin: p, Grad: p}
+}
+
+// Mixed16 is the classic mixed-precision recipe: 16-bit parameters and
+// activations, 32-bit non-linear math and gradient reduction.
+func Mixed16() Operands {
+	return Operands{Param: FP16, Act: FP16, Nonlin: FP32, Grad: FP32}
+}
+
+// Validate reports an error naming the first non-positive field, so config
+// loaders can surface precise messages.
+func (o Operands) Validate() error {
+	fields := []struct {
+		name string
+		p    Precision
+	}{
+		{"param", o.Param}, {"act", o.Act}, {"nonlin", o.Nonlin}, {"grad", o.Grad},
+	}
+	for _, f := range fields {
+		if !f.p.Valid() {
+			return fmt.Errorf("precision: %s precision %d is not a positive bit width", f.name, f.p)
+		}
+	}
+	return nil
+}
+
+// MACScale returns the Eq. 2 pass count for a MAC with these operands on a
+// functional unit of the given width: ceil(max(S_p,S_act)/S_FU).
+func (o Operands) MACScale(unit Precision) int {
+	return ScaleFactor(Max(o.Param, o.Act), unit)
+}
+
+// NonlinScale returns the Eq. 2 pass count for a non-linear op:
+// ceil(S_nonlin/S_FU_nonlin).
+func (o Operands) NonlinScale(unit Precision) int {
+	return ScaleFactor(o.Nonlin, unit)
+}

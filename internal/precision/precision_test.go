@@ -1,0 +1,121 @@
+package precision
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleFactor(t *testing.T) {
+	cases := []struct {
+		operand, unit Precision
+		want          int
+	}{
+		{FP16, FP16, 1},
+		{FP32, FP16, 2},
+		{FP64, FP16, 4},
+		{FP8, FP16, 1}, // narrow operand still needs one pass
+		{FP32, FP32, 1},
+		{24, 16, 2}, // non-power-of-two rounds up
+		{FP8, FP8, 1},
+	}
+	for _, c := range cases {
+		if got := ScaleFactor(c.operand, c.unit); got != c.want {
+			t.Errorf("ScaleFactor(%v, %v) = %d, want %d", c.operand, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestScaleFactorPanics(t *testing.T) {
+	for _, c := range []struct{ operand, unit Precision }{{FP16, 0}, {0, FP16}, {-8, 16}, {16, -4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ScaleFactor(%v, %v) did not panic", c.operand, c.unit)
+				}
+			}()
+			ScaleFactor(c.operand, c.unit)
+		}()
+	}
+}
+
+func TestScaleFactorProperties(t *testing.T) {
+	// ceil semantics: (n-1)*unit < operand <= n*unit for n = ScaleFactor.
+	f := func(op, un uint8) bool {
+		operand := Precision(int(op)%512 + 1)
+		unit := Precision(int(un)%128 + 1)
+		n := ScaleFactor(operand, unit)
+		return n >= 1 && Precision(n)*unit >= operand && Precision(n-1)*unit < operand
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max(FP16, FP32); got != FP32 {
+		t.Errorf("Max = %v, want FP32", got)
+	}
+	if got := Max(FP32, FP16); got != FP32 {
+		t.Errorf("Max = %v, want FP32", got)
+	}
+	if got := Max(FP16, FP16); got != FP16 {
+		t.Errorf("Max = %v, want FP16", got)
+	}
+}
+
+func TestBitsBytes(t *testing.T) {
+	if got := FP16.Bits(); got != 16 {
+		t.Errorf("FP16.Bits() = %v", got)
+	}
+	if got := FP32.Bytes(); got != 4 {
+		t.Errorf("FP32.Bytes() = %v", got)
+	}
+	if got := FP8.String(); got != "8-bit" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOperandsValidate(t *testing.T) {
+	if err := Mixed16().Validate(); err != nil {
+		t.Errorf("Mixed16 invalid: %v", err)
+	}
+	if err := Uniform(FP8).Validate(); err != nil {
+		t.Errorf("Uniform(FP8) invalid: %v", err)
+	}
+	bad := Mixed16()
+	bad.Grad = 0
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("zero grad precision accepted")
+	}
+	if !strings.Contains(err.Error(), "grad") {
+		t.Errorf("error %q does not name the bad field", err)
+	}
+}
+
+func TestOperandsScales(t *testing.T) {
+	m := Mixed16()
+	if got := m.MACScale(FP16); got != 1 {
+		t.Errorf("MACScale fp16 on fp16 unit = %d, want 1", got)
+	}
+	if got := m.NonlinScale(FP32); got != 1 {
+		t.Errorf("NonlinScale fp32 on fp32 unit = %d, want 1", got)
+	}
+	if got := m.NonlinScale(FP16); got != 2 {
+		t.Errorf("NonlinScale fp32 on fp16 unit = %d, want 2", got)
+	}
+	// An FP32-parameter model on FP16 MAC units needs two passes even with
+	// FP16 activations: Eq. 2 takes the max of the operand precisions.
+	m.Param = FP32
+	if got := m.MACScale(FP16); got != 2 {
+		t.Errorf("MACScale fp32 params = %d, want 2", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform(FP8)
+	if u.Param != FP8 || u.Act != FP8 || u.Nonlin != FP8 || u.Grad != FP8 {
+		t.Errorf("Uniform(FP8) = %+v", u)
+	}
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GanttRow is one resource lane of a Gantt chart.
+type GanttRow struct {
+	// Label names the lane (e.g. "stage 0").
+	Label string
+	// Spans are the busy intervals in chart time units.
+	Spans []GanttSpan
+}
+
+// GanttSpan is one busy interval.
+type GanttSpan struct {
+	// Start and End delimit the interval.
+	Start, End float64
+	// Glyph is the single character drawn for the interval; zero means '#'.
+	Glyph byte
+}
+
+// Gantt renders lanes of busy intervals as an ASCII timeline scaled to
+// width characters — the Fig. 1 style view of a pipeline schedule. Idle
+// time renders as '.', overlapping spans draw in input order (later spans
+// win). The time axis runs from 0 to the maximum span end.
+func Gantt(title string, rows []GanttRow, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	var horizon float64
+	maxLabel := 0
+	for _, r := range rows {
+		if len(r.Label) > maxLabel {
+			maxLabel = len(r.Label)
+		}
+		for _, s := range r.Spans {
+			if s.End > horizon {
+				horizon = s.End
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if horizon <= 0 {
+		b.WriteString("(empty timeline)\n")
+		return b.String()
+	}
+	scale := float64(width) / horizon
+	for _, r := range rows {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		for _, s := range r.Spans {
+			if s.End <= s.Start {
+				continue
+			}
+			from := int(s.Start * scale)
+			to := int(s.End * scale)
+			if to == from && to < width {
+				to = from + 1 // sub-pixel spans stay visible
+			}
+			g := s.Glyph
+			if g == 0 {
+				g = '#'
+			}
+			for i := from; i < to && i < width; i++ {
+				lane[i] = g
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", maxLabel, r.Label, lane)
+	}
+	fmt.Fprintf(&b, "%-*s  0%*s\n", maxLabel, "", width, fmt.Sprintf("%.4g", horizon))
+	return b.String()
+}

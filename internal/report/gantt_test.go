@@ -1,0 +1,144 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGanttBasic(t *testing.T) {
+	out := Gantt("schedule", []GanttRow{
+		{Label: "stage 0", Spans: []GanttSpan{{Start: 0, End: 5}, {Start: 7, End: 10}}},
+		{Label: "stage 1", Spans: []GanttSpan{{Start: 5, End: 10, Glyph: 'B'}}},
+	}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "schedule" {
+		t.Errorf("title = %q", lines[0])
+	}
+	// Stage 0: busy 0-5 (10 cells), idle 5-7 (4 cells), busy 7-10 (6).
+	if !strings.Contains(lines[1], "##########....######") {
+		t.Errorf("stage 0 lane = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "..........BBBBBBBBBB") {
+		t.Errorf("stage 1 lane = %q", lines[2])
+	}
+	// Axis shows the horizon.
+	if !strings.Contains(lines[3], "10") {
+		t.Errorf("axis = %q", lines[3])
+	}
+}
+
+func TestGanttEmptyAndEdge(t *testing.T) {
+	if out := Gantt("", nil, 10); !strings.Contains(out, "empty timeline") {
+		t.Errorf("empty gantt = %q", out)
+	}
+	// Zero-length and inverted spans are ignored; tiny spans stay visible.
+	out := Gantt("", []GanttRow{
+		{Label: "x", Spans: []GanttSpan{{Start: 3, End: 3}, {Start: 5, End: 4}, {Start: 0, End: 0.01}, {Start: 0, End: 10}}},
+	}, 10)
+	if !strings.Contains(out, "##########") {
+		t.Errorf("lane = %q", out)
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	out := Gantt("", []GanttRow{{Label: "a", Spans: []GanttSpan{{Start: 0, End: 1}}}}, 0)
+	if !strings.Contains(out, strings.Repeat("#", 72)) {
+		t.Errorf("default width lane wrong: %q", out)
+	}
+}
+
+func TestGanttAlignment(t *testing.T) {
+	out := Gantt("", []GanttRow{
+		{Label: "s", Spans: []GanttSpan{{Start: 0, End: 2}}},
+		{Label: "longer label", Spans: []GanttSpan{{Start: 0, End: 2}}},
+	}, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Index(lines[0], "|") != strings.Index(lines[1], "|") {
+		t.Errorf("lanes misaligned:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("sweep", []string{"TP8", "DP8"},
+		[]string{"4096", "8192"},
+		[][]float64{{1, 2}, {3, 4}})
+	if !strings.Contains(out, "sweep") {
+		t.Errorf("title missing: %q", out)
+	}
+	// Min renders cold, max renders hot.
+	if !strings.Contains(out, "scale: ' '=1 .. '@'=4") {
+		t.Errorf("scale line wrong: %q", out)
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "TP8") || !strings.Contains(lines[1], "  ") {
+		t.Errorf("min cell not cold: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "@@") {
+		t.Errorf("max cell not hot: %q", lines[2])
+	}
+	if !strings.Contains(out, "4096 8192") {
+		t.Errorf("column labels missing: %q", out)
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	// Uniform grid renders mid-intensity; non-finite cells render '?'.
+	out := Heatmap("", []string{"a"}, nil, [][]float64{{5, 5, math.NaN()}})
+	if !strings.Contains(out, "??") {
+		t.Errorf("NaN cell not marked: %q", out)
+	}
+	if !strings.Contains(out, "++++") || strings.Contains(out, "@@") {
+		t.Errorf("uniform grid not mid-intensity: %q", out)
+	}
+	// All-NaN grid: no scale line, no panic.
+	empty := Heatmap("", []string{"a"}, nil, [][]float64{{math.NaN()}})
+	if strings.Contains(empty, "scale:") {
+		t.Errorf("scale printed for empty range: %q", empty)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	out := LineChart("fig", []Series{
+		{Name: "B=4096", X: []float64{1, 2, 3, 4}, Y: []float64{40, 35, 30, 25}},
+		{Name: "B=16384", X: []float64{1, 2, 3, 4}, Y: []float64{25, 22, 20, 18}},
+	}, 40, 10)
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "legend: *=B=4096 o=B=16384") {
+		t.Errorf("chart = %q", out)
+	}
+	// Extremes appear on the axis labels.
+	if !strings.Contains(out, "40") || !strings.Contains(out, "18") {
+		t.Errorf("axis labels missing: %q", out)
+	}
+	// The top row holds the maximum glyph, the bottom the minimum.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("max not on top row: %q", lines[1])
+	}
+	if !strings.Contains(lines[10], "o") {
+		t.Errorf("min not on bottom row: %q", lines[10])
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	if out := LineChart("", nil, 10, 5); !strings.Contains(out, "no data") {
+		t.Errorf("empty = %q", out)
+	}
+	out := LineChart("", []Series{{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}}, 10, 5)
+	if !strings.Contains(out, "no finite data") {
+		t.Errorf("all-NaN = %q", out)
+	}
+	// Flat series still renders without dividing by zero.
+	flat := LineChart("", []Series{{Name: "f", X: []float64{1, 2}, Y: []float64{5, 5}}}, 10, 5)
+	if !strings.Contains(flat, "f") {
+		t.Errorf("flat = %q", flat)
+	}
+	// Mismatched series surface in-band.
+	bad := LineChart("", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+		{Name: "b", X: []float64{1}, Y: []float64{1}},
+	}, 10, 5)
+	if !strings.Contains(bad, "mismatch") {
+		t.Errorf("mismatch not reported: %q", bad)
+	}
+}

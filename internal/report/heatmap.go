@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// heatGlyphs orders intensity from cold to hot.
+const heatGlyphs = " .:-=+*#%@"
+
+// Heatmap renders a row-major value grid as an intensity map with row and
+// column labels — the compact view of a (mapping x batch) sweep. Values
+// are normalized to the finite min..max range; NaN/Inf cells render as '?'.
+func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	maxLabel := 0
+	for _, l := range rowLabels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	glyph := func(v float64) byte {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return '?'
+		}
+		if hi == lo {
+			return heatGlyphs[len(heatGlyphs)/2]
+		}
+		idx := int((v - lo) / (hi - lo) * float64(len(heatGlyphs)-1))
+		return heatGlyphs[idx]
+	}
+	for r, row := range values {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(&b, "%-*s ", maxLabel, label)
+		for _, v := range row {
+			b.WriteByte(glyph(v))
+			b.WriteByte(glyph(v)) // double width for readable cells
+		}
+		b.WriteByte('\n')
+	}
+	if len(colLabels) > 0 {
+		fmt.Fprintf(&b, "%-*s %s\n", maxLabel, "", strings.Join(colLabels, " "))
+	}
+	if !math.IsInf(lo, 1) {
+		fmt.Fprintf(&b, "scale: '%c'=%.4g .. '%c'=%.4g\n",
+			heatGlyphs[0], lo, heatGlyphs[len(heatGlyphs)-1], hi)
+	}
+	return b.String()
+}

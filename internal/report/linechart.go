@@ -1,0 +1,107 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// lineGlyphs assigns one plot character per series.
+var lineGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LineChart renders series as an ASCII scatter/line plot over a shared
+// x-axis (the series' X values must match, as in SeriesCSV). Y is scaled to
+// the finite min..max across all series; each series draws with its own
+// glyph, later series over earlier at collisions. The legend maps glyphs to
+// names.
+func LineChart(title string, series []Series, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 12
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(series) == 0 || len(series[0].X) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	n := len(series[0].X)
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			fmt.Fprintf(&b, "# series %q length mismatch\n", s.Name)
+			return b.String()
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no finite data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1 // flat series plot mid-grid
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	colFor := func(i int) int {
+		if n == 1 {
+			return 0
+		}
+		return i * (width - 1) / (n - 1)
+	}
+	rowFor := func(y float64) int {
+		frac := (y - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		g := lineGlyphs[si%len(lineGlyphs)]
+		for i := 0; i < n; i++ {
+			y := s.Y[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			grid[rowFor(y)][colFor(i)] = g
+		}
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.4g", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.4g", lo)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "%8s  x: %.4g .. %.4g\n", "", series[0].X[0], series[0].X[n-1])
+	b.WriteString("legend:")
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c=%s", lineGlyphs[si%len(lineGlyphs)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

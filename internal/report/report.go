@@ -1,0 +1,283 @@
+// Package report renders the tables and figure series the benchmark harness
+// regenerates: aligned ASCII tables with CSV export, horizontal bar charts
+// for figure-shaped data, and normalization helpers for the paper's
+// relative-training-time plots.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled, column-aligned text table.
+type Table struct {
+	// Title is printed above the table.
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded, long rows truncated to the
+// header width so output stays rectangular.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered with
+// %v, floats with %.4g.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			out[i] = fmt.Sprintf("%.4g", v)
+		default:
+			out[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	rule := make([]string, len(t.headers))
+	for i, w := range widths {
+		rule[i] = strings.Repeat("-", w)
+	}
+	line(rule)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes around cells containing
+// commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Normalize divides every value by ref, the paper's "normalized training
+// time" presentation. A zero or non-finite ref yields NaNs rather than
+// panicking so broken points stay visibly broken.
+func Normalize(values []float64, ref float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		if ref == 0 || math.IsNaN(ref) || math.IsInf(ref, 0) {
+			out[i] = math.NaN()
+		} else {
+			out[i] = v / ref
+		}
+	}
+	return out
+}
+
+// Bars renders a horizontal bar chart: one labeled bar per value, scaled so
+// the longest bar spans width characters. Values must be non-negative;
+// negative values render as empty bars with the numeric value still shown.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxLabel := 0
+	maxVal := 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) && values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		n := 0
+		if maxVal > 0 && v > 0 {
+			n = int(math.Round(v / maxVal * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s %s %.4g\n", maxLabel, l, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Stack is one labeled composition for StackedBars.
+type Stack struct {
+	// Label names the bar.
+	Label string
+	// Parts are the named component values, rendered in order.
+	Parts []Part
+}
+
+// Part is one component of a stacked bar.
+type Part struct {
+	Name  string
+	Value float64
+}
+
+// StackedBars renders per-bar component compositions (the Fig. 3 breakdown
+// shape): each bar shows its parts as proportional segments of distinct
+// glyphs plus a legend.
+func StackedBars(title string, stacks []Stack, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	glyphs := []byte{'#', '=', '+', '~', ':', '.', '*', 'o', 'x', '-', '%'}
+	maxLabel := 0
+	maxTotal := 0.0
+	names := []string{}
+	seen := map[string]bool{}
+	for _, s := range stacks {
+		if len(s.Label) > maxLabel {
+			maxLabel = len(s.Label)
+		}
+		total := 0.0
+		for _, p := range s.Parts {
+			total += p.Value
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				names = append(names, p.Name)
+			}
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	glyphFor := map[string]byte{}
+	for i, n := range names {
+		glyphFor[n] = glyphs[i%len(glyphs)]
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for _, s := range stacks {
+		total := 0.0
+		fmt.Fprintf(&b, "%-*s ", maxLabel, s.Label)
+		for _, p := range s.Parts {
+			total += p.Value
+			n := 0
+			if maxTotal > 0 && p.Value > 0 {
+				n = int(math.Round(p.Value / maxTotal * float64(width)))
+			}
+			b.Write(bytesRepeat(glyphFor[p.Name], n))
+		}
+		fmt.Fprintf(&b, " %.4g\n", total)
+	}
+	b.WriteString("legend:")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %c=%s", glyphFor[n], n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// Series is one named (x, y) sequence for figure regeneration.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// SeriesCSV renders aligned series as CSV with a shared x column. All
+// series must have the same x values; mismatches are reported in-band as a
+// comment line so harness output never silently lies.
+func SeriesCSV(xName string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(xName)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	n := len(series[0].X)
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return b.String() + fmt.Sprintf("# series %q length mismatch\n", s.Name)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%g", series[0].X[i])
+		for _, s := range series {
+			fmt.Fprintf(&b, ",%g", s.Y[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

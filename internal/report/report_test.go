@@ -1,0 +1,153 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Table II", "Model", "TFLOPs", "Error")
+	tab.AddRow("145B", "147", "0.6%")
+	tab.AddRow("1T", "144.3", "11.47%")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Table II" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d: %q", len(lines), s)
+	}
+	// All data lines equal width (rectangular).
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header %d vs rule %d widths", len(lines[1]), len(lines[2]))
+	}
+	if !strings.Contains(lines[3], "145B") || !strings.Contains(lines[4], "11.47%") {
+		t.Errorf("rows wrong: %q", s)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("1")           // short: padded
+	tab.AddRow("1", "2", "3") // long: truncated
+	s := tab.String()
+	if strings.Contains(s, "3") {
+		t.Errorf("over-long row not truncated: %q", s)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("", "x", "y", "z")
+	tab.AddRowf(1.23456789, 42, "str")
+	s := tab.String()
+	if !strings.Contains(s, "1.235") {
+		t.Errorf("float not %%.4g formatted: %q", s)
+	}
+	if !strings.Contains(s, "42") || !strings.Contains(s, "str") {
+		t.Errorf("row = %q", s)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := NewTable("", "name", "note")
+	tab.AddRow("a,b", `say "hi"`)
+	csv := tab.CSV()
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 8}, 2)
+	if got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Errorf("Normalize = %v", got)
+	}
+	for _, v := range Normalize([]float64{1, 2}, 0) {
+		if !math.IsNaN(v) {
+			t.Errorf("zero-ref normalize = %v, want NaN", v)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := Bars("Fig. 11", []string{"ref", "opt1"}, []float64{10, 20}, 40)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "Fig. 11" {
+		t.Errorf("title = %q", lines[0])
+	}
+	refHashes := strings.Count(lines[1], "#")
+	optHashes := strings.Count(lines[2], "#")
+	if optHashes != 40 {
+		t.Errorf("max bar = %d chars, want 40", optHashes)
+	}
+	if refHashes != 20 {
+		t.Errorf("half bar = %d chars, want 20", refHashes)
+	}
+	// Zero/negative values render without bars but with numbers.
+	z := Bars("", []string{"zero", "neg"}, []float64{0, -1}, 10)
+	if strings.Contains(z, "#") {
+		t.Errorf("zero bars contain glyphs: %q", z)
+	}
+	if !strings.Contains(z, "-1") {
+		t.Errorf("negative value hidden: %q", z)
+	}
+}
+
+func TestBarsDefaults(t *testing.T) {
+	s := Bars("", []string{"a"}, []float64{1}, 0)
+	if strings.Count(s, "#") != 50 {
+		t.Errorf("default width = %d", strings.Count(s, "#"))
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	s := StackedBars("Fig. 3", []Stack{
+		{Label: "PP inter", Parts: []Part{{"compute", 6}, {"comm", 2}, {"bubble", 2}}},
+		{Label: "TP inter", Parts: []Part{{"compute", 6}, {"comm", 12}, {"bubble", 0}}},
+	}, 30)
+	if !strings.Contains(s, "legend:") {
+		t.Errorf("no legend: %q", s)
+	}
+	for _, name := range []string{"compute", "comm", "bubble"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("legend missing %q: %q", name, s)
+		}
+	}
+	lines := strings.Split(s, "\n")
+	// The TP-inter bar (total 18) is longer than the PP-inter bar (10).
+	ppGlyphs := len(strings.Trim(strings.TrimPrefix(lines[1], "PP inter"), " 0123456789."))
+	tpGlyphs := len(strings.Trim(strings.TrimPrefix(lines[2], "TP inter"), " 0123456789."))
+	if tpGlyphs <= ppGlyphs {
+		t.Errorf("stacked lengths wrong: pp=%d tp=%d\n%s", ppGlyphs, tpGlyphs, s)
+	}
+	if !strings.Contains(lines[1], "10") || !strings.Contains(lines[2], "18") {
+		t.Errorf("totals missing: %q", s)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	csv := SeriesCSV("batch", []Series{
+		{Name: "predicted", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "published", X: []float64{1, 2}, Y: []float64{11, 21}},
+	})
+	want := "batch,predicted,published\n1,10,11\n2,20,21\n"
+	if csv != want {
+		t.Errorf("SeriesCSV = %q, want %q", csv, want)
+	}
+	// Mismatched lengths surface in-band.
+	bad := SeriesCSV("x", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+		{Name: "b", X: []float64{1}, Y: []float64{1}},
+	})
+	if !strings.Contains(bad, "mismatch") {
+		t.Errorf("mismatch not reported: %q", bad)
+	}
+	if got := SeriesCSV("x", nil); got != "x\n" {
+		t.Errorf("empty series = %q", got)
+	}
+}

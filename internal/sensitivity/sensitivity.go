@@ -1,0 +1,202 @@
+// Package sensitivity performs one-at-a-time sensitivity analysis on an
+// AMPeD design point: perturb each hardware/system knob by a relative step
+// and measure the elasticity of training time — the percentage change in
+// time per percent change in the knob. This is the quantitative core of
+// the hardware-software co-design loop the paper motivates: it ranks which
+// accelerator or network investment actually buys training time for a
+// given model and mapping.
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"amped/internal/efficiency"
+	"amped/internal/model"
+	"amped/internal/units"
+)
+
+// Knob identifies one perturbable parameter.
+type Knob string
+
+// The analyzed knobs. Peak compute covers the f·N_cores·N_FU·W_FU product
+// of Eq. 3 — its factors are interchangeable in the model, so one knob
+// stands for all of them.
+const (
+	KnobPeakCompute Knob = "peak MAC throughput"
+	KnobNonlinRate  Knob = "non-linear unit rate"
+	KnobIntraBW     Knob = "intra-node bandwidth"
+	KnobIntraLat    Knob = "intra-node latency"
+	KnobInterBW     Knob = "inter-node bandwidth"
+	KnobInterLat    Knob = "inter-node latency"
+	KnobEfficiency  Knob = "microbatch efficiency"
+	KnobBubbleRatio Knob = "bubble ratio R"
+)
+
+// Result is one knob's measured elasticity.
+type Result struct {
+	// Knob identifies the parameter.
+	Knob Knob
+	// Elasticity is d(log time)/d(log knob): -0.5 means a 1% increase in
+	// the knob cuts training time by 0.5%.
+	Elasticity float64
+	// Baseline and Perturbed are the absolute per-batch times.
+	Baseline, Perturbed units.Seconds
+}
+
+// String renders the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%-26s elasticity %+.3f", r.Knob, r.Elasticity)
+}
+
+// Analyze measures the elasticity of the estimator's per-batch time to
+// every knob, using the given relative step (e.g. 0.01 for 1%). Results
+// are sorted by impact: most time-reducing (most negative) first.
+func Analyze(est model.Estimator, step float64) ([]Result, error) {
+	if step <= 0 || step >= 1 {
+		return nil, fmt.Errorf("sensitivity: step %g outside (0,1)", step)
+	}
+	base, err := est.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	baseTime := float64(base.PerBatch())
+	if baseTime <= 0 {
+		return nil, errors.New("sensitivity: degenerate baseline time")
+	}
+
+	perturbations := []struct {
+		knob Knob
+		mut  func(*model.Estimator, float64)
+	}{
+		{KnobPeakCompute, func(e *model.Estimator, f float64) {
+			e.System.Accel.Freq = units.Hertz(float64(e.System.Accel.Freq) * f)
+		}},
+		{KnobNonlinRate, func(e *model.Estimator, f float64) {
+			// Units are plentiful (hundreds), so integer rounding stays a
+			// negligible error on the step; width (single digits) would not.
+			e.System.Accel.NonlinUnits = scaleInt(e.System.Accel.NonlinUnits, f)
+		}},
+		{KnobIntraBW, func(e *model.Estimator, f float64) {
+			e.System.Intra.Bandwidth = units.BitsPerSecond(float64(e.System.Intra.Bandwidth) * f)
+		}},
+		{KnobIntraLat, func(e *model.Estimator, f float64) {
+			e.System.Intra.Latency = units.Seconds(float64(e.System.Intra.Latency) * f)
+		}},
+		{KnobInterBW, func(e *model.Estimator, f float64) {
+			e.System.Inter.Bandwidth = units.BitsPerSecond(float64(e.System.Inter.Bandwidth) * f)
+		}},
+		{KnobInterLat, func(e *model.Estimator, f float64) {
+			e.System.Inter.Latency = units.Seconds(float64(e.System.Inter.Latency) * f)
+		}},
+		{KnobBubbleRatio, func(e *model.Estimator, f float64) {
+			r := e.Training.BubbleRatio
+			if r == 0 {
+				r = 1
+			}
+			e.Training.BubbleRatio = r * f
+		}},
+	}
+
+	var out []Result
+	for _, p := range perturbations {
+		cloned := clone(est)
+		p.mut(&cloned, 1+step)
+		bd, err := cloned.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s: %w", p.knob, err)
+		}
+		t := float64(bd.PerBatch())
+		out = append(out, Result{
+			Knob:       p.knob,
+			Elasticity: (t - baseTime) / baseTime / step,
+			Baseline:   units.Seconds(baseTime),
+			Perturbed:  units.Seconds(t),
+		})
+	}
+
+	// Efficiency is a model, not a scalar field: wrap it.
+	effCloned := clone(est)
+	effCloned.Eff = scaledEff{base: est.Eff, factor: 1 + step}
+	bd, err := effCloned.Evaluate()
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: %s: %w", KnobEfficiency, err)
+	}
+	out = append(out, Result{
+		Knob:       KnobEfficiency,
+		Elasticity: (float64(bd.PerBatch()) - baseTime) / baseTime / step,
+		Baseline:   units.Seconds(baseTime),
+		Perturbed:  bd.PerBatch(),
+	})
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Elasticity != out[j].Elasticity {
+			return out[i].Elasticity < out[j].Elasticity
+		}
+		return out[i].Knob < out[j].Knob
+	})
+	return out, nil
+}
+
+// clone deep-copies the estimator's mutable referents so perturbations
+// stay independent.
+func clone(est model.Estimator) model.Estimator {
+	sys := *est.System
+	est.System = &sys
+	m := *est.Model
+	est.Model = &m
+	return est
+}
+
+// scaleInt multiplies an int by f, keeping at least 1.
+func scaleInt(v int, f float64) int {
+	n := int(float64(v)*f + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// scaledEff multiplies a base efficiency model's output (clamped to 1).
+type scaledEff struct {
+	base   efficiency.Model
+	factor float64
+}
+
+// Eff implements efficiency.Model.
+func (s scaledEff) Eff(ub float64) float64 {
+	base := s.base
+	if base == nil {
+		base = efficiency.Default() // the estimator's nil-Eff default
+	}
+	e := base.Eff(ub) * s.factor
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
+// TopInvestment returns the knob with the strongest time-reducing
+// elasticity, or "" when none reduces time.
+func TopInvestment(results []Result) Knob {
+	if len(results) == 0 || results[0].Elasticity >= 0 {
+		return ""
+	}
+	return results[0].Knob
+}
+
+// CommBound reports whether the design point is communication-bound: the
+// combined bandwidth elasticities outweigh the compute-side ones.
+func CommBound(results []Result) bool {
+	var comm, compute float64
+	for _, r := range results {
+		switch r.Knob {
+		case KnobIntraBW, KnobInterBW, KnobIntraLat, KnobInterLat:
+			comm += -r.Elasticity
+		case KnobPeakCompute, KnobEfficiency:
+			compute += -r.Elasticity
+		}
+	}
+	return comm > compute
+}

@@ -1,0 +1,171 @@
+package sensitivity
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// estimatorFor builds a Case-Study-I estimator with the given mapping.
+func estimatorFor(mp parallel.Mapping, nub int) model.Estimator {
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	return model.Estimator{
+		Model:   &m,
+		System:  &sys,
+		Mapping: mp,
+		Training: model.Training{
+			Batch: parallel.Batch{Global: 8192, Microbatches: nub},
+		},
+	}
+}
+
+func byKnob(results []Result) map[Knob]Result {
+	out := make(map[Knob]Result, len(results))
+	for _, r := range results {
+		out[r.Knob] = r
+	}
+	return out
+}
+
+func TestAnalyzeComputeBoundPoint(t *testing.T) {
+	// TP intra + DP inter at a healthy microbatch: compute dominates.
+	res, err := Analyze(estimatorFor(parallel.Mapping{TPIntra: 8, DPInter: 128}, 1), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("results = %d", len(res))
+	}
+	m := byKnob(res)
+	// More peak compute reduces time strongly...
+	if e := m[KnobPeakCompute].Elasticity; e > -0.5 {
+		t.Errorf("peak-compute elasticity = %v, want strongly negative", e)
+	}
+	// ...and efficiency acts the same way (both divide C_MAC).
+	diff := m[KnobPeakCompute].Elasticity - m[KnobEfficiency].Elasticity
+	if math.Abs(diff) > 0.15 {
+		t.Errorf("compute (%v) vs efficiency (%v) elasticities diverge",
+			m[KnobPeakCompute].Elasticity, m[KnobEfficiency].Elasticity)
+	}
+	// No pipeline: the bubble knob is inert.
+	if e := m[KnobBubbleRatio].Elasticity; e != 0 {
+		t.Errorf("bubble elasticity without PP = %v", e)
+	}
+	// Bandwidth knobs reduce time (negative) but less than compute here.
+	if e := m[KnobIntraBW].Elasticity; e > 0 {
+		t.Errorf("intra-BW elasticity = %v, want <= 0", e)
+	}
+	if CommBound(res) {
+		t.Error("compute-bound point classified as comm-bound")
+	}
+	if TopInvestment(res) != KnobPeakCompute && TopInvestment(res) != KnobEfficiency {
+		t.Errorf("top investment = %q", TopInvestment(res))
+	}
+}
+
+func TestAnalyzeCommBoundPoint(t *testing.T) {
+	// Inter-node TP with a large microbatch: wire time matters. Starve
+	// compute-side sensitivity by fixing efficiency near its ceiling.
+	est := estimatorFor(parallel.Mapping{TPIntra: 8, TPInter: 8, PPInter: 8, DPInter: 2}, 4)
+	est.System.Inter = est.System.Inter.Scale(0.05) // a congested fabric
+	res, err := Analyze(est, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := byKnob(res)
+	if e := m[KnobInterBW].Elasticity; e > -0.2 {
+		t.Errorf("inter-BW elasticity = %v, want strongly negative", e)
+	}
+	if !CommBound(res) {
+		t.Error("comm-bound point classified as compute-bound")
+	}
+}
+
+func TestElasticitySigns(t *testing.T) {
+	// Latency knobs can only hurt (positive elasticity) and resource knobs
+	// can only help (negative), whatever the mapping.
+	for _, mp := range []parallel.Mapping{
+		{TPIntra: 8, DPInter: 128},
+		{TPIntra: 8, PPInter: 8, DPInter: 16},
+		{DPIntra: 8, TPInter: 2, DPInter: 64},
+	} {
+		res, err := Analyze(estimatorFor(mp, 0), 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			switch r.Knob {
+			case KnobIntraLat, KnobInterLat, KnobBubbleRatio:
+				if r.Elasticity < -1e-9 {
+					t.Errorf("%v: %s elasticity %v negative", mp, r.Knob, r.Elasticity)
+				}
+			default:
+				if r.Elasticity > 1e-9 {
+					t.Errorf("%v: %s elasticity %v positive", mp, r.Knob, r.Elasticity)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeSorted(t *testing.T) {
+	res, err := Analyze(estimatorFor(parallel.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}, 64), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Elasticity < res[i-1].Elasticity {
+			t.Fatalf("not sorted at %d: %v", i, res)
+		}
+	}
+	if !strings.Contains(res[0].String(), "elasticity") {
+		t.Errorf("String() = %q", res[0].String())
+	}
+}
+
+func TestAnalyzeDoesNotMutateInput(t *testing.T) {
+	est := estimatorFor(parallel.Mapping{TPIntra: 8, DPInter: 128}, 1)
+	freqBefore := est.System.Accel.Freq
+	intraBefore := est.System.Intra.Bandwidth
+	if _, err := Analyze(est, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if est.System.Accel.Freq != freqBefore || est.System.Intra.Bandwidth != intraBefore {
+		t.Error("Analyze mutated the caller's system")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	est := estimatorFor(parallel.Mapping{TPIntra: 8, DPInter: 128}, 1)
+	if _, err := Analyze(est, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := Analyze(est, 1); err == nil {
+		t.Error("step 1 accepted")
+	}
+	est.Training.Batch.Global = -5
+	if _, err := Analyze(est, 0.01); err == nil {
+		t.Error("broken estimator accepted")
+	}
+}
+
+func TestHelpersEdgeCases(t *testing.T) {
+	if TopInvestment(nil) != "" {
+		t.Error("TopInvestment(nil) non-empty")
+	}
+	if TopInvestment([]Result{{Knob: KnobInterLat, Elasticity: 0.5}}) != "" {
+		t.Error("positive-only results returned an investment")
+	}
+	if scaleInt(1, 0.1) != 1 {
+		t.Error("scaleInt floor broken")
+	}
+	if scaleInt(100, 1.01) != 101 {
+		t.Errorf("scaleInt(100, 1.01) = %d", scaleInt(100, 1.01))
+	}
+}

@@ -1,0 +1,157 @@
+// Package solver answers inverse capacity-planning questions on top of the
+// analytical model: instead of "how long does this machine take?", it
+// searches "how much machine does this deadline need?" — scaling the node
+// count of a machine template and picking the best parallelism mapping at
+// each size until the target training time is met.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/efficiency"
+	"amped/internal/explore"
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// Request describes the planning problem.
+type Request struct {
+	// Model is the transformer to train.
+	Model *transformer.Model
+	// Template is the machine shape; its Nodes field is the search
+	// variable (the per-node composition and links are kept).
+	Template hardware.System
+	// Training is the recipe; Batch.Global must be set. NumBatches fixes
+	// the run length the deadline applies to.
+	Training model.Training
+	// TargetDays is the deadline.
+	TargetDays float64
+	// MaxNodes bounds the search (default 4096).
+	MaxNodes int
+	// MicrobatchTarget tunes N_ub per candidate mapping (default 128).
+	MicrobatchTarget int
+	// Eff is the efficiency model (nil = default).
+	Eff efficiency.Model
+}
+
+// Plan is the solver's answer.
+type Plan struct {
+	// Nodes and Accelerators size the machine.
+	Nodes, Accelerators int
+	// Mapping is the best parallelism configuration at that size.
+	Mapping parallel.Mapping
+	// Days is the predicted training time.
+	Days float64
+	// Breakdown is the full evaluation of the chosen point.
+	Breakdown *model.Breakdown
+	// Rejected lists the sizes tried that missed the deadline, with their
+	// best achievable times — the scaling curve the answer sits on.
+	Rejected []Candidate
+}
+
+// Candidate is one examined machine size.
+type Candidate struct {
+	Nodes int
+	Days  float64
+}
+
+// Validate checks the request.
+func (r *Request) Validate() error {
+	if r == nil {
+		return errors.New("solver: nil request")
+	}
+	if err := r.Model.Validate(); err != nil {
+		return err
+	}
+	if r.Template.AccelsPerNode <= 0 {
+		return fmt.Errorf("solver: template needs accelerators per node, have %d", r.Template.AccelsPerNode)
+	}
+	if r.TargetDays <= 0 {
+		return fmt.Errorf("solver: target %g days must be positive", r.TargetDays)
+	}
+	if r.Training.Batch.Global <= 0 {
+		return errors.New("solver: training batch must be set")
+	}
+	return nil
+}
+
+// bestAt evaluates the best mapping of the template at the given node
+// count. It returns nil when no mapping is feasible (e.g. the batch does
+// not divide any data-parallel width).
+func (r *Request) bestAt(nodes int) (*explore.Point, error) {
+	sys := r.Template
+	sys.Nodes = nodes
+	if sys.Name == "" {
+		sys.Name = fmt.Sprintf("%dx%d", nodes, sys.AccelsPerNode)
+	}
+	target := r.MicrobatchTarget
+	if target == 0 {
+		target = 128
+	}
+	points, err := explore.Sweep(explore.Scenario{
+		Name:     sys.Name,
+		Model:    r.Model,
+		System:   &sys,
+		Training: r.Training,
+		Eff:      r.Eff,
+	}, explore.Options{
+		Batches:          []int{r.Training.Batch.Global},
+		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: target,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return explore.Best(points), nil
+}
+
+// MinimumNodes finds the smallest power-of-two node count whose best
+// mapping meets the deadline. It scans sizes ascending (training time is
+// not perfectly monotone in machine size because mappings quantize, so the
+// first satisfying size is the honest answer) and returns the scaling
+// curve of rejected sizes alongside the plan.
+func MinimumNodes(req Request) (*Plan, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := req.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 4096
+	}
+	var rejected []Candidate
+	for nodes := 1; nodes <= maxNodes; nodes *= 2 {
+		best, err := req.bestAt(nodes)
+		if err != nil {
+			return nil, fmt.Errorf("solver: %d nodes: %w", nodes, err)
+		}
+		if best == nil {
+			rejected = append(rejected, Candidate{Nodes: nodes, Days: -1})
+			continue
+		}
+		days := best.Breakdown.TotalTime().Days()
+		if days <= req.TargetDays {
+			return &Plan{
+				Nodes:        nodes,
+				Accelerators: nodes * req.Template.AccelsPerNode,
+				Mapping:      best.Mapping,
+				Days:         days,
+				Breakdown:    best.Breakdown,
+				Rejected:     rejected,
+			}, nil
+		}
+		rejected = append(rejected, Candidate{Nodes: nodes, Days: days})
+	}
+	return nil, fmt.Errorf("solver: no machine up to %d nodes meets %g days (best tried: %v)",
+		maxNodes, req.TargetDays, tail(rejected))
+}
+
+// tail returns the last few candidates for error messages.
+func tail(cs []Candidate) []Candidate {
+	if len(cs) <= 3 {
+		return cs
+	}
+	return cs[len(cs)-3:]
+}

@@ -1,0 +1,132 @@
+package solver
+
+import (
+	"strings"
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// request returns a solvable planning problem: Megatron 145B, DGX-A100
+// nodes, ~300B tokens.
+func request(targetDays float64) Request {
+	m := transformer.Megatron145B()
+	template := hardware.CaseStudy1System() // per-node shape; Nodes is overridden
+	return Request{
+		Model:    &m,
+		Template: template,
+		Training: model.Training{
+			Batch:      parallel.Batch{Global: 8192},
+			NumBatches: 17880,
+		},
+		TargetDays: targetDays,
+		MaxNodes:   512,
+	}
+}
+
+func TestMinimumNodesFindsPlan(t *testing.T) {
+	plan, err := MinimumNodes(request(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Days > 40 {
+		t.Errorf("plan misses deadline: %v days", plan.Days)
+	}
+	if plan.Accelerators != plan.Nodes*8 {
+		t.Errorf("accelerators = %d for %d nodes", plan.Accelerators, plan.Nodes)
+	}
+	if plan.Breakdown == nil {
+		t.Fatal("no breakdown")
+	}
+	// Every rejected size was genuinely slower than the deadline.
+	for _, c := range plan.Rejected {
+		if c.Days >= 0 && c.Days <= 40 {
+			t.Errorf("rejected size %d nodes met the deadline at %v days", c.Nodes, c.Days)
+		}
+		if c.Nodes >= plan.Nodes {
+			t.Errorf("rejected size %d not below the plan's %d", c.Nodes, plan.Nodes)
+		}
+	}
+}
+
+func TestTighterDeadlineNeedsMoreNodes(t *testing.T) {
+	loose, err := MinimumNodes(request(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := MinimumNodes(request(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Nodes <= loose.Nodes {
+		t.Errorf("25-day plan (%d nodes) not above 80-day plan (%d nodes)",
+			tight.Nodes, loose.Nodes)
+	}
+}
+
+func TestImpossibleDeadline(t *testing.T) {
+	req := request(0.01) // 15 minutes for 300B tokens
+	req.MaxNodes = 64
+	_, err := MinimumNodes(req)
+	if err == nil {
+		t.Fatal("impossible deadline produced a plan")
+	}
+	if !strings.Contains(err.Error(), "no machine") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	var nilReq *Request
+	if err := nilReq.Validate(); err == nil {
+		t.Error("nil request accepted")
+	}
+	r := request(10)
+	r.TargetDays = 0
+	if err := r.Validate(); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	r = request(10)
+	r.Template.AccelsPerNode = 0
+	if err := r.Validate(); err == nil {
+		t.Error("empty template accepted")
+	}
+	r = request(10)
+	r.Training.Batch.Global = 0
+	if err := r.Validate(); err == nil {
+		t.Error("missing batch accepted")
+	}
+	r = request(10)
+	broken := *r.Model
+	broken.Heads = 7
+	r.Model = &broken
+	if err := r.Validate(); err == nil {
+		t.Error("broken model accepted")
+	}
+}
+
+func TestScalingCurveMonotoneEnough(t *testing.T) {
+	// The rejected-size curve should broadly improve with machine size
+	// (mapping quantization allows small local wobbles, so require each
+	// doubling to not be worse than 1.05x the previous best).
+	plan, err := MinimumNodes(request(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 1e18
+	for _, c := range plan.Rejected {
+		if c.Days < 0 {
+			continue
+		}
+		if c.Days > best*1.05 {
+			t.Errorf("scaling curve regressed at %d nodes: %v days after best %v",
+				c.Nodes, c.Days, best)
+		}
+		if c.Days < best {
+			best = c.Days
+		}
+	}
+}

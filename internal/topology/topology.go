@@ -1,0 +1,151 @@
+// Package topology provides the topology factors of AMPeD's communication
+// equations: the number of communication steps a collective needs on a given
+// physical topology, divided by the number of participating accelerators.
+//
+// For a ring all-reduce over N workers the factor is 2(N-1)/N (Eq. 6 text);
+// for a pairwise-exchange all-to-all it is (N-1)/N (Eq. 9 text). The factor
+// multiplies both the latency term (steps) and the bandwidth term (fraction
+// of the data each worker must move).
+package topology
+
+import "fmt"
+
+// Kind names a collective-algorithm/topology combination.
+type Kind int
+
+const (
+	// Ring is a ring all-reduce: reduce-scatter then all-gather, 2(N-1)
+	// steps, each moving 1/N of the data. Factor: 2(N-1)/N.
+	Ring Kind = iota
+	// Tree is a binary-tree all-reduce: reduce up, broadcast down. The
+	// whole payload crosses each level; factor ~ 2·ceil(log2 N)/N on the
+	// step count with full-size transfers, modeled as 2·log2(N)/N·N = the
+	// per-worker share 2·ceil(log2 N)/N... see Factor for the exact form.
+	Tree
+	// PairwiseAllToAll is the default MoE exchange: every worker sends a
+	// distinct 1/N shard to every other worker in N-1 steps. Factor:
+	// (N-1)/N.
+	PairwiseAllToAll
+	// PointToPoint is a single direct transfer (pipeline stages). The
+	// paper's Eq. 7 needs no factor; Factor returns 1.
+	PointToPoint
+	// Torus2D is a ring all-reduce decomposed over the two dimensions of a
+	// (near-)square 2D torus: 2(√n-1)/√n per dimension, halving the
+	// serialized step count of a flat ring at the same per-worker volume
+	// asymptote.
+	Torus2D
+)
+
+// String returns the topology name.
+func (k Kind) String() string {
+	switch k {
+	case Ring:
+		return "ring"
+	case Tree:
+		return "tree"
+	case PairwiseAllToAll:
+		return "pairwise all-to-all"
+	case PointToPoint:
+		return "point-to-point"
+	case Torus2D:
+		return "2d-torus"
+	default:
+		return fmt.Sprintf("topology.Kind(%d)", int(k))
+	}
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool { return k >= Ring && k <= Torus2D }
+
+// ceilLog2 returns ceil(log2(n)) for n >= 1.
+func ceilLog2(n int) int {
+	steps := 0
+	for v := 1; v < n; v <<= 1 {
+		steps++
+	}
+	return steps
+}
+
+// Factor returns the topology factor T for a collective over n workers:
+// communication steps divided by participating accelerators, following the
+// paper's definition. n <= 1 means no communication, factor 0 (except
+// PointToPoint, which is a single hop whenever it happens at all).
+func Factor(k Kind, n int) float64 {
+	if n <= 1 && k != PointToPoint {
+		return 0
+	}
+	switch k {
+	case Ring:
+		return 2 * float64(n-1) / float64(n)
+	case Tree:
+		return 2 * float64(ceilLog2(n)) / float64(n)
+	case PairwiseAllToAll:
+		return float64(n-1) / float64(n)
+	case PointToPoint:
+		return 1
+	case Torus2D:
+		side := intSqrt(n)
+		return 2 * 2 * float64(side-1) / float64(side) / 2 // two dims, half-volume each
+	default:
+		panic(fmt.Sprintf("topology: unknown kind %d", int(k)))
+	}
+}
+
+// intSqrt returns the integer square root (floor), at least 1.
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// Steps returns the number of serialized communication steps the collective
+// performs, the multiplier on the per-step link latency.
+func Steps(k Kind, n int) int {
+	if n <= 1 && k != PointToPoint {
+		return 0
+	}
+	switch k {
+	case Ring:
+		return 2 * (n - 1)
+	case Tree:
+		return 2 * ceilLog2(n)
+	case PairwiseAllToAll:
+		return n - 1
+	case PointToPoint:
+		return 1
+	case Torus2D:
+		return 2 * 2 * (intSqrt(n) - 1)
+	default:
+		panic(fmt.Sprintf("topology: unknown kind %d", int(k)))
+	}
+}
+
+// Choice selects the topology used for each collective class in a system
+// description. The zero value is the paper's default (ring all-reduce,
+// pairwise all-to-all).
+type Choice struct {
+	// AllReduce is used for TP activation reductions and DP gradient
+	// reductions.
+	AllReduce Kind
+	// AllToAll is used for MoE token exchange.
+	AllToAll Kind
+}
+
+// DefaultChoice returns the paper's defaults: ring all-reduce and pairwise
+// all-to-all exchange.
+func DefaultChoice() Choice {
+	return Choice{AllReduce: Ring, AllToAll: PairwiseAllToAll}
+}
+
+// Validate reports an error if either kind is undefined.
+func (c Choice) Validate() error {
+	if !c.AllReduce.Valid() {
+		return fmt.Errorf("topology: invalid all-reduce kind %d", int(c.AllReduce))
+	}
+	if !c.AllToAll.Valid() {
+		return fmt.Errorf("topology: invalid all-to-all kind %d", int(c.AllToAll))
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingFactor(t *testing.T) {
+	// The paper's example: ring all-reduce over N_TP workers within a node
+	// gives 2(N-1)/N.
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 0}, {2, 1}, {4, 1.5}, {8, 1.75}, {1024, 2 * 1023.0 / 1024},
+	}
+	for _, c := range cases {
+		if got := Factor(Ring, c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Factor(Ring, %d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPairwiseFactor(t *testing.T) {
+	// Eq. 9: default pairwise exchange all-to-all has (N-1)/N.
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 0}, {2, 0.5}, {128, 127.0 / 128},
+	}
+	for _, c := range cases {
+		if got := Factor(PairwiseAllToAll, c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Factor(PairwiseAllToAll, %d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	for _, n := range []int{1, 2, 64} {
+		if got := Factor(PointToPoint, n); got != 1 {
+			t.Errorf("Factor(PointToPoint, %d) = %v, want 1", n, got)
+		}
+		if got := Steps(PointToPoint, n); got != 1 {
+			t.Errorf("Steps(PointToPoint, %d) = %v, want 1", n, got)
+		}
+	}
+}
+
+func TestTreeFactor(t *testing.T) {
+	if got := Factor(Tree, 8); math.Abs(got-2*3.0/8) > 1e-12 {
+		t.Errorf("Factor(Tree, 8) = %v, want 0.75", got)
+	}
+	if got := Steps(Tree, 9); got != 2*4 {
+		t.Errorf("Steps(Tree, 9) = %d, want 8 (ceil log2)", got)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	if got := Steps(Ring, 8); got != 14 {
+		t.Errorf("Steps(Ring, 8) = %d, want 14", got)
+	}
+	if got := Steps(PairwiseAllToAll, 8); got != 7 {
+		t.Errorf("Steps(PairwiseAllToAll, 8) = %d, want 7", got)
+	}
+	if got := Steps(Ring, 1); got != 0 {
+		t.Errorf("Steps(Ring, 1) = %d, want 0", got)
+	}
+}
+
+func TestFactorProperties(t *testing.T) {
+	// For every collective kind: factor is non-negative, bounded by its
+	// asymptote, and Steps/n == Factor for the linear-step topologies.
+	f := func(raw uint8) bool {
+		n := int(raw)%512 + 1
+		ring := Factor(Ring, n)
+		pair := Factor(PairwiseAllToAll, n)
+		if ring < 0 || ring >= 2 || pair < 0 || pair >= 1 {
+			return false
+		}
+		if n > 1 {
+			if math.Abs(ring-float64(Steps(Ring, n))/float64(n)) > 1e-12 {
+				return false
+			}
+			if math.Abs(pair-float64(Steps(PairwiseAllToAll, n))/float64(n)) > 1e-12 {
+				return false
+			}
+		}
+		// Monotone in n: more workers never shrink the factor.
+		return Factor(Ring, n+1) >= ring && Factor(PairwiseAllToAll, n+1) >= pair
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeBeatsRingAtScale(t *testing.T) {
+	// Motivation for exposing topology as a knob: tree all-reduce has a
+	// lower factor than ring for large N (fewer serialized full transfers
+	// per worker), which matters for the latency-bound gradient reduction.
+	if Factor(Tree, 1024) >= Factor(Ring, 1024) {
+		t.Errorf("tree factor %v not below ring %v at n=1024",
+			Factor(Tree, 1024), Factor(Ring, 1024))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Ring:             "ring",
+		Tree:             "tree",
+		PairwiseAllToAll: "pairwise all-to-all",
+		PointToPoint:     "point-to-point",
+		Kind(99):         "topology.Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Factor(unknown) did not panic")
+		}
+	}()
+	Factor(Kind(99), 4)
+}
+
+func TestChoiceValidate(t *testing.T) {
+	if err := DefaultChoice().Validate(); err != nil {
+		t.Errorf("default choice invalid: %v", err)
+	}
+	bad := Choice{AllReduce: Kind(99), AllToAll: PairwiseAllToAll}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("invalid all-reduce kind accepted")
+	}
+	if !strings.Contains(err.Error(), "all-reduce") {
+		t.Errorf("error %q does not name the field", err)
+	}
+	bad = Choice{AllReduce: Ring, AllToAll: Kind(-1)}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid all-to-all kind accepted")
+	}
+}
+
+func TestTorus2D(t *testing.T) {
+	// A 64-worker (8x8) torus: each dimension runs a ring over 8 with half
+	// the payload, so the factor is 2·(7/8) total and the steps 4·7.
+	if got, want := Factor(Torus2D, 64), 2*7.0/8; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Factor(Torus2D, 64) = %v, want %v", got, want)
+	}
+	if got := Steps(Torus2D, 64); got != 28 {
+		t.Errorf("Steps(Torus2D, 64) = %d, want 28", got)
+	}
+	// Fewer serialized steps than a flat ring at large n: the latency win.
+	if Steps(Torus2D, 1024) >= Steps(Ring, 1024) {
+		t.Errorf("torus steps %d not below ring %d", Steps(Torus2D, 1024), Steps(Ring, 1024))
+	}
+	// Comparable bandwidth factor (both approach 2).
+	if f := Factor(Torus2D, 1024); f < 1.5 || f > 2 {
+		t.Errorf("torus factor at 1024 = %v", f)
+	}
+	if !Torus2D.Valid() || Torus2D.String() != "2d-torus" {
+		t.Errorf("torus kind broken: %v", Torus2D)
+	}
+	if got := Factor(Torus2D, 1); got != 0 {
+		t.Errorf("single-worker torus = %v", got)
+	}
+}

@@ -1,0 +1,138 @@
+package transformer
+
+import "fmt"
+
+// Attention-variant knobs. The base Model assumes full multi-head
+// attention; these optional fields cover the two variants that changed
+// transformer serving/training economics after the paper: grouped-query
+// attention (fewer key/value heads) and sliding-window (local) attention.
+// Both plug into the same Eq. 2 op-counting path.
+
+// Variant extends a Model with attention-architecture options.
+type Variant struct {
+	// KVHeads is the number of key/value heads for grouped-query
+	// attention; 1 is multi-query attention, 0 or Heads is standard MHA.
+	KVHeads int
+	// Window is the sliding-attention window in tokens; 0 means full
+	// (causal) attention over the whole sequence.
+	Window int
+	// CrossAttention adds an encoder-decoder cross-attention sublayer to
+	// every block (the paper's §II-A encoder-decoder architecture).
+	CrossAttention bool
+	// EncoderSeqLen is the encoder-side sequence length cross-attention
+	// attends over; 0 means the model's own SeqLen.
+	EncoderSeqLen int
+}
+
+// Apply returns a copy of m with the variant's counting rules attached.
+// It validates compatibility (KV heads must divide the head count; the
+// window cannot exceed the sequence length).
+func (v Variant) Apply(m Model) (Model, error) {
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	if v.KVHeads < 0 || v.Window < 0 {
+		return Model{}, fmt.Errorf("transformer: negative variant fields %+v", v)
+	}
+	if v.KVHeads > 0 {
+		if v.KVHeads > m.Heads {
+			return Model{}, fmt.Errorf("transformer: %d KV heads exceed %d heads", v.KVHeads, m.Heads)
+		}
+		if m.Heads%v.KVHeads != 0 {
+			return Model{}, fmt.Errorf("transformer: %d heads not divisible by %d KV heads", m.Heads, v.KVHeads)
+		}
+	}
+	if v.Window > m.SeqLen {
+		return Model{}, fmt.Errorf("transformer: window %d exceeds sequence length %d", v.Window, m.SeqLen)
+	}
+	if v.EncoderSeqLen < 0 {
+		return Model{}, fmt.Errorf("transformer: negative encoder sequence length %d", v.EncoderSeqLen)
+	}
+	if v.EncoderSeqLen > 0 && !v.CrossAttention {
+		return Model{}, fmt.Errorf("transformer: encoder sequence length set without cross-attention")
+	}
+	m.variant = v
+	if v.KVHeads > 0 && v.KVHeads != m.Heads {
+		m.Name = fmt.Sprintf("%s+GQA%d", m.Name, v.KVHeads)
+	}
+	if v.Window > 0 {
+		m.Name = fmt.Sprintf("%s+SW%d", m.Name, v.Window)
+	}
+	if v.CrossAttention {
+		m.Name = m.Name + "+XAttn"
+	}
+	return m, nil
+}
+
+// encoderSeq returns the encoder-side sequence length for cross-attention.
+func (m *Model) encoderSeq() float64 {
+	if m.variant.EncoderSeqLen > 0 {
+		return float64(m.variant.EncoderSeqLen)
+	}
+	return float64(m.SeqLen)
+}
+
+// kvHeads returns the effective key/value head count.
+func (m *Model) kvHeads() int {
+	if m.variant.KVHeads > 0 {
+		return m.variant.KVHeads
+	}
+	return m.Heads
+}
+
+// attnSpan returns the per-token attention span: the window if sliding
+// attention is enabled, otherwise the full sequence.
+func (m *Model) attnSpan() float64 {
+	if m.variant.Window > 0 {
+		return float64(m.variant.Window)
+	}
+	return float64(m.SeqLen)
+}
+
+// attentionMACs counts the attention sublayer's forward MACs under the
+// active variant: Q projection b·s·h², KV projections scaled by the
+// KV-head fraction, score/context matmuls over the attention span, and the
+// output projection b·s·h².
+func (m *Model) attentionMACs(batch int) float64 {
+	b := float64(batch)
+	s := float64(m.SeqLen)
+	h := float64(m.Hidden)
+	kvFrac := float64(m.kvHeads()) / float64(m.Heads)
+	span := m.attnSpan()
+	proj := b * s * h * h * (2 + 2*kvFrac) // Q + out, K + V scaled
+	scores := 2 * b * s * span * h         // QK^T and attn·V
+	total := proj + scores
+	if m.variant.CrossAttention {
+		// Cross-attention: Q/out projections over decoder tokens, K/V
+		// projections over encoder tokens, score/context matmuls across
+		// the encoder sequence (never windowed).
+		se := m.encoderSeq()
+		total += b*s*h*h*2 + b*se*h*h*2*kvFrac + 2*b*s*se*h
+	}
+	return total
+}
+
+// attentionNonlin counts softmax ops under the active variant.
+func (m *Model) attentionNonlin(batch int) float64 {
+	b := float64(batch)
+	s := float64(m.SeqLen)
+	a := float64(m.Heads)
+	total := opsSoftmax * b * a * s * m.attnSpan()
+	if m.variant.CrossAttention {
+		total += opsSoftmax * b * a * s * m.encoderSeq()
+	}
+	return total
+}
+
+// attentionParams counts the attention projections under the active
+// variant: Q and output are h×h, K and V shrink with the KV-head fraction.
+func (m *Model) attentionParams() float64 {
+	h := float64(m.Hidden)
+	kvFrac := float64(m.kvHeads()) / float64(m.Heads)
+	p := h*h*(2+2*kvFrac) + 4*h
+	if m.variant.CrossAttention {
+		// A second attention parameter set plus its LayerNorm.
+		p += h*h*(2+2*kvFrac) + 4*h + 2*h
+	}
+	return p
+}

@@ -1,0 +1,268 @@
+package transformer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVariantDefaultsMatchBase(t *testing.T) {
+	// Applying the empty variant changes nothing.
+	base := GPT3175B()
+	same, err := Variant{}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.LayerMACs(0, 4) != base.LayerMACs(0, 4) {
+		t.Errorf("empty variant changed MACs")
+	}
+	if same.LayerParams(0) != base.LayerParams(0) {
+		t.Errorf("empty variant changed params")
+	}
+	if same.Name != base.Name {
+		t.Errorf("empty variant renamed model to %q", same.Name)
+	}
+}
+
+func TestGQAShrinksKVProjections(t *testing.T) {
+	base := GPT3175B() // 96 heads
+	gqa, err := Variant{KVHeads: 8}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attention params: base 4h², GQA (2 + 2/12)h².
+	baseAttn := base.LayerOps(0, 1)[0]
+	gqaAttn := gqa.LayerOps(0, 1)[0]
+	if gqaAttn.MACs >= baseAttn.MACs {
+		t.Errorf("GQA MACs %v not below MHA %v", gqaAttn.MACs, baseAttn.MACs)
+	}
+	ratio := gqa.LayerParams(0) / base.LayerParams(0)
+	if ratio >= 1 || ratio < 0.8 {
+		t.Errorf("GQA layer param ratio = %v", ratio)
+	}
+	if !strings.Contains(gqa.Name, "GQA8") {
+		t.Errorf("name = %q", gqa.Name)
+	}
+	// Score/context matmuls are unchanged (all query heads still attend).
+	wantScores := 2.0 * 2048 * 2048 * 12288
+	gotDelta := float64(baseAttn.MACs) - float64(gqaAttn.MACs)
+	projDelta := 2.0 * (1 - 8.0/96) * 2048 * 12288 * 12288
+	if diff := gotDelta - projDelta; diff > 1e-3*projDelta || diff < -1e-3*projDelta {
+		t.Errorf("GQA MAC delta = %v, want projection-only %v (scores %v unchanged)",
+			gotDelta, projDelta, wantScores)
+	}
+}
+
+func TestMQAExtreme(t *testing.T) {
+	base := MinGPT() // 12 heads
+	mqa, err := Variant{KVHeads: 1}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mqa.LayerParams(0) >= base.LayerParams(0) {
+		t.Error("MQA did not shrink params")
+	}
+	if mqa.AttentionNormParams() >= base.AttentionNormParams() {
+		t.Error("MQA did not shrink AttentionNormParams")
+	}
+}
+
+func TestSlidingWindowCutsQuadraticTerm(t *testing.T) {
+	base := GPT3175B() // s=2048
+	sw, err := Variant{Window: 256}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAttn := base.LayerOps(0, 1)[0]
+	swAttn := sw.LayerOps(0, 1)[0]
+	if swAttn.MACs >= baseAttn.MACs {
+		t.Error("sliding window did not cut attention MACs")
+	}
+	// Softmax ops shrink by exactly the window fraction.
+	if got, want := float64(swAttn.Nonlin)/float64(baseAttn.Nonlin), 256.0/2048; got < want*0.99 || got > want*1.01 {
+		t.Errorf("softmax ratio = %v, want %v", got, want)
+	}
+	// Parameters are untouched — the window changes compute, not weights.
+	if sw.LayerParams(0) != base.LayerParams(0) {
+		t.Error("sliding window changed params")
+	}
+	if !strings.Contains(sw.Name, "SW256") {
+		t.Errorf("name = %q", sw.Name)
+	}
+}
+
+func TestVariantComposition(t *testing.T) {
+	base := GPT3175B()
+	both, err := Variant{KVHeads: 8, Window: 512}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gqaOnly, _ := Variant{KVHeads: 8}.Apply(base)
+	swOnly, _ := Variant{Window: 512}.Apply(base)
+	if both.LayerMACs(0, 1) >= gqaOnly.LayerMACs(0, 1) {
+		t.Error("composition not below GQA-only")
+	}
+	if both.LayerMACs(0, 1) >= swOnly.LayerMACs(0, 1) {
+		t.Error("composition not below window-only")
+	}
+	if err := both.Validate(); err != nil {
+		t.Errorf("composed model invalid: %v", err)
+	}
+}
+
+func TestVariantRejections(t *testing.T) {
+	base := MinGPT() // 12 heads, s=256
+	cases := []Variant{
+		{KVHeads: -1},
+		{Window: -1},
+		{KVHeads: 24}, // more KV than heads
+		{KVHeads: 5},  // not a divisor of 12
+		{Window: 512}, // exceeds seq len
+	}
+	for _, v := range cases {
+		if _, err := v.Apply(base); err == nil {
+			t.Errorf("variant %+v accepted", v)
+		}
+	}
+	broken := base
+	broken.Hidden = 0
+	if _, err := (Variant{}).Apply(broken); err == nil {
+		t.Error("variant applied to broken model")
+	}
+}
+
+func TestVariantTotalParamsConsistency(t *testing.T) {
+	// GQA on every layer shrinks total params by the per-layer delta x L.
+	base := GPT3175B()
+	gqa, err := Variant{KVHeads: 12}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perLayer := base.LayerParams(0) - gqa.LayerParams(0)
+	total := base.TotalParams() - gqa.TotalParams()
+	want := perLayer * float64(base.Layers)
+	if diff := total - want; diff > 1 || diff < -1 {
+		t.Errorf("total delta %v != per-layer delta x L %v", total, want)
+	}
+}
+
+func TestLlamaPresets(t *testing.T) {
+	small := Llama7B()
+	if err := small.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := small.TotalParams() / 1e9; got < 6 || got > 8 {
+		t.Errorf("LLaMA-7B params = %.1fB", got)
+	}
+	big := Llama70B()
+	if err := big.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// GQA: 80·(2+2/8)·8192² attention + 80·2·4·8192² MLP ≈ 55.9B block
+	// params; with FFN-ratio-4 approximating SwiGLU, the total lands in
+	// the 55-70B band.
+	if got := big.TotalParams() / 1e9; got < 55 || got > 72 {
+		t.Errorf("LLaMA-70B params = %.1fB", got)
+	}
+	// The preset has fewer attention params than an MHA twin would.
+	mha := Model{Name: "mha", Layers: 80, Hidden: 8192, Heads: 64,
+		SeqLen: 4096, Vocab: 32000, FFNRatio: 4}
+	if big.LayerParams(0) >= mha.LayerParams(0) {
+		t.Error("LLaMA-70B preset lost its GQA")
+	}
+	for _, name := range []string{"llama-7b", "llama-70b"} {
+		if _, err := Preset(name); err != nil {
+			t.Errorf("Preset(%q): %v", name, err)
+		}
+	}
+}
+
+func TestCrossAttention(t *testing.T) {
+	base := MinGPT()
+	xattn, err := Variant{CrossAttention: true}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xattn.Name, "XAttn") {
+		t.Errorf("name = %q", xattn.Name)
+	}
+	// Exactly one extra attention parameter set plus a LayerNorm per block.
+	h := float64(base.Hidden)
+	wantDelta := 4*h*h + 4*h + 2*h
+	if got := xattn.LayerParams(0) - base.LayerParams(0); got != wantDelta {
+		t.Errorf("param delta = %v, want %v", got, wantDelta)
+	}
+	// With equal encoder/decoder lengths the attention MACs roughly double.
+	baseAttn := float64(base.LayerOps(0, 2)[0].MACs)
+	xAttn := float64(xattn.LayerOps(0, 2)[0].MACs)
+	if ratio := xAttn / baseAttn; ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("cross-attention MAC ratio = %v, want ~2", ratio)
+	}
+	// Softmax work doubles too.
+	if got := float64(xattn.LayerOps(0, 2)[0].Nonlin) / float64(base.LayerOps(0, 2)[0].Nonlin); got != 2 {
+		t.Errorf("softmax ratio = %v, want 2", got)
+	}
+}
+
+func TestCrossAttentionEncoderLength(t *testing.T) {
+	base := MinGPT() // s=256
+	short, err := Variant{CrossAttention: true, EncoderSeqLen: 64}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Variant{CrossAttention: true}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.LayerMACs(0, 2) >= full.LayerMACs(0, 2) {
+		t.Error("shorter encoder did not reduce cross-attention MACs")
+	}
+	// Rejections.
+	if _, err := (Variant{EncoderSeqLen: 64}).Apply(base); err == nil {
+		t.Error("encoder length without cross-attention accepted")
+	}
+	if _, err := (Variant{CrossAttention: true, EncoderSeqLen: -1}).Apply(base); err == nil {
+		t.Error("negative encoder length accepted")
+	}
+}
+
+func TestCrossAttentionComposesWithGQA(t *testing.T) {
+	base := GPT3175B()
+	both, err := Variant{CrossAttention: true, KVHeads: 8}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xOnly, _ := Variant{CrossAttention: true}.Apply(base)
+	if both.LayerParams(0) >= xOnly.LayerParams(0) {
+		t.Error("GQA did not shrink the cross-attention KV projections")
+	}
+	if err := both.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPresets(t *testing.T) {
+	small := GPT2Small()
+	if got := small.TotalParams() / 1e6; got < 115 || got > 135 {
+		t.Errorf("GPT-2 small params = %.0fM, want ~124M", got)
+	}
+	xl := GPT2XL()
+	if got := xl.TotalParams() / 1e9; got < 1.4 || got > 1.7 {
+		t.Errorf("GPT-2 XL params = %.2fB, want ~1.5B", got)
+	}
+	t5 := T5Large()
+	if err := t5.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The decoder preset carries cross-attention parameters: more than a
+	// decoder-only twin of the same dims.
+	plain := Model{Name: "p", Layers: 24, Hidden: 1024, Heads: 16,
+		SeqLen: 512, Vocab: 32128, FFNRatio: 4}
+	if t5.LayerParams(0) <= plain.LayerParams(0) {
+		t.Error("T5 preset lost its cross-attention")
+	}
+	for _, name := range []string{"gpt2-small", "gpt2-xl", "t5-large"} {
+		if _, err := Preset(name); err != nil {
+			t.Errorf("Preset(%q): %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package transformer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MinGPT is the 85M-parameter minGPT of the paper's DP validation (§V-A):
+// 12 layers, 12 heads, hidden 768. The paper quotes 85M counting the block
+// parameters (12·12·768² ≈ 85M); embeddings add ~39M on top.
+func MinGPT() Model {
+	return Model{
+		Name: "minGPT-85M", Layers: 12, Hidden: 768, Heads: 12,
+		SeqLen: 256, Vocab: 50257, FFNRatio: 4,
+	}
+}
+
+// MinGPTPipeline is the PP-validation variant (§V-B): 16 layers, 8 heads,
+// hidden 1024, trained on Wikipedia with torchgpipe.
+func MinGPTPipeline() Model {
+	return Model{
+		Name: "minGPT-PP", Layers: 16, Hidden: 1024, Heads: 8,
+		SeqLen: 512, Vocab: 50257, FFNRatio: 4,
+	}
+}
+
+// GPT3175B is the 175-billion-parameter GPT-3 of Fig. 2c.
+func GPT3175B() Model {
+	return Model{
+		Name: "GPT-3 175B", Layers: 96, Hidden: 12288, Heads: 96,
+		SeqLen: 2048, Vocab: 51200, FFNRatio: 4,
+	}
+}
+
+// Megatron145B is the 145.6B configuration of Table II / Case Study I:
+// 80 layers, hidden 12288 (12·L·h² ≈ 145G block parameters).
+func Megatron145B() Model {
+	return Model{
+		Name: "Megatron 145B", Layers: 80, Hidden: 12288, Heads: 96,
+		SeqLen: 2048, Vocab: 51200, FFNRatio: 4,
+	}
+}
+
+// Megatron310B is the 310.1B configuration of Table II.
+func Megatron310B() Model {
+	return Model{
+		Name: "Megatron 310B", Layers: 96, Hidden: 16384, Heads: 128,
+		SeqLen: 2048, Vocab: 51200, FFNRatio: 4,
+	}
+}
+
+// Megatron530B is the 529.6B configuration of Table II.
+func Megatron530B() Model {
+	return Model{
+		Name: "Megatron 530B", Layers: 105, Hidden: 20480, Heads: 128,
+		SeqLen: 2048, Vocab: 51200, FFNRatio: 4,
+	}
+}
+
+// Megatron1T is the 1.008T configuration of Table II.
+func Megatron1T() Model {
+	return Model{
+		Name: "Megatron 1T", Layers: 128, Hidden: 25600, Heads: 160,
+		SeqLen: 2048, Vocab: 51200, FFNRatio: 4,
+	}
+}
+
+// GLaM is the Mixture-of-Experts model of Case Study III: 64 blocks at
+// hidden 8192 with 64 experts in every second block, GShard-style top-2
+// gating (the GLaM 64B/64E architecture).
+func GLaM() Model {
+	return Model{
+		Name: "GLaM 64B/64E", Layers: 64, Hidden: 8192, Heads: 128,
+		SeqLen: 1024, Vocab: 256000, FFNRatio: 4,
+		Experts: 64, MoEEvery: 2, TopK: 2,
+	}
+}
+
+// GPipe24 is the 24-layer transformer of the GPipe P100 validation
+// (Table III).
+func GPipe24() Model {
+	return Model{
+		Name: "GPipe transformer-24", Layers: 24, Hidden: 1024, Heads: 16,
+		SeqLen: 512, Vocab: 32000, FFNRatio: 4,
+	}
+}
+
+// modelPresets indexes the model presets for config-file lookup.
+var modelPresets = map[string]func() Model{
+	"mingpt":        MinGPT,
+	"mingpt-pp":     MinGPTPipeline,
+	"gpt3-175b":     GPT3175B,
+	"megatron-145b": Megatron145B,
+	"megatron-310b": Megatron310B,
+	"megatron-530b": Megatron530B,
+	"megatron-1t":   Megatron1T,
+	"glam":          GLaM,
+	"gpipe-24":      GPipe24,
+	"llama-7b":      Llama7B,
+	"llama-70b":     Llama70B,
+	"gpt2-small":    GPT2Small,
+	"gpt2-xl":       GPT2XL,
+	"t5-large":      T5Large,
+}
+
+// Preset returns a named model preset.
+func Preset(name string) (Model, error) {
+	f, ok := modelPresets[name]
+	if !ok {
+		return Model{}, fmt.Errorf("transformer: unknown model preset %q (have %v)", name, PresetNames())
+	}
+	return f(), nil
+}
+
+// PresetNames lists available preset keys in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(modelPresets))
+	for n := range modelPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Llama7B is a LLaMA-2-7B-class decoder: 32 blocks at hidden 4096 with
+// standard multi-head attention (the SwiGLU MLP is approximated by an
+// equivalent-parameter FFN ratio of 4).
+func Llama7B() Model {
+	return Model{
+		Name: "LLaMA-2 7B", Layers: 32, Hidden: 4096, Heads: 32,
+		SeqLen: 4096, Vocab: 32000, FFNRatio: 4,
+	}
+}
+
+// Llama70B is a LLaMA-2-70B-class decoder with grouped-query attention
+// (8 KV heads for 64 query heads) — a preset exercising the GQA variant.
+func Llama70B() Model {
+	base := Model{
+		Name: "LLaMA-2 70B", Layers: 80, Hidden: 8192, Heads: 64,
+		SeqLen: 4096, Vocab: 32000, FFNRatio: 4,
+	}
+	m, err := (Variant{KVHeads: 8}).Apply(base)
+	if err != nil {
+		// The preset's fields are static and valid; a failure here is a
+		// programming error, not an input condition.
+		panic(err)
+	}
+	m.Name = "LLaMA-2 70B" // the GQA marker is implicit in a named preset
+	return m
+}
+
+// GPT2Small is the 124M-parameter GPT-2: 12 blocks at hidden 768.
+func GPT2Small() Model {
+	return Model{
+		Name: "GPT-2 small", Layers: 12, Hidden: 768, Heads: 12,
+		SeqLen: 1024, Vocab: 50257, FFNRatio: 4,
+	}
+}
+
+// GPT2XL is the 1.5B-parameter GPT-2 XL: 48 blocks at hidden 1600.
+func GPT2XL() Model {
+	return Model{
+		Name: "GPT-2 XL", Layers: 48, Hidden: 1600, Heads: 25,
+		SeqLen: 1024, Vocab: 50257, FFNRatio: 4,
+	}
+}
+
+// T5Large is a T5-Large-class encoder-decoder: the decoder stack carries
+// cross-attention over a 512-token encoder sequence (the paper's §II-A
+// encoder-decoder architecture, exercised through the variant system).
+// The preset models the decoder stack; the encoder runs the same blocks
+// without cross-attention and is approximated by doubling Layers in
+// whole-model studies.
+func T5Large() Model {
+	base := Model{
+		Name: "T5-Large decoder", Layers: 24, Hidden: 1024, Heads: 16,
+		SeqLen: 512, Vocab: 32128, FFNRatio: 4,
+	}
+	m, err := (Variant{CrossAttention: true, EncoderSeqLen: 512}).Apply(base)
+	if err != nil {
+		panic(err) // static preset fields; failure is a programming error
+	}
+	m.Name = "T5-Large decoder"
+	return m
+}

@@ -1,0 +1,389 @@
+// Package transformer describes transformer language models at the
+// granularity AMPeD needs: per-layer, per-sublayer counts of MAC operations,
+// non-linear operations, parameters, activations and gradients — the
+// N_MAC(l,i), N_nonlin(l,i), N_act(l), N_g(l) inputs of Eq. 2–12.
+//
+// The counting conventions (documented per function) follow the standard
+// decoder-block accounting also used by Megatron-LM: a layer is an attention
+// sublayer plus an MLP sublayer, each wrapped in LayerNorm and a residual
+// connection; Mixture-of-Experts replaces the MLP of selected layers with a
+// gated bank of expert MLPs.
+package transformer
+
+import (
+	"errors"
+	"fmt"
+
+	"amped/internal/units"
+)
+
+// Model is a transformer architecture description. All fields are the
+// paper's "transformer model parameters" knobs.
+type Model struct {
+	// Name identifies the model in reports.
+	Name string
+	// Layers is L, the number of transformer blocks.
+	Layers int
+	// Hidden is h, the embedding/hidden dimensionality.
+	Hidden int
+	// Heads is a, the attention head count (must divide Hidden).
+	Heads int
+	// SeqLen is s, the training sequence length.
+	SeqLen int
+	// Vocab is V, the vocabulary size for the embedding and logit layers.
+	Vocab int
+	// FFNRatio is the MLP expansion ratio r (intermediate = r·h);
+	// virtually every GPT-family model uses 4.
+	FFNRatio float64
+	// Experts is E, the expert count of MoE layers. Zero means dense.
+	Experts int
+	// MoEEvery selects which blocks are MoE: every MoEEvery-th block
+	// (1-indexed positions MoEEvery, 2·MoEEvery, …). GLaM uses 2. Zero
+	// disables MoE regardless of Experts.
+	MoEEvery int
+	// TopK is the number of experts activated per token (GShard-style
+	// top-2 gating). Defaults to 2 when MoE is enabled and TopK is 0.
+	TopK int
+
+	// variant carries optional attention-architecture rules (GQA, sliding
+	// window); attach one with Variant.Apply.
+	variant Variant
+}
+
+// Nonlinear-operation cost constants: elementary operations per element for
+// each activation-function evaluation. These are the implementation's fixed
+// accounting conventions (the paper leaves them to the N_nonlin input).
+const (
+	// opsSoftmax covers exp, running max subtraction and the normalizing
+	// divide per attention score.
+	opsSoftmax = 3
+	// opsGELU covers the tanh-approximation polynomial per element.
+	opsGELU = 4
+	// opsLayerNorm covers mean/variance accumulation and the normalize
+	// multiply-add per element.
+	opsLayerNorm = 5
+	// opsResidual is the elementwise add.
+	opsResidual = 1
+)
+
+// Validate checks architectural consistency.
+func (m *Model) Validate() error {
+	switch {
+	case m == nil:
+		return errors.New("transformer: nil model")
+	case m.Layers <= 0:
+		return fmt.Errorf("transformer: model %q: layer count %d must be positive", m.Name, m.Layers)
+	case m.Hidden <= 0:
+		return fmt.Errorf("transformer: model %q: hidden size %d must be positive", m.Name, m.Hidden)
+	case m.Heads <= 0:
+		return fmt.Errorf("transformer: model %q: head count %d must be positive", m.Name, m.Heads)
+	case m.Hidden%m.Heads != 0:
+		return fmt.Errorf("transformer: model %q: hidden size %d not divisible by %d heads", m.Name, m.Hidden, m.Heads)
+	case m.SeqLen <= 0:
+		return fmt.Errorf("transformer: model %q: sequence length %d must be positive", m.Name, m.SeqLen)
+	case m.Vocab <= 0:
+		return fmt.Errorf("transformer: model %q: vocabulary size %d must be positive", m.Name, m.Vocab)
+	case m.FFNRatio <= 0:
+		return fmt.Errorf("transformer: model %q: FFN ratio %g must be positive", m.Name, m.FFNRatio)
+	case m.MoEEvery < 0 || m.Experts < 0 || m.TopK < 0:
+		return fmt.Errorf("transformer: model %q: negative MoE parameters", m.Name)
+	case m.MoEEvery > 0 && m.Experts < 2:
+		return fmt.Errorf("transformer: model %q: MoE every %d layers needs >= 2 experts, have %d", m.Name, m.MoEEvery, m.Experts)
+	case m.MoEEvery > 0 && m.topK() > m.Experts:
+		return fmt.Errorf("transformer: model %q: top-%d gating exceeds %d experts", m.Name, m.topK(), m.Experts)
+	}
+	return nil
+}
+
+// topK returns the effective activated-expert count.
+func (m *Model) topK() int {
+	if m.TopK <= 0 {
+		return 2
+	}
+	return m.TopK
+}
+
+// MoE reports whether the model contains any MoE layers.
+func (m *Model) MoE() bool { return m.MoEEvery > 0 && m.Experts > 1 }
+
+// IsMoELayer reports whether block l (0-indexed) is a Mixture-of-Experts
+// block: every MoEEvery-th block, counting from position MoEEvery-1.
+func (m *Model) IsMoELayer(l int) bool {
+	return m.MoE() && (l+1)%m.MoEEvery == 0
+}
+
+// MoELayers counts the MoE blocks in the model.
+func (m *Model) MoELayers() int {
+	if !m.MoE() {
+		return 0
+	}
+	return m.Layers / m.MoEEvery
+}
+
+// ffn returns the MLP intermediate width r·h.
+func (m *Model) ffn() float64 { return m.FFNRatio * float64(m.Hidden) }
+
+// Sublayer identifies one component of a transformer block for the
+// per-sublayer sum of Eq. 2.
+type Sublayer int
+
+const (
+	// Attention is the self-attention sublayer (QKV/output projections and
+	// the two score/context batched matmuls).
+	Attention Sublayer = iota
+	// MLP is the position-wise feed-forward sublayer, or the activated
+	// experts plus gate of an MoE block.
+	MLP
+	// Norms covers the two LayerNorms and two residual additions.
+	Norms
+)
+
+// String names the sublayer.
+func (s Sublayer) String() string {
+	switch s {
+	case Attention:
+		return "attention"
+	case MLP:
+		return "mlp"
+	case Norms:
+		return "norms"
+	default:
+		return fmt.Sprintf("transformer.Sublayer(%d)", int(s))
+	}
+}
+
+// Ops is one sublayer's forward-pass operation counts for a given batch.
+type Ops struct {
+	// Sublayer identifies which component these counts belong to.
+	Sublayer Sublayer
+	// MACs is N_MAC(l,i), multiply-accumulate operations.
+	MACs units.Ops
+	// Nonlin is N_nonlin(l,i), non-linear elementwise operations.
+	Nonlin units.Ops
+}
+
+// LayerOps returns the forward-pass operation counts of block l for a batch
+// of `batch` sequences of the model's sequence length.
+//
+// Counting conventions (b sequences, s tokens, h hidden, a heads, r ratio;
+// w = attention span, k = KV-head fraction — both 1 for the base variant):
+//
+//	attention MACs   = (2+2k)·b·s·h² + 2·b·s·w·h   (projections, scores + context)
+//	attention nonlin = opsSoftmax·b·a·s·w
+//	dense MLP MACs   = 2·r·b·s·h²
+//	MoE MLP MACs     = TopK·2·r·b·s·h² + b·s·h·E   (experts + gate)
+//	MLP nonlin       = opsGELU·b·s·r·h (per activated expert for MoE)
+//	norms nonlin     = 2·opsLayerNorm·b·s·h + 2·opsResidual·b·s·h
+func (m *Model) LayerOps(l, batch int) []Ops {
+	b := float64(batch)
+	s := float64(m.SeqLen)
+	h := float64(m.Hidden)
+	tokens := b * s
+
+	attn := Ops{
+		Sublayer: Attention,
+		MACs:     units.Ops(m.attentionMACs(batch)),
+		Nonlin:   units.Ops(m.attentionNonlin(batch)),
+	}
+
+	mlp := Ops{Sublayer: MLP}
+	if m.IsMoELayer(l) {
+		k := float64(m.topK())
+		mlp.MACs = units.Ops(k*2*tokens*h*m.ffn() + tokens*h*float64(m.Experts))
+		mlp.Nonlin = units.Ops(k * opsGELU * tokens * m.ffn())
+	} else {
+		mlp.MACs = units.Ops(2 * tokens * h * m.ffn())
+		mlp.Nonlin = units.Ops(opsGELU * tokens * m.ffn())
+	}
+
+	norms := Ops{
+		Sublayer: Norms,
+		Nonlin:   units.Ops((2*opsLayerNorm + 2*opsResidual) * tokens * h),
+	}
+
+	return []Ops{attn, mlp, norms}
+}
+
+// LayerMACs sums the MAC counts of LayerOps.
+func (m *Model) LayerMACs(l, batch int) units.Ops {
+	var total units.Ops
+	for _, op := range m.LayerOps(l, batch) {
+		total += op.MACs
+	}
+	return total
+}
+
+// LayerNonlin sums the non-linear-op counts of LayerOps.
+func (m *Model) LayerNonlin(l, batch int) units.Ops {
+	var total units.Ops
+	for _, op := range m.LayerOps(l, batch) {
+		total += op.Nonlin
+	}
+	return total
+}
+
+// EmbeddingMACs counts the forward MACs of the output logit projection
+// (b·s·h·V). The input embedding is a lookup and contributes no MACs.
+func (m *Model) EmbeddingMACs(batch int) units.Ops {
+	return units.Ops(float64(batch) * float64(m.SeqLen) * float64(m.Hidden) * float64(m.Vocab))
+}
+
+// ForwardMACs counts all forward-pass MACs for one batch: every block plus
+// the logit projection.
+func (m *Model) ForwardMACs(batch int) units.Ops {
+	var total units.Ops
+	for l := 0; l < m.Layers; l++ {
+		total += m.LayerMACs(l, batch)
+	}
+	return total + m.EmbeddingMACs(batch)
+}
+
+// LayerParams counts the trainable parameters of block l. This is the
+// N_MAC(l) of the weight-update Eq. 12 and the N_g(l) of the gradient
+// all-reduce Eq. 11 (gradients are produced one per parameter).
+//
+//	attention: 4h² + 4h        (QKV/out weights + biases)
+//	dense MLP: 2rh² + (r+1)h   (two matrices + biases)
+//	MoE MLP:   E·(2rh² + (r+1)h) + hE   (experts + gate)
+//	norms:     4h              (two LayerNorms, scale+shift)
+func (m *Model) LayerParams(l int) float64 {
+	h := float64(m.Hidden)
+	attn := m.attentionParams()
+	norms := 4 * h
+	mlpDense := 2*h*m.ffn() + m.ffn() + h
+	if m.IsMoELayer(l) {
+		return attn + norms + float64(m.Experts)*mlpDense + h*float64(m.Experts)
+	}
+	return attn + norms + mlpDense
+}
+
+// AttentionNormParams counts the attention and LayerNorm parameters of one
+// block (4h² + 4h weights/biases plus 4h norm parameters) — the part of an
+// MoE block that every data-parallel replica holds in full even when the
+// experts themselves are sharded across the expert-parallel group.
+func (m *Model) AttentionNormParams() float64 {
+	return m.attentionParams() + 4*float64(m.Hidden)
+}
+
+// EmbeddingParams counts the token-embedding and position-embedding
+// parameters (V·h + s·h); the logit projection is weight-tied.
+func (m *Model) EmbeddingParams() float64 {
+	return float64(m.Vocab)*float64(m.Hidden) + float64(m.SeqLen)*float64(m.Hidden)
+}
+
+// TotalParams counts all trainable parameters.
+func (m *Model) TotalParams() float64 {
+	var total float64
+	for l := 0; l < m.Layers; l++ {
+		total += m.LayerParams(l)
+	}
+	return total + m.EmbeddingParams()
+}
+
+// ActiveParams counts the parameters touched per token: for MoE models only
+// the TopK activated experts count, which is the quantity that governs
+// compute (GLaM's headline efficiency claim).
+func (m *Model) ActiveParams() float64 {
+	if !m.MoE() {
+		return m.TotalParams()
+	}
+	var total float64
+	for l := 0; l < m.Layers; l++ {
+		if m.IsMoELayer(l) {
+			h := float64(m.Hidden)
+			dense := 2*h*m.ffn() + m.ffn() + h
+			total += 4*h*h + 4*h + 4*h + float64(m.topK())*dense + h*float64(m.Experts)
+		} else {
+			total += m.LayerParams(l)
+		}
+	}
+	return total + m.EmbeddingParams()
+}
+
+// ActivationsPerLayer is the activation element count b·s·h flowing between
+// blocks, the N_act,PP(l) of Eq. 7 (and N_act,MoE of Eq. 9).
+func (m *Model) ActivationsPerLayer(batch int) float64 {
+	return float64(batch) * float64(m.SeqLen) * float64(m.Hidden)
+}
+
+// TokensPerBatch is b·s, the token throughput unit.
+func (m *Model) TokensPerBatch(batch int) float64 {
+	return float64(batch) * float64(m.SeqLen)
+}
+
+// TrainingFLOPs estimates the total useful floating-point work of one
+// training step on one batch, using the standard 1x-forward + 2x-backward
+// convention: 6 FLOPs per MAC of forward work. This is the numerator of the
+// paper's TFLOP/s/GPU metric (Table II, Fig. 2c).
+func (m *Model) TrainingFLOPs(batch int) units.FLOPs {
+	return units.FLOPs(float64(m.ForwardMACs(batch)) * 3 * units.FLOPsPerMAC)
+}
+
+// String summarizes the architecture.
+func (m *Model) String() string {
+	if m.MoE() {
+		return fmt.Sprintf("%s (L=%d h=%d a=%d s=%d E=%d/%d, %.1fB params, %.1fB active)",
+			m.Name, m.Layers, m.Hidden, m.Heads, m.SeqLen, m.Experts, m.MoEEvery,
+			m.TotalParams()/1e9, m.ActiveParams()/1e9)
+	}
+	return fmt.Sprintf("%s (L=%d h=%d a=%d s=%d, %.1fB params)",
+		m.Name, m.Layers, m.Hidden, m.Heads, m.SeqLen, m.TotalParams()/1e9)
+}
+
+// ChinchillaTokens returns the compute-optimal training-token budget of
+// the Hoffmann et al. scaling law: about 20 tokens per parameter. It is
+// the standard way to size NumBatches for a training-time prediction when
+// no explicit token budget is given.
+func (m *Model) ChinchillaTokens() float64 {
+	return 20 * m.TotalParams()
+}
+
+// BatchesForTokens converts a token budget into the N_batch of Eq. 1 for a
+// given global batch size (rounding up so the budget is met).
+func (m *Model) BatchesForTokens(tokens float64, batch int) int {
+	per := m.TokensPerBatch(batch)
+	if per <= 0 {
+		return 0
+	}
+	n := int(tokens / per)
+	if float64(n)*per < tokens {
+		n++
+	}
+	return n
+}
+
+// ParamBreakdown splits the model's trainable parameters by component —
+// the view that explains where an architecture's capacity lives (and why
+// MoE totals explode while attention stays fixed).
+type ParamBreakdown struct {
+	// Attention covers all attention projections and their norms.
+	Attention float64
+	// MLP covers dense feed-forward parameters.
+	MLP float64
+	// Experts covers MoE expert banks and gates.
+	Experts float64
+	// Embedding covers token and position embeddings.
+	Embedding float64
+}
+
+// Total sums the breakdown.
+func (p ParamBreakdown) Total() float64 {
+	return p.Attention + p.MLP + p.Experts + p.Embedding
+}
+
+// Params returns the per-component parameter breakdown.
+func (m *Model) Params() ParamBreakdown {
+	var out ParamBreakdown
+	for l := 0; l < m.Layers; l++ {
+		attnNorm := m.AttentionNormParams()
+		out.Attention += attnNorm
+		rest := m.LayerParams(l) - attnNorm
+		if m.IsMoELayer(l) {
+			out.Experts += rest
+		} else {
+			out.MLP += rest
+		}
+	}
+	out.Embedding = m.EmbeddingParams()
+	return out
+}

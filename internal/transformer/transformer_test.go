@@ -1,0 +1,318 @@
+package transformer
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// approx reports |got-want| <= tol*|want|.
+func approx(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= tol
+	}
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+func TestBlockParameterCounts(t *testing.T) {
+	// The classic 12·L·h² rule of thumb for block parameters (biases and
+	// norms add <0.1% at these scales).
+	cases := []struct {
+		m      Model
+		wantB  float64 // block params in billions
+		wantPc float64 // tolerance
+	}{
+		{MinGPT(), 0.085, 0.01},
+		{Megatron145B(), 145.0, 0.01},
+		{Megatron310B(), 309.2, 0.01},
+		{Megatron530B(), 528.4, 0.01},
+		{Megatron1T(), 1006.6, 0.01},
+	}
+	for _, c := range cases {
+		var block float64
+		for l := 0; l < c.m.Layers; l++ {
+			block += c.m.LayerParams(l)
+		}
+		if !approx(block/1e9, c.wantB, c.wantPc) {
+			t.Errorf("%s block params = %.2fB, want ~%.1fB", c.m.Name, block/1e9, c.wantB)
+		}
+	}
+}
+
+func TestGPT3TotalParams(t *testing.T) {
+	m := GPT3175B()
+	if got := m.TotalParams() / 1e9; !approx(got, 175, 0.01) {
+		t.Errorf("GPT-3 params = %.1fB, want ~175B", got)
+	}
+}
+
+func TestValidatePresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		m, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("bert"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Model)
+	}{
+		{"layers", func(m *Model) { m.Layers = 0 }},
+		{"hidden", func(m *Model) { m.Hidden = -1 }},
+		{"heads", func(m *Model) { m.Heads = 0 }},
+		{"divisibility", func(m *Model) { m.Heads = 7 }},
+		{"seq", func(m *Model) { m.SeqLen = 0 }},
+		{"vocab", func(m *Model) { m.Vocab = 0 }},
+		{"ffn", func(m *Model) { m.FFNRatio = 0 }},
+		{"moe experts", func(m *Model) { m.MoEEvery = 2; m.Experts = 1 }},
+		{"moe topk", func(m *Model) { m.MoEEvery = 2; m.Experts = 4; m.TopK = 8 }},
+		{"negative moe", func(m *Model) { m.MoEEvery = -1 }},
+	}
+	for _, mm := range mutations {
+		m := MinGPT()
+		mm.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %q accepted", mm.name)
+		}
+	}
+	var nilModel *Model
+	if err := nilModel.Validate(); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestLayerOpsScaleLinearlyWithBatch(t *testing.T) {
+	m := MinGPT()
+	one := m.LayerMACs(0, 1)
+	four := m.LayerMACs(0, 4)
+	if !approx(float64(four), 4*float64(one), 1e-12) {
+		t.Errorf("MACs not linear in batch: 1->%v, 4->%v", one, four)
+	}
+	if n1, n4 := m.LayerNonlin(0, 1), m.LayerNonlin(0, 4); !approx(float64(n4), 4*float64(n1), 1e-12) {
+		t.Errorf("nonlin not linear in batch: %v, %v", n1, n4)
+	}
+}
+
+func TestAttentionQuadraticInSeq(t *testing.T) {
+	// The b·s²·h term: doubling s more than doubles attention MACs.
+	m := MinGPT()
+	base := m.LayerOps(0, 1)[0].MACs
+	m.SeqLen *= 2
+	doubled := m.LayerOps(0, 1)[0].MACs
+	if float64(doubled) <= 2*float64(base) {
+		t.Errorf("attention MACs not super-linear in seq: %v -> %v", base, doubled)
+	}
+	if float64(doubled) >= 4*float64(base) {
+		t.Errorf("attention MACs worse than quadratic in seq: %v -> %v", base, doubled)
+	}
+}
+
+func TestLayerOpsExactSmall(t *testing.T) {
+	// Hand-computed counts for a tiny model: h=8, a=2, s=4, r=2, b=3.
+	m := Model{Name: "tiny", Layers: 2, Hidden: 8, Heads: 2, SeqLen: 4, Vocab: 16, FFNRatio: 2}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops := m.LayerOps(0, 3)
+	tokens := 3.0 * 4
+	wantAttn := 4*tokens*64 + 2*3*16*8 // 3072 + 768
+	if got := float64(ops[0].MACs); got != wantAttn {
+		t.Errorf("attention MACs = %v, want %v", got, wantAttn)
+	}
+	wantSoftmax := 3.0 * 3 * 2 * 16 // opsSoftmax·b·a·s²
+	if got := float64(ops[0].Nonlin); got != wantSoftmax {
+		t.Errorf("attention nonlin = %v, want %v", got, wantSoftmax)
+	}
+	wantMLP := 2 * tokens * 8 * 16 // 2·tokens·h·rh
+	if got := float64(ops[1].MACs); got != wantMLP {
+		t.Errorf("mlp MACs = %v, want %v", got, wantMLP)
+	}
+	wantGELU := 4 * tokens * 16
+	if got := float64(ops[1].Nonlin); got != wantGELU {
+		t.Errorf("mlp nonlin = %v, want %v", got, wantGELU)
+	}
+	wantNorms := (2*5 + 2*1) * tokens * 8
+	if got := float64(ops[2].Nonlin); got != wantNorms {
+		t.Errorf("norms nonlin = %v, want %v", got, wantNorms)
+	}
+	if ops[2].MACs != 0 {
+		t.Errorf("norms MACs = %v, want 0", ops[2].MACs)
+	}
+}
+
+func TestEmbeddingCounts(t *testing.T) {
+	m := MinGPT()
+	wantMACs := 2.0 * 256 * 768 * 50257
+	if got := float64(m.EmbeddingMACs(2)); got != wantMACs {
+		t.Errorf("EmbeddingMACs = %v, want %v", got, wantMACs)
+	}
+	wantParams := 50257.0*768 + 256.0*768
+	if got := m.EmbeddingParams(); got != wantParams {
+		t.Errorf("EmbeddingParams = %v, want %v", got, wantParams)
+	}
+}
+
+func TestMoELayerSelection(t *testing.T) {
+	g := GLaM()
+	moe := 0
+	for l := 0; l < g.Layers; l++ {
+		if g.IsMoELayer(l) {
+			moe++
+			if (l+1)%2 != 0 {
+				t.Errorf("layer %d flagged MoE but is odd-positioned", l)
+			}
+		}
+	}
+	if moe != 32 || g.MoELayers() != 32 {
+		t.Errorf("GLaM MoE layers = %d (counted %d), want 32", g.MoELayers(), moe)
+	}
+	dense := MinGPT()
+	if dense.MoE() || dense.MoELayers() != 0 || dense.IsMoELayer(0) {
+		t.Error("dense model reports MoE layers")
+	}
+}
+
+func TestMoEParamsExplodeComputeDoesNot(t *testing.T) {
+	// The MoE promise (§II-B4): parameters grow by orders of magnitude
+	// with only a small compute increase.
+	g := GLaM()
+	dense := g
+	dense.Experts, dense.MoEEvery, dense.TopK = 0, 0, 0
+	paramRatio := g.TotalParams() / dense.TotalParams()
+	if paramRatio < 10 {
+		t.Errorf("MoE param ratio = %.1f, want > 10x", paramRatio)
+	}
+	computeRatio := float64(g.ForwardMACs(8)) / float64(dense.ForwardMACs(8))
+	if computeRatio > 2.5 {
+		t.Errorf("MoE compute ratio = %.2f, want < 2.5x (top-2)", computeRatio)
+	}
+	if g.ActiveParams() >= g.TotalParams()/4 {
+		t.Errorf("active params %.1fB not sparse vs total %.1fB",
+			g.ActiveParams()/1e9, g.TotalParams()/1e9)
+	}
+}
+
+func TestTrainingFLOPsConvention(t *testing.T) {
+	// 6·N·T rule: training FLOPs ≈ 6 · params · tokens for h >> s models.
+	m := Megatron1T()
+	batch := 512
+	got := float64(m.TrainingFLOPs(batch))
+	rule := 6 * m.TotalParams() * m.TokensPerBatch(batch)
+	// Attention's s²h term and the untied-logit MACs push above the rule,
+	// but only by a bounded margin at h=25600 >> s=2048.
+	if got < rule*0.95 || got > rule*1.25 {
+		t.Errorf("TrainingFLOPs = %.3g, 6NT rule = %.3g (ratio %.2f)", got, rule, got/rule)
+	}
+}
+
+func TestActivationsPerLayer(t *testing.T) {
+	m := MinGPT()
+	if got := m.ActivationsPerLayer(4); got != 4*256*768 {
+		t.Errorf("ActivationsPerLayer = %v", got)
+	}
+	if got := m.TokensPerBatch(4); got != 1024 {
+		t.Errorf("TokensPerBatch = %v", got)
+	}
+}
+
+func TestOpsMonotoneProperties(t *testing.T) {
+	f := func(rawH, rawB uint8) bool {
+		h := (int(rawH)%32 + 1) * 64
+		b := int(rawB)%64 + 1
+		m := Model{Name: "p", Layers: 4, Hidden: h, Heads: 8, SeqLen: 128, Vocab: 1000, FFNRatio: 4}
+		if h%8 != 0 {
+			return true
+		}
+		// Wider model, same batch: strictly more MACs and params.
+		wider := m
+		wider.Hidden = h * 2
+		if wider.LayerMACs(0, b) <= m.LayerMACs(0, b) {
+			return false
+		}
+		if wider.LayerParams(0) <= m.LayerParams(0) {
+			return false
+		}
+		// Forward MACs dominated by per-layer sum times layers.
+		return m.ForwardMACs(b) > m.LayerMACs(0, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	g := GLaM()
+	if s := g.String(); !strings.Contains(s, "active") {
+		t.Errorf("MoE String() = %q, want active-params note", s)
+	}
+	d := MinGPT()
+	if s := d.String(); !strings.Contains(s, "L=12") {
+		t.Errorf("String() = %q", s)
+	}
+	for sub, want := range map[Sublayer]string{Attention: "attention", MLP: "mlp", Norms: "norms", Sublayer(9): "transformer.Sublayer(9)"} {
+		if got := sub.String(); got != want {
+			t.Errorf("Sublayer(%d).String() = %q, want %q", int(sub), got, want)
+		}
+	}
+}
+
+func TestChinchillaBudget(t *testing.T) {
+	m := Megatron145B()
+	tokens := m.ChinchillaTokens()
+	if got := tokens / m.TotalParams(); got != 20 {
+		t.Errorf("tokens per param = %v, want 20", got)
+	}
+	n := m.BatchesForTokens(tokens, 8192)
+	// n x batch x seq covers the budget, and n-1 does not.
+	per := m.TokensPerBatch(8192)
+	if float64(n)*per < tokens {
+		t.Errorf("%d batches cover only %v of %v tokens", n, float64(n)*per, tokens)
+	}
+	if float64(n-1)*per >= tokens {
+		t.Errorf("%d batches already cover the budget", n-1)
+	}
+	if got := m.BatchesForTokens(0, 8192); got != 0 {
+		t.Errorf("zero-token budget = %d batches", got)
+	}
+}
+
+func TestParamBreakdown(t *testing.T) {
+	// Dense model: the breakdown reconstructs TotalParams exactly and the
+	// MLP holds the 2/3 share the 12·L·h² rule implies.
+	m := Megatron145B()
+	pb := m.Params()
+	if !approx(pb.Total(), m.TotalParams(), 1e-12) {
+		t.Errorf("breakdown total %v != %v", pb.Total(), m.TotalParams())
+	}
+	if pb.Experts != 0 {
+		t.Errorf("dense model has expert params %v", pb.Experts)
+	}
+	if share := pb.MLP / (pb.MLP + pb.Attention); share < 0.6 || share > 0.72 {
+		t.Errorf("MLP share = %v, want ~2/3", share)
+	}
+	// MoE model: experts dominate.
+	g := GLaM()
+	gb := g.Params()
+	if !approx(gb.Total(), g.TotalParams(), 1e-12) {
+		t.Errorf("GLaM breakdown total %v != %v", gb.Total(), g.TotalParams())
+	}
+	if gb.Experts < 0.9*gb.Total() {
+		t.Errorf("GLaM experts hold %v of %v, want > 90%%", gb.Experts, gb.Total())
+	}
+	// A tiny model's embeddings dominate.
+	small := MinGPT()
+	sb := small.Params()
+	if sb.Embedding < sb.Attention {
+		t.Errorf("minGPT embedding %v below attention %v", sb.Embedding, sb.Attention)
+	}
+}

@@ -1,0 +1,25 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseQuantity checks that arbitrary input never panics and that every
+// accepted value is finite and re-renderable.
+func FuzzParseQuantity(f *testing.F) {
+	for _, seed := range []string{"2.4T", "32GiB", "100", "-1.5k", "1e3M", "", "T", "abc", " 12M "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseQuantity(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v) {
+			t.Fatalf("ParseQuantity(%q) = NaN without error", s)
+		}
+		// Every accepted quantity formats without panicking.
+		_ = FormatSI(v, "x")
+	})
+}

@@ -1,0 +1,215 @@
+// Package units defines the physical quantities AMPeD computes with —
+// operation counts, data sizes, bandwidths, frequencies and times — together
+// with parsing and human-readable formatting.
+//
+// All quantities are plain float64-based defined types rather than structs so
+// that the arithmetic in the model equations stays readable; the type names
+// exist to keep dimensional intent visible at API boundaries.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Bits measures a data volume in bits. AMPeD's equations express operand
+// sizes and link bandwidths in bits, following the paper's Table IV.
+type Bits float64
+
+// Bytes measures a data volume in bytes.
+type Bytes float64
+
+// BitsPerSecond measures link bandwidth.
+type BitsPerSecond float64
+
+// Hertz measures clock frequency in cycles per second.
+type Hertz float64
+
+// Seconds measures a time duration. The model works in seconds and converts
+// to days only for presentation (the paper quotes training times in days).
+type Seconds float64
+
+// Ops counts abstract operations (MACs or non-linear ops).
+type Ops float64
+
+// OpsPerSecond measures computational throughput in operations per second.
+type OpsPerSecond float64
+
+// FLOPs counts floating point operations. One MAC is two FLOPs (a multiply
+// and an add), the convention used when the paper reports TFLOP/s/GPU.
+type FLOPs float64
+
+// Common scale factors.
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+	Tera = 1e12
+	Peta = 1e15
+
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+)
+
+// FLOPsPerMAC is the conversion factor between multiply-accumulate
+// operations and floating point operations.
+const FLOPsPerMAC = 2
+
+// SecondsPerDay converts between the model's native seconds and the
+// training-time-in-days presentation used throughout the paper's figures.
+const SecondsPerDay = 86400
+
+// Bytes converts a bit count to bytes.
+func (b Bits) Bytes() Bytes { return Bytes(float64(b) / 8) }
+
+// Bits converts a byte count to bits.
+func (b Bytes) Bits() Bits { return Bits(float64(b) * 8) }
+
+// Days expresses a duration in days.
+func (s Seconds) Days() float64 { return float64(s) / SecondsPerDay }
+
+// Hours expresses a duration in hours.
+func (s Seconds) Hours() float64 { return float64(s) / 3600 }
+
+// FromDays builds a duration from a day count.
+func FromDays(d float64) Seconds { return Seconds(d * SecondsPerDay) }
+
+// FLOPs converts a MAC count to floating point operations.
+func (o Ops) FLOPs() FLOPs { return FLOPs(float64(o) * FLOPsPerMAC) }
+
+// Tera expresses a throughput in units of 1e12 operations per second.
+func (o OpsPerSecond) Tera() float64 { return float64(o) / Tera }
+
+// TransferTime returns the serialization time of v bits over the link
+// bandwidth bw. A zero or negative bandwidth yields +Inf, representing an
+// unusable link, so that infeasible mappings sort last rather than panic.
+func TransferTime(v Bits, bw BitsPerSecond) Seconds {
+	if bw <= 0 {
+		return Seconds(math.Inf(1))
+	}
+	return Seconds(float64(v) / float64(bw))
+}
+
+// siPrefixes maps power-of-ten exponents (in steps of 3) to SI prefixes.
+var siPrefixes = []struct {
+	factor float64
+	prefix string
+}{
+	{Peta, "P"},
+	{Tera, "T"},
+	{Giga, "G"},
+	{Mega, "M"},
+	{Kilo, "k"},
+}
+
+// FormatSI renders v with an SI prefix and the given unit suffix, e.g.
+// FormatSI(2.4e12, "bit/s") == "2.40 Tbit/s". Values below 1000 are printed
+// without a prefix; non-finite values are printed via the fmt defaults.
+func FormatSI(v float64, unit string) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fmt.Sprintf("%v %s", v, unit)
+	}
+	a := math.Abs(v)
+	for _, p := range siPrefixes {
+		if a >= p.factor {
+			return fmt.Sprintf("%.2f %s%s", v/p.factor, p.prefix, unit)
+		}
+	}
+	return fmt.Sprintf("%.2f %s", v, unit)
+}
+
+// String implements fmt.Stringer with an SI-prefixed rendering.
+func (b BitsPerSecond) String() string { return FormatSI(float64(b), "bit/s") }
+
+// String implements fmt.Stringer with an SI-prefixed rendering.
+func (h Hertz) String() string { return FormatSI(float64(h), "Hz") }
+
+// String implements fmt.Stringer with an SI-prefixed rendering.
+func (o OpsPerSecond) String() string { return FormatSI(float64(o), "op/s") }
+
+// String renders a duration using the most natural unit: sub-second values in
+// milli/microseconds, values beyond two hours in hours or days.
+func (s Seconds) String() string {
+	v := float64(s)
+	a := math.Abs(v)
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return fmt.Sprintf("%v s", v)
+	case a == 0:
+		return "0 s"
+	case a < 1e-6:
+		return fmt.Sprintf("%.2f ns", v*1e9)
+	case a < 1e-3:
+		return fmt.Sprintf("%.2f µs", v*1e6)
+	case a < 1:
+		return fmt.Sprintf("%.2f ms", v*1e3)
+	case a < 120:
+		return fmt.Sprintf("%.2f s", v)
+	case a < 2*3600:
+		return fmt.Sprintf("%.2f min", v/60)
+	case a < 2*SecondsPerDay:
+		return fmt.Sprintf("%.2f h", v/3600)
+	default:
+		return fmt.Sprintf("%.2f days", v/SecondsPerDay)
+	}
+}
+
+// String renders a byte count with binary prefixes (KiB/MiB/GiB/TiB),
+// matching how accelerator memory capacities are usually quoted.
+func (b Bytes) String() string {
+	v := float64(b)
+	a := math.Abs(v)
+	switch {
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return fmt.Sprintf("%v B", v)
+	case a >= TiB:
+		return fmt.Sprintf("%.2f TiB", v/TiB)
+	case a >= GiB:
+		return fmt.Sprintf("%.2f GiB", v/GiB)
+	case a >= MiB:
+		return fmt.Sprintf("%.2f MiB", v/MiB)
+	case a >= KiB:
+		return fmt.Sprintf("%.2f KiB", v/KiB)
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}
+
+// suffixFactors lists the multipliers accepted by ParseQuantity, longest
+// suffix first so that "GiB" is not mis-read as "B" with junk before it.
+var suffixFactors = []struct {
+	suffix string
+	factor float64
+}{
+	{"TiB", TiB}, {"GiB", GiB}, {"MiB", MiB}, {"KiB", KiB},
+	{"P", Peta}, {"T", Tera}, {"G", Giga}, {"M", Mega}, {"k", Kilo}, {"K", Kilo},
+}
+
+// ParseQuantity parses a number with an optional SI or binary suffix, e.g.
+// "2.4T" -> 2.4e12, "32GiB" -> 32*2^30, "897G" -> 8.97e11. It is the parsing
+// primitive behind config-file bandwidth and memory fields.
+func ParseQuantity(s string) (float64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("units: empty quantity")
+	}
+	for _, sf := range suffixFactors {
+		if strings.HasSuffix(t, sf.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(t, sf.suffix))
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: bad quantity %q: %w", s, err)
+			}
+			return v * sf.factor, nil
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad quantity %q: %w", s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,185 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitByteRoundTrip(t *testing.T) {
+	if got := Bits(16).Bytes(); got != 2 {
+		t.Errorf("Bits(16).Bytes() = %v, want 2", got)
+	}
+	if got := Bytes(3).Bits(); got != 24 {
+		t.Errorf("Bytes(3).Bits() = %v, want 24", got)
+	}
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		back := float64(Bits(v).Bytes().Bits())
+		return math.Abs(back-v) <= 1e-9*math.Abs(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDaysConversion(t *testing.T) {
+	if got := FromDays(2); got != Seconds(2*86400) {
+		t.Errorf("FromDays(2) = %v", got)
+	}
+	if got := Seconds(86400).Days(); got != 1 {
+		t.Errorf("Days = %v, want 1", got)
+	}
+	if got := Seconds(7200).Hours(); got != 2 {
+		t.Errorf("Hours = %v, want 2", got)
+	}
+}
+
+func TestOpsToFLOPs(t *testing.T) {
+	if got := Ops(10).FLOPs(); got != 20 {
+		t.Errorf("Ops(10).FLOPs() = %v, want 20", got)
+	}
+	if got := OpsPerSecond(3.12e14).Tera(); math.Abs(got-312) > 1e-9 {
+		t.Errorf("Tera = %v, want 312", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	got := TransferTime(Bits(1e9), BitsPerSecond(1e9))
+	if got != 1 {
+		t.Errorf("TransferTime = %v, want 1s", got)
+	}
+	if got := TransferTime(Bits(100), 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("zero-bandwidth transfer = %v, want +Inf", got)
+	}
+	if got := TransferTime(Bits(100), -5); !math.IsInf(float64(got), 1) {
+		t.Errorf("negative-bandwidth transfer = %v, want +Inf", got)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	// More bits on the same link can never take less time.
+	f := func(a, b float64) bool {
+		va, vb := math.Abs(a), math.Abs(b)
+		if math.IsNaN(va) || math.IsNaN(vb) || math.IsInf(va, 0) || math.IsInf(vb, 0) {
+			return true
+		}
+		lo, hi := math.Min(va, vb), math.Max(va, vb)
+		return TransferTime(Bits(lo), 1e9) <= TransferTime(Bits(hi), 1e9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{2.4e12, "bit/s", "2.40 Tbit/s"},
+		{1.41e9, "Hz", "1.41 GHz"},
+		{312e12, "op/s", "312.00 Top/s"},
+		{999, "x", "999.00 x"},
+		{1e15, "FLOP", "1.00 PFLOP"},
+		{0, "y", "0.00 y"},
+	}
+	for _, c := range cases {
+		if got := FormatSI(c.v, c.unit); got != c.want {
+			t.Errorf("FormatSI(%v, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+	if got := FormatSI(math.Inf(1), "z"); !strings.Contains(got, "Inf") {
+		t.Errorf("FormatSI(+Inf) = %q, want Inf marker", got)
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		v    Seconds
+		want string
+	}{
+		{0, "0 s"},
+		{5e-10, "0.50 ns"},
+		{2e-6, "2.00 µs"},
+		{3e-3, "3.00 ms"},
+		{1.5, "1.50 s"},
+		{600, "10.00 min"},
+		{7200, "2.00 h"},
+		{86400 * 21, "21.00 days"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Seconds(%v).String() = %q, want %q", float64(c.v), got, c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		v    Bytes
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{3 * MiB, "3.00 MiB"},
+		{32 * GiB, "32.00 GiB"},
+		{1.5 * TiB, "1.50 TiB"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("Bytes(%v).String() = %q, want %q", float64(c.v), got, c.want)
+		}
+	}
+}
+
+func TestParseQuantity(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"2.4T", 2.4e12},
+		{"897G", 8.97e11},
+		{"1.41G", 1.41e9},
+		{"32GiB", 32 * GiB},
+		{"31.75GiB", 31.75 * GiB},
+		{"100", 100},
+		{"5k", 5000},
+		{"5K", 5000},
+		{"1P", 1e15},
+		{" 12M ", 12e6},
+	}
+	for _, c := range cases {
+		got, err := ParseQuantity(c.in)
+		if err != nil {
+			t.Errorf("ParseQuantity(%q) error: %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-6*math.Abs(c.want) {
+			t.Errorf("ParseQuantity(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseQuantityErrors(t *testing.T) {
+	for _, in := range []string{"", "  ", "abcT", "12Q3", "T"} {
+		if _, err := ParseQuantity(in); err == nil {
+			t.Errorf("ParseQuantity(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestStringersNonFinite(t *testing.T) {
+	for _, s := range []string{
+		Seconds(math.Inf(1)).String(),
+		Bytes(math.NaN()).String(),
+	} {
+		if s == "" {
+			t.Error("empty rendering for non-finite value")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package validate
+
+import (
+	"fmt"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+)
+
+// Attribution quantifies what each modeled mechanism contributes on the
+// Table II 145B row: starting from the naive compute-only estimate
+// (peak x utilization — the baseline predictor), mechanisms are enabled
+// one at a time and the predicted TFLOP/s/GPU moves toward the published
+// 148. This is the "why AMPeD works" analysis: the error the baseline
+// makes is exactly the sum of the effects the paper's equations model.
+type Attribution struct {
+	// Mechanism names the effect enabled at this step.
+	Mechanism string
+	// TFLOPs is the prediction with all mechanisms up to this one active.
+	TFLOPs float64
+	// Delta is the change this mechanism alone caused.
+	Delta float64
+	// ErrVsPublished is the running error against the measurement.
+	ErrVsPublished float64
+}
+
+// Attribute builds the mechanism ladder for the Table II 145B row.
+func Attribute() ([]Attribution, error) {
+	row := TableIIData[0] // 145B
+	m, err := megatronBySize(row.ModelSize)
+	if err != nil {
+		return nil, err
+	}
+	sys := hardware.SeleneLike(row.TP * row.PP * row.DP)
+
+	// The fully-featured estimator; mechanisms are then disabled from the
+	// top so each ladder step re-enables one.
+	full := model.Estimator{
+		Model:   &m,
+		System:  &sys,
+		Mapping: parallel.Mapping{TPIntra: row.TP, PPInter: row.PP, DPInter: row.DP},
+		Training: model.Training{
+			Batch: parallel.Batch{
+				Global:       row.GlobalBatch,
+				Microbatches: row.GlobalBatch / row.DP,
+			},
+			BubbleRatio: 1,
+		},
+		Eff: efficiency.Fixed(TableIIEfficiency),
+	}
+
+	// Each step is a predicate list; disabled mechanisms are stripped from
+	// the evaluated breakdown by zeroing their components.
+	type step struct {
+		name string
+		keep func(*model.Breakdown) float64 // per-batch seconds kept so far
+	}
+	bd, err := full.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	computeFwdBwd := float64(bd.ComputeForward + bd.ComputeBackward)
+	steps := []step{
+		{"compute fwd+bwd (near the naive baseline)", func(b *model.Breakdown) float64 {
+			return computeFwdBwd
+		}},
+		{"+ weight update (Eq. 12)", func(b *model.Breakdown) float64 {
+			return float64(b.ComputeTime())
+		}},
+		{"+ pipeline bubbles (Eq. 8)", func(b *model.Breakdown) float64 {
+			return float64(b.ComputeTime() + b.Bubble)
+		}},
+		{"+ TP/PP communication (Eq. 5-7)", func(b *model.Breakdown) float64 {
+			return float64(b.ComputeTime() + b.Bubble +
+				b.TPIntraComm + b.TPInterComm + b.PPComm + b.MoEComm)
+		}},
+		{"+ gradient all-reduce (Eq. 10-11)", func(b *model.Breakdown) float64 {
+			return float64(b.PerBatch())
+		}},
+	}
+
+	flops := float64(bd.ModelFLOPs)
+	workers := float64(bd.Workers)
+	var out []Attribution
+	prev := 0.0
+	for i, st := range steps {
+		t := st.keep(bd)
+		tf := flops / t / workers / 1e12
+		a := Attribution{
+			Mechanism:      st.name,
+			TFLOPs:         tf,
+			ErrVsPublished: PercentError(tf, row.Published),
+		}
+		if i > 0 {
+			a.Delta = tf - prev
+		}
+		prev = tf
+		out = append(out, a)
+	}
+	// Sanity: the final rung is the Table II prediction.
+	if last := out[len(out)-1]; PercentError(last.TFLOPs, 147) > 2 {
+		return nil, fmt.Errorf("validate: attribution ladder drifted from Table II: %.1f", last.TFLOPs)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package validate
+
+import (
+	"amped/internal/baseline"
+	"amped/internal/hardware"
+)
+
+// BaselineRow compares AMPeD against the compute-only baseline predictor
+// for one Table II configuration, both run at the same calibrated
+// utilization so the difference is purely the modeled mechanisms
+// (communication, bubbles, weight updates, non-linear ops).
+type BaselineRow struct {
+	// ModelSize names the Megatron configuration.
+	ModelSize string
+	// Published is the measured TFLOP/s/GPU.
+	Published float64
+	// AMPeD and Baseline are the two predictions.
+	AMPeD, Baseline float64
+	// AMPeDErr and BaselineErr are their errors vs the measurement.
+	AMPeDErr, BaselineErr float64
+}
+
+// BaselineComparison regenerates Table II with both predictors.
+func BaselineComparison() ([]BaselineRow, error) {
+	rows, err := TableII()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BaselineRow, 0, len(rows))
+	for _, r := range rows {
+		m, err := megatronBySize(r.ModelSize)
+		if err != nil {
+			return nil, err
+		}
+		p := baseline.Predictor{
+			Model:       &m,
+			Accel:       hardware.NvidiaA100(),
+			Workers:     r.TP * r.PP * r.DP,
+			Utilization: TableIIEfficiency,
+		}
+		naive, err := p.TFLOPSPerGPU(r.GlobalBatch)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BaselineRow{
+			ModelSize:   r.ModelSize,
+			Published:   r.Published,
+			AMPeD:       r.Predicted,
+			Baseline:    naive,
+			AMPeDErr:    r.ErrVsPublished,
+			BaselineErr: PercentError(naive, r.Published),
+		})
+	}
+	return out, nil
+}
+
+// MeanErrors returns the average error of each predictor over the rows.
+func MeanErrors(rows []BaselineRow) (amped, naive float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	for _, r := range rows {
+		amped += r.AMPeDErr
+		naive += r.BaselineErr
+	}
+	n := float64(len(rows))
+	return amped / n, naive / n
+}

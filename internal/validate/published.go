@@ -1,0 +1,86 @@
+// Package validate regenerates every table and figure of the AMPeD paper's
+// validation and case-study sections and compares the reproduction against
+// the published numbers embedded here.
+//
+// Three kinds of data appear:
+//   - published measurements from the literature ([8] Megatron-LM SC'21,
+//     [26] GPipe) that the paper validated against (Tables II, III, Fig. 2c);
+//   - the paper's own AMPeD predictions for those points (the reproduction
+//     target: if our implementation matches the paper's model, these columns
+//     should agree closely);
+//   - hardware experiments the paper ran on machines we do not have
+//     (Fig. 1, 2a, 2b), which this repo substitutes with the discrete-event
+//     simulators in internal/pipesim and internal/collective.
+package validate
+
+import "fmt"
+
+// PercentError returns |got-want|/|want| in percent.
+func PercentError(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := (got - want) / want * 100
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// TableIIPublished is one row of the paper's Table II.
+type TableIIPublished struct {
+	// ModelSize names the Megatron configuration.
+	ModelSize string
+	// TP, PP, DP are the mapping of [8] as quoted by the paper.
+	TP, PP, DP int
+	// GlobalBatch is the batch size of [8] for this configuration.
+	GlobalBatch int
+	// PaperAMPeD is the AMPeD prediction column of Table II.
+	PaperAMPeD float64
+	// Published is the measured TFLOP/s/GPU column of Table II (from [8]).
+	Published float64
+	// PaperError is the error the paper reports between the two.
+	PaperError float64
+}
+
+// TableIIData is the paper's Table II, with the [8] batch sizes.
+var TableIIData = []TableIIPublished{
+	{ModelSize: "145B", TP: 8, PP: 8, DP: 24, GlobalBatch: 2304, PaperAMPeD: 147, Published: 148, PaperError: 0.6},
+	{ModelSize: "310B", TP: 8, PP: 16, DP: 12, GlobalBatch: 2160, PaperAMPeD: 162, Published: 155, PaperError: 4.5},
+	{ModelSize: "530B", TP: 8, PP: 35, DP: 9, GlobalBatch: 2520, PaperAMPeD: 148.6, Published: 163, PaperError: 8.8},
+	{ModelSize: "1T", TP: 8, PP: 64, DP: 6, GlobalBatch: 3072, PaperAMPeD: 144.3, Published: 163, PaperError: 11.47},
+}
+
+// TableIIIData is the paper's Table III: normalized GPipe training
+// throughput on P100 GPUs with 32 microbatches.
+var TableIIIData = struct {
+	GPUs           []int
+	Published      []float64 // [26] as normalized by the paper
+	PaperPredicted []float64 // the paper's AMPeD prediction row
+}{
+	GPUs:           []int{2, 4, 8},
+	Published:      []float64{1, 1.8, 3.3},
+	PaperPredicted: []float64{1, 1.84, 3.19},
+}
+
+// Fig2cPublished approximates the published GPT-3 175B per-GPU throughput
+// versus microbatch size on 96 GPUs with pipeline parallelism ([8], as
+// digitized from the paper's Fig. 2c: AMPeD's error is ~11% at microbatch
+// 12 and ~2% at 60, against a curve saturating around 152 TFLOP/s/GPU).
+var Fig2cPublished = struct {
+	Microbatch []float64
+	TFLOPs     []float64
+}{
+	Microbatch: []float64{4, 8, 12, 24, 36, 48, 60},
+	TFLOPs:     []float64{112, 130, 140, 148, 150, 151, 152},
+}
+
+// MaxPaperError is the paper's headline validation bound: all AMPeD
+// predictions land within 12% of published measurements.
+const MaxPaperError = 12.0
+
+// String renders a published Table II row.
+func (r TableIIPublished) String() string {
+	return fmt.Sprintf("%s (TP%d PP%d DP%d): paper %g vs published %g (%.2f%%)",
+		r.ModelSize, r.TP, r.PP, r.DP, r.PaperAMPeD, r.Published, r.PaperError)
+}

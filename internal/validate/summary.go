@@ -1,0 +1,124 @@
+package validate
+
+import "fmt"
+
+// Summary is the whole reproduction's scorecard: the worst error of every
+// quantitative artifact and the pass/fail state of the qualitative ones.
+type Summary struct {
+	// TableIIMaxErr is the worst TFLOP/s error vs published measurements.
+	TableIIMaxErr float64
+	// TableIIIMaxErr is the worst GPipe-speedup error vs published.
+	TableIIIMaxErr float64
+	// Fig2aMaxDev and Fig2bMaxDev are the worst predicted-vs-simulated
+	// deviations of the validation curves.
+	Fig2aMaxDev, Fig2bMaxDev float64
+	// Fig2cErrAt60 is the converged error of the batch-size sweep.
+	Fig2cErrAt60 float64
+	// ConclusionsHolding counts the §VI-E findings that hold (of 5).
+	ConclusionsHolding int
+	// Fig10CrossoverOK records the DP/PP crossover direction.
+	Fig10CrossoverOK bool
+	// Fig11Compound is the optical ladder's final speedup.
+	Fig11Compound float64
+}
+
+// WithinPaperBound reports whether every quantitative error sits inside the
+// paper's 12% headline and all qualitative artifacts reproduce.
+func (s Summary) WithinPaperBound() bool {
+	return s.TableIIMaxErr <= MaxPaperError &&
+		s.TableIIIMaxErr <= MaxPaperError &&
+		s.Fig2aMaxDev <= MaxPaperError &&
+		s.Fig2bMaxDev <= MaxPaperError &&
+		s.Fig2cErrAt60 <= MaxPaperError &&
+		s.ConclusionsHolding == 5 &&
+		s.Fig10CrossoverOK &&
+		s.Fig11Compound > 2
+}
+
+// String renders the scorecard.
+func (s Summary) String() string {
+	verdict := "FAILS the paper's 12% bound"
+	if s.WithinPaperBound() {
+		verdict = "within the paper's 12% bound"
+	}
+	return fmt.Sprintf(
+		"TableII %.1f%% | TableIII %.1f%% | Fig2a %.1f%% | Fig2b %.1f%% | Fig2c@60 %.1f%% | conclusions %d/5 | Fig10 crossover %v | Fig11 %.2fx — %s",
+		s.TableIIMaxErr, s.TableIIIMaxErr, s.Fig2aMaxDev, s.Fig2bMaxDev,
+		s.Fig2cErrAt60, s.ConclusionsHolding, s.Fig10CrossoverOK, s.Fig11Compound, verdict)
+}
+
+// Summarize runs every artifact and collects the scorecard.
+func Summarize() (*Summary, error) {
+	var s Summary
+
+	rows, err := TableII()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if r.ErrVsPublished > s.TableIIMaxErr {
+			s.TableIIMaxErr = r.ErrVsPublished
+		}
+	}
+
+	t3, err := TableIII()
+	if err != nil {
+		return nil, err
+	}
+	s.TableIIIMaxErr = t3.MaxErrVsPublished
+
+	worst := func(pts []Fig2Point) float64 {
+		var w float64
+		for _, p := range pts {
+			if e := PercentError(p.Predicted, p.Simulated); e > w {
+				w = e
+			}
+		}
+		return w
+	}
+	a, err := Fig2a()
+	if err != nil {
+		return nil, err
+	}
+	s.Fig2aMaxDev = worst(a)
+	b, err := Fig2b()
+	if err != nil {
+		return nil, err
+	}
+	s.Fig2bMaxDev = worst(b)
+
+	c, err := Fig2c()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range c {
+		if p.Microbatch == 60 {
+			s.Fig2cErrAt60 = p.Err
+		}
+	}
+
+	cons, err := CaseStudy1Conclusions()
+	if err != nil {
+		return nil, err
+	}
+	for _, cc := range cons {
+		if cc.Holds {
+			s.ConclusionsHolding++
+		}
+	}
+
+	f10, err := Fig10()
+	if err != nil {
+		return nil, err
+	}
+	s.Fig10CrossoverOK = len(f10) == 4 &&
+		f10[0].PPDays < f10[0].DPDays && f10[3].DPDays < f10[3].PPDays
+
+	f11, err := Fig11()
+	if err != nil {
+		return nil, err
+	}
+	s.Fig11Compound = f11[len(f11)-1].Performance
+
+	return &s, nil
+}

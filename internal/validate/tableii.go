@@ -1,0 +1,90 @@
+package validate
+
+import (
+	"fmt"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// TableIIEfficiency is the single calibrated microbatch efficiency used for
+// every Table II row. The paper derives eff from the measured runs ("we use
+// the average microbatch efficiency as obtained during the runtime"); this
+// reproduction calibrates once against the 145B row and holds the value
+// fixed across the other three, so the remaining rows are genuine
+// predictions.
+const TableIIEfficiency = 0.55
+
+// TableIIRow is one reproduced row of Table II.
+type TableIIRow struct {
+	TableIIPublished
+	// Predicted is this implementation's TFLOP/s/GPU.
+	Predicted float64
+	// BubbleShare and CommShare decompose the per-batch time.
+	BubbleShare, CommShare float64
+	// ErrVsPublished compares against the measured value, the paper's own
+	// error metric; ErrVsPaper compares against the paper's AMPeD column
+	// (how faithfully this reproduction matches the paper's model).
+	ErrVsPublished, ErrVsPaper float64
+}
+
+// megatronBySize maps Table II's model names to architecture presets.
+func megatronBySize(size string) (transformer.Model, error) {
+	switch size {
+	case "145B":
+		return transformer.Megatron145B(), nil
+	case "310B":
+		return transformer.Megatron310B(), nil
+	case "530B":
+		return transformer.Megatron530B(), nil
+	case "1T":
+		return transformer.Megatron1T(), nil
+	default:
+		return transformer.Model{}, fmt.Errorf("validate: unknown Megatron size %q", size)
+	}
+}
+
+// TableII reproduces the paper's Table II: AMPeD-predicted TFLOP/s/GPU for
+// the four Megatron configurations on a Selene-like A100 machine, with
+// microbatch size 1 (Megatron's setting, so N_ub equals the per-replica
+// batch) and R = 1 (the paper's no-overlap setting).
+func TableII() ([]TableIIRow, error) {
+	out := make([]TableIIRow, 0, len(TableIIData))
+	for _, row := range TableIIData {
+		m, err := megatronBySize(row.ModelSize)
+		if err != nil {
+			return nil, err
+		}
+		sys := hardware.SeleneLike(row.TP * row.PP * row.DP)
+		est := model.Estimator{
+			Model:   &m,
+			System:  &sys,
+			Mapping: parallel.Mapping{TPIntra: row.TP, PPInter: row.PP, DPInter: row.DP},
+			Training: model.Training{
+				Batch: parallel.Batch{
+					Global:       row.GlobalBatch,
+					Microbatches: row.GlobalBatch / row.DP, // microbatch size 1
+				},
+				BubbleRatio: 1,
+			},
+			Eff: efficiency.Fixed(TableIIEfficiency),
+		}
+		bd, err := est.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("validate: table II %s: %w", row.ModelSize, err)
+		}
+		per := float64(bd.PerBatch())
+		out = append(out, TableIIRow{
+			TableIIPublished: row,
+			Predicted:        bd.TFLOPSPerGPU(),
+			BubbleShare:      float64(bd.Bubble) / per,
+			CommShare:        float64(bd.CommTime()) / per,
+			ErrVsPublished:   PercentError(bd.TFLOPSPerGPU(), row.Published),
+			ErrVsPaper:       PercentError(bd.TFLOPSPerGPU(), row.PaperAMPeD),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package validate
+
+import (
+	"fmt"
+
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// TableIIIResult is the reproduced Table III: normalized GPipe training
+// throughput (speedup over 2 GPUs) for the 24-layer transformer on P100s
+// behind PCIe with 32 microbatches.
+type TableIIIResult struct {
+	GPUs []int
+	// Published and PaperPredicted echo the embedded Table III rows.
+	Published, PaperPredicted []float64
+	// Predicted is this implementation's speedup row.
+	Predicted []float64
+	// MaxErrVsPublished and MaxErrVsPaper are the worst-row errors.
+	MaxErrVsPublished, MaxErrVsPaper float64
+}
+
+// TableIIIBatch is the global batch used for the GPipe reproduction. The
+// paper tunes the microbatch to the P100's memory; with M=32 microbatches
+// this batch gives microbatch size 8, which fits a 16 GB card for the
+// 24-layer model.
+const TableIIIBatch = 256
+
+// TableIII reproduces the paper's Table III on the modeled P100+PCIe
+// machine: pipeline-parallel GPipe training, M=32, speedups normalized to
+// the 2-GPU run.
+func TableIII() (*TableIIIResult, error) {
+	times := make([]float64, len(TableIIIData.GPUs))
+	for i, gpus := range TableIIIData.GPUs {
+		sys := hardware.P100Cluster(gpus)
+		m := transformer.GPipe24()
+		est := model.Estimator{
+			Model:   &m,
+			System:  &sys,
+			Mapping: parallel.Mapping{PPIntra: gpus},
+			Training: model.Training{
+				Batch:       parallel.Batch{Global: TableIIIBatch, Microbatches: 32},
+				BubbleRatio: 1, // plain GPipe fill-drain, no overlap
+			},
+		}
+		bd, err := est.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("validate: table III %d GPUs: %w", gpus, err)
+		}
+		times[i] = float64(bd.PerBatch())
+	}
+	res := &TableIIIResult{
+		GPUs:           TableIIIData.GPUs,
+		Published:      TableIIIData.Published,
+		PaperPredicted: TableIIIData.PaperPredicted,
+		Predicted:      make([]float64, len(times)),
+	}
+	for i, t := range times {
+		res.Predicted[i] = times[0] / t
+		if e := PercentError(res.Predicted[i], res.Published[i]); e > res.MaxErrVsPublished {
+			res.MaxErrVsPublished = e
+		}
+		if e := PercentError(res.Predicted[i], res.PaperPredicted[i]); e > res.MaxErrVsPaper {
+			res.MaxErrVsPaper = e
+		}
+	}
+	return res, nil
+}
