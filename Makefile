@@ -1,0 +1,36 @@
+# AMPeD build/verify/bench entry points. Everything is plain `go` — no
+# external tools — so every target works in the bare module checkout.
+
+GO ?= go
+SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$'
+
+.PHONY: build test verify bench bench-sweep clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## verify is the tier-1 gate: compile, vet, full test suite.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+## bench runs every benchmark once, without touching the ledger.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+## bench-sweep measures the sweep fast path and records the numbers in
+## BENCH_sweep.json (the committed "baseline" section is preserved; only
+## "current" is rewritten). Pass BENCHTIME=... to override the default.
+BENCHTIME ?= 2s
+bench-sweep:
+	$(GO) test -run '^$$' -bench $(SWEEP_BENCH) -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json \
+			-note "make bench-sweep (benchtime $(BENCHTIME))"
+
+clean:
+	$(GO) clean ./...

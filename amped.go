@@ -62,6 +62,9 @@ type (
 	Training = model.Training
 	// Estimator evaluates AMPeD for one design point.
 	Estimator = model.Estimator
+	// Session is a compiled scenario whose EvaluatePoint runs in O(1) with
+	// zero allocations per point; build one with Compile for sweeps.
+	Session = model.Session
 	// Breakdown is the evaluated per-phase time decomposition.
 	Breakdown = model.Breakdown
 	// Operands bundles the operand precisions (S_p, S_act, S_nonlin, S_g).
@@ -121,6 +124,14 @@ func Evaluate(m *Model, sys *System, mp Mapping, tr Training) (*Breakdown, error
 func EvaluateWithEfficiency(m *Model, sys *System, mp Mapping, tr Training, eff EfficiencyModel) (*Breakdown, error) {
 	est := Estimator{Model: m, System: sys, Mapping: mp, Training: tr, Eff: eff}
 	return est.Evaluate()
+}
+
+// Compile validates a scenario once and returns the compiled evaluation
+// Session — the fast path for evaluating many (mapping, batch) points of
+// the same model/system/training tuple. A nil efficiency model selects the
+// default saturating curve.
+func Compile(m *Model, sys *System, tr Training, eff EfficiencyModel) (*Session, error) {
+	return model.Compile(m, sys, tr, eff)
 }
 
 // Sweep evaluates every (mapping, batch) combination of a scenario; see

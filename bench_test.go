@@ -233,6 +233,28 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionEvaluatePoint isolates the compiled fast path: one
+// prepared Session evaluated at a fixed point into a reused Breakdown —
+// the inner loop of every sweep, expected to run allocation-free.
+func BenchmarkSessionEvaluatePoint(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	sess, err := amped.Compile(&m, &sys, amped.Training{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Prepare(8192)
+	mp := amped.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}
+	var bd amped.Breakdown
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.EvaluatePoint(mp, 8192, 64, &bd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSweep measures a full Case-Study-I exploration: every
 // power-of-two mapping of the 1024-accelerator machine at one batch size.
 func BenchmarkSweep(b *testing.B) {
@@ -253,6 +275,63 @@ func BenchmarkSweep(b *testing.B) {
 		n = len(pts)
 	}
 	b.ReportMetric(float64(n), "design_points")
+}
+
+// benchSweep measures a full exploration sweep and reports per-point cost,
+// the quantity the compiled-scenario session engine optimizes.
+func benchSweep(b *testing.B, sc amped.Scenario, opt amped.SweepOptions) {
+	b.Helper()
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		pts, err := amped.Sweep(sc, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(pts)
+	}
+	b.ReportMetric(float64(n), "design_points")
+	if n > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/point")
+	}
+}
+
+// BenchmarkSweepGPT3 sweeps GPT-3 175B (96 layers) across every
+// power-of-two mapping of the 1024-accelerator machine at three batch
+// sizes — the paper's Fig. 2c model at Case Study I scale.
+func BenchmarkSweepGPT3(b *testing.B) {
+	m := amped.GPT3175B()
+	sys := amped.CaseStudy1System()
+	benchSweep(b, amped.Scenario{Model: &m, System: &sys}, amped.SweepOptions{
+		Batches:          []int{4096, 8192, 16384},
+		Enumerate:        amped.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 128,
+	})
+}
+
+// BenchmarkSweepMegatron530B sweeps the Table II 530B configuration with
+// non-power-of-two mappings admitted (the larger enumeration the fast path
+// is meant to unlock).
+func BenchmarkSweepMegatron530B(b *testing.B) {
+	m := amped.Megatron530B()
+	sys := amped.CaseStudy1System()
+	benchSweep(b, amped.Scenario{Model: &m, System: &sys}, amped.SweepOptions{
+		Batches:          []int{2240, 4480},
+		Enumerate:        amped.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 128,
+	})
+}
+
+// BenchmarkSweepMoE sweeps the GLaM 64B/64E Mixture-of-Experts model with
+// expert parallelism enabled in every mapping (Eq. 9 active).
+func BenchmarkSweepMoE(b *testing.B) {
+	m := amped.GLaM()
+	sys := amped.CaseStudy1System()
+	benchSweep(b, amped.Scenario{Model: &m, System: &sys}, amped.SweepOptions{
+		Batches:          []int{4096, 8192},
+		Enumerate:        amped.EnumerateOptions{PowerOfTwo: true, ExpertParallel: true},
+		MicrobatchTarget: 128,
+	})
 }
 
 // BenchmarkAblationBubbleRatio quantifies the R knob of Eq. 8: the speedup

@@ -1,0 +1,146 @@
+// Command amped-bench turns `go test -bench` output into the committed
+// benchmark ledger BENCH_sweep.json. It reads the benchmark text from
+// stdin, parses every Benchmark* result line (including custom metrics
+// such as ns/point reported via b.ReportMetric), and rewrites the ledger's
+// "current" section while preserving the recorded "baseline" — the numbers
+// measured on the pre-optimization evaluator, which no longer exists in
+// the tree and therefore cannot be regenerated.
+//
+//	go test -run '^$' -bench 'BenchmarkSweep' -benchmem . | amped-bench -out BENCH_sweep.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: N iterations plus a unit->value
+// metric map (ns/op, B/op, allocs/op, and any b.ReportMetric extras).
+type Result struct {
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Ledger is the BENCH_sweep.json schema.
+type Ledger struct {
+	Description string `json:"description,omitempty"`
+	Command     string `json:"command,omitempty"`
+	Baseline    *Run   `json:"baseline,omitempty"`
+	Current     *Run   `json:"current,omitempty"`
+}
+
+// Run is one recorded benchmark session.
+type Run struct {
+	Note       string            `json:"note,omitempty"`
+	Go         string            `json:"go,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_sweep.json", "ledger file to update")
+		note     = flag.String("note", "", "free-form note stored with the run")
+		baseline = flag.Bool("baseline", false, "record the run as the baseline instead of current")
+	)
+	flag.Parse()
+	if err := run(*out, *note, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "amped-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, note string, asBaseline bool) error {
+	results, goos, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+
+	ledger := &Ledger{}
+	if raw, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(raw, ledger); err != nil {
+			return fmt.Errorf("existing %s is not a valid ledger: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	rec := &Run{Note: note, Go: goos, Benchmarks: results}
+	if asBaseline {
+		ledger.Baseline = rec
+	} else {
+		ledger.Current = rec
+	}
+
+	buf, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: recorded %d benchmarks (%s)\n", out, len(results), names(results))
+	return nil
+}
+
+// parse consumes `go test -bench` text. Result lines look like
+//
+//	BenchmarkSweepGPT3-8   22   49123456 ns/op   1778 ns/point   1304 allocs/op
+//
+// i.e. a name (with -GOMAXPROCS suffix), an iteration count, then
+// value/unit pairs. Header lines (goos/goarch/pkg/cpu) and PASS/ok
+// trailers are skipped; the goarch header is kept as run metadata.
+func parse(sc *bufio.Scanner) (map[string]Result, string, error) {
+	results := map[string]Result{}
+	var meta []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			meta = append(meta, strings.TrimSpace(strings.SplitN(line, ":", 2)[1]))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad metric value %q in %q", fields[i], line)
+			}
+			metrics[fields[i+1]] = v
+		}
+		results[name] = Result{Iterations: iters, Metrics: metrics}
+	}
+	return results, strings.Join(meta, " "), sc.Err()
+}
+
+func names(m map[string]Result) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: amped
+cpu: AMD EPYC 7B13
+BenchmarkSweepGPT3-8          22   51234567 ns/op   123 design_points   1778 ns/point   404040 B/op   1304 allocs/op
+BenchmarkSweepMoE-8           10   10844000 ns/op   2333 ns/point   2609 allocs/op
+BenchmarkEvaluate-8      1000000       5134 ns/op        4 allocs/op
+PASS
+ok  	amped	12.3s
+`
+	got, meta, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	gpt3, ok := got["BenchmarkSweepGPT3"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if gpt3.Iterations != 22 {
+		t.Errorf("iterations = %d, want 22", gpt3.Iterations)
+	}
+	want := map[string]float64{
+		"ns/op": 51234567, "design_points": 123, "ns/point": 1778,
+		"B/op": 404040, "allocs/op": 1304,
+	}
+	for unit, v := range want {
+		if gpt3.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, gpt3.Metrics[unit], v)
+		}
+	}
+	if got["BenchmarkEvaluate"].Metrics["allocs/op"] != 4 {
+		t.Errorf("BenchmarkEvaluate allocs/op = %v, want 4", got["BenchmarkEvaluate"].Metrics["allocs/op"])
+	}
+	if !strings.Contains(meta, "amd64") || !strings.Contains(meta, "EPYC") {
+		t.Errorf("run metadata %q missing goarch/cpu", meta)
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	const out = `Benchmark   garbage
+BenchmarkOdd-8   12   100 ns/op   trailing
+BenchmarkGood-8   5   42 ns/op
+`
+	got, _, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkGood"].Metrics["ns/op"] != 42 {
+		t.Fatalf("parse = %v, want only BenchmarkGood", got)
+	}
+}

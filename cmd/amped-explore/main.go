@@ -12,6 +12,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -51,9 +53,36 @@ func run(args []string, out io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		heat      = fs.Bool("heatmap", false, "also render a days heatmap of the top mappings x batches")
 		ep        = fs.Bool("expert-parallel", false, "enable MoE expert parallelism in every mapping")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "amped-explore: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	m, err := transformer.Preset(*modelName)

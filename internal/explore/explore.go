@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"amped/internal/efficiency"
 	"amped/internal/hardware"
@@ -78,6 +79,10 @@ type Point struct {
 	Fits bool
 	// Err records an evaluation failure (invalid mapping/batch combos).
 	Err error
+
+	// chosenNub is the raw Microbatches value handed to the evaluator
+	// (0 = derive the default); Microbatches above is the resolved N_ub.
+	chosenNub int
 }
 
 // String identifies the point.
@@ -88,7 +93,9 @@ func (p Point) String() string {
 // ChooseMicrobatches picks N_ub for a per-replica batch: the divisor of
 // perReplica closest to perReplica/target (i.e. microbatch size closest to
 // target), but at least the pipeline depth pp so every stage can be busy.
-// It returns perReplica itself (microbatch 1) when pp exceeds it.
+// It returns perReplica itself (microbatch 1) when pp exceeds it. The
+// candidates come from the memoized O(√n) divisor table; ties keep the
+// smallest divisor, matching the historical ascending scan.
 func ChooseMicrobatches(perReplica, pp, target int) int {
 	if perReplica <= 0 {
 		return 1
@@ -105,8 +112,8 @@ func ChooseMicrobatches(perReplica, pp, target int) int {
 	}
 	best := perReplica
 	bestDist := perReplica
-	for d := 1; d <= perReplica; d++ {
-		if perReplica%d != 0 || d < pp {
+	for _, d := range parallel.Divisors(perReplica) {
+		if d < pp {
 			continue
 		}
 		dist := d - want
@@ -148,11 +155,39 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 		eff = efficiency.Default()
 	}
 
+	// Compile the scenario once: invariants validated, Eq. 3–4 constants
+	// hoisted, per-batch op aggregates cached — every worker then evaluates
+	// points in O(1) with zero allocations on the hot path.
+	sess, err := model.Compile(sc.Model, sc.System, sc.Training, eff)
+	if err != nil {
+		return nil, err
+	}
+	sess.Prepare(opt.Batches...)
+
+	// Lay out the cells and pick each point's microbatch schedule up front.
+	// The (perReplica, pp) → N_ub choice repeats across mappings sharing
+	// degrees, so it is memoized; doing it serially here keeps the worker
+	// pool read-only over shared state.
 	points := make([]Point, len(mappings)*len(opt.Batches))
+	nubMemo := make(map[[2]int]int)
 	idx := 0
 	for _, mp := range mappings {
+		dp, pp := mp.DP(), mp.PP()
 		for _, b := range opt.Batches {
-			points[idx] = Point{Mapping: mp, Batch: b, Fits: true}
+			p := Point{Mapping: mp, Batch: b, Fits: true}
+			nub := sc.Training.Batch.Microbatches
+			if opt.MicrobatchTarget > 0 {
+				per := b / dp
+				key := [2]int{per, pp}
+				var ok bool
+				if nub, ok = nubMemo[key]; !ok {
+					nub = ChooseMicrobatches(per, pp, opt.MicrobatchTarget)
+					nubMemo[key] = nub
+				}
+			}
+			p.Microbatches = parallel.Batch{Global: b, Microbatches: nub}.MicrobatchesOrDefault(mp)
+			p.chosenNub = nub
+			points[idx] = p
 			idx++
 		}
 	}
@@ -161,21 +196,34 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	// One breakdown slot per point, allocated in a single block; workers
+	// claim chunked index ranges off an atomic cursor instead of receiving
+	// per-index channel sends, cutting synchronization traffic and false
+	// sharing on adjacent cells.
+	bds := make([]model.Breakdown, len(points))
+	chunk := chunkSize(len(points), workers)
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range work {
-				evalPoint(&points[i], sc, opt, eff)
+			for {
+				end := int(cursor.Add(int64(chunk)))
+				start := end - chunk
+				if start >= len(points) {
+					return
+				}
+				if end > len(points) {
+					end = len(points)
+				}
+				for i := start; i < end; i++ {
+					evalPoint(&points[i], &bds[i], sess, &sc)
+				}
 			}
 		}()
 	}
-	for i := range points {
-		work <- i
-	}
-	close(work)
 	wg.Wait()
 
 	if !opt.KeepInvalid {
@@ -190,30 +238,27 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 	return points, nil
 }
 
-// evalPoint evaluates one sweep cell in place.
-func evalPoint(p *Point, sc Scenario, opt Options, eff efficiency.Model) {
-	tr := sc.Training
-	tr.Batch.Global = p.Batch
-	if opt.MicrobatchTarget > 0 {
-		per := p.Batch / p.Mapping.DP()
-		tr.Batch.Microbatches = ChooseMicrobatches(per, p.Mapping.PP(), opt.MicrobatchTarget)
+// chunkSize sizes worker chunks: enough chunks per worker for load balance
+// (expensive deep-pipeline cells cluster together in the mapping order),
+// but at least a cache line's worth of points per claim.
+func chunkSize(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 4 {
+		c = 4
 	}
-	p.Microbatches = tr.Batch.MicrobatchesOrDefault(p.Mapping)
-	est := model.Estimator{
-		Model:    sc.Model,
-		System:   sc.System,
-		Mapping:  p.Mapping,
-		Training: tr,
-		Eff:      eff,
-	}
-	bd, err := est.Evaluate()
-	if err != nil {
+	return c
+}
+
+// evalPoint evaluates one sweep cell in place against the shared session.
+func evalPoint(p *Point, bd *model.Breakdown, sess *model.Session, sc *Scenario) {
+	if err := sess.EvaluatePoint(p.Mapping, p.Batch, p.chosenNub, bd); err != nil {
 		p.Err = err
 		return
 	}
 	p.Breakdown = bd
 	if sc.Memory != nil {
-		fp, err := memkit.Estimate(sc.Model, p.Mapping, tr.Batch, *sc.Memory)
+		batch := parallel.Batch{Global: p.Batch, Microbatches: p.chosenNub}
+		fp, err := memkit.Estimate(sc.Model, p.Mapping, batch, *sc.Memory)
 		if err != nil {
 			p.Err = err
 			return

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"amped/internal/model"
+	"amped/internal/parallel"
 )
 
 // OptimalMicrobatches tunes N_ub for the estimator's mapping and batch: it
@@ -27,32 +28,38 @@ func OptimalMicrobatches(est model.Estimator) (int, *model.Breakdown, error) {
 	if pp > per {
 		candidates = []int{per}
 	} else {
-		for d := 1; d <= per; d++ {
-			if per%d == 0 && d >= pp {
+		for _, d := range parallel.Divisors(per) {
+			if d >= pp {
 				candidates = append(candidates, d)
 			}
 		}
 	}
 
+	// All candidates share the scenario, so compile it once and reuse the
+	// session (and its cached per-batch aggregates) across the divisor scan.
+	sess, err := model.Compile(est.Model, est.System, est.Training, est.Eff)
+	if err != nil {
+		return 0, nil, err
+	}
+	sess.Prepare(est.Training.Batch.Global)
+
 	bestN := 0
-	var bestBD *model.Breakdown
+	var bestBD, scratch model.Breakdown
+	found := false
 	var firstErr error
 	for _, n := range candidates {
-		e := est
-		e.Training.Batch.Microbatches = n
-		bd, err := e.Evaluate()
-		if err != nil {
+		if err := sess.EvaluatePoint(est.Mapping, est.Training.Batch.Global, n, &scratch); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		if bestBD == nil || bd.PerBatch() < bestBD.PerBatch() {
-			bestN, bestBD = n, bd
+		if !found || scratch.PerBatch() < bestBD.PerBatch() {
+			bestN, bestBD, found = n, scratch, true
 		}
 	}
-	if bestBD == nil {
+	if !found {
 		return 0, nil, firstErr
 	}
-	return bestN, bestBD, nil
+	return bestN, &bestBD, nil
 }

@@ -1,0 +1,140 @@
+package explore
+
+import (
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// TestChunkSize pins the chunked-claim sizing: never below the minimum
+// claim, and small enough that every worker gets work on large sweeps.
+func TestChunkSize(t *testing.T) {
+	cases := []struct {
+		n, workers, want int
+	}{
+		{1, 8, 4},     // tiny sweep: one claim covers it
+		{100, 8, 4},   // minimum claim
+		{3200, 8, 50}, // 8 chunks per worker
+		{64, 1, 8},
+	}
+	for _, c := range cases {
+		if got := chunkSize(c.n, c.workers); got != c.want {
+			t.Errorf("chunkSize(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestSweepChunkedPoolShapes drives the chunked worker pool through the
+// awkward shapes: more workers than points, odd point counts that leave a
+// partial trailing chunk, and single-worker serial execution. Every cell
+// must be evaluated exactly once (asserted by comparing against a serial
+// reference sweep). Run under -race this also proves the pool's index
+// claims never overlap.
+func TestSweepChunkedPoolShapes(t *testing.T) {
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	sc := Scenario{Model: &m, System: &sys, Training: model.Training{NumBatches: 10}}
+	base := Options{
+		Batches:          []int{4096, 8192, 16384},
+		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 128,
+		KeepInvalid:      true, // fixed length: every cell accounted for
+	}
+	ref, err := Sweep(sc, withConcurrency(base, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("empty reference sweep")
+	}
+	for _, workers := range []int{2, 3, 7, 64, len(ref) + 13} {
+		got, err := Sweep(sc, withConcurrency(base, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].String() != ref[i].String() {
+				t.Fatalf("workers=%d: point %d is %v, want %v", workers, i, got[i], ref[i])
+			}
+			if (got[i].Breakdown == nil) != (ref[i].Breakdown == nil) {
+				t.Fatalf("workers=%d: point %d breakdown presence differs", workers, i)
+			}
+			if got[i].Breakdown != nil && *got[i].Breakdown != *ref[i].Breakdown {
+				t.Fatalf("workers=%d: point %d breakdown differs", workers, i)
+			}
+		}
+	}
+}
+
+func withConcurrency(o Options, n int) Options {
+	o.Concurrency = n
+	return o
+}
+
+// TestSweepMatchesEstimator cross-checks the session-backed sweep against
+// per-point Estimator.Evaluate calls — the end-to-end guarantee that the
+// compiled fast path changes performance, not results.
+func TestSweepMatchesEstimator(t *testing.T) {
+	m := transformer.GLaM()
+	sys := hardware.CaseStudy1System()
+	sc := Scenario{Model: &m, System: &sys, Training: model.Training{NumBatches: 5}}
+	pts, err := Sweep(sc, Options{
+		Batches:          []int{4096},
+		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: true, ExpertParallel: true},
+		MicrobatchTarget: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range pts {
+		est := model.Estimator{
+			Model: &m, System: &sys, Mapping: p.Mapping,
+			Training: sc.Training,
+		}
+		est.Training.Batch = parallel.Batch{Global: p.Batch, Microbatches: p.Microbatches}
+		want, err := est.Evaluate()
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if *p.Breakdown != *want {
+			t.Fatalf("%v: sweep breakdown differs from Estimator.Evaluate", p)
+		}
+	}
+}
+
+// TestSweepMicrobatchMemo asserts the memoized N_ub choice matches a direct
+// ChooseMicrobatches call for every point.
+func TestSweepMicrobatchMemo(t *testing.T) {
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	sc := Scenario{Model: &m, System: &sys}
+	pts, err := Sweep(sc, Options{
+		Batches:          []int{8192, 12288}, // non-pow2 batch too
+		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 128,
+		KeepInvalid:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			continue
+		}
+		per := p.Batch / p.Mapping.DP()
+		want := ChooseMicrobatches(per, p.Mapping.PP(), 128)
+		got := parallel.Batch{Global: p.Batch, Microbatches: want}.MicrobatchesOrDefault(p.Mapping)
+		if p.Microbatches != got {
+			t.Fatalf("%v: N_ub %d, want %d", p, p.Microbatches, got)
+		}
+	}
+}

@@ -3,9 +3,6 @@ package model
 import (
 	"errors"
 	"math"
-
-	"amped/internal/efficiency"
-	"amped/internal/units"
 )
 
 // Validate checks the estimator's inputs for structural and mutual
@@ -46,98 +43,21 @@ func errorsf(format string, args ...any) error {
 }
 
 // Evaluate runs the analytical model and returns the per-batch breakdown.
+// It is a thin wrapper over a one-shot compiled Session; sweeps that
+// evaluate many points of the same scenario should Compile once and call
+// Session.EvaluatePoint instead.
 func (e *Estimator) Evaluate() (*Breakdown, error) {
+	// Validate up front so error reporting keeps the legacy precedence
+	// (mapping errors before training errors); Compile only re-checks the
+	// scenario-invariant parts.
 	if err := e.Validate(); err != nil {
 		return nil, err
 	}
-	tr := e.Training.withDefaults()
-	effModel := e.Eff
-	if effModel == nil {
-		effModel = efficiency.Default()
+	s, err := Compile(e.Model, e.System, e.Training, e.Eff)
+	if err != nil {
+		return nil, err
 	}
-
-	m := e.Model
-	sys := e.System
-	mp := e.Mapping.Normalized()
-	B := tr.Batch.Global
-	workers := float64(mp.Workers())
-
-	ub := tr.Batch.Microbatch(mp)
-	eff := effModel.Eff(ub)
-	nub := float64(tr.Batch.MicrobatchesOrDefault(mp))
-
-	// Eq. 3 and 4: reciprocal throughputs.
-	cMAC := 1 / float64(sys.Accel.MACRate(eff))
-	cNonlin := 1 / float64(sys.Accel.NonlinRate())
-	macScale := float64(tr.Operands.MACScale(sys.Accel.MACPrecision))
-	nonlinScale := float64(tr.Operands.NonlinScale(sys.Accel.NonlinPrecision))
-
-	// Eq. 2: forward compute, full global batch on one worker, per layer.
-	var ufTotal, uwTotal float64
-	var macTotal units.Ops
-	for l := 0; l < m.Layers; l++ {
-		var uf float64
-		for _, op := range m.LayerOps(l, B) {
-			uf += float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
-			macTotal += op.MACs
-		}
-		ufTotal += uf
-		// Eq. 12: weight update is one MAC per parameter.
-		uwTotal += m.LayerParams(l) * cMAC * macScale
-	}
-	if tr.IncludeEmbedding {
-		emb := float64(m.EmbeddingMACs(B))
-		ufTotal += emb * cMAC * macScale
-		uwTotal += m.EmbeddingParams() * cMAC * macScale
-		macTotal += m.EmbeddingMACs(B)
-	}
-	ubTotal := tr.BackwardComputeFactor * ufTotal
-
-	// Communication (Eq. 5–7, 9): per-replica effective batch.
-	comm := e.commState(tr)
-	fwd := comm.forward(m, mp, sys)
-
-	// Backward communication mirrors the forward pass; overlapped
-	// communication hides under compute and leaves the critical path.
-	bf := tr.BackwardCommFactor
-	exposed := 1 - tr.CommOverlap
-
-	// Eq. 10–11: gradient all-reduce across the DP group.
-	grad := comm.gradient(m, mp, sys, tr)
-
-	// Eq. 8: pipeline bubbles. U_f and U_b inside the bracket are the
-	// model totals; the 1/L in the equation spreads them per layer, so the
-	// layer sum used here is the totals directly.
-	var bubble float64
-	if pp := mp.PP(); pp > 1 && nub > 0 {
-		step := (ufTotal+ubTotal)/workers + (1+bf)*exposed*fwd.total()
-		bubble = tr.BubbleRatio * float64(pp-1) / nub * step
-	}
-
-	zeroExtra := tr.ZeROOverhead * (1 + bf) * exposed * fwd.total()
-
-	bd := &Breakdown{
-		ComputeForward:  units.Seconds(ufTotal / workers),
-		ComputeBackward: units.Seconds(ubTotal / workers),
-		WeightUpdate:    units.Seconds(uwTotal / workers),
-		TPIntraComm:     units.Seconds((1 + bf) * exposed * fwd.tpIntra),
-		TPInterComm:     units.Seconds((1 + bf) * exposed * fwd.tpInter),
-		PPComm:          units.Seconds((1 + bf) * exposed * fwd.pp),
-		MoEComm:         units.Seconds((1 + bf) * exposed * fwd.moe),
-		ZeROComm:        units.Seconds(zeroExtra),
-		GradIntraComm:   units.Seconds(grad.intra),
-		GradInterComm:   units.Seconds(grad.inter),
-		Bubble:          units.Seconds(bubble),
-		Microbatch:      ub,
-		Efficiency:      eff,
-		Workers:         mp.Workers(),
-		NumBatches:      tr.NumBatches,
-		ModelFLOPs:      units.FLOPs(float64(macTotal) * 3 * units.FLOPsPerMAC),
-	}
-	if !finite(bd) {
-		return bd, errors.New("model: evaluation produced non-finite time (unusable link or degenerate mapping)")
-	}
-	return bd, nil
+	return s.Evaluate(e.Mapping, e.Training.Batch.Global, e.Training.Batch.Microbatches)
 }
 
 // finite reports whether every duration in the breakdown is a finite number.

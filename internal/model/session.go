@@ -1,0 +1,347 @@
+package model
+
+import (
+	"errors"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/topology"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// Session is a compiled scenario: one (model, system, training recipe,
+// efficiency curve) tuple with every point-invariant quantity of Eq. 1–12
+// hoisted out of the per-point path. Design-space sweeps evaluate thousands
+// of (mapping, batch) cells against the same scenario; Compile validates the
+// invariants once, precomputes the reciprocal throughputs and precision
+// scales of Eq. 3–4, the parameter aggregates of Eq. 11–12 and the
+// communication link constants, and caches the per-batch operation
+// aggregates of Eq. 2 in a small keyed table — after which EvaluatePoint
+// runs in O(1) time with zero heap allocations per point.
+//
+// A Session is immutable after Prepare and safe for concurrent use by any
+// number of goroutines. Prepare itself must not race with EvaluatePoint.
+type Session struct {
+	model *transformer.Model
+	sys   *hardware.System
+	tr    Training // defaults applied; Batch is supplied per point
+	eff   efficiency.Model
+
+	// Eq. 3–4 hoists: peak MAC rate (the efficiency derating is per point),
+	// the nonlinear-op reciprocal and the precision pass counts.
+	peakMAC     float64
+	cNonlin     float64
+	macScale    float64
+	nonlinScale float64
+
+	// Communication hoists: links, operand widths, topology kinds.
+	intra    hardware.Link
+	inter    hardware.Link
+	actBits  float64
+	gradBits float64
+	arKind   topology.Kind
+
+	// Eq. 9 hoists: the all-to-all latency term and per-element volume
+	// coefficient (both fixed by the system's node count).
+	moeLatTerm  float64
+	moeVolCoeff float64
+
+	// Model-shape hoists.
+	layersF   float64 // L
+	moeLayers float64 // MoE block count
+	seqHidden float64 // s·h, the per-sequence activation element count
+
+	// Eq. 11–12 parameter aggregates (batch-independent).
+	updateParams    float64 // Σ_l LayerParams (+ embedding when included)
+	gradParamsPlain float64 // Σ_l N_g(l)
+	gradParamsEP    float64 // same with expert-parallel MoE sharding
+	gradEmbParams   float64 // embedding N_g when included, else 0
+	gradLatCount    float64 // latency terms per all-reduce: L (+1 embedding)
+
+	// batches caches the Eq. 2 per-batch operation aggregates, keyed by the
+	// global batch size. Read-only after Prepare.
+	batches map[int]batchAgg
+}
+
+// batchAgg is the Eq. 2/12 operation aggregate for one global batch size:
+// the model-wide MAC and nonlinear-op sums (embedding included when the
+// training recipe asks for it) and the derived useful-work FLOPs.
+type batchAgg struct {
+	macSum    float64
+	nonlinSum float64
+	flops     units.FLOPs
+}
+
+// errNonFinite mirrors the legacy Evaluate error for degenerate points; a
+// sentinel so the hot path never allocates an error value.
+var errNonFinite = errors.New("model: evaluation produced non-finite time (unusable link or degenerate mapping)")
+
+// Compile validates a scenario once and returns the compiled Session.
+// A nil efficiency model selects efficiency.Default(). The training
+// configuration's Batch field is ignored — batch and microbatch schedule
+// are per-point inputs to EvaluatePoint.
+func Compile(m *transformer.Model, sys *hardware.System, tr Training, eff efficiency.Model) (*Session, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if sys == nil {
+		return nil, errors.New("model: nil system")
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	tr = tr.withDefaults()
+	if eff == nil {
+		eff = efficiency.Default()
+	}
+
+	s := &Session{
+		model: m,
+		sys:   sys,
+		tr:    tr,
+		eff:   eff,
+
+		peakMAC:     float64(sys.Accel.PeakMACRate()),
+		cNonlin:     1 / float64(sys.Accel.NonlinRate()),
+		macScale:    float64(tr.Operands.MACScale(sys.Accel.MACPrecision)),
+		nonlinScale: float64(tr.Operands.NonlinScale(sys.Accel.NonlinPrecision)),
+
+		intra:    sys.Intra,
+		inter:    sys.InterLinkEffective(),
+		actBits:  float64(tr.Operands.Act.Bits()),
+		gradBits: float64(tr.Operands.Grad.Bits()),
+		arKind:   tr.Topology.AllReduce,
+
+		layersF:   float64(m.Layers),
+		moeLayers: float64(m.MoELayers()),
+		seqHidden: float64(m.SeqLen) * float64(m.Hidden),
+
+		batches: make(map[int]batchAgg),
+	}
+
+	// Eq. 9 constants: 2 all-to-alls per MoE layer across the node groups,
+	// traffic split between links by the uniform routing probabilities.
+	if m.MoE() {
+		n := float64(sys.Nodes)
+		tMoE := topology.Factor(tr.Topology.AllToAll, sys.Nodes)
+		s.moeLatTerm = 2 * float64(s.inter.Latency) * tMoE * n
+		s.moeVolCoeff = 2 * s.actBits * tMoE *
+			(1/(n*float64(s.intra.Bandwidth)) + (n-1)/(n*float64(s.inter.Bandwidth)))
+	}
+
+	// Eq. 11–12 parameter aggregates. The gradient all-reduce is linear in
+	// the element count, so the layer sum collapses to one volume term plus
+	// one latency term per layer.
+	for l := 0; l < m.Layers; l++ {
+		lp := m.LayerParams(l)
+		s.updateParams += lp
+		s.gradParamsPlain += lp
+		if m.IsMoELayer(l) {
+			shared := m.AttentionNormParams()
+			s.gradParamsEP += shared + (lp-shared)/float64(m.Experts)
+		} else {
+			s.gradParamsEP += lp
+		}
+	}
+	s.gradLatCount = s.layersF
+	if tr.IncludeEmbedding {
+		s.updateParams += m.EmbeddingParams()
+		s.gradEmbParams = m.EmbeddingParams()
+		s.gradLatCount++
+	}
+	return s, nil
+}
+
+// Model returns the compiled transformer architecture.
+func (s *Session) Model() *transformer.Model { return s.model }
+
+// System returns the compiled machine description.
+func (s *Session) System() *hardware.System { return s.sys }
+
+// Training returns the compiled training recipe with defaults applied.
+func (s *Session) Training() Training { return s.tr }
+
+// Prepare precomputes the per-batch operation aggregates for the given
+// global batch sizes so EvaluatePoint runs in O(1) for them. Batches not
+// prepared are still evaluated correctly (and allocation-free), at O(L)
+// cost per point. Prepare is not safe to call concurrently with
+// EvaluatePoint; sweeps call it once before fanning out.
+func (s *Session) Prepare(batches ...int) *Session {
+	for _, b := range batches {
+		if _, ok := s.batches[b]; !ok {
+			s.batches[b] = s.computeAgg(b)
+		}
+	}
+	return s
+}
+
+// computeAgg builds the Eq. 2/12 operation aggregate for one batch size by
+// summing the per-layer op counts in layer order.
+func (s *Session) computeAgg(batch int) batchAgg {
+	var a batchAgg
+	m := s.model
+	for l := 0; l < m.Layers; l++ {
+		macs, nonlin := m.OpSums(l, batch)
+		a.macSum += float64(macs)
+		a.nonlinSum += float64(nonlin)
+	}
+	if s.tr.IncludeEmbedding {
+		a.macSum += float64(m.EmbeddingMACs(batch))
+	}
+	a.flops = units.FLOPs(a.macSum * 3 * units.FLOPsPerMAC)
+	return a
+}
+
+// agg returns the cached aggregate for a batch, computing it on the fly
+// (without mutating the cache, so concurrent reads stay race-free) when the
+// batch was not prepared.
+func (s *Session) agg(batch int) batchAgg {
+	if a, ok := s.batches[batch]; ok {
+		return a
+	}
+	return s.computeAgg(batch)
+}
+
+// EvaluatePoint evaluates one design point of the compiled scenario — a
+// parallelism mapping, a global batch size and a microbatch count
+// (0 derives the N_ub default) — writing the per-batch breakdown into out.
+// The caller owns out; the hot path performs no heap allocations.
+func (s *Session) EvaluatePoint(mp parallel.Mapping, batch, microbatches int, out *Breakdown) error {
+	if err := mp.Validate(s.sys); err != nil {
+		return err
+	}
+	bt := parallel.Batch{Global: batch, Microbatches: microbatches}
+	if err := bt.Validate(mp); err != nil {
+		return err
+	}
+	if tp := mp.TP(); tp > s.model.Heads {
+		return errorsf("model: TP degree %d exceeds %d attention heads", tp, s.model.Heads)
+	}
+	if pp := mp.PP(); pp > s.model.Layers {
+		return errorsf("model: PP degree %d exceeds %d layers", pp, s.model.Layers)
+	}
+
+	tr := s.tr
+	mpn := mp.Normalized()
+	workers := float64(mpn.Workers())
+
+	ub := bt.Microbatch(mpn)
+	eff := s.eff.Eff(ub)
+	nub := float64(bt.MicrobatchesOrDefault(mpn))
+
+	// Eq. 2–4: the per-layer, per-sublayer double sum factors into the two
+	// cached aggregates times the point's reciprocal throughputs.
+	cMAC := 1 / (s.peakMAC * eff)
+	agg := s.agg(batch)
+	ufTotal := agg.macSum*cMAC*s.macScale + agg.nonlinSum*s.cNonlin*s.nonlinScale
+	uwTotal := s.updateParams * cMAC * s.macScale
+	ubTotal := tr.BackwardComputeFactor * ufTotal
+
+	// Eq. 5–7, 9: forward communication on the per-point microbatch.
+	bEff := ub
+	nActTP := 2 * bEff * s.seqHidden
+	tpIntra := s.layersF * allReduceTime(s.arKind, mpn.TPIntra, nActTP, s.actBits, s.intra)
+	tpInter := s.layersF * allReduceTime(s.arKind, mpn.TPInter, nActTP, s.actBits, s.inter)
+
+	// Eq. 7: the 1/L spreading cancels against the layer sum, leaving the
+	// boundary cost once; the pipeline runs at its slowest hop.
+	var ppComm float64
+	if mpn.PP() > 1 {
+		nActPP := bEff * s.seqHidden
+		var ppI, ppE float64
+		if mpn.PPIntra > 1 {
+			ppI = float64(s.intra.Latency) + nActPP*s.actBits/float64(s.intra.Bandwidth)
+		}
+		if mpn.PPInter > 1 {
+			ppE = float64(s.inter.Latency) + nActPP*s.actBits/float64(s.inter.Bandwidth)
+		}
+		ppComm = max2(ppI, ppE)
+	}
+
+	var moe float64
+	if s.model.MoE() && mpn.ExpertParallel {
+		moe = s.moeLayers * (s.moeLatTerm + bEff*s.seqHidden*s.moeVolCoeff)
+	}
+
+	fwdTotal := tpIntra + tpInter + ppComm + moe
+	bf := tr.BackwardCommFactor
+	exposed := 1 - tr.CommOverlap
+
+	// Eq. 10–11: the all-reduce is linear in the element count, so the
+	// layer loop collapses to the precomputed parameter aggregate.
+	var gradIntra, gradInter float64
+	if mpn.DP() > 1 {
+		shard := 1 / float64(mpn.TP()*mpn.PP())
+		ngSum := s.gradParamsPlain
+		if mpn.ExpertParallel && s.model.MoE() {
+			ngSum = s.gradParamsEP
+		}
+		ngSum = (ngSum + s.gradEmbParams) * shard
+		gradIntra = s.allReduceSum(mpn.DPIntra, ngSum, s.intra)
+		gradInter = s.allReduceSum(mpn.DPInter, ngSum, s.inter)
+	}
+
+	// Eq. 8: pipeline bubbles over the per-microbatch step time.
+	var bubble float64
+	if pp := mpn.PP(); pp > 1 && nub > 0 {
+		step := (ufTotal+ubTotal)/workers + (1+bf)*exposed*fwdTotal
+		bubble = tr.BubbleRatio * float64(pp-1) / nub * step
+	}
+
+	zeroExtra := tr.ZeROOverhead * (1 + bf) * exposed * fwdTotal
+
+	*out = Breakdown{
+		ComputeForward:  units.Seconds(ufTotal / workers),
+		ComputeBackward: units.Seconds(ubTotal / workers),
+		WeightUpdate:    units.Seconds(uwTotal / workers),
+		TPIntraComm:     units.Seconds((1 + bf) * exposed * tpIntra),
+		TPInterComm:     units.Seconds((1 + bf) * exposed * tpInter),
+		PPComm:          units.Seconds((1 + bf) * exposed * ppComm),
+		MoEComm:         units.Seconds((1 + bf) * exposed * moe),
+		ZeROComm:        units.Seconds(zeroExtra),
+		GradIntraComm:   units.Seconds(gradIntra),
+		GradInterComm:   units.Seconds(gradInter),
+		Bubble:          units.Seconds(bubble),
+		Microbatch:      ub,
+		Efficiency:      eff,
+		Workers:         mpn.Workers(),
+		NumBatches:      tr.NumBatches,
+		ModelFLOPs:      agg.flops,
+	}
+	if !finite(out) {
+		return errNonFinite
+	}
+	return nil
+}
+
+// allReduceSum is the layer-summed Eq. 10/11 all-reduce: gradLatCount
+// latency terms plus one volume term over the aggregated element count.
+func (s *Session) allReduceSum(n int, elems float64, link hardware.Link) float64 {
+	if n <= 1 {
+		return 0
+	}
+	steps := float64(topology.Steps(s.arKind, n))
+	factor := topology.Factor(s.arKind, n)
+	return float64(link.Latency)*steps*s.gradLatCount +
+		elems*s.gradBits/float64(link.Bandwidth)*factor
+}
+
+// Evaluate is the one-shot convenience over EvaluatePoint: it allocates a
+// fresh Breakdown for the point. On a non-finite result the partially
+// useful breakdown is returned alongside the error, matching the legacy
+// Estimator.Evaluate contract.
+func (s *Session) Evaluate(mp parallel.Mapping, batch, microbatches int) (*Breakdown, error) {
+	out := new(Breakdown)
+	if err := s.EvaluatePoint(mp, batch, microbatches, out); err != nil {
+		if errors.Is(err, errNonFinite) {
+			return out, err
+		}
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package parallel
+
+import (
+	"sort"
+	"sync"
+)
+
+// divisorCache memoizes Divisors results. Mapping enumeration and
+// microbatch selection query the same handful of n values (node counts,
+// accelerators per node, per-replica batches) thousands of times per sweep,
+// so a process-wide table pays for itself immediately. Values are stored
+// once and never mutated.
+var divisorCache sync.Map // int -> []int
+
+// Divisors returns the sorted divisors of n, computed in O(√n) by pairing
+// each divisor d ≤ √n with its cofactor n/d. Results are memoized; callers
+// must treat the returned slice as read-only.
+func Divisors(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if v, ok := divisorCache.Load(n); ok {
+		return v.([]int)
+	}
+	var divs []int
+	for d := 1; d*d <= n; d++ {
+		if n%d != 0 {
+			continue
+		}
+		divs = append(divs, d)
+		if q := n / d; q != d {
+			divs = append(divs, q)
+		}
+	}
+	sort.Ints(divs)
+	v, _ := divisorCache.LoadOrStore(n, divs)
+	return v.([]int)
+}

@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"sort"
+	"testing"
+
+	"amped/internal/hardware"
+)
+
+// bruteDivisors is the O(n) reference.
+func bruteDivisors(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestDivisors(t *testing.T) {
+	for n := -2; n <= 360; n++ {
+		got := Divisors(n)
+		var want []int
+		if n > 0 {
+			want = bruteDivisors(n)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Divisors(%d) = %v, want %v", n, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Divisors(%d) = %v, want %v", n, got, want)
+			}
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("Divisors(%d) = %v not sorted", n, got)
+		}
+	}
+	// Large highly-composite and prime arguments.
+	for _, n := range []int{720720, 1<<20 + 3, 1 << 16} {
+		got := Divisors(n)
+		for _, d := range got {
+			if n%d != 0 {
+				t.Fatalf("Divisors(%d) contains non-divisor %d", n, d)
+			}
+		}
+	}
+}
+
+// TestDivisorsMemoized asserts repeated calls return the cached slice
+// rather than recomputing.
+func TestDivisorsMemoized(t *testing.T) {
+	a := Divisors(5040)
+	b := Divisors(5040)
+	if &a[0] != &b[0] {
+		t.Error("Divisors(5040) recomputed instead of hitting the memo table")
+	}
+}
+
+// bruteTriples is the pre-optimization O(n²) trial-division enumeration,
+// kept as the golden reference for ordering and content.
+func bruteTriples(n int, pow2 bool) [][3]int {
+	var out [][3]int
+	for a := 1; a <= n; a++ {
+		if n%a != 0 || (pow2 && !isPow2(a)) {
+			continue
+		}
+		rest := n / a
+		for b := 1; b <= rest; b++ {
+			if rest%b != 0 || (pow2 && !isPow2(b)) {
+				continue
+			}
+			c := rest / b
+			if pow2 && !isPow2(c) {
+				continue
+			}
+			out = append(out, [3]int{a, b, c})
+		}
+	}
+	return out
+}
+
+func TestDivisorTriplesMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 12, 60, 64, 100, 128, 210, 1024} {
+		for _, pow2 := range []bool{false, true} {
+			got := divisorTriples(n, pow2)
+			want := bruteTriples(n, pow2)
+			if len(got) != len(want) {
+				t.Fatalf("divisorTriples(%d, %v): %d triples, want %d", n, pow2, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("divisorTriples(%d, %v)[%d] = %v, want %v", n, pow2, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateLargeNonPow2 exercises the enumeration at a node count where
+// the old O(n²) trial division was the bottleneck.
+func TestEnumerateLargeNonPow2(t *testing.T) {
+	sys := hardware.System{
+		Name: "big", Accel: hardware.NvidiaA100(),
+		Nodes: 360, AccelsPerNode: 12,
+		Intra:       hardware.NVLinkA100(),
+		Inter:       hardware.InfinibandHDR(),
+		NICsPerNode: 12,
+	}
+	maps := Enumerate(&sys, EnumerateOptions{})
+	if len(maps) == 0 {
+		t.Fatal("no mappings")
+	}
+	for _, m := range maps {
+		if m.IntraDegree() != 12 || m.InterDegree() != 360 {
+			t.Fatalf("mapping %v does not tile the system", m)
+		}
+	}
+}

@@ -22,16 +22,18 @@ type EnumerateOptions struct {
 }
 
 // divisorTriples returns all ordered triples (a,b,c) with a·b·c == n,
-// optionally restricted to powers of two.
+// optionally restricted to powers of two. It walks the memoized divisor
+// lists (O(d(n)·d(n/a)) total) instead of trial-dividing every integer up
+// to n, which matters once node counts leave the power-of-two regime.
 func divisorTriples(n int, pow2 bool) [][3]int {
 	var out [][3]int
-	for a := 1; a <= n; a++ {
-		if n%a != 0 || (pow2 && !isPow2(a)) {
+	for _, a := range Divisors(n) {
+		if pow2 && !isPow2(a) {
 			continue
 		}
 		rest := n / a
-		for b := 1; b <= rest; b++ {
-			if rest%b != 0 || (pow2 && !isPow2(b)) {
+		for _, b := range Divisors(rest) {
+			if pow2 && !isPow2(b) {
 				continue
 			}
 			c := rest / b

@@ -1,0 +1,45 @@
+package transformer
+
+import "testing"
+
+// TestOpSumsMatchesLayerOps asserts the allocation-free accessor agrees
+// with the slice-returning LayerOps for dense, MoE and variant models.
+func TestOpSumsMatchesLayerOps(t *testing.T) {
+	models := []Model{Megatron145B(), GLaM(), MinGPT()}
+	if v, err := (Variant{KVHeads: 8, Window: 1024}).Apply(Llama70B()); err == nil {
+		models = append(models, v)
+	} else {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		m := m
+		for _, batch := range []int{1, 7, 512} {
+			for l := 0; l < m.Layers; l += 1 + m.Layers/4 {
+				var wantMACs, wantNonlin float64
+				for _, op := range m.LayerOps(l, batch) {
+					wantMACs += float64(op.MACs)
+					wantNonlin += float64(op.Nonlin)
+				}
+				macs, nonlin := m.OpSums(l, batch)
+				if float64(macs) != wantMACs || float64(nonlin) != wantNonlin {
+					t.Fatalf("%s layer %d batch %d: OpSums = (%v, %v), want (%v, %v)",
+						m.Name, l, batch, macs, nonlin, wantMACs, wantNonlin)
+				}
+			}
+		}
+	}
+}
+
+// TestOpSumAccessorsAllocFree is the allocation regression gate for the
+// hot-path op accessors the compiled-scenario session builds on.
+func TestOpSumAccessorsAllocFree(t *testing.T) {
+	m := GLaM()
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.OpSums(1, 4096)
+		m.LayerMACs(2, 4096)
+		m.LayerNonlin(3, 4096)
+		m.ForwardMACs(64)
+	}); allocs != 0 {
+		t.Errorf("op-sum accessors allocate %v times per call set, want 0", allocs)
+	}
+}

@@ -175,6 +175,13 @@ type Ops struct {
 //	MLP nonlin       = opsGELU·b·s·r·h (per activated expert for MoE)
 //	norms nonlin     = 2·opsLayerNorm·b·s·h + 2·opsResidual·b·s·h
 func (m *Model) LayerOps(l, batch int) []Ops {
+	ops := m.layerOps(l, batch)
+	return ops[:]
+}
+
+// layerOps is LayerOps into a fixed-size array, so callers that only need
+// the counts (not a slice) stay off the heap.
+func (m *Model) layerOps(l, batch int) [3]Ops {
 	b := float64(batch)
 	s := float64(m.SeqLen)
 	h := float64(m.Hidden)
@@ -201,25 +208,32 @@ func (m *Model) LayerOps(l, batch int) []Ops {
 		Nonlin:   units.Ops((2*opsLayerNorm + 2*opsResidual) * tokens * h),
 	}
 
-	return []Ops{attn, mlp, norms}
+	return [3]Ops{attn, mlp, norms}
+}
+
+// OpSums returns block l's forward operation counts summed across its
+// sublayers (attention, then MLP, then norms — the LayerOps order) without
+// allocating. This is the hot-path accessor the compiled-scenario session
+// uses to build its per-batch aggregates.
+func (m *Model) OpSums(l, batch int) (macs, nonlin units.Ops) {
+	ops := m.layerOps(l, batch)
+	for i := range ops {
+		macs += ops[i].MACs
+		nonlin += ops[i].Nonlin
+	}
+	return macs, nonlin
 }
 
 // LayerMACs sums the MAC counts of LayerOps.
 func (m *Model) LayerMACs(l, batch int) units.Ops {
-	var total units.Ops
-	for _, op := range m.LayerOps(l, batch) {
-		total += op.MACs
-	}
-	return total
+	macs, _ := m.OpSums(l, batch)
+	return macs
 }
 
 // LayerNonlin sums the non-linear-op counts of LayerOps.
 func (m *Model) LayerNonlin(l, batch int) units.Ops {
-	var total units.Ops
-	for _, op := range m.LayerOps(l, batch) {
-		total += op.Nonlin
-	}
-	return total
+	_, nonlin := m.OpSums(l, batch)
+	return nonlin
 }
 
 // EmbeddingMACs counts the forward MACs of the output logit projection
