@@ -4,7 +4,7 @@
 GO ?= go
 SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$'
 
-.PHONY: build test verify bench bench-sweep clean
+.PHONY: build test verify audit bench bench-sweep clean
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,18 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+
+## audit is the tier-2 correctness gate: 500 randomized scenarios through
+## the three-way differential + metamorphic harness, short runs of every
+## fuzzer (seed corpora always replay under plain `go test`), and the full
+## suite under the race detector.
+FUZZTIME ?= 10s
+audit:
+	$(GO) run ./cmd/amped-audit -n 500 -seed 1 -tol 1e-9
+	$(GO) test -run '^$$' -fuzz FuzzThreeWay -fuzztime $(FUZZTIME) ./internal/audit
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/config
+	$(GO) test -run '^$$' -fuzz FuzzParseQuantity -fuzztime $(FUZZTIME) ./internal/units
+	$(GO) test -race ./...
 
 ## bench runs every benchmark once, without touching the ledger.
 bench:

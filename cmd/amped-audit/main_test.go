@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGreen(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 50, 1, 1e-9, false); err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "50 scenarios") {
+		t.Errorf("summary missing scenario count: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 failures") {
+		t.Errorf("summary missing failure count: %q", buf.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run(&buf, 0, 1, 1e-9, false); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run(&buf, 10, 1, 0, false); err == nil {
+		t.Error("tol=0 accepted")
+	}
+}

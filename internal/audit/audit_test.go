@@ -1,0 +1,171 @@
+package audit
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// TestRunAgreement is the main gate: hundreds of randomized scenarios with
+// three-way evaluator agreement at 1e-9 and every metamorphic invariant
+// holding. A failure prints the seed that reproduces each bad scenario.
+func TestRunAgreement(t *testing.T) {
+	rep := Run(Config{Scenarios: 250, Seed: 1, Tol: 1e-9})
+	for _, f := range rep.Failures {
+		t.Errorf("seed %d (%s):\n  %s", f.Seed, f.Scenario, strings.Join(f.Problems, "\n  "))
+	}
+	if rep.Evaluated < 200 {
+		t.Errorf("only %d of %d scenarios evaluated numerically, want >= 200", rep.Evaluated, rep.Scenarios)
+	}
+	if !rep.OK() {
+		t.Errorf("report not OK: %d failures", len(rep.Failures))
+	}
+}
+
+// TestGenerateDeterministic pins the reproducibility contract: the same seed
+// must always yield the same scenario, or failure seeds are useless.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, 1 << 40} {
+		a := Generate(rand.New(rand.NewSource(seed)))
+		b := Generate(rand.New(rand.NewSource(seed)))
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: scenarios differ:\n%s\n%s", seed, a.String(), b.String())
+		}
+	}
+}
+
+// TestGenerateValid checks the always-valid-by-construction property across
+// many seeds: every drawn scenario passes all input validators.
+func TestGenerateValid(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		sc := Generate(rand.New(rand.NewSource(seed)))
+		if err := sc.Model.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid model: %v", seed, err)
+		}
+		if err := sc.System.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid system: %v", seed, err)
+		}
+		if err := sc.Mapping.Validate(&sc.System); err != nil {
+			t.Fatalf("seed %d: invalid mapping: %v", seed, err)
+		}
+		if err := sc.Training.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid training: %v", seed, err)
+		}
+		if err := sc.Training.Batch.Validate(sc.Mapping); err != nil {
+			t.Fatalf("seed %d: invalid batch: %v", seed, err)
+		}
+		if tp := sc.Mapping.TP(); tp > sc.Model.Heads {
+			t.Fatalf("seed %d: TP %d exceeds %d heads", seed, tp, sc.Model.Heads)
+		}
+		if pp := sc.Mapping.PP(); pp > sc.Model.Layers {
+			t.Fatalf("seed %d: PP %d exceeds %d layers", seed, pp, sc.Model.Layers)
+		}
+	}
+}
+
+// handScenario is a fixed paper-flavored configuration (GPT-3-class shard on
+// a 2x8 A100-like machine) used by the direct literal-vs-production test.
+func handScenario() Scenario {
+	return Scenario{
+		Model: transformerGPT(),
+		System: hardware.System{
+			Name: "2x8",
+			Accel: hardware.Accelerator{
+				Name: "a100ish", Freq: 1.41e9, Cores: 108,
+				MACUnits: 4, MACWidth: 256, MACPrecision: precision.FP16,
+				NonlinUnits: 108, NonlinWidth: 4, NonlinPrecision: precision.FP32,
+			},
+			Nodes: 2, AccelsPerNode: 8,
+			Intra:       hardware.Link{Name: "nvlink", Latency: 1e-6, Bandwidth: 4.8e12},
+			Inter:       hardware.Link{Name: "ib", Latency: 1e-5, Bandwidth: 1.6e12},
+			NICsPerNode: 8,
+		},
+		Mapping: parallel.Mapping{TPIntra: 4, PPIntra: 2, DPIntra: 1, PPInter: 1, DPInter: 2},
+		Training: model.Training{
+			Batch:        parallel.Batch{Global: 16, Microbatches: 4},
+			ZeROOverhead: 0.5,
+			CommOverlap:  0.3,
+		},
+		Eff: efficiency.Default(),
+	}
+}
+
+// TestLiteralMatchesProduction pins the oracle against both production
+// evaluators on the hand-built scenario, independent of Generate.
+func TestLiteralMatchesProduction(t *testing.T) {
+	sc := handScenario()
+	problems, evaluated := Check(&sc, 1e-9)
+	if !evaluated {
+		t.Fatal("hand scenario did not evaluate")
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// TestDiffBreakdownsDetectsTampering proves the comparator is not vacuously
+// green: perturbing any single component past the tolerance must be flagged.
+func TestDiffBreakdownsDetectsTampering(t *testing.T) {
+	sc := handScenario()
+	bd, err := sc.Estimator().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *bd
+	tampered.GradInterComm *= 1 + 1e-6
+	if diffs := diffBreakdowns("t", bd, &tampered, 1e-9); len(diffs) == 0 {
+		t.Error("1e-6 perturbation of GradInterComm not detected at 1e-9 tolerance")
+	}
+	if diffs := diffBreakdowns("t", bd, bd, 1e-9); len(diffs) != 0 {
+		t.Errorf("self-comparison reported diffs: %v", diffs)
+	}
+}
+
+// TestInvStructureDetectsCorruption proves the structural invariant fires on
+// non-finite and negative components.
+func TestInvStructureDetectsCorruption(t *testing.T) {
+	sc := handScenario()
+	bd, err := sc.Estimator().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *bd
+	bad.Bubble = units.Seconds(-1)
+	if probs := invStructure(&bad, 1e-9); len(probs) == 0 {
+		t.Error("negative Bubble not flagged")
+	}
+	if probs := invStructure(bd, 1e-9); len(probs) != 0 {
+		t.Errorf("clean breakdown flagged: %v", probs)
+	}
+}
+
+// TestCheckErrorAgreement drives Check with an invalid mapping and verifies
+// the error-agreement path: both evaluators reject, no failure is reported,
+// and the scenario counts as degenerate.
+func TestCheckErrorAgreement(t *testing.T) {
+	sc := handScenario()
+	sc.Mapping.TPIntra = 3 // 3*2=6 accels per node, machine has 8
+	problems, evaluated := Check(&sc, 1e-9)
+	if evaluated {
+		t.Error("invalid mapping evaluated")
+	}
+	if len(problems) != 0 {
+		t.Errorf("consistent rejection reported problems: %v", problems)
+	}
+}
+
+func transformerGPT() transformer.Model {
+	return transformer.Model{
+		Name: "gpt-slice", Layers: 12, Hidden: 1024, Heads: 16,
+		SeqLen: 2048, Vocab: 50257, FFNRatio: 4,
+	}
+}

@@ -1,0 +1,26 @@
+package audit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzThreeWay fuzzes the scenario space by seed: every uint64 deterministically
+// expands to one generated scenario, which must pass the full three-way
+// differential comparison and metamorphic suite. The committed corpus under
+// testdata/fuzz/FuzzThreeWay pins a spread of generator regimes (dense/MoE,
+// every topology, explicit and defaulted microbatch schedules) so plain
+// `go test` replays them on every run.
+func FuzzThreeWay(f *testing.F) {
+	for seed := uint64(0); seed < 32; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		sc := Generate(rand.New(rand.NewSource(int64(seed))))
+		problems, _ := Check(&sc, 1e-9)
+		if len(problems) > 0 {
+			t.Errorf("seed %d (%s):\n  %s", seed, sc.String(), strings.Join(problems, "\n  "))
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/topology"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// pickI returns a uniformly random element of a non-empty int slice.
+func pickI(r *rand.Rand, xs []int) int { return xs[r.Intn(len(xs))] }
+
+// pickF returns a uniformly random element of a non-empty float64 slice.
+func pickF(r *rand.Rand, xs []float64) float64 { return xs[r.Intn(len(xs))] }
+
+// divisors returns the positive divisors of n in ascending order.
+func divisors(n int) []int {
+	var ds []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// Generate draws one random scenario that is valid by construction: the
+// parallelism degrees are chosen first, the system is sized to exactly fit
+// them, the model's head count is a multiple of the TP degree and its layer
+// count a multiple of the PP degree, and the batch schedule divides evenly.
+// The same *rand.Rand state always yields the same scenario, so a failing
+// seed reproduces the scenario exactly.
+func Generate(r *rand.Rand) Scenario {
+	// Parallelism degrees first; the machine is sized to fit them.
+	mp := parallel.Mapping{
+		TPIntra: pickI(r, []int{1, 2, 4}),
+		PPIntra: pickI(r, []int{1, 2}),
+		DPIntra: pickI(r, []int{1, 2}),
+		TPInter: pickI(r, []int{1, 2}),
+		PPInter: pickI(r, []int{1, 2, 4}),
+		DPInter: pickI(r, []int{1, 2, 4}),
+	}
+	tp, pp, dp := mp.TP(), mp.PP(), mp.DP()
+
+	// Model sized so TP divides the head count, hidden divides by heads,
+	// and PP divides the layer count.
+	heads := tp * pickI(r, []int{1, 2, 3})
+	m := transformer.Model{
+		Name:     "audit",
+		Layers:   pp * pickI(r, []int{1, 2, 3}),
+		Heads:    heads,
+		Hidden:   heads * pickI(r, []int{32, 64, 128}),
+		SeqLen:   pickI(r, []int{128, 512, 2048}),
+		Vocab:    pickI(r, []int{1000, 32000, 50257}),
+		FFNRatio: pickF(r, []float64{1, 2, 4}),
+	}
+	if r.Intn(5) < 2 { // MoE on ~40% of scenarios
+		m.MoEEvery = pickI(r, []int{1, 2})
+		m.Experts = pickI(r, []int{2, 4, 8})
+		m.TopK = pickI(r, []int{0, 1, 2})
+	}
+	if r.Intn(10) < 3 { // attention variants on ~30%
+		v := transformer.Variant{
+			KVHeads: pickI(r, divisors(m.Heads)),
+			Window:  pickI(r, []int{0, m.SeqLen / 2, m.SeqLen}),
+		}
+		if r.Intn(5) == 0 {
+			v.CrossAttention = true
+			v.EncoderSeqLen = pickI(r, []int{0, m.SeqLen / 2})
+		}
+		vm, err := v.Apply(m)
+		if err != nil {
+			// Unreachable by construction; fail loudly rather than audit a
+			// model other than the one drawn.
+			panic(fmt.Sprintf("audit: generated invalid variant %+v: %v", v, err))
+		}
+		m = vm
+	}
+
+	sys := hardware.System{
+		Name: "audit-sys",
+		Accel: hardware.Accelerator{
+			Name:            "audit-accel",
+			Freq:            units.Hertz(pickF(r, []float64{0.7e9, 1.0e9, 1.5e9})),
+			Cores:           pickI(r, []int{16, 80, 128}),
+			MACUnits:        pickI(r, []int{2, 4}),
+			MACWidth:        pickI(r, []int{64, 128, 256}),
+			MACPrecision:    precision.Precision(pickI(r, []int{8, 16, 32})),
+			NonlinUnits:     pickI(r, []int{16, 64, 128}),
+			NonlinWidth:     pickI(r, []int{1, 2, 4}),
+			NonlinPrecision: precision.Precision(pickI(r, []int{16, 32})),
+		},
+		Nodes:         mp.InterDegree(),
+		AccelsPerNode: mp.IntraDegree(),
+		Intra: hardware.Link{
+			Name:      "audit-intra",
+			Latency:   units.Seconds(pickF(r, []float64{1e-6, 5e-6, 1e-5})),
+			Bandwidth: units.BitsPerSecond(pickF(r, []float64{1.2e12, 2.4e12, 4.8e12})),
+		},
+		Inter: hardware.Link{
+			Name:      "audit-inter",
+			Latency:   units.Seconds(pickF(r, []float64{2e-6, 1e-5, 2.5e-5})),
+			Bandwidth: units.BitsPerSecond(pickF(r, []float64{1e11, 2e11, 8e11})),
+		},
+		NICsPerNode:      pickI(r, []int{1, 2, 4}),
+		Oversubscription: pickF(r, []float64{0, 1, 2}),
+	}
+
+	if m.MoE() && r.Intn(2) == 0 {
+		mp.ExpertParallel = true
+	}
+
+	// Batch schedule: per-replica batch a multiple of PP so the default
+	// N_ub = PP divides it; an explicit N_ub, when drawn, is a divisor.
+	per := pp * pickI(r, []int{1, 2, 4})
+	batch := parallel.Batch{Global: per * dp}
+	if r.Intn(2) == 0 {
+		batch.Microbatches = pickI(r, divisors(per))
+	}
+
+	operandSets := []precision.Operands{
+		precision.Mixed16(),
+		precision.Uniform(precision.FP16),
+		precision.Uniform(precision.FP32),
+		precision.Uniform(precision.FP8),
+		{Param: precision.FP8, Act: precision.FP16, Nonlin: precision.FP32, Grad: precision.FP16},
+	}
+	kinds := []topology.Kind{
+		topology.Ring, topology.Tree, topology.PairwiseAllToAll,
+		topology.PointToPoint, topology.Torus2D,
+	}
+	tr := model.Training{
+		Batch:                 batch,
+		NumBatches:            pickI(r, []int{0, 1, 10}),
+		BubbleRatio:           pickF(r, []float64{0, 0.5, 1}),
+		ZeROOverhead:          pickF(r, []float64{0, 0, 0.25, 0.5}),
+		BackwardComputeFactor: pickF(r, []float64{0, 2, 3}),
+		BackwardCommFactor:    pickF(r, []float64{0, 1, 2}),
+		CommOverlap:           pickF(r, []float64{0, 0, 0.3, 0.9, 1}),
+		Operands:              operandSets[r.Intn(len(operandSets))],
+		Topology: topology.Choice{
+			AllReduce: kinds[r.Intn(len(kinds))],
+			AllToAll:  kinds[r.Intn(len(kinds))],
+		},
+		IncludeEmbedding: r.Intn(2) == 0,
+	}
+
+	var eff efficiency.Model
+	switch r.Intn(4) {
+	case 0:
+		eff = nil // exercises the Default() fallback in all three evaluators
+	case 1:
+		eff = efficiency.Default()
+	case 2:
+		eff = efficiency.Saturating{A: pickF(r, []float64{0.5, 0.9}), B: pickF(r, []float64{4, 28})}
+	default:
+		eff = efficiency.Fixed(pickF(r, []float64{0.3, 1}))
+	}
+
+	return Scenario{Model: m, System: sys, Mapping: mp, Training: tr, Eff: eff}
+}

@@ -1,0 +1,319 @@
+package audit
+
+import (
+	"errors"
+	"math"
+
+	"amped/internal/efficiency"
+	"amped/internal/model"
+	"amped/internal/precision"
+	"amped/internal/topology"
+	"amped/internal/units"
+)
+
+// Literal evaluates the scenario by transcribing the paper's Eq. 1–12
+// naively: explicit per-layer, per-sublayer loops, no hoisted constants, no
+// collapsed layer sums, and its own re-derivations of the topology factors,
+// precision pass counts and effective inter-node bandwidth. It shares only
+// the *inputs* with the production evaluators — the transformer op/parameter
+// counts, the parallelism schedule arithmetic and the eff(ub) curve, which
+// are scenario description, not Eq. 1–12 — so any slip in the hoisting or
+// factoring of Session/Estimator shows up as a three-way divergence.
+//
+// Literal assumes a scenario the production evaluators accept; it performs
+// no input validation of its own (the harness only consults the oracle for
+// scenarios that evaluated cleanly).
+func Literal(sc *Scenario) (*model.Breakdown, error) {
+	m := &sc.Model
+	sys := &sc.System
+	tr := literalDefaults(sc.Training)
+	mp := sc.Mapping.Normalized()
+	effModel := sc.Eff
+	if effModel == nil {
+		effModel = efficiency.Default()
+	}
+
+	B := tr.Batch.Global
+	L := float64(m.Layers)
+	s := float64(m.SeqLen)
+	h := float64(m.Hidden)
+	workers := float64(mp.Workers())
+
+	// Schedule: N_ub and ub = B/(N_DP·N_ub), shared input arithmetic.
+	nub := float64(tr.Batch.MicrobatchesOrDefault(mp))
+	ub := tr.Batch.Microbatch(mp)
+	eff := effModel.Eff(ub)
+
+	// Eq. 3–4 reciprocal throughputs, from raw accelerator fields.
+	peakMAC := float64(sys.Accel.Freq) * float64(sys.Accel.Cores) *
+		float64(sys.Accel.MACUnits) * float64(sys.Accel.MACWidth)
+	cMAC := 1 / (peakMAC * eff)
+	cNonlin := 1 / (float64(sys.Accel.Freq) * float64(sys.Accel.NonlinUnits) * float64(sys.Accel.NonlinWidth))
+	macScale := literalPasses(maxPrec(tr.Operands.Param, tr.Operands.Act), sys.Accel.MACPrecision)
+	nonlinScale := literalPasses(tr.Operands.Nonlin, sys.Accel.NonlinPrecision)
+
+	// Link constants, with the NIC/oversubscription derating re-derived.
+	intraLat := float64(sys.Intra.Latency)
+	intraBW := float64(sys.Intra.Bandwidth)
+	interLat := float64(sys.Inter.Latency)
+	over := sys.Oversubscription
+	if over < 1 {
+		over = 1
+	}
+	interBW := float64(sys.Inter.Bandwidth) * float64(sys.NICsPerNode) /
+		float64(sys.AccelsPerNode) / over
+
+	actBits := float64(tr.Operands.Act.Bits())
+	gradBits := float64(tr.Operands.Grad.Bits())
+	ar := tr.Topology.AllReduce
+
+	// Eq. 2 and 12: forward compute and weight update, layer by layer,
+	// sublayer by sublayer, on the full global batch.
+	var ufTotal, uwTotal, macTotal float64
+	for l := 0; l < m.Layers; l++ {
+		for _, op := range m.LayerOps(l, B) {
+			ufTotal += float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
+			macTotal += float64(op.MACs)
+		}
+		uwTotal += m.LayerParams(l) * cMAC * macScale
+	}
+	if tr.IncludeEmbedding {
+		emb := float64(m.EmbeddingMACs(B))
+		ufTotal += emb * cMAC * macScale
+		uwTotal += m.EmbeddingParams() * cMAC * macScale
+		macTotal += emb
+	}
+	ubTotal := tr.BackwardComputeFactor * ufTotal
+
+	// Eq. 6: two all-reduces of 2·ub·s·h activation elements per layer,
+	// hierarchical over the intra- then inter-node TP groups.
+	var tpIntra, tpInter float64
+	for l := 0; l < m.Layers; l++ {
+		nAct := 2 * ub * s * h
+		tpIntra += literalAllReduce(ar, mp.TPIntra, nAct*actBits, intraLat, intraBW)
+		tpInter += literalAllReduce(ar, mp.TPInter, nAct*actBits, interLat, interBW)
+	}
+
+	// Eq. 7: one boundary tensor of ub·s·h elements per hop, spread 1/L per
+	// layer; the pipeline runs at its slowest hop.
+	var ppComm float64
+	if mp.PP() > 1 {
+		for l := 0; l < m.Layers; l++ {
+			var pi, pe float64
+			if mp.PPIntra > 1 {
+				pi = (intraLat + ub*s*h*actBits/intraBW) / L
+			}
+			if mp.PPInter > 1 {
+				pe = (interLat + ub*s*h*actBits/interBW) / L
+			}
+			if pe > pi {
+				pi = pe
+			}
+			ppComm += pi
+		}
+	}
+
+	// Eq. 9: two all-to-alls per MoE layer across the node groups, traffic
+	// split by the uniform 1/N_nodes routing probabilities.
+	var moeComm float64
+	if m.MoE() && mp.ExpertParallel {
+		n := float64(sys.Nodes)
+		tMoE := literalFactor(tr.Topology.AllToAll, sys.Nodes)
+		for l := 0; l < m.Layers; l++ {
+			if !m.IsMoELayer(l) {
+				continue
+			}
+			moeComm += 2*interLat*tMoE*n +
+				2*ub*s*h*actBits*tMoE*(1/(n*intraBW)+(n-1)/(n*interBW))
+		}
+	}
+
+	fwdTotal := tpIntra + tpInter + ppComm + moeComm
+	bf := tr.BackwardCommFactor
+	exposed := 1 - tr.CommOverlap
+
+	// Eq. 10–11: hierarchical gradient all-reduce of each layer's parameter
+	// shard, with GShard expert sharding under expert parallelism.
+	var gradIntra, gradInter float64
+	if mp.DP() > 1 {
+		shard := 1 / float64(mp.TP()*mp.PP())
+		for l := 0; l < m.Layers; l++ {
+			ng := m.LayerParams(l) * shard
+			if mp.ExpertParallel && m.IsMoELayer(l) {
+				shared := m.AttentionNormParams()
+				ng = shared*shard + (m.LayerParams(l)-shared)*shard/float64(m.Experts)
+			}
+			gradIntra += literalAllReduce(ar, mp.DPIntra, ng*gradBits, intraLat, intraBW)
+			gradInter += literalAllReduce(ar, mp.DPInter, ng*gradBits, interLat, interBW)
+		}
+		if tr.IncludeEmbedding {
+			ng := m.EmbeddingParams() * shard
+			gradIntra += literalAllReduce(ar, mp.DPIntra, ng*gradBits, intraLat, intraBW)
+			gradInter += literalAllReduce(ar, mp.DPInter, ng*gradBits, interLat, interBW)
+		}
+	}
+
+	// Eq. 8: fill/drain bubbles over the per-microbatch step time.
+	var bubble float64
+	if pp := mp.PP(); pp > 1 && nub > 0 {
+		step := (ufTotal+ubTotal)/workers + (1+bf)*exposed*fwdTotal
+		bubble = tr.BubbleRatio * float64(pp-1) / nub * step
+	}
+
+	// Eq. 5's (1 + M_f_DP) ZeRO factor, reported as its own component.
+	zeroExtra := tr.ZeROOverhead * (1 + bf) * exposed * fwdTotal
+
+	bd := &model.Breakdown{
+		ComputeForward:  units.Seconds(ufTotal / workers),
+		ComputeBackward: units.Seconds(ubTotal / workers),
+		WeightUpdate:    units.Seconds(uwTotal / workers),
+		TPIntraComm:     units.Seconds((1 + bf) * exposed * tpIntra),
+		TPInterComm:     units.Seconds((1 + bf) * exposed * tpInter),
+		PPComm:          units.Seconds((1 + bf) * exposed * ppComm),
+		MoEComm:         units.Seconds((1 + bf) * exposed * moeComm),
+		ZeROComm:        units.Seconds(zeroExtra),
+		GradIntraComm:   units.Seconds(gradIntra),
+		GradInterComm:   units.Seconds(gradInter),
+		Bubble:          units.Seconds(bubble),
+		Microbatch:      ub,
+		Efficiency:      eff,
+		Workers:         mp.Workers(),
+		NumBatches:      tr.NumBatches,
+		ModelFLOPs:      units.FLOPs(macTotal * 3 * units.FLOPsPerMAC),
+	}
+	for _, c := range bd.Components() {
+		if math.IsNaN(float64(c.Time)) || math.IsInf(float64(c.Time), 0) {
+			return bd, errors.New("audit: literal evaluation produced non-finite time")
+		}
+	}
+	return bd, nil
+}
+
+// literalDefaults applies the documented zero-value defaults of
+// model.Training (types.go): bubble ratio 1, backward compute ×2, backward
+// comm ×1, mixed-16 operands, ring/pairwise topology, one batch.
+func literalDefaults(tr model.Training) model.Training {
+	if tr.BubbleRatio == 0 {
+		tr.BubbleRatio = 1
+	}
+	if tr.BackwardComputeFactor == 0 {
+		tr.BackwardComputeFactor = 2
+	}
+	if tr.BackwardCommFactor == 0 {
+		tr.BackwardCommFactor = 1
+	}
+	if tr.Operands == (precision.Operands{}) {
+		tr.Operands = precision.Operands{
+			Param: precision.FP16, Act: precision.FP16,
+			Nonlin: precision.FP32, Grad: precision.FP32,
+		}
+	}
+	if tr.Topology == (topology.Choice{}) {
+		tr.Topology = topology.Choice{
+			AllReduce: topology.Ring, AllToAll: topology.PairwiseAllToAll,
+		}
+	}
+	if tr.NumBatches == 0 {
+		tr.NumBatches = 1
+	}
+	return tr
+}
+
+// literalPasses re-derives the Eq. 2 precision pass count
+// ceil(operand / unit) with float math instead of integer arithmetic.
+func literalPasses(operand, unit precision.Precision) float64 {
+	n := math.Ceil(float64(operand) / float64(unit))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func maxPrec(a, b precision.Precision) precision.Precision {
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+// literalAllReduce is the Eq. 6/10/11 pattern — steps·latency plus
+// volume·T/BW — over n workers for a payload of `bits` bits.
+func literalAllReduce(k topology.Kind, n int, bits, lat, bw float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return lat*literalSteps(k, n) + bits/bw*literalFactor(k, n)
+}
+
+// literalSteps re-derives the serialized step counts of the collective
+// algorithms from their definitions (ring: reduce-scatter + all-gather of
+// N-1 hops each; tree: up + down over ceil(log2 N) levels; pairwise: N-1
+// exchanges; 2D torus: a ring per dimension).
+func literalSteps(k topology.Kind, n int) float64 {
+	if n <= 1 && k != topology.PointToPoint {
+		return 0
+	}
+	switch k {
+	case topology.Ring:
+		return 2 * float64(n-1)
+	case topology.Tree:
+		return 2 * literalCeilLog2(n)
+	case topology.PairwiseAllToAll:
+		return float64(n - 1)
+	case topology.PointToPoint:
+		return 1
+	case topology.Torus2D:
+		side := literalSide(n)
+		return 2 * 2 * float64(side-1)
+	default:
+		panic("audit: unknown topology kind")
+	}
+}
+
+// literalFactor re-derives the paper's topology factor T (steps divided by
+// participants, i.e. the per-worker share of the payload that crosses the
+// link serially).
+func literalFactor(k topology.Kind, n int) float64 {
+	if n <= 1 && k != topology.PointToPoint {
+		return 0
+	}
+	switch k {
+	case topology.Ring:
+		return 2 * float64(n-1) / float64(n)
+	case topology.Tree:
+		return 2 * literalCeilLog2(n) / float64(n)
+	case topology.PairwiseAllToAll:
+		return float64(n-1) / float64(n)
+	case topology.PointToPoint:
+		return 1
+	case topology.Torus2D:
+		side := literalSide(n)
+		return 2 * float64(side-1) / float64(side)
+	default:
+		panic("audit: unknown topology kind")
+	}
+}
+
+// literalCeilLog2 is ceil(log2 n) computed by doubling.
+func literalCeilLog2(n int) float64 {
+	steps := 0.0
+	for v := 1; v < n; v *= 2 {
+		steps++
+	}
+	return steps
+}
+
+// literalSide is the floor square root (>= 1) of the 2D-torus worker count.
+func literalSide(n int) int {
+	side := int(math.Sqrt(float64(n)))
+	for side > 1 && side*side > n {
+		side--
+	}
+	for (side+1)*(side+1) <= n {
+		side++
+	}
+	if side < 1 {
+		side = 1
+	}
+	return side
+}

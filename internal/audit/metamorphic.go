@@ -1,0 +1,183 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"amped/internal/efficiency"
+	"amped/internal/model"
+	"amped/internal/units"
+)
+
+// invariants runs the metamorphic suite on one scenario that evaluated
+// cleanly: structural properties of the breakdown itself, plus evaluations
+// of transformed scenarios whose outcome is predictable without knowing the
+// true answer (faster links never slow communication, compute is linear in
+// batch, removing a parallelism dimension removes its cost).
+func invariants(sc *Scenario, bd *model.Breakdown, tol float64) []string {
+	var out []string
+	out = append(out, invStructure(bd, tol)...)
+	out = append(out, invBandwidthMonotone(sc)...)
+	out = append(out, invBatchLinear(sc, tol)...)
+	out = append(out, invCollapseDP(sc)...)
+	out = append(out, invCollapsePP(sc)...)
+	return out
+}
+
+// invStructure checks every component is finite and non-negative and that
+// the per-batch and total times are exactly the sums they claim to be.
+func invStructure(bd *model.Breakdown, tol float64) []string {
+	var out []string
+	var sum float64
+	for _, c := range bd.Components() {
+		t := float64(c.Time)
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			out = append(out, fmt.Sprintf("invariant: component %q is %v, want finite and non-negative", c.Name, c.Time))
+		}
+		sum += t
+	}
+	if !relClose(sum, float64(bd.PerBatch()), tol) {
+		out = append(out, fmt.Sprintf("invariant: PerBatch %v != component sum %v", bd.PerBatch(), units.Seconds(sum)))
+	}
+	nb := bd.NumBatches
+	if want := float64(bd.PerBatch()) * float64(nb); !relClose(float64(bd.TotalTime()), want, tol) {
+		out = append(out, fmt.Sprintf("invariant: TotalTime %v != PerBatch x %d batches", bd.TotalTime(), nb))
+	}
+	return out
+}
+
+// evalDerived evaluates a transformed scenario through the production facade.
+func evalDerived(sc *Scenario) (*model.Breakdown, error) {
+	return sc.Estimator().Evaluate()
+}
+
+// leq allows a-vs-b rounding noise far below the harness tolerance while
+// still treating any real increase as a violation.
+func leq(a, b float64) bool { return a <= b || relErr(a, b) <= 1e-12 }
+
+// invBandwidthMonotone checks that doubling intra-node, inter-node or both
+// link bandwidths never increases any communication-derived component
+// (comm terms, ZeRO surcharge, bubble — the bubble's step time includes the
+// exposed communication) and leaves the compute terms untouched.
+func invBandwidthMonotone(sc *Scenario) []string {
+	base, err := evalDerived(sc)
+	if err != nil {
+		return []string{fmt.Sprintf("invariant: bandwidth baseline failed to evaluate: %v", err)}
+	}
+	var out []string
+	cases := []struct {
+		name         string
+		intra, inter float64
+	}{
+		{"intra x2", 2, 1},
+		{"inter x2", 1, 2},
+		{"both x2", 2, 2},
+	}
+	for _, cse := range cases {
+		fast := *sc
+		fast.System.Intra = fast.System.Intra.Scale(cse.intra)
+		fast.System.Inter = fast.System.Inter.Scale(cse.inter)
+		got, err := evalDerived(&fast)
+		if err != nil {
+			out = append(out, fmt.Sprintf("invariant: %s failed to evaluate: %v", cse.name, err))
+			continue
+		}
+		checks := []struct {
+			name     string
+			was, now units.Seconds
+		}{
+			{"TPIntraComm", base.TPIntraComm, got.TPIntraComm},
+			{"TPInterComm", base.TPInterComm, got.TPInterComm},
+			{"PPComm", base.PPComm, got.PPComm},
+			{"MoEComm", base.MoEComm, got.MoEComm},
+			{"ZeROComm", base.ZeROComm, got.ZeROComm},
+			{"GradIntraComm", base.GradIntraComm, got.GradIntraComm},
+			{"GradInterComm", base.GradInterComm, got.GradInterComm},
+			{"Bubble", base.Bubble, got.Bubble},
+		}
+		for _, c := range checks {
+			if !leq(float64(c.now), float64(c.was)) {
+				out = append(out, fmt.Sprintf("invariant: %s increased %s from %v to %v",
+					cse.name, c.name, c.was, c.now))
+			}
+		}
+		if got.ComputeForward != base.ComputeForward || got.ComputeBackward != base.ComputeBackward ||
+			got.WeightUpdate != base.WeightUpdate {
+			out = append(out, fmt.Sprintf("invariant: %s changed compute terms", cse.name))
+		}
+	}
+	return out
+}
+
+// invBatchLinear checks that under a batch-independent efficiency curve the
+// compute terms scale exactly linearly in the global batch while the weight
+// update (a pure function of the parameter count) does not move. The
+// scenario's own eff(ub) is swapped for a constant because the efficiency
+// derating is the one intentionally non-linear term of Eq. 3, and the
+// microbatch count is pinned so both evaluations use the same schedule.
+func invBatchLinear(sc *Scenario, tol float64) []string {
+	lin := *sc
+	lin.Eff = efficiency.Fixed(0.7)
+	lin.Training.Batch.Microbatches = lin.Training.Batch.MicrobatchesOrDefault(lin.Mapping)
+	base, err1 := evalDerived(&lin)
+	dbl := lin
+	dbl.Training.Batch.Global *= 2
+	two, err2 := evalDerived(&dbl)
+	if err1 != nil || err2 != nil {
+		return []string{fmt.Sprintf("invariant: batch-linearity evaluations failed: %v / %v", err1, err2)}
+	}
+	var out []string
+	if !relClose(float64(two.ComputeForward), 2*float64(base.ComputeForward), tol) {
+		out = append(out, fmt.Sprintf("invariant: doubling batch scaled ComputeForward %v -> %v, want x2",
+			base.ComputeForward, two.ComputeForward))
+	}
+	if !relClose(float64(two.ComputeBackward), 2*float64(base.ComputeBackward), tol) {
+		out = append(out, fmt.Sprintf("invariant: doubling batch scaled ComputeBackward %v -> %v, want x2",
+			base.ComputeBackward, two.ComputeBackward))
+	}
+	if !relClose(float64(two.WeightUpdate), float64(base.WeightUpdate), tol) {
+		out = append(out, fmt.Sprintf("invariant: doubling batch moved WeightUpdate %v -> %v, want unchanged",
+			base.WeightUpdate, two.WeightUpdate))
+	}
+	return out
+}
+
+// invCollapseDP rebuilds the scenario with data parallelism removed — the
+// system shrinks by the freed accelerators and the global batch drops to one
+// replica's share — and checks the gradient all-reduce vanishes exactly.
+func invCollapseDP(sc *Scenario) []string {
+	n := sc.Mapping.Normalized()
+	c := *sc
+	c.System.AccelsPerNode /= n.DPIntra
+	c.System.Nodes /= n.DPInter
+	c.Mapping.DPIntra, c.Mapping.DPInter = 1, 1
+	c.Training.Batch.Global /= n.DPIntra * n.DPInter
+	bd, err := evalDerived(&c)
+	if err != nil {
+		return []string{fmt.Sprintf("invariant: DP=1 collapse failed to evaluate: %v", err)}
+	}
+	if bd.GradIntraComm != 0 || bd.GradInterComm != 0 {
+		return []string{fmt.Sprintf("invariant: DP=1 has gradient comm intra=%v inter=%v, want zero",
+			bd.GradIntraComm, bd.GradInterComm)}
+	}
+	return nil
+}
+
+// invCollapsePP rebuilds the scenario with pipeline parallelism removed and
+// checks both the pipeline communication and the bubble vanish exactly.
+func invCollapsePP(sc *Scenario) []string {
+	n := sc.Mapping.Normalized()
+	c := *sc
+	c.System.AccelsPerNode /= n.PPIntra
+	c.System.Nodes /= n.PPInter
+	c.Mapping.PPIntra, c.Mapping.PPInter = 1, 1
+	bd, err := evalDerived(&c)
+	if err != nil {
+		return []string{fmt.Sprintf("invariant: PP=1 collapse failed to evaluate: %v", err)}
+	}
+	if bd.PPComm != 0 || bd.Bubble != 0 {
+		return []string{fmt.Sprintf("invariant: PP=1 has PP comm %v and bubble %v, want zero",
+			bd.PPComm, bd.Bubble)}
+	}
+	return nil
+}

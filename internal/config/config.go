@@ -259,16 +259,35 @@ type Training struct {
 	NumBatches   int     `json:"num_batches,omitempty"`
 	BubbleRatio  float64 `json:"bubble_ratio,omitempty"`
 	ZeROOverhead float64 `json:"zero_overhead,omitempty"`
-	CommOverlap  float64 `json:"comm_overlap,omitempty"`
-	ParamBits    int     `json:"param_bits,omitempty"`
-	ActBits      int     `json:"act_bits,omitempty"`
-	NonlinBits   int     `json:"nonlin_bits,omitempty"`
-	GradBits     int     `json:"grad_bits,omitempty"`
-	FixedEff     float64 `json:"fixed_efficiency,omitempty"`
-	EffAsymptote float64 `json:"eff_asymptote,omitempty"`
-	EffHalfPoint float64 `json:"eff_half_point,omitempty"`
-	EffFloor     float64 `json:"eff_floor,omitempty"`
-	IncludeEmbed bool    `json:"include_embedding,omitempty"`
+	// ZeROStage derives the overhead from the ZeRO stage (0–3) via
+	// model.ZeROOverheadForStage; mutually exclusive with ZeROOverhead.
+	ZeROStage   int     `json:"zero_stage,omitempty"`
+	CommOverlap float64 `json:"comm_overlap,omitempty"`
+	// BackwardComputeFactor and BackwardCommFactor scale forward compute
+	// and communication to their backward-pass counterparts (0 keeps the
+	// model defaults of 2 and 1).
+	BackwardComputeFactor float64 `json:"backward_compute_factor,omitempty"`
+	BackwardCommFactor    float64 `json:"backward_comm_factor,omitempty"`
+	ParamBits             int     `json:"param_bits,omitempty"`
+	ActBits               int     `json:"act_bits,omitempty"`
+	NonlinBits            int     `json:"nonlin_bits,omitempty"`
+	GradBits              int     `json:"grad_bits,omitempty"`
+	// Topology selects the collective algorithms; nil keeps the defaults
+	// (ring all-reduce, pairwise all-to-all).
+	Topology     *Topology `json:"topology,omitempty"`
+	FixedEff     float64   `json:"fixed_efficiency,omitempty"`
+	EffAsymptote float64   `json:"eff_asymptote,omitempty"`
+	EffHalfPoint float64   `json:"eff_half_point,omitempty"`
+	EffFloor     float64   `json:"eff_floor,omitempty"`
+	IncludeEmbed bool      `json:"include_embedding,omitempty"`
+}
+
+// Topology names the collective algorithm per collective class. Accepted
+// names are those of topology.ParseKind ("ring", "tree", "pairwise",
+// "point-to-point", "2d-torus"); an empty field keeps that class's default.
+type Topology struct {
+	AllReduce string `json:"all_reduce,omitempty"`
+	AllToAll  string `json:"all_to_all,omitempty"`
 }
 
 // Document is a complete design point.

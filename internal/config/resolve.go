@@ -7,6 +7,7 @@ import (
 	"amped/internal/model"
 	"amped/internal/parallel"
 	"amped/internal/precision"
+	"amped/internal/topology"
 )
 
 // resolveTraining maps the JSON recipe onto the model's Training knobs.
@@ -21,22 +22,73 @@ func (t Training) resolveTraining() (model.Training, error) {
 	overrideBits(&operands.Act, t.ActBits)
 	overrideBits(&operands.Nonlin, t.NonlinBits)
 	overrideBits(&operands.Grad, t.GradBits)
+	zero := t.ZeROOverhead
+	if t.ZeROStage != 0 {
+		if t.ZeROOverhead != 0 {
+			return model.Training{}, fmt.Errorf(
+				"config: zero_stage %d and zero_overhead %g are mutually exclusive; set one",
+				t.ZeROStage, t.ZeROOverhead)
+		}
+		v, err := model.ZeROOverheadForStage(t.ZeROStage)
+		if err != nil {
+			return model.Training{}, fmt.Errorf("config: %w", err)
+		}
+		zero = v
+	}
+	choice, err := t.Topology.resolve()
+	if err != nil {
+		return model.Training{}, err
+	}
 	out := model.Training{
 		Batch: parallel.Batch{
 			Global:       t.GlobalBatch,
 			Microbatches: t.Microbatches,
 		},
-		NumBatches:       t.NumBatches,
-		BubbleRatio:      t.BubbleRatio,
-		ZeROOverhead:     t.ZeROOverhead,
-		CommOverlap:      t.CommOverlap,
-		Operands:         operands,
-		IncludeEmbedding: t.IncludeEmbed,
+		NumBatches:            t.NumBatches,
+		BubbleRatio:           t.BubbleRatio,
+		ZeROOverhead:          zero,
+		CommOverlap:           t.CommOverlap,
+		BackwardComputeFactor: t.BackwardComputeFactor,
+		BackwardCommFactor:    t.BackwardCommFactor,
+		Operands:              operands,
+		Topology:              choice,
+		IncludeEmbedding:      t.IncludeEmbed,
 	}
 	if err := out.Validate(); err != nil {
 		return model.Training{}, err
 	}
 	return out, nil
+}
+
+// resolve maps the JSON topology names onto a topology.Choice. A nil
+// section or empty field keeps the paper's defaults (ring all-reduce,
+// pairwise all-to-all). "ring" is rejected as an all-to-all: it names an
+// all-reduce algorithm, and the resulting Choice would collide with the
+// unset zero value and silently revert to the default exchange.
+func (t *Topology) resolve() (topology.Choice, error) {
+	choice := topology.DefaultChoice()
+	if t == nil {
+		return choice, nil
+	}
+	if t.AllReduce != "" {
+		k, err := topology.ParseKind(t.AllReduce)
+		if err != nil {
+			return topology.Choice{}, fmt.Errorf("config: topology.all_reduce: %w", err)
+		}
+		choice.AllReduce = k
+	}
+	if t.AllToAll != "" {
+		k, err := topology.ParseKind(t.AllToAll)
+		if err != nil {
+			return topology.Choice{}, fmt.Errorf("config: topology.all_to_all: %w", err)
+		}
+		if k == topology.Ring {
+			return topology.Choice{}, fmt.Errorf(
+				"config: topology.all_to_all %q is not an all-to-all exchange; use pairwise, point-to-point or 2d-torus", t.AllToAll)
+		}
+		choice.AllToAll = k
+	}
+	return choice, nil
 }
 
 // resolveEff builds the efficiency model the recipe selects: a fixed value

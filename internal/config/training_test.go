@@ -1,0 +1,150 @@
+package config
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"amped/internal/topology"
+)
+
+// withTraining swaps the sample document's training section.
+func withTraining(t *testing.T, training string) *Document {
+	t.Helper()
+	s := strings.Replace(sampleDoc, `"training": {"global_batch": 8192, "microbatches": 64}`,
+		`"training": `+training, 1)
+	doc, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestBackwardFactors pins the fix for the silently-unmappable knobs: a
+// recipe setting backward_compute_factor / backward_comm_factor must reach
+// the resolved Training verbatim (they used to be dropped, leaving the
+// 2x / 1x defaults no matter what the file said).
+func TestBackwardFactors(t *testing.T) {
+	doc := withTraining(t, `{"global_batch": 8192, "backward_compute_factor": 2.5, "backward_comm_factor": 0.5}`)
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Training.BackwardComputeFactor; got != 2.5 {
+		t.Errorf("backward_compute_factor = %v, want 2.5", got)
+	}
+	if got := est.Training.BackwardCommFactor; got != 0.5 {
+		t.Errorf("backward_comm_factor = %v, want 0.5", got)
+	}
+
+	// Unset fields keep the model defaults (resolved at evaluation time).
+	doc = withTraining(t, `{"global_batch": 8192}`)
+	est, err = doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Training.BackwardComputeFactor != 0 || est.Training.BackwardCommFactor != 0 {
+		t.Errorf("unset factors = %v/%v, want zero (defaulted downstream)",
+			est.Training.BackwardComputeFactor, est.Training.BackwardCommFactor)
+	}
+
+	if _, err := withTraining(t, `{"global_batch": 8192, "backward_comm_factor": -1}`).Estimator(); err == nil {
+		t.Error("negative backward_comm_factor accepted")
+	}
+}
+
+// TestTopologySelection pins the fix for the unmappable collective topology.
+func TestTopologySelection(t *testing.T) {
+	doc := withTraining(t, `{"global_batch": 8192, "topology": {"all_reduce": "tree", "all_to_all": "p2p"}}`)
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topology.Choice{AllReduce: topology.Tree, AllToAll: topology.PointToPoint}
+	if est.Training.Topology != want {
+		t.Errorf("topology = %+v, want %+v", est.Training.Topology, want)
+	}
+
+	// Partial section: the unset class keeps its default.
+	doc = withTraining(t, `{"global_batch": 8192, "topology": {"all_reduce": "2d-torus"}}`)
+	est, err = doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = topology.Choice{AllReduce: topology.Torus2D, AllToAll: topology.PairwiseAllToAll}
+	if est.Training.Topology != want {
+		t.Errorf("partial topology = %+v, want %+v", est.Training.Topology, want)
+	}
+
+	if _, err := withTraining(t, `{"global_batch": 8192, "topology": {"all_reduce": "hypercube"}}`).Estimator(); err == nil {
+		t.Error("unknown all_reduce name accepted")
+	}
+	// "ring" as the all-to-all would build the Choice zero value and
+	// silently revert to the default exchange inside the model; the config
+	// layer must reject it instead.
+	if _, err := withTraining(t, `{"global_batch": 8192, "topology": {"all_to_all": "ring"}}`).Estimator(); err == nil {
+		t.Error("ring all_to_all accepted")
+	}
+}
+
+// TestZeROStage pins the zero_stage routing through ZeROOverheadForStage.
+func TestZeROStage(t *testing.T) {
+	doc := withTraining(t, `{"global_batch": 8192, "zero_stage": 3}`)
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Training.ZeROOverhead; got != 0.5 {
+		t.Errorf("stage 3 overhead = %v, want 0.5", got)
+	}
+
+	doc = withTraining(t, `{"global_batch": 8192, "zero_stage": 2}`)
+	if est, err = doc.Estimator(); err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Training.ZeROOverhead; got != 0 {
+		t.Errorf("stage 2 overhead = %v, want 0", got)
+	}
+
+	if _, err := withTraining(t, `{"global_batch": 8192, "zero_stage": 4}`).Estimator(); err == nil {
+		t.Error("zero_stage 4 accepted")
+	}
+	if _, err := withTraining(t, `{"global_batch": 8192, "zero_stage": 3, "zero_overhead": 0.25}`).Estimator(); err == nil {
+		t.Error("zero_stage + zero_overhead accepted together")
+	}
+}
+
+// TestTrainingRoundTrip saves and reloads a document using every new field
+// and checks nothing is dropped or mangled on the way through the file.
+func TestTrainingRoundTrip(t *testing.T) {
+	doc := withTraining(t, `{
+		"global_batch": 8192,
+		"zero_stage": 3,
+		"backward_compute_factor": 2.5,
+		"backward_comm_factor": 0.5,
+		"topology": {"all_reduce": "tree", "all_to_all": "pairwise"}
+	}`)
+	path := filepath.Join(t.TempDir(), "point.json")
+	if err := Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Training, doc.Training) {
+		t.Errorf("round trip changed training:\n%+v\n%+v", back.Training, doc.Training)
+	}
+	a, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Training, b.Training) {
+		t.Errorf("round trip resolved differently:\n%+v\n%+v", a.Training, b.Training)
+	}
+}

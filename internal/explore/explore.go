@@ -176,7 +176,12 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 		for _, b := range opt.Batches {
 			p := Point{Mapping: mp, Batch: b, Fits: true}
 			nub := sc.Training.Batch.Microbatches
-			if opt.MicrobatchTarget > 0 {
+			// Only dividing cells get a schedule chosen (and memoized):
+			// b/dp truncates otherwise, and the truncated per-replica batch
+			// would pick an N_ub for a cell that does not exist. The
+			// non-dividing cell keeps the scenario's schedule and is
+			// rejected by Batch.Validate during evaluation.
+			if opt.MicrobatchTarget > 0 && b%dp == 0 {
 				per := b / dp
 				key := [2]int{per, pp}
 				var ok bool

@@ -31,13 +31,20 @@ func ParetoTimeEnergy(points []Point, sys *hardware.System) ([]TimeEnergyPoint, 
 		}
 		annotated = append(annotated, TimeEnergyPoint{Point: p, Energy: en})
 	}
-	sort.Slice(annotated, func(i, j int) bool {
+	// Stable sort plus a final identity tiebreak: points tied on both
+	// objectives keep a deterministic order regardless of the (parallel)
+	// sweep's annotation order, so the surviving representative of a tied
+	// (time, energy) pair is always the same point.
+	sort.SliceStable(annotated, func(i, j int) bool {
 		ti := annotated[i].Breakdown.TotalTime()
 		tj := annotated[j].Breakdown.TotalTime()
 		if ti != tj {
 			return ti < tj
 		}
-		return annotated[i].Energy.Total() < annotated[j].Energy.Total()
+		if ei, ej := annotated[i].Energy.Total(), annotated[j].Energy.Total(); ei != ej {
+			return ei < ej
+		}
+		return annotated[i].String() < annotated[j].String()
 	})
 	// Single sweep: a point survives iff its energy beats every faster
 	// point's (ties on both axes keep the first).

@@ -57,6 +57,37 @@ func (k Kind) String() string {
 // Valid reports whether k is a defined kind.
 func (k Kind) Valid() bool { return k >= Ring && k <= Torus2D }
 
+// ParseKind resolves a collective name to its Kind: the String() names plus
+// the short aliases "pairwise", "p2p" and "torus2d". Matching is
+// case-insensitive on ASCII letters.
+func ParseKind(name string) (Kind, error) {
+	switch lowerASCII(name) {
+	case "ring":
+		return Ring, nil
+	case "tree":
+		return Tree, nil
+	case "pairwise", "pairwise all-to-all", "all-to-all":
+		return PairwiseAllToAll, nil
+	case "point-to-point", "p2p":
+		return PointToPoint, nil
+	case "2d-torus", "torus2d", "torus":
+		return Torus2D, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown collective kind %q (want ring, tree, pairwise, point-to-point or 2d-torus)", name)
+	}
+}
+
+// lowerASCII lowercases ASCII letters without pulling in strings/unicode.
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
 // ceilLog2 returns ceil(log2(n)) for n >= 1.
 func ceilLog2(n int) int {
 	steps := 0

@@ -204,12 +204,23 @@ func ParseQuantity(s string) (float64, error) {
 			if err != nil {
 				return 0, fmt.Errorf("units: bad quantity %q: %w", s, err)
 			}
-			return v * sf.factor, nil
+			return finiteQuantity(v*sf.factor, s)
 		}
 	}
 	v, err := strconv.ParseFloat(t, 64)
 	if err != nil {
 		return 0, fmt.Errorf("units: bad quantity %q: %w", s, err)
+	}
+	return finiteQuantity(v, s)
+}
+
+// finiteQuantity rejects the non-finite spellings strconv.ParseFloat
+// accepts ("NaN", "Inf", "Infinity", any case): a config quantity is a
+// physical value, and a NaN or infinity admitted here would surface later
+// as a baffling non-finite evaluation instead of a parse error.
+func finiteQuantity(v float64, s string) (float64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: non-finite quantity %q", s)
 	}
 	return v, nil
 }

@@ -173,6 +173,21 @@ func TestParseQuantityErrors(t *testing.T) {
 	}
 }
 
+// TestParseQuantityRejectsNonFinite pins the audit-fuzzer find: ParseFloat
+// accepts the spellings "NaN"/"Inf"/"Infinity" (any case), which used to
+// flow straight through as non-finite config quantities. They must be parse
+// errors, including when multiplied through a suffix.
+func TestParseQuantityRejectsNonFinite(t *testing.T) {
+	for _, in := range []string{
+		"NAN", "NaN", "nan", "Inf", "-Inf", "+inf", "Infinity", "-INFINITY",
+		"NaNT", "InfGiB", "1e999",
+	} {
+		if v, err := ParseQuantity(in); err == nil {
+			t.Errorf("ParseQuantity(%q) = %v, want error", in, v)
+		}
+	}
+}
+
 func TestStringersNonFinite(t *testing.T) {
 	for _, s := range []string{
 		Seconds(math.Inf(1)).String(),
