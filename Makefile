@@ -4,7 +4,7 @@
 GO ?= go
 SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$'
 
-.PHONY: build test verify audit bench bench-sweep clean
+.PHONY: build test verify serve-smoke audit bench bench-sweep clean
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,19 @@ build:
 test:
 	$(GO) test ./...
 
-## verify is the tier-1 gate: compile, vet, full test suite.
+## verify is the tier-1 gate: compile, vet, full test suite, and the
+## amped-serve end-to-end smoke check.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(MAKE) serve-smoke
+
+## serve-smoke builds the real amped-serve binary, starts it on an
+## ephemeral port, probes /healthz, round-trips one /v1/evaluate against
+## the GPT-3 preset, and exercises the SIGTERM drain path.
+serve-smoke:
+	AMPED_SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -count=1 ./cmd/amped-serve/
 
 ## audit is the tier-2 correctness gate: 500 randomized scenarios through
 ## the three-way differential + metamorphic harness, short runs of every

@@ -1,0 +1,104 @@
+// Command amped-serve runs the AMPeD evaluation service: an HTTP server
+// that prices design points (POST /v1/evaluate) and runs design-space
+// sweeps (POST /v1/sweep) over cached compiled sessions, with health and
+// Prometheus-text metrics endpoints for unattended operation.
+//
+//	amped-serve -addr :8080 -max-inflight 4 -queue 16 -timeout 30s
+//
+// On SIGINT/SIGTERM the server drains: /healthz flips to 503, new
+// evaluation work is refused, and in-flight requests run to completion
+// before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"amped/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "amped-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("amped-serve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		inFlight  = fs.Int("max-inflight", 4, "max concurrently executing evaluation requests")
+		queue     = fs.Int("queue", 16, "max requests waiting for a slot before 429s")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request evaluation/sweep timeout")
+		cacheSize = fs.Int("cache-size", 64, "compiled-session LRU capacity (scenarios)")
+		maxBody   = fs.Int64("max-body-bytes", 1<<20, "request body size cap")
+		drainFor  = fs.Duration("drain-timeout", 35*time.Second, "max wait for in-flight requests on shutdown")
+		quiet     = fs.Bool("quiet", false, "suppress per-request logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "amped-serve ", log.LstdFlags)
+	if *quiet {
+		logger = log.New(io.Discard, "", 0)
+	}
+	svc := serve.New(serve.Config{
+		MaxInFlight:    *inFlight,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+		CacheSize:      *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+	})
+
+	// Listen before printing so -addr :0 reports the actual port — the
+	// smoke test (and any script) parses this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "amped-serve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Graceful drain: fail health checks and refuse new evaluation work,
+	// then let http.Server.Shutdown wait for in-flight requests.
+	fmt.Fprintln(out, "amped-serve: draining")
+	svc.StartDraining()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "amped-serve: drained")
+	return nil
+}

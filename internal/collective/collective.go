@@ -24,7 +24,13 @@ type Result struct {
 	Time units.Seconds
 	// Steps is the number of serialized communication rounds executed.
 	Steps int
-	// BitsPerWorker is the data volume each worker transmitted.
+	// BitsPerWorker is the data volume each worker transmitted, averaged
+	// over the participating workers. For symmetric collectives (ring,
+	// pairwise) every worker transmits the same amount each round; for
+	// level-based collectives (tree, broadcast) only one tree level's
+	// senders transmit per round and the average share is rounds·bits/n;
+	// for a store-and-forward chain each hop's sender transmits the
+	// payload exactly once.
 	BitsPerWorker units.Bits
 }
 
@@ -39,6 +45,9 @@ func stepTime(chunk units.Bits, link hardware.Link) eventsim.Time {
 // worker on the link and returns the aggregate result. It drives a real
 // event simulation — each round's completion is an event that launches the
 // next — so the result reflects the kernel's clock, not a closed form.
+// BitsPerWorker assumes every worker transmits the chunk in every round
+// (true for ring-style collectives); level-based and chain collectives
+// override it after the fact.
 func runRounds(n, rounds int, chunk units.Bits, link hardware.Link) Result {
 	if n <= 1 || rounds == 0 {
 		return Result{}
@@ -86,7 +95,12 @@ func TreeAllReduce(n int, bits units.Bits, link hardware.Link) Result {
 	for v := 1; v < n; v <<= 1 {
 		levels++
 	}
-	return runRounds(n, 2*levels, bits, link)
+	r := runRounds(n, 2*levels, bits, link)
+	// Each round's payload is carried by one tree level's senders, not by
+	// all n workers; the per-participant average is rounds·bits/n, the
+	// paper's steps/n topology factor.
+	r.BitsPerWorker = units.Bits(float64(bits) * float64(2*levels) / float64(n))
+	return r
 }
 
 // PairwiseAllToAll simulates the default MoE exchange: n-1 rounds in which
@@ -106,7 +120,12 @@ func Chain(hops int, bits units.Bits, link hardware.Link) Result {
 	if hops <= 0 {
 		return Result{}
 	}
-	return runRounds(2, hops, bits, link)
+	r := runRounds(2, hops, bits, link)
+	// Each hop's sender transmits the payload exactly once; the per-worker
+	// volume is the payload itself, not payload × hops, matching the
+	// point-to-point topology factor of 1.
+	r.BitsPerWorker = bits
+	return r
 }
 
 // HierarchicalAllReduce simulates the paper's Eq. 10 strategy: a ring
@@ -166,5 +185,9 @@ func Broadcast(n int, bits units.Bits, link hardware.Link) Result {
 	for v := 1; v < n; v <<= 1 {
 		levels++
 	}
-	return runRounds(n, levels, bits, link)
+	r := runRounds(n, levels, bits, link)
+	// As in TreeAllReduce, one tree level transmits per round: the
+	// per-participant average volume is rounds·bits/n.
+	r.BitsPerWorker = units.Bits(float64(bits) * float64(levels) / float64(n))
+	return r
 }

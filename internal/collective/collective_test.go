@@ -93,6 +93,95 @@ func TestChain(t *testing.T) {
 	}
 }
 
+func TestChainPerWorkerVolume(t *testing.T) {
+	// Regression: Chain used to charge every worker bits × hops because
+	// runRounds bills the full per-round volume to all participants. In a
+	// store-and-forward chain each hop's sender transmits the payload
+	// exactly once, so the per-worker volume is the payload and the
+	// measured factor is the point-to-point factor 1 — not `hops`.
+	payload := units.Bits(1e8)
+	for _, hops := range []int{1, 2, 3, 7} {
+		r := Chain(hops, payload, testLink)
+		if r.BitsPerWorker != payload {
+			t.Errorf("hops=%d: BitsPerWorker = %v, want payload %v", hops, r.BitsPerWorker, payload)
+		}
+		if got := r.EffectiveFactor(payload); math.Abs(got-1) > 1e-12 {
+			t.Errorf("hops=%d: EffectiveFactor = %v, want 1", hops, got)
+		}
+	}
+}
+
+// TestPrimitivesMatchTopologyClosedForms cross-checks every simulated
+// primitive against the closed-form topology factors the analytical model
+// uses: the executable schedule and Eq. 6/9/10-11's Steps/Factor must agree
+// on both the serialized round count and the per-worker volume share.
+// AllGather/ReduceScatter are each half of the ring all-reduce; Broadcast is
+// half of the tree all-reduce; Chain is `hops` point-to-point transfers.
+func TestPrimitivesMatchTopologyClosedForms(t *testing.T) {
+	payload := units.Bits(1e9)
+	cases := []struct {
+		name   string
+		run    func(n int) Result
+		steps  func(n int) int
+		factor func(n int) float64
+	}{
+		{
+			"RingAllReduce",
+			func(n int) Result { return RingAllReduce(n, payload, testLink) },
+			func(n int) int { return topology.Steps(topology.Ring, n) },
+			func(n int) float64 { return topology.Factor(topology.Ring, n) },
+		},
+		{
+			"TreeAllReduce",
+			func(n int) Result { return TreeAllReduce(n, payload, testLink) },
+			func(n int) int { return topology.Steps(topology.Tree, n) },
+			func(n int) float64 { return topology.Factor(topology.Tree, n) },
+		},
+		{
+			"PairwiseAllToAll",
+			func(n int) Result { return PairwiseAllToAll(n, payload, testLink) },
+			func(n int) int { return topology.Steps(topology.PairwiseAllToAll, n) },
+			func(n int) float64 { return topology.Factor(topology.PairwiseAllToAll, n) },
+		},
+		{
+			"AllGather",
+			func(n int) Result { return AllGather(n, payload, testLink) },
+			func(n int) int { return topology.Steps(topology.Ring, n) / 2 },
+			func(n int) float64 { return topology.Factor(topology.Ring, n) / 2 },
+		},
+		{
+			"ReduceScatter",
+			func(n int) Result { return ReduceScatter(n, payload, testLink) },
+			func(n int) int { return topology.Steps(topology.Ring, n) / 2 },
+			func(n int) float64 { return topology.Factor(topology.Ring, n) / 2 },
+		},
+		{
+			"Broadcast",
+			func(n int) Result { return Broadcast(n, payload, testLink) },
+			func(n int) int { return topology.Steps(topology.Tree, n) / 2 },
+			func(n int) float64 { return topology.Factor(topology.Tree, n) / 2 },
+		},
+		{
+			"Chain",
+			func(n int) Result { return Chain(n, payload, testLink) },
+			func(n int) int { return n * topology.Steps(topology.PointToPoint, n) },
+			func(n int) float64 { return topology.Factor(topology.PointToPoint, n) },
+		},
+	}
+	for _, c := range cases {
+		for _, n := range []int{2, 3, 4, 8, 17} {
+			r := c.run(n)
+			if got, want := r.Steps, c.steps(n); got != want {
+				t.Errorf("%s n=%d: steps %d, want %d", c.name, n, got, want)
+			}
+			got, want := r.EffectiveFactor(payload), c.factor(n)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s n=%d: measured factor %v, closed form %v", c.name, n, got, want)
+			}
+		}
+	}
+}
+
 func TestHierarchicalAllReduce(t *testing.T) {
 	intra := hardware.NVLinkA100()
 	inter := hardware.InfinibandHDR()

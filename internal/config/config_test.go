@@ -54,6 +54,45 @@ func TestParseAndResolve(t *testing.T) {
 	}
 }
 
+func TestComponentsResolution(t *testing.T) {
+	doc, err := Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := doc.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Model.Name != "Megatron 145B" || comp.System.TotalAccelerators() != 1024 {
+		t.Errorf("components resolved wrong: %q, %d accels",
+			comp.Model.Name, comp.System.TotalAccelerators())
+	}
+	if comp.Eff == nil {
+		t.Error("nil efficiency model")
+	}
+	sess, err := comp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Key() != comp.Key() {
+		t.Errorf("components key %q != compiled session key %q", comp.Key(), sess.Key())
+	}
+	// Documents naming the same scenario share a key — the premise of the
+	// serving layer's session cache — and the batch does not split it.
+	other := strings.Replace(sampleDoc, `"global_batch": 8192`, `"global_batch": 4096`, 1)
+	doc2, err := Parse([]byte(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := doc2.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp2.Key() != comp.Key() {
+		t.Errorf("batch size leaked into the scenario key")
+	}
+}
+
 func TestQuantityForms(t *testing.T) {
 	var q Quantity
 	if err := q.UnmarshalJSON([]byte(`123.5`)); err != nil || q != 123.5 {

@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"amped/internal/efficiency"
+	"amped/internal/hardware"
 	"amped/internal/model"
 	"amped/internal/parallel"
 	"amped/internal/precision"
 	"amped/internal/topology"
+	"amped/internal/transformer"
 )
 
 // resolveTraining maps the JSON recipe onto the model's Training knobs.
@@ -111,8 +113,22 @@ func (t Training) resolveEff() (efficiency.Model, error) {
 	return efficiency.Default(), nil
 }
 
-// Estimator resolves the whole document into a ready-to-run estimator.
-func (d *Document) Estimator() (*model.Estimator, error) {
+// Components is the mapping-independent part of a resolved document: the
+// exact tuple model.Compile consumes. The serving layer resolves requests
+// through it so one compiled session (keyed on model.ScenarioKey over these
+// fields) is shared by every request and sweep naming the same scenario.
+type Components struct {
+	Model    transformer.Model
+	System   hardware.System
+	Training model.Training
+	Eff      efficiency.Model
+}
+
+// Components resolves the document's model, system, training recipe and
+// efficiency model — everything except the parallelism mapping. Unlike
+// Estimator it does not require the mapping section, so sweep-style
+// requests (which enumerate mappings) reuse the same schema.
+func (d *Document) Components() (*Components, error) {
 	m, err := d.Model.Resolve()
 	if err != nil {
 		return nil, err
@@ -129,12 +145,31 @@ func (d *Document) Estimator() (*model.Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
+	return &Components{Model: m, System: sys, Training: tr, Eff: eff}, nil
+}
+
+// Key returns the canonical scenario cache key of the resolved components.
+func (c *Components) Key() string {
+	return model.ScenarioKey(&c.Model, &c.System, c.Training, c.Eff)
+}
+
+// Compile compiles the components into an evaluation session.
+func (c *Components) Compile() (*model.Session, error) {
+	return model.Compile(&c.Model, &c.System, c.Training, c.Eff)
+}
+
+// Estimator resolves the whole document into a ready-to-run estimator.
+func (d *Document) Estimator() (*model.Estimator, error) {
+	comp, err := d.Components()
+	if err != nil {
+		return nil, err
+	}
 	est := &model.Estimator{
-		Model:    &m,
-		System:   &sys,
+		Model:    &comp.Model,
+		System:   &comp.System,
 		Mapping:  d.Mapping.Resolve(),
-		Training: tr,
-		Eff:      eff,
+		Training: comp.Training,
+		Eff:      comp.Eff,
 	}
 	if err := est.Validate(); err != nil {
 		return nil, err

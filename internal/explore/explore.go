@@ -6,6 +6,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -39,6 +40,13 @@ type Scenario struct {
 	// MemoryReserve is the fraction of device memory held back for
 	// framework overhead when filtering (e.g. 0.1).
 	MemoryReserve float64
+	// Session, when non-nil, supplies a pre-compiled session and the sweep
+	// skips model.Compile; the session's own model, system, training recipe
+	// and efficiency model override the fields above so the two can never
+	// disagree. The sweep leaves a supplied session untouched (no Prepare),
+	// so one cached session can serve any number of concurrent sweeps —
+	// the serving layer's session-cache path.
+	Session *model.Session
 }
 
 // Options selects what the sweep varies.
@@ -130,6 +138,24 @@ func ChooseMicrobatches(perReplica, pp, target int) int {
 // Sweep evaluates every (mapping, batch) combination and returns the points
 // in deterministic (mapping-major, batch-minor) order.
 func Sweep(sc Scenario, opt Options) ([]Point, error) {
+	return SweepContext(context.Background(), sc, opt)
+}
+
+// SweepContext is Sweep with cooperative cancellation: workers check the
+// context at chunk boundaries (every chunkSize points), so a cancelled or
+// timed-out sweep stops within one chunk's worth of evaluations per worker
+// and returns the context's error. Points evaluated before cancellation are
+// discarded — a partial sweep is not a smaller sweep, it is a different
+// (and silently misleading) design space.
+func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error) {
+	if sc.Session != nil {
+		// The compiled session is the source of truth for everything it
+		// captured at Compile time.
+		sc.Model = sc.Session.Model()
+		sc.System = sc.Session.System()
+		sc.Training = sc.Session.Training()
+		sc.Eff = sc.Session.Eff()
+	}
 	if sc.Model == nil || sc.System == nil {
 		return nil, errors.New("explore: scenario needs a model and a system")
 	}
@@ -157,12 +183,19 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 
 	// Compile the scenario once: invariants validated, Eq. 3–4 constants
 	// hoisted, per-batch op aggregates cached — every worker then evaluates
-	// points in O(1) with zero allocations on the hot path.
-	sess, err := model.Compile(sc.Model, sc.System, sc.Training, eff)
-	if err != nil {
-		return nil, err
+	// points in O(1) with zero allocations on the hot path. A supplied
+	// session skips both Compile and Prepare: it may be shared with other
+	// sweeps running right now, and Prepare is single-writer. Unprepared
+	// batches memoize safely through the session's side table.
+	sess := sc.Session
+	if sess == nil {
+		var err error
+		sess, err = model.Compile(sc.Model, sc.System, sc.Training, eff)
+		if err != nil {
+			return nil, err
+		}
+		sess.Prepare(opt.Batches...)
 	}
-	sess.Prepare(opt.Batches...)
 
 	// Lay out the cells and pick each point's microbatch schedule up front.
 	// The (perReplica, pp) → N_ub choice repeats across mappings sharing
@@ -215,6 +248,12 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				// Cooperative cancellation, checked once per chunk claim:
+				// cheap enough to leave the per-point path untouched, tight
+				// enough that a cancelled sweep stops within one chunk.
+				if ctx.Err() != nil {
+					return
+				}
 				end := int(cursor.Add(int64(chunk)))
 				start := end - chunk
 				if start >= len(points) {
@@ -224,12 +263,15 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 					end = len(points)
 				}
 				for i := start; i < end; i++ {
-					evalPoint(&points[i], &bds[i], sess, &sc)
+					evalPointSafe(&points[i], &bds[i], sess, &sc)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	if !opt.KeepInvalid {
 		kept := points[:0]
@@ -252,6 +294,22 @@ func chunkSize(n, workers int) int {
 		c = 4
 	}
 	return c
+}
+
+// evalPointSafe evaluates one sweep cell, converting a panicking evaluation
+// (a degenerate user-supplied efficiency model, an eventsim guard trip) into
+// that point's Err instead of killing the process — one poisoned cell must
+// not take down a long-running sweep service.
+func evalPointSafe(p *Point, bd *model.Breakdown, sess *model.Session, sc *Scenario) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.Breakdown = nil
+			p.Footprint = nil
+			p.Err = fmt.Errorf("explore: panic evaluating %v B=%d m=%d: %v",
+				p.Mapping, p.Batch, p.Microbatches, r)
+		}
+	}()
+	evalPoint(p, bd, sess, sc)
 }
 
 // evalPoint evaluates one sweep cell in place against the shared session.

@@ -1,0 +1,176 @@
+package explore
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// panicEff is a deliberately degenerate efficiency model: it panics after
+// `fuse` evaluations (fuse < 0 panics always). It reproduces the class of
+// failure the sweep must survive — user-supplied efficiency models run
+// arbitrary code inside the worker pool.
+type panicEff struct{ fuse int64 }
+
+func (p *panicEff) Eff(ub float64) float64 {
+	if n := atomic.AddInt64(&p.fuse, -1); n < 0 {
+		panic("panicEff: deliberate test panic")
+	}
+	return 0.5
+}
+
+func robustScenario(t *testing.T) Scenario {
+	t.Helper()
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	return Scenario{Model: &m, System: &sys, Training: model.Training{NumBatches: 1}}
+}
+
+var robustOptions = Options{
+	Batches:          []int{4096, 8192},
+	Enumerate:        parallel.EnumerateOptions{PowerOfTwo: true},
+	MicrobatchTarget: 128,
+	KeepInvalid:      true,
+}
+
+func TestSweepRecoversPanickingEfficiencyModel(t *testing.T) {
+	// A panicking evaluation must land in Point.Err with the cell identity
+	// — not kill the process. Every worker hits it, so this also proves the
+	// pool survives panics on all goroutines at once.
+	sc := robustScenario(t)
+	sc.Eff = &panicEff{fuse: -1}
+	points, err := Sweep(sc, robustOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points returned")
+	}
+	for _, p := range points {
+		if p.Err == nil {
+			t.Fatalf("point %v evaluated despite panicking efficiency model", p)
+		}
+		msg := p.Err.Error()
+		if !strings.Contains(msg, "panic") || !strings.Contains(msg, "deliberate test panic") {
+			t.Fatalf("panic not captured in error: %v", p.Err)
+		}
+		// The cell identity must be recoverable from the error alone.
+		if !strings.Contains(msg, p.Mapping.String()) || !strings.Contains(msg, "B=") {
+			t.Fatalf("error lacks cell identity: %v", p.Err)
+		}
+		if p.Breakdown != nil {
+			t.Fatalf("panicked point kept a breakdown: %v", p)
+		}
+	}
+
+	// Dropping invalid points filters the poisoned cells without error.
+	opt := robustOptions
+	opt.KeepInvalid = false
+	points, err = Sweep(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Fatalf("poisoned cells survived the filter: %d points", len(points))
+	}
+}
+
+func TestSweepRecoversPartialPanics(t *testing.T) {
+	// Only some cells panic: the rest of the sweep must still evaluate.
+	sc := robustScenario(t)
+	sc.Eff = &panicEff{fuse: 25}
+	points, err := Sweep(sc, robustOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok, panicked int
+	for _, p := range points {
+		switch {
+		case p.Err == nil:
+			ok++
+		case strings.Contains(p.Err.Error(), "panic"):
+			panicked++
+		}
+	}
+	if ok == 0 || panicked == 0 {
+		t.Fatalf("want a mix of evaluated and panicked cells, got ok=%d panicked=%d of %d",
+			ok, panicked, len(points))
+	}
+}
+
+func TestSweepContextCancellation(t *testing.T) {
+	sc := robustScenario(t)
+
+	// Already-cancelled context: no evaluation happens.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepContext(ctx, sc, robustOptions); err != context.Canceled {
+		t.Fatalf("pre-cancelled sweep returned %v, want context.Canceled", err)
+	}
+
+	// Mid-sweep cancellation: the efficiency model pulls the plug after a
+	// few evaluations; the sweep must stop at chunk boundaries and report
+	// the context error rather than a partial result.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	sc.Eff = cancellingEff{cancel: cancel, after: 8, n: new(int64)}
+	opt := robustOptions
+	opt.Concurrency = 2
+	if _, err := SweepContext(ctx, sc, opt); err != context.Canceled {
+		t.Fatalf("mid-sweep cancellation returned %v, want context.Canceled", err)
+	}
+}
+
+// cancellingEff cancels its context after `after` evaluations.
+type cancellingEff struct {
+	cancel context.CancelFunc
+	after  int64
+	n      *int64
+}
+
+func (c cancellingEff) Eff(ub float64) float64 {
+	if atomic.AddInt64(c.n, 1) == c.after {
+		c.cancel()
+	}
+	return 0.5
+}
+
+func TestSweepSharedSession(t *testing.T) {
+	// A sweep over a pre-compiled session must produce the same points as
+	// one that compiles its own — and must work with the scenario's other
+	// fields left empty (the serving layer only has the session).
+	sc := robustScenario(t)
+	want, err := Sweep(sc, robustOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := model.Compile(sc.Model, sc.System, sc.Training, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sweep(Scenario{Session: sess}, robustOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("shared-session sweep: %d points, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Mapping != w.Mapping || g.Batch != w.Batch || g.Microbatches != w.Microbatches {
+			t.Fatalf("point %d identity mismatch: %v vs %v", i, g, w)
+		}
+		if (g.Err == nil) != (w.Err == nil) {
+			t.Fatalf("point %d error mismatch: %v vs %v", i, g.Err, w.Err)
+		}
+		if g.Err == nil && *g.Breakdown != *w.Breakdown {
+			t.Fatalf("point %d breakdown mismatch", i)
+		}
+	}
+}

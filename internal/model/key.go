@@ -1,0 +1,48 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// ScenarioKey derives a canonical cache key for a compiled-session scenario:
+// two (model, system, training, efficiency) tuples hash equal exactly when
+// Compile would produce interchangeable Sessions. The serving layer keys its
+// session LRU on it so repeated scenarios skip Compile.
+//
+// Canonicalization rules:
+//   - the training recipe is hashed with defaults applied, so an explicit
+//     BubbleRatio of 1 and the zero-value default collide as they should;
+//   - the batch schedule is zeroed out first — Compile ignores it (batch and
+//     microbatches are per-point inputs), and leaving it in would shatter
+//     the cache across requests that differ only in batch size;
+//   - a nil efficiency model hashes as efficiency.Default(), mirroring
+//     Compile; other models hash by dynamic type and parameterization.
+//
+// The key is stable across processes for a given build of this package (it
+// hashes field values through their canonical Go representation, not memory
+// addresses).
+func ScenarioKey(m *transformer.Model, sys *hardware.System, tr Training, eff efficiency.Model) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "model|%#v\n", *m)
+	fmt.Fprintf(h, "system|%#v\n", *sys)
+	tr = tr.withDefaults()
+	tr.Batch = parallel.Batch{}
+	fmt.Fprintf(h, "training|%#v\n", tr)
+	if eff == nil {
+		eff = efficiency.Default()
+	}
+	fmt.Fprintf(h, "eff|%T|%#v\n", eff, eff)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Key returns the session's canonical scenario key (see ScenarioKey).
+func (s *Session) Key() string {
+	return ScenarioKey(s.model, s.sys, s.tr, s.eff)
+}

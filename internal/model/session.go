@@ -2,6 +2,7 @@ package model
 
 import (
 	"errors"
+	"sync"
 
 	"amped/internal/efficiency"
 	"amped/internal/hardware"
@@ -22,7 +23,9 @@ import (
 // runs in O(1) time with zero heap allocations per point.
 //
 // A Session is immutable after Prepare and safe for concurrent use by any
-// number of goroutines. Prepare itself must not race with EvaluatePoint.
+// number of goroutines; evaluating batches that were never Prepared is also
+// concurrent-safe (they memoize through a side table at O(L) first-touch
+// cost). Prepare itself must not race with EvaluatePoint.
 type Session struct {
 	model *transformer.Model
 	sys   *hardware.System
@@ -63,6 +66,12 @@ type Session struct {
 	// batches caches the Eq. 2 per-batch operation aggregates, keyed by the
 	// global batch size. Read-only after Prepare.
 	batches map[int]batchAgg
+	// dyn memoizes aggregates for batches that were never Prepared, so
+	// long-lived shared sessions (the serving layer's cache hands one
+	// session to many concurrent requests without a Prepare window)
+	// converge to O(1) per point anyway. Concurrent-safe by construction;
+	// stores are idempotent.
+	dyn sync.Map
 }
 
 // batchAgg is the Eq. 2/12 operation aggregate for one global batch size:
@@ -166,6 +175,9 @@ func (s *Session) System() *hardware.System { return s.sys }
 // Training returns the compiled training recipe with defaults applied.
 func (s *Session) Training() Training { return s.tr }
 
+// Eff returns the compiled microbatch-efficiency model.
+func (s *Session) Eff() efficiency.Model { return s.eff }
+
 // Prepare precomputes the per-batch operation aggregates for the given
 // global batch sizes so EvaluatePoint runs in O(1) for them. Batches not
 // prepared are still evaluated correctly (and allocation-free), at O(L)
@@ -197,14 +209,21 @@ func (s *Session) computeAgg(batch int) batchAgg {
 	return a
 }
 
-// agg returns the cached aggregate for a batch, computing it on the fly
-// (without mutating the cache, so concurrent reads stay race-free) when the
-// batch was not prepared.
+// agg returns the cached aggregate for a batch. Batches that were never
+// Prepared are computed once and memoized on the concurrent-safe side
+// table, so the first evaluation of a new batch pays O(L) (and one small
+// allocation) and every later one is O(1) — Prepared batches stay on the
+// allocation-free fast path.
 func (s *Session) agg(batch int) batchAgg {
 	if a, ok := s.batches[batch]; ok {
 		return a
 	}
-	return s.computeAgg(batch)
+	if v, ok := s.dyn.Load(batch); ok {
+		return v.(batchAgg)
+	}
+	a := s.computeAgg(batch)
+	s.dyn.Store(batch, a)
+	return a
 }
 
 // EvaluatePoint evaluates one design point of the compiled scenario — a

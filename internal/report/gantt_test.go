@@ -77,8 +77,52 @@ func TestHeatmap(t *testing.T) {
 	if !strings.Contains(lines[2], "@@") {
 		t.Errorf("max cell not hot: %q", lines[2])
 	}
-	if !strings.Contains(out, "4096 8192") {
-		t.Errorf("column labels missing: %q", out)
+	// Labels sit on the 2-char cell grid: "4096" under column 0 (offset 4,
+	// after the "TP8 " prefix) and "8192" under column 1 (offset 6), on
+	// stagger rows because the 4-char labels overflow the 2-char cells.
+	if got := lines[3]; got != "    4096" {
+		t.Errorf("column-0 label row = %q, want %q", got, "    4096")
+	}
+	if got := lines[4]; got != "      8192" {
+		t.Errorf("column-1 label row = %q, want %q", got, "      8192")
+	}
+}
+
+// TestHeatmapColumnLabelAlignment is the golden regression for the label
+// drift bug: labels used to be joined with a single space, so every label
+// after the first slid off its double-width column. Each label must now
+// start exactly at its column's first glyph.
+func TestHeatmapColumnLabelAlignment(t *testing.T) {
+	out := Heatmap("batches", []string{"tp8"},
+		[]string{"1024", "2048", "4096", "8192"},
+		[][]float64{{1, 2, 3, 4}})
+	want := strings.Join([]string{
+		"batches",
+		"tp8   --**@@",
+		"    1024  8192",
+		"      2048",
+		"        4096",
+		"scale: ' '=1 .. '@'=4",
+		"",
+	}, "\n")
+	if out != want {
+		t.Errorf("heatmap golden mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	// The invariant behind the golden: label j starts at the column's
+	// first cell character, offset len("tp8 ") + 2*j.
+	lines := strings.Split(out, "\n")
+	for j, label := range []string{"1024", "2048", "4096", "8192"} {
+		wantAt := 4 + 2*j
+		found := false
+		for _, line := range lines[2:5] {
+			if strings.Index(line, label) == wantAt {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("label %q not anchored at offset %d:\n%s", label, wantAt, out)
+		}
 	}
 }
 

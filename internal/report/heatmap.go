@@ -55,12 +55,53 @@ func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) st
 		}
 		b.WriteByte('\n')
 	}
-	if len(colLabels) > 0 {
-		fmt.Fprintf(&b, "%-*s %s\n", maxLabel, "", strings.Join(colLabels, " "))
+	for _, row := range columnLabelRows(colLabels, 2) {
+		fmt.Fprintf(&b, "%-*s %s\n", maxLabel, "", row)
 	}
 	if !math.IsInf(lo, 1) {
 		fmt.Fprintf(&b, "scale: '%c'=%.4g .. '%c'=%.4g\n",
 			heatGlyphs[0], lo, heatGlyphs[len(heatGlyphs)-1], hi)
 	}
 	return b.String()
+}
+
+// columnLabelRows lays the column labels out on the cell grid: label j
+// starts exactly at offset cellWidth·j, the first character of its column.
+// A label that would run into (or touch) an earlier label on the same row
+// drops to the next stagger row instead of drifting off its column — the
+// old single-space join shifted every label after the first once labels
+// outgrew the cell width. Rows come back trimmed of trailing spaces.
+func columnLabelRows(labels []string, cellWidth int) []string {
+	var rows [][]byte
+	for j, label := range labels {
+		if label == "" {
+			continue
+		}
+		pos := cellWidth * j
+		placed := false
+		for r := range rows {
+			// Require one separating space after the previous label.
+			if len(rows[r]) == 0 || len(rows[r])+1 <= pos {
+				rows[r] = placeLabel(rows[r], pos, label)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			rows = append(rows, placeLabel(nil, pos, label))
+		}
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = string(r)
+	}
+	return out
+}
+
+// placeLabel pads row with spaces up to pos and appends the label.
+func placeLabel(row []byte, pos int, label string) []byte {
+	for len(row) < pos {
+		row = append(row, ' ')
+	}
+	return append(row, label...)
 }

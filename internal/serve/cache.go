@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"amped/internal/model"
+)
+
+// sessionCache is an LRU of compiled model.Sessions keyed by the canonical
+// scenario hash (model.ScenarioKey). Sessions are immutable and safe to
+// share, so a hit hands the same *Session to any number of concurrent
+// requests; the cache only guards its own bookkeeping.
+type sessionCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+
+	evicted func() // eviction hook for metrics (may be nil)
+}
+
+type cacheEntry struct {
+	key  string
+	sess *model.Session
+}
+
+func newSessionCache(capacity int) *sessionCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sessionCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached session and promotes it to most recently used.
+func (c *sessionCache) get(key string) (*model.Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).sess, true
+}
+
+// put inserts a session, evicting the least recently used entry when full.
+// A concurrent insert of the same key wins by arrival order; the later one
+// just refreshes recency (the sessions are interchangeable by construction
+// of the key).
+func (c *sessionCache) put(key string, sess *model.Session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, sess: sess})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+		if c.evicted != nil {
+			c.evicted()
+		}
+	}
+}
+
+// len reports the number of cached sessions.
+func (c *sessionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"amped/internal/config"
+	"amped/internal/explore"
+	"amped/internal/model"
+	"amped/internal/parallel"
+)
+
+// session resolves the request's scenario to a compiled session through the
+// LRU: a hit shares the cached (immutable) session, a miss compiles and
+// caches it. The bool reports whether it was a hit.
+func (s *Server) session(comp *config.Components) (*model.Session, bool, error) {
+	key := comp.Key()
+	if sess, ok := s.cache.get(key); ok {
+		s.met.cacheHits.inc()
+		return sess, true, nil
+	}
+	sess, err := comp.Compile()
+	if err != nil {
+		return nil, false, err
+	}
+	s.met.cacheMisses.inc()
+	s.cache.put(key, sess)
+	return sess, false, nil
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// readBody slurps a bounded request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return body, nil
+}
+
+// EvaluateResponse is the /v1/evaluate reply: the full per-batch breakdown
+// plus the headline metrics of the paper's tables.
+type EvaluateResponse struct {
+	ScenarioKey  string             `json:"scenario_key"`
+	Cache        string             `json:"cache"`
+	Mapping      string             `json:"mapping"`
+	Batch        int                `json:"batch"`
+	Microbatch   float64            `json:"microbatch"`
+	Efficiency   float64            `json:"efficiency"`
+	Workers      int                `json:"workers"`
+	Breakdown    map[string]float64 `json:"breakdown_s"`
+	PerBatchS    float64            `json:"per_batch_s"`
+	TotalS       float64            `json:"total_s"`
+	TotalDays    float64            `json:"total_days"`
+	TFLOPSPerGPU float64            `json:"tflops_per_gpu"`
+}
+
+// handleEvaluate prices one design point. The request body is exactly a
+// config.Document — the same schema the amped CLI loads from disk — so any
+// committed scenario file POSTs unmodified.
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.lim.release()
+
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	doc, err := config.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	comp, err := doc.Components()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, hit, err := s.session(comp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	mp := doc.Mapping.Resolve()
+	bd, err := sess.Evaluate(mp, doc.Training.GlobalBatch, doc.Training.Microbatches)
+	if err != nil {
+		// The scenario compiled but this point is unusable (invalid
+		// mapping/batch combination, non-finite result): the client's
+		// input, the client's 4xx.
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	breakdown := make(map[string]float64, 11)
+	for _, c := range bd.Components() {
+		breakdown[c.Name] = float64(c.Time)
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponse{
+		ScenarioKey:  sess.Key(),
+		Cache:        cacheLabel(hit),
+		Mapping:      mp.Normalized().String(),
+		Batch:        doc.Training.GlobalBatch,
+		Microbatch:   bd.Microbatch,
+		Efficiency:   bd.Efficiency,
+		Workers:      bd.Workers,
+		Breakdown:    breakdown,
+		PerBatchS:    float64(bd.PerBatch()),
+		TotalS:       float64(bd.TotalTime()),
+		TotalDays:    bd.TotalTime().Days(),
+		TFLOPSPerGPU: bd.TFLOPSPerGPU(),
+	})
+}
+
+// SweepRequest is the /v1/sweep body: the scenario sections of a
+// config.Document (no mapping — the sweep enumerates them) plus the sweep
+// parameters.
+type SweepRequest struct {
+	Model    config.Model    `json:"model"`
+	System   config.System   `json:"system"`
+	Training config.Training `json:"training"`
+	Sweep    SweepParams     `json:"sweep"`
+}
+
+// SweepParams selects what the sweep varies and how much comes back.
+type SweepParams struct {
+	// Batches lists the global batch sizes to sweep (required).
+	Batches []int `json:"batches"`
+	// MicrobatchTarget sets the preferred microbatch size (explore
+	// semantics; 0 keeps the recipe's schedule).
+	MicrobatchTarget int `json:"microbatch_target,omitempty"`
+	// PowerOfTwo restricts enumerated degrees to powers of two.
+	PowerOfTwo bool `json:"power_of_two,omitempty"`
+	// ExpertParallel enables MoE expert parallelism in every mapping.
+	ExpertParallel bool `json:"expert_parallel,omitempty"`
+	// MaxTP / MaxPP cap the enumerated degrees (0 = model limits).
+	MaxTP int `json:"max_tp,omitempty"`
+	MaxPP int `json:"max_pp,omitempty"`
+	// Top truncates the response to the fastest N points (default 20).
+	Top int `json:"top,omitempty"`
+	// KeepInvalid includes failed points (with their errors) in the
+	// ranking's tail instead of dropping them.
+	KeepInvalid bool `json:"keep_invalid,omitempty"`
+}
+
+// SweepResponse is the /v1/sweep reply.
+type SweepResponse struct {
+	ScenarioKey string       `json:"scenario_key"`
+	Cache       string       `json:"cache"`
+	TotalPoints int          `json:"total_points"`
+	Returned    int          `json:"returned"`
+	Truncated   bool         `json:"truncated"`
+	DurationS   float64      `json:"duration_s"`
+	Points      []SweepPoint `json:"points"`
+}
+
+// SweepPoint is one ranked design point.
+type SweepPoint struct {
+	Mapping      string  `json:"mapping"`
+	Batch        int     `json:"batch"`
+	Microbatches int     `json:"microbatches"`
+	PerBatchS    float64 `json:"per_batch_s,omitempty"`
+	TotalDays    float64 `json:"total_days,omitempty"`
+	TFLOPSPerGPU float64 `json:"tflops_per_gpu,omitempty"`
+	Efficiency   float64 `json:"efficiency,omitempty"`
+	Err          string  `json:"error,omitempty"`
+}
+
+// handleSweep runs a design-space exploration over the compiled session,
+// under the request timeout and the engine's per-point panic isolation.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.lim.release()
+
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "sweep request: "+err.Error())
+		return
+	}
+	if len(req.Sweep.Batches) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep request: sweep.batches is required")
+		return
+	}
+	doc := config.Document{Model: req.Model, System: req.System, Training: req.Training}
+	comp, err := doc.Components()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, hit, err := s.session(comp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	start := time.Now()
+	points, err := explore.SweepContext(ctx, explore.Scenario{Session: sess}, explore.Options{
+		Batches:          req.Sweep.Batches,
+		MicrobatchTarget: req.Sweep.MicrobatchTarget,
+		Enumerate: parallel.EnumerateOptions{
+			PowerOfTwo:     req.Sweep.PowerOfTwo,
+			ExpertParallel: req.Sweep.ExpertParallel,
+			MaxTP:          req.Sweep.MaxTP,
+			MaxPP:          req.Sweep.MaxPP,
+		},
+		KeepInvalid: req.Sweep.KeepInvalid,
+	})
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("sweep exceeded the %v request timeout", s.cfg.RequestTimeout))
+		return
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusForContextErr(err), "sweep cancelled: client went away")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.met.sweepPoints.add(uint64(len(points)))
+	explore.SortByTime(points)
+
+	top := req.Sweep.Top
+	if top <= 0 {
+		top = 20
+	}
+	total := len(points)
+	truncated := total > top
+	if truncated {
+		points = points[:top]
+	}
+	out := make([]SweepPoint, len(points))
+	for i, p := range points {
+		sp := SweepPoint{
+			Mapping:      p.Mapping.Normalized().String(),
+			Batch:        p.Batch,
+			Microbatches: p.Microbatches,
+		}
+		if p.Err != nil {
+			sp.Err = p.Err.Error()
+		} else if p.Breakdown != nil {
+			sp.PerBatchS = float64(p.Breakdown.PerBatch())
+			sp.TotalDays = p.Breakdown.TotalTime().Days()
+			sp.TFLOPSPerGPU = p.Breakdown.TFLOPSPerGPU()
+			sp.Efficiency = p.Breakdown.Efficiency
+		}
+		out[i] = sp
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{
+		ScenarioKey: sess.Key(),
+		Cache:       cacheLabel(hit),
+		TotalPoints: total,
+		Returned:    len(out),
+		Truncated:   truncated,
+		DurationS:   time.Since(start).Seconds(),
+		Points:      out,
+	})
+}

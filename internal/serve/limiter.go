@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// errBusy signals that both the active slots and the wait queue are full;
+// the handler translates it into 429 + Retry-After backpressure.
+var errBusy = errors.New("serve: at capacity (active slots and queue full)")
+
+// limiter bounds concurrent evaluation work: at most maxActive requests
+// execute at once, at most maxQueue more wait for a slot, and everything
+// beyond that is rejected immediately — load sheds at the door instead of
+// piling up goroutines until the process dies.
+type limiter struct {
+	active  chan struct{}
+	waiting chan struct{}
+}
+
+func newLimiter(maxActive, maxQueue int) *limiter {
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{
+		active:  make(chan struct{}, maxActive),
+		waiting: make(chan struct{}, maxQueue),
+	}
+}
+
+// acquire obtains an active slot, waiting in the bounded queue if necessary.
+// It returns errBusy when the queue is full, or the context's error if the
+// caller gives up (client disconnect, request timeout) while queued.
+func (l *limiter) acquire(ctx context.Context) error {
+	// Fast path: a free slot, no queuing.
+	select {
+	case l.active <- struct{}{}:
+		return nil
+	default:
+	}
+	// Reserve a queue position or shed the request.
+	select {
+	case l.waiting <- struct{}{}:
+	default:
+		return errBusy
+	}
+	defer func() { <-l.waiting }()
+	select {
+	case l.active <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees an active slot. Must pair with a successful acquire.
+func (l *limiter) release() { <-l.active }
+
+// depth samples the live occupancy for the metrics gauges.
+func (l *limiter) depth() (inFlight, queued int) {
+	return len(l.active), len(l.waiting)
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// counter is a monotonically increasing metric.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) inc()          { c.v.Add(1) }
+func (c *counter) add(n uint64)  { c.v.Add(n) }
+func (c *counter) value() uint64 { return c.v.Load() }
+
+// counterVec is a counter family keyed by one label combination string
+// (pre-rendered `name="value",...`). The label space here is tiny (handler ×
+// status code), so a mutex-guarded map is simpler than sharding.
+type counterVec struct {
+	mu sync.Mutex
+	m  map[string]*counter
+}
+
+func newCounterVec() *counterVec { return &counterVec{m: make(map[string]*counter)} }
+
+func (v *counterVec) inc(labels string) {
+	v.mu.Lock()
+	c, ok := v.m[labels]
+	if !ok {
+		c = &counter{}
+		v.m[labels] = c
+	}
+	v.mu.Unlock()
+	c.inc()
+}
+
+// snapshot returns the label sets in sorted order for stable exposition.
+func (v *counterVec) snapshot() ([]string, []uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]uint64, len(keys))
+	for i, k := range keys {
+		vals[i] = v.m[k].value()
+	}
+	return keys, vals
+}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations ≤ its upper bound).
+type histogram struct {
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// metrics is the server's observability surface, exposed in Prometheus text
+// format on /metrics. Gauges that mirror live structures (in-flight, queue
+// depth, cache size) are sampled at exposition time via callbacks.
+type metrics struct {
+	requests     *counterVec // amped_requests_total{handler,code}
+	panics       counter     // amped_panics_recovered_total
+	rejected     counter     // amped_requests_rejected_total
+	cacheHits    counter     // amped_session_cache_hits_total
+	cacheMisses  counter     // amped_session_cache_misses_total
+	cacheEvicted counter     // amped_session_cache_evictions_total
+	sweepPoints  counter     // amped_sweep_points_total
+	latency      *histogram  // amped_request_duration_seconds
+
+	// gauges reads live values: in-flight requests, queue depth, cached
+	// sessions. Set once at server construction.
+	gauges func() (inFlight, queueDepth, cachedSessions int)
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: newCounterVec(),
+		latency: newHistogram([]float64{
+			0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+		}),
+		gauges: func() (int, int, int) { return 0, 0, 0 },
+	}
+}
+
+// writeTo renders the Prometheus text exposition (format version 0.0.4).
+func (m *metrics) writeTo(w io.Writer) {
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	inFlight, queueDepth, cached := m.gauges()
+	g := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP amped_requests_total Requests served, by handler and status code.\n")
+	fmt.Fprintf(w, "# TYPE amped_requests_total counter\n")
+	labels, vals := m.requests.snapshot()
+	for i, l := range labels {
+		fmt.Fprintf(w, "amped_requests_total{%s} %d\n", l, vals[i])
+	}
+
+	c("amped_requests_rejected_total", "Requests rejected with 429 by the backpressure limiter.", m.rejected.value())
+	c("amped_panics_recovered_total", "Handler panics recovered by the isolation middleware.", m.panics.value())
+	c("amped_session_cache_hits_total", "Compiled-session cache hits.", m.cacheHits.value())
+	c("amped_session_cache_misses_total", "Compiled-session cache misses (scenario compiled).", m.cacheMisses.value())
+	c("amped_session_cache_evictions_total", "Compiled sessions evicted by the LRU.", m.cacheEvicted.value())
+	c("amped_sweep_points_total", "Design points evaluated by /v1/sweep.", m.sweepPoints.value())
+
+	g("amped_requests_in_flight", "Evaluation requests currently executing.", inFlight)
+	g("amped_queue_depth", "Evaluation requests waiting for a limiter slot.", queueDepth)
+	g("amped_session_cache_entries", "Compiled sessions currently cached.", cached)
+
+	fmt.Fprintf(w, "# HELP amped_request_duration_seconds Evaluation request latency.\n")
+	fmt.Fprintf(w, "# TYPE amped_request_duration_seconds histogram\n")
+	for i, b := range m.latency.bounds {
+		fmt.Fprintf(w, "amped_request_duration_seconds_bucket{le=%q} %d\n",
+			fmt.Sprintf("%g", b), m.latency.counts[i].Load())
+	}
+	fmt.Fprintf(w, "amped_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.latency.count.Load())
+	fmt.Fprintf(w, "amped_request_duration_seconds_sum %g\n", math.Float64frombits(m.latency.sum.Load()))
+	fmt.Fprintf(w, "amped_request_duration_seconds_count %d\n", m.latency.count.Load())
+}

@@ -1,0 +1,247 @@
+// Package serve exposes the AMPeD analytical model as a hardened HTTP
+// service over PR 1's compiled evaluation sessions: POST /v1/evaluate prices
+// one design point, POST /v1/sweep runs a bounded design-space exploration,
+// and GET /healthz and /metrics make the process operable unattended.
+//
+// The service is stdlib-only and built for unattended operation:
+//
+//   - an LRU cache of compiled model.Sessions keyed by the canonical
+//     scenario hash, so repeated scenarios skip model.Compile entirely;
+//   - a bounded concurrency limiter with a wait queue — excess load is shed
+//     with 429 + Retry-After instead of unbounded goroutine pileup;
+//   - per-request timeouts threaded as context.Context into
+//     explore.SweepContext, which cancels cooperatively at worker-chunk
+//     boundaries;
+//   - panic-isolating middleware (one poisoned request cannot take the
+//     process down) on top of the sweep engine's own per-point recovery;
+//   - Prometheus-text metrics and structured request logs.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the server. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing evaluation requests
+	// (default 4). Each sweep itself fans out over GOMAXPROCS workers, so
+	// this is a request-level bound, not a core-level one.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot before new arrivals are
+	// rejected with 429 (default 16).
+	MaxQueue int
+	// RequestTimeout caps one evaluation or sweep (default 30s). The
+	// timeout is threaded into the sweep engine as a context.
+	RequestTimeout time.Duration
+	// CacheSize bounds the compiled-session LRU (default 64 scenarios).
+	CacheSize int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request logs; nil discards them.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the evaluation service. Create one with New and mount
+// Handler() on an http.Server.
+type Server struct {
+	cfg      Config
+	cache    *sessionCache
+	lim      *limiter
+	met      *metrics
+	mux      *http.ServeMux
+	log      *log.Logger
+	draining atomic.Bool
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newSessionCache(cfg.CacheSize),
+		lim:   newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+		log:   cfg.Logger,
+	}
+	s.cache.evicted = s.met.cacheEvicted.inc
+	s.met.gauges = func() (int, int, int) {
+		inFlight, queued := s.lim.depth()
+		return inFlight, queued, s.cache.len()
+	}
+	s.mux.HandleFunc("/healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.wrap("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/v1/evaluate", s.wrap("evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("/v1/sweep", s.wrap("sweep", s.handleSweep))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDraining flips the server into draining mode: /healthz starts
+// failing (so load balancers stop routing here) and new evaluation work is
+// refused with 503 while in-flight requests run to completion under
+// http.Server.Shutdown.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether the server is shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusWriter records the status code and byte count for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// wrap is the middleware stack shared by every route: panic isolation,
+// request metrics (counter by handler/code, latency histogram) and one
+// structured log line per request.
+func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.inc()
+				s.log.Printf("level=error handler=%s panic=%q stack=%q", name, fmt.Sprint(rec), debug.Stack())
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError,
+						fmt.Sprintf("internal error: %v", rec))
+				}
+			}
+			dur := time.Since(start)
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			s.met.requests.inc(fmt.Sprintf("handler=%q,code=%q", name, fmt.Sprint(sw.status)))
+			if name == "evaluate" || name == "sweep" {
+				s.met.latency.observe(dur.Seconds())
+			}
+			s.log.Printf("level=info handler=%s method=%s path=%s status=%d dur_ms=%.3f bytes=%d",
+				name, r.Method, r.URL.Path, sw.status, float64(dur.Microseconds())/1000, sw.bytes)
+		}()
+		h(sw, r)
+	}
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers drain traffic ahead of shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writeTo(w)
+}
+
+// admit runs the shared admission control for evaluation endpoints:
+// draining check, then the bounded limiter. It returns false after writing
+// the refusal when the request cannot proceed; on true the caller must
+// defer s.lim.release().
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return false
+	}
+	if err := s.lim.acquire(r.Context()); err != nil {
+		if err == errBusy {
+			s.met.rejected.inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "at capacity; retry later")
+		} else {
+			// The client went away while queued.
+			writeError(w, statusForContextErr(err), "request abandoned while queued: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// statusForContextErr maps a context error to a response status: 504 for a
+// deadline, 503 for a client cancel (the body rarely reaches anyone, but
+// the log line and metric keep the taxonomy honest).
+func statusForContextErr(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusServiceUnavailable
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

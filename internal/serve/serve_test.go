@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"amped/internal/config"
+	"amped/internal/model"
+)
+
+// evalDoc is a small, fast scenario (8 workers) in the exact on-disk
+// config.Document schema.
+const evalDoc = `{
+  "model": {"name": "tiny", "layers": 8, "hidden": 1024, "heads": 16, "seq_len": 1024, "vocab": 50000},
+  "system": {
+    "name": "2x4 a100",
+    "accelerator": {"preset": "a100"},
+    "nodes": 2,
+    "accels_per_node": 4,
+    "intra": {"name": "nvlink", "latency_s": 2e-6, "bandwidth_bps": "2.4T"},
+    "inter": {"name": "hdr", "latency_s": 5e-6, "bandwidth_bps": "200G"}
+  },
+  "mapping": {"tp_intra": 4, "dp_inter": 2},
+  "training": {"global_batch": 64, "microbatches": 4}
+}`
+
+// sweepDoc is the same scenario in /v1/sweep's schema.
+const sweepDoc = `{
+  "model": {"name": "tiny", "layers": 8, "hidden": 1024, "heads": 16, "seq_len": 1024, "vocab": 50000},
+  "system": {
+    "name": "2x4 a100",
+    "accelerator": {"preset": "a100"},
+    "nodes": 2,
+    "accels_per_node": 4,
+    "intra": {"name": "nvlink", "latency_s": 2e-6, "bandwidth_bps": "2.4T"},
+    "inter": {"name": "hdr", "latency_s": 5e-6, "bandwidth_bps": "200G"}
+  },
+  "training": {"global_batch": 64},
+  "sweep": {"batches": [64, 128], "microbatch_target": 16, "power_of_two": true, "top": 5}
+}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestHealthz(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz = %d %s", code, body)
+	}
+	srv.StartDraining()
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !bytes.Contains(body, []byte(`"draining"`)) {
+		t.Fatalf("draining healthz = %d %s", code, body)
+	}
+	// Draining also refuses new evaluation work.
+	code, _ = post(t, ts.URL+"/v1/evaluate", evalDoc)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining evaluate = %d, want 503", code)
+	}
+}
+
+func TestEvaluateRoundTripAndSessionCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, body := post(t, ts.URL+"/v1/evaluate", evalDoc)
+	if code != http.StatusOK {
+		t.Fatalf("evaluate = %d %s", code, body)
+	}
+	var resp EvaluateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "miss" {
+		t.Errorf("first request cache = %q, want miss", resp.Cache)
+	}
+	if resp.Workers != 8 || resp.PerBatchS <= 0 || resp.TotalS <= 0 || resp.TFLOPSPerGPU <= 0 {
+		t.Errorf("implausible evaluation: %+v", resp)
+	}
+	if len(resp.Breakdown) != 11 {
+		t.Errorf("breakdown has %d components, want 11", len(resp.Breakdown))
+	}
+	var sum float64
+	for _, v := range resp.Breakdown {
+		sum += v
+	}
+	if diff := sum - resp.PerBatchS; diff > 1e-12*resp.PerBatchS || diff < -1e-12*resp.PerBatchS {
+		t.Errorf("breakdown sums to %g, per_batch_s is %g", sum, resp.PerBatchS)
+	}
+
+	// The identical scenario (even at a different batch size) hits the
+	// session cache.
+	again := strings.Replace(evalDoc, `"global_batch": 64`, `"global_batch": 128`, 1)
+	code, body = post(t, ts.URL+"/v1/evaluate", again)
+	if code != http.StatusOK {
+		t.Fatalf("second evaluate = %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "hit" {
+		t.Errorf("second request cache = %q, want hit", resp.Cache)
+	}
+
+	// The hit/miss pair is visible on /metrics.
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"amped_session_cache_hits_total 1",
+		"amped_session_cache_misses_total 1",
+		"amped_session_cache_entries 1",
+		`amped_requests_total{handler="evaluate",code="200"} 2`,
+		"amped_request_duration_seconds_count 2",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestEvaluateRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"modle": {}}`, http.StatusBadRequest},
+		{"missing batch", strings.Replace(evalDoc, `"global_batch": 64`, `"global_batch": 0`, 1), http.StatusBadRequest},
+		{"bad mapping", strings.Replace(evalDoc, `"tp_intra": 4`, `"tp_intra": 3`, 1), http.StatusUnprocessableEntity},
+		{"indivisible batch", strings.Replace(evalDoc, `"global_batch": 64`, `"global_batch": 63`, 1), http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		code, body := post(t, ts.URL+"/v1/evaluate", c.body)
+		if code != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, code, c.want, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error not in JSON envelope: %s", c.name, body)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/v1/evaluate"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET evaluate = %d, want 405", code)
+	}
+}
+
+func TestSweepRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := post(t, ts.URL+"/v1/sweep", sweepDoc)
+	if code != http.StatusOK {
+		t.Fatalf("sweep = %d %s", code, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TotalPoints == 0 || resp.Returned == 0 {
+		t.Fatalf("empty sweep: %+v", resp)
+	}
+	if resp.Returned > 5 {
+		t.Errorf("top=5 not honored: %d points returned", resp.Returned)
+	}
+	if resp.Truncated != (resp.TotalPoints > 5) {
+		t.Errorf("truncation flag inconsistent: %+v", resp)
+	}
+	for i := 1; i < len(resp.Points); i++ {
+		if resp.Points[i-1].PerBatchS > resp.Points[i].PerBatchS {
+			t.Errorf("points not fastest-first at %d: %+v", i, resp.Points)
+		}
+	}
+	// A sweep of the same scenario shares the session with /v1/evaluate.
+	code, body = post(t, ts.URL+"/v1/sweep", sweepDoc)
+	if code != http.StatusOK {
+		t.Fatal("second sweep failed")
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "hit" {
+		t.Errorf("second sweep cache = %q, want hit", resp.Cache)
+	}
+
+	if code, _ := post(t, ts.URL+"/v1/sweep", `{"sweep": {}}`); code != http.StatusBadRequest {
+		t.Errorf("batch-less sweep = %d, want 400", code)
+	}
+}
+
+func TestSweepTimeout(t *testing.T) {
+	// A nanosecond budget expires before the first chunk is claimed; the
+	// engine reports the deadline and the server maps it to 504.
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	code, body := post(t, ts.URL+"/v1/sweep", sweepDoc)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out sweep = %d %s, want 504", code, body)
+	}
+	if !bytes.Contains(body, []byte("timeout")) {
+		t.Errorf("timeout not explained: %s", body)
+	}
+}
+
+// TestBackpressureBurst drives a concurrent burst past the limiter: with one
+// active slot (held by the test) and a queue of one, exactly one of five
+// concurrent requests queues and eventually succeeds; the rest are shed with
+// 429 + Retry-After. No request is dropped without a response.
+func TestBackpressureBurst(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1})
+	if err := srv.lim.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code  int
+		retry string
+	}
+	results := make(chan result, 5)
+	for i := 0; i < 5; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(evalDoc))
+			if err != nil {
+				results <- result{code: -1}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- result{code: resp.StatusCode, retry: resp.Header.Get("Retry-After")}
+		}()
+	}
+
+	// Four requests fail fast with 429 while the slot is held; the queued
+	// fifth cannot respond yet.
+	for i := 0; i < 4; i++ {
+		r := <-results
+		if r.code != http.StatusTooManyRequests {
+			t.Fatalf("burst request %d = %d, want 429", i, r.code)
+		}
+		if r.retry == "" {
+			t.Errorf("429 without Retry-After")
+		}
+	}
+	select {
+	case r := <-results:
+		t.Fatalf("queued request answered %d before the slot freed", r.code)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Free the slot: the queued request must complete successfully — work
+	// already admitted is never dropped.
+	srv.lim.release()
+	r := <-results
+	if r.code != http.StatusOK {
+		t.Fatalf("queued request = %d, want 200", r.code)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !bytes.Contains(metrics, []byte("amped_requests_rejected_total 4")) {
+		t.Errorf("rejected counter wrong:\n%s", metrics)
+	}
+	// The handler's deferred release may land just after the client reads
+	// the response, so give the gauge a moment to settle at zero.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, metrics = get(t, ts.URL+"/metrics")
+		if bytes.Contains(metrics, []byte("amped_requests_in_flight 0")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge did not return to 0:\n%s", metrics)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// panicEff reproduces the degenerate user-supplied efficiency model: any
+// evaluation through it panics.
+type panicEff struct{}
+
+func (panicEff) Eff(float64) float64 { panic("poisoned efficiency model") }
+
+// poisonCache compiles the evalDoc scenario with a panicking efficiency
+// model and plants it in the server's session cache under the scenario's
+// canonical key, so the next request for that scenario hits the poisoned
+// session — the serving-layer reproducer for the eventsim/efficiency panic
+// class.
+func poisonCache(t *testing.T, srv *Server) {
+	t.Helper()
+	doc, err := config.Parse([]byte(evalDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := doc.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := model.Compile(&comp.Model, &comp.System, comp.Training, panicEff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.cache.put(comp.Key(), sess)
+}
+
+func TestPanickingModelIsIsolated(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	poisonCache(t, srv)
+
+	// Single-point evaluation panics inside the handler: the middleware
+	// converts it to a 500 JSON error instead of killing the process.
+	code, body := post(t, ts.URL+"/v1/evaluate", evalDoc)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("poisoned evaluate = %d %s, want 500", code, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "poisoned") {
+		t.Fatalf("panic not surfaced as JSON error: %s", body)
+	}
+
+	// The sweep engine recovers the same panic per point: keep_invalid
+	// surfaces the cell errors in a 200; the default drops them.
+	poisoned := strings.Replace(sweepDoc, `"top": 5`, `"top": 5, "keep_invalid": true`, 1)
+	code, body = post(t, ts.URL+"/v1/sweep", poisoned)
+	if code != http.StatusOK {
+		t.Fatalf("poisoned sweep = %d %s", code, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) == 0 || !strings.Contains(resp.Points[0].Err, "panic") {
+		t.Fatalf("per-point panic not surfaced: %+v", resp)
+	}
+
+	// The process keeps serving: evict the poison by its key and verify a
+	// healthy scenario still answers.
+	healthy := strings.Replace(evalDoc, `"name": "tiny"`, `"name": "tiny2"`, 1)
+	code, _ = post(t, ts.URL+"/v1/evaluate", healthy)
+	if code != http.StatusOK {
+		t.Fatalf("server unhealthy after panic: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz failed after panic: %d", code)
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !bytes.Contains(metrics, []byte("amped_panics_recovered_total 1")) {
+		t.Errorf("panic counter not incremented:\n%s", metrics)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/evaluate", evalDoc)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, series := range []string{
+		"# TYPE amped_requests_total counter",
+		"# TYPE amped_session_cache_hits_total counter",
+		"# TYPE amped_requests_in_flight gauge",
+		"# TYPE amped_queue_depth gauge",
+		"# TYPE amped_request_duration_seconds histogram",
+		`amped_request_duration_seconds_bucket{le="+Inf"}`,
+	} {
+		if !bytes.Contains(body, []byte(series)) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	// A concurrent mix of evaluates and sweeps against one server: every
+	// request gets an answer (200 or 429), nothing wedges, and under -race
+	// this exercises the shared-session path from many goroutines.
+	_, ts := newTestServer(t, Config{MaxInFlight: 2, MaxQueue: 4})
+	const n = 12
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		body, path := evalDoc, "/v1/evaluate"
+		if i%3 == 0 {
+			body, path = sweepDoc, "/v1/sweep"
+		}
+		go func(p, b string) {
+			resp, err := http.Post(ts.URL+p, "application/json", strings.NewReader(b))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}(path, body)
+	}
+	for i := 0; i < n; i++ {
+		switch c := <-codes; c {
+		case http.StatusOK, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("mixed-load request returned %d", c)
+		}
+	}
+}
+
+func TestStatusForContextErr(t *testing.T) {
+	if got := statusForContextErr(context.DeadlineExceeded); got != http.StatusGatewayTimeout {
+		t.Errorf("deadline = %d", got)
+	}
+	if got := statusForContextErr(context.Canceled); got != http.StatusServiceUnavailable {
+		t.Errorf("canceled = %d", got)
+	}
+	if got := statusForContextErr(fmt.Errorf("wrapped: %w", context.DeadlineExceeded)); got != http.StatusGatewayTimeout {
+		t.Errorf("wrapped deadline = %d", got)
+	}
+}
