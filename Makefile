@@ -3,8 +3,9 @@
 
 GO ?= go
 SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$'
+SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced)?$$'
 
-.PHONY: build test verify serve-smoke audit bench bench-sweep clean
+.PHONY: build test verify serve-smoke audit bench bench-sweep bench-serve clean
 
 build:
 	$(GO) build ./...
@@ -28,14 +29,18 @@ serve-smoke:
 
 ## audit is the tier-2 correctness gate: 500 randomized scenarios through
 ## the three-way differential + metamorphic harness, short runs of every
-## fuzzer (seed corpora always replay under plain `go test`), and the full
-## suite under the race detector.
+## fuzzer (seed corpora always replay under plain `go test`), the
+## concurrency-heavy serving/observability packages under the race
+## detector (fresh, uncached — these tests carry the limiter-fairness,
+## singleflight and partial-sweep regressions), and the full suite under
+## the race detector.
 FUZZTIME ?= 10s
 audit:
 	$(GO) run ./cmd/amped-audit -n 500 -seed 1 -tol 1e-9
 	$(GO) test -run '^$$' -fuzz FuzzThreeWay -fuzztime $(FUZZTIME) ./internal/audit
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/config
 	$(GO) test -run '^$$' -fuzz FuzzParseQuantity -fuzztime $(FUZZTIME) ./internal/units
+	$(GO) test -race -count=1 ./internal/serve ./internal/obs
 	$(GO) test -race ./...
 
 ## bench runs every benchmark once, without touching the ledger.
@@ -51,6 +56,17 @@ bench-sweep:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json \
 			-note "make bench-sweep (benchtime $(BENCHTIME))"
+
+## bench-serve measures the serving hot path: one compiled single-point
+## evaluation bare and with a span recorded around it (the observability
+## tax — required <5%, currently ~1-2% thanks to span coalescing). The
+## numbers merge into BENCH_sweep.json next to the sweep rows instead of
+## replacing them.
+bench-serve:
+	$(GO) test -run '^$$' -bench $(SERVE_BENCH) -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json -merge \
+			-note "make bench-serve (benchtime $(BENCHTIME))"
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,7 @@ import (
 	"amped/internal/collective"
 	"amped/internal/hardware"
 	"amped/internal/hetero"
+	"amped/internal/obs"
 	"amped/internal/pipesim"
 	"amped/internal/topology"
 	"amped/internal/units"
@@ -252,6 +253,40 @@ func BenchmarkSessionEvaluatePoint(b *testing.B) {
 		if err := sess.EvaluatePoint(mp, 8192, 64, &bd); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSessionEvaluatePointTraced is BenchmarkSessionEvaluatePoint with
+// an obs span recorded around every evaluation — the serving hot path,
+// with span coalescing folding the repeated evaluate phases into one
+// sampled span. The gap between the two benchmarks is the observability
+// tax (<5% required); `make bench-serve` records both so regressions are
+// visible in the BENCH_sweep.json trajectory.
+func BenchmarkSessionEvaluatePointTraced(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	sess, err := amped.Compile(&m, &sys, amped.Training{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Prepare(8192)
+	mp := amped.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}
+	var bd amped.Breakdown
+	tr := obs.NewTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan(obs.PhaseEvaluate)
+		if err := sess.EvaluatePoint(mp, 8192, 64, &bd); err != nil {
+			b.Fatal(err)
+		}
+		sp.End()
+	}
+	b.StopTimer()
+	if spans := tr.Spans(); len(spans) != 1 {
+		b.Fatalf("coalescing failed: %d spans, want 1", len(spans))
+	} else if spans[0].Count != b.N {
+		b.Fatalf("coalesced span count = %d, want %d", spans[0].Count, b.N)
 	}
 }
 

@@ -7,6 +7,9 @@
 // the tree and therefore cannot be regenerated.
 //
 //	go test -run '^$' -bench 'BenchmarkSweep' -benchmem . | amped-bench -out BENCH_sweep.json
+//
+// With -merge, parsed results are overlaid onto the recorded run by
+// benchmark name instead of replacing it, so targeted re-runs append.
 package main
 
 import (
@@ -47,15 +50,16 @@ func main() {
 		out      = flag.String("out", "BENCH_sweep.json", "ledger file to update")
 		note     = flag.String("note", "", "free-form note stored with the run")
 		baseline = flag.Bool("baseline", false, "record the run as the baseline instead of current")
+		merge    = flag.Bool("merge", false, "merge results into the existing run instead of replacing it")
 	)
 	flag.Parse()
-	if err := run(*out, *note, *baseline); err != nil {
+	if err := run(*out, *note, *baseline, *merge); err != nil {
 		fmt.Fprintln(os.Stderr, "amped-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, note string, asBaseline bool) error {
+func run(out, note string, asBaseline, merge bool) error {
 	results, goos, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		return err
@@ -74,6 +78,13 @@ func run(out, note string, asBaseline bool) error {
 	}
 
 	rec := &Run{Note: note, Go: goos, Benchmarks: results}
+	if merge {
+		if asBaseline {
+			rec = mergeRuns(ledger.Baseline, rec)
+		} else {
+			rec = mergeRuns(ledger.Current, rec)
+		}
+	}
 	if asBaseline {
 		ledger.Baseline = rec
 	} else {
@@ -90,6 +101,31 @@ func run(out, note string, asBaseline bool) error {
 	}
 	fmt.Printf("%s: recorded %d benchmarks (%s)\n", out, len(results), names(results))
 	return nil
+}
+
+// mergeRuns overlays rec's benchmarks onto prev's by name, so a targeted
+// re-run (e.g. the serve-path microbenchmarks behind `make bench-serve`)
+// extends the recorded run instead of clobbering the sweep numbers that a
+// full run measured. rec wins on name collisions; notes concatenate.
+func mergeRuns(prev, rec *Run) *Run {
+	if prev == nil {
+		return rec
+	}
+	for name, r := range prev.Benchmarks {
+		if _, ok := rec.Benchmarks[name]; !ok {
+			rec.Benchmarks[name] = r
+		}
+	}
+	switch {
+	case rec.Note == "":
+		rec.Note = prev.Note
+	case prev.Note != "" && prev.Note != rec.Note:
+		rec.Note = prev.Note + "; " + rec.Note
+	}
+	if rec.Go == "" {
+		rec.Go = prev.Go
+	}
+	return rec
 }
 
 // parse consumes `go test -bench` text. Result lines look like

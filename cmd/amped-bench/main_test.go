@@ -48,6 +48,43 @@ ok  	amped	12.3s
 	}
 }
 
+func TestMergeRunsOverlaysByName(t *testing.T) {
+	prev := &Run{
+		Note: "full sweep run",
+		Go:   "amd64 EPYC",
+		Benchmarks: map[string]Result{
+			"BenchmarkSweepGPT3": {Iterations: 22, Metrics: map[string]float64{"ns/op": 5e7}},
+			"BenchmarkEvaluate":  {Iterations: 100, Metrics: map[string]float64{"ns/op": 5000}},
+		},
+	}
+	rec := &Run{
+		Note: "serve-path spans",
+		Benchmarks: map[string]Result{
+			"BenchmarkEvaluate":       {Iterations: 200, Metrics: map[string]float64{"ns/op": 4900}},
+			"BenchmarkEvaluateTraced": {Iterations: 190, Metrics: map[string]float64{"ns/op": 5100}},
+		},
+	}
+	got := mergeRuns(prev, rec)
+	if len(got.Benchmarks) != 3 {
+		t.Fatalf("merged %d benchmarks, want 3: %v", len(got.Benchmarks), got.Benchmarks)
+	}
+	if got.Benchmarks["BenchmarkSweepGPT3"].Iterations != 22 {
+		t.Error("merge dropped the previous run's sweep benchmark")
+	}
+	if got.Benchmarks["BenchmarkEvaluate"].Iterations != 200 {
+		t.Error("merge kept the stale result on a name collision")
+	}
+	if got.Note != "full sweep run; serve-path spans" {
+		t.Errorf("merged note = %q", got.Note)
+	}
+	if got.Go != "amd64 EPYC" {
+		t.Errorf("merged Go metadata = %q, want inherited", got.Go)
+	}
+	if out := mergeRuns(nil, rec); out != rec {
+		t.Error("merge with no previous run must return the new run unchanged")
+	}
+}
+
 func TestParseSkipsMalformedLines(t *testing.T) {
 	const out = `Benchmark   garbage
 BenchmarkOdd-8   12   100 ns/op   trailing

@@ -16,6 +16,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"amped/internal/efficiency"
 	"amped/internal/explore"
@@ -53,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		heat      = fs.Bool("heatmap", false, "also render a days heatmap of the top mappings x batches")
 		ep        = fs.Bool("expert-parallel", false, "enable MoE expert parallelism in every mapping")
+		progress  = fs.Bool("progress", false, "report live sweep progress on stderr")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	)
@@ -128,13 +130,25 @@ func run(args []string, out io.Writer) error {
 		}
 		sc.MemoryReserve = 0.1
 	}
-	points, err := explore.Sweep(sc, explore.Options{
+	opt := explore.Options{
 		Batches:          batchList,
 		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: *pow2, ExpertParallel: *ep},
 		MicrobatchTarget: *target,
-	})
+	}
+	var prog explore.Progress
+	if *progress {
+		opt.Progress = &prog
+		stop := make(chan struct{})
+		defer close(stop)
+		go reportProgress(os.Stderr, &prog, stop)
+	}
+	points, err := explore.Sweep(sc, opt)
 	if err != nil {
 		return err
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "amped-explore: evaluated %d points (%d failed)\n",
+			prog.Completed.Load(), prog.Failed.Load())
 	}
 	explore.SortByTime(points)
 
@@ -174,6 +188,27 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, heatmap(points, batchList, *top))
 	}
 	return nil
+}
+
+// reportProgress polls the sweep's atomic progress counters and writes a
+// status line per tick — live feedback for the long sweeps (-memory over
+// thousands of cells) where a silent terminal looks like a hang.
+func reportProgress(w io.Writer, prog *explore.Progress, stop <-chan struct{}) {
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			total := prog.Total.Load()
+			if total == 0 {
+				continue // layout not finished yet
+			}
+			fmt.Fprintf(w, "amped-explore: %d/%d points (%d claimed, %d failed)\n",
+				prog.Completed.Load(), total, prog.Claimed.Load(), prog.Failed.Load())
+		}
+	}
 }
 
 // heatmap renders the fastest mappings' training days across batch sizes

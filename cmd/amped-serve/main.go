@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("amped-serve", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		debugAddr = fs.String("debug-addr", "", "optional diagnostics listen address (pprof + /debug/trace); empty disables")
 		inFlight  = fs.Int("max-inflight", 4, "max concurrently executing evaluation requests")
 		queue     = fs.Int("queue", 16, "max requests waiting for a slot before 429s")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-request evaluation/sweep timeout")
@@ -70,6 +71,26 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "amped-serve: listening on %s\n", ln.Addr())
+
+	// The diagnostics surface (net/http/pprof, /debug/trace) gets its own
+	// listener so profiling never shares a port with production traffic;
+	// bind it to loopback unless you know why not. Its announce line prints
+	// after the main one — scripts parse the first line for the API address.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(out, "amped-serve: debug listening on %s\n", dln.Addr())
+		dbg := &http.Server{Handler: svc.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbg.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("level=error debug server: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	hs := &http.Server{
 		Handler:           svc.Handler(),

@@ -55,7 +55,7 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("build: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-quiet")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0", "-quiet")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +77,17 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("unexpected first line %q", line)
 	}
 	base := "http://" + line[i+1:]
+
+	// The debug listener announces itself on the second line.
+	if !sc.Scan() {
+		t.Fatalf("no debug listen line: %v", sc.Err())
+	}
+	line = sc.Text()
+	i = strings.LastIndex(line, " ")
+	if i < 0 || !strings.Contains(line, "debug listening on") {
+		t.Fatalf("unexpected second line %q", line)
+	}
+	debugBase := "http://" + line[i+1:]
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	resp, err := client.Get(base + "/healthz")
@@ -102,6 +113,34 @@ func TestServeSmoke(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("evaluate response missing %s: %s", want, body)
 		}
+	}
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Error("evaluate response missing X-Request-Id")
+	}
+
+	// The evaluate request is visible on the debug listener's trace ring,
+	// with its phase spans; the main listener must not serve the route.
+	resp, err = client.Get(debugBase + "/debug/trace?last=5")
+	if err != nil {
+		t.Fatalf("debug trace: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug trace = %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"handler": "evaluate"`, `"phase": "compile"`, `"request_id"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("debug trace missing %s: %s", want, body)
+		}
+	}
+	if resp, err = client.Get(base + "/debug/trace"); err != nil {
+		t.Fatalf("main-listener debug probe: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("main listener serves /debug/trace: %d", resp.StatusCode)
 	}
 
 	// Graceful shutdown: SIGTERM must drain and exit 0, and the drain

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"amped/internal/efficiency"
 	"amped/internal/hardware"
@@ -69,6 +70,32 @@ type Options struct {
 	// KeepInvalid retains points whose evaluation failed (Err set) instead
 	// of dropping them.
 	KeepInvalid bool
+	// Progress, when non-nil, receives live sweep instrumentation: points
+	// laid out, claimed by workers, completed and failed, plus the
+	// cooperative-cancel latency. Counters are atomic, so a monitor
+	// goroutine (amped-explore's -progress flag, the serving layer's
+	// metrics) can read them while the sweep runs.
+	Progress *Progress
+}
+
+// Progress is a sweep's live instrumentation, updated atomically by the
+// worker pool and readable from any goroutine while the sweep runs. The
+// zero value is ready to use; pass one in Options.Progress.
+type Progress struct {
+	// Total is the number of points laid out for evaluation.
+	Total atomic.Int64
+	// Claimed counts points handed to workers (chunk granularity: a chunk's
+	// points are all claimed at once when a worker takes the chunk).
+	Claimed atomic.Int64
+	// Completed counts points whose evaluation finished (success or error).
+	Completed atomic.Int64
+	// Failed counts completed points whose evaluation set Err — including
+	// points pre-marked infeasible at layout time.
+	Failed atomic.Int64
+	// CancelLatencyNanos is the delay between context cancellation and the
+	// last worker stopping — the cooperative-cancel latency (zero when the
+	// sweep was never cancelled).
+	CancelLatencyNanos atomic.Int64
 }
 
 // Point is one evaluated design point.
@@ -98,11 +125,29 @@ func (p Point) String() string {
 	return fmt.Sprintf("%v B=%d m=%d", p.Mapping, p.Batch, p.Microbatches)
 }
 
+// MicrobatchFeasible reports whether any microbatch schedule can satisfy
+// N_ub >= pp for the per-replica batch: N_ub divides perReplica and a
+// microbatch holds at least one sequence, so N_ub <= perReplica — when the
+// pipeline is deeper than the per-replica batch no divisor qualifies and
+// the pipeline can never fill. Sweeps mark such cells infeasible instead
+// of silently evaluating a schedule that violates the N_ub >= N_PP
+// contract (the model's Eq. 8 bubble term assumes a fillable pipeline).
+func MicrobatchFeasible(perReplica, pp int) bool {
+	return perReplica > 0 && pp <= perReplica
+}
+
 // ChooseMicrobatches picks N_ub for a per-replica batch: the divisor of
 // perReplica closest to perReplica/target (i.e. microbatch size closest to
 // target), but at least the pipeline depth pp so every stage can be busy.
-// It returns perReplica itself (microbatch 1) when pp exceeds it. The
-// candidates come from the memoized O(√n) divisor table; ties keep the
+//
+// The "at least pp" guarantee only holds when a qualifying divisor exists,
+// i.e. when MicrobatchFeasible(perReplica, pp): N_ub divides perReplica,
+// so pp > perReplica leaves no valid choice and the function falls back to
+// perReplica itself (microbatch 1) — a schedule that cannot fill the
+// pipeline. Callers that enumerate mappings (the sweep) must treat that
+// case as infeasible rather than evaluating the fallback.
+//
+// The candidates come from the memoized O(√n) divisor table; ties keep the
 // smallest divisor, matching the historical ascending scan.
 func ChooseMicrobatches(perReplica, pp, target int) int {
 	if perReplica <= 0 {
@@ -144,9 +189,12 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 // SweepContext is Sweep with cooperative cancellation: workers check the
 // context at chunk boundaries (every chunkSize points), so a cancelled or
 // timed-out sweep stops within one chunk's worth of evaluations per worker
-// and returns the context's error. Points evaluated before cancellation are
-// discarded — a partial sweep is not a smaller sweep, it is a different
-// (and silently misleading) design space.
+// and returns the context's error. Points completed before cancellation
+// are returned alongside that error — explicitly labeled partial work, so
+// a deadline-bound caller (the serving layer's 206 path) can hand back
+// what finished instead of discarding it. Callers that must not act on a
+// partial design space simply treat err != nil as fatal; the non-nil error
+// makes the truncation impossible to miss.
 func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error) {
 	if sc.Session != nil {
 		// The compiled session is the source of truth for everything it
@@ -216,6 +264,18 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 			// rejected by Batch.Validate during evaluation.
 			if opt.MicrobatchTarget > 0 && b%dp == 0 {
 				per := b / dp
+				if !MicrobatchFeasible(per, pp) {
+					// No divisor of per satisfies N_ub >= pp: the pipeline
+					// can never fill. Pre-mark the cell infeasible instead
+					// of evaluating ChooseMicrobatches' fallback schedule.
+					p.Microbatches = per
+					p.Err = fmt.Errorf(
+						"explore: %v B=%d infeasible: pipeline depth %d exceeds per-replica batch %d, no microbatch count satisfies N_ub >= N_PP",
+						mp, b, pp, per)
+					points[idx] = p
+					idx++
+					continue
+				}
 				key := [2]int{per, pp}
 				var ok bool
 				if nub, ok = nubMemo[key]; !ok {
@@ -234,6 +294,19 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	prog := opt.Progress
+	if prog == nil {
+		prog = new(Progress) // keeps the worker loop branch-free
+	}
+	prog.Total.Store(int64(len(points)))
+
+	// Timestamp the moment of cancellation (if any) so the cooperative
+	// cancel latency — cancel to last-worker-stop — is measurable.
+	var cancelledAt atomic.Int64
+	stopAfter := context.AfterFunc(ctx, func() {
+		cancelledAt.Store(time.Now().UnixNano())
+	})
+	defer stopAfter()
 
 	// One breakdown slot per point, allocated in a single block; workers
 	// claim chunked index ranges off an atomic cursor instead of receiving
@@ -262,15 +335,38 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 				if end > len(points) {
 					end = len(points)
 				}
+				prog.Claimed.Add(int64(end - start))
 				for i := start; i < end; i++ {
-					evalPointSafe(&points[i], &bds[i], sess, &sc)
+					// Cells pre-marked at layout time (infeasible
+					// microbatch schedule) are already decided; evaluating
+					// them would overwrite the diagnosis.
+					if points[i].Err == nil {
+						evalPointSafe(&points[i], &bds[i], sess, &sc)
+					}
+					prog.Completed.Add(1)
+					if points[i].Err != nil {
+						prog.Failed.Add(1)
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	cancelled := ctx.Err()
+	if cancelled != nil {
+		if at := cancelledAt.Load(); at != 0 {
+			prog.CancelLatencyNanos.Store(time.Now().UnixNano() - at)
+		}
+		// Keep only cells that actually finished (evaluated, or decided at
+		// layout time); unclaimed cells are still zero-valued and must not
+		// masquerade as results.
+		done := points[:0]
+		for _, p := range points {
+			if p.Err != nil || p.Breakdown != nil {
+				done = append(done, p)
+			}
+		}
+		points = done
 	}
 
 	if !opt.KeepInvalid {
@@ -282,7 +378,7 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 		}
 		points = kept
 	}
-	return points, nil
+	return points, cancelled
 }
 
 // chunkSize sizes worker chunks: enough chunks per worker for load balance

@@ -33,7 +33,9 @@ func TestChooseMicrobatches(t *testing.T) {
 		{8192, 64, 128, 64},
 		{8192, 2, 32, 256},
 		{100, 8, 32, 10}, // divisors of 100 >= 8: want near 3 -> 10
-		{4, 16, 32, 4},   // pp exceeds per-replica batch
+		{4, 16, 32, 4},   // pp exceeds per-replica batch: infeasible fallback
+		{1, 1, 32, 1},    // perReplica == 1, depth-1 pipeline: feasible
+		{1, 2, 8, 1},     // perReplica == 1, deeper pipeline: infeasible fallback
 		{0, 4, 8, 1},
 		{128, 1, 0, 128}, // target 0 -> microbatch 1
 	}

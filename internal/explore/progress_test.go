@@ -1,0 +1,205 @@
+package explore
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/model"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+func TestSweepProgressCounters(t *testing.T) {
+	sc := robustScenario(t)
+	opt := robustOptions
+	var prog Progress
+	opt.Progress = &prog
+	points, err := Sweep(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := prog.Total.Load()
+	if total != int64(len(points)) {
+		t.Fatalf("Total = %d, want %d (KeepInvalid sweep returns every cell)", total, len(points))
+	}
+	if got := prog.Claimed.Load(); got != total {
+		t.Errorf("Claimed = %d, want %d", got, total)
+	}
+	if got := prog.Completed.Load(); got != total {
+		t.Errorf("Completed = %d, want %d", got, total)
+	}
+	var failed int64
+	for _, p := range points {
+		if p.Err != nil {
+			failed++
+		}
+	}
+	if got := prog.Failed.Load(); got != failed {
+		t.Errorf("Failed = %d, want %d (points with Err set)", got, failed)
+	}
+	if got := prog.CancelLatencyNanos.Load(); got != 0 {
+		t.Errorf("CancelLatencyNanos = %d on an uncancelled sweep, want 0", got)
+	}
+}
+
+func TestSweepProgressOnCancellation(t *testing.T) {
+	sc := robustScenario(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sc.Eff = cancellingEff{cancel: cancel, after: 8, n: new(int64)}
+	opt := robustOptions
+	opt.Concurrency = 2
+	var prog Progress
+	opt.Progress = &prog
+	points, err := SweepContext(ctx, sc, opt)
+	if err != context.Canceled {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	total := prog.Total.Load()
+	claimed := prog.Claimed.Load()
+	completed := prog.Completed.Load()
+	if completed >= total {
+		t.Errorf("Completed = %d of Total = %d after cancellation, want a strict subset", completed, total)
+	}
+	if claimed < completed {
+		t.Errorf("Claimed = %d < Completed = %d; claims happen before evaluation", claimed, completed)
+	}
+	if int64(len(points)) != completed {
+		t.Errorf("returned %d points, Completed = %d; the partial set is exactly the completed cells",
+			len(points), completed)
+	}
+	// context.AfterFunc stamps the cancel; the workers finish their in-flight
+	// chunk afterwards, so the measured cooperative-cancel latency is positive.
+	if got := prog.CancelLatencyNanos.Load(); got <= 0 {
+		t.Errorf("CancelLatencyNanos = %d on a cancelled sweep, want > 0", got)
+	}
+}
+
+func TestMicrobatchFeasible(t *testing.T) {
+	cases := []struct {
+		per, pp int
+		want    bool
+	}{
+		{128, 8, true},
+		{8, 8, true},   // N_ub = per fills the pipeline exactly
+		{4, 16, false}, // pipeline deeper than the per-replica batch
+		{1, 1, true},
+		{1, 2, false}, // perReplica == 1 only admits a depth-1 pipeline
+		{0, 1, false}, // degenerate batch
+		{7, 8, false},
+		{7, 7, true},
+	}
+	for _, c := range cases {
+		if got := MicrobatchFeasible(c.per, c.pp); got != c.want {
+			t.Errorf("MicrobatchFeasible(%d, %d) = %v, want %v", c.per, c.pp, got, c.want)
+		}
+	}
+}
+
+// tinyScenario is a machine small enough that a power-of-two enumeration
+// contains pipelines deeper than a small per-replica batch: 2 nodes x 4
+// accels admits PP up to 8.
+func tinyScenario(t *testing.T) Scenario {
+	t.Helper()
+	m := transformer.Megatron145B()
+	sys := hardware.CaseStudy1System()
+	sys.Nodes = 2
+	sys.AccelsPerNode = 4
+	return Scenario{Model: &m, System: &sys, Training: model.Training{NumBatches: 1}}
+}
+
+func TestSweepMarksInfeasibleMicrobatchCells(t *testing.T) {
+	sc := tinyScenario(t)
+	opt := Options{
+		Batches:          []int{4, 64},
+		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 2,
+		KeepInvalid:      true,
+	}
+	points, err := Sweep(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infeasible, deepOK int
+	for _, p := range points {
+		pp, dp := p.Mapping.PP(), p.Mapping.DP()
+		if p.Batch%dp != 0 {
+			continue // non-dividing cells are rejected by Batch.Validate
+		}
+		per := p.Batch / dp
+		if pp > per {
+			// The pipeline can never fill: the sweep must pre-mark the
+			// cell with an explicit diagnosis, not evaluate a schedule
+			// with N_ub < N_PP.
+			infeasible++
+			if p.Err == nil || !strings.Contains(p.Err.Error(), "infeasible") {
+				t.Fatalf("cell %v (per=%d < pp=%d) not marked infeasible: err=%v", p, per, pp, p.Err)
+			}
+			if p.Breakdown != nil {
+				t.Fatalf("infeasible cell %v kept a breakdown", p)
+			}
+			continue
+		}
+		if p.Err == nil {
+			if p.Microbatches < pp {
+				t.Fatalf("cell %v evaluated with N_ub=%d < N_PP=%d", p, p.Microbatches, pp)
+			}
+			if pp > 4 {
+				deepOK = deepOK + 1
+			}
+		}
+	}
+	if infeasible == 0 {
+		t.Fatal("sweep enumerated no per < pp cells; the fixture lost its point")
+	}
+	if deepOK == 0 {
+		t.Fatal("no deep-pipeline cell evaluated at the large batch; the fixture lost its point")
+	}
+
+	// Dropping invalid points removes the infeasible cells silently-but-
+	// honestly: they are gone, not evaluated under a broken schedule.
+	opt.KeepInvalid = false
+	points, err = Sweep(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if per := p.Batch / p.Mapping.DP(); p.Mapping.PP() > per {
+			t.Fatalf("infeasible cell %v survived the KeepInvalid=false filter", p)
+		}
+	}
+}
+
+// TestProgressFromMonitorGoroutine reads the counters concurrently with the
+// sweep, the way amped-explore's -progress flag and the serving layer do.
+// Run under -race this proves the counters are safely published.
+func TestProgressFromMonitorGoroutine(t *testing.T) {
+	sc := robustScenario(t)
+	opt := robustOptions
+	var prog Progress
+	opt.Progress = &prog
+	stop := make(chan struct{})
+	var peak atomic.Int64
+	go func() {
+		defer close(stop)
+		for {
+			c := prog.Completed.Load()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			if t := prog.Total.Load(); t > 0 && c >= t {
+				return
+			}
+		}
+	}()
+	if _, err := Sweep(sc, opt); err != nil {
+		t.Fatal(err)
+	}
+	<-stop
+	if peak.Load() != prog.Total.Load() {
+		t.Fatalf("monitor observed peak %d, total %d", peak.Load(), prog.Total.Load())
+	}
+}

@@ -107,23 +107,43 @@ func TestSweepRecoversPartialPanics(t *testing.T) {
 func TestSweepContextCancellation(t *testing.T) {
 	sc := robustScenario(t)
 
-	// Already-cancelled context: no evaluation happens.
+	// Already-cancelled context: no evaluation happens and no points are
+	// returned (nothing completed, so the partial set is empty).
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := SweepContext(ctx, sc, robustOptions); err != context.Canceled {
+	pts, err := SweepContext(ctx, sc, robustOptions)
+	if err != context.Canceled {
 		t.Fatalf("pre-cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if len(pts) != 0 {
+		t.Fatalf("pre-cancelled sweep returned %d points, want 0", len(pts))
 	}
 
 	// Mid-sweep cancellation: the efficiency model pulls the plug after a
 	// few evaluations; the sweep must stop at chunk boundaries and report
-	// the context error rather than a partial result.
+	// the context error alongside the points that completed before the
+	// cancel — explicitly labeled partial work, never silently complete.
 	ctx, cancel = context.WithCancel(context.Background())
 	defer cancel()
 	sc.Eff = cancellingEff{cancel: cancel, after: 8, n: new(int64)}
 	opt := robustOptions
 	opt.Concurrency = 2
-	if _, err := SweepContext(ctx, sc, opt); err != context.Canceled {
+	pts, err = SweepContext(ctx, sc, opt)
+	if err != context.Canceled {
 		t.Fatalf("mid-sweep cancellation returned %v, want context.Canceled", err)
+	}
+	en := opt.Enumerate
+	en.MaxTP = sc.Model.Heads
+	en.MaxPP = sc.Model.Layers
+	total := len(parallel.Enumerate(sc.System, en)) * len(opt.Batches)
+	if len(pts) == 0 || len(pts) >= total {
+		t.Fatalf("cancelled sweep returned %d of %d points, want a non-empty strict subset",
+			len(pts), total)
+	}
+	for _, p := range pts {
+		if p.Err == nil && p.Breakdown == nil {
+			t.Fatalf("cancelled sweep leaked an unevaluated cell: %v", p)
+		}
 	}
 }
 

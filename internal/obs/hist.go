@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket cumulative histogram with Prometheus
+// semantics: counts[i] is the number of observations <= bounds[i], the
+// +Inf bucket equals the total count. Observe is lock-free and safe for
+// concurrent use; Write renders the text exposition sample lines.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bounds returns the bucket upper bounds (read-only).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// BucketCounts returns the cumulative per-bound counts (excluding +Inf).
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Write renders the histogram's sample lines (bucket/sum/count) in
+// Prometheus text format. labels, when non-empty, is a pre-rendered label
+// pair list ('phase="decode"') merged ahead of the le label; the caller
+// emits the # HELP / # TYPE header once per metric family.
+func (h *Histogram) Write(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, formatBound(b), h.counts[i].Load())
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count.Load())
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count.Load())
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do: %g,
+// which keeps 0.001 as 0.001 and 250000 as 250000.
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramExactBucketMath pins the cumulative-bucket semantics on a
+// hand-computed case: every bucket counts observations <= its bound, the
+// +Inf bucket equals the total count, and the sum is exact.
+func TestHistogramExactBucketMath(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1, 1)
+	for _, v := range []float64{
+		0.0005, // <= all bounds
+		0.001,  // boundary: counts in the 0.001 bucket (le semantics)
+		0.0011, // just above: first lands in 0.01
+		0.05,   // lands in 0.1
+		0.5,    // lands in 1
+		3,      // only +Inf
+	} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 3, 4, 5}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket le=%g count = %d, want %d", h.Bounds()[i], got[i], want[i])
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	wantSum := 0.0005 + 0.001 + 0.0011 + 0.05 + 0.5 + 3
+	if math.Abs(h.Sum()-wantSum) > 1e-15 {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramGoldenRendering is the golden test for the Prometheus text
+// rendering: exact output, byte for byte, labeled and unlabeled.
+func TestHistogramGoldenRendering(t *testing.T) {
+	h := NewHistogram(0.001, 0.025, 0.5)
+	h.Observe(0.0004)
+	h.Observe(0.02)
+	h.Observe(0.02)
+	h.Observe(10)
+
+	var b strings.Builder
+	h.Write(&b, "amped_phase_duration_seconds", `phase="decode"`)
+	want := `amped_phase_duration_seconds_bucket{phase="decode",le="0.001"} 1
+amped_phase_duration_seconds_bucket{phase="decode",le="0.025"} 3
+amped_phase_duration_seconds_bucket{phase="decode",le="0.5"} 3
+amped_phase_duration_seconds_bucket{phase="decode",le="+Inf"} 4
+amped_phase_duration_seconds_sum{phase="decode"} 10.0404
+amped_phase_duration_seconds_count{phase="decode"} 4
+`
+	if b.String() != want {
+		t.Errorf("labeled rendering:\n got: %q\nwant: %q", b.String(), want)
+	}
+
+	b.Reset()
+	h.Write(&b, "amped_queue_wait_seconds", "")
+	want = `amped_queue_wait_seconds_bucket{le="0.001"} 1
+amped_queue_wait_seconds_bucket{le="0.025"} 3
+amped_queue_wait_seconds_bucket{le="0.5"} 3
+amped_queue_wait_seconds_bucket{le="+Inf"} 4
+amped_queue_wait_seconds_sum 10.0404
+amped_queue_wait_seconds_count 4
+`
+	if b.String() != want {
+		t.Errorf("unlabeled rendering:\n got: %q\nwant: %q", b.String(), want)
+	}
+}
+
+// TestHistogramConcurrentObserve exercises the lock-free path under the
+// race detector and checks nothing is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(0.5, 1.5)
+	var wg sync.WaitGroup
+	const goroutines, per = 16, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	const total = goroutines * per
+	if h.Count() != total {
+		t.Errorf("count = %d, want %d", h.Count(), total)
+	}
+	if got := h.BucketCounts(); got[0] != 0 || got[1] != total {
+		t.Errorf("buckets = %v, want [0 %d]", got, total)
+	}
+	if h.Sum() != total {
+		t.Errorf("sum = %g, want %d", h.Sum(), total)
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	h := NewHistogram(1)
+	h.Observe(1)
+	if got := h.BucketCounts(); got[0] != 1 {
+		t.Fatalf("le=1 bucket = %d after Observe(1), want 1 (le is inclusive)", got[0])
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanSnapshot is one span of a completed trace, in wire form for
+// /debug/trace: phase name plus start offset and duration in seconds.
+// Count (present when >1) reports how many operations were coalesced into
+// the span.
+type SpanSnapshot struct {
+	Phase  string  `json:"phase"`
+	StartS float64 `json:"start_s"`
+	DurS   float64 `json:"dur_s"`
+	Count  int     `json:"count,omitempty"`
+}
+
+// Snapshot is a completed request trace as captured into the ring buffer:
+// identity, outcome, total latency and the per-phase timeline.
+type Snapshot struct {
+	ID      string         `json:"request_id"`
+	Handler string         `json:"handler"`
+	Status  int            `json:"status"`
+	Start   time.Time      `json:"start"`
+	TotalS  float64        `json:"total_s"`
+	Spans   []SpanSnapshot `json:"spans"`
+	Dropped int            `json:"spans_dropped,omitempty"`
+}
+
+// Snapshot captures the trace's current state for the ring buffer. It
+// allocates (cold path: once per request, after the response is written).
+func (t *Trace) Snapshot(handler string, status int) Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	spans := make([]SpanSnapshot, t.n)
+	for i := 0; i < t.n; i++ {
+		sp := t.spans[i]
+		spans[i] = SpanSnapshot{
+			Phase:  sp.Phase.String(),
+			StartS: sp.Start.Seconds(),
+			DurS:   sp.Dur.Seconds(),
+		}
+		if sp.Count > 1 {
+			spans[i].Count = sp.Count
+		}
+	}
+	return Snapshot{
+		ID:      t.id,
+		Handler: handler,
+		Status:  status,
+		Start:   t.start,
+		TotalS:  time.Since(t.start).Seconds(),
+		Spans:   spans,
+		Dropped: t.dropped,
+	}
+}
+
+// Ring is a fixed-capacity buffer of the most recent completed traces,
+// the storage behind /debug/trace?last=N. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Snapshot
+	next  int
+	total uint64
+}
+
+// NewRing creates a ring holding the last capacity traces (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Snapshot, 0, capacity)}
+}
+
+// Add records a completed trace, evicting the oldest when full.
+func (r *Ring) Add(s Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Last returns up to n snapshots, most recent first. n <= 0 returns all
+// buffered snapshots.
+func (r *Ring) Last(n int) []Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	have := len(r.buf)
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]Snapshot, 0, n)
+	// The newest entry sits just before next (once the ring has wrapped)
+	// or at len-1 (while still filling).
+	newest := len(r.buf) - 1
+	if len(r.buf) == cap(r.buf) {
+		newest = (r.next - 1 + cap(r.buf)) % cap(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(newest-i+have)%have])
+	}
+	return out
+}
+
+// Total reports how many traces have ever been added.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func snap(id string) Snapshot { return Snapshot{ID: id} }
+
+func ids(ss []Snapshot) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.ID
+	}
+	return out
+}
+
+func TestRingMostRecentFirst(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Last(5); len(got) != 0 {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	r.Add(snap("a"))
+	r.Add(snap("b"))
+	got := ids(r.Last(0))
+	if fmt.Sprint(got) != "[b a]" {
+		t.Fatalf("Last(0) = %v, want [b a]", got)
+	}
+
+	// Wrap: capacity 3, five adds -> c,d,e retained, newest first.
+	r.Add(snap("c"))
+	r.Add(snap("d"))
+	r.Add(snap("e"))
+	if got := ids(r.Last(0)); fmt.Sprint(got) != "[e d c]" {
+		t.Fatalf("wrapped Last(0) = %v, want [e d c]", got)
+	}
+	if got := ids(r.Last(2)); fmt.Sprint(got) != "[e d]" {
+		t.Fatalf("Last(2) = %v, want [e d]", got)
+	}
+	if got := ids(r.Last(99)); fmt.Sprint(got) != "[e d c]" {
+		t.Fatalf("Last(99) = %v, want [e d c]", got)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Add(snap("a"))
+	r.Add(snap("b"))
+	if got := ids(r.Last(0)); fmt.Sprint(got) != "[b]" {
+		t.Fatalf("capacity-clamped ring = %v, want [b]", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(snap(fmt.Sprintf("%d-%d", g, i)))
+				r.Last(4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+	if got := r.Last(0); len(got) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(got))
+	}
+}
+
+func TestSnapshotCapturesTrace(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.StartSpan(PhaseDecode)
+	sp.End()
+	sp = tr.StartSpan(PhaseSweep)
+	sp.End()
+	s := tr.Snapshot("sweep", 206)
+	if s.ID != tr.ID() || s.Handler != "sweep" || s.Status != 206 {
+		t.Fatalf("snapshot identity wrong: %+v", s)
+	}
+	if len(s.Spans) != 2 || s.Spans[0].Phase != "decode" || s.Spans[1].Phase != "sweep" {
+		t.Fatalf("snapshot spans wrong: %+v", s.Spans)
+	}
+	if s.TotalS < 0 || s.Spans[1].StartS < s.Spans[0].StartS {
+		t.Fatalf("snapshot timing wrong: %+v", s)
+	}
+	var nilTrace *Trace
+	if got := nilTrace.Snapshot("x", 0); got.ID != "" {
+		t.Fatalf("nil trace snapshot = %+v", got)
+	}
+}

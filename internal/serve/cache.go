@@ -8,14 +8,17 @@ import (
 )
 
 // sessionCache is an LRU of compiled model.Sessions keyed by the canonical
-// scenario hash (model.ScenarioKey). Sessions are immutable and safe to
-// share, so a hit hands the same *Session to any number of concurrent
-// requests; the cache only guards its own bookkeeping.
+// scenario hash (model.ScenarioKey), with singleflight compilation: any
+// number of concurrent misses for one key share a single model.Compile.
+// Sessions are immutable and safe to share, so a hit hands the same
+// *Session to any number of concurrent requests; the cache only guards its
+// own bookkeeping.
 type sessionCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+	inflight map[string]*compileCall
 
 	evicted func() // eviction hook for metrics (may be nil)
 }
@@ -25,11 +28,24 @@ type cacheEntry struct {
 	sess *model.Session
 }
 
+// compileCall is one in-flight compilation. The leader closes done after
+// filling sess/err; followers block on done and share the result.
+type compileCall struct {
+	done chan struct{}
+	sess *model.Session
+	err  error
+}
+
 func newSessionCache(capacity int) *sessionCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &sessionCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+	return &sessionCache{
+		cap:      capacity,
+		ll:       list.New(),
+		m:        make(map[string]*list.Element),
+		inflight: make(map[string]*compileCall),
+	}
 }
 
 // get returns the cached session and promotes it to most recently used.
@@ -44,6 +60,46 @@ func (c *sessionCache) get(key string) (*model.Session, bool) {
 	return el.Value.(*cacheEntry).sess, true
 }
 
+// getOrCompile resolves key through the cache, running compile at most once
+// across all concurrent callers of the same key. Before the singleflight
+// guard, N simultaneous first requests for one scenario ran N full
+// model.Compiles and N-1 of the resulting sessions were discarded by put's
+// first-insert-wins rule — correct but a thundering herd of wasted work.
+// Now exactly one caller (the leader) compiles while the rest block on its
+// result. The status return tells the story for response bodies and tests:
+// "hit" (cached), "miss" (this caller compiled), "join" (shared a
+// concurrent caller's compile).
+func (c *sessionCache) getOrCompile(key string, compile func() (*model.Session, error)) (*model.Session, string, error) {
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		sess := el.Value.(*cacheEntry).sess
+		c.mu.Unlock()
+		return sess, "hit", nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.sess, "join", call.err
+	}
+	call := &compileCall{done: make(chan struct{})}
+	c.inflight[key] = call
+	c.mu.Unlock()
+
+	call.sess, call.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		c.putLocked(key, call.sess)
+	}
+	c.mu.Unlock()
+	// Release followers only after the cache holds the session, so a
+	// follower's next request is a clean hit.
+	close(call.done)
+	return call.sess, "miss", call.err
+}
+
 // put inserts a session, evicting the least recently used entry when full.
 // A concurrent insert of the same key wins by arrival order; the later one
 // just refreshes recency (the sessions are interchangeable by construction
@@ -51,6 +107,10 @@ func (c *sessionCache) get(key string) (*model.Session, bool) {
 func (c *sessionCache) put(key string, sess *model.Session) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, sess)
+}
+
+func (c *sessionCache) putLocked(key string, sess *model.Session) {
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		return

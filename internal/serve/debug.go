@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// DebugHandler returns the optional diagnostics surface, meant for a
+// separate loopback listener (amped-serve's -debug-addr flag) so profiling
+// and trace inspection never share a port with production traffic:
+//
+//   - /debug/pprof/... — the standard net/http/pprof profiles, wired
+//     explicitly onto this mux (the package's DefaultServeMux registration
+//     is never exposed by the main handler);
+//   - /debug/trace?last=N — the most recent evaluation-request traces
+//     (newest first) from the in-memory ring, each with its request ID,
+//     handler, status and per-phase span timings.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	return mux
+}
+
+// debugTraceDefault is how many traces /debug/trace returns when the caller
+// does not say.
+const debugTraceDefault = 32
+
+// handleDebugTrace serves the recent-trace ring as JSON.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	n := debugTraceDefault
+	if q := r.URL.Query().Get("last"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": "last must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total_traced": s.ring.Total(),
+		"traces":       s.ring.Last(n),
+	})
+}

@@ -13,32 +13,30 @@ import (
 	"amped/internal/config"
 	"amped/internal/explore"
 	"amped/internal/model"
+	"amped/internal/obs"
 	"amped/internal/parallel"
 )
 
 // session resolves the request's scenario to a compiled session through the
-// LRU: a hit shares the cached (immutable) session, a miss compiles and
-// caches it. The bool reports whether it was a hit.
-func (s *Server) session(comp *config.Components) (*model.Session, bool, error) {
-	key := comp.Key()
-	if sess, ok := s.cache.get(key); ok {
-		s.met.cacheHits.inc()
-		return sess, true, nil
-	}
-	sess, err := comp.Compile()
+// LRU with singleflight compilation: a hit shares the cached (immutable)
+// session, the first miss compiles (recording the compile phase span on its
+// own trace), and concurrent misses for the same key join that compile
+// instead of duplicating it. The returned status is "hit", "miss" or
+// "join"; it is tallied into the cache counters and echoed in responses.
+func (s *Server) session(ctx context.Context, comp *config.Components) (*model.Session, string, error) {
+	sp := obs.FromContext(ctx).StartSpan(obs.PhaseCache)
+	sess, status, err := s.cache.getOrCompile(comp.Key(), func() (*model.Session, error) {
+		csp := obs.FromContext(ctx).StartSpan(obs.PhaseCompile)
+		defer csp.End()
+		s.met.compiles.inc()
+		return comp.Compile()
+	})
+	sp.End()
 	if err != nil {
-		return nil, false, err
+		return nil, status, err
 	}
-	s.met.cacheMisses.inc()
-	s.cache.put(key, sess)
-	return sess, false, nil
-}
-
-func cacheLabel(hit bool) string {
-	if hit {
-		return "hit"
-	}
-	return "miss"
+	s.met.cacheStatus(status)
+	return sess, status, nil
 }
 
 // readBody slurps a bounded request body.
@@ -75,35 +73,42 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.lim.release()
+	tr := obs.FromContext(r.Context())
 
+	sp := tr.StartSpan(obs.PhaseDecode)
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	doc, err := config.Parse(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	comp, err := doc.Components()
+	sp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	sess, hit, err := s.session(comp)
+	sess, status, err := s.session(r.Context(), comp)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 
 	mp := doc.Mapping.Resolve()
+	esp := tr.StartSpan(obs.PhaseEvaluate)
 	bd, err := sess.Evaluate(mp, doc.Training.GlobalBatch, doc.Training.Microbatches)
+	esp.End()
 	if err != nil {
 		// The scenario compiled but this point is unusable (invalid
 		// mapping/batch combination, non-finite result): the client's
 		// input, the client's 4xx.
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		s.error(w, r, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 
@@ -111,9 +116,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	for _, c := range bd.Components() {
 		breakdown[c.Name] = float64(c.Time)
 	}
+	wsp := tr.StartSpan(obs.PhaseEncode)
 	writeJSON(w, http.StatusOK, EvaluateResponse{
 		ScenarioKey:  sess.Key(),
-		Cache:        cacheLabel(hit),
+		Cache:        status,
 		Mapping:      mp.Normalized().String(),
 		Batch:        doc.Training.GlobalBatch,
 		Microbatch:   bd.Microbatch,
@@ -125,6 +131,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		TotalDays:    bd.TotalTime().Days(),
 		TFLOPSPerGPU: bd.TFLOPSPerGPU(),
 	})
+	wsp.End()
 }
 
 // SweepRequest is the /v1/sweep body: the scenario sections of a
@@ -160,13 +167,19 @@ type SweepParams struct {
 
 // SweepResponse is the /v1/sweep reply.
 type SweepResponse struct {
-	ScenarioKey string       `json:"scenario_key"`
-	Cache       string       `json:"cache"`
-	TotalPoints int          `json:"total_points"`
-	Returned    int          `json:"returned"`
-	Truncated   bool         `json:"truncated"`
-	DurationS   float64      `json:"duration_s"`
-	Points      []SweepPoint `json:"points"`
+	ScenarioKey string `json:"scenario_key"`
+	Cache       string `json:"cache"`
+	// TotalPoints counts the points the sweep completed; Returned is the
+	// length of Points after Top-truncation; Truncated flags the cut.
+	TotalPoints int  `json:"total_points"`
+	Returned    int  `json:"returned"`
+	Truncated   bool `json:"truncated"`
+	// Partial is true when the request deadline expired mid-sweep and
+	// Points holds only the cells that finished (HTTP 206). The design
+	// space was NOT fully explored; the ranking may omit better points.
+	Partial   bool         `json:"partial,omitempty"`
+	DurationS float64      `json:"duration_s"`
+	Points    []SweepPoint `json:"points"`
 }
 
 // SweepPoint is one ranked design point.
@@ -182,44 +195,55 @@ type SweepPoint struct {
 }
 
 // handleSweep runs a design-space exploration over the compiled session,
-// under the request timeout and the engine's per-point panic isolation.
+// under the request timeout and the engine's per-point panic isolation. A
+// deadline that expires mid-sweep returns the completed points as an
+// explicit 206 Partial Content instead of discarding finished work behind
+// an empty 504.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w, r) {
 		return
 	}
 	defer s.lim.release()
+	tr := obs.FromContext(r.Context())
 
+	sp := tr.StartSpan(obs.PhaseDecode)
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	var req SweepRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "sweep request: "+err.Error())
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, "sweep request: "+err.Error())
 		return
 	}
 	if len(req.Sweep.Batches) == 0 {
-		writeError(w, http.StatusBadRequest, "sweep request: sweep.batches is required")
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, "sweep request: sweep.batches is required")
 		return
 	}
 	doc := config.Document{Model: req.Model, System: req.System, Training: req.Training}
 	comp, err := doc.Components()
+	sp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	sess, hit, err := s.session(comp)
+	sess, status, err := s.session(r.Context(), comp)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	var prog explore.Progress
 	start := time.Now()
+	ssp := tr.StartSpan(obs.PhaseSweep)
 	points, err := explore.SweepContext(ctx, explore.Scenario{Session: sess}, explore.Options{
 		Batches:          req.Sweep.Batches,
 		MicrobatchTarget: req.Sweep.MicrobatchTarget,
@@ -230,17 +254,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			MaxPP:          req.Sweep.MaxPP,
 		},
 		KeepInvalid: req.Sweep.KeepInvalid,
+		Progress:    &prog,
 	})
+	ssp.End()
+	elapsed := time.Since(start)
+	if completed := prog.Completed.Load(); completed > 0 && elapsed > 0 {
+		s.met.sweepRate.Observe(float64(completed) / elapsed.Seconds())
+	}
+
+	respStatus := http.StatusOK
+	partial := false
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout,
-			fmt.Sprintf("sweep exceeded the %v request timeout", s.cfg.RequestTimeout))
-		return
+		if len(points) == 0 {
+			s.error(w, r, http.StatusGatewayTimeout,
+				fmt.Sprintf("sweep exceeded the %v request timeout before any point completed", s.cfg.RequestTimeout))
+			return
+		}
+		// Finished work is worth returning: label it partial, loudly.
+		respStatus = http.StatusPartialContent
+		partial = true
 	case errors.Is(err, context.Canceled):
-		writeError(w, statusForContextErr(err), "sweep cancelled: client went away")
+		s.error(w, r, statusForContextErr(err), "sweep cancelled: client went away")
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.met.sweepPoints.add(uint64(len(points)))
@@ -272,13 +310,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = sp
 	}
-	writeJSON(w, http.StatusOK, SweepResponse{
+	wsp := tr.StartSpan(obs.PhaseEncode)
+	writeJSON(w, respStatus, SweepResponse{
 		ScenarioKey: sess.Key(),
-		Cache:       cacheLabel(hit),
+		Cache:       status,
 		TotalPoints: total,
 		Returned:    len(out),
 		Truncated:   truncated,
-		DurationS:   time.Since(start).Seconds(),
+		Partial:     partial,
+		DurationS:   elapsed.Seconds(),
 		Points:      out,
 	})
+	wsp.End()
 }

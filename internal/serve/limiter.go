@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"container/list"
 	"context"
 	"errors"
+	"sync"
 )
 
 // errBusy signals that both the active slots and the wait queue are full;
@@ -13,9 +15,30 @@ var errBusy = errors.New("serve: at capacity (active slots and queue full)")
 // execute at once, at most maxQueue more wait for a slot, and everything
 // beyond that is rejected immediately — load sheds at the door instead of
 // piling up goroutines until the process dies.
+//
+// Admission is FIFO-fair. The previous channel-based implementation had a
+// barge window: a slot freed by release() landed in a buffered channel, and
+// a fresh arrival's fast path could win the race against a waiter that was
+// queued first — under sustained load a queued request could starve behind
+// a stream of newcomers. Here a freed slot is handed directly to the oldest
+// waiter under the lock (the active count never dips in between), and the
+// fast path only runs when the queue is empty, so nobody ever overtakes a
+// waiter.
 type limiter struct {
-	active  chan struct{}
-	waiting chan struct{}
+	mu        sync.Mutex
+	maxActive int
+	maxQueue  int
+	active    int
+	waiters   list.List // of *waiter, oldest at the front
+}
+
+// waiter is one queued acquire. given marks that releaseLocked handed the
+// slot over (and removed the waiter from the queue) — the flag resolves the
+// race where a handoff and the waiter's context expiry happen together: the
+// abandoning waiter sees given and returns the slot instead of leaking it.
+type waiter struct {
+	ready chan struct{}
+	given bool
 }
 
 func newLimiter(maxActive, maxQueue int) *limiter {
@@ -25,41 +48,71 @@ func newLimiter(maxActive, maxQueue int) *limiter {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &limiter{
-		active:  make(chan struct{}, maxActive),
-		waiting: make(chan struct{}, maxQueue),
-	}
+	return &limiter{maxActive: maxActive, maxQueue: maxQueue}
 }
 
-// acquire obtains an active slot, waiting in the bounded queue if necessary.
-// It returns errBusy when the queue is full, or the context's error if the
-// caller gives up (client disconnect, request timeout) while queued.
+// acquire obtains an active slot, waiting in the bounded FIFO queue if
+// necessary. It returns errBusy when the queue is full, or the context's
+// error if the caller gives up (client disconnect, request timeout) while
+// queued.
 func (l *limiter) acquire(ctx context.Context) error {
-	// Fast path: a free slot, no queuing.
-	select {
-	case l.active <- struct{}{}:
+	l.mu.Lock()
+	// Fast path only when nobody is queued: with waiters present a free
+	// slot cannot exist (handoff keeps active at max), and skipping the
+	// check anyway documents the fairness invariant.
+	if l.active < l.maxActive && l.waiters.Len() == 0 {
+		l.active++
+		l.mu.Unlock()
 		return nil
-	default:
 	}
-	// Reserve a queue position or shed the request.
-	select {
-	case l.waiting <- struct{}{}:
-	default:
+	if l.waiters.Len() >= l.maxQueue {
+		l.mu.Unlock()
 		return errBusy
 	}
-	defer func() { <-l.waiting }()
+	w := &waiter{ready: make(chan struct{})}
+	el := l.waiters.PushBack(w)
+	l.mu.Unlock()
+
 	select {
-	case l.active <- struct{}{}:
+	case <-w.ready:
 		return nil
 	case <-ctx.Done():
+		l.mu.Lock()
+		if w.given {
+			// The slot was handed over while we were giving up: pass it
+			// on (or free it) rather than leak it.
+			l.releaseLocked()
+		} else {
+			l.waiters.Remove(el)
+		}
+		l.mu.Unlock()
 		return ctx.Err()
 	}
 }
 
 // release frees an active slot. Must pair with a successful acquire.
-func (l *limiter) release() { <-l.active }
+func (l *limiter) release() {
+	l.mu.Lock()
+	l.releaseLocked()
+	l.mu.Unlock()
+}
+
+// releaseLocked hands the freed slot to the oldest waiter — the active
+// count stays put, so no newcomer can sneak into the gap — or decrements
+// it when the queue is empty.
+func (l *limiter) releaseLocked() {
+	if el := l.waiters.Front(); el != nil {
+		w := l.waiters.Remove(el).(*waiter)
+		w.given = true
+		close(w.ready)
+		return
+	}
+	l.active--
+}
 
 // depth samples the live occupancy for the metrics gauges.
 func (l *limiter) depth() (inFlight, queued int) {
-	return len(l.active), len(l.waiting)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active, l.waiters.Len()
 }

@@ -3,10 +3,11 @@ package serve
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"amped/internal/obs"
 )
 
 // counter is a monotonically increasing metric.
@@ -53,34 +54,17 @@ func (v *counterVec) snapshot() ([]string, []uint64) {
 	return keys, vals
 }
 
-// histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
-// each bucket counts observations ≤ its upper bound).
-type histogram struct {
-	bounds []float64
-	counts []atomic.Uint64
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
-}
-
-func (h *histogram) observe(v float64) {
-	for i, b := range h.bounds {
-		if v <= b {
-			h.counts[i].Add(1)
-		}
-	}
-	h.count.Add(1)
-	for {
-		old := h.sum.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sum.CompareAndSwap(old, next) {
-			return
-		}
-	}
-}
+// Histogram bucket boundaries. Request latency and the per-phase split
+// share one grid so a phase can be read against the whole request; queue
+// wait gets a finer low end (an uncontended acquire is sub-microsecond);
+// sweep throughput is points/second of analytical evaluation, which spans
+// ~1e3 (deep scenarios, cold caches) to ~1e8 (hot O(1) re-evaluation).
+var (
+	latencyBuckets   = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	phaseBuckets     = []float64{1e-5, 1e-4, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+	queueBuckets     = []float64{1e-5, 1e-4, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+	sweepRateBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+)
 
 // metrics is the server's observability surface, exposed in Prometheus text
 // format on /metrics. Gauges that mirror live structures (in-flight, queue
@@ -91,9 +75,15 @@ type metrics struct {
 	rejected     counter     // amped_requests_rejected_total
 	cacheHits    counter     // amped_session_cache_hits_total
 	cacheMisses  counter     // amped_session_cache_misses_total
+	cacheJoins   counter     // amped_session_cache_joins_total
 	cacheEvicted counter     // amped_session_cache_evictions_total
+	compiles     counter     // amped_session_compiles_total
 	sweepPoints  counter     // amped_sweep_points_total
-	latency      *histogram  // amped_request_duration_seconds
+
+	latency   *obs.Histogram                // amped_request_duration_seconds
+	queueWait *obs.Histogram                // amped_queue_wait_seconds
+	sweepRate *obs.Histogram                // amped_sweep_points_per_second
+	phases    [obs.NumPhases]*obs.Histogram // amped_phase_duration_seconds{phase}
 
 	// gauges reads live values: in-flight requests, queue depth, cached
 	// sessions. Set once at server construction.
@@ -101,12 +91,38 @@ type metrics struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		requests: newCounterVec(),
-		latency: newHistogram([]float64{
-			0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-		}),
-		gauges: func() (int, int, int) { return 0, 0, 0 },
+	m := &metrics{
+		requests:  newCounterVec(),
+		latency:   obs.NewHistogram(latencyBuckets...),
+		queueWait: obs.NewHistogram(queueBuckets...),
+		sweepRate: obs.NewHistogram(sweepRateBuckets...),
+		gauges:    func() (int, int, int) { return 0, 0, 0 },
+	}
+	for p := range m.phases {
+		m.phases[p] = obs.NewHistogram(phaseBuckets...)
+	}
+	return m
+}
+
+// observeTrace folds a finished request trace into the per-phase latency
+// histograms.
+func (m *metrics) observeTrace(tr *obs.Trace) {
+	for _, sp := range tr.Spans() {
+		if int(sp.Phase) < len(m.phases) {
+			m.phases[sp.Phase].Observe(sp.Dur.Seconds())
+		}
+	}
+}
+
+// cacheStatus tallies one session resolution by its getOrCompile status.
+func (m *metrics) cacheStatus(status string) {
+	switch status {
+	case "hit":
+		m.cacheHits.inc()
+	case "miss":
+		m.cacheMisses.inc()
+	case "join":
+		m.cacheJoins.inc()
 	}
 }
 
@@ -119,6 +135,10 @@ func (m *metrics) writeTo(w io.Writer) {
 	g := func(name, help string, v int) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	hist := func(name, help string, h *obs.Histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		h.Write(w, name, "")
+	}
 
 	fmt.Fprintf(w, "# HELP amped_requests_total Requests served, by handler and status code.\n")
 	fmt.Fprintf(w, "# TYPE amped_requests_total counter\n")
@@ -130,21 +150,23 @@ func (m *metrics) writeTo(w io.Writer) {
 	c("amped_requests_rejected_total", "Requests rejected with 429 by the backpressure limiter.", m.rejected.value())
 	c("amped_panics_recovered_total", "Handler panics recovered by the isolation middleware.", m.panics.value())
 	c("amped_session_cache_hits_total", "Compiled-session cache hits.", m.cacheHits.value())
-	c("amped_session_cache_misses_total", "Compiled-session cache misses (scenario compiled).", m.cacheMisses.value())
+	c("amped_session_cache_misses_total", "Compiled-session cache misses (scenario compiled by this request).", m.cacheMisses.value())
+	c("amped_session_cache_joins_total", "Cache misses that joined a concurrent compile instead of duplicating it.", m.cacheJoins.value())
 	c("amped_session_cache_evictions_total", "Compiled sessions evicted by the LRU.", m.cacheEvicted.value())
+	c("amped_session_compiles_total", "model.Compile executions (misses after singleflight dedup).", m.compiles.value())
 	c("amped_sweep_points_total", "Design points evaluated by /v1/sweep.", m.sweepPoints.value())
 
 	g("amped_requests_in_flight", "Evaluation requests currently executing.", inFlight)
 	g("amped_queue_depth", "Evaluation requests waiting for a limiter slot.", queueDepth)
 	g("amped_session_cache_entries", "Compiled sessions currently cached.", cached)
 
-	fmt.Fprintf(w, "# HELP amped_request_duration_seconds Evaluation request latency.\n")
-	fmt.Fprintf(w, "# TYPE amped_request_duration_seconds histogram\n")
-	for i, b := range m.latency.bounds {
-		fmt.Fprintf(w, "amped_request_duration_seconds_bucket{le=%q} %d\n",
-			fmt.Sprintf("%g", b), m.latency.counts[i].Load())
+	hist("amped_request_duration_seconds", "Evaluation request latency.", m.latency)
+	hist("amped_queue_wait_seconds", "Time admitted requests spent waiting for a limiter slot.", m.queueWait)
+	hist("amped_sweep_points_per_second", "Per-sweep evaluation throughput (completed points / sweep wall time).", m.sweepRate)
+
+	fmt.Fprintf(w, "# HELP amped_phase_duration_seconds Request time by phase (queue, decode, cache, compile, evaluate, sweep, encode).\n")
+	fmt.Fprintf(w, "# TYPE amped_phase_duration_seconds histogram\n")
+	for p, h := range m.phases {
+		h.Write(w, "amped_phase_duration_seconds", fmt.Sprintf("phase=%q", obs.Phase(p).String()))
 	}
-	fmt.Fprintf(w, "amped_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.latency.count.Load())
-	fmt.Fprintf(w, "amped_request_duration_seconds_sum %g\n", math.Float64frombits(m.latency.sum.Load()))
-	fmt.Fprintf(w, "amped_request_duration_seconds_count %d\n", m.latency.count.Load())
 }

@@ -6,15 +6,20 @@
 // The service is stdlib-only and built for unattended operation:
 //
 //   - an LRU cache of compiled model.Sessions keyed by the canonical
-//     scenario hash, so repeated scenarios skip model.Compile entirely;
-//   - a bounded concurrency limiter with a wait queue — excess load is shed
-//     with 429 + Retry-After instead of unbounded goroutine pileup;
+//     scenario hash, with singleflight compilation so concurrent misses for
+//     one scenario share a single model.Compile;
+//   - a FIFO-fair bounded concurrency limiter with a wait queue — excess
+//     load is shed with 429 + a Retry-After derived from observed service
+//     time instead of unbounded goroutine pileup;
 //   - per-request timeouts threaded as context.Context into
 //     explore.SweepContext, which cancels cooperatively at worker-chunk
-//     boundaries;
+//     boundaries and hands back completed points as an explicit 206;
 //   - panic-isolating middleware (one poisoned request cannot take the
 //     process down) on top of the sweep engine's own per-point recovery;
-//   - Prometheus-text metrics and structured request logs.
+//   - request tracing: every request gets an ID (X-Request-Id, log lines,
+//     error bodies), evaluation requests record per-phase spans feeding the
+//     amped_phase_duration_seconds histograms and a ring of recent traces
+//     served by the optional debug handler (DebugHandler).
 package serve
 
 import (
@@ -24,11 +29,19 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"amped/internal/obs"
 )
+
+// traceRingSize bounds the in-memory ring of recent request traces served
+// on /debug/trace.
+const traceRingSize = 256
 
 // Config tunes the server. The zero value serves with sensible defaults.
 type Config struct {
@@ -81,9 +94,14 @@ type Server struct {
 	cache    *sessionCache
 	lim      *limiter
 	met      *metrics
+	ring     *obs.Ring
 	mux      *http.ServeMux
 	log      *log.Logger
 	draining atomic.Bool
+
+	// ewmaSvcNanos is an exponentially weighted moving average of
+	// evaluation-request service time, feeding the Retry-After estimate.
+	ewmaSvcNanos atomic.Int64
 }
 
 // New builds a Server from the configuration.
@@ -94,6 +112,7 @@ func New(cfg Config) *Server {
 		cache: newSessionCache(cfg.CacheSize),
 		lim:   newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
 		met:   newMetrics(),
+		ring:  obs.NewRing(traceRingSize),
 		mux:   http.NewServeMux(),
 		log:   cfg.Logger,
 	}
@@ -144,19 +163,26 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// wrap is the middleware stack shared by every route: panic isolation,
-// request metrics (counter by handler/code, latency histogram) and one
-// structured log line per request.
+// wrap is the middleware stack shared by every route: request tracing
+// (ID + per-phase spans), panic isolation, request metrics (counter by
+// handler/code, latency and phase histograms) and one structured log line
+// per request. The trace rides the request context, so the sweep engine and
+// error paths see the same request ID the client got in X-Request-Id.
 func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	evaluation := name == "evaluate" || name == "sweep"
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace()
+		w.Header().Set("X-Request-Id", tr.ID())
+		r = r.WithContext(obs.NewContext(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.met.panics.inc()
-				s.log.Printf("level=error handler=%s panic=%q stack=%q", name, fmt.Sprint(rec), debug.Stack())
+				s.log.Printf("level=error handler=%s request_id=%s panic=%q stack=%q",
+					name, tr.ID(), fmt.Sprint(rec), debug.Stack())
 				if sw.status == 0 {
-					writeError(sw, http.StatusInternalServerError,
+					s.error(sw, r, http.StatusInternalServerError,
 						fmt.Sprintf("internal error: %v", rec))
 				}
 			}
@@ -165,11 +191,14 @@ func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
 				sw.status = http.StatusOK
 			}
 			s.met.requests.inc(fmt.Sprintf("handler=%q,code=%q", name, fmt.Sprint(sw.status)))
-			if name == "evaluate" || name == "sweep" {
-				s.met.latency.observe(dur.Seconds())
+			if evaluation {
+				s.met.latency.Observe(dur.Seconds())
+				s.met.observeTrace(tr)
+				s.observeService(dur)
+				s.ring.Add(tr.Snapshot(name, sw.status))
 			}
-			s.log.Printf("level=info handler=%s method=%s path=%s status=%d dur_ms=%.3f bytes=%d",
-				name, r.Method, r.URL.Path, sw.status, float64(dur.Microseconds())/1000, sw.bytes)
+			s.log.Printf("level=info handler=%s method=%s path=%s status=%d dur_ms=%.3f bytes=%d request_id=%s",
+				name, r.Method, r.URL.Path, sw.status, float64(dur.Microseconds())/1000, sw.bytes, tr.ID())
 		}()
 		h(sw, r)
 	}
@@ -192,31 +221,77 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // admit runs the shared admission control for evaluation endpoints:
-// draining check, then the bounded limiter. It returns false after writing
-// the refusal when the request cannot proceed; on true the caller must
-// defer s.lim.release().
+// draining check, then the bounded limiter. The wait is recorded as the
+// request's queue phase and the amped_queue_wait_seconds histogram. It
+// returns false after writing the refusal when the request cannot proceed;
+// on true the caller must defer s.lim.release().
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		s.error(w, r, http.StatusMethodNotAllowed, "POST only")
 		return false
 	}
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		s.error(w, r, http.StatusServiceUnavailable, "server draining")
 		return false
 	}
-	if err := s.lim.acquire(r.Context()); err != nil {
+	sp := obs.FromContext(r.Context()).StartSpan(obs.PhaseQueue)
+	qStart := time.Now()
+	err := s.lim.acquire(r.Context())
+	sp.End()
+	if err != nil {
 		if err == errBusy {
 			s.met.rejected.inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "at capacity; retry later")
+			w.Header().Set("Retry-After", s.retryAfter())
+			s.error(w, r, http.StatusTooManyRequests, "at capacity; retry later")
 		} else {
 			// The client went away while queued.
-			writeError(w, statusForContextErr(err), "request abandoned while queued: "+err.Error())
+			s.error(w, r, statusForContextErr(err), "request abandoned while queued: "+err.Error())
 		}
 		return false
 	}
+	s.met.queueWait.Observe(time.Since(qStart).Seconds())
 	return true
+}
+
+// observeService folds one evaluation request's service time into the EWMA
+// (alpha = 0.3) behind the Retry-After estimate.
+func (s *Server) observeService(d time.Duration) {
+	if d <= 0 {
+		d = 1
+	}
+	for {
+		old := s.ewmaSvcNanos.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)*3/10
+		}
+		if s.ewmaSvcNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter estimates when a shed request is worth retrying: the observed
+// EWMA service time times the work ahead of a fresh arrival (the queue plus
+// its own slot), spread over the active slots. Before the first completed
+// request there is no observation, so fall back to 1s. Clamped to [1, 60]
+// whole seconds — Retry-After is a coarse hint, not a schedule.
+func (s *Server) retryAfter() string {
+	ewma := s.ewmaSvcNanos.Load()
+	if ewma <= 0 {
+		return "1"
+	}
+	_, queued := s.lim.depth()
+	est := time.Duration(ewma * int64(queued+1) / int64(s.cfg.MaxInFlight))
+	secs := int(math.Ceil(est.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.Itoa(secs)
 }
 
 // statusForContextErr maps a context error to a response status: 504 for a
@@ -241,7 +316,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes the uniform JSON error envelope.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// error writes the uniform JSON error envelope. The request ID rides along
+// so a client-side error report can be joined against the server's logs and
+// the /debug/trace ring without scraping headers.
+func (s *Server) error(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	body := map[string]string{"error": msg}
+	if id := obs.RequestID(r.Context()); id != "" {
+		body["request_id"] = id
+	}
+	writeJSON(w, status, body)
 }

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amped/internal/config"
+	"amped/internal/model"
+)
+
+// compileEvalDoc compiles the evalDoc scenario out-of-band, for tests that
+// need a real session to hand to the cache.
+func compileEvalDoc(t *testing.T) (*config.Components, *model.Session) {
+	t.Helper()
+	doc, err := config.Parse([]byte(evalDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := doc.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := comp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp, sess
+}
+
+// TestGetOrCompileSingleflight pins the thundering-herd fix at the cache
+// layer: concurrent misses for one key run the compile function exactly
+// once, the leader reports "miss", everyone shares the leader's session,
+// and the next caller gets a clean "hit".
+func TestGetOrCompileSingleflight(t *testing.T) {
+	_, sess := compileEvalDoc(t)
+	c := newSessionCache(4)
+
+	var compiles atomic.Int64
+	gate := make(chan struct{})
+	compile := func() (*model.Session, error) {
+		compiles.Add(1)
+		<-gate // hold every concurrent caller inside the singleflight window
+		return sess, nil
+	}
+
+	const callers = 6
+	type res struct {
+		sess   *model.Session
+		status string
+		err    error
+	}
+	results := make(chan res, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, status, err := c.getOrCompile("k", compile)
+			results <- res{s, status, err}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the followers reach the call
+	close(gate)
+	wg.Wait()
+	close(results)
+
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("compile ran %d times for %d concurrent callers, want 1", got, callers)
+	}
+	counts := map[string]int{}
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("getOrCompile: %v", r.err)
+		}
+		if r.sess != sess {
+			t.Fatal("caller received a different session than the leader compiled")
+		}
+		counts[r.status]++
+	}
+	if counts["miss"] != 1 {
+		t.Fatalf("statuses = %v, want exactly one miss", counts)
+	}
+	if counts["join"]+counts["hit"] != callers-1 {
+		t.Fatalf("statuses = %v, want %d join/hit", counts, callers-1)
+	}
+	if _, status, _ := c.getOrCompile("k", compile); status != "hit" {
+		t.Fatalf("post-flight status = %q, want hit", status)
+	}
+}
+
+// TestGetOrCompileErrorNotCached: a failed compile is shared with the
+// in-flight followers but never cached, so the next caller retries.
+func TestGetOrCompileErrorNotCached(t *testing.T) {
+	_, sess := compileEvalDoc(t)
+	c := newSessionCache(4)
+	fail := func() (*model.Session, error) { return nil, errBusy }
+	if _, status, err := c.getOrCompile("k", fail); err != errBusy || status != "miss" {
+		t.Fatalf("failed compile = (%q, %v), want (miss, errBusy)", status, err)
+	}
+	ok := func() (*model.Session, error) { return sess, nil }
+	if got, status, err := c.getOrCompile("k", ok); err != nil || status != "miss" || got != sess {
+		t.Fatalf("retry after failure = (%q, %v), want a fresh miss", status, err)
+	}
+}
+
+// TestConcurrentColdStartSharesCompile is the HTTP-level singleflight
+// regression: N concurrent first requests for one scenario used to run N
+// model.Compiles (N-1 discarded by the cache); now the compile counter —
+// incremented inside the compile-phase span — must read exactly 1.
+func TestConcurrentColdStartSharesCompile(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 8, MaxQueue: 8})
+	const n = 6
+	codes := make(chan int, n)
+	statuses := make(chan string, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(evalDoc))
+			if err != nil {
+				codes <- -1
+				statuses <- ""
+				return
+			}
+			var er EvaluateResponse
+			_ = json.NewDecoder(resp.Body).Decode(&er)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+			statuses <- er.Cache
+		}()
+	}
+	seen := map[string]int{}
+	for i := 0; i < n; i++ {
+		if c := <-codes; c != http.StatusOK {
+			t.Fatalf("cold-start request returned %d", c)
+		}
+		seen[<-statuses]++
+	}
+	if seen["miss"] != 1 || seen["miss"]+seen["join"]+seen["hit"] != n {
+		t.Fatalf("cache statuses = %v, want one miss and %d join/hit", seen, n-1)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"amped_session_compiles_total 1",
+		"amped_session_cache_misses_total 1",
+		"amped_session_cache_entries 1",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
