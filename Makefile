@@ -13,12 +13,13 @@ build:
 test:
 	$(GO) test ./...
 
-## verify is the tier-1 gate: compile, vet, full test suite, and the
-## amped-serve end-to-end smoke check.
+## verify is the tier-1 gate: compile, vet, full test suite (in a random
+## test order to keep order dependencies out), and the amped-serve
+## end-to-end smoke check.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 	$(MAKE) serve-smoke
 
 ## serve-smoke builds the real amped-serve binary, starts it on an

@@ -7,19 +7,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"amped/internal/efficiency"
 	"amped/internal/explore"
+	"amped/internal/faults"
 	"amped/internal/hardware"
 	"amped/internal/memkit"
 	"amped/internal/model"
@@ -37,7 +42,16 @@ func main() {
 	}
 }
 
+// run wires Ctrl-C / SIGTERM into a context and delegates to runCtx: a
+// signal cancels the sweep cooperatively and the completed points are
+// printed as explicit partial results instead of being thrown away.
 func run(args []string, out io.Writer) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	return runCtx(ctx, args, out)
+}
+
+func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("amped-explore", flag.ContinueOnError)
 	var (
 		modelName = fs.String("model", "megatron-145b", "model preset")
@@ -57,6 +71,13 @@ func run(args []string, out io.Writer) error {
 		progress  = fs.Bool("progress", false, "report live sweep progress on stderr")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+
+		accelMTBF = fs.Float64("accel-mtbf", 0, "per-accelerator MTBF in seconds (0 = never fails; any MTBF flag enables failure-aware goodput)")
+		nodeMTBF  = fs.Float64("node-mtbf", 0, "per-node MTBF in seconds (0 = never fails)")
+		linkMTBF  = fs.Float64("link-mtbf", 0, "per-NIC fabric link MTBF in seconds (0 = never fails)")
+		ckptBW    = fs.Float64("ckpt-gbs", 2, "per-worker checkpoint write bandwidth (GByte/s)")
+		restart   = fs.Float64("restart", 300, "restart cost after a failure (seconds)")
+		optName   = fs.String("optimizer", "adam", "optimizer whose state is checkpointed (sgd, sgd+momentum, adam)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +142,23 @@ func run(args []string, out io.Writer) error {
 		Training: model.Training{NumBatches: *numBatch},
 		Eff:      efficiency.Default(),
 	}
+	if *accelMTBF > 0 || *nodeMTBF > 0 || *linkMTBF > 0 {
+		opt, err := memkit.ParseOptimizer(*optName)
+		if err != nil {
+			return err
+		}
+		sc.Training.Reliability = &faults.Spec{
+			AccelMTBF:              units.Seconds(*accelMTBF),
+			NodeMTBF:               units.Seconds(*nodeMTBF),
+			LinkMTBF:               units.Seconds(*linkMTBF),
+			CheckpointBW:           *ckptBW * 1e9,
+			RestartTime:            units.Seconds(*restart),
+			OptimizerBytesPerParam: opt.StateBytesPerParam(),
+		}
+		if err := sc.Training.Reliability.Validate(); err != nil {
+			return err
+		}
+	}
 	if *checkMem {
 		sc.Memory = &memkit.Config{
 			Operands:      precision.Mixed16(),
@@ -135,36 +173,60 @@ func run(args []string, out io.Writer) error {
 		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: *pow2, ExpertParallel: *ep},
 		MicrobatchTarget: *target,
 	}
+	// Progress counters are always wired so an interrupted run can say how
+	// far it got; the live reporter goroutine remains opt-in.
 	var prog explore.Progress
+	opt.Progress = &prog
 	if *progress {
-		opt.Progress = &prog
 		stop := make(chan struct{})
 		defer close(stop)
 		go reportProgress(os.Stderr, &prog, stop)
 	}
-	points, err := explore.Sweep(sc, opt)
-	if err != nil {
+
+	// A cancelled context (Ctrl-C, SIGTERM) stops the sweep cooperatively at
+	// worker-chunk boundaries; the points completed so far come back with
+	// the context error and are ranked and printed as explicit partial work.
+	points, err := explore.SweepContext(ctx, sc, opt)
+	interrupted := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		return err
 	}
-	if *progress {
+	if interrupted {
+		fmt.Fprintf(os.Stderr,
+			"amped-explore: interrupted after %d/%d points (%d failed); printing completed partial results\n",
+			prog.Completed.Load(), prog.Total.Load(), prog.Failed.Load())
+	} else if *progress {
 		fmt.Fprintf(os.Stderr, "amped-explore: evaluated %d points (%d failed)\n",
 			prog.Completed.Load(), prog.Failed.Load())
 	}
 	explore.SortByTime(points)
 
-	fmt.Fprintf(out, "%s: %d mappings x %d batch sizes -> %d evaluable points\n\n",
-		sc.Name, len(points)/len(batchList), len(batchList), len(points))
-	tab := report.NewTable(fmt.Sprintf("fastest %d configurations", *top),
-		"mapping", "batch", "N_ub", "eff", "days", "TFLOP/s/GPU", "fits")
-	for i, p := range points {
-		if i >= *top {
+	rel := sc.Training.Reliability.Enabled()
+	if interrupted {
+		fmt.Fprintf(out, "%s: partial sweep, %d of %d points completed\n\n",
+			sc.Name, len(points), prog.Total.Load())
+	} else {
+		fmt.Fprintf(out, "%s: %d mappings x %d batch sizes -> %d evaluable points\n\n",
+			sc.Name, len(points)/len(batchList), len(batchList), len(points))
+	}
+	headers := []string{"mapping", "batch", "N_ub", "eff", "days", "TFLOP/s/GPU", "fits"}
+	if rel {
+		headers = append(headers, "goodput", "exp-days")
+	}
+	tab := report.NewTable(fmt.Sprintf("fastest %d configurations", *top), headers...)
+	rows := 0
+	for _, p := range points {
+		if rows >= *top {
 			break
+		}
+		if p.Err != nil || p.Breakdown == nil {
+			continue
 		}
 		fits := "-"
 		if p.Footprint != nil {
 			fits = fmt.Sprintf("%v", p.Fits)
 		}
-		tab.AddRow(
+		row := []string{
 			p.Mapping.String(),
 			strconv.Itoa(p.Batch),
 			strconv.Itoa(p.Microbatches),
@@ -172,7 +234,14 @@ func run(args []string, out io.Writer) error {
 			fmt.Sprintf("%.1f", p.Breakdown.TotalTime().Days()),
 			fmt.Sprintf("%.1f", p.Breakdown.TFLOPSPerGPU()),
 			fits,
-		)
+		}
+		if rel {
+			row = append(row,
+				fmt.Sprintf("%.4f", p.Breakdown.GoodputFraction()),
+				fmt.Sprintf("%.1f", p.Breakdown.ExpectedTotalTime().Days()))
+		}
+		tab.AddRow(row...)
+		rows++
 	}
 	if *csv {
 		fmt.Fprint(out, tab.CSV())
@@ -180,8 +249,14 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, tab)
 	}
 	if best := explore.Best(points); best != nil {
-		fmt.Fprintf(out, "\nbest: %v at batch %d -> %.1f days\n",
-			best.Mapping, best.Batch, best.Breakdown.TotalTime().Days())
+		if rel {
+			fmt.Fprintf(out, "\nbest: %v at batch %d -> %.1f days expected (%.1f failure-free, goodput %.4f)\n",
+				best.Mapping, best.Batch, best.Breakdown.ExpectedTotalTime().Days(),
+				best.Breakdown.TotalTime().Days(), best.Breakdown.GoodputFraction())
+		} else {
+			fmt.Fprintf(out, "\nbest: %v at batch %d -> %.1f days\n",
+				best.Mapping, best.Batch, best.Breakdown.TotalTime().Days())
+		}
 	}
 	if *heat && len(batchList) > 1 {
 		fmt.Fprintln(out)

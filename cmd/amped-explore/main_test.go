@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -96,5 +97,52 @@ func TestExploreExpertParallel(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "+EP") {
 		t.Errorf("expert parallelism not applied:\n%s", buf.String())
+	}
+}
+
+func TestExploreReliability(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-batches", "8192", "-top", "3", "-num-batches", "100",
+		"-accel-mtbf", "5e6", "-node-mtbf", "2e7", "-ckpt-gbs", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"goodput", "exp-days", "days expected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// A healthy run must not grow the goodput columns.
+	buf.Reset()
+	if err := run([]string{"-batches", "8192", "-top", "3", "-num-batches", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "goodput") {
+		t.Errorf("goodput column rendered without reliability flags:\n%s", buf.String())
+	}
+}
+
+func TestExploreReliabilityErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-accel-mtbf", "5e6", "-optimizer", "nope"}, &buf); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+	if err := run([]string{"-accel-mtbf", "5e6", "-ckpt-gbs", "0"}, &buf); err == nil {
+		t.Error("failures without checkpoint bandwidth accepted")
+	}
+}
+
+func TestExploreInterrupted(t *testing.T) {
+	// A pre-cancelled context exercises the SIGINT path deterministically:
+	// the run must finish cleanly and label its output as partial.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	if err := runCtx(ctx, []string{"-batches", "8192", "-num-batches", "100"}, &buf); err != nil {
+		t.Fatalf("interrupted run should return nil, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "partial sweep") {
+		t.Errorf("interrupted output not labeled partial:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,118 @@
+package audit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"amped/internal/faults"
+	"amped/internal/model"
+	"amped/internal/units"
+)
+
+// TestGoodputAnalyticalVsReplay cross-checks the closed-form failure
+// expectation (Young/Daly, faults.Spec.Expect as surfaced through
+// Session.EvaluatePoint) against the executable crash-restart replay over a
+// randomized scenario sweep: for each generated design point the analytical
+// goodput must agree with the DES-measured goodput within 10%.
+//
+// The spec for each point is built by a two-pass probe so the test never
+// reaches into session internals: a first evaluation with 1 byte/s
+// checkpoint bandwidth reads back the per-worker shard size, from which a
+// bandwidth is chosen that lands δ, the MTBF and the restart cost in the
+// regime where the first-order expectation is valid (τ, R ≪ MTBF) — the
+// same regime the paper-scale deployments occupy.
+func TestGoodputAnalyticalVsReplay(t *testing.T) {
+	const want = 25 // randomized design points to cross-check
+	r := rand.New(rand.NewSource(11))
+	checked := 0
+	for tries := 0; checked < want; tries++ {
+		if tries > 50*want {
+			t.Fatalf("only %d/%d scenarios evaluable after %d tries", checked, want, tries)
+		}
+		sc := Generate(r)
+
+		// Pass 1: probe with unit bandwidth to learn the per-worker shard
+		// and the healthy step time.
+		probe := sc.Training
+		probe.Reliability = &faults.Spec{
+			AccelMTBF: 1e12, CheckpointBW: 1, OptimizerBytesPerParam: 12,
+		}
+		sessP, err := model.Compile(&sc.Model, &sc.System, probe, sc.Eff)
+		if err != nil {
+			continue // degenerate generated point; Check() skips these too
+		}
+		var bdP model.Breakdown
+		if err := sessP.EvaluatePoint(sc.Mapping, sc.Training.Batch.Global,
+			sc.Training.Batch.Microbatches, &bdP); err != nil {
+			continue
+		}
+		step := float64(bdP.PerBatch())
+		shard := bdP.Reliability.CheckpointBytes
+		if step <= 0 || shard <= 0 || math.IsInf(step, 0) {
+			continue
+		}
+
+		// Pass 2: place the point in the first-order regime — MTBF of
+		// 1000–20000 steps, a checkpoint write of 0.5–5 steps, a restart of
+		// 1–10 steps — by sizing the per-accelerator MTBF and bandwidth off
+		// the probed step time and shard.
+		mtbf := step * float64(1000*(1+r.Intn(20)))
+		delta := step * (0.5 + 4.5*r.Float64())
+		restart := step * (1 + 9*r.Float64())
+		spec := &faults.Spec{
+			AccelMTBF:              units.Seconds(float64(bdP.Workers) * mtbf),
+			CheckpointBW:           shard / delta,
+			RestartTime:            units.Seconds(restart),
+			OptimizerBytesPerParam: 12,
+		}
+		tr := sc.Training
+		tr.Reliability = spec
+		sess, err := model.Compile(&sc.Model, &sc.System, tr, sc.Eff)
+		if err != nil {
+			t.Fatalf("%v: reliability spec broke compilation: %v", sc.String(), err)
+		}
+		var bd model.Breakdown
+		if err := sess.EvaluatePoint(sc.Mapping, sc.Training.Batch.Global,
+			sc.Training.Batch.Microbatches, &bd); err != nil {
+			t.Fatalf("%v: reliability spec broke evaluation: %v", sc.String(), err)
+		}
+		e := bd.Reliability
+		if !e.Enabled() {
+			t.Fatalf("%v: expectation missing with a live spec", sc.String())
+		}
+
+		// Replay enough steps for a few hundred expected failures so the
+		// measured goodput is statistically stable.
+		steps := int(200*mtbf/step) + 1
+		res, err := faults.Replay(faults.ReplayConfig{
+			Step:               step,
+			CheckpointInterval: e.CheckpointInterval,
+			CheckpointWrite:    e.CheckpointWrite,
+			Restart:            restart,
+			FailureRate:        e.FailureRate,
+			Steps:              steps,
+			Seed:               r.Int63(),
+		})
+		if err != nil {
+			t.Fatalf("%v: replay failed: %v", sc.String(), err)
+		}
+		if res.Failures == 0 {
+			t.Fatalf("%v: replay saw no failures over %d steps (MTBF %.4g)",
+				sc.String(), steps, e.MTBF)
+		}
+
+		ga, gd := e.Goodput(), res.Goodput()
+		rel := math.Abs(ga-gd) / gd
+		if rel > 0.10 {
+			t.Errorf("%v:\n  analytical goodput %.4f vs DES %.4f (rel err %.3f > 0.10)\n  expectation: %v\n  replay: %v",
+				sc.String(), ga, gd, rel, e, res)
+		}
+		if testing.Verbose() {
+			t.Logf("W=%-4d analytical %.4f vs DES %.4f (rel err %.4f, %d failures, %d checkpoints)",
+				bd.Workers, ga, gd, rel, res.Failures, res.Checkpoints)
+		}
+		checked++
+	}
+	t.Logf("cross-checked %d randomized scenarios", checked)
+}

@@ -49,6 +49,14 @@ func stepTime(chunk units.Bits, link hardware.Link) eventsim.Time {
 // (true for ring-style collectives); level-based and chain collectives
 // override it after the fact.
 func runRounds(n, rounds int, chunk units.Bits, link hardware.Link) Result {
+	return runRoundsScaled(n, rounds, chunk, link, nil)
+}
+
+// runRoundsScaled is runRounds with a per-round time multiplier — the fault
+// injector's degraded/flapping-link hook. A nil scale is the healthy run;
+// the transmitted volume is unchanged either way (a slow link still moves
+// the same bits, just later).
+func runRoundsScaled(n, rounds int, chunk units.Bits, link hardware.Link, scale func(round int) float64) Result {
 	if n <= 1 || rounds == 0 {
 		return Result{}
 	}
@@ -59,7 +67,11 @@ func runRounds(n, rounds int, chunk units.Bits, link hardware.Link) Result {
 		if r >= rounds {
 			return
 		}
-		sim.After(per, func() { round(r + 1) })
+		d := per
+		if scale != nil {
+			d *= eventsim.Time(scale(r))
+		}
+		sim.After(d, func() { round(r + 1) })
 	}
 	sim.At(0, func() { round(0) })
 	end, err := sim.Run()
@@ -72,6 +84,28 @@ func runRounds(n, rounds int, chunk units.Bits, link hardware.Link) Result {
 		Steps:         rounds,
 		BitsPerWorker: units.Bits(float64(chunk) * float64(rounds)),
 	}
+}
+
+// RingAllReduceInjected simulates a ring all-reduce whose round r costs
+// scale(r) times the healthy round time — a degraded or flapping link seen
+// by the collective. The step count and per-worker volume match the healthy
+// run; only the clock moves.
+func RingAllReduceInjected(n int, bits units.Bits, link hardware.Link, scale func(round int) float64) Result {
+	if n <= 1 {
+		return Result{}
+	}
+	chunk := units.Bits(float64(bits) / float64(n))
+	return runRoundsScaled(n, 2*(n-1), chunk, link, scale)
+}
+
+// PairwiseAllToAllInjected is PairwiseAllToAll under a per-round time
+// multiplier (see RingAllReduceInjected).
+func PairwiseAllToAllInjected(n int, bits units.Bits, link hardware.Link, scale func(round int) float64) Result {
+	if n <= 1 {
+		return Result{}
+	}
+	chunk := units.Bits(float64(bits) / float64(n))
+	return runRoundsScaled(n, n-1, chunk, link, scale)
 }
 
 // RingAllReduce simulates a ring all-reduce of `bits` payload bits over n

@@ -290,12 +290,38 @@ type Topology struct {
 	AllToAll  string `json:"all_to_all,omitempty"`
 }
 
+// Reliability configures the failure-aware goodput model (internal/faults):
+// per-component MTBFs that compose into a whole-job failure rate, and the
+// checkpoint/restart costs that turn it into expected-time inflation. An
+// absent section keeps the legacy healthy-cluster behavior.
+type Reliability struct {
+	// AccelMTBFSeconds, NodeMTBFSeconds and LinkMTBFSeconds are the mean
+	// time between failures of one accelerator, one node and one fabric
+	// link. Zero disables that component class.
+	AccelMTBFSeconds Quantity `json:"accel_mtbf_s,omitempty"`
+	NodeMTBFSeconds  Quantity `json:"node_mtbf_s,omitempty"`
+	LinkMTBFSeconds  Quantity `json:"link_mtbf_s,omitempty"`
+	// CheckpointBW is the per-worker checkpoint write bandwidth in bytes/s.
+	// Required whenever any MTBF is set.
+	CheckpointBW Quantity `json:"checkpoint_bw_bytes_per_s,omitempty"`
+	// RestartSeconds is the fixed recovery cost per failure.
+	RestartSeconds Quantity `json:"restart_s,omitempty"`
+	// CheckpointIntervalSeconds forces the checkpoint cadence; zero derives
+	// the Young/Daly optimum per design point.
+	CheckpointIntervalSeconds Quantity `json:"checkpoint_interval_s,omitempty"`
+	// Optimizer names the optimizer whose state the checkpoint carries
+	// ("sgd", "sgd+momentum", "adam"). Empty defaults to adam — the
+	// standard mixed-precision recipe at 12 bytes per parameter.
+	Optimizer string `json:"optimizer,omitempty"`
+}
+
 // Document is a complete design point.
 type Document struct {
-	Model    Model    `json:"model"`
-	System   System   `json:"system"`
-	Mapping  Mapping  `json:"mapping"`
-	Training Training `json:"training"`
+	Model       Model        `json:"model"`
+	System      System       `json:"system"`
+	Mapping     Mapping      `json:"mapping"`
+	Training    Training     `json:"training"`
+	Reliability *Reliability `json:"reliability,omitempty"`
 }
 
 // Load reads and parses a document from path.

@@ -10,6 +10,10 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"training":{"global_batch":1}}`))
 	f.Add([]byte(`{"model":{"preset":"mingpt"},"training":{"global_batch":-3}}`))
+	f.Add([]byte(`{"model":{"preset":"mingpt"},"training":{"global_batch":8},
+		"reliability":{"accel_mtbf_s":"5M","checkpoint_bw_bytes_per_s":"2G","restart_s":300}}`))
+	f.Add([]byte(`{"reliability":{"accel_mtbf_s":"5M"}}`))
+	f.Add([]byte(`{"reliability":{"checkpoint_interval_s":-1}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		doc, err := Parse(data)
 		if err != nil {

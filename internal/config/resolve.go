@@ -4,12 +4,15 @@ import (
 	"fmt"
 
 	"amped/internal/efficiency"
+	"amped/internal/faults"
 	"amped/internal/hardware"
+	"amped/internal/memkit"
 	"amped/internal/model"
 	"amped/internal/parallel"
 	"amped/internal/precision"
 	"amped/internal/topology"
 	"amped/internal/transformer"
+	"amped/internal/units"
 )
 
 // resolveTraining maps the JSON recipe onto the model's Training knobs.
@@ -60,6 +63,36 @@ func (t Training) resolveTraining() (model.Training, error) {
 		return model.Training{}, err
 	}
 	return out, nil
+}
+
+// resolve maps the JSON reliability section onto a faults.Spec. A nil
+// section disables the failure model; an unset optimizer defaults to Adam's
+// 12 bytes of state per parameter.
+func (r *Reliability) resolve() (*faults.Spec, error) {
+	if r == nil {
+		return nil, nil
+	}
+	opt := memkit.Adam
+	if r.Optimizer != "" {
+		o, err := memkit.ParseOptimizer(r.Optimizer)
+		if err != nil {
+			return nil, fmt.Errorf("config: reliability.optimizer: %w", err)
+		}
+		opt = o
+	}
+	spec := &faults.Spec{
+		AccelMTBF:              units.Seconds(r.AccelMTBFSeconds),
+		NodeMTBF:               units.Seconds(r.NodeMTBFSeconds),
+		LinkMTBF:               units.Seconds(r.LinkMTBFSeconds),
+		CheckpointBW:           float64(r.CheckpointBW),
+		RestartTime:            units.Seconds(r.RestartSeconds),
+		CheckpointInterval:     units.Seconds(r.CheckpointIntervalSeconds),
+		OptimizerBytesPerParam: opt.StateBytesPerParam(),
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("config: reliability: %w", err)
+	}
+	return spec, nil
 }
 
 // resolve maps the JSON topology names onto a topology.Choice. A nil
@@ -141,6 +174,11 @@ func (d *Document) Components() (*Components, error) {
 	if err != nil {
 		return nil, err
 	}
+	rel, err := d.Reliability.resolve()
+	if err != nil {
+		return nil, err
+	}
+	tr.Reliability = rel
 	eff, err := d.Training.resolveEff()
 	if err != nil {
 		return nil, err

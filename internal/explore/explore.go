@@ -301,10 +301,15 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 	prog.Total.Store(int64(len(points)))
 
 	// Timestamp the moment of cancellation (if any) so the cooperative
-	// cancel latency — cancel to last-worker-stop — is measurable.
+	// cancel latency — cancel to last-worker-stop — is measurable. The
+	// stamped channel lets the post-wait path block until the stamp exists:
+	// once ctx.Err() is non-nil the AfterFunc goroutine is guaranteed to be
+	// scheduled, but not to have run yet.
 	var cancelledAt atomic.Int64
+	stamped := make(chan struct{})
 	stopAfter := context.AfterFunc(ctx, func() {
 		cancelledAt.Store(time.Now().UnixNano())
+		close(stamped)
 	})
 	defer stopAfter()
 
@@ -354,9 +359,12 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 	wg.Wait()
 	cancelled := ctx.Err()
 	if cancelled != nil {
-		if at := cancelledAt.Load(); at != 0 {
-			prog.CancelLatencyNanos.Store(time.Now().UnixNano() - at)
+		<-stamped
+		lat := time.Now().UnixNano() - cancelledAt.Load()
+		if lat < 1 {
+			lat = 1 // a cancel observed faster than the clock tick still counts
 		}
+		prog.CancelLatencyNanos.Store(lat)
 		// Keep only cells that actually finished (evaluated, or decided at
 		// layout time); unclaimed cells are still zero-valued and must not
 		// masquerade as results.
@@ -428,7 +436,11 @@ func evalPoint(p *Point, bd *model.Breakdown, sess *model.Session, sc *Scenario)
 }
 
 // SortByTime orders points fastest-first (infeasible and failed points
-// last), stable across equal times by the point's string identity.
+// last), stable across equal times by the point's string identity. The rank
+// key is the expected total time — TotalTime inflated by the scenario's
+// failure overhead — so a reliability-enabled sweep prefers the mapping that
+// finishes first on a cluster that fails, not the one that would win on
+// perfect hardware. Without a reliability spec the two are identical.
 func SortByTime(points []Point) {
 	sort.SliceStable(points, func(i, j int) bool {
 		pi, pj := points[i], points[j]
@@ -439,8 +451,8 @@ func SortByTime(points []Point) {
 		if oi != 0 {
 			return pi.String() < pj.String()
 		}
-		ti := float64(pi.Breakdown.TotalTime())
-		tj := float64(pj.Breakdown.TotalTime())
+		ti := float64(pi.Breakdown.ExpectedTotalTime())
+		tj := float64(pj.Breakdown.ExpectedTotalTime())
 		if ti != tj {
 			return ti < tj
 		}
@@ -460,7 +472,8 @@ func pointOrder(p Point) int {
 	}
 }
 
-// Best returns the fastest feasible point, or nil when none evaluated.
+// Best returns the fastest feasible point by expected total time (see
+// SortByTime), or nil when none evaluated.
 func Best(points []Point) *Point {
 	var best *Point
 	for i := range points {
@@ -468,7 +481,7 @@ func Best(points []Point) *Point {
 		if p.Err != nil || !p.Fits || p.Breakdown == nil {
 			continue
 		}
-		if best == nil || p.Breakdown.TotalTime() < best.Breakdown.TotalTime() {
+		if best == nil || p.Breakdown.ExpectedTotalTime() < best.Breakdown.ExpectedTotalTime() {
 			best = p
 		}
 	}

@@ -1,0 +1,67 @@
+package explore
+
+import (
+	"testing"
+
+	"amped/internal/faults"
+	"amped/internal/model"
+	"amped/internal/parallel"
+)
+
+// TestSortByTimeUsesExpectedTime pins the goodput-aware ranking: a point
+// that is fastest on perfect hardware but carries a large failure overhead
+// must lose to a slightly slower point on a reliable cluster.
+func TestSortByTimeUsesExpectedTime(t *testing.T) {
+	fragile := Point{
+		Mapping: parallel.Mapping{TPIntra: 2}, Batch: 1, Fits: true,
+		Breakdown: &model.Breakdown{
+			ComputeForward: 10, NumBatches: 1,
+			// 50% overhead: expected time 15.
+			Reliability: faults.Expectation{FailureRate: 1e-4, CheckpointOverhead: 0.5},
+		},
+	}
+	steady := Point{
+		Mapping: parallel.Mapping{TPIntra: 4}, Batch: 1, Fits: true,
+		Breakdown: &model.Breakdown{ComputeForward: 12, NumBatches: 1},
+	}
+	pts := []Point{fragile, steady}
+	SortByTime(pts)
+	if pts[0].Mapping != steady.Mapping {
+		t.Errorf("expected the reliable 12 s point to beat the fragile 10 s (expected 15 s) one; got %v first", pts[0].Mapping)
+	}
+	if best := Best(pts); best == nil || best.Mapping != steady.Mapping {
+		t.Errorf("Best picked %v, want the reliable point", best)
+	}
+}
+
+// TestSweepCarriesReliability pins the end-to-end plumbing: a scenario whose
+// training recipe carries a reliability spec yields points whose breakdowns
+// expose the failure expectation, and the sweep still succeeds.
+func TestSweepCarriesReliability(t *testing.T) {
+	sc := cs1Scenario()
+	sc.Training.Reliability = &faults.Spec{
+		AccelMTBF: 5e6, CheckpointBW: 2e9, RestartTime: 300, OptimizerBytesPerParam: 12,
+	}
+	pts, err := Sweep(sc, Options{
+		Batches:   []int{1024},
+		Enumerate: parallel.EnumerateOptions{PowerOfTwo: true, MaxTP: 8, MaxPP: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range pts {
+		e := p.Breakdown.Reliability
+		if !e.Enabled() {
+			t.Fatalf("%v: reliability expectation missing", p)
+		}
+		if g := p.Breakdown.GoodputFraction(); g <= 0 || g >= 1 {
+			t.Fatalf("%v: goodput %g outside (0,1)", p, g)
+		}
+		if p.Breakdown.ExpectedTotalTime() <= p.Breakdown.TotalTime() {
+			t.Fatalf("%v: expected time not inflated", p)
+		}
+	}
+}

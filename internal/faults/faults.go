@@ -1,0 +1,228 @@
+// Package faults models cluster reliability for distributed training: it
+// turns per-component MTBF specifications into a system failure rate that
+// scales with the mapping's world size, derives a Young/Daly-style optimal
+// checkpoint interval from the checkpoint write cost, and expresses the
+// expected failure overhead (checkpoint writes, lost rework, restarts) as a
+// goodput inflation of the analytical model's step time.
+//
+// The same quantities are measured empirically by the deterministic fault
+// injector (inject.go) and the crash-restart replay (replay.go) running on
+// the discrete-event substrate, so the closed form is cross-checked against
+// an executable model — the analytical-vs-DES pattern the repo already uses
+// for Eq. 8 bubble ratios and topology factors.
+//
+// The first-order expectation (Young '74, Daly '06) is accurate when the
+// checkpoint interval and restart cost are small against the system MTBF;
+// the replay cross-check in internal/audit pins the agreement to 10% over
+// randomized scenarios in that regime.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"amped/internal/units"
+)
+
+// Spec is the reliability description of a training deployment: how often
+// each component class fails and what a checkpoint/restart cycle costs. The
+// zero value (and a nil pointer) means a perfectly healthy cluster — the
+// model's legacy behavior.
+type Spec struct {
+	// AccelMTBF is the mean time between failures of one accelerator
+	// (seconds). Zero means accelerators never fail.
+	AccelMTBF units.Seconds
+	// NodeMTBF is the MTBF of one node's shared hardware (host, PSU, NIC
+	// carrier). Zero means nodes never fail.
+	NodeMTBF units.Seconds
+	// LinkMTBF is the MTBF of one inter-node fabric link (per NIC). Zero
+	// means links never fail.
+	LinkMTBF units.Seconds
+	// CheckpointBW is the per-worker checkpoint write bandwidth in bytes/s.
+	// Every worker writes its 1/W shard of the parameter + optimizer state
+	// in parallel. Required (>0) whenever any MTBF is set.
+	CheckpointBW float64
+	// RestartTime is the fixed cost R of one failure: detection, rollback,
+	// re-scheduling and re-loading the last checkpoint (seconds).
+	RestartTime units.Seconds
+	// CheckpointInterval forces the interval between checkpoints (seconds).
+	// Zero derives the Young/Daly optimum sqrt(2·δ·MTBF) per design point.
+	CheckpointInterval units.Seconds
+	// OptimizerBytesPerParam is the optimizer state carried per parameter in
+	// the checkpoint (e.g. 12 for mixed-precision Adam), added on top of the
+	// parameter bytes themselves.
+	OptimizerBytesPerParam float64
+}
+
+// Enabled reports whether the spec describes anything other than a
+// perfectly healthy cluster.
+func (s *Spec) Enabled() bool {
+	return s != nil && (s.AccelMTBF > 0 || s.NodeMTBF > 0 || s.LinkMTBF > 0 ||
+		s.CheckpointInterval > 0)
+}
+
+// Validate checks the spec for internal consistency.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.AccelMTBF < 0 || s.NodeMTBF < 0 || s.LinkMTBF < 0 {
+		return errors.New("faults: MTBF values must be non-negative")
+	}
+	if s.CheckpointBW < 0 {
+		return fmt.Errorf("faults: checkpoint bandwidth %g must be non-negative", s.CheckpointBW)
+	}
+	if s.RestartTime < 0 {
+		return fmt.Errorf("faults: restart time %v must be non-negative", s.RestartTime)
+	}
+	if s.CheckpointInterval < 0 {
+		return fmt.Errorf("faults: checkpoint interval %v must be non-negative", s.CheckpointInterval)
+	}
+	if s.OptimizerBytesPerParam < 0 {
+		return errors.New("faults: optimizer bytes per parameter must be non-negative")
+	}
+	if (s.AccelMTBF > 0 || s.NodeMTBF > 0 || s.LinkMTBF > 0) && s.CheckpointBW <= 0 {
+		return errors.New("faults: failures enabled but checkpoint bandwidth unset; " +
+			"a job that cannot checkpoint has no finite expected completion time")
+	}
+	return nil
+}
+
+// Cluster is the deployment shape a mapping occupies: the counts the
+// per-component failure rates scale with.
+type Cluster struct {
+	// Workers is the mapping's world size (TP·PP·DP accelerators).
+	Workers int
+	// Nodes is the number of nodes those workers occupy.
+	Nodes int
+	// Links is the number of inter-node fabric links in use (NICs).
+	Links int
+}
+
+// FailureRate composes the spec's per-component rates over the cluster
+// shape: λ = W/MTBF_accel + N/MTBF_node + L/MTBF_link, failures per second
+// for the whole job. Exponential component lifetimes compose additively.
+func (s *Spec) FailureRate(c Cluster) float64 {
+	if s == nil {
+		return 0
+	}
+	var lambda float64
+	if s.AccelMTBF > 0 {
+		lambda += float64(c.Workers) / float64(s.AccelMTBF)
+	}
+	if s.NodeMTBF > 0 {
+		lambda += float64(c.Nodes) / float64(s.NodeMTBF)
+	}
+	if s.LinkMTBF > 0 {
+		lambda += float64(c.Links) / float64(s.LinkMTBF)
+	}
+	return lambda
+}
+
+// Expectation is the closed-form failure expectation for one design point:
+// the system failure rate, the checkpoint geometry and the resulting
+// overhead fractions relative to useful work. The zero value means
+// reliability modeling is disabled (the healthy-cluster legacy path).
+type Expectation struct {
+	// FailureRate is λ, whole-job failures per second.
+	FailureRate float64
+	// MTBF is 1/λ in seconds (0 when the job never fails).
+	MTBF float64
+	// CheckpointBytes is the per-worker checkpoint shard size in bytes.
+	CheckpointBytes float64
+	// CheckpointWrite is δ, the time one checkpoint takes (seconds).
+	CheckpointWrite float64
+	// CheckpointInterval is τ, the useful-work seconds between checkpoints
+	// (the Young/Daly optimum unless the spec forces one).
+	CheckpointInterval float64
+	// CheckpointOverhead is δ/τ: checkpoint write time per useful second.
+	CheckpointOverhead float64
+	// ReworkOverhead is τ/(2·MTBF): expected lost work re-done per useful
+	// second.
+	ReworkOverhead float64
+	// RestartOverhead is R/MTBF: restart cost paid per useful second.
+	RestartOverhead float64
+}
+
+// Enabled reports whether the expectation carries a live reliability model.
+func (e Expectation) Enabled() bool {
+	return e.FailureRate > 0 || e.CheckpointInterval > 0
+}
+
+// Overhead is the total expected failure overhead per useful second:
+// wall-clock time = useful time × (1 + Overhead).
+func (e Expectation) Overhead() float64 {
+	return e.CheckpointOverhead + e.ReworkOverhead + e.RestartOverhead
+}
+
+// Goodput is the expected fraction of wall-clock time spent on useful work:
+// 1/(1 + Overhead), in (0, 1]. A disabled expectation reports 1.
+func (e Expectation) Goodput() float64 {
+	return 1 / (1 + e.Overhead())
+}
+
+// String summarizes the expectation.
+func (e Expectation) String() string {
+	if !e.Enabled() {
+		return "reliability disabled"
+	}
+	return fmt.Sprintf("MTBF %.3gs, ckpt %.3gs every %.3gs, overhead %.2f%% (goodput %.4f)",
+		e.MTBF, e.CheckpointWrite, e.CheckpointInterval, e.Overhead()*100, e.Goodput())
+}
+
+// Expect evaluates the closed-form failure model for one design point:
+// stateBytes is the job-wide checkpoint state (parameters + optimizer, all
+// shards), written in parallel by c.Workers workers at the spec's per-worker
+// bandwidth. The expectation's overhead fractions follow Young/Daly:
+//
+//	overhead = δ/τ + τ/(2M) + R/M,   τ_opt = sqrt(2·δ·M)
+//
+// with τ clamped to at least δ (an interval shorter than the write time is
+// degenerate). A spec that forces CheckpointInterval uses it verbatim.
+func (s *Spec) Expect(c Cluster, stateBytes float64) Expectation {
+	if !s.Enabled() {
+		return Expectation{}
+	}
+	var e Expectation
+	e.FailureRate = s.FailureRate(c)
+	if e.FailureRate > 0 {
+		e.MTBF = 1 / e.FailureRate
+	}
+	if c.Workers > 0 && s.CheckpointBW > 0 && stateBytes > 0 {
+		e.CheckpointBytes = stateBytes / float64(c.Workers)
+		e.CheckpointWrite = e.CheckpointBytes / s.CheckpointBW
+	}
+
+	switch {
+	case s.CheckpointInterval > 0:
+		e.CheckpointInterval = float64(s.CheckpointInterval)
+	case e.MTBF > 0 && e.CheckpointWrite > 0:
+		e.CheckpointInterval = math.Sqrt(2 * e.CheckpointWrite * e.MTBF)
+	}
+	if e.CheckpointInterval > 0 && e.CheckpointInterval < e.CheckpointWrite {
+		e.CheckpointInterval = e.CheckpointWrite
+	}
+
+	if e.CheckpointInterval > 0 {
+		e.CheckpointOverhead = e.CheckpointWrite / e.CheckpointInterval
+	}
+	if e.MTBF > 0 {
+		e.ReworkOverhead = e.CheckpointInterval / (2 * e.MTBF)
+		e.RestartOverhead = float64(s.RestartTime) / e.MTBF
+	}
+	return e
+}
+
+// NodesFor returns the node count a world size occupies on a machine with
+// perNode accelerators per node (ceiling division; at least 1 node).
+func NodesFor(workers, perNode int) int {
+	if perNode <= 0 {
+		return workers
+	}
+	n := (workers + perNode - 1) / perNode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

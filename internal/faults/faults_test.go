@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"amped/internal/units"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero value", Spec{}, true},
+		{"full", Spec{AccelMTBF: 1e6, NodeMTBF: 1e7, LinkMTBF: 1e7, CheckpointBW: 1e9, RestartTime: 120}, true},
+		{"forced interval only", Spec{CheckpointInterval: 600, CheckpointBW: 1e9}, true},
+		{"negative mtbf", Spec{AccelMTBF: -1}, false},
+		{"negative restart", Spec{RestartTime: -1}, false},
+		{"negative interval", Spec{CheckpointInterval: -1}, false},
+		{"negative optimizer bytes", Spec{OptimizerBytesPerParam: -1}, false},
+		{"failures without ckpt bw", Spec{AccelMTBF: 1e6}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Errorf("nil spec must validate: %v", err)
+	}
+	if nilSpec.Enabled() {
+		t.Error("nil spec must not be enabled")
+	}
+}
+
+func TestFailureRateComposes(t *testing.T) {
+	s := &Spec{AccelMTBF: 1000, NodeMTBF: 4000, LinkMTBF: 2000, CheckpointBW: 1e9}
+	c := Cluster{Workers: 8, Nodes: 2, Links: 4}
+	want := 8.0/1000 + 2.0/4000 + 4.0/2000
+	if got := s.FailureRate(c); math.Abs(got-want) > 1e-15 {
+		t.Errorf("FailureRate = %g, want %g", got, want)
+	}
+	// Rate scales with world size: doubling every count doubles λ.
+	c2 := Cluster{Workers: 16, Nodes: 4, Links: 8}
+	if got := s.FailureRate(c2); math.Abs(got-2*want) > 1e-15 {
+		t.Errorf("FailureRate at 2x cluster = %g, want %g", got, 2*want)
+	}
+}
+
+func TestExpectYoungDaly(t *testing.T) {
+	// One worker, MTBF 1e6 s, 100 GB state at 1 GB/s: δ = 100 s,
+	// τ_opt = sqrt(2·100·1e6) ≈ 14142 s.
+	s := &Spec{AccelMTBF: 1e6, CheckpointBW: 1e9, RestartTime: 300}
+	e := s.Expect(Cluster{Workers: 1, Nodes: 1, Links: 1}, 100e9)
+	if !e.Enabled() {
+		t.Fatal("expectation should be enabled")
+	}
+	if math.Abs(e.MTBF-1e6) > 1e-9 {
+		t.Errorf("MTBF = %g, want 1e6", e.MTBF)
+	}
+	if math.Abs(e.CheckpointWrite-100) > 1e-9 {
+		t.Errorf("δ = %g, want 100", e.CheckpointWrite)
+	}
+	wantTau := math.Sqrt(2 * 100 * 1e6)
+	if math.Abs(e.CheckpointInterval-wantTau) > 1e-6 {
+		t.Errorf("τ = %g, want %g", e.CheckpointInterval, wantTau)
+	}
+	wantOH := 100/wantTau + wantTau/(2e6) + 300/1e6
+	if math.Abs(e.Overhead()-wantOH) > 1e-12 {
+		t.Errorf("overhead = %g, want %g", e.Overhead(), wantOH)
+	}
+	if g := e.Goodput(); math.Abs(g-1/(1+wantOH)) > 1e-12 {
+		t.Errorf("goodput = %g, want %g", g, 1/(1+wantOH))
+	}
+	// At the Young optimum the two τ-dependent terms are equal.
+	if math.Abs(e.CheckpointOverhead-e.ReworkOverhead) > 1e-12 {
+		t.Errorf("at τ_opt δ/τ (%g) should equal τ/2M (%g)",
+			e.CheckpointOverhead, e.ReworkOverhead)
+	}
+}
+
+func TestExpectForcedIntervalAndClamp(t *testing.T) {
+	s := &Spec{AccelMTBF: 1e6, CheckpointBW: 1e9, CheckpointInterval: 500}
+	e := s.Expect(Cluster{Workers: 1}, 100e9)
+	if e.CheckpointInterval != 500 {
+		t.Errorf("forced τ = %g, want 500", e.CheckpointInterval)
+	}
+	// Interval shorter than the write time clamps up to δ.
+	s.CheckpointInterval = 1
+	e = s.Expect(Cluster{Workers: 1}, 100e9)
+	if e.CheckpointInterval != e.CheckpointWrite {
+		t.Errorf("τ = %g should clamp to δ = %g", e.CheckpointInterval, e.CheckpointWrite)
+	}
+}
+
+func TestExpectDisabledAndWorldScaling(t *testing.T) {
+	var nilSpec *Spec
+	if e := nilSpec.Expect(Cluster{Workers: 4096}, 1e12); e.Enabled() || e.Overhead() != 0 || e.Goodput() != 1 {
+		t.Errorf("nil spec expectation not inert: %+v", e)
+	}
+	// Bigger world ⇒ higher failure rate ⇒ lower goodput, even though the
+	// per-worker checkpoint shard shrinks.
+	s := &Spec{AccelMTBF: units.Seconds(5e6), CheckpointBW: 5e9, RestartTime: 120}
+	small := s.Expect(Cluster{Workers: 64, Nodes: 8, Links: 8}, 1e12)
+	big := s.Expect(Cluster{Workers: 4096, Nodes: 512, Links: 512}, 1e12)
+	if big.Goodput() >= small.Goodput() {
+		t.Errorf("goodput should fall with world size: 64w=%g, 4096w=%g",
+			small.Goodput(), big.Goodput())
+	}
+}
+
+func TestReplayNoFailuresExact(t *testing.T) {
+	// 100 steps of 2 s, checkpoint every 10 steps at 3 s: wall is exactly
+	// 100·2 + 10·3.
+	res, err := Replay(ReplayConfig{
+		Step: 2, CheckpointInterval: 20, CheckpointWrite: 3, Steps: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.Checkpoints != 10 {
+		t.Fatalf("unexpected events: %+v", res)
+	}
+	if want := 100*2.0 + 10*3.0; math.Abs(res.Wall-want) > 1e-9 {
+		t.Errorf("wall = %g, want %g", res.Wall, want)
+	}
+	if want := 200.0 / 230.0; math.Abs(res.Goodput()-want) > 1e-12 {
+		t.Errorf("goodput = %g, want %g", res.Goodput(), want)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	cfg := ReplayConfig{
+		Step: 1, CheckpointInterval: 50, CheckpointWrite: 2, Restart: 30,
+		FailureRate: 1.0 / 2000, Steps: 20000, Seed: 42,
+	}
+	a, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 43
+	c, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical replays (RNG not wired?)")
+	}
+	if a.Failures == 0 {
+		t.Error("expected failures at λ=1/2000 over ≥20000 s of work")
+	}
+}
+
+func TestReplayMatchesExpectation(t *testing.T) {
+	// Closed form vs replay in the regime the first-order model targets
+	// (τ, R ≪ MTBF): agreement well inside the 10% audit tolerance.
+	s := &Spec{AccelMTBF: 4e6, CheckpointBW: 1e9, RestartTime: 500}
+	e := s.Expect(Cluster{Workers: 4, Nodes: 1, Links: 1}, 200e9) // δ = 50 s, M = 1e6 s
+	res, err := Replay(ReplayConfig{
+		Step:               25,
+		CheckpointInterval: e.CheckpointInterval,
+		CheckpointWrite:    e.CheckpointWrite,
+		Restart:            500,
+		FailureRate:        e.FailureRate,
+		Steps:              int(400 * e.MTBF / 25), // ~400 expected failures
+		Seed:               7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(res.Goodput()-e.Goodput()) / e.Goodput()
+	if rel > 0.05 {
+		t.Errorf("replay goodput %g vs analytical %g: %.1f%% apart",
+			res.Goodput(), e.Goodput(), rel*100)
+	}
+}
+
+func TestReplayBudgetGuard(t *testing.T) {
+	// MTBF far below the restart cost: the job can never commit a segment.
+	_, err := Replay(ReplayConfig{
+		Step: 1, CheckpointInterval: 10, CheckpointWrite: 1, Restart: 100,
+		FailureRate: 1, Steps: 10, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("expected the event-budget guard to fire on an unrunnable cluster")
+	}
+}

@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"amped/internal/collective"
+	"amped/internal/eventsim"
+	"amped/internal/hardware"
+	"amped/internal/pipesim"
+	"amped/internal/units"
+)
+
+// InjectorConfig parameterizes one deterministic fault plan. Every field is
+// a physical rate or factor; the same (config, seed) pair always yields the
+// same plan, so a failing injection run reproduces exactly.
+type InjectorConfig struct {
+	// Seed drives the plan's RNG.
+	Seed int64
+	// Stages is the pipeline depth the plan targets (straggler slots).
+	Stages int
+	// StragglerProb is the per-stage probability of hosting a straggler.
+	StragglerProb float64
+	// StragglerSlowdown multiplies a straggling stage's compute time
+	// (e.g. 1.5 = 50% slower). Values <= 1 disable the slowdown.
+	StragglerSlowdown float64
+	// LinkDipRate is the expected link-degradation events per second.
+	LinkDipRate float64
+	// LinkDipDuration is the mean length of one degradation episode.
+	LinkDipDuration float64
+	// LinkDipFactor is the bandwidth multiplier while degraded (0 < f <= 1);
+	// transfer times divide by it. 0 disables dips.
+	LinkDipFactor float64
+	// CrashRate is λ, whole-job crash arrivals per second.
+	CrashRate float64
+	// Horizon bounds the plan: dips and crashes are laid out over [0, Horizon).
+	Horizon float64
+}
+
+// Validate checks the injector configuration.
+func (c InjectorConfig) Validate() error {
+	switch {
+	case c.Stages < 0:
+		return fmt.Errorf("faults: negative stage count %d", c.Stages)
+	case c.StragglerProb < 0 || c.StragglerProb > 1:
+		return fmt.Errorf("faults: straggler probability %g outside [0,1]", c.StragglerProb)
+	case c.LinkDipFactor < 0 || c.LinkDipFactor > 1:
+		return fmt.Errorf("faults: link dip factor %g outside [0,1]", c.LinkDipFactor)
+	case c.LinkDipRate < 0 || c.LinkDipDuration < 0 || c.CrashRate < 0 || c.Horizon < 0:
+		return fmt.Errorf("faults: negative rate, duration or horizon")
+	}
+	return nil
+}
+
+// dip is one link-degradation episode.
+type dip struct {
+	start, end float64
+}
+
+// Plan is a fully materialized, deterministic schedule of fault events:
+// which stages straggle (and by how much), when the fabric degrades, and
+// when the job crashes. Plans are immutable after NewPlan and safe for
+// concurrent readers.
+type Plan struct {
+	// StageScales multiplies each stage's compute durations (1 = healthy).
+	StageScales []float64
+	// Crashes lists crash arrival times in ascending order.
+	Crashes []float64
+
+	dips      []dip
+	dipFactor float64
+}
+
+// NewPlan draws a deterministic fault plan from the configuration: straggler
+// placement is one Bernoulli draw per stage, link dips and crashes are
+// Poisson arrivals over the horizon. The same seed always reproduces the
+// same plan.
+func NewPlan(cfg InjectorConfig) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Plan{dipFactor: cfg.LinkDipFactor}
+
+	if cfg.Stages > 0 {
+		p.StageScales = make([]float64, cfg.Stages)
+		for s := range p.StageScales {
+			p.StageScales[s] = 1
+			if cfg.StragglerSlowdown > 1 && rng.Float64() < cfg.StragglerProb {
+				p.StageScales[s] = cfg.StragglerSlowdown
+			}
+		}
+	}
+
+	if cfg.LinkDipRate > 0 && cfg.LinkDipFactor > 0 && cfg.LinkDipFactor < 1 {
+		for t := rng.ExpFloat64() / cfg.LinkDipRate; t < cfg.Horizon; t += rng.ExpFloat64() / cfg.LinkDipRate {
+			d := cfg.LinkDipDuration
+			if d > 0 {
+				d *= rng.ExpFloat64()
+			}
+			p.dips = append(p.dips, dip{start: t, end: t + d})
+		}
+	}
+
+	if cfg.CrashRate > 0 {
+		for t := rng.ExpFloat64() / cfg.CrashRate; t < cfg.Horizon; t += rng.ExpFloat64() / cfg.CrashRate {
+			p.Crashes = append(p.Crashes, t)
+		}
+	}
+	return p, nil
+}
+
+// StageScale returns the compute multiplier for a stage (1 when the plan
+// carries no straggler entry for it).
+func (p *Plan) StageScale(stage int) float64 {
+	if p == nil || stage < 0 || stage >= len(p.StageScales) {
+		return 1
+	}
+	return p.StageScales[stage]
+}
+
+// LinkScaleAt returns the transfer-time multiplier at simulated time t:
+// 1/dipFactor while a degradation episode covers t, 1 otherwise. A flapping
+// link is a plan with many short episodes.
+func (p *Plan) LinkScaleAt(t float64) float64 {
+	if p == nil || len(p.dips) == 0 {
+		return 1
+	}
+	// Episodes are in arrival order; find the last starting at or before t.
+	i := sort.Search(len(p.dips), func(i int) bool { return p.dips[i].start > t })
+	if i == 0 {
+		return 1
+	}
+	if d := p.dips[i-1]; t < d.end {
+		return 1 / p.dipFactor
+	}
+	return 1
+}
+
+// NextCrashAfter returns the first crash time strictly after t, if any.
+func (p *Plan) NextCrashAfter(t float64) (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	i := sort.SearchFloat64s(p.Crashes, t)
+	for i < len(p.Crashes) && p.Crashes[i] <= t {
+		i++
+	}
+	if i >= len(p.Crashes) {
+		return 0, false
+	}
+	return p.Crashes[i], true
+}
+
+// InjectPipeline runs one pipeline batch with the plan's stragglers and
+// link degradations applied: stage compute times scale by StageScale, and
+// every inter-stage transfer departing at simulated time t scales by
+// LinkScaleAt(t). The returned result's makespan is the faulty step time
+// the replay layer feeds into goodput measurement.
+func (p *Plan) InjectPipeline(cfg pipesim.Config) (*pipesim.Result, error) {
+	cfg.StageScale = p.StageScales
+	cfg.CommScale = func(from int, at eventsim.Time) float64 {
+		return p.LinkScaleAt(float64(at))
+	}
+	return pipesim.Run(cfg)
+}
+
+// InjectRingAllReduce runs a ring all-reduce with the plan's link
+// degradations applied round by round: round r's step time scales by the
+// plan's link factor at the round's healthy start time. The measured
+// completion time against the healthy run quantifies what a degraded or
+// flapping fabric costs one collective.
+func (p *Plan) InjectRingAllReduce(n int, bits units.Bits, link hardware.Link) collective.Result {
+	healthy := collective.RingAllReduce(n, bits, link)
+	if healthy.Steps == 0 {
+		return healthy
+	}
+	per := float64(healthy.Time) / float64(healthy.Steps)
+	return collective.RingAllReduceInjected(n, bits, link, func(round int) float64 {
+		return p.LinkScaleAt(float64(round) * per)
+	})
+}

@@ -1,0 +1,235 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"amped/internal/collective"
+	"amped/internal/hardware"
+	"amped/internal/pipesim"
+	"amped/internal/units"
+)
+
+func TestInjectorConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  InjectorConfig
+		ok   bool
+	}{
+		{"zero value", InjectorConfig{}, true},
+		{"full", InjectorConfig{Stages: 4, StragglerProb: 0.5, StragglerSlowdown: 1.5,
+			LinkDipRate: 0.01, LinkDipDuration: 5, LinkDipFactor: 0.25, CrashRate: 1e-4, Horizon: 1e5}, true},
+		{"negative stages", InjectorConfig{Stages: -1}, false},
+		{"prob > 1", InjectorConfig{StragglerProb: 1.5}, false},
+		{"dip factor > 1", InjectorConfig{LinkDipFactor: 2}, false},
+		{"negative crash rate", InjectorConfig{CrashRate: -1}, false},
+		{"negative horizon", InjectorConfig{Horizon: -1}, false},
+	}
+	for _, c := range cases {
+		if _, err := NewPlan(c.cfg); (err == nil) != c.ok {
+			t.Errorf("%s: NewPlan() err = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	cfg := InjectorConfig{
+		Seed: 99, Stages: 8, StragglerProb: 0.4, StragglerSlowdown: 1.7,
+		LinkDipRate: 0.02, LinkDipDuration: 10, LinkDipFactor: 0.5,
+		CrashRate: 1e-3, Horizon: 1e5,
+	}
+	a, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different plans")
+	}
+	cfg.Seed = 100
+	c, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans (RNG not wired?)")
+	}
+	if len(a.Crashes) == 0 || len(a.dips) == 0 {
+		t.Fatalf("expected events over a 1e5 s horizon: %d crashes, %d dips",
+			len(a.Crashes), len(a.dips))
+	}
+	for i := 1; i < len(a.Crashes); i++ {
+		if a.Crashes[i] <= a.Crashes[i-1] {
+			t.Fatalf("crash times not ascending at %d: %v", i, a.Crashes)
+		}
+	}
+}
+
+func TestPlanStragglerPlacement(t *testing.T) {
+	// Probability 1 places a straggler on every stage; probability 0 on none.
+	all, err := NewPlan(InjectorConfig{Seed: 1, Stages: 4, StragglerProb: 1, StragglerSlowdown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		if all.StageScale(s) != 2 {
+			t.Errorf("stage %d scale = %g, want 2", s, all.StageScale(s))
+		}
+	}
+	none, err := NewPlan(InjectorConfig{Seed: 1, Stages: 4, StragglerProb: 0, StragglerSlowdown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		if none.StageScale(s) != 1 {
+			t.Errorf("stage %d scale = %g, want 1", s, none.StageScale(s))
+		}
+	}
+	// Out-of-range stages are healthy, as is a nil plan.
+	if all.StageScale(99) != 1 || (*Plan)(nil).StageScale(0) != 1 {
+		t.Error("out-of-range or nil plan stage scale must be 1")
+	}
+}
+
+func TestLinkScaleAt(t *testing.T) {
+	p := &Plan{
+		dips:      []dip{{start: 10, end: 20}, {start: 50, end: 55}},
+		dipFactor: 0.25,
+	}
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 1}, {9.9, 1}, {10, 4}, {15, 4}, {20, 1}, {30, 1}, {52, 4}, {55, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := p.LinkScaleAt(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("LinkScaleAt(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if (*Plan)(nil).LinkScaleAt(15) != 1 {
+		t.Error("nil plan link scale must be 1")
+	}
+}
+
+func TestNextCrashAfter(t *testing.T) {
+	p := &Plan{Crashes: []float64{100, 250, 400}}
+	if c, ok := p.NextCrashAfter(0); !ok || c != 100 {
+		t.Errorf("NextCrashAfter(0) = %g,%v", c, ok)
+	}
+	if c, ok := p.NextCrashAfter(100); !ok || c != 250 {
+		t.Errorf("NextCrashAfter(100) = %g,%v (must be strictly after)", c, ok)
+	}
+	if _, ok := p.NextCrashAfter(400); ok {
+		t.Error("no crash after the last one")
+	}
+	if _, ok := (*Plan)(nil).NextCrashAfter(0); ok {
+		t.Error("nil plan has no crashes")
+	}
+}
+
+func TestInjectPipelineStraggler(t *testing.T) {
+	base := pipesim.Config{
+		Stages: 4, Microbatches: 8, FwdTime: 1, BwdTime: 2, CommTime: 0.1,
+	}
+	healthy, err := pipesim.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy plan reproduces the baseline exactly.
+	clean, err := NewPlan(InjectorConfig{Stages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := clean.InjectPipeline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != healthy.Makespan {
+		t.Errorf("healthy plan changed makespan: %v vs %v", res.Makespan, healthy.Makespan)
+	}
+	// One guaranteed straggler slows the batch by at least the extra compute
+	// the slow stage serializes: m·(f+b)·(slow-1).
+	slow, err := NewPlan(InjectorConfig{Stages: 4, StragglerProb: 1, StragglerSlowdown: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := slow.InjectPipeline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minExtra := 8 * (1.0 + 2.0) * 0.5
+	if float64(sres.Makespan-healthy.Makespan) < minExtra-1e-9 {
+		t.Errorf("straggler makespan %v vs healthy %v: expected ≥ %g extra",
+			sres.Makespan, healthy.Makespan, minExtra)
+	}
+}
+
+func TestInjectPipelineLinkDip(t *testing.T) {
+	base := pipesim.Config{
+		Stages: 4, Microbatches: 8, FwdTime: 1, BwdTime: 2, CommTime: 0.5,
+	}
+	healthy, err := pipesim.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dip covering the entire batch quadruples every hop.
+	p := &Plan{dips: []dip{{start: 0, end: 1e9}}, dipFactor: 0.25}
+	res, err := p.InjectPipeline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= healthy.Makespan {
+		t.Errorf("degraded link did not slow the batch: %v vs %v",
+			res.Makespan, healthy.Makespan)
+	}
+}
+
+func TestInjectRingAllReduce(t *testing.T) {
+	link := hardware.Link{Bandwidth: units.BitsPerSecond(100e9), Latency: units.Seconds(1e-6)}
+	healthy := (*Plan)(nil).InjectRingAllReduce(8, units.Bits(8e9), link)
+	direct := collective.RingAllReduce(8, units.Bits(8e9), link)
+	if healthy.Time != direct.Time || healthy.Steps != direct.Steps {
+		t.Errorf("nil plan ring = %v, want healthy %v", healthy, direct)
+	}
+	// A dip across the whole collective doubles its time; volume is unchanged.
+	p := &Plan{dips: []dip{{start: 0, end: 1e9}}, dipFactor: 0.5}
+	slow := p.InjectRingAllReduce(8, units.Bits(8e9), link)
+	if got, want := float64(slow.Time), 2*float64(direct.Time); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("fully degraded ring time = %g, want %g", got, want)
+	}
+	if slow.BitsPerWorker != direct.BitsPerWorker {
+		t.Errorf("degraded ring moved different volume: %v vs %v",
+			slow.BitsPerWorker, direct.BitsPerWorker)
+	}
+}
+
+func TestReplayPipeline(t *testing.T) {
+	pcfg := pipesim.Config{
+		Stages: 4, Microbatches: 8, FwdTime: 1, BwdTime: 2, CommTime: 0.1,
+	}
+	plan, err := NewPlan(InjectorConfig{Seed: 3, Stages: 4, StragglerProb: 1, StragglerSlowdown: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, pres, err := ReplayPipeline(pcfg, plan, ReplayConfig{
+		CheckpointInterval: 500, CheckpointWrite: 5, Restart: 60,
+		FailureRate: 1e-4, Steps: 500, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Makespan <= 0 {
+		t.Fatal("no measured step time")
+	}
+	if res.Useful != 500*float64(pres.Makespan) {
+		t.Errorf("useful %g != steps × measured step %g", res.Useful, 500*float64(pres.Makespan))
+	}
+	if g := res.Goodput(); g <= 0 || g >= 1 {
+		t.Errorf("goodput %g outside (0,1) for a checkpointing job", g)
+	}
+}

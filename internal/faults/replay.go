@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"amped/internal/pipesim"
+)
+
+// ReplayConfig describes one crash-restart replay: a training loop of
+// fixed-duration steps, checkpointed every CheckpointInterval of useful
+// work, interrupted by Poisson crash arrivals. The replay is the executable
+// counterpart of Spec.Expect — same δ, τ, R and λ, but measured over an
+// explicit event timeline instead of expected in closed form.
+type ReplayConfig struct {
+	// Step is the healthy per-batch step time in seconds (from the
+	// analytical model or a pipesim makespan).
+	Step float64
+	// CheckpointInterval is τ: useful seconds between checkpoints. The
+	// replay checkpoints on the step boundary nearest τ (at least every
+	// step).
+	CheckpointInterval float64
+	// CheckpointWrite is δ, the time one checkpoint write takes.
+	CheckpointWrite float64
+	// Restart is R, the fixed recovery cost per failure.
+	Restart float64
+	// FailureRate is λ, whole-job crash arrivals per wall-clock second.
+	FailureRate float64
+	// Steps is the number of useful steps the job must commit.
+	Steps int
+	// Seed drives the crash arrival RNG; the same seed replays the same
+	// timeline exactly.
+	Seed int64
+}
+
+// Validate checks the replay configuration.
+func (c ReplayConfig) Validate() error {
+	switch {
+	case c.Step <= 0:
+		return fmt.Errorf("faults: replay step time %g must be positive", c.Step)
+	case c.Steps <= 0:
+		return fmt.Errorf("faults: replay step count %d must be positive", c.Steps)
+	case c.CheckpointInterval < 0 || c.CheckpointWrite < 0 || c.Restart < 0 || c.FailureRate < 0:
+		return fmt.Errorf("faults: negative replay durations or rate")
+	}
+	return nil
+}
+
+// ReplayResult is one measured replay outcome.
+type ReplayResult struct {
+	// Wall is the total wall-clock time to commit every step.
+	Wall float64
+	// Useful is the committed useful work (Steps × Step).
+	Useful float64
+	// Failures counts crash events.
+	Failures int
+	// Checkpoints counts completed checkpoint writes.
+	Checkpoints int
+	// LostWork is the total useful time redone after failures.
+	LostWork float64
+}
+
+// Goodput is the measured useful fraction of wall-clock time.
+func (r ReplayResult) Goodput() float64 {
+	if r.Wall <= 0 {
+		return 1
+	}
+	return r.Useful / r.Wall
+}
+
+// String summarizes the replay.
+func (r ReplayResult) String() string {
+	return fmt.Sprintf("wall %.4gs for %.4gs useful (%d failures, %d checkpoints, %.4gs redone): goodput %.4f",
+		r.Wall, r.Useful, r.Failures, r.Checkpoints, r.LostWork, r.Goodput())
+}
+
+// Replay executes the crash-restart timeline deterministically from the
+// seed: segments of work run to the next checkpoint boundary; a crash
+// arriving mid-segment (or mid-write) discards the segment's uncommitted
+// work, pays the restart cost, and resumes from the last checkpoint.
+// Failures striking during recovery restart the recovery — the second-order
+// effect the closed form neglects, which is one reason the cross-check
+// carries a tolerance.
+func Replay(cfg ReplayConfig) (ReplayResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return ReplayResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Steps per checkpoint segment: the boundary nearest τ, at least 1.
+	seg := 1
+	if cfg.CheckpointInterval > 0 {
+		seg = int(cfg.CheckpointInterval/cfg.Step + 0.5)
+		if seg < 1 {
+			seg = 1
+		}
+	}
+
+	nextArrival := func(after float64) float64 {
+		if cfg.FailureRate <= 0 {
+			return inf
+		}
+		return after + rng.ExpFloat64()/cfg.FailureRate
+	}
+
+	var res ReplayResult
+	var now float64
+	committed := 0
+	fail := nextArrival(0)
+	// Event budget: a replay that cannot outrun its failure rate would spin
+	// forever; bound it like eventsim bounds its queue.
+	budget := 1000*cfg.Steps + 1_000_000
+	for committed < cfg.Steps {
+		if budget--; budget < 0 {
+			return res, fmt.Errorf(
+				"faults: replay event budget exhausted at t=%.4g with %d/%d steps committed (MTBF shorter than a checkpoint segment?)",
+				now, committed, cfg.Steps)
+		}
+		n := seg
+		if r := cfg.Steps - committed; n > r {
+			n = r
+		}
+		segEnd := now + float64(n)*cfg.Step + cfg.CheckpointWrite
+		if fail < segEnd {
+			// Crash mid-segment: uncommitted work since `now` is lost.
+			worked := fail - now
+			if w := float64(n) * cfg.Step; worked > w {
+				worked = w // the crash hit the checkpoint write, not the work
+			}
+			res.LostWork += worked
+			res.Failures++
+			now = fail + cfg.Restart
+			fail = nextArrival(fail)
+			for fail < now {
+				// A failure during recovery restarts the recovery. These also
+				// consume event budget: a restart cost beyond the MTBF would
+				// otherwise loop here forever.
+				if budget--; budget < 0 {
+					return res, fmt.Errorf(
+						"faults: replay event budget exhausted in recovery at t=%.4g with %d/%d steps committed (restart cost beyond the MTBF?)",
+						now, committed, cfg.Steps)
+				}
+				res.Failures++
+				now = fail + cfg.Restart
+				fail = nextArrival(fail)
+			}
+			continue
+		}
+		now = segEnd
+		committed += n
+		res.Checkpoints++
+	}
+	res.Wall = now
+	res.Useful = float64(cfg.Steps) * cfg.Step
+	return res, nil
+}
+
+// inf is an arrival time that never comes.
+const inf = 1e308
+
+// ReplayPipeline measures the step time empirically — one pipeline batch
+// simulated under the plan's stragglers and link degradations — and then
+// replays the crash-restart timeline with that faulty step time. It couples
+// the two DES layers: pipesim supplies T_step under degraded hardware, the
+// replay supplies the failure arithmetic on top.
+func ReplayPipeline(pcfg pipesim.Config, plan *Plan, rcfg ReplayConfig) (ReplayResult, *pipesim.Result, error) {
+	pres, err := plan.InjectPipeline(pcfg)
+	if err != nil {
+		return ReplayResult{}, nil, err
+	}
+	rcfg.Step = float64(pres.Makespan)
+	res, err := Replay(rcfg)
+	return res, pres, err
+}

@@ -48,6 +48,26 @@ func (o Optimizer) String() string {
 	}
 }
 
+// ParseOptimizer maps a config-file name onto an Optimizer. Accepted names
+// are "sgd", "sgd+momentum" (or "momentum") and "adam".
+func ParseOptimizer(name string) (Optimizer, error) {
+	switch name {
+	case "sgd":
+		return SGD, nil
+	case "sgd+momentum", "momentum":
+		return SGDMomentum, nil
+	case "adam":
+		return Adam, nil
+	default:
+		return 0, fmt.Errorf("memkit: unknown optimizer %q (want sgd, sgd+momentum or adam)", name)
+	}
+}
+
+// StateBytesPerParam is the optimizer-state bytes carried per trainable
+// parameter — what a checkpoint must persist on top of the parameters
+// themselves.
+func (o Optimizer) StateBytesPerParam() float64 { return o.bytesPerParam() }
+
 // bytesPerParam returns the optimizer-state bytes per trainable parameter.
 func (o Optimizer) bytesPerParam() float64 {
 	switch o {

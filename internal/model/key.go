@@ -34,7 +34,16 @@ func ScenarioKey(m *transformer.Model, sys *hardware.System, tr Training, eff ef
 	fmt.Fprintf(h, "system|%#v\n", *sys)
 	tr = tr.withDefaults()
 	tr.Batch = parallel.Batch{}
+	// The reliability spec is a pointer; %#v would hash its address, not its
+	// value, shattering the cache. Hash it by dereferenced value instead
+	// (nil and the all-zero spec collide deliberately: both disable the
+	// failure model).
+	rel := tr.Reliability
+	tr.Reliability = nil
 	fmt.Fprintf(h, "training|%#v\n", tr)
+	if rel.Enabled() {
+		fmt.Fprintf(h, "reliability|%#v\n", *rel)
+	}
 	if eff == nil {
 		eff = efficiency.Default()
 	}

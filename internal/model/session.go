@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"amped/internal/efficiency"
+	"amped/internal/faults"
 	"amped/internal/hardware"
 	"amped/internal/parallel"
 	"amped/internal/topology"
@@ -62,6 +63,15 @@ type Session struct {
 	gradParamsEP    float64 // same with expert-parallel MoE sharding
 	gradEmbParams   float64 // embedding N_g when included, else 0
 	gradLatCount    float64 // latency terms per all-reduce: L (+1 embedding)
+
+	// Reliability hoists: nil relSpec skips the failure model entirely (the
+	// legacy path stays bit-identical and branch-predictable); otherwise the
+	// job-wide checkpoint state and the node/NIC geometry are fixed by the
+	// scenario and only the mapping's world size varies per point.
+	relSpec        *faults.Spec
+	ckptStateBytes float64 // parameters + optimizer state, all shards
+	accelsPerNode  int
+	nicsPerNode    int
 
 	// batches caches the Eq. 2 per-batch operation aggregates, keyed by the
 	// global batch size. Read-only after Prepare.
@@ -162,6 +172,16 @@ func Compile(m *transformer.Model, sys *hardware.System, tr Training, eff effici
 		s.updateParams += m.EmbeddingParams()
 		s.gradEmbParams = m.EmbeddingParams()
 		s.gradLatCount++
+	}
+
+	// Reliability hoists: the checkpoint carries every parameter shard at
+	// the parameter operand width plus the spec's optimizer state.
+	if tr.Reliability.Enabled() {
+		s.relSpec = tr.Reliability
+		s.ckptStateBytes = s.updateParams *
+			(float64(tr.Operands.Param.Bytes()) + tr.Reliability.OptimizerBytesPerParam)
+		s.accelsPerNode = sys.AccelsPerNode
+		s.nicsPerNode = sys.NICsPerNode
 	}
 	return s, nil
 }
@@ -331,6 +351,15 @@ func (s *Session) EvaluatePoint(mp parallel.Mapping, batch, microbatches int, ou
 		Workers:         mpn.Workers(),
 		NumBatches:      tr.NumBatches,
 		ModelFLOPs:      agg.flops,
+	}
+	if s.relSpec != nil {
+		w := mpn.Workers()
+		nodes := faults.NodesFor(w, s.accelsPerNode)
+		out.Reliability = s.relSpec.Expect(faults.Cluster{
+			Workers: w,
+			Nodes:   nodes,
+			Links:   nodes * s.nicsPerNode,
+		}, s.ckptStateBytes)
 	}
 	if !finite(out) {
 		return errNonFinite

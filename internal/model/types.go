@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"amped/internal/efficiency"
+	"amped/internal/faults"
 	"amped/internal/hardware"
 	"amped/internal/parallel"
 	"amped/internal/precision"
@@ -55,6 +56,13 @@ type Training struct {
 	// to the accounting. The paper's layer-sum formulation skips them;
 	// they matter below ~1B parameters. Default false matches the paper.
 	IncludeEmbedding bool
+	// Reliability, when non-nil, layers the failure-aware goodput model on
+	// top of Eq. 1: per-component MTBFs compose into a system failure rate
+	// that scales with the mapping's world size, and the expected
+	// checkpoint/rework/restart overhead inflates the training time (see
+	// internal/faults). Nil keeps the legacy healthy-cluster behavior and
+	// the breakdown bit-identical to earlier versions.
+	Reliability *faults.Spec
 }
 
 // withDefaults returns a copy with zero-valued knobs set to their defaults.
@@ -99,6 +107,9 @@ func (t Training) Validate() error {
 		return fmt.Errorf("model: batch count %d must be non-negative", d.NumBatches)
 	}
 	if err := d.Operands.Validate(); err != nil {
+		return err
+	}
+	if err := d.Reliability.Validate(); err != nil {
 		return err
 	}
 	return d.Topology.Validate()
@@ -158,6 +169,12 @@ type Breakdown struct {
 	// ModelFLOPs is the useful training work per batch (6·MACs_fwd),
 	// the numerator of the TFLOP/s/GPU metric.
 	ModelFLOPs units.FLOPs
+	// Reliability is the failure expectation for this design point: zero
+	// (disabled) unless the training recipe carries a reliability spec. It
+	// scales the healthy per-batch time into expected wall-clock time; the
+	// per-batch component fields above stay failure-free so breakdown
+	// tables and cross-evaluator audits compare the pure Eq. 1 terms.
+	Reliability faults.Expectation
 }
 
 // ComputeTime sums the computation components.
@@ -179,6 +196,26 @@ func (b *Breakdown) PerBatch() units.Seconds {
 // TotalTime is N_batch × PerBatch, the paper's training time.
 func (b *Breakdown) TotalTime() units.Seconds {
 	return units.Seconds(float64(b.PerBatch()) * float64(b.NumBatches))
+}
+
+// GoodputFraction is the expected useful fraction of wall-clock time under
+// the reliability model: 1 when reliability is disabled, 1/(1+overhead)
+// otherwise (see faults.Expectation).
+func (b *Breakdown) GoodputFraction() float64 {
+	return b.Reliability.Goodput()
+}
+
+// ExpectedPerBatch is the per-batch time inflated by the expected failure
+// overhead: PerBatch/goodput. Equal to PerBatch when reliability is disabled.
+func (b *Breakdown) ExpectedPerBatch() units.Seconds {
+	return units.Seconds(float64(b.PerBatch()) * (1 + b.Reliability.Overhead()))
+}
+
+// ExpectedTotalTime is N_batch × ExpectedPerBatch: the paper's training time
+// plus the expected checkpoint, rework and restart cost of running it on a
+// cluster that fails.
+func (b *Breakdown) ExpectedTotalTime() units.Seconds {
+	return units.Seconds(float64(b.TotalTime()) * (1 + b.Reliability.Overhead()))
 }
 
 // TFLOPSPerGPU is the achieved useful throughput per accelerator, the

@@ -1,0 +1,126 @@
+package pipesim
+
+import (
+	"math"
+	"testing"
+
+	"amped/internal/eventsim"
+)
+
+// TestSingleStageNoBubble pins the PP=1 degenerate pipeline for both
+// schedules, with communication time configured: a one-stage pipeline has no
+// hops and no bubble, so the makespan is exactly m·(f+b) and CommTime is
+// irrelevant.
+func TestSingleStageNoBubble(t *testing.T) {
+	for _, sched := range []Schedule{GPipe, OneFOneB} {
+		r, err := Run(Config{
+			Stages: 1, Microbatches: 6, FwdTime: 2, BwdTime: 5, CommTime: 3,
+			Schedule: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := eventsim.Time(6 * 7); r.Makespan != want {
+			t.Errorf("%v: PP=1 makespan = %v, want %v (no hops, no bubble)", sched, r.Makespan, want)
+		}
+		if got := r.BubbleFraction(); got != 0 {
+			t.Errorf("%v: PP=1 bubble = %v, want 0", sched, got)
+		}
+	}
+}
+
+// TestSingleMicrobatch pins the N_ub=1 degenerate schedule: one microbatch
+// serializes the whole pipeline, so both schedules coincide at
+// p·(f+b) + 2(p-1)·c and the bubble fraction hits its (p-1)/p maximum.
+func TestSingleMicrobatch(t *testing.T) {
+	const p = 4
+	const f, b, c = 2.0, 4.0, 1.0
+	want := eventsim.Time(p*(f+b) + 2*(p-1)*c)
+	for _, sched := range []Schedule{GPipe, OneFOneB} {
+		r, err := Run(Config{
+			Stages: p, Microbatches: 1, FwdTime: f, BwdTime: b, CommTime: c,
+			Schedule: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(r.Makespan-want)) > 1e-9 {
+			t.Errorf("%v: m=1 makespan = %v, want %v", sched, r.Makespan, want)
+		}
+	}
+	// Zero comm isolates the bubble arithmetic: (p-1)/(m+p-1) = 3/4.
+	r, err := Run(Config{Stages: p, Microbatches: 1, FwdTime: f, BwdTime: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, wantB := r.BubbleFraction(), AnalyticBubbleFraction(p, 1); math.Abs(got-wantB) > 1e-9 {
+		t.Errorf("m=1 bubble = %v, want %v", got, wantB)
+	}
+}
+
+// TestInterleavedUnevenLayerSplit models an interleaved schedule whose layer
+// count does not divide evenly across stages: 7 layers on 2 stages put 4 on
+// stage 0 and 3 on stage 1, expressed as StageScale = held/(L/p). The uneven
+// run must be slower than the even split of the same total work, and no
+// slower than scaling every stage to the heaviest one.
+func TestInterleavedUnevenLayerSplit(t *testing.T) {
+	const layers, p = 7.0, 2
+	base := InterleavedConfig{
+		Stages: p, Chunks: 2, Microbatches: 8, FwdTime: 3, BwdTime: 6, CommTime: 0.5,
+	}
+	even, err := RunInterleaved(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perStage := layers / p // 3.5
+	uneven := base
+	uneven.StageScale = []float64{4 / perStage, 3 / perStage}
+	got, err := RunInterleaved(uneven)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	worst := base
+	worst.StageScale = []float64{4 / perStage, 4 / perStage}
+	ceil, err := RunInterleaved(worst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Makespan <= even.Makespan {
+		t.Errorf("uneven split not slower than even: %v <= %v", got.Makespan, even.Makespan)
+	}
+	if got.Makespan > ceil.Makespan {
+		t.Errorf("uneven split slower than the all-heavy bound: %v > %v", got.Makespan, ceil.Makespan)
+	}
+}
+
+// TestInterleavedSingleMicrobatch pins the N_ub=1 interleaved schedule: the
+// makespan must still account for every chunk and every hop (including the
+// wrap-around ones), and one microbatch leaves the bubble at its maximum —
+// strictly worse than m=8 on the same geometry.
+func TestInterleavedSingleMicrobatch(t *testing.T) {
+	cfg := InterleavedConfig{
+		Stages: 4, Chunks: 2, Microbatches: 1, FwdTime: 4, BwdTime: 8, CommTime: 0.25,
+	}
+	one, err := RunInterleaved(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All compute serializes: p stages × (f+b) regardless of chunking, plus
+	// a positive number of hops.
+	floor := eventsim.Time(4 * 12)
+	if one.Makespan <= floor {
+		t.Errorf("m=1 interleaved makespan %v not above the pure-compute floor %v", one.Makespan, floor)
+	}
+	cfg.Microbatches = 8
+	many, err := RunInterleaved(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.BubbleFraction() <= many.BubbleFraction() {
+		t.Errorf("m=1 bubble %v not above m=8 bubble %v",
+			one.BubbleFraction(), many.BubbleFraction())
+	}
+}

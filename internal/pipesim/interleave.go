@@ -27,6 +27,11 @@ type InterleavedConfig struct {
 	CommTime eventsim.Time
 	// KeepTrace records per-stage busy intervals.
 	KeepTrace bool
+	// StageScale, when non-nil, multiplies each stage's compute durations:
+	// the straggler-injection hook, and the way to model layer counts that
+	// do not divide evenly across stages (a stage holding ceil(L/p) layers
+	// scales by ceil(L/p)/(L/p)). Length must equal Stages.
+	StageScale []float64
 }
 
 // Validate checks the configuration.
@@ -43,7 +48,7 @@ func (c InterleavedConfig) Validate() error {
 	case c.FwdTime == 0 && c.BwdTime == 0:
 		return errors.New("pipesim: zero-work pipeline")
 	}
-	return nil
+	return validateStageScale(c.StageScale, c.Stages)
 }
 
 // ctask is one (kind, microbatch, chunk) unit of work on a stage.
@@ -131,11 +136,15 @@ func RunInterleaved(cfg InterleavedConfig) (*Result, error) {
 			return done[fwd][t.mb][v-1][p-1] // loss after the last forward
 		}
 	}
-	dur := func(t ctask) eventsim.Time {
-		if t.kind == fwd {
-			return cfg.FwdTime / eventsim.Time(v)
+	dur := func(t ctask, s int) eventsim.Time {
+		d := cfg.FwdTime
+		if t.kind == bwd {
+			d = cfg.BwdTime
 		}
-		return cfg.BwdTime / eventsim.Time(v)
+		if cfg.StageScale != nil {
+			d *= eventsim.Time(cfg.StageScale[s])
+		}
+		return d / eventsim.Time(v)
 	}
 
 	issued := make([]bool, p)
@@ -172,7 +181,7 @@ func RunInterleaved(cfg InterleavedConfig) (*Result, error) {
 			return
 		}
 		issued[s] = true
-		stages[s].Acquire(dur(t), t.String(), func() {
+		stages[s].Acquire(dur(t, s), t.String(), func() {
 			issued[s] = false
 			next[s]++
 			complete(t, s)

@@ -52,6 +52,16 @@ type Config struct {
 	Schedule Schedule
 	// KeepTrace records per-stage busy intervals for visualization.
 	KeepTrace bool
+	// StageScale, when non-nil, multiplies each stage's compute durations —
+	// the fault injector's straggler hook, and the natural knob for layer
+	// counts that do not divide evenly across stages (a stage holding one
+	// extra layer is a proportionally slower stage). Length must equal
+	// Stages; 1 is a healthy stage.
+	StageScale []float64
+	// CommScale, when non-nil, returns a multiplier for the transfer leaving
+	// stage `from` at simulated time `at` — the degraded/flapping-link hook.
+	// Values must be non-negative; 1 is a healthy link.
+	CommScale func(from int, at eventsim.Time) float64
 }
 
 // Validate checks the configuration.
@@ -67,6 +77,22 @@ func (c Config) Validate() error {
 		return errors.New("pipesim: zero-work pipeline")
 	case c.Schedule != GPipe && c.Schedule != OneFOneB:
 		return fmt.Errorf("pipesim: unknown schedule %d", int(c.Schedule))
+	}
+	return validateStageScale(c.StageScale, c.Stages)
+}
+
+// validateStageScale checks an optional per-stage compute multiplier slice.
+func validateStageScale(scale []float64, stages int) error {
+	if scale == nil {
+		return nil
+	}
+	if len(scale) != stages {
+		return fmt.Errorf("pipesim: stage scale length %d != %d stages", len(scale), stages)
+	}
+	for s, v := range scale {
+		if v < 0 {
+			return fmt.Errorf("pipesim: negative stage scale %g at stage %d", v, s)
+		}
 	}
 	return nil
 }
@@ -207,11 +233,24 @@ func Run(cfg Config) (*Result, error) {
 			return done[bwd][t.mb][s+1]
 		}
 	}
-	dur := func(t task) eventsim.Time {
-		if t.kind == fwd {
-			return cfg.FwdTime
+	dur := func(t task, s int) eventsim.Time {
+		d := cfg.FwdTime
+		if t.kind == bwd {
+			d = cfg.BwdTime
 		}
-		return cfg.BwdTime
+		if cfg.StageScale != nil {
+			d *= eventsim.Time(cfg.StageScale[s])
+		}
+		return d
+	}
+	// commTime is the transfer delay for the hop leaving stage `from`,
+	// evaluated at send time so a flapping link's state at that moment
+	// applies.
+	commTime := func(from int) eventsim.Time {
+		if cfg.CommScale == nil {
+			return cfg.CommTime
+		}
+		return cfg.CommTime * eventsim.Time(cfg.CommScale(from, sim.Now()))
 	}
 
 	// tryIssue issues the stage's head task when its dependency is met.
@@ -226,13 +265,13 @@ func Run(cfg Config) (*Result, error) {
 		switch t.kind {
 		case fwd:
 			if s+1 < p {
-				sim.After(cfg.CommTime, func() { tryIssue(s + 1) })
+				sim.After(commTime(s), func() { tryIssue(s + 1) })
 			} else {
 				tryIssue(s) // backward of this microbatch on the last stage
 			}
 		default:
 			if s-1 >= 0 {
-				sim.After(cfg.CommTime, func() { tryIssue(s - 1) })
+				sim.After(commTime(s), func() { tryIssue(s - 1) })
 			}
 		}
 	}
@@ -246,7 +285,7 @@ func Run(cfg Config) (*Result, error) {
 			return
 		}
 		issued[s] = true
-		stages[s].Acquire(dur(t), t.String(), func() {
+		stages[s].Acquire(dur(t, s), t.String(), func() {
 			issued[s] = false
 			next[s]++
 			complete(t, s)

@@ -63,6 +63,17 @@ type EvaluateResponse struct {
 	TotalS       float64            `json:"total_s"`
 	TotalDays    float64            `json:"total_days"`
 	TFLOPSPerGPU float64            `json:"tflops_per_gpu"`
+	// Reliability fields, present only when the document carries a
+	// reliability section: the expected goodput fraction, the failure
+	// overhead it derives from, the chosen checkpoint cadence, and the
+	// failure-inflated training time.
+	Goodput             float64 `json:"goodput,omitempty"`
+	FailureOverhead     float64 `json:"failure_overhead,omitempty"`
+	MTBFSeconds         float64 `json:"mtbf_s,omitempty"`
+	CheckpointIntervalS float64 `json:"checkpoint_interval_s,omitempty"`
+	CheckpointWriteS    float64 `json:"checkpoint_write_s,omitempty"`
+	ExpectedTotalS      float64 `json:"expected_total_s,omitempty"`
+	ExpectedTotalDays   float64 `json:"expected_total_days,omitempty"`
 }
 
 // handleEvaluate prices one design point. The request body is exactly a
@@ -116,8 +127,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	for _, c := range bd.Components() {
 		breakdown[c.Name] = float64(c.Time)
 	}
-	wsp := tr.StartSpan(obs.PhaseEncode)
-	writeJSON(w, http.StatusOK, EvaluateResponse{
+	resp := EvaluateResponse{
 		ScenarioKey:  sess.Key(),
 		Cache:        status,
 		Mapping:      mp.Normalized().String(),
@@ -130,7 +140,18 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		TotalS:       float64(bd.TotalTime()),
 		TotalDays:    bd.TotalTime().Days(),
 		TFLOPSPerGPU: bd.TFLOPSPerGPU(),
-	})
+	}
+	if e := bd.Reliability; e.Enabled() {
+		resp.Goodput = bd.GoodputFraction()
+		resp.FailureOverhead = e.Overhead()
+		resp.MTBFSeconds = e.MTBF
+		resp.CheckpointIntervalS = e.CheckpointInterval
+		resp.CheckpointWriteS = e.CheckpointWrite
+		resp.ExpectedTotalS = float64(bd.ExpectedTotalTime())
+		resp.ExpectedTotalDays = bd.ExpectedTotalTime().Days()
+	}
+	wsp := tr.StartSpan(obs.PhaseEncode)
+	writeJSON(w, http.StatusOK, resp)
 	wsp.End()
 }
 
@@ -141,7 +162,10 @@ type SweepRequest struct {
 	Model    config.Model    `json:"model"`
 	System   config.System   `json:"system"`
 	Training config.Training `json:"training"`
-	Sweep    SweepParams     `json:"sweep"`
+	// Reliability enables failure-aware goodput modeling; the sweep then
+	// ranks points by expected (failure-inflated) total time.
+	Reliability *config.Reliability `json:"reliability,omitempty"`
+	Sweep       SweepParams         `json:"sweep"`
 }
 
 // SweepParams selects what the sweep varies and how much comes back.
@@ -191,7 +215,11 @@ type SweepPoint struct {
 	TotalDays    float64 `json:"total_days,omitempty"`
 	TFLOPSPerGPU float64 `json:"tflops_per_gpu,omitempty"`
 	Efficiency   float64 `json:"efficiency,omitempty"`
-	Err          string  `json:"error,omitempty"`
+	// Goodput and ExpectedTotalDays appear when the request carries a
+	// reliability section (the rank key is the expected total time).
+	Goodput           float64 `json:"goodput,omitempty"`
+	ExpectedTotalDays float64 `json:"expected_total_days,omitempty"`
+	Err               string  `json:"error,omitempty"`
 }
 
 // handleSweep runs a design-space exploration over the compiled session,
@@ -226,7 +254,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.error(w, r, http.StatusBadRequest, "sweep request: sweep.batches is required")
 		return
 	}
-	doc := config.Document{Model: req.Model, System: req.System, Training: req.Training}
+	doc := config.Document{
+		Model: req.Model, System: req.System, Training: req.Training,
+		Reliability: req.Reliability,
+	}
 	comp, err := doc.Components()
 	sp.End()
 	if err != nil {
@@ -307,6 +338,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			sp.TotalDays = p.Breakdown.TotalTime().Days()
 			sp.TFLOPSPerGPU = p.Breakdown.TFLOPSPerGPU()
 			sp.Efficiency = p.Breakdown.Efficiency
+			if p.Breakdown.Reliability.Enabled() {
+				sp.Goodput = p.Breakdown.GoodputFraction()
+				sp.ExpectedTotalDays = p.Breakdown.ExpectedTotalTime().Days()
+			}
 		}
 		out[i] = sp
 	}

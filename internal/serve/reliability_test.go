@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// relSection is the reliability block appended to the test scenarios: A100s
+// with a 5e6 s MTBF each, 2 GB/s per-worker checkpoint bandwidth, 5-minute
+// restarts, Adam state.
+const relSection = `"reliability": {
+    "accel_mtbf_s": "5M",
+    "checkpoint_bw_bytes_per_s": "2G",
+    "restart_s": 300,
+    "optimizer": "adam"
+  }`
+
+// withReliability splices the reliability section into a JSON document that
+// does not have one.
+func withReliability(doc string) string {
+	i := strings.LastIndex(doc, "}")
+	return doc[:i] + ", " + relSection + "\n}"
+}
+
+// TestEvaluateReliability pins the /v1/evaluate goodput surface: a document
+// with a reliability section comes back with goodput, expected time and
+// checkpoint cadence; one without omits them entirely.
+func TestEvaluateReliability(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := post(t, ts.URL+"/v1/evaluate", withReliability(evalDoc))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp EvaluateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Goodput <= 0 || resp.Goodput >= 1 {
+		t.Errorf("goodput %g outside (0,1)", resp.Goodput)
+	}
+	if resp.ExpectedTotalS <= resp.TotalS {
+		t.Errorf("expected total %g not inflated over %g", resp.ExpectedTotalS, resp.TotalS)
+	}
+	if resp.CheckpointIntervalS <= 0 || resp.MTBFSeconds <= 0 {
+		t.Errorf("missing checkpoint cadence: interval %g, MTBF %g",
+			resp.CheckpointIntervalS, resp.MTBFSeconds)
+	}
+
+	// Without the section every reliability field is omitted (zero).
+	code, body = post(t, ts.URL+"/v1/evaluate", evalDoc)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"goodput", "expected_total_s", "checkpoint_interval_s"} {
+		if _, present := raw[k]; present {
+			t.Errorf("healthy scenario leaked reliability field %q", k)
+		}
+	}
+}
+
+// TestSweepReliability pins the /v1/sweep passthrough: reliability-enabled
+// sweeps return per-point goodput and rank by expected time.
+func TestSweepReliability(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := post(t, ts.URL+"/v1/sweep", withReliability(sweepDoc))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) == 0 {
+		t.Fatal("no points")
+	}
+	prev := 0.0
+	for i, p := range resp.Points {
+		if p.Err != "" {
+			continue
+		}
+		if p.Goodput <= 0 || p.Goodput >= 1 {
+			t.Errorf("point %d goodput %g outside (0,1)", i, p.Goodput)
+		}
+		if p.ExpectedTotalDays < prev {
+			t.Errorf("ranking not by expected time at point %d: %g after %g",
+				i, p.ExpectedTotalDays, prev)
+		}
+		prev = p.ExpectedTotalDays
+	}
+}
+
+// TestDrainingRetryAfter pins the drain-path backoff hints: both the
+// /healthz liveness probe and evaluation admission answer 503 with a
+// Retry-After header once draining starts, mirroring the limiter's 429s.
+func TestDrainingRetryAfter(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	srv.StartDraining()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+	checkRetryAfter(t, resp, "healthz")
+
+	resp, err = http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(evalDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining evaluate status %d, want 503", resp.StatusCode)
+	}
+	checkRetryAfter(t, resp, "evaluate")
+}
+
+func checkRetryAfter(t *testing.T, resp *http.Response, where string) {
+	t.Helper()
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("%s: draining 503 missing Retry-After", where)
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 60 {
+		t.Errorf("%s: Retry-After %q outside [1,60] whole seconds", where, ra)
+	}
+}

@@ -205,9 +205,12 @@ func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so load
-// balancers drain traffic ahead of shutdown.
+// balancers drain traffic ahead of shutdown. Like the limiter's 429s, the
+// 503 carries a Retry-After hint so pollers back off for a meaningful
+// interval instead of hammering a server that is going away.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -232,6 +235,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfter())
 		s.error(w, r, http.StatusServiceUnavailable, "server draining")
 		return false
 	}
