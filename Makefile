@@ -3,9 +3,10 @@
 
 GO ?= go
 SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$'
-SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced)?$$'
+SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced)?$$|BenchmarkShardedSweep$$'
+BATCH_BENCH := 'BenchmarkEvaluateBatch|BenchmarkSessionEvaluatePoint$$'
 
-.PHONY: build test verify serve-smoke audit bench bench-sweep bench-serve clean
+.PHONY: build test verify serve-smoke audit bench bench-sweep bench-serve bench-batch clean
 
 build:
 	$(GO) build ./...
@@ -29,7 +30,7 @@ serve-smoke:
 	AMPED_SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -count=1 ./cmd/amped-serve/
 
 ## audit is the tier-2 correctness gate: 500 randomized scenarios through
-## the three-way differential + metamorphic harness, short runs of every
+## the four-way differential + metamorphic harness, short runs of every
 ## fuzzer (seed corpora always replay under plain `go test`), the
 ## concurrency-heavy serving/observability packages under the race
 ## detector (fresh, uncached — these tests carry the limiter-fairness,
@@ -41,6 +42,7 @@ audit:
 	$(GO) test -run '^$$' -fuzz FuzzThreeWay -fuzztime $(FUZZTIME) ./internal/audit
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/config
 	$(GO) test -run '^$$' -fuzz FuzzParseQuantity -fuzztime $(FUZZTIME) ./internal/units
+	$(GO) test -race -count=1 -run Shard ./internal/serve
 	$(GO) test -race -count=1 ./internal/serve ./internal/obs
 	$(GO) test -race ./...
 
@@ -50,24 +52,38 @@ bench:
 
 ## bench-sweep measures the sweep fast path and records the numbers in
 ## BENCH_sweep.json (the committed "baseline" section is preserved; only
-## "current" is rewritten). Pass BENCHTIME=... to override the default.
+## "current" is rewritten). The run is gated against the recorded current
+## entry: a >10% ns/point (or ns/op) regression fails the target and leaves
+## the ledger untouched. Pass BENCHTIME=... to override the default, or
+## GATE=... (percent) to loosen the gate on noisy machines.
 BENCHTIME ?= 2s
+GATE ?= 10
 bench-sweep:
 	$(GO) test -run '^$$' -bench $(SWEEP_BENCH) -benchmem -benchtime $(BENCHTIME) . \
 		| tee /dev/stderr \
-		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json \
+		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json -gate $(GATE) \
 			-note "make bench-sweep (benchtime $(BENCHTIME))"
 
 ## bench-serve measures the serving hot path: one compiled single-point
 ## evaluation bare and with a span recorded around it (the observability
-## tax — required <5%, currently ~1-2% thanks to span coalescing). The
-## numbers merge into BENCH_sweep.json next to the sweep rows instead of
-## replacing them.
+## tax — required <5%, currently ~1-2% thanks to span coalescing), plus the
+## end-to-end multi-replica sharded sweep (a 3-peer in-process fleet behind
+## one coordinator). The numbers merge into BENCH_sweep.json next to the
+## sweep rows instead of replacing them.
 bench-serve:
 	$(GO) test -run '^$$' -bench $(SERVE_BENCH) -benchmem -benchtime $(BENCHTIME) . \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json -merge \
 			-note "make bench-serve (benchtime $(BENCHTIME))"
+
+## bench-batch measures the SoA batched evaluation core against the scalar
+## per-point path it must stay bit-identical to, and merges the rows into
+## the ledger.
+bench-batch:
+	$(GO) test -run '^$$' -bench $(BATCH_BENCH) -benchmem -benchtime $(BENCHTIME) . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json -merge \
+			-note "make bench-batch (benchtime $(BENCHTIME))"
 
 clean:
 	$(GO) clean ./...

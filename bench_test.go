@@ -8,14 +8,21 @@
 package amped_test
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"amped"
 	"amped/internal/collective"
 	"amped/internal/hardware"
 	"amped/internal/hetero"
+	"amped/internal/model"
 	"amped/internal/obs"
+	"amped/internal/parallel"
 	"amped/internal/pipesim"
+	"amped/internal/serve"
 	"amped/internal/topology"
 	"amped/internal/units"
 	"amped/internal/validate"
@@ -702,4 +709,139 @@ func BenchmarkAblationCommOverlap(b *testing.B) {
 		gain = eval(0) / eval(0.9)
 	}
 	b.ReportMetric(gain, "overlap_speedup_x")
+}
+
+// batchBenchCells builds the SoA columns for one compiled CS1 scenario:
+// every power-of-two mapping of the 1024-accelerator machine crossed with
+// the paper's three batch sizes — the same cell set a GPT-3 sweep walks.
+func batchBenchCells(b *testing.B, sys *amped.System) model.BatchInput {
+	b.Helper()
+	maps := parallel.Enumerate(sys, parallel.EnumerateOptions{PowerOfTwo: true})
+	if len(maps) == 0 {
+		b.Fatal("no mappings enumerated")
+	}
+	var in model.BatchInput
+	for _, mp := range maps {
+		for _, g := range []int{4096, 8192, 16384} {
+			in.Mappings = append(in.Mappings, mp)
+			in.Batches = append(in.Batches, g)
+			in.Microbatches = append(in.Microbatches, 0)
+		}
+	}
+	return in
+}
+
+// BenchmarkEvaluateBatch measures the SoA batched evaluation core — the
+// engine under every sweep chunk and shard — over the full CS1 GPT-3 cell
+// set, reporting per-point cost alongside the scalar path it must match
+// bit for bit (BenchmarkEvaluateBatchScalar).
+func BenchmarkEvaluateBatch(b *testing.B) {
+	m := amped.GPT3175B()
+	sys := amped.CaseStudy1System()
+	sess, err := amped.Compile(&m, &sys, amped.Training{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := batchBenchCells(b, &sys)
+	var out model.BatchOutput
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.EvaluateBatch(in, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ok := 0
+	for _, c := range out.Codes {
+		if c.OK() {
+			ok++
+		}
+	}
+	if ok == 0 {
+		b.Fatal("no cell evaluated")
+	}
+	b.ReportMetric(float64(ok), "design_points")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(in.Len()), "ns/point")
+}
+
+// BenchmarkEvaluateBatchScalar runs the identical cell set through the
+// scalar Session.EvaluatePoint loop — the before picture of the SoA
+// hoisting, kept so the batch speedup stays visible in the ledger.
+func BenchmarkEvaluateBatchScalar(b *testing.B) {
+	m := amped.GPT3175B()
+	sys := amped.CaseStudy1System()
+	sess, err := amped.Compile(&m, &sys, amped.Training{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := batchBenchCells(b, &sys)
+	var bd amped.Breakdown
+	ok := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok = 0
+		for j := range in.Mappings {
+			if err := sess.EvaluatePoint(in.Mappings[j], in.Batches[j], in.Microbatches[j], &bd); err == nil {
+				ok++
+			}
+		}
+	}
+	b.StopTimer()
+	if ok == 0 {
+		b.Fatal("no cell evaluated")
+	}
+	b.ReportMetric(float64(ok), "design_points")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(in.Len()), "ns/point")
+}
+
+// shardedSweepDoc is a mid-size scenario for the end-to-end multi-replica
+// benchmark: large enough that evaluation (not HTTP framing) dominates,
+// small enough that one iteration stays in milliseconds.
+const shardedSweepDoc = `{
+  "model": {"name": "bench", "layers": 32, "hidden": 4096, "heads": 32, "seq_len": 2048, "vocab": 50000},
+  "system": {
+    "name": "16x8 a100",
+    "accelerator": {"preset": "a100"},
+    "nodes": 16,
+    "accels_per_node": 8,
+    "intra": {"name": "nvlink", "latency_s": 2e-6, "bandwidth_bps": "2.4T"},
+    "inter": {"name": "hdr", "latency_s": 5e-6, "bandwidth_bps": "200G"}
+  },
+  "training": {"global_batch": 2048},
+  "sweep": {"batches": [1024, 2048, 4096], "microbatch_target": 64, "power_of_two": true, "top": 10}
+}`
+
+// BenchmarkShardedSweep drives the full distributed path end to end: a
+// coordinator fanning one sweep over three in-process replicas through
+// real HTTP, NDJSON shard streams and the top-N merge. The points/s metric
+// is the aggregate throughput the coordinator reports.
+func BenchmarkShardedSweep(b *testing.B) {
+	var peers []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		defer ts.Close()
+		peers = append(peers, ts.URL)
+	}
+	coord := httptest.NewServer(serve.New(serve.Config{Peers: peers, ShardChunkCells: 64}).Handler())
+	defer coord.Close()
+
+	var rate, points float64
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(coord.URL+"/v1/sweep", "application/json", strings.NewReader(shardedSweepDoc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sr serve.SweepResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("sweep = %d, %v", resp.StatusCode, err)
+		}
+		rate = sr.PointsPerSecond
+		points = float64(sr.TotalPoints)
+	}
+	b.ReportMetric(points, "design_points")
+	b.ReportMetric(rate, "points/s")
 }

@@ -1,6 +1,6 @@
 // Command amped-audit runs the differential + metamorphic correctness
 // harness of internal/audit: it generates randomized training scenarios and
-// checks three-way agreement between the compiled session, the estimator
+// checks four-way agreement between the compiled session, the batch engine, the estimator
 // facade and the literal Eq. 1–12 oracle, plus the metamorphic invariant
 // suite (bandwidth monotonicity, batch linearity, DP/PP collapse, structural
 // consistency of every breakdown).

@@ -51,15 +51,16 @@ func main() {
 		note     = flag.String("note", "", "free-form note stored with the run")
 		baseline = flag.Bool("baseline", false, "record the run as the baseline instead of current")
 		merge    = flag.Bool("merge", false, "merge results into the existing run instead of replacing it")
+		gate     = flag.Float64("gate", 0, "fail (and leave the ledger untouched) if any benchmark regresses more than this percent against the recorded current run; 0 disables")
 	)
 	flag.Parse()
-	if err := run(*out, *note, *baseline, *merge); err != nil {
+	if err := run(*out, *note, *baseline, *merge, *gate); err != nil {
 		fmt.Fprintln(os.Stderr, "amped-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, note string, asBaseline, merge bool) error {
+func run(out, note string, asBaseline, merge bool, gate float64) error {
 	results, goos, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		return err
@@ -75,6 +76,13 @@ func run(out, note string, asBaseline, merge bool) error {
 		}
 	} else if !os.IsNotExist(err) {
 		return err
+	}
+
+	if gate > 0 && !asBaseline {
+		if regs := regressions(ledger.Current, results, gate); len(regs) > 0 {
+			return fmt.Errorf("regression gate (%.0f%%) failed; ledger not updated:\n  %s",
+				gate, strings.Join(regs, "\n  "))
+		}
 	}
 
 	rec := &Run{Note: note, Go: goos, Benchmarks: results}
@@ -101,6 +109,51 @@ func run(out, note string, asBaseline, merge bool) error {
 	}
 	fmt.Printf("%s: recorded %d benchmarks (%s)\n", out, len(results), names(results))
 	return nil
+}
+
+// gateMetrics are the time-per-work metrics the regression gate compares,
+// most specific first. Memory metrics are deliberately excluded: they are
+// exact and any intentional trade (e.g. caching) would otherwise need a
+// gate override, while wall-time noise is what the percentage headroom is
+// for.
+var gateMetrics = []string{"ns/point", "ns/op"}
+
+// regressions compares a fresh run against the recorded one, benchmark by
+// benchmark, and describes every metric that got more than pct percent
+// slower. Benchmarks new to the ledger (no recorded value) pass — the gate
+// protects the numbers the repo has already banked, it does not block new
+// coverage.
+func regressions(prev *Run, results map[string]Result, pct float64) []string {
+	if prev == nil {
+		return nil
+	}
+	var regs []string
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old, ok := prev.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		for _, metric := range gateMetrics {
+			was, hadOld := old.Metrics[metric]
+			now, hasNew := results[name].Metrics[metric]
+			if !hadOld || !hasNew || was <= 0 {
+				continue
+			}
+			if grew := (now - was) / was * 100; grew > pct {
+				regs = append(regs, fmt.Sprintf("%s: %s %.4g -> %.4g (+%.1f%%)",
+					name, metric, was, now, grew))
+			}
+			// Only the most specific recorded time metric gates a
+			// benchmark: ns/op double-counts what ns/point already covers.
+			break
+		}
+	}
+	return regs
 }
 
 // mergeRuns overlays rec's benchmarks onto prev's by name, so a targeted

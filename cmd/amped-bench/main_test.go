@@ -98,3 +98,46 @@ BenchmarkGood-8   5   42 ns/op
 		t.Fatalf("parse = %v, want only BenchmarkGood", got)
 	}
 }
+
+func TestRegressionGate(t *testing.T) {
+	prev := &Run{Benchmarks: map[string]Result{
+		"BenchmarkSweepGPT3": {Metrics: map[string]float64{"ns/op": 5e7, "ns/point": 1000}},
+		"BenchmarkEvaluate":  {Metrics: map[string]float64{"ns/op": 5000}},
+	}}
+	cases := []struct {
+		name    string
+		results map[string]Result
+		want    int
+	}{
+		{"within headroom", map[string]Result{
+			"BenchmarkSweepGPT3": {Metrics: map[string]float64{"ns/op": 9e7, "ns/point": 1099}},
+			"BenchmarkEvaluate":  {Metrics: map[string]float64{"ns/op": 5400}},
+		}, 0},
+		{"ns/point regressed", map[string]Result{
+			"BenchmarkSweepGPT3": {Metrics: map[string]float64{"ns/op": 5e7, "ns/point": 1200}},
+		}, 1},
+		{"ns/op gates benchmarks without ns/point", map[string]Result{
+			"BenchmarkEvaluate": {Metrics: map[string]float64{"ns/op": 6000}},
+		}, 1},
+		{"ns/op ignored when ns/point is recorded", map[string]Result{
+			// ns/op doubled (more iterations per call is fine) but the
+			// per-point cost held: not a regression.
+			"BenchmarkSweepGPT3": {Metrics: map[string]float64{"ns/op": 1e8, "ns/point": 1000}},
+		}, 0},
+		{"new benchmark passes", map[string]Result{
+			"BenchmarkEvaluateBatch": {Metrics: map[string]float64{"ns/op": 1e9}},
+		}, 0},
+		{"both regressed", map[string]Result{
+			"BenchmarkSweepGPT3": {Metrics: map[string]float64{"ns/point": 2000}},
+			"BenchmarkEvaluate":  {Metrics: map[string]float64{"ns/op": 50000}},
+		}, 2},
+	}
+	for _, c := range cases {
+		if got := regressions(prev, c.results, 10); len(got) != c.want {
+			t.Errorf("%s: %d regressions %v, want %d", c.name, len(got), got, c.want)
+		}
+	}
+	if regs := regressions(nil, cases[1].results, 10); regs != nil {
+		t.Errorf("no recorded run should mean no regressions, got %v", regs)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +46,8 @@ func run(args []string, out io.Writer) error {
 		cacheSize = fs.Int("cache-size", 64, "compiled-session LRU capacity (scenarios)")
 		maxBody   = fs.Int64("max-body-bytes", 1<<20, "request body size cap")
 		drainFor  = fs.Duration("drain-timeout", 35*time.Second, "max wait for in-flight requests on shutdown")
+		peers     = fs.String("peers", "", "comma-separated replica base URLs; non-empty makes /v1/sweep a sharding coordinator")
+		chunk     = fs.Int64("shard-chunk-cells", 0, "cells per streamed shard chunk (0 = peer default)")
 		quiet     = fs.Bool("quiet", false, "suppress per-request logs")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -55,13 +58,21 @@ func run(args []string, out io.Writer) error {
 	if *quiet {
 		logger = log.New(io.Discard, "", 0)
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
 	svc := serve.New(serve.Config{
-		MaxInFlight:    *inFlight,
-		MaxQueue:       *queue,
-		RequestTimeout: *timeout,
-		CacheSize:      *cacheSize,
-		MaxBodyBytes:   *maxBody,
-		Logger:         logger,
+		MaxInFlight:     *inFlight,
+		MaxQueue:        *queue,
+		RequestTimeout:  *timeout,
+		CacheSize:       *cacheSize,
+		MaxBodyBytes:    *maxBody,
+		Peers:           peerList,
+		ShardChunkCells: *chunk,
+		Logger:          logger,
 	})
 
 	// Listen before printing so -addr :0 reports the actual port — the

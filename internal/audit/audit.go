@@ -10,9 +10,11 @@
 //   - Generate: randomized scenario generation (models, systems, mappings,
 //     batches, precisions, topologies, MoE on/off) that is always valid by
 //     construction and reproducible from a seed.
-//   - Check: three-way differential comparison — Session.EvaluatePoint vs
-//     Estimator.Evaluate vs Literal — at a configurable relative tolerance,
-//     plus the metamorphic invariant suite of metamorphic.go.
+//   - Check: four-way differential comparison — Session.EvaluatePoint vs
+//     Estimator.Evaluate vs Session.EvaluateBatch vs Literal — at a
+//     configurable relative tolerance (the first three must be
+//     bit-identical; only the literal gets tolerance), plus the metamorphic
+//     invariant suite of metamorphic.go.
 //   - Run: the batch driver behind cmd/amped-audit and `make audit`.
 package audit
 
@@ -67,7 +69,7 @@ func (sc *Scenario) String() string {
 			sc.Training.CommOverlap, sc.Training.IncludeEmbedding})
 }
 
-// Check runs the three-way differential comparison and the metamorphic
+// Check runs the four-way differential comparison and the metamorphic
 // invariants on one scenario. It returns the list of problems found (empty
 // when the scenario passes) and whether the scenario was numerically
 // evaluated (false when every evaluator agreed the point is degenerate).
@@ -82,6 +84,10 @@ func Check(sc *Scenario, tol float64) (problems []string, evaluated bool) {
 		errS = errC
 	} else {
 		bdS, errS = sess.Evaluate(sc.Mapping, sc.Training.Batch.Global, sc.Training.Batch.Microbatches)
+		// Fourth way: the SoA batch engine must reproduce the scalar path
+		// exactly, on degenerate points (same error) as well as good ones
+		// (bit-identical breakdown).
+		problems = append(problems, batchDiff(sess, sc, bdS, errS)...)
 	}
 
 	if errE != nil || errS != nil {
@@ -107,6 +113,48 @@ func Check(sc *Scenario, tol float64) (problems []string, evaluated bool) {
 	problems = append(problems, diffBreakdowns("session vs literal", bdS, bdL, tol)...)
 	problems = append(problems, invariants(sc, bdS, tol)...)
 	return problems, true
+}
+
+// batchDiff runs the scenario's cell through Session.EvaluateBatch and
+// verifies the SoA engine is indistinguishable from the scalar result:
+// identical error on degenerate points, bit-identical Breakdown and
+// headline columns otherwise. No tolerance — the batch engine hoists
+// loop-invariant terms but must preserve the exact arithmetic.
+func batchDiff(sess *model.Session, sc *Scenario, bdS *model.Breakdown, errS error) []string {
+	in := model.BatchInput{
+		Mappings:     []parallel.Mapping{sc.Mapping},
+		Batches:      []int{sc.Training.Batch.Global},
+		Microbatches: []int{sc.Training.Batch.Microbatches},
+	}
+	var out model.BatchOutput
+	if err := sess.EvaluateBatch(in, &out); err != nil {
+		return []string{fmt.Sprintf("EvaluateBatch rejected well-formed columns: %v", err)}
+	}
+	if errS != nil {
+		switch {
+		case out.Codes[0].OK():
+			return []string{fmt.Sprintf(
+				"EvaluateBatch accepted a point Session.Evaluate rejected (%v)", errS)}
+		case out.Errs[0] == nil || out.Errs[0].Error() != errS.Error():
+			return []string{fmt.Sprintf(
+				"EvaluateBatch error %q (code %v) != scalar error %q",
+				out.Errs[0], out.Codes[0], errS)}
+		}
+		return nil
+	}
+	var problems []string
+	if !out.Codes[0].OK() {
+		return []string{fmt.Sprintf("EvaluateBatch rejected a good point: code %v err %v",
+			out.Codes[0], out.Errs[0])}
+	}
+	if out.Breakdowns[0] != *bdS {
+		problems = append(problems, "EvaluateBatch breakdown diverged bit-wise from Session.Evaluate")
+	}
+	if out.PerBatchSeconds[0] != float64(bdS.PerBatch()) ||
+		out.ExpectedTotalSeconds[0] != float64(bdS.ExpectedTotalTime()) {
+		problems = append(problems, "EvaluateBatch headline columns diverged from the breakdown")
+	}
+	return problems
 }
 
 // diffBreakdowns compares every component and metadata field of two
@@ -166,7 +214,7 @@ type Config struct {
 	// Seed is the base seed; scenario i uses seed Seed+i, so a failure
 	// reproduces from its own seed alone.
 	Seed int64
-	// Tol is the relative tolerance for the three-way comparison
+	// Tol is the relative tolerance for the differential comparison
 	// (cmd/amped-audit defaults to 1e-9).
 	Tol float64
 }

@@ -16,7 +16,7 @@ import (
 )
 
 // TestRunAgreement is the main gate: hundreds of randomized scenarios with
-// three-way evaluator agreement at 1e-9 and every metamorphic invariant
+// four-way evaluator agreement at 1e-9 and every metamorphic invariant
 // holding. A failure prints the seed that reproduces each bad scenario.
 func TestRunAgreement(t *testing.T) {
 	rep := Run(Config{Scenarios: 250, Seed: 1, Tol: 1e-9})

@@ -7,7 +7,7 @@ import (
 )
 
 // FuzzThreeWay fuzzes the scenario space by seed: every uint64 deterministically
-// expands to one generated scenario, which must pass the full three-way
+// expands to one generated scenario, which must pass the full four-way
 // differential comparison and metamorphic suite. The committed corpus under
 // testdata/fuzz/FuzzThreeWay pins a spread of generator regimes (dense/MoE,
 // every topology, explicit and defaulted microbatch schedules) so plain

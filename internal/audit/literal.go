@@ -18,7 +18,7 @@ import (
 // the *inputs* with the production evaluators — the transformer op/parameter
 // counts, the parallelism schedule arithmetic and the eff(ub) curve, which
 // are scenario description, not Eq. 1–12 — so any slip in the hoisting or
-// factoring of Session/Estimator shows up as a three-way divergence.
+// factoring of Session/Estimator shows up as a four-way divergence.
 //
 // Literal assumes a scenario the production evaluators accept; it performs
 // no input validation of its own (the harness only consults the oracle for

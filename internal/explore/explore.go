@@ -70,6 +70,13 @@ type Options struct {
 	// KeepInvalid retains points whose evaluation failed (Err set) instead
 	// of dropping them.
 	KeepInvalid bool
+	// CursorLo and CursorHi select a half-open slice [CursorLo, CursorHi)
+	// of the canonical cell enumeration — mapping-major, batch-minor over
+	// the deterministically ordered mappings × Batches, so cell index
+	// idx maps to (mappings[idx/len(Batches)], Batches[idx%len(Batches)]).
+	// Both zero sweeps the whole space. The serving layer uses the range to
+	// shard one sweep across replicas; Cells reports the enumeration size.
+	CursorLo, CursorHi int64
 	// Progress, when non-nil, receives live sweep instrumentation: points
 	// laid out, claimed by workers, completed and failed, plus the
 	// cooperative-cancel latency. Counters are atomic, so a monitor
@@ -88,6 +95,9 @@ type Progress struct {
 	// points are all claimed at once when a worker takes the chunk).
 	Claimed atomic.Int64
 	// Completed counts points whose evaluation finished (success or error).
+	// Like Claimed it advances at chunk granularity: the batched evaluation
+	// path prices a whole chunk per call, so per-point atomics would cost
+	// more than they observe.
 	Completed atomic.Int64
 	// Failed counts completed points whose evaluation set Err — including
 	// points pre-marked infeasible at layout time.
@@ -196,33 +206,18 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 // partial design space simply treat err != nil as fatal; the non-nil error
 // makes the truncation impossible to miss.
 func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error) {
-	if sc.Session != nil {
-		// The compiled session is the source of truth for everything it
-		// captured at Compile time.
-		sc.Model = sc.Session.Model()
-		sc.System = sc.Session.System()
-		sc.Training = sc.Session.Training()
-		sc.Eff = sc.Session.Eff()
+	sc.resolveSession()
+	mappings, err := resolveMappings(&sc, opt)
+	if err != nil {
+		return nil, err
 	}
-	if sc.Model == nil || sc.System == nil {
-		return nil, errors.New("explore: scenario needs a model and a system")
+	total := int64(len(mappings)) * int64(len(opt.Batches))
+	lo, hi := opt.CursorLo, opt.CursorHi
+	if lo == 0 && hi == 0 {
+		hi = total
 	}
-	if len(opt.Batches) == 0 {
-		return nil, errors.New("explore: no batch sizes to sweep")
-	}
-	mappings := opt.Mappings
-	if len(mappings) == 0 {
-		en := opt.Enumerate
-		if en.MaxTP == 0 {
-			en.MaxTP = sc.Model.Heads
-		}
-		if en.MaxPP == 0 {
-			en.MaxPP = sc.Model.Layers
-		}
-		mappings = parallel.Enumerate(sc.System, en)
-	}
-	if len(mappings) == 0 {
-		return nil, errors.New("explore: no mappings to evaluate")
+	if lo < 0 || hi < lo || hi > total {
+		return nil, fmt.Errorf("explore: shard range [%d, %d) outside cell enumeration of size %d", lo, hi, total)
 	}
 	eff := sc.Eff
 	if eff == nil {
@@ -245,49 +240,57 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 		sess.Prepare(opt.Batches...)
 	}
 
-	// Lay out the cells and pick each point's microbatch schedule up front.
-	// The (perReplica, pp) → N_ub choice repeats across mappings sharing
-	// degrees, so it is memoized; doing it serially here keeps the worker
-	// pool read-only over shared state.
-	points := make([]Point, len(mappings)*len(opt.Batches))
+	// Lay out the cells [lo, hi) and pick each point's microbatch schedule
+	// up front. The (perReplica, pp) → N_ub choice repeats across mappings
+	// sharing degrees, so it is memoized; doing it serially here keeps the
+	// worker pool read-only over shared state. The flat global-index walk
+	// makes a shard range evaluate exactly the cells a whole-space sweep
+	// would lay out at those indices — shard-boundary determinism is a
+	// consequence of sharing this loop, not a separate code path.
+	points := make([]Point, hi-lo)
 	nubMemo := make(map[[2]int]int)
-	idx := 0
-	for _, mp := range mappings {
-		dp, pp := mp.DP(), mp.PP()
-		for _, b := range opt.Batches {
-			p := Point{Mapping: mp, Batch: b, Fits: true}
-			nub := sc.Training.Batch.Microbatches
-			// Only dividing cells get a schedule chosen (and memoized):
-			// b/dp truncates otherwise, and the truncated per-replica batch
-			// would pick an N_ub for a cell that does not exist. The
-			// non-dividing cell keeps the scenario's schedule and is
-			// rejected by Batch.Validate during evaluation.
-			if opt.MicrobatchTarget > 0 && b%dp == 0 {
-				per := b / dp
-				if !MicrobatchFeasible(per, pp) {
-					// No divisor of per satisfies N_ub >= pp: the pipeline
-					// can never fill. Pre-mark the cell infeasible instead
-					// of evaluating ChooseMicrobatches' fallback schedule.
-					p.Microbatches = per
-					p.Err = fmt.Errorf(
-						"explore: %v B=%d infeasible: pipeline depth %d exceeds per-replica batch %d, no microbatch count satisfies N_ub >= N_PP",
-						mp, b, pp, per)
-					points[idx] = p
-					idx++
-					continue
-				}
-				key := [2]int{per, pp}
-				var ok bool
-				if nub, ok = nubMemo[key]; !ok {
-					nub = ChooseMicrobatches(per, pp, opt.MicrobatchTarget)
-					nubMemo[key] = nub
-				}
-			}
-			p.Microbatches = parallel.Batch{Global: b, Microbatches: nub}.MicrobatchesOrDefault(mp)
-			p.chosenNub = nub
-			points[idx] = p
-			idx++
+	nb := int64(len(opt.Batches))
+	lastMi := int64(-1)
+	var dp, pp int
+	for gi := lo; gi < hi; gi++ {
+		mi := gi / nb
+		mp := mappings[mi]
+		if mi != lastMi {
+			dp, pp = mp.DP(), mp.PP()
+			lastMi = mi
 		}
+		b := opt.Batches[gi%nb]
+		idx := int(gi - lo)
+		p := Point{Mapping: mp, Batch: b, Fits: true}
+		nub := sc.Training.Batch.Microbatches
+		// Only dividing cells get a schedule chosen (and memoized):
+		// b/dp truncates otherwise, and the truncated per-replica batch
+		// would pick an N_ub for a cell that does not exist. The
+		// non-dividing cell keeps the scenario's schedule and is
+		// rejected by Batch.Validate during evaluation.
+		if opt.MicrobatchTarget > 0 && b%dp == 0 {
+			per := b / dp
+			if !MicrobatchFeasible(per, pp) {
+				// No divisor of per satisfies N_ub >= pp: the pipeline
+				// can never fill. Pre-mark the cell infeasible instead
+				// of evaluating ChooseMicrobatches' fallback schedule.
+				p.Microbatches = per
+				p.Err = fmt.Errorf(
+					"explore: %v B=%d infeasible: pipeline depth %d exceeds per-replica batch %d, no microbatch count satisfies N_ub >= N_PP",
+					mp, b, pp, per)
+				points[idx] = p
+				continue
+			}
+			key := [2]int{per, pp}
+			var ok bool
+			if nub, ok = nubMemo[key]; !ok {
+				nub = ChooseMicrobatches(per, pp, opt.MicrobatchTarget)
+				nubMemo[key] = nub
+			}
+		}
+		p.Microbatches = parallel.Batch{Global: b, Microbatches: nub}.MicrobatchesOrDefault(mp)
+		p.chosenNub = nub
+		points[idx] = p
 	}
 
 	workers := opt.Concurrency
@@ -316,7 +319,10 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 	// One breakdown slot per point, allocated in a single block; workers
 	// claim chunked index ranges off an atomic cursor instead of receiving
 	// per-index channel sends, cutting synchronization traffic and false
-	// sharing on adjacent cells.
+	// sharing on adjacent cells. Each worker carries reusable SoA columns
+	// and prices its whole chunk through Session.EvaluateBatch, which hoists
+	// config resolution, aggregate lookups and reliability gating out of
+	// the per-point loop.
 	bds := make([]model.Breakdown, len(points))
 	chunk := chunkSize(len(points), workers)
 	var cursor atomic.Int64
@@ -325,6 +331,9 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var in model.BatchInput
+			var out model.BatchOutput
+			var idxs []int
 			for {
 				// Cooperative cancellation, checked once per chunk claim:
 				// cheap enough to leave the per-point path untouched, tight
@@ -341,18 +350,17 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 					end = len(points)
 				}
 				prog.Claimed.Add(int64(end - start))
+				evalChunk(points[start:end], bds[start:end], sess, &sc, &in, &out, &idxs)
+				failed := 0
 				for i := start; i < end; i++ {
-					// Cells pre-marked at layout time (infeasible
-					// microbatch schedule) are already decided; evaluating
-					// them would overwrite the diagnosis.
-					if points[i].Err == nil {
-						evalPointSafe(&points[i], &bds[i], sess, &sc)
-					}
-					prog.Completed.Add(1)
 					if points[i].Err != nil {
-						prog.Failed.Add(1)
+						failed++
 					}
 				}
+				if failed > 0 {
+					prog.Failed.Add(int64(failed))
+				}
+				prog.Completed.Add(int64(end - start))
 			}
 		}()
 	}
@@ -389,15 +397,170 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 	return points, cancelled
 }
 
-// chunkSize sizes worker chunks: enough chunks per worker for load balance
-// (expensive deep-pipeline cells cluster together in the mapping order),
-// but at least a cache line's worth of points per claim.
+// resolveSession makes a supplied pre-compiled session the source of truth
+// for everything it captured at Compile time.
+func (sc *Scenario) resolveSession() {
+	if sc.Session != nil {
+		sc.Model = sc.Session.Model()
+		sc.System = sc.Session.System()
+		sc.Training = sc.Session.Training()
+		sc.Eff = sc.Session.Eff()
+	}
+}
+
+// resolveMappings validates the scenario/options pair and returns the
+// deterministic mapping list the canonical cell enumeration is built over.
+func resolveMappings(sc *Scenario, opt Options) ([]parallel.Mapping, error) {
+	if sc.Model == nil || sc.System == nil {
+		return nil, errors.New("explore: scenario needs a model and a system")
+	}
+	if len(opt.Batches) == 0 {
+		return nil, errors.New("explore: no batch sizes to sweep")
+	}
+	mappings := opt.Mappings
+	if len(mappings) == 0 {
+		en := opt.Enumerate
+		if en.MaxTP == 0 {
+			en.MaxTP = sc.Model.Heads
+		}
+		if en.MaxPP == 0 {
+			en.MaxPP = sc.Model.Layers
+		}
+		mappings = parallel.Enumerate(sc.System, en)
+	}
+	if len(mappings) == 0 {
+		return nil, errors.New("explore: no mappings to evaluate")
+	}
+	return mappings, nil
+}
+
+// Cells reports the size of the canonical cell enumeration for a scenario
+// and options — the domain of Options.CursorLo/CursorHi — without
+// evaluating anything. Shard coordinators use it to split one sweep into
+// [lo, hi) ranges that tile the space.
+func Cells(sc Scenario, opt Options) (int64, error) {
+	sc.resolveSession()
+	mappings, err := resolveMappings(&sc, opt)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(mappings)) * int64(len(opt.Batches)), nil
+}
+
+// Chunk size bounds for the batched evaluation path. The floor keeps the
+// per-chunk fixed overhead — the cursor claim, three progress updates, the
+// column compaction resets and EvaluateBatch's per-run re-derivation at the
+// chunk seam, together well under 1 µs — below 1% of a chunk's evaluation
+// time (a point costs ~350 ns through the batch path, so 128 points ≈
+// 45 µs per chunk). The ceiling keeps cancellation latency and load
+// imbalance bounded on huge shards.
+const (
+	minChunk = 128
+	maxChunk = 8192
+)
+
+// chunkSize sizes worker chunks adaptively: enough chunks per worker for
+// load balance (expensive deep-pipeline cells cluster together in the
+// mapping order), clamped to [minChunk, maxChunk] so chunks grow with the
+// sweep — the batched path amortizes per-chunk overhead across the whole
+// chunk, so bigger sweeps take bigger bites. Degenerate inputs (n == 0,
+// n < workers, workers <= 0) fall through to the floor: the cursor loop
+// hands the whole space to whichever workers claim first and the rest find
+// it exhausted.
 func chunkSize(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
 	c := n / (workers * 8)
-	if c < 4 {
-		c = 4
+	if c < minChunk {
+		c = minChunk
+	}
+	if c > maxChunk {
+		c = maxChunk
 	}
 	return c
+}
+
+// evalChunk prices one claimed chunk of cells through the batched SoA path:
+// compact the undecided cells into reusable input columns (cells pre-marked
+// infeasible at layout time are already diagnosed), evaluate the chunk in
+// one EvaluateBatch call, then scatter results back through idxs.
+//
+// The batch call runs panic-isolated: a degenerate user-supplied efficiency
+// model or an eventsim guard trip must not take down the worker pool. When
+// it does panic, the points it finished before dying are still salvaged —
+// EvaluateBatch writes a slot's code last, so an Evaluated() slot is a
+// complete result — and only the remainder falls back to per-point scalar
+// evaluation, which pins the panic to the exact cell that caused it instead
+// of poisoning its chunk-mates.
+func evalChunk(pts []Point, bds []model.Breakdown, sess *model.Session, sc *Scenario,
+	in *model.BatchInput, out *model.BatchOutput, idxs *[]int) {
+	in.Mappings = in.Mappings[:0]
+	in.Batches = in.Batches[:0]
+	in.Microbatches = in.Microbatches[:0]
+	*idxs = (*idxs)[:0]
+	for i := range pts {
+		if pts[i].Err != nil {
+			continue
+		}
+		in.Mappings = append(in.Mappings, pts[i].Mapping)
+		in.Batches = append(in.Batches, pts[i].Batch)
+		in.Microbatches = append(in.Microbatches, pts[i].chosenNub)
+		*idxs = append(*idxs, i)
+	}
+	if len(*idxs) == 0 {
+		return
+	}
+	batched := func() (done bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				done = false
+			}
+		}()
+		return sess.EvaluateBatch(*in, out) == nil
+	}()
+	// On a panic the output columns are only meaningful if the call got as
+	// far as sizing them for this chunk (it always does: nothing before the
+	// resize runs user code — this is pure defense).
+	salvage := batched || len(out.Codes) == len(*idxs)
+	for k, i := range *idxs {
+		p := &pts[i]
+		if !salvage || !out.Codes[k].Evaluated() {
+			evalPointSafe(p, &bds[i], sess, sc)
+			continue
+		}
+		if !out.Codes[k].OK() {
+			p.Err = out.Errs[k]
+			continue
+		}
+		bds[i] = out.Breakdowns[k]
+		p.Breakdown = &bds[i]
+		estimateMemorySafe(p, sc)
+	}
+}
+
+// estimateMemorySafe runs the scenario's optional memory feasibility check
+// for one evaluated point, mirroring the scalar path's semantics — the
+// breakdown stays on an estimation error (the model priced the point; the
+// memory diagnosis rides in Err) — and its panic isolation.
+func estimateMemorySafe(p *Point, sc *Scenario) {
+	if sc.Memory == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			p.Err = fmt.Errorf("explore: panic estimating memory for %v B=%d m=%d: %v",
+				p.Mapping, p.Batch, p.Microbatches, r)
+		}
+	}()
+	batch := parallel.Batch{Global: p.Batch, Microbatches: p.chosenNub}
+	fp, err := memkit.Estimate(sc.Model, p.Mapping, batch, *sc.Memory)
+	if err != nil {
+		p.Err = err
+		return
+	}
+	p.Footprint = &fp
+	p.Fits = memkit.Fits(fp, sc.System.Accel, sc.MemoryReserve)
 }
 
 // evalPointSafe evaluates one sweep cell, converting a panicking evaluation

@@ -1,0 +1,160 @@
+package explore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"amped/internal/parallel"
+)
+
+// TestShardPartitionDeterminism is the shard-boundary determinism property:
+// any partition of the canonical cell enumeration [0, total) into disjoint
+// cursor ranges must reproduce, cell for cell, exactly what the whole-space
+// sweep produces — the same point set with bit-identical times — and the
+// per-shard top-N truncation a distributed coordinator performs must merge
+// back into the whole-space top-N. The partitions are random (seeded, so a
+// failure replays) and evaluated in shuffled order to mimic shards landing
+// on different replicas at different times.
+func TestShardPartitionDeterminism(t *testing.T) {
+	sc := cs1Scenario()
+	opt := Options{
+		Batches:          []int{4096, 8192},
+		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 128,
+		KeepInvalid:      true, // failures must shard deterministically too
+	}
+	total, err := Cells(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 16 {
+		t.Fatalf("scenario too small to partition meaningfully: %d cells", total)
+	}
+
+	whole, err := Sweep(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTimes := pointTimes(t, whole)
+	const top = 10
+	SortByTime(whole)
+	wantTop := pointIDs(whole[:top])
+
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 8; trial++ {
+		// Random cut points partition [0, total) into 1..9 contiguous
+		// half-open ranges covering every cell exactly once.
+		nCuts := rng.Intn(9)
+		cuts := map[int64]bool{}
+		for len(cuts) < nCuts {
+			cuts[1+rng.Int63n(total-1)] = true
+		}
+		bounds := []int64{0}
+		for c := range cuts {
+			bounds = append(bounds, c)
+		}
+		bounds = append(bounds, total)
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+
+		type shard struct{ lo, hi int64 }
+		shards := make([]shard, 0, len(bounds)-1)
+		for i := 1; i < len(bounds); i++ {
+			shards = append(shards, shard{bounds[i-1], bounds[i]})
+		}
+		rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+
+		var union []Point
+		var candidates []Point
+		for _, sh := range shards {
+			o := opt
+			o.CursorLo, o.CursorHi = sh.lo, sh.hi
+			pts, err := Sweep(sc, o)
+			if err != nil {
+				t.Fatalf("trial %d shard [%d,%d): %v", trial, sh.lo, sh.hi, err)
+			}
+			union = append(union, pts...)
+			// What a coordinator receives: each shard's own top-N.
+			SortByTime(pts)
+			if len(pts) > top {
+				pts = pts[:top]
+			}
+			candidates = append(candidates, pts...)
+		}
+
+		gotTimes := pointTimes(t, union)
+		if len(gotTimes) != len(wantTimes) {
+			t.Fatalf("trial %d (%d shards): union has %d points, whole sweep %d",
+				trial, len(shards), len(gotTimes), len(wantTimes))
+		}
+		for id, want := range wantTimes {
+			got, ok := gotTimes[id]
+			if !ok {
+				t.Fatalf("trial %d: point %q missing from sharded union", trial, id)
+			}
+			if got != want {
+				t.Fatalf("trial %d: point %q time %v != whole-space %v", trial, id, got, want)
+			}
+		}
+
+		SortByTime(candidates)
+		if len(candidates) > top {
+			candidates = candidates[:top]
+		}
+		gotTop := pointIDs(candidates)
+		for i := range wantTop {
+			if gotTop[i] != wantTop[i] {
+				t.Fatalf("trial %d: merged top-%d diverges at %d: %q != %q",
+					trial, top, i, gotTop[i], wantTop[i])
+			}
+		}
+	}
+}
+
+// pointTimes indexes points by identity, failing on duplicates (a shard
+// boundary bug would evaluate a cell twice or not at all).
+func pointTimes(t *testing.T, pts []Point) map[string]float64 {
+	t.Helper()
+	m := make(map[string]float64, len(pts))
+	for _, p := range pts {
+		id := p.String()
+		if _, dup := m[id]; dup {
+			t.Fatalf("duplicate point %q", id)
+		}
+		if p.Err != nil || p.Breakdown == nil {
+			m[id] = -1
+			continue
+		}
+		m[id] = float64(p.Breakdown.ExpectedTotalTime())
+	}
+	return m
+}
+
+func pointIDs(pts []Point) []string {
+	ids := make([]string, len(pts))
+	for i, p := range pts {
+		ids[i] = p.String()
+	}
+	return ids
+}
+
+// TestShardRangeRejected: a cursor range outside the enumeration is an
+// error, not a silent empty sweep.
+func TestShardRangeRejected(t *testing.T) {
+	sc := cs1Scenario()
+	opt := Options{
+		Batches:   []int{4096},
+		Enumerate: parallel.EnumerateOptions{PowerOfTwo: true},
+	}
+	total, err := Cells(sc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int64{{-1, 4}, {4, 2}, {0, total + 1}} {
+		o := opt
+		o.CursorLo, o.CursorHi = r[0], r[1]
+		if _, err := Sweep(sc, o); err == nil {
+			t.Errorf("range [%d,%d) accepted, want error", r[0], r[1])
+		}
+	}
+}

@@ -9,20 +9,34 @@ import (
 	"amped/internal/transformer"
 )
 
-// TestChunkSize pins the chunked-claim sizing: never below the minimum
-// claim, and small enough that every worker gets work on large sweeps.
+// TestChunkSize pins the adaptive chunked-claim sizing for the batched
+// evaluation path: chunks never shrink below the amortization floor (so
+// per-chunk overhead stays under 1% of chunk evaluation time), grow with
+// the sweep, and cap at the ceiling so cancellation latency stays bounded.
+// Degenerate shapes — n == 0, n < workers, workers == 1, workers <= 0 —
+// must all resolve to a positive chunk the cursor loop can terminate on.
 func TestChunkSize(t *testing.T) {
 	cases := []struct {
+		name             string
 		n, workers, want int
 	}{
-		{1, 8, 4},     // tiny sweep: one claim covers it
-		{100, 8, 4},   // minimum claim
-		{3200, 8, 50}, // 8 chunks per worker
-		{64, 1, 8},
+		{"tiny sweep, one claim covers it", 1, 8, minChunk},
+		{"n < workers", 16, 64, minChunk},
+		{"n == 0", 0, 8, minChunk},
+		{"small sweep stays at floor", 3200, 8, minChunk},
+		{"single worker", 64, 1, minChunk},
+		{"workers <= 0 treated as one", 100, 0, minChunk},
+		{"interior: grows with the sweep", 200_000, 8, 3125},
+		{"huge sweep hits the ceiling", 1 << 20, 8, maxChunk},
+		{"huge sweep, single worker, still capped", 1 << 20, 1, maxChunk},
 	}
 	for _, c := range cases {
-		if got := chunkSize(c.n, c.workers); got != c.want {
-			t.Errorf("chunkSize(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		got := chunkSize(c.n, c.workers)
+		if got != c.want {
+			t.Errorf("%s: chunkSize(%d, %d) = %d, want %d", c.name, c.n, c.workers, got, c.want)
+		}
+		if got < 1 {
+			t.Errorf("%s: chunkSize(%d, %d) = %d, not positive", c.name, c.n, c.workers, got)
 		}
 	}
 }

@@ -1,0 +1,451 @@
+package model
+
+import (
+	"errors"
+
+	"amped/internal/faults"
+	"amped/internal/parallel"
+	"amped/internal/topology"
+	"amped/internal/units"
+)
+
+// BatchInput is a structure-of-arrays list of design points against one
+// compiled Session: column i of every slice describes the same point. The
+// sweep engine fills these columns chunk by chunk; anything producing many
+// points of one scenario (a shard server, a solver frontier expansion) can
+// do the same.
+type BatchInput struct {
+	// Mappings is the parallelism-configuration column.
+	Mappings []parallel.Mapping
+	// Batches is the global-batch column (same length as Mappings).
+	Batches []int
+	// Microbatches is the raw N_ub column (0 derives the default, exactly
+	// like EvaluatePoint's microbatches argument). Nil means 0 everywhere.
+	Microbatches []int
+}
+
+// Len returns the number of points in the batch.
+func (in *BatchInput) Len() int { return len(in.Mappings) }
+
+// validate checks the column lengths agree.
+func (in *BatchInput) validate() error {
+	if len(in.Batches) != len(in.Mappings) {
+		return errorsf("model: batch input columns disagree: %d mappings, %d batches",
+			len(in.Mappings), len(in.Batches))
+	}
+	if in.Microbatches != nil && len(in.Microbatches) != len(in.Mappings) {
+		return errorsf("model: batch input columns disagree: %d mappings, %d microbatch counts",
+			len(in.Mappings), len(in.Microbatches))
+	}
+	return nil
+}
+
+// PointCode classifies one batched point's outcome without forcing callers
+// to inspect error values on the hot path.
+type PointCode uint8
+
+const (
+	// pointUnset is the zero value: a result slot EvaluateBatch has not
+	// written. A point's code is the last thing written to its slot, so
+	// callers recovering a panicked batch call (the sweep engine's chunk
+	// fallback) can salvage every slot whose code is set — see Evaluated.
+	pointUnset PointCode = iota
+	// PointOK marks a point that evaluated to a finite breakdown.
+	PointOK
+	// PointBadMapping marks a mapping that does not tile the system.
+	PointBadMapping
+	// PointBadBatch marks a batch schedule that does not divide the mapping.
+	PointBadBatch
+	// PointBadModelFit marks TP exceeding the head count or PP exceeding the
+	// layer count.
+	PointBadModelFit
+	// PointNonFinite marks an evaluation that produced a non-finite time
+	// (unusable link or degenerate mapping); the breakdown column keeps the
+	// partial result, mirroring Session.Evaluate's contract.
+	PointNonFinite
+)
+
+// OK reports whether the point evaluated successfully.
+func (c PointCode) OK() bool { return c == PointOK }
+
+// Evaluated reports whether EvaluateBatch reached this point's slot. The
+// code is the final write for a slot, so a true return means the slot's
+// other columns hold a complete result even when the call itself died in a
+// panic on a later point (a degenerate user-supplied efficiency model).
+func (c PointCode) Evaluated() bool { return c != pointUnset }
+
+// String names the code for reports.
+func (c PointCode) String() string {
+	switch c {
+	case pointUnset:
+		return "unset"
+	case PointOK:
+		return "ok"
+	case PointBadMapping:
+		return "bad-mapping"
+	case PointBadBatch:
+		return "bad-batch"
+	case PointBadModelFit:
+		return "bad-model-fit"
+	case PointNonFinite:
+		return "non-finite"
+	}
+	return "unknown"
+}
+
+// BatchOutput is the structure-of-arrays result of EvaluateBatch. Columns
+// are resized (reusing capacity) to the input length on every call, so one
+// BatchOutput can be recycled across chunks without per-chunk allocation.
+type BatchOutput struct {
+	// Codes classifies every point; Codes[i].OK() gates the other columns.
+	Codes []PointCode
+	// Errs carries the per-point error for failed points (nil when OK). The
+	// error values are equal in message to what EvaluatePoint returns for
+	// the same point, and are shared across the points of one mapping run
+	// rather than allocated per point.
+	Errs []error
+	// Breakdowns is the full per-point result column — bit-identical to what
+	// EvaluatePoint writes for the same point. Failed points are zeroed,
+	// except PointNonFinite which keeps the partial breakdown.
+	Breakdowns []Breakdown
+	// PerBatchSeconds and ExpectedTotalSeconds are the headline ranking
+	// metrics, extracted as dense columns so rankers and wire encoders never
+	// re-walk the breakdown structs. Zero for failed points.
+	PerBatchSeconds      []float64
+	ExpectedTotalSeconds []float64
+}
+
+// resize fits every column to n points, reusing capacity when possible.
+// Codes is cleared back to the unset sentinel so a recycled output never
+// mistakes a previous chunk's slot for this call's result if the call dies
+// mid-loop; the other columns are only trusted where the code is set.
+func (o *BatchOutput) resize(n int) {
+	if cap(o.Codes) < n {
+		o.Codes = make([]PointCode, n)
+		o.Errs = make([]error, n)
+		o.Breakdowns = make([]Breakdown, n)
+		o.PerBatchSeconds = make([]float64, n)
+		o.ExpectedTotalSeconds = make([]float64, n)
+		return
+	}
+	o.Codes = o.Codes[:n]
+	clear(o.Codes)
+	if cap(o.Errs) < n {
+		o.Errs = make([]error, n)
+	} else {
+		o.Errs = o.Errs[:n]
+	}
+	if cap(o.Breakdowns) < n {
+		o.Breakdowns = make([]Breakdown, n)
+	} else {
+		o.Breakdowns = o.Breakdowns[:n]
+	}
+	if cap(o.PerBatchSeconds) < n {
+		o.PerBatchSeconds = make([]float64, n)
+	} else {
+		o.PerBatchSeconds = o.PerBatchSeconds[:n]
+	}
+	if cap(o.ExpectedTotalSeconds) < n {
+		o.ExpectedTotalSeconds = make([]float64, n)
+	} else {
+		o.ExpectedTotalSeconds = o.ExpectedTotalSeconds[:n]
+	}
+}
+
+// fail records a failed point and zeroes its result columns so recycled
+// output storage never leaks a previous chunk's numbers.
+func (o *BatchOutput) fail(i int, code PointCode, err error) {
+	o.Codes[i] = code
+	o.Errs[i] = err
+	o.Breakdowns[i] = Breakdown{}
+	o.PerBatchSeconds[i] = 0
+	o.ExpectedTotalSeconds[i] = 0
+}
+
+// mappingRun holds everything EvaluateBatch hoists out of the inner loop
+// for one run of consecutive points sharing a mapping: validation verdicts,
+// the normalized degrees, the collective-topology constants of Eq. 6/10/11
+// and the fully batch-independent gradient all-reduce and reliability
+// expectations.
+type mappingRun struct {
+	err          error // mapping does not tile the system (poisons the run)
+	fitErr       error // TP > heads or PP > layers
+	mpn          parallel.Mapping
+	workers      float64
+	workersInt   int
+	pp           int
+	dp           int
+	rPP          float64 // BubbleRatio · (N_PP − 1), Eq. 8's run constant
+	moeActive    bool
+	ppIntraOn    bool
+	ppInterOn    bool
+	tpIntraOn    bool
+	tpInterOn    bool
+	tpIntraLatSt float64 // link latency · topology steps, hoisted Eq. 6 term
+	tpIntraFac   float64
+	tpInterLatSt float64
+	tpInterFac   float64
+	gradIntra    float64 // Eq. 10/11 are batch-independent: hoisted whole
+	gradInter    float64
+	rel          faults.Expectation
+}
+
+// prepareRun validates a mapping once and precomputes its run constants.
+func (s *Session) prepareRun(mp parallel.Mapping) mappingRun {
+	var r mappingRun
+	if err := mp.Validate(s.sys); err != nil {
+		r.err = err
+		return r
+	}
+	if tp := mp.TP(); tp > s.model.Heads {
+		r.fitErr = errorsf("model: TP degree %d exceeds %d attention heads", tp, s.model.Heads)
+	} else if pp := mp.PP(); pp > s.model.Layers {
+		r.fitErr = errorsf("model: PP degree %d exceeds %d layers", pp, s.model.Layers)
+	}
+	mpn := mp.Normalized()
+	r.mpn = mpn
+	r.workersInt = mpn.Workers()
+	r.workers = float64(r.workersInt)
+	r.pp = mpn.PP()
+	r.dp = mpn.DP()
+	if r.pp > 1 {
+		r.rPP = s.tr.BubbleRatio * float64(r.pp-1)
+		r.ppIntraOn = mpn.PPIntra > 1
+		r.ppInterOn = mpn.PPInter > 1
+	}
+	r.moeActive = s.model.MoE() && mpn.ExpertParallel
+	if mpn.TPIntra > 1 {
+		r.tpIntraOn = true
+		r.tpIntraLatSt = float64(s.intra.Latency) * float64(topology.Steps(s.arKind, mpn.TPIntra))
+		r.tpIntraFac = topology.Factor(s.arKind, mpn.TPIntra)
+	}
+	if mpn.TPInter > 1 {
+		r.tpInterOn = true
+		r.tpInterLatSt = float64(s.inter.Latency) * float64(topology.Steps(s.arKind, mpn.TPInter))
+		r.tpInterFac = topology.Factor(s.arKind, mpn.TPInter)
+	}
+	if mpn.DP() > 1 {
+		shard := 1 / float64(mpn.TP()*mpn.PP())
+		ngSum := s.gradParamsPlain
+		if mpn.ExpertParallel && s.model.MoE() {
+			ngSum = s.gradParamsEP
+		}
+		ngSum = (ngSum + s.gradEmbParams) * shard
+		r.gradIntra = s.allReduceSum(mpn.DPIntra, ngSum, s.intra)
+		r.gradInter = s.allReduceSum(mpn.DPInter, ngSum, s.inter)
+	}
+	if s.relSpec != nil {
+		nodes := faults.NodesFor(r.workersInt, s.accelsPerNode)
+		r.rel = s.relSpec.Expect(faults.Cluster{
+			Workers: r.workersInt,
+			Nodes:   nodes,
+			Links:   nodes * s.nicsPerNode,
+		}, s.ckptStateBytes)
+	}
+	return r
+}
+
+// aggCacheSize bounds the per-call aggregate cache; batches beyond it fall
+// back to the session's own lookup (still correct, just one map access).
+const aggCacheSize = 32
+
+// aggCache memoizes the distinct global batches of one EvaluateBatch call
+// so each Eq. 2 aggregate is resolved once per chunk instead of once per
+// point. A linear scan beats a map here: chunks carry a handful of batch
+// sizes and the entries stay in cache.
+type aggCache struct {
+	n       int
+	batches [aggCacheSize]int
+	aggs    [aggCacheSize]batchAgg
+}
+
+func (c *aggCache) get(s *Session, batch int) batchAgg {
+	for i := 0; i < c.n; i++ {
+		if c.batches[i] == batch {
+			return c.aggs[i]
+		}
+	}
+	a := s.agg(batch)
+	if c.n < aggCacheSize {
+		c.batches[c.n] = batch
+		c.aggs[c.n] = a
+		c.n++
+	}
+	return a
+}
+
+// EvaluateBatch evaluates a whole chunk of design points against the
+// compiled scenario in one call — the batched sibling of EvaluatePoint.
+// Per-point results are bit-identical to the scalar path (the same float
+// operations run in the same order on the same hoisted constants); what
+// changes is the dispatch: config resolution, mapping validation, the
+// collective-topology constants, the batch-independent gradient all-reduce
+// and the reliability expectation are resolved once per run of consecutive
+// equal mappings, and the Eq. 2 per-batch aggregate once per distinct batch
+// per call. Feed it mapping-major columns (the sweep's natural order) and
+// the amortized per-point cost drops well below the scalar path's.
+//
+// The error return covers malformed input columns only; per-point failures
+// land in out.Codes/out.Errs, carrying the same messages the scalar path
+// would return. The caller owns out; its columns are resized in place and
+// may be recycled across calls.
+func (s *Session) EvaluateBatch(in BatchInput, out *BatchOutput) error {
+	if out == nil {
+		return errors.New("model: nil batch output")
+	}
+	if err := in.validate(); err != nil {
+		return err
+	}
+	n := in.Len()
+	out.resize(n)
+	if n == 0 {
+		return nil
+	}
+
+	// Scenario-wide hoists: every load the scalar path repeats per point,
+	// resolved once per call. Values are identical; only the loads move.
+	tr := s.tr
+	bf := tr.BackwardCommFactor
+	exposed := 1 - tr.CommOverlap
+	commScale := (1 + bf) * exposed
+	zeroScale := tr.ZeROOverhead * (1 + bf) * exposed
+	bwIntra := float64(s.intra.Bandwidth)
+	bwInter := float64(s.inter.Bandwidth)
+	latIntra := float64(s.intra.Latency)
+	latInter := float64(s.inter.Latency)
+	numBatches := tr.NumBatches
+	relOn := s.relSpec != nil
+
+	var aggs aggCache
+	var run mappingRun
+	for i := 0; i < n; i++ {
+		mp := in.Mappings[i]
+		if i == 0 || mp != in.Mappings[i-1] {
+			run = s.prepareRun(mp)
+		}
+		if run.err != nil {
+			out.fail(i, PointBadMapping, run.err)
+			continue
+		}
+		nub := 0
+		if in.Microbatches != nil {
+			nub = in.Microbatches[i]
+		}
+		// Inline of parallel.Batch.Validate + MicrobatchesOrDefault +
+		// Microbatch over the run's pre-normalized degrees — the integer
+		// schedule math without the repeated Mapping normalizations. The
+		// scalar path checks the batch before the model-fit bounds, so a
+		// point failing both reports the batch error; keep that precedence.
+		// Failures take the slow path through the real Validate so the error
+		// matches the scalar path's byte for byte.
+		g := in.Batches[i]
+		var per, nubD int
+		bad := g <= 0 || nub < 0 || g%run.dp != 0
+		if !bad {
+			per = g / run.dp
+			nubD = nub
+			if nubD <= 0 {
+				nubD = run.pp
+			}
+			if nubD > per && per > 0 {
+				nubD = per
+			}
+			if nubD < 1 {
+				nubD = 1
+			}
+			bad = per%nubD != 0
+		}
+		if bad {
+			out.fail(i, PointBadBatch,
+				parallel.Batch{Global: g, Microbatches: nub}.Validate(run.mpn))
+			continue
+		}
+		if run.fitErr != nil {
+			out.fail(i, PointBadModelFit, run.fitErr)
+			continue
+		}
+
+		ub := float64(per) / float64(nubD)
+		eff := s.eff.Eff(ub)
+		nubF := float64(nubD)
+
+		// Eq. 2–4, factored exactly as the scalar path.
+		cMAC := 1 / (s.peakMAC * eff)
+		agg := aggs.get(s, g)
+		ufTotal := agg.macSum*cMAC*s.macScale + agg.nonlinSum*s.cNonlin*s.nonlinScale
+		uwTotal := s.updateParams * cMAC * s.macScale
+		ubTotal := tr.BackwardComputeFactor * ufTotal
+
+		// Eq. 5–7, 9 on the per-point microbatch, over hoisted run constants.
+		bEff := ub
+		nActTP := 2 * bEff * s.seqHidden
+		var tpIntra, tpInter float64
+		if run.tpIntraOn {
+			tpIntra = s.layersF * (run.tpIntraLatSt + nActTP*s.actBits/bwIntra*run.tpIntraFac)
+		}
+		if run.tpInterOn {
+			tpInter = s.layersF * (run.tpInterLatSt + nActTP*s.actBits/bwInter*run.tpInterFac)
+		}
+		var ppComm float64
+		if run.pp > 1 {
+			nActPP := bEff * s.seqHidden
+			var ppI, ppE float64
+			if run.ppIntraOn {
+				ppI = latIntra + nActPP*s.actBits/bwIntra
+			}
+			if run.ppInterOn {
+				ppE = latInter + nActPP*s.actBits/bwInter
+			}
+			ppComm = max2(ppI, ppE)
+		}
+		var moe float64
+		if run.moeActive {
+			moe = s.moeLayers * (s.moeLatTerm + bEff*s.seqHidden*s.moeVolCoeff)
+		}
+		fwdTotal := tpIntra + tpInter + ppComm + moe
+
+		// Eq. 8 over the hoisted R·(N_PP−1).
+		var bubble float64
+		if run.pp > 1 && nubF > 0 {
+			step := (ufTotal+ubTotal)/run.workers + commScale*fwdTotal
+			bubble = run.rPP / nubF * step
+		}
+		zeroExtra := zeroScale * fwdTotal
+
+		bd := &out.Breakdowns[i]
+		*bd = Breakdown{
+			ComputeForward:  units.Seconds(ufTotal / run.workers),
+			ComputeBackward: units.Seconds(ubTotal / run.workers),
+			WeightUpdate:    units.Seconds(uwTotal / run.workers),
+			TPIntraComm:     units.Seconds(commScale * tpIntra),
+			TPInterComm:     units.Seconds(commScale * tpInter),
+			PPComm:          units.Seconds(commScale * ppComm),
+			MoEComm:         units.Seconds(commScale * moe),
+			ZeROComm:        units.Seconds(zeroExtra),
+			GradIntraComm:   units.Seconds(run.gradIntra),
+			GradInterComm:   units.Seconds(run.gradInter),
+			Bubble:          units.Seconds(bubble),
+			Microbatch:      ub,
+			Efficiency:      eff,
+			Workers:         run.workersInt,
+			NumBatches:      numBatches,
+			ModelFLOPs:      agg.flops,
+		}
+		if relOn {
+			bd.Reliability = run.rel
+		}
+		if !finite(bd) {
+			// Keep the partial breakdown, like Session.Evaluate does.
+			out.Codes[i] = PointNonFinite
+			out.Errs[i] = errNonFinite
+			out.PerBatchSeconds[i] = 0
+			out.ExpectedTotalSeconds[i] = 0
+			continue
+		}
+		out.Codes[i] = PointOK
+		out.Errs[i] = nil
+		out.PerBatchSeconds[i] = float64(bd.PerBatch())
+		out.ExpectedTotalSeconds[i] = float64(bd.ExpectedTotalTime())
+	}
+	return nil
+}

@@ -58,35 +58,51 @@ func Enumerate(sys *hardware.System, opt EnumerateOptions) []Mapping {
 	}
 	intra := divisorTriples(sys.AccelsPerNode, opt.PowerOfTwo)
 	inter := divisorTriples(sys.Nodes, opt.PowerOfTwo)
-	var out []Mapping
+	// Each candidate's total degrees fall straight out of the divisor
+	// triples (every factor is >= 1, so no normalization is needed), and the
+	// string identity is rendered once up front — the sort comparator then
+	// runs on precomputed keys instead of re-deriving degrees and formatting
+	// strings O(n log n) times. The ordering is exactly the historical one:
+	// total TP, then PP, then DP, then the rendered identity.
+	type keyed struct {
+		m          Mapping
+		tp, pp, dp int
+		id         string
+	}
+	keys := make([]keyed, 0, len(intra)*len(inter))
 	for _, i := range intra {
 		for _, e := range inter {
+			tp, pp, dp := i[0]*e[0], i[1]*e[1], i[2]*e[2]
+			if opt.MaxTP > 0 && tp > opt.MaxTP {
+				continue
+			}
+			if opt.MaxPP > 0 && pp > opt.MaxPP {
+				continue
+			}
 			m := Mapping{
 				TPIntra: i[0], PPIntra: i[1], DPIntra: i[2],
 				TPInter: e[0], PPInter: e[1], DPInter: e[2],
 				ExpertParallel: opt.ExpertParallel,
 			}
-			if opt.MaxTP > 0 && m.TP() > opt.MaxTP {
-				continue
-			}
-			if opt.MaxPP > 0 && m.PP() > opt.MaxPP {
-				continue
-			}
-			out = append(out, m)
+			keys = append(keys, keyed{m: m, tp: tp, pp: pp, dp: dp, id: m.String()})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		ma, mb := out[a], out[b]
-		if ma.TP() != mb.TP() {
-			return ma.TP() < mb.TP()
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := &keys[a], &keys[b]
+		if ka.tp != kb.tp {
+			return ka.tp < kb.tp
 		}
-		if ma.PP() != mb.PP() {
-			return ma.PP() < mb.PP()
+		if ka.pp != kb.pp {
+			return ka.pp < kb.pp
 		}
-		if ma.DP() != mb.DP() {
-			return ma.DP() < mb.DP()
+		if ka.dp != kb.dp {
+			return ka.dp < kb.dp
 		}
-		return ma.String() < mb.String()
+		return ka.id < kb.id
 	})
+	out := make([]Mapping, len(keys))
+	for i := range keys {
+		out[i] = keys[i].m
+	}
 	return out
 }

@@ -8,6 +8,7 @@ package parallel
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"amped/internal/hardware"
 )
@@ -29,17 +30,27 @@ type Mapping struct {
 }
 
 // normalize returns a copy with zero degrees promoted to 1 so callers can
-// leave unused dimensions unset.
+// leave unused dimensions unset. Branch-per-field instead of a helper
+// closure: this sits under every degree accessor on sweep hot paths.
 func (m Mapping) normalize() Mapping {
-	one := func(v int) int {
-		if v == 0 {
-			return 1
-		}
-		return v
+	if m.TPIntra == 0 {
+		m.TPIntra = 1
 	}
-	m.TPIntra, m.TPInter = one(m.TPIntra), one(m.TPInter)
-	m.PPIntra, m.PPInter = one(m.PPIntra), one(m.PPInter)
-	m.DPIntra, m.DPInter = one(m.DPIntra), one(m.DPInter)
+	if m.TPInter == 0 {
+		m.TPInter = 1
+	}
+	if m.PPIntra == 0 {
+		m.PPIntra = 1
+	}
+	if m.PPInter == 0 {
+		m.PPInter = 1
+	}
+	if m.DPIntra == 0 {
+		m.DPIntra = 1
+	}
+	if m.DPInter == 0 {
+		m.DPInter = 1
+	}
 	return m
 }
 
@@ -70,15 +81,28 @@ func (m Mapping) InterDegree() int {
 	return n.TPInter * n.PPInter * n.DPInter
 }
 
-// String renders the mapping compactly, e.g. "TP8x1 PP1x2 DP1x64".
+// String renders the mapping compactly, e.g. "TP8x1 PP1x2 DP1x64". Built
+// with strconv instead of fmt: the sweep engine uses the string as its
+// deterministic ranking tiebreak, so this runs O(n log n) times per sort.
 func (m Mapping) String() string {
 	n := m.normalize()
-	s := fmt.Sprintf("TP%dx%d PP%dx%d DP%dx%d",
-		n.TPIntra, n.TPInter, n.PPIntra, n.PPInter, n.DPIntra, n.DPInter)
+	var buf [64]byte
+	b := append(buf[:0], "TP"...)
+	b = strconv.AppendInt(b, int64(n.TPIntra), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(n.TPInter), 10)
+	b = append(b, " PP"...)
+	b = strconv.AppendInt(b, int64(n.PPIntra), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(n.PPInter), 10)
+	b = append(b, " DP"...)
+	b = strconv.AppendInt(b, int64(n.DPIntra), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(n.DPInter), 10)
 	if m.ExpertParallel {
-		s += " +EP"
+		b = append(b, " +EP"...)
 	}
-	return s
+	return string(b)
 }
 
 // Validate checks that the mapping is internally consistent and fits the

@@ -204,6 +204,13 @@ type SweepResponse struct {
 	Partial   bool         `json:"partial,omitempty"`
 	DurationS float64      `json:"duration_s"`
 	Points    []SweepPoint `json:"points"`
+	// Sharded and Peers describe coordinator fan-out: set when this response
+	// was merged from peer shards rather than evaluated locally.
+	Sharded bool `json:"sharded,omitempty"`
+	Peers   int  `json:"peers,omitempty"`
+	// PointsPerSecond is the aggregate evaluation throughput across all
+	// shards (also observed into amped_sweep_points_per_second).
+	PointsPerSecond float64 `json:"points_per_second,omitempty"`
 }
 
 // SweepPoint is one ranked design point.
@@ -222,12 +229,41 @@ type SweepPoint struct {
 	Err               string  `json:"error,omitempty"`
 }
 
+// toSweepPoint renders one evaluated design point for the wire.
+func toSweepPoint(p explore.Point) SweepPoint {
+	sp := SweepPoint{
+		Mapping:      p.Mapping.Normalized().String(),
+		Batch:        p.Batch,
+		Microbatches: p.Microbatches,
+	}
+	if p.Err != nil {
+		sp.Err = p.Err.Error()
+	} else if p.Breakdown != nil {
+		sp.PerBatchS = float64(p.Breakdown.PerBatch())
+		sp.TotalDays = p.Breakdown.TotalTime().Days()
+		sp.TFLOPSPerGPU = p.Breakdown.TFLOPSPerGPU()
+		sp.Efficiency = p.Breakdown.Efficiency
+		if p.Breakdown.Reliability.Enabled() {
+			sp.Goodput = p.Breakdown.GoodputFraction()
+			sp.ExpectedTotalDays = p.Breakdown.ExpectedTotalTime().Days()
+		}
+	}
+	return sp
+}
+
 // handleSweep runs a design-space exploration over the compiled session,
 // under the request timeout and the engine's per-point panic isolation. A
 // deadline that expires mid-sweep returns the completed points as an
 // explicit 206 Partial Content instead of discarding finished work behind
-// an empty 504.
+// an empty 504. When the server is configured with peers it acts as the
+// sweep coordinator instead: the same request is sharded across the peers'
+// /v1/sweep/shard endpoints and the merged ranking comes back in the same
+// response shape.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if len(s.cfg.Peers) > 0 {
+		s.handleSweepCoordinator(w, r)
+		return
+	}
 	if !s.admit(w, r) {
 		return
 	}
@@ -326,24 +362,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]SweepPoint, len(points))
 	for i, p := range points {
-		sp := SweepPoint{
-			Mapping:      p.Mapping.Normalized().String(),
-			Batch:        p.Batch,
-			Microbatches: p.Microbatches,
-		}
-		if p.Err != nil {
-			sp.Err = p.Err.Error()
-		} else if p.Breakdown != nil {
-			sp.PerBatchS = float64(p.Breakdown.PerBatch())
-			sp.TotalDays = p.Breakdown.TotalTime().Days()
-			sp.TFLOPSPerGPU = p.Breakdown.TFLOPSPerGPU()
-			sp.Efficiency = p.Breakdown.Efficiency
-			if p.Breakdown.Reliability.Enabled() {
-				sp.Goodput = p.Breakdown.GoodputFraction()
-				sp.ExpectedTotalDays = p.Breakdown.ExpectedTotalTime().Days()
-			}
-		}
-		out[i] = sp
+		out[i] = toSweepPoint(p)
 	}
 	wsp := tr.StartSpan(obs.PhaseEncode)
 	writeJSON(w, respStatus, SweepResponse{

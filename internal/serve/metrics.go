@@ -54,6 +54,48 @@ func (v *counterVec) snapshot() ([]string, []uint64) {
 	return keys, vals
 }
 
+// histVec is a histogram family keyed by one pre-rendered label string.
+// Like counterVec, the label space is small (one series per configured
+// peer), so a mutex-guarded map suffices.
+type histVec struct {
+	mu      sync.Mutex
+	m       map[string]*obs.Histogram
+	buckets []float64
+}
+
+func newHistVec(buckets []float64) *histVec {
+	return &histVec{m: make(map[string]*obs.Histogram), buckets: buckets}
+}
+
+func (v *histVec) observe(labels string, x float64) {
+	v.mu.Lock()
+	h, ok := v.m[labels]
+	if !ok {
+		h = obs.NewHistogram(v.buckets...)
+		v.m[labels] = h
+	}
+	v.mu.Unlock()
+	h.Observe(x)
+}
+
+// writeTo renders every series, sorted by label for stable exposition.
+func (v *histVec) writeTo(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.m))
+	for k := range v.m {
+		keys = append(keys, k)
+	}
+	hists := make([]*obs.Histogram, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		hists[i] = v.m[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		hists[i].Write(w, name, k)
+	}
+}
+
 // Histogram bucket boundaries. Request latency and the per-phase split
 // share one grid so a phase can be read against the whole request; queue
 // wait gets a finer low end (an uncontended acquire is sub-microsecond);
@@ -80,10 +122,18 @@ type metrics struct {
 	compiles     counter     // amped_session_compiles_total
 	sweepPoints  counter     // amped_sweep_points_total
 
-	latency   *obs.Histogram                // amped_request_duration_seconds
-	queueWait *obs.Histogram                // amped_queue_wait_seconds
-	sweepRate *obs.Histogram                // amped_sweep_points_per_second
-	phases    [obs.NumPhases]*obs.Histogram // amped_phase_duration_seconds{phase}
+	// Coordinator-side shard fan-out counters: every dispatch by peer and
+	// outcome, plus retries (failed/busy/partial dispatches requeued) and
+	// reroutes (shards moved off a draining peer onto survivors).
+	shards        *counterVec // amped_shards_total{peer,outcome}
+	shardRetries  counter     // amped_shard_retries_total
+	shardReroutes counter     // amped_shard_reroutes_total
+
+	latency      *obs.Histogram                // amped_request_duration_seconds
+	queueWait    *obs.Histogram                // amped_queue_wait_seconds
+	sweepRate    *obs.Histogram                // amped_sweep_points_per_second
+	shardLatency *histVec                      // amped_shard_latency_seconds{peer}
+	phases       [obs.NumPhases]*obs.Histogram // amped_phase_duration_seconds{phase}
 
 	// gauges reads live values: in-flight requests, queue depth, cached
 	// sessions. Set once at server construction.
@@ -92,11 +142,13 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	m := &metrics{
-		requests:  newCounterVec(),
-		latency:   obs.NewHistogram(latencyBuckets...),
-		queueWait: obs.NewHistogram(queueBuckets...),
-		sweepRate: obs.NewHistogram(sweepRateBuckets...),
-		gauges:    func() (int, int, int) { return 0, 0, 0 },
+		requests:     newCounterVec(),
+		shards:       newCounterVec(),
+		latency:      obs.NewHistogram(latencyBuckets...),
+		queueWait:    obs.NewHistogram(queueBuckets...),
+		sweepRate:    obs.NewHistogram(sweepRateBuckets...),
+		shardLatency: newHistVec(latencyBuckets),
+		gauges:       func() (int, int, int) { return 0, 0, 0 },
 	}
 	for p := range m.phases {
 		m.phases[p] = obs.NewHistogram(phaseBuckets...)
@@ -155,6 +207,16 @@ func (m *metrics) writeTo(w io.Writer) {
 	c("amped_session_cache_evictions_total", "Compiled sessions evicted by the LRU.", m.cacheEvicted.value())
 	c("amped_session_compiles_total", "model.Compile executions (misses after singleflight dedup).", m.compiles.value())
 	c("amped_sweep_points_total", "Design points evaluated by /v1/sweep.", m.sweepPoints.value())
+	c("amped_shard_retries_total", "Shard dispatches requeued after a failure, busy signal or partial stream.", m.shardRetries.value())
+	c("amped_shard_reroutes_total", "Shards moved off a draining peer onto surviving peers.", m.shardReroutes.value())
+
+	if labels, vals = m.shards.snapshot(); len(labels) > 0 {
+		fmt.Fprintf(w, "# HELP amped_shards_total Coordinator shard dispatches, by peer and outcome.\n")
+		fmt.Fprintf(w, "# TYPE amped_shards_total counter\n")
+		for i, l := range labels {
+			fmt.Fprintf(w, "amped_shards_total{%s} %d\n", l, vals[i])
+		}
+	}
 
 	g("amped_requests_in_flight", "Evaluation requests currently executing.", inFlight)
 	g("amped_queue_depth", "Evaluation requests waiting for a limiter slot.", queueDepth)
@@ -163,6 +225,10 @@ func (m *metrics) writeTo(w io.Writer) {
 	hist("amped_request_duration_seconds", "Evaluation request latency.", m.latency)
 	hist("amped_queue_wait_seconds", "Time admitted requests spent waiting for a limiter slot.", m.queueWait)
 	hist("amped_sweep_points_per_second", "Per-sweep evaluation throughput (completed points / sweep wall time).", m.sweepRate)
+
+	fmt.Fprintf(w, "# HELP amped_shard_latency_seconds Coordinator-observed shard dispatch latency, by peer.\n")
+	fmt.Fprintf(w, "# TYPE amped_shard_latency_seconds histogram\n")
+	m.shardLatency.writeTo(w, "amped_shard_latency_seconds")
 
 	fmt.Fprintf(w, "# HELP amped_phase_duration_seconds Request time by phase (queue, decode, cache, compile, evaluate, sweep, encode).\n")
 	fmt.Fprintf(w, "# TYPE amped_phase_duration_seconds histogram\n")

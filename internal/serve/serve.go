@@ -59,6 +59,17 @@ type Config struct {
 	CacheSize int
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Peers lists replica base URLs (e.g. "http://host:8080"). When
+	// non-empty the server runs /v1/sweep as a coordinator: the sweep's
+	// canonical cell enumeration is sharded across the peers'
+	// /v1/sweep/shard endpoints and the merged top-N comes back in the
+	// usual SweepResponse shape. The list is static; dead or draining
+	// peers are routed around per request, not removed.
+	Peers []string
+	// ShardChunkCells sets the cell count per streamed shard chunk
+	// (default 32768). Smaller chunks mean finer resume granularity after
+	// a peer failure at the cost of more HTTP framing.
+	ShardChunkCells int64
 	// Logger receives structured request logs; nil discards them.
 	Logger *log.Logger
 }
@@ -99,6 +110,11 @@ type Server struct {
 	log      *log.Logger
 	draining atomic.Bool
 
+	// shardClient carries coordinator → peer shard requests. Streaming
+	// responses are paced by evaluation, so it deliberately has no overall
+	// timeout; cancellation rides the request context.
+	shardClient *http.Client
+
 	// ewmaSvcNanos is an exponentially weighted moving average of
 	// evaluation-request service time, feeding the Retry-After estimate.
 	ewmaSvcNanos atomic.Int64
@@ -115,6 +131,8 @@ func New(cfg Config) *Server {
 		ring:  obs.NewRing(traceRingSize),
 		mux:   http.NewServeMux(),
 		log:   cfg.Logger,
+
+		shardClient: &http.Client{},
 	}
 	s.cache.evicted = s.met.cacheEvicted.inc
 	s.met.gauges = func() (int, int, int) {
@@ -125,6 +143,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.wrap("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/evaluate", s.wrap("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("/v1/sweep", s.wrap("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/sweep/shard", s.wrap("sweep_shard", s.handleSweepShard))
 	return s
 }
 
@@ -169,7 +188,7 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // per request. The trace rides the request context, so the sweep engine and
 // error paths see the same request ID the client got in X-Request-Id.
 func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
-	evaluation := name == "evaluate" || name == "sweep"
+	evaluation := name == "evaluate" || name == "sweep" || name == "sweep_shard"
 	return func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace()
 		w.Header().Set("X-Request-Id", tr.ID())

@@ -1,0 +1,662 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"amped/internal/config"
+	"amped/internal/explore"
+	"amped/internal/obs"
+	"amped/internal/parallel"
+)
+
+// defaultShardChunkCells is the cell count a shard evaluates per streamed
+// NDJSON line. It bounds per-chunk memory (the sweep engine materializes
+// one chunk's points at a time), sets the resume granularity after a peer
+// failure, and is large enough that per-chunk enumeration and HTTP framing
+// overhead stay negligible against evaluation time.
+const defaultShardChunkCells = 32768
+
+// ShardRequest is the /v1/sweep/shard body: a full sweep request plus the
+// half-open [CursorLo, CursorHi) slice of the canonical cell enumeration
+// this replica should evaluate (both zero = the whole space, matching
+// explore.Options). ChunkCells overrides the streaming chunk size.
+type ShardRequest struct {
+	SweepRequest
+	CursorLo   int64 `json:"cursor_lo,omitempty"`
+	CursorHi   int64 `json:"cursor_hi,omitempty"`
+	ChunkCells int64 `json:"chunk_cells,omitempty"`
+}
+
+// ShardPoint is one ranked design point on the shard wire: the public
+// SweepPoint plus the exact ranking key, so the coordinator's merge
+// reproduces the single-node ordering bit for bit instead of re-deriving it
+// from rounded display fields.
+type ShardPoint struct {
+	SweepPoint
+	// RankS is explore.SortByTime's rank key — the expected total time in
+	// seconds — for successfully evaluated points.
+	RankS float64 `json:"rank_s,omitempty"`
+}
+
+// ShardChunk is one NDJSON line of a shard response stream: the chunk's
+// cursor range, how many points it completed (after invalid-point
+// filtering), and the chunk's top-N candidates. A chunk is the atomic unit
+// of progress — the coordinator resumes a broken stream from the last
+// fully received chunk's CursorHi. The final line carries Done (clean
+// completion) or Error (the shard stopped early; rerun from the last
+// cursor).
+type ShardChunk struct {
+	CursorLo  int64        `json:"cursor_lo"`
+	CursorHi  int64        `json:"cursor_hi"`
+	Completed int          `json:"completed"`
+	Points    []ShardPoint `json:"points,omitempty"`
+	Done      bool         `json:"done,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+// shardID reconstructs explore.Point.String() from wire fields, preserving
+// the deterministic ranking tiebreak across the shard boundary.
+func shardID(p *ShardPoint) string {
+	return fmt.Sprintf("%s B=%d m=%d", p.Mapping, p.Batch, p.Microbatches)
+}
+
+// shardLess reproduces explore.SortByTime's ordering on wire points:
+// evaluated points rank by exact expected total time, failures sink to the
+// tail, and ties break on the point's string identity. (The serving path
+// runs no memory model, so the feasibility bucket is always "fits".)
+func shardLess(a, b *ShardPoint) bool {
+	af, bf := a.Err == "", b.Err == ""
+	if af != bf {
+		return af
+	}
+	if af && a.RankS != b.RankS {
+		return a.RankS < b.RankS
+	}
+	return shardID(a) < shardID(b)
+}
+
+// sortShardPoints orders merged candidates exactly like a single-node
+// sweep's ranking.
+func sortShardPoints(pts []ShardPoint) {
+	sort.SliceStable(pts, func(i, j int) bool { return shardLess(&pts[i], &pts[j]) })
+}
+
+// toShardPoints renders ranked points for the shard stream.
+func toShardPoints(points []explore.Point) []ShardPoint {
+	out := make([]ShardPoint, len(points))
+	for i, p := range points {
+		out[i] = ShardPoint{SweepPoint: toSweepPoint(p)}
+		if p.Err == nil && p.Breakdown != nil {
+			out[i].RankS = float64(p.Breakdown.ExpectedTotalTime())
+		}
+	}
+	return out
+}
+
+// decodeSweepBody parses a sweep-shaped request body into dst (either
+// *SweepRequest or *ShardRequest) with unknown fields rejected.
+func decodeSweepBody(body []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("sweep request: %w", err)
+	}
+	return nil
+}
+
+// sweepOptions translates wire sweep parameters into engine options.
+func sweepOptions(p SweepParams) explore.Options {
+	return explore.Options{
+		Batches:          p.Batches,
+		MicrobatchTarget: p.MicrobatchTarget,
+		Enumerate: parallel.EnumerateOptions{
+			PowerOfTwo:     p.PowerOfTwo,
+			ExpertParallel: p.ExpertParallel,
+			MaxTP:          p.MaxTP,
+			MaxPP:          p.MaxPP,
+		},
+		KeepInvalid: p.KeepInvalid,
+	}
+}
+
+// handleSweepShard evaluates one [CursorLo, CursorHi) slice of the
+// canonical cell enumeration and streams per-chunk top-N results as NDJSON.
+// The endpoint goes through the same admission control as every evaluation
+// route (drain check, FIFO-fair limiter), so a coordinator's fan-out is
+// subject to exactly the backpressure a direct client would see.
+func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.lim.release()
+	tr := obs.FromContext(r.Context())
+
+	sp := tr.StartSpan(obs.PhaseDecode)
+	body, err := s.readBody(w, r)
+	if err != nil {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req ShardRequest
+	if err := decodeSweepBody(body, &req); err != nil {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Sweep.Batches) == 0 {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, "sweep request: sweep.batches is required")
+		return
+	}
+	doc := config.Document{
+		Model: req.Model, System: req.System, Training: req.Training,
+		Reliability: req.Reliability,
+	}
+	comp, err := doc.Components()
+	sp.End()
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, _, err := s.session(r.Context(), comp)
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	sc := explore.Scenario{Session: sess}
+	opt := sweepOptions(req.Sweep)
+	total, err := explore.Cells(sc, opt)
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	lo, hi := req.CursorLo, req.CursorHi
+	if lo == 0 && hi == 0 {
+		hi = total
+	}
+	if lo < 0 || hi < lo || hi > total {
+		s.error(w, r, http.StatusBadRequest,
+			fmt.Sprintf("shard range [%d, %d) outside cell enumeration of size %d", lo, hi, total))
+		return
+	}
+	chunk := req.ChunkCells
+	if chunk <= 0 {
+		chunk = defaultShardChunkCells
+	}
+	top := req.Sweep.Top
+	if top <= 0 {
+		top = 20
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// From here the stream owns the response: status and content type are
+	// committed before the first chunk, so late errors ride in the final
+	// NDJSON line rather than an HTTP status.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+
+	var completed int64
+	start := time.Now()
+	ssp := tr.StartSpan(obs.PhaseSweep)
+	defer func() {
+		ssp.End()
+		if elapsed := time.Since(start); completed > 0 && elapsed > 0 {
+			s.met.sweepRate.Observe(float64(completed) / elapsed.Seconds())
+		}
+	}()
+	for cur := lo; cur < hi; cur += chunk {
+		cHi := cur + chunk
+		if cHi > hi {
+			cHi = hi
+		}
+		copt := opt
+		copt.CursorLo, copt.CursorHi = cur, cHi
+		points, err := explore.SweepContext(ctx, sc, copt)
+		if err != nil {
+			// Deadline or cancel mid-chunk: the chunk is the atomic unit, so
+			// its partial points are discarded and the stream ends with a
+			// resumable cursor. The coordinator re-dispatches [cur, hi).
+			_ = enc.Encode(ShardChunk{CursorLo: cur, CursorHi: hi, Error: err.Error()})
+			return
+		}
+		explore.SortByTime(points)
+		n := len(points)
+		if n > top {
+			points = points[:top]
+		}
+		completed += int64(n)
+		s.met.sweepPoints.add(uint64(n))
+		if err := enc.Encode(ShardChunk{
+			CursorLo: cur, CursorHi: cHi, Completed: n, Points: toShardPoints(points),
+		}); err != nil {
+			return // client went away; nothing useful left to send
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(ShardChunk{CursorLo: hi, CursorHi: hi, Done: true})
+}
+
+// shardRange is a pending slice of the cell enumeration awaiting a peer.
+type shardRange struct{ lo, hi int64 }
+
+func (r shardRange) cells() int64 { return r.hi - r.lo }
+
+// peerState tracks one replica across the coordinator's rounds.
+type peerState struct {
+	url      string
+	draining bool
+	fails    int
+}
+
+// peerFailLimit removes a peer from rotation after this many hard failures
+// (transport errors, malformed streams, unexpected statuses). Draining
+// peers leave rotation immediately.
+const peerFailLimit = 3
+
+func (p *peerState) live() bool { return !p.draining && p.fails < peerFailLimit }
+
+// shardOutcome classifies one shard dispatch for the retry loop.
+type shardOutcome int
+
+const (
+	shardDone    shardOutcome = iota // range fully evaluated and streamed
+	shardPartial                     // clean stop mid-range (peer deadline); resume
+	shardBusy                        // 429: peer at capacity, back off and reroute
+	shardDrain                       // 503: peer draining, remove and reroute
+	shardFailed                      // transport/protocol failure
+)
+
+func (o shardOutcome) String() string {
+	switch o {
+	case shardDone:
+		return "ok"
+	case shardPartial:
+		return "partial"
+	case shardBusy:
+		return "busy"
+	case shardDrain:
+		return "drain"
+	case shardFailed:
+		return "error"
+	}
+	return "unknown"
+}
+
+// shardResult is one dispatch's aftermath: how far the stream durably got
+// and how the peer behaved.
+type shardResult struct {
+	outcome shardOutcome
+	resume  int64         // first cell NOT durably collected
+	backoff time.Duration // peer's Retry-After hint (busy/drain)
+	err     error
+}
+
+// runShard POSTs one shard range to a peer and consumes its NDJSON stream,
+// folding fully received chunks into the collector. Progress survives any
+// failure mode: resume always points at the first cell whose results were
+// not durably received, so the remainder can be re-dispatched elsewhere
+// without double-counting a cell.
+func (s *Server) runShard(ctx context.Context, peer string, req ShardRequest,
+	collect func(ShardChunk)) shardResult {
+	res := shardResult{resume: req.CursorLo}
+	body, err := json.Marshal(req)
+	if err != nil {
+		res.outcome, res.err = shardFailed, err
+		return res
+	}
+	start := time.Now()
+	defer func() {
+		s.met.shardLatency.observe(fmt.Sprintf("peer=%q", peer), time.Since(start).Seconds())
+	}()
+
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer+"/v1/sweep/shard", bytes.NewReader(body))
+	if err != nil {
+		res.outcome, res.err = shardFailed, err
+		return res
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := s.shardClient.Do(hreq)
+	if err != nil {
+		res.outcome, res.err = shardFailed, err
+		return res
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		res.outcome = shardBusy
+		res.backoff = retryAfterHint(resp)
+		return res
+	case http.StatusServiceUnavailable:
+		res.outcome = shardDrain
+		res.backoff = retryAfterHint(resp)
+		return res
+	default:
+		res.outcome = shardFailed
+		res.err = fmt.Errorf("peer %s: unexpected status %d", peer, resp.StatusCode)
+		return res
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var chunk ShardChunk
+		if err := dec.Decode(&chunk); err != nil {
+			// Stream broke mid-line (peer died, connection reset). Every
+			// chunk decoded so far is safe; resume covers the rest.
+			res.outcome, res.err = shardFailed, fmt.Errorf("peer %s: stream: %w", peer, err)
+			return res
+		}
+		if chunk.Done {
+			res.outcome = shardDone
+			res.resume = req.CursorHi
+			return res
+		}
+		if chunk.Error != "" {
+			// The peer stopped cleanly (its request deadline); this is
+			// progress-preserving backpressure, not a peer failure.
+			res.outcome = shardPartial
+			return res
+		}
+		collect(chunk)
+		res.resume = chunk.CursorHi
+	}
+}
+
+// retryAfterHint parses a Retry-After seconds header, defaulting to 1s.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
+}
+
+// maxCoordinatorBackoff caps how long a worker sleeps on a peer's
+// Retry-After before the range is rerouted; the hint is a coarse estimate
+// and surviving peers can usually absorb the work sooner.
+const maxCoordinatorBackoff = 2 * time.Second
+
+// splitRanges deals pending ranges into n contiguous, cell-balanced groups
+// (one per live peer). Group k may span several disjoint ranges.
+func splitRanges(pending []shardRange, n int) [][]shardRange {
+	var total int64
+	for _, r := range pending {
+		total += r.cells()
+	}
+	groups := make([][]shardRange, 0, n)
+	share := (total + int64(n) - 1) / int64(n)
+	cur := []shardRange{}
+	var got int64
+	for _, r := range pending {
+		for r.cells() > 0 {
+			take := r.cells()
+			if len(groups) < n-1 && got+take > share {
+				take = share - got
+			}
+			cur = append(cur, shardRange{r.lo, r.lo + take})
+			r.lo += take
+			got += take
+			if got >= share && len(groups) < n-1 {
+				groups = append(groups, cur)
+				cur, got = []shardRange{}, 0
+			}
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// handleSweepCoordinator fans one sweep out over the configured peers'
+// /v1/sweep/shard endpoints and merges their top-N streams into the same
+// SweepResponse a single-node sweep returns. It deliberately does not take
+// a limiter slot: the coordinator does no model evaluation itself, and
+// every unit of real work is admitted by a peer's own limiter (a peers list
+// containing this server's address would otherwise deadlock a
+// MaxInFlight=1 deployment against itself). Drain semantics still apply.
+//
+// Scheduling runs in rounds: pending cell ranges are dealt evenly across
+// live peers, each peer worker walks its ranges sequentially, and whatever
+// a peer failed to finish — it drained away, died mid-stream, hit its
+// request deadline, or shed load — returns to the pending pool for the
+// survivors. A round that collects nothing twice in a row aborts the sweep
+// rather than spinning.
+func (s *Server) handleSweepCoordinator(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.error(w, r, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfter())
+		s.error(w, r, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	tr := obs.FromContext(r.Context())
+
+	sp := tr.StartSpan(obs.PhaseDecode)
+	body, err := s.readBody(w, r)
+	if err != nil {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req SweepRequest
+	if err := decodeSweepBody(body, &req); err != nil {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Sweep.Batches) == 0 {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, "sweep request: sweep.batches is required")
+		return
+	}
+	doc := config.Document{
+		Model: req.Model, System: req.System, Training: req.Training,
+		Reliability: req.Reliability,
+	}
+	comp, err := doc.Components()
+	sp.End()
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Compile (or fetch) the session locally only to size the canonical
+	// enumeration; all evaluation happens on peers against their own caches.
+	sess, status, err := s.session(r.Context(), comp)
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	opt := sweepOptions(req.Sweep)
+	total, err := explore.Cells(explore.Scenario{Session: sess}, opt)
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	top := req.Sweep.Top
+	if top <= 0 {
+		top = 20
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	peers := make([]*peerState, len(s.cfg.Peers))
+	for i, u := range s.cfg.Peers {
+		peers[i] = &peerState{url: u}
+	}
+
+	var mu sync.Mutex
+	var candidates []ShardPoint
+	var totalCompleted int64
+	collect := func(c ShardChunk) {
+		mu.Lock()
+		totalCompleted += int64(c.Completed)
+		candidates = append(candidates, c.Points...)
+		mu.Unlock()
+	}
+
+	pending := []shardRange{{0, total}}
+	stalled := 0
+	start := time.Now()
+	ssp := tr.StartSpan(obs.PhaseSweep)
+	for len(pending) > 0 && ctx.Err() == nil {
+		var live []*peerState
+		for _, p := range peers {
+			if p.live() {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		groups := splitRanges(pending, len(live))
+		type roundResult struct {
+			peer    *peerState
+			left    []shardRange
+			drained bool
+			failed  bool
+		}
+		results := make(chan roundResult, len(groups))
+		before := func() int64 { mu.Lock(); defer mu.Unlock(); return totalCompleted }()
+		for gi := range groups {
+			go func(peer *peerState, ranges []shardRange) {
+				rr := roundResult{peer: peer}
+				for ri, rg := range ranges {
+					sreq := ShardRequest{
+						SweepRequest: req,
+						CursorLo:     rg.lo, CursorHi: rg.hi,
+						ChunkCells: s.cfg.ShardChunkCells,
+					}
+					res := s.runShard(ctx, peer.url, sreq, collect)
+					s.met.shards.inc(fmt.Sprintf("peer=%q,outcome=%q", peer.url, res.outcome))
+					if res.outcome == shardDone {
+						continue
+					}
+					// Whatever this peer did not durably deliver goes back
+					// to the pool, starting at the resumable cursor.
+					if res.resume < rg.hi {
+						rr.left = append(rr.left, shardRange{res.resume, rg.hi})
+					}
+					switch res.outcome {
+					case shardDrain:
+						s.met.shardReroutes.inc()
+						rr.drained = true
+						rr.left = append(rr.left, ranges[ri+1:]...)
+						results <- rr
+						return
+					case shardBusy:
+						s.met.shardRetries.inc()
+						backoff := res.backoff
+						if backoff > maxCoordinatorBackoff {
+							backoff = maxCoordinatorBackoff
+						}
+						select {
+						case <-time.After(backoff):
+						case <-ctx.Done():
+						}
+					case shardFailed:
+						s.met.shardRetries.inc()
+						if res.err != nil {
+							s.log.Printf("level=warn handler=sweep request_id=%s shard peer=%s err=%q",
+								obs.RequestID(r.Context()), peer.url, res.err)
+						}
+						rr.failed = true
+						rr.left = append(rr.left, ranges[ri+1:]...)
+						results <- rr
+						return
+					case shardPartial:
+						s.met.shardRetries.inc()
+						// Progress-preserving deadline stop; keep going on
+						// this peer with its next range.
+					}
+				}
+				results <- rr
+			}(live[gi], groups[gi])
+		}
+		pending = pending[:0]
+		for range groups {
+			rr := <-results
+			if rr.drained {
+				rr.peer.draining = true
+			}
+			if rr.failed {
+				rr.peer.fails++
+			}
+			pending = append(pending, rr.left...)
+		}
+		sort.Slice(pending, func(i, j int) bool { return pending[i].lo < pending[j].lo })
+		after := func() int64 { mu.Lock(); defer mu.Unlock(); return totalCompleted }()
+		if after == before {
+			if stalled++; stalled >= 2 {
+				break
+			}
+		} else {
+			stalled = 0
+		}
+	}
+	ssp.End()
+	elapsed := time.Since(start)
+
+	if len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			s.error(w, r, statusForContextErr(err),
+				fmt.Sprintf("sharded sweep incomplete: %v with %d ranges pending", err, len(pending)))
+			return
+		}
+		s.error(w, r, http.StatusBadGateway,
+			fmt.Sprintf("sharded sweep incomplete: no live peers for %d pending ranges", len(pending)))
+		return
+	}
+
+	rate := 0.0
+	if totalCompleted > 0 && elapsed > 0 {
+		rate = float64(totalCompleted) / elapsed.Seconds()
+		s.met.sweepRate.Observe(rate)
+	}
+	s.met.sweepPoints.add(uint64(totalCompleted))
+
+	sortShardPoints(candidates)
+	truncated := int64(len(candidates)) > int64(top) || totalCompleted > int64(len(candidates))
+	if len(candidates) > top {
+		candidates = candidates[:top]
+	}
+	out := make([]SweepPoint, len(candidates))
+	for i := range candidates {
+		out[i] = candidates[i].SweepPoint
+	}
+	wsp := tr.StartSpan(obs.PhaseEncode)
+	writeJSON(w, http.StatusOK, SweepResponse{
+		ScenarioKey:     sess.Key(),
+		Cache:           status,
+		TotalPoints:     int(totalCompleted),
+		Returned:        len(out),
+		Truncated:       truncated,
+		DurationS:       elapsed.Seconds(),
+		Points:          out,
+		Sharded:         true,
+		Peers:           len(peers),
+		PointsPerSecond: rate,
+	})
+	wsp.End()
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// newPeerFleet starts n standalone replicas and one coordinator whose
+// /v1/sweep fans out over them. Small chunk cells force multi-chunk
+// streams so the per-chunk top-N merge is actually exercised.
+func newPeerFleet(t *testing.T, n int) (peers []*Server, coord *Server, coordURL string) {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		p, ts := newTestServer(t, Config{})
+		peers = append(peers, p)
+		urls[i] = ts.URL
+	}
+	coord, cts := newTestServer(t, Config{Peers: urls, ShardChunkCells: 7})
+	return peers, coord, cts.URL
+}
+
+func sweepResponse(t *testing.T, url, body string) SweepResponse {
+	t.Helper()
+	code, b := post(t, url+"/v1/sweep", body)
+	if code != http.StatusOK {
+		t.Fatalf("sweep = %d %s", code, b)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestShardEndpointStreams drives /v1/sweep/shard directly: the NDJSON
+// stream must cover exactly the requested cursor range in chunk-sized
+// steps, end with a Done line, and complete the same number of points the
+// plain sweep reports for the whole space.
+func TestShardEndpointStreams(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	single := sweepResponse(t, ts.URL, sweepDoc)
+
+	shardDoc := strings.TrimSuffix(strings.TrimSpace(sweepDoc), "}") + `, "chunk_cells": 7}`
+	resp, err := http.Post(ts.URL+"/v1/sweep/shard", "application/json", strings.NewReader(shardDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	var chunks []ShardChunk
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var c ShardChunk
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		chunks = append(chunks, c)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 3 {
+		t.Fatalf("want a multi-chunk stream plus the Done line, got %d chunks", len(chunks))
+	}
+	last := chunks[len(chunks)-1]
+	if !last.Done || last.Error != "" {
+		t.Fatalf("stream should end Done: %+v", last)
+	}
+	completed := 0
+	var cursor int64
+	for _, c := range chunks[:len(chunks)-1] {
+		if c.CursorLo != cursor {
+			t.Fatalf("chunk starts at %d, want contiguous from %d", c.CursorLo, cursor)
+		}
+		if c.CursorHi-c.CursorLo > 7 {
+			t.Errorf("chunk [%d,%d) exceeds chunk_cells=7", c.CursorLo, c.CursorHi)
+		}
+		if len(c.Points) > c.Completed {
+			t.Errorf("chunk returned %d points but completed %d", len(c.Points), c.Completed)
+		}
+		cursor = c.CursorHi
+		completed += c.Completed
+	}
+	if completed != single.TotalPoints {
+		t.Errorf("shard completed %d points, whole sweep completed %d", completed, single.TotalPoints)
+	}
+}
+
+func TestShardRangeValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, c := range []struct{ name, extra string }{
+		{"negative lo", `"cursor_lo": -1, "cursor_hi": 5`},
+		{"inverted", `"cursor_lo": 9, "cursor_hi": 3`},
+		{"past end", `"cursor_lo": 0, "cursor_hi": 1000000`},
+	} {
+		doc := strings.TrimSuffix(strings.TrimSpace(sweepDoc), "}") + ", " + c.extra + "}"
+		code, body := post(t, ts.URL+"/v1/sweep/shard", doc)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", c.name, code, body)
+		}
+	}
+}
+
+// TestShardCoordinatorMatchesSingleNode is the tentpole acceptance check: a
+// 3-replica sharded sweep must return the exact merged top-N and total a
+// single node computes, and the coordinator must account the fan-out in
+// its metrics.
+func TestShardCoordinatorMatchesSingleNode(t *testing.T) {
+	_, single := newTestServer(t, Config{})
+	want := sweepResponse(t, single.URL, sweepDoc)
+
+	_, _, coordURL := newPeerFleet(t, 3)
+	got := sweepResponse(t, coordURL, sweepDoc)
+
+	if !got.Sharded || got.Peers != 3 {
+		t.Errorf("response not marked sharded over 3 peers: %+v", got)
+	}
+	if got.TotalPoints != want.TotalPoints {
+		t.Errorf("sharded TotalPoints = %d, single-node = %d", got.TotalPoints, want.TotalPoints)
+	}
+	if got.Truncated != want.Truncated || got.Returned != want.Returned {
+		t.Errorf("sharded truncation (%v, %d) != single-node (%v, %d)",
+			got.Truncated, got.Returned, want.Truncated, want.Returned)
+	}
+	if !reflect.DeepEqual(got.Points, want.Points) {
+		t.Errorf("sharded top-N diverges from single node:\n got %+v\nwant %+v", got.Points, want.Points)
+	}
+	if want.TotalPoints > 0 && got.PointsPerSecond <= 0 {
+		t.Errorf("aggregate points/s not reported: %+v", got)
+	}
+
+	code, metrics := get(t, coordURL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, sub := range []string{
+		"amped_shard_latency_seconds_count{peer=",
+		`outcome="ok"`,
+		"amped_sweep_points_per_second_count 1",
+		fmt.Sprintf("amped_sweep_points_total %d", want.TotalPoints),
+	} {
+		if !bytes.Contains(metrics, []byte(sub)) {
+			t.Errorf("coordinator metrics missing %q", sub)
+		}
+	}
+}
+
+// TestShardCoordinatorReroutesDrainingPeer covers satellite 6: a peer that is
+// mid-drain sheds its shard with 503 + Retry-After; the coordinator must
+// reroute that work onto the survivors, still produce the single-node
+// result, and count the reroute.
+func TestShardCoordinatorReroutesDrainingPeer(t *testing.T) {
+	_, single := newTestServer(t, Config{})
+	want := sweepResponse(t, single.URL, sweepDoc)
+
+	peers, _, coordURL := newPeerFleet(t, 3)
+	peers[1].StartDraining()
+
+	got := sweepResponse(t, coordURL, sweepDoc)
+	if got.TotalPoints != want.TotalPoints || !reflect.DeepEqual(got.Points, want.Points) {
+		t.Errorf("sweep with a draining peer diverges:\n got %+v\nwant %+v", got, want)
+	}
+
+	_, metrics := get(t, coordURL+"/metrics")
+	for _, sub := range []string{
+		"amped_shard_reroutes_total 1",
+		`outcome="drain"`,
+	} {
+		if !bytes.Contains(metrics, []byte(sub)) {
+			t.Errorf("coordinator metrics missing %q after drain reroute:\n%s", sub, metrics)
+		}
+	}
+}
+
+// TestShardCoordinatorRetriesDeadPeer: a peer that refuses connections is
+// retried up to the fail limit and routed around; the sweep still matches
+// the single-node result and the retries are counted.
+func TestShardCoordinatorRetriesDeadPeer(t *testing.T) {
+	_, single := newTestServer(t, Config{})
+	want := sweepResponse(t, single.URL, sweepDoc)
+
+	_, live1 := newTestServer(t, Config{})
+	_, live2 := newTestServer(t, Config{})
+	// A listener that closes immediately leaves a port that refuses.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	_, cts := newTestServer(t, Config{
+		Peers:           []string{live1.URL, deadURL, live2.URL},
+		ShardChunkCells: 7,
+	})
+	got := sweepResponse(t, cts.URL, sweepDoc)
+	if got.TotalPoints != want.TotalPoints || !reflect.DeepEqual(got.Points, want.Points) {
+		t.Errorf("sweep with a dead peer diverges:\n got %+v\nwant %+v", got, want)
+	}
+
+	_, metrics := get(t, cts.URL+"/metrics")
+	if !bytes.Contains(metrics, []byte("amped_shard_retries_total")) ||
+		bytes.Contains(metrics, []byte("amped_shard_retries_total 0")) {
+		t.Errorf("dead-peer retries not counted:\n%s", metrics)
+	}
+}
+
+// TestShardCoordinatorAllPeersDown: with no reachable peer the coordinator must
+// fail loudly (502), not silently return an empty ranking.
+func TestShardCoordinatorAllPeersDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	_, cts := newTestServer(t, Config{Peers: []string{deadURL}})
+	code, body := post(t, cts.URL+"/v1/sweep", sweepDoc)
+	if code != http.StatusBadGateway {
+		t.Fatalf("all-peers-down sweep = %d %s, want 502", code, body)
+	}
+}
