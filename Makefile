@@ -2,7 +2,7 @@
 # external tools — so every target works in the bare module checkout.
 
 GO ?= go
-SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$'
+SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$|BenchmarkSolveGPT3$$'
 SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced)?$$|BenchmarkShardedSweep$$'
 BATCH_BENCH := 'BenchmarkEvaluateBatch|BenchmarkSessionEvaluatePoint$$'
 
@@ -44,6 +44,7 @@ audit:
 	$(GO) test -run '^$$' -fuzz FuzzParseQuantity -fuzztime $(FUZZTIME) ./internal/units
 	$(GO) test -race -count=1 -run Shard ./internal/serve
 	$(GO) test -race -count=1 ./internal/serve ./internal/obs
+	$(GO) test -race -count=1 ./internal/plan
 	$(GO) test -race ./...
 
 ## bench runs every benchmark once, without touching the ledger.
@@ -54,14 +55,17 @@ bench:
 ## BENCH_sweep.json (the committed "baseline" section is preserved; only
 ## "current" is rewritten). The run is gated against the recorded current
 ## entry: a >10% ns/point (or ns/op) regression fails the target and leaves
-## the ledger untouched. Pass BENCHTIME=... to override the default, or
-## GATE=... (percent) to loosen the gate on noisy machines.
+## the ledger untouched. Merge mode because the ledger's current run also
+## holds the bench-serve/bench-batch rows this pattern doesn't re-measure —
+## a replace would drop them (and now trips the disappearance gate). Pass
+## BENCHTIME=... to override the default, or GATE=... (percent) to loosen
+## the gate on noisy machines.
 BENCHTIME ?= 2s
 GATE ?= 10
 bench-sweep:
 	$(GO) test -run '^$$' -bench $(SWEEP_BENCH) -benchmem -benchtime $(BENCHTIME) . \
 		| tee /dev/stderr \
-		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json -gate $(GATE) \
+		| $(GO) run ./cmd/amped-bench -out BENCH_sweep.json -merge -gate $(GATE) \
 			-note "make bench-sweep (benchtime $(BENCHTIME))"
 
 ## bench-serve measures the serving hot path: one compiled single-point

@@ -22,6 +22,7 @@ import (
 	"amped/internal/obs"
 	"amped/internal/parallel"
 	"amped/internal/pipesim"
+	"amped/internal/plan"
 	"amped/internal/serve"
 	"amped/internal/topology"
 	"amped/internal/units"
@@ -349,6 +350,36 @@ func BenchmarkSweepGPT3(b *testing.B) {
 		Enumerate:        amped.EnumerateOptions{PowerOfTwo: true},
 		MicrobatchTarget: 128,
 	})
+}
+
+// BenchmarkSolveGPT3 runs the branch-and-bound planner over the exact cell
+// space BenchmarkSweepGPT3 sweeps exhaustively: same model, machine,
+// batches and enumeration. The interesting metrics are cells_expanded
+// against cells_total — the planner's claim is reaching the identical
+// optimum while fully evaluating only a fraction of the space.
+func BenchmarkSolveGPT3(b *testing.B) {
+	m := amped.GPT3175B()
+	sys := amped.CaseStudy1System()
+	sc := amped.Scenario{Model: &m, System: &sys}
+	opt := amped.SweepOptions{
+		Batches:          []int{4096, 8192, 16384},
+		Enumerate:        amped.EnumerateOptions{PowerOfTwo: true},
+		MicrobatchTarget: 128,
+	}
+	b.ReportAllocs()
+	var expanded, total int64
+	for i := 0; i < b.N; i++ {
+		res, err := plan.Solve(sc, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Best == nil {
+			b.Fatal("no feasible point")
+		}
+		expanded, total = res.Stats.CellsExpanded, res.Stats.CellsTotal
+	}
+	b.ReportMetric(float64(expanded), "cells_expanded")
+	b.ReportMetric(float64(total), "cells_total")
 }
 
 // BenchmarkSweepMegatron530B sweeps the Table II 530B configuration with

@@ -51,7 +51,7 @@ func main() {
 		note     = flag.String("note", "", "free-form note stored with the run")
 		baseline = flag.Bool("baseline", false, "record the run as the baseline instead of current")
 		merge    = flag.Bool("merge", false, "merge results into the existing run instead of replacing it")
-		gate     = flag.Float64("gate", 0, "fail (and leave the ledger untouched) if any benchmark regresses more than this percent against the recorded current run; 0 disables")
+		gate     = flag.Float64("gate", 0, "fail (and leave the ledger untouched) if any benchmark regresses more than this percent against the recorded current run, or (without -merge) if a recorded benchmark is missing from the run; 0 disables")
 	)
 	flag.Parse()
 	if err := run(*out, *note, *baseline, *merge, *gate); err != nil {
@@ -82,6 +82,12 @@ func run(out, note string, asBaseline, merge bool, gate float64) error {
 		if regs := regressions(ledger.Current, results, gate); len(regs) > 0 {
 			return fmt.Errorf("regression gate (%.0f%%) failed; ledger not updated:\n  %s",
 				gate, strings.Join(regs, "\n  "))
+		}
+		if !merge {
+			if gone := disappeared(ledger.Current, results); len(gone) > 0 {
+				return fmt.Errorf("regression gate failed; ledger not updated: ledgered benchmarks missing from this run: %s\n  a replace-mode update would silently drop their banked numbers — re-run the full suite, or use -merge for a targeted re-run",
+					strings.Join(gone, ", "))
+			}
 		}
 	}
 
@@ -154,6 +160,26 @@ func regressions(prev *Run, results map[string]Result, pct float64) []string {
 		}
 	}
 	return regs
+}
+
+// disappeared lists recorded benchmark names absent from the fresh results.
+// In a gated replace-mode update those benchmarks would vanish from the
+// ledger without tripping the regression check — a benchmark that stops
+// compiling, is renamed, or falls out of the -bench pattern would read as
+// "no regression" forever. Merge-mode updates are exempt by design: they
+// exist precisely to re-run a subset.
+func disappeared(prev *Run, results map[string]Result) []string {
+	if prev == nil {
+		return nil
+	}
+	var gone []string
+	for name := range prev.Benchmarks {
+		if _, ok := results[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	return gone
 }
 
 // mergeRuns overlays rec's benchmarks onto prev's by name, so a targeted

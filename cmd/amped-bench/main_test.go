@@ -99,6 +99,34 @@ BenchmarkGood-8   5   42 ns/op
 	}
 }
 
+// TestDisappearedBenchmarks covers the gate's vanishing-benchmark check: a
+// replace-mode run missing a ledgered benchmark must be flagged (in sorted
+// order), while fresh ledgers and superset runs pass.
+func TestDisappearedBenchmarks(t *testing.T) {
+	prev := &Run{Benchmarks: map[string]Result{
+		"BenchmarkSweepGPT3": {Metrics: map[string]float64{"ns/point": 1000}},
+		"BenchmarkEvaluate":  {Metrics: map[string]float64{"ns/op": 5000}},
+		"BenchmarkSolveGPT3": {Metrics: map[string]float64{"ns/op": 1e6}},
+	}}
+	got := disappeared(prev, map[string]Result{
+		"BenchmarkSweepGPT3": {Metrics: map[string]float64{"ns/point": 990}},
+	})
+	want := []string{"BenchmarkEvaluate", "BenchmarkSolveGPT3"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("disappeared = %v, want %v", got, want)
+	}
+	full := map[string]Result{
+		"BenchmarkSweepGPT3": {}, "BenchmarkEvaluate": {}, "BenchmarkSolveGPT3": {},
+		"BenchmarkNew": {},
+	}
+	if got := disappeared(prev, full); got != nil {
+		t.Errorf("superset run flagged: %v", got)
+	}
+	if got := disappeared(nil, full); got != nil {
+		t.Errorf("fresh ledger flagged: %v", got)
+	}
+}
+
 func TestRegressionGate(t *testing.T) {
 	prev := &Run{Benchmarks: map[string]Result{
 		"BenchmarkSweepGPT3": {Metrics: map[string]float64{"ns/op": 5e7, "ns/point": 1000}},

@@ -29,6 +29,8 @@ import (
 	"amped/internal/memkit"
 	"amped/internal/model"
 	"amped/internal/parallel"
+	"amped/internal/pipesim"
+	"amped/internal/plan"
 	"amped/internal/precision"
 	"amped/internal/report"
 	"amped/internal/transformer"
@@ -68,6 +70,9 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		heat      = fs.Bool("heatmap", false, "also render a days heatmap of the top mappings x batches")
 		ep        = fs.Bool("expert-parallel", false, "enable MoE expert parallelism in every mapping")
+		solve     = fs.Bool("solve", false, "run the branch-and-bound planner instead of the exhaustive sweep and print pruning statistics")
+		heteroStr = fs.String("hetero", "", "mixed accelerator pools as preset:count pairs, e.g. a100:8,h100:8 (implies -solve; stage assignment is searched jointly)")
+		schedStr  = fs.String("schedule", "1f1b", "pipeline schedule for the -hetero simulation (1f1b, gpipe)")
 		progress  = fs.Bool("progress", false, "report live sweep progress on stderr")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
@@ -173,6 +178,10 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: *pow2, ExpertParallel: *ep},
 		MicrobatchTarget: *target,
 	}
+	if *solve || *heteroStr != "" {
+		return runSolve(out, sc, opt, *heteroStr, *schedStr)
+	}
+
 	// Progress counters are always wired so an interrupted run can say how
 	// far it got; the live reporter goroutine remains opt-in.
 	var prog explore.Progress
@@ -263,6 +272,104 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprint(out, heatmap(points, batchList, *top))
 	}
 	return nil
+}
+
+// runSolve replaces the exhaustive sweep with the branch-and-bound planner:
+// same cell space, same optimum (bit-identical rank and tie-break), but only
+// a fraction of the cells fully priced. With a -hetero pool list it also
+// searches mixed-fleet deployments, assigning pipeline stages to pools
+// jointly with the mapping.
+func runSolve(out io.Writer, sc explore.Scenario, opt explore.Options, pools, schedule string) error {
+	res, err := plan.Solve(sc, opt)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(out, "%s: branch-and-bound over %d cells\n", sc.Name, st.CellsTotal)
+	fmt.Fprintf(out, "  expanded   %6d (%.1f%% of the space)\n", st.CellsExpanded, 100*st.ExpandedFraction())
+	fmt.Fprintf(out, "  bounded    %6d cut off by the admissible lower bound\n", st.CellsBounded)
+	fmt.Fprintf(out, "  mem-pruned %6d dominated (TP, PP) prefixes\n", st.CellsPrunedMemory)
+	fmt.Fprintf(out, "  infeasible %6d unrankable (schedule/validation)\n", st.CellsInfeasible)
+	if st.ComputeFloorSeconds > 0 {
+		fmt.Fprintf(out, "  compute floor %.1f days (utilization 1, smallest batch)\n",
+			st.ComputeFloorSeconds/86400)
+	}
+	if res.Best == nil {
+		fmt.Fprintln(out, "no feasible point")
+	} else {
+		p := res.Best
+		if sc.Training.Reliability.Enabled() {
+			fmt.Fprintf(out, "best: %v at batch %d (N_ub %d) -> %.1f days expected (goodput %.4f)\n",
+				p.Mapping, p.Batch, p.Microbatches,
+				p.Breakdown.ExpectedTotalTime().Days(), p.Breakdown.GoodputFraction())
+		} else {
+			fmt.Fprintf(out, "best: %v at batch %d (N_ub %d) -> %.1f days\n",
+				p.Mapping, p.Batch, p.Microbatches, p.Breakdown.TotalTime().Days())
+		}
+	}
+	if pools == "" {
+		return nil
+	}
+
+	sp, err := heteroSpace(sc, opt, pools, schedule)
+	if err != nil {
+		return err
+	}
+	hres, err := plan.SolveHetero(sp)
+	if err != nil {
+		return err
+	}
+	hst := hres.Stats
+	fmt.Fprintf(out, "\nhetero fleet %s (%s): branch-and-bound over %d cells, expanded %d (%.1f%%)\n",
+		pools, schedule, hst.CellsTotal, hst.CellsExpanded, 100*hst.ExpandedFraction())
+	if hres.Best == nil {
+		fmt.Fprintln(out, "no feasible hetero deployment")
+		return nil
+	}
+	b := hres.Best
+	fmt.Fprintf(out, "hetero best: %s -> %.1f days\n", b.ID, b.Value/86400)
+	for i, pool := range sp.Pools {
+		fmt.Fprintf(out, "  %-6s serves %d of %d pipeline stages\n", pool.Name, b.Counts[i], b.PP)
+	}
+	return nil
+}
+
+// heteroSpace assembles the mixed-fleet search space from a
+// "preset:count,preset:count" pool list, inheriting the scenario's model,
+// inter-node link, efficiency model and batch schedule.
+func heteroSpace(sc explore.Scenario, opt explore.Options, pools, schedule string) (plan.HeteroSpace, error) {
+	sp := plan.HeteroSpace{
+		Model:            sc.Model,
+		Interconnect:     sc.System.Inter,
+		Eff:              sc.Eff,
+		Batches:          opt.Batches,
+		MicrobatchTarget: opt.MicrobatchTarget,
+		NumBatches:       sc.Training.NumBatches,
+	}
+	switch schedule {
+	case "", "1f1b":
+		sp.Schedule = pipesim.OneFOneB
+	case "gpipe":
+		sp.Schedule = pipesim.GPipe
+	default:
+		return sp, fmt.Errorf("unknown schedule %q (want 1f1b or gpipe)", schedule)
+	}
+	for _, spec := range strings.Split(pools, ",") {
+		name, count, ok := strings.Cut(strings.TrimSpace(spec), ":")
+		if !ok {
+			return sp, fmt.Errorf("bad pool %q: want preset:count", spec)
+		}
+		n, err := strconv.Atoi(count)
+		if err != nil || n <= 0 {
+			return sp, fmt.Errorf("bad pool count in %q", spec)
+		}
+		accel, err := hardware.AcceleratorPreset(name)
+		if err != nil {
+			return sp, err
+		}
+		sp.Pools = append(sp.Pools, plan.Pool{Name: name, Accel: accel, Count: n})
+	}
+	return sp, nil
 }
 
 // reportProgress polls the sweep's atomic progress counters and writes a

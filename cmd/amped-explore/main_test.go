@@ -133,6 +133,70 @@ func TestExploreReliabilityErrors(t *testing.T) {
 	}
 }
 
+// TestExploreSolve checks that the planner path prints pruning statistics
+// and lands on the same best line the exhaustive sweep prints for the same
+// scenario.
+func TestExploreSolve(t *testing.T) {
+	args := []string{"-nodes", "8", "-batches", "1024,2048", "-num-batches", "100"}
+	var sweep bytes.Buffer
+	if err := run(append([]string{"-top", "1"}, args...), &sweep); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(append([]string{"-solve"}, args...), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"branch-and-bound over", "expanded", "bounded", "compute floor", "best: "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solve output missing %q:\n%s", want, out)
+		}
+	}
+	// The sweep's best line reads "best: <mapping> at batch <B> -> ..."; the
+	// solve line inserts an N_ub clause before the arrow. Compare the shared
+	// mapping-and-batch prefix.
+	wantBest := sweep.String()[strings.Index(sweep.String(), "best: "):]
+	wantBest = strings.TrimSpace(strings.SplitN(wantBest, "\n", 2)[0])
+	if prefix := wantBest[:strings.Index(wantBest, " -> ")]; !strings.Contains(out, prefix) {
+		t.Errorf("solve best diverges from sweep best %q:\n%s", wantBest, out)
+	}
+}
+
+// TestExploreHetero drives the mixed-fleet planner end to end from the CLI.
+func TestExploreHetero(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-nodes", "2", "-accels", "4", "-batches", "512",
+		"-num-batches", "10", "-hetero", "a100:4,h100:4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"hetero fleet a100:4,h100:4 (1f1b)", "hetero best: ",
+		"a100", "h100", "pipeline stages",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hetero output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExploreHeteroErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-hetero", "tpu9000:4"}, &buf); err == nil {
+		t.Error("unknown pool preset accepted")
+	}
+	if err := run([]string{"-hetero", "a100"}, &buf); err == nil {
+		t.Error("pool without a count accepted")
+	}
+	if err := run([]string{"-hetero", "a100:0"}, &buf); err == nil {
+		t.Error("zero-count pool accepted")
+	}
+	if err := run([]string{"-hetero", "a100:4", "-schedule", "interleaved"}, &buf); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+}
+
 func TestExploreInterrupted(t *testing.T) {
 	// A pre-cancelled context exercises the SIGINT path deterministically:
 	// the run must finish cleanly and label its output as partial.

@@ -77,6 +77,30 @@ func (p *Predictor) BatchTime(batch int) (units.Seconds, error) {
 	return units.Seconds(macs / rate), nil
 }
 
+// ComputeFloor predicts the pure-compute time for one global batch with an
+// explicit backward multiplier: forward MACs times (1 + backward), divided
+// evenly across all workers at the assumed utilization. It is BatchTime
+// with the fixed "fwd + 2x bwd" factor generalized, so a caller whose
+// recipe sets a different BackwardComputeFactor (including 0) can report a
+// compute-only floor consistent with its own arithmetic. The planner quotes
+// it as a root-level statistic for the searched space; it is NOT used as a
+// pruning bound (the analytical model's efficiency derating can push real
+// cells below a utilization-1 floor comparison run the other way).
+func (p *Predictor) ComputeFloor(batch int, backward float64) (units.Seconds, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if batch <= 0 {
+		return 0, fmt.Errorf("baseline: batch %d must be positive", batch)
+	}
+	if backward < 0 {
+		return 0, fmt.Errorf("baseline: backward factor %g must be non-negative", backward)
+	}
+	macs := float64(p.Model.ForwardMACs(batch)) * (1 + backward)
+	rate := float64(p.Accel.PeakMACRate()) * p.utilization() * float64(p.Workers)
+	return units.Seconds(macs / rate), nil
+}
+
 // TFLOPSPerGPU predicts the achieved useful throughput per worker, the
 // metric Table II reports. By construction it equals peak x utilization
 // (FLOPs cancel), which is exactly why the baseline cannot explain the

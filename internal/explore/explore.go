@@ -206,91 +206,9 @@ func Sweep(sc Scenario, opt Options) ([]Point, error) {
 // partial design space simply treat err != nil as fatal; the non-nil error
 // makes the truncation impossible to miss.
 func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error) {
-	sc.resolveSession()
-	mappings, err := resolveMappings(&sc, opt)
+	points, sess, err := Layout(&sc, opt)
 	if err != nil {
 		return nil, err
-	}
-	total := int64(len(mappings)) * int64(len(opt.Batches))
-	lo, hi := opt.CursorLo, opt.CursorHi
-	if lo == 0 && hi == 0 {
-		hi = total
-	}
-	if lo < 0 || hi < lo || hi > total {
-		return nil, fmt.Errorf("explore: shard range [%d, %d) outside cell enumeration of size %d", lo, hi, total)
-	}
-	eff := sc.Eff
-	if eff == nil {
-		eff = efficiency.Default()
-	}
-
-	// Compile the scenario once: invariants validated, Eq. 3–4 constants
-	// hoisted, per-batch op aggregates cached — every worker then evaluates
-	// points in O(1) with zero allocations on the hot path. A supplied
-	// session skips both Compile and Prepare: it may be shared with other
-	// sweeps running right now, and Prepare is single-writer. Unprepared
-	// batches memoize safely through the session's side table.
-	sess := sc.Session
-	if sess == nil {
-		var err error
-		sess, err = model.Compile(sc.Model, sc.System, sc.Training, eff)
-		if err != nil {
-			return nil, err
-		}
-		sess.Prepare(opt.Batches...)
-	}
-
-	// Lay out the cells [lo, hi) and pick each point's microbatch schedule
-	// up front. The (perReplica, pp) → N_ub choice repeats across mappings
-	// sharing degrees, so it is memoized; doing it serially here keeps the
-	// worker pool read-only over shared state. The flat global-index walk
-	// makes a shard range evaluate exactly the cells a whole-space sweep
-	// would lay out at those indices — shard-boundary determinism is a
-	// consequence of sharing this loop, not a separate code path.
-	points := make([]Point, hi-lo)
-	nubMemo := make(map[[2]int]int)
-	nb := int64(len(opt.Batches))
-	lastMi := int64(-1)
-	var dp, pp int
-	for gi := lo; gi < hi; gi++ {
-		mi := gi / nb
-		mp := mappings[mi]
-		if mi != lastMi {
-			dp, pp = mp.DP(), mp.PP()
-			lastMi = mi
-		}
-		b := opt.Batches[gi%nb]
-		idx := int(gi - lo)
-		p := Point{Mapping: mp, Batch: b, Fits: true}
-		nub := sc.Training.Batch.Microbatches
-		// Only dividing cells get a schedule chosen (and memoized):
-		// b/dp truncates otherwise, and the truncated per-replica batch
-		// would pick an N_ub for a cell that does not exist. The
-		// non-dividing cell keeps the scenario's schedule and is
-		// rejected by Batch.Validate during evaluation.
-		if opt.MicrobatchTarget > 0 && b%dp == 0 {
-			per := b / dp
-			if !MicrobatchFeasible(per, pp) {
-				// No divisor of per satisfies N_ub >= pp: the pipeline
-				// can never fill. Pre-mark the cell infeasible instead
-				// of evaluating ChooseMicrobatches' fallback schedule.
-				p.Microbatches = per
-				p.Err = fmt.Errorf(
-					"explore: %v B=%d infeasible: pipeline depth %d exceeds per-replica batch %d, no microbatch count satisfies N_ub >= N_PP",
-					mp, b, pp, per)
-				points[idx] = p
-				continue
-			}
-			key := [2]int{per, pp}
-			var ok bool
-			if nub, ok = nubMemo[key]; !ok {
-				nub = ChooseMicrobatches(per, pp, opt.MicrobatchTarget)
-				nubMemo[key] = nub
-			}
-		}
-		p.Microbatches = parallel.Batch{Global: b, Microbatches: nub}.MicrobatchesOrDefault(mp)
-		p.chosenNub = nub
-		points[idx] = p
 	}
 
 	workers := opt.Concurrency
@@ -397,6 +315,131 @@ func SweepContext(ctx context.Context, sc Scenario, opt Options) ([]Point, error
 	return points, cancelled
 }
 
+// Layout resolves the scenario (compiling a session when one was not
+// supplied) and lays out the canonical cells [CursorLo, CursorHi) exactly as
+// SweepContext would hand them to its workers: mapping-major, batch-minor
+// over the deterministically ordered mappings × Batches, microbatch
+// schedules chosen (and memoized) up front, pipeline-unfillable cells
+// pre-marked with Err. It is the shared front half of every search over the
+// cell enumeration — the exhaustive sweep and the branch-and-bound planner
+// (internal/plan) both consume it, which is what makes their results
+// cell-for-cell comparable. The scenario is resolved in place so the caller
+// can keep using it with EvaluateCell.
+func Layout(sc *Scenario, opt Options) ([]Point, *model.Session, error) {
+	sc.resolveSession()
+	mappings, err := resolveMappings(sc, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	total := int64(len(mappings)) * int64(len(opt.Batches))
+	lo, hi := opt.CursorLo, opt.CursorHi
+	if lo == 0 && hi == 0 {
+		hi = total
+	}
+	if lo < 0 || hi < lo || hi > total {
+		return nil, nil, fmt.Errorf("explore: shard range [%d, %d) outside cell enumeration of size %d", lo, hi, total)
+	}
+	eff := sc.Eff
+	if eff == nil {
+		eff = efficiency.Default()
+	}
+
+	// Compile the scenario once: invariants validated, Eq. 3–4 constants
+	// hoisted, per-batch op aggregates cached — every worker then evaluates
+	// points in O(1) with zero allocations on the hot path. A supplied
+	// session skips both Compile and Prepare: it may be shared with other
+	// sweeps running right now, and Prepare is single-writer. Unprepared
+	// batches memoize safely through the session's side table.
+	sess := sc.Session
+	if sess == nil {
+		sess, err = model.Compile(sc.Model, sc.System, sc.Training, eff)
+		if err != nil {
+			return nil, nil, err
+		}
+		sess.Prepare(opt.Batches...)
+	}
+
+	// Lay out the cells [lo, hi) and pick each point's microbatch schedule
+	// up front. The (perReplica, pp) → N_ub choice repeats across mappings
+	// sharing degrees, so it is memoized; doing it serially here keeps the
+	// worker pool read-only over shared state. The flat global-index walk
+	// makes a shard range evaluate exactly the cells a whole-space sweep
+	// would lay out at those indices — shard-boundary determinism is a
+	// consequence of sharing this loop, not a separate code path.
+	points := make([]Point, hi-lo)
+	nubMemo := make(map[[2]int]int)
+	nb := int64(len(opt.Batches))
+	lastMi := int64(-1)
+	var dp, pp int
+	for gi := lo; gi < hi; gi++ {
+		mi := gi / nb
+		mp := mappings[mi]
+		if mi != lastMi {
+			dp, pp = mp.DP(), mp.PP()
+			lastMi = mi
+		}
+		b := opt.Batches[gi%nb]
+		idx := int(gi - lo)
+		p := Point{Mapping: mp, Batch: b, Fits: true}
+		nub := sc.Training.Batch.Microbatches
+		// Only dividing cells get a schedule chosen (and memoized):
+		// b/dp truncates otherwise, and the truncated per-replica batch
+		// would pick an N_ub for a cell that does not exist. The
+		// non-dividing cell keeps the scenario's schedule and is
+		// rejected by Batch.Validate during evaluation.
+		if opt.MicrobatchTarget > 0 && b%dp == 0 {
+			per := b / dp
+			if !MicrobatchFeasible(per, pp) {
+				// No divisor of per satisfies N_ub >= pp: the pipeline
+				// can never fill. Pre-mark the cell infeasible instead
+				// of evaluating ChooseMicrobatches' fallback schedule.
+				p.Microbatches = per
+				p.Err = fmt.Errorf(
+					"explore: %v B=%d infeasible: pipeline depth %d exceeds per-replica batch %d, no microbatch count satisfies N_ub >= N_PP",
+					mp, b, pp, per)
+				points[idx] = p
+				continue
+			}
+			key := [2]int{per, pp}
+			var ok bool
+			if nub, ok = nubMemo[key]; !ok {
+				nub = ChooseMicrobatches(per, pp, opt.MicrobatchTarget)
+				nubMemo[key] = nub
+			}
+		}
+		p.Microbatches = parallel.Batch{Global: b, Microbatches: nub}.MicrobatchesOrDefault(mp)
+		p.chosenNub = nub
+		points[idx] = p
+	}
+	return points, sess, nil
+}
+
+// EvaluateCell prices one laid-out cell in place against the session: the
+// full evaluation (breakdown, plus the scenario's optional memory
+// feasibility check), with the sweep workers' panic isolation. Cells
+// pre-marked with Err at layout time are left as-is — their diagnosis is
+// already final.
+func EvaluateCell(p *Point, bd *model.Breakdown, sess *model.Session, sc *Scenario) {
+	if p.Err != nil {
+		return
+	}
+	evalPointSafe(p, bd, sess, sc)
+}
+
+// CellLowerBound returns the admissible lower bound on the cell's rank key
+// (see model.Session.LowerBound) using the exact microbatch schedule the
+// layout chose for the cell, so bound and full evaluation price the same
+// schedule. The error contract matches EvaluateCell: a cell whose bound
+// fails validation fails the full evaluation with the identical error.
+func CellLowerBound(p *Point, sess *model.Session) (float64, error) {
+	return sess.LowerBound(p.Mapping, p.Batch, p.chosenNub)
+}
+
+// ChosenMicrobatches exposes the raw N_ub value the layout handed to the
+// evaluator for this cell (0 = derive the default) — the schedule identity
+// external evaluators (the heterogeneous planner) need to reprice the cell.
+func (p Point) ChosenMicrobatches() int { return p.chosenNub }
+
 // resolveSession makes a supplied pre-compiled session the source of truth
 // for everything it captured at Compile time.
 func (sc *Scenario) resolveSession() {
@@ -463,11 +506,16 @@ const (
 // load balance (expensive deep-pipeline cells cluster together in the
 // mapping order), clamped to [minChunk, maxChunk] so chunks grow with the
 // sweep — the batched path amortizes per-chunk overhead across the whole
-// chunk, so bigger sweeps take bigger bites. Degenerate inputs (n == 0,
-// n < workers, workers <= 0) fall through to the floor: the cursor loop
-// hands the whole space to whichever workers claim first and the rest find
-// it exhausted.
+// chunk, so bigger sweeps take bigger bites. The chunk never exceeds the
+// space itself: a CursorLo/CursorHi shard subrange smaller than the
+// 128-cell clamp floor (the coordinator deals exact remainders) must yield
+// one exact-fit chunk, not an overshooting claim whose end-clamp quietly
+// hides the bad size. Degenerate inputs (n <= 0, workers <= 0) return the
+// 1-cell floor: the cursor loop hands out nothing and exits on first claim.
 func chunkSize(n, workers int) int {
+	if n < 1 {
+		return 1
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -477,6 +525,9 @@ func chunkSize(n, workers int) int {
 	}
 	if c > maxChunk {
 		c = maxChunk
+	}
+	if c > n {
+		c = n
 	}
 	return c
 }

@@ -12,20 +12,27 @@ import (
 // TestChunkSize pins the adaptive chunked-claim sizing for the batched
 // evaluation path: chunks never shrink below the amortization floor (so
 // per-chunk overhead stays under 1% of chunk evaluation time), grow with
-// the sweep, and cap at the ceiling so cancellation latency stays bounded.
-// Degenerate shapes — n == 0, n < workers, workers == 1, workers <= 0 —
-// must all resolve to a positive chunk the cursor loop can terminate on.
+// the sweep, cap at the ceiling so cancellation latency stays bounded —
+// and never exceed the space itself. Shard subranges smaller than the
+// clamp floor (a coordinator dealing exact remainders over CursorLo/Hi)
+// must get one exact-fit chunk, not an overshooting claim; degenerate
+// shapes (n <= 0, workers <= 0) must resolve to a positive chunk the
+// cursor loop can terminate on.
 func TestChunkSize(t *testing.T) {
 	cases := []struct {
 		name             string
 		n, workers, want int
 	}{
-		{"tiny sweep, one claim covers it", 1, 8, minChunk},
-		{"n < workers", 16, 64, minChunk},
-		{"n == 0", 0, 8, minChunk},
+		{"tiny subrange, exact-fit chunk", 1, 8, 1},
+		{"n < workers", 16, 64, 16},
+		{"n == 0", 0, 8, 1},
+		{"negative n", -5, 8, 1},
+		{"subrange just below the floor", minChunk - 1, 8, minChunk - 1},
+		{"subrange exactly the floor", minChunk, 8, minChunk},
+		{"subrange just above the floor", minChunk + 1, 8, minChunk},
 		{"small sweep stays at floor", 3200, 8, minChunk},
-		{"single worker", 64, 1, minChunk},
-		{"workers <= 0 treated as one", 100, 0, minChunk},
+		{"single worker small space", 64, 1, 64},
+		{"workers <= 0 treated as one", 100, 0, 100},
 		{"interior: grows with the sweep", 200_000, 8, 3125},
 		{"huge sweep hits the ceiling", 1 << 20, 8, maxChunk},
 		{"huge sweep, single worker, still capped", 1 << 20, 1, maxChunk},
@@ -37,6 +44,47 @@ func TestChunkSize(t *testing.T) {
 		}
 		if got < 1 {
 			t.Errorf("%s: chunkSize(%d, %d) = %d, not positive", c.name, c.n, c.workers, got)
+		}
+		if c.n > 0 && got > c.n {
+			t.Errorf("%s: chunkSize(%d, %d) = %d overshoots the space", c.name, c.n, c.workers, got)
+		}
+		if got > maxChunk {
+			t.Errorf("%s: chunkSize(%d, %d) = %d above the ceiling", c.name, c.n, c.workers, got)
+		}
+	}
+}
+
+// TestChunkSizeClaimWalk replays the worker pool's atomic-cursor claim
+// pattern over the boundary space sizes: for every n around the clamp
+// floor, the claimed [start, end) windows must tile [0, n) exactly once
+// with no empty and no overshooting chunk before the end-clamp.
+func TestChunkSizeClaimWalk(t *testing.T) {
+	for _, n := range []int{1, 2, minChunk - 1, minChunk, minChunk + 1, 2*minChunk - 1, 1000} {
+		for _, workers := range []int{1, 4, 16} {
+			chunk := chunkSize(n, workers)
+			if chunk < 1 || chunk > n {
+				t.Fatalf("n=%d workers=%d: chunk %d outside [1, n]", n, workers, chunk)
+			}
+			covered := 0
+			cursor := 0
+			for {
+				end := cursor + chunk
+				cursor = end
+				start := end - chunk
+				if start >= n {
+					break
+				}
+				if end > n {
+					end = n
+				}
+				if end <= start {
+					t.Fatalf("n=%d workers=%d: empty chunk [%d, %d)", n, workers, start, end)
+				}
+				covered += end - start
+			}
+			if covered != n {
+				t.Fatalf("n=%d workers=%d chunk=%d: claims covered %d cells", n, workers, chunk, covered)
+			}
 		}
 	}
 }

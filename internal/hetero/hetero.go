@@ -15,8 +15,10 @@ import (
 	"fmt"
 
 	"amped/internal/efficiency"
+	"amped/internal/eventsim"
 	"amped/internal/hardware"
 	"amped/internal/parallel"
+	"amped/internal/pipesim"
 	"amped/internal/precision"
 	"amped/internal/transformer"
 	"amped/internal/units"
@@ -182,6 +184,105 @@ type Result struct {
 	Bottleneck int
 	// Efficiency is the microbatch efficiency used.
 	Efficiency float64
+}
+
+// StageProfile is a balanced pipeline's per-stage timing decomposition —
+// the inputs a discrete-event schedule simulation needs, derived exactly as
+// Evaluate derives its closed-form estimate (same microbatch defaulting,
+// efficiency lookup, per-stage rates and activation volume).
+type StageProfile struct {
+	// Fwd is each stage's one-microbatch forward compute time
+	// (layer MACs x assigned layers / effective rate); the backward is
+	// Evaluate's fixed 2x forward.
+	Fwd []units.Seconds
+	// Comm is the stage-boundary activation transfer time for one
+	// microbatch (interconnect latency + activation volume / bandwidth).
+	Comm units.Seconds
+	// Microbatches is the resolved N_ub (defaulted to the stage count,
+	// clamped to the global batch).
+	Microbatches int
+	// Efficiency is the microbatch efficiency used.
+	Efficiency float64
+}
+
+// StageTimes computes the per-stage timing profile of a balanced pipeline.
+// Stages must have their layer assignment set (call Balance first).
+func (p *Pipeline) StageTimes() (*StageProfile, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	totalLayers := 0
+	for _, s := range p.Stages {
+		totalLayers += s.Layers
+	}
+	if totalLayers != p.Model.Layers {
+		return nil, errors.New("hetero: stages have no layer assignment (call Balance)")
+	}
+	effModel := p.Eff
+	if effModel == nil {
+		effModel = efficiency.Default()
+	}
+	nub := p.Batch.Microbatches
+	if nub <= 0 {
+		nub = len(p.Stages)
+	}
+	if nub > p.Batch.Global {
+		nub = p.Batch.Global
+	}
+	ub := float64(p.Batch.Global) / float64(nub)
+	eff := effModel.Eff(ub)
+
+	layerMACs := float64(p.Model.LayerMACs(0, p.Batch.Global)) / float64(nub)
+	actBits := float64(p.Model.ActivationsPerLayer(p.Batch.Global)) / float64(nub) * 16
+	prof := &StageProfile{
+		Fwd:          make([]units.Seconds, len(p.Stages)),
+		Comm:         units.Seconds(float64(p.Interconnect.Latency) + actBits/float64(p.Interconnect.Bandwidth)),
+		Microbatches: nub,
+		Efficiency:   eff,
+	}
+	for i, s := range p.Stages {
+		prof.Fwd[i] = units.Seconds(layerMACs * float64(s.Layers) / p.stageRate(s, eff))
+	}
+	return prof, nil
+}
+
+// Simulate runs the balanced pipeline through the pipesim discrete-event
+// simulator under the given schedule, expressing the stages' unequal speeds
+// through StageScale: the simulator's reference forward time is the slowest
+// stage's, and every stage is scaled by fwd_i / fwd_ref (the backward, at
+// Evaluate's fixed 2x forward, scales identically). It returns the DES
+// result alongside the profile that parameterized it.
+func (p *Pipeline) Simulate(sched pipesim.Schedule) (*pipesim.Result, *StageProfile, error) {
+	prof, err := p.StageTimes()
+	if err != nil {
+		return nil, nil, err
+	}
+	var fRef units.Seconds
+	for _, f := range prof.Fwd {
+		if f > fRef {
+			fRef = f
+		}
+	}
+	if fRef <= 0 {
+		return nil, nil, errors.New("hetero: degenerate stage times (zero forward compute)")
+	}
+	scale := make([]float64, len(prof.Fwd))
+	for i, f := range prof.Fwd {
+		scale[i] = float64(f) / float64(fRef)
+	}
+	res, err := pipesim.Run(pipesim.Config{
+		Stages:       len(prof.Fwd),
+		Microbatches: prof.Microbatches,
+		FwdTime:      eventsim.Time(fRef),
+		BwdTime:      eventsim.Time(2 * fRef),
+		CommTime:     eventsim.Time(prof.Comm),
+		Schedule:     sched,
+		StageScale:   scale,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, prof, nil
 }
 
 // Evaluate computes the batch time of a balanced heterogeneous pipeline.

@@ -251,6 +251,33 @@ func (s *Session) agg(batch int) batchAgg {
 // (0 derives the N_ub default) — writing the per-batch breakdown into out.
 // The caller owns out; the hot path performs no heap allocations.
 func (s *Session) EvaluatePoint(mp parallel.Mapping, batch, microbatches int, out *Breakdown) error {
+	return s.evaluate(mp, batch, microbatches, out, false)
+}
+
+// LowerBound returns an admissible lower bound on the point's expected total
+// time — the exact rank key float64(Breakdown.ExpectedTotalTime()) — for
+// branch-and-bound search over the mapping space. It runs the full
+// EvaluatePoint arithmetic with the MoE all-to-all term forced to exactly
+// zero, in the same association order, so by the monotonicity of IEEE-754
+// rounded addition and multiplication the result is bit-identical to the
+// true rank on every cell whose MoE term is zero (non-MoE models, or
+// mappings without expert parallelism) and never above it otherwise. The
+// error contract matches EvaluatePoint: a cell that fails validation here
+// fails identically there.
+func (s *Session) LowerBound(mp parallel.Mapping, batch, microbatches int) (float64, error) {
+	var bd Breakdown
+	if err := s.evaluate(mp, batch, microbatches, &bd, true); err != nil {
+		return 0, err
+	}
+	return float64(bd.ExpectedTotalTime()), nil
+}
+
+// evaluate is the shared body behind EvaluatePoint and LowerBound. With
+// relaxed set the Eq. 9 MoE all-to-all term is dropped (kept at exactly
+// 0.0), relaxing the point into the admissible compute+non-MoE-comm bound;
+// everything else — validation, association order, reliability inflation —
+// is identical to the production path.
+func (s *Session) evaluate(mp parallel.Mapping, batch, microbatches int, out *Breakdown, relaxed bool) error {
 	if err := mp.Validate(s.sys); err != nil {
 		return err
 	}
@@ -303,7 +330,7 @@ func (s *Session) EvaluatePoint(mp parallel.Mapping, batch, microbatches int, ou
 	}
 
 	var moe float64
-	if s.model.MoE() && mpn.ExpertParallel {
+	if !relaxed && s.model.MoE() && mpn.ExpertParallel {
 		moe = s.moeLayers * (s.moeLatTerm + bEff*s.seqHidden*s.moeVolCoeff)
 	}
 

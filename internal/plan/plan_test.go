@@ -1,0 +1,293 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"amped/internal/audit"
+	"amped/internal/explore"
+	"amped/internal/hardware"
+	"amped/internal/memkit"
+	"amped/internal/parallel"
+	"amped/internal/pipesim"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// sweepFront reproduces the exhaustive ranking front — the first element of
+// SortByTime over the full sweep: the bucket-0 cell (evaluated and fitting)
+// with the minimal (rank_s, identity) pair, or nil when none exists.
+func sweepFront(points []explore.Point) (*explore.Point, float64) {
+	var best *explore.Point
+	var bestRank float64
+	for i := range points {
+		p := &points[i]
+		if p.Err != nil || !p.Fits || p.Breakdown == nil {
+			continue
+		}
+		rank := float64(p.Breakdown.ExpectedTotalTime())
+		if best == nil || rank < bestRank ||
+			(rank == bestRank && p.String() < best.String()) {
+			best, bestRank = p, rank
+		}
+	}
+	return best, bestRank
+}
+
+// TestSolveMatchesExhaustive is the solver-vs-exhaustive equivalence
+// property test: on every small randomized space from the audit generator,
+// Solve returns the identical optimum — exact rank_s float64 bits and cell
+// identity — as the full sweep, while (on the unconstrained spaces, where
+// the ≤20%-expansion acceptance bar applies) touching only a fraction of
+// the cells. Every third seed additionally enables the memory model, whose
+// !Fits buckets can legitimately force the search through many cells; those
+// runs assert identity only.
+func TestSolveMatchesExhaustive(t *testing.T) {
+	const seeds = 60
+	var aggTotal, aggExpanded int64
+	for seed := int64(1); seed <= seeds; seed++ {
+		s := audit.Generate(rand.New(rand.NewSource(seed)))
+		sc := explore.Scenario{
+			Model:    &s.Model,
+			System:   &s.System,
+			Training: s.Training,
+			Eff:      s.Eff,
+		}
+		opt := explore.Options{
+			Batches: []int{s.Training.Batch.Global, 2 * s.Training.Batch.Global},
+			Enumerate: parallel.EnumerateOptions{
+				PowerOfTwo:     true,
+				ExpertParallel: s.Mapping.ExpertParallel,
+			},
+			MicrobatchTarget: 32,
+			KeepInvalid:      true,
+		}
+		withMemory := seed%3 == 0
+		if withMemory {
+			// The generator leaves Accel.Memory zero; give the device a
+			// seed-dependent capacity so the spaces split between mostly
+			// fitting, mixed and hopeless.
+			caps := []units.Bytes{2e9, 2e10, 8e10}
+			s.System.Accel.Memory = caps[int(seed)%len(caps)]
+			sc.Memory = &memkit.Config{
+				Operands:  s.Training.Operands,
+				Optimizer: memkit.Adam,
+				ZeROStage: int(seed) % 4,
+				Schedule:  memkit.OneFOneB,
+			}
+			sc.MemoryReserve = 0.1
+		}
+
+		res, err := Solve(sc, opt)
+		if err != nil {
+			t.Fatalf("seed %d: Solve: %v", seed, err)
+		}
+		points, err := explore.Sweep(sc, opt)
+		if err != nil {
+			t.Fatalf("seed %d: Sweep: %v", seed, err)
+		}
+		want, wantRank := sweepFront(points)
+
+		switch {
+		case want == nil && res.Best == nil:
+			// Consistently infeasible space.
+		case want == nil || res.Best == nil:
+			t.Fatalf("seed %d: feasibility disagreement: sweep front %v, solver best %v",
+				seed, want, res.Best)
+		default:
+			if res.RankSeconds != wantRank {
+				t.Errorf("seed %d: rank_s diverged: solver %x, sweep %x",
+					seed, res.RankSeconds, wantRank)
+			}
+			if res.Best.String() != want.String() {
+				t.Errorf("seed %d: optimum diverged: solver %q, sweep %q",
+					seed, res.Best.String(), want.String())
+			}
+			if res.Best.Breakdown == nil || *res.Best.Breakdown != *want.Breakdown {
+				t.Errorf("seed %d: optimum breakdown not byte-identical", seed)
+			}
+		}
+
+		st := res.Stats
+		if got := st.CellsPrunedMemory + st.CellsInfeasible + st.CellsBounded + st.CellsExpanded; got > st.CellsTotal {
+			t.Errorf("seed %d: stats overcount the space: %+v", seed, st)
+		}
+		if withMemory {
+			continue
+		}
+		aggTotal += st.CellsTotal
+		aggExpanded += st.CellsExpanded
+		// Per-space bound on the unconstrained runs: the admissible bound is
+		// exact on non-MoE cells, so expansion stays near the optimum and
+		// its exact ties; MoE cells carry a bound gap (the relaxed all-to-all
+		// term) and get headroom.
+		limit := st.CellsTotal/5 + 1
+		if s.Model.MoE() {
+			limit = st.CellsTotal/2 + 1
+		}
+		if st.CellsExpanded > limit {
+			t.Errorf("seed %d: expanded %d of %d cells (limit %d, moe=%v)",
+				seed, st.CellsExpanded, st.CellsTotal, limit, s.Model.MoE())
+		}
+	}
+	if aggTotal == 0 {
+		t.Fatal("no unconstrained spaces were aggregated")
+	}
+	if frac := float64(aggExpanded) / float64(aggTotal); frac > 0.20 {
+		t.Errorf("aggregate expansion %.1f%% exceeds the 20%% acceptance bar (%d of %d cells)",
+			100*frac, aggExpanded, aggTotal)
+	} else {
+		t.Logf("aggregate expansion %.2f%% (%d of %d cells)", 100*frac, aggExpanded, aggTotal)
+	}
+}
+
+// heteroTestModel is a small architecture the heterogeneous space stays
+// tractable on.
+func heteroTestModel() transformer.Model {
+	return transformer.Model{
+		Name:     "hetero-test",
+		Layers:   12,
+		Heads:    8,
+		Hidden:   512,
+		SeqLen:   128,
+		Vocab:    1000,
+		FFNRatio: 4,
+	}
+}
+
+// TestSolveHeteroMatchesExhaustive cross-checks the heterogeneous
+// branch-and-bound against full enumeration, including the acceptance
+// criterion's mixed A100+H100 fleet, asserting the identical optimum (exact
+// value bits and identity) and the aggregate ≤20% expansion bar.
+func TestSolveHeteroMatchesExhaustive(t *testing.T) {
+	m := heteroTestModel()
+	link := hardware.Link{Name: "test-ic", Latency: 5e-6, Bandwidth: 1e11}
+	cases := []struct {
+		name string
+		sp   HeteroSpace
+	}{
+		{
+			name: "mixed-a100-h100",
+			sp: HeteroSpace{
+				Model: &m,
+				Pools: []Pool{
+					{Name: "a100", Accel: hardware.NvidiaA100(), Count: 8},
+					{Name: "h100", Accel: hardware.NvidiaH100(), Count: 8},
+				},
+				Interconnect:     link,
+				Batches:          []int{8, 16},
+				MicrobatchTarget: 4,
+				NumBatches:       10,
+				Schedule:         pipesim.OneFOneB,
+			},
+		},
+		{
+			name: "mixed-uneven-pools",
+			sp: HeteroSpace{
+				Model: &m,
+				Pools: []Pool{
+					{Name: "h100", Accel: hardware.NvidiaH100(), Count: 4},
+					{Name: "a100", Accel: hardware.NvidiaA100(), Count: 12},
+				},
+				Interconnect:     link,
+				Batches:          []int{12},
+				MicrobatchTarget: 2,
+				Schedule:         pipesim.OneFOneB,
+			},
+		},
+		{
+			name: "homogeneous-pool-gpipe",
+			sp: HeteroSpace{
+				Model: &m,
+				Pools: []Pool{
+					{Name: "a100", Accel: hardware.NvidiaA100(), Count: 16},
+				},
+				Interconnect:     link,
+				Batches:          []int{8, 32},
+				MicrobatchTarget: 4,
+				Schedule:         pipesim.GPipe,
+			},
+		},
+	}
+	var aggTotal, aggExpanded int64
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := SolveHetero(tc.sp)
+			if err != nil {
+				t.Fatalf("SolveHetero: %v", err)
+			}
+			want, cells, err := ExhaustiveHetero(tc.sp)
+			if err != nil {
+				t.Fatalf("ExhaustiveHetero: %v", err)
+			}
+			if int64(len(cells)) != res.Stats.CellsTotal {
+				t.Errorf("cell enumeration diverged: solver %d, exhaustive %d",
+					res.Stats.CellsTotal, len(cells))
+			}
+			switch {
+			case want == nil && res.Best == nil:
+			case want == nil || res.Best == nil:
+				t.Fatalf("feasibility disagreement: exhaustive %v, solver %v", want, res.Best)
+			default:
+				if res.Best.Value != want.Value {
+					t.Errorf("value diverged: solver %x, exhaustive %x", res.Best.Value, want.Value)
+				}
+				if res.Best.ID != want.ID {
+					t.Errorf("optimum diverged: solver %q, exhaustive %q", res.Best.ID, want.ID)
+				}
+			}
+			aggTotal += res.Stats.CellsTotal
+			aggExpanded += res.Stats.CellsExpanded
+			t.Logf("expanded %d of %d cells", res.Stats.CellsExpanded, res.Stats.CellsTotal)
+		})
+	}
+	if aggTotal == 0 {
+		t.Fatal("empty heterogeneous spaces")
+	}
+	if frac := float64(aggExpanded) / float64(aggTotal); frac > 0.20 {
+		t.Errorf("aggregate hetero expansion %.1f%% exceeds the 20%% bar (%d of %d cells)",
+			100*frac, aggExpanded, aggTotal)
+	}
+}
+
+// TestSolveHeteroRandomized fuzzes the equivalence over randomized mixed
+// fleets: pool sizes, batches and schedules drawn from a seeded RNG, every
+// space checked for the identical optimum.
+func TestSolveHeteroRandomized(t *testing.T) {
+	m := heteroTestModel()
+	link := hardware.Link{Name: "test-ic", Latency: 2e-6, Bandwidth: 4e11}
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sp := HeteroSpace{
+			Model: &m,
+			Pools: []Pool{
+				{Name: "a100", Accel: hardware.NvidiaA100(), Count: 1 + r.Intn(12)},
+				{Name: "h100", Accel: hardware.NvidiaH100(), Count: 1 + r.Intn(12)},
+			},
+			Interconnect:     link,
+			Batches:          []int{1 << (1 + r.Intn(4))},
+			MicrobatchTarget: 1 << r.Intn(3),
+			NumBatches:       1 + r.Intn(5),
+			Schedule:         pipesim.Schedule(r.Intn(2)),
+		}
+		res, err := SolveHetero(sp)
+		if err != nil {
+			t.Fatalf("seed %d: SolveHetero: %v", seed, err)
+		}
+		want, _, err := ExhaustiveHetero(sp)
+		if err != nil {
+			t.Fatalf("seed %d: ExhaustiveHetero: %v", seed, err)
+		}
+		switch {
+		case want == nil && res.Best == nil:
+		case want == nil || res.Best == nil:
+			t.Fatalf("seed %d: feasibility disagreement: exhaustive %v, solver %v",
+				seed, want, res.Best)
+		default:
+			if res.Best.Value != want.Value || res.Best.ID != want.ID {
+				t.Errorf("seed %d: optimum diverged: solver (%x, %q) vs exhaustive (%x, %q)",
+					seed, res.Best.Value, res.Best.ID, want.Value, want.ID)
+			}
+		}
+	}
+}

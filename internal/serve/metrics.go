@@ -123,11 +123,13 @@ type metrics struct {
 	sweepPoints  counter     // amped_sweep_points_total
 
 	// Coordinator-side shard fan-out counters: every dispatch by peer and
-	// outcome, plus retries (failed/busy/partial dispatches requeued) and
-	// reroutes (shards moved off a draining peer onto survivors).
-	shards        *counterVec // amped_shards_total{peer,outcome}
-	shardRetries  counter     // amped_shard_retries_total
-	shardReroutes counter     // amped_shard_reroutes_total
+	// outcome, plus retries (failed/busy/partial dispatches requeued),
+	// reroutes (shards moved off a draining peer onto survivors) and
+	// duplicate chunks (replayed cursor ranges dropped at the merge).
+	shards          *counterVec // amped_shards_total{peer,outcome}
+	shardRetries    counter     // amped_shard_retries_total
+	shardReroutes   counter     // amped_shard_reroutes_total
+	shardDuplicates counter     // amped_shard_duplicate_chunks_total
 
 	latency      *obs.Histogram                // amped_request_duration_seconds
 	queueWait    *obs.Histogram                // amped_queue_wait_seconds
@@ -209,6 +211,7 @@ func (m *metrics) writeTo(w io.Writer) {
 	c("amped_sweep_points_total", "Design points evaluated by /v1/sweep.", m.sweepPoints.value())
 	c("amped_shard_retries_total", "Shard dispatches requeued after a failure, busy signal or partial stream.", m.shardRetries.value())
 	c("amped_shard_reroutes_total", "Shards moved off a draining peer onto surviving peers.", m.shardReroutes.value())
+	c("amped_shard_duplicate_chunks_total", "Shard chunks dropped by the coordinator's merge because their cursor range was already collected.", m.shardDuplicates.value())
 
 	if labels, vals = m.shards.snapshot(); len(labels) > 0 {
 		fmt.Fprintf(w, "# HELP amped_shards_total Coordinator shard dispatches, by peer and outcome.\n")

@@ -1,6 +1,7 @@
 // Package serve exposes the AMPeD analytical model as a hardened HTTP
 // service over PR 1's compiled evaluation sessions: POST /v1/evaluate prices
 // one design point, POST /v1/sweep runs a bounded design-space exploration,
+// POST /v1/plan runs the branch-and-bound planner over the same cell space,
 // and GET /healthz and /metrics make the process operable unattended.
 //
 // The service is stdlib-only and built for unattended operation:
@@ -144,6 +145,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/evaluate", s.wrap("evaluate", s.handleEvaluate))
 	s.mux.HandleFunc("/v1/sweep", s.wrap("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/sweep/shard", s.wrap("sweep_shard", s.handleSweepShard))
+	s.mux.HandleFunc("/v1/plan", s.wrap("plan", s.handlePlan))
 	return s
 }
 
@@ -188,7 +190,7 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // per request. The trace rides the request context, so the sweep engine and
 // error paths see the same request ID the client got in X-Request-Id.
 func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
-	evaluation := name == "evaluate" || name == "sweep" || name == "sweep_shard"
+	evaluation := name == "evaluate" || name == "sweep" || name == "sweep_shard" || name == "plan"
 	return func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace()
 		w.Header().Set("X-Request-Id", tr.ID())

@@ -257,6 +257,44 @@ type shardRange struct{ lo, hi int64 }
 
 func (r shardRange) cells() int64 { return r.hi - r.lo }
 
+// intervalSet tracks the union of collected [lo, hi) cursor ranges as a
+// sorted, coalesced list of disjoint intervals. The coordinator uses it to
+// detect chunk replays: a peer that dies mid-stream can, on a later
+// dispatch, re-stream cells the coordinator already folded in (e.g. a
+// resume cursor that rewinds to a chunk boundary it had durably sent), and
+// without this check every replayed point would be double-counted in the
+// merge's totals and candidates.
+type intervalSet struct{ rs []shardRange }
+
+// add merges [lo, hi) into the set and reports whether the range was
+// already fully covered — a duplicate the caller must drop. A partially
+// fresh range is accepted whole: chunks are the atomic progress unit, so a
+// partial overlap only occurs when a replay straddles a chunk boundary, and
+// losing the fresh cells would be worse than repeating the stale ones.
+func (s *intervalSet) add(lo, hi int64) (dup bool) {
+	if hi <= lo {
+		return true
+	}
+	// First interval that ends at or after lo — the only candidates that
+	// can overlap or touch [lo, hi) start here.
+	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].hi >= lo })
+	if i < len(s.rs) && s.rs[i].lo <= lo && hi <= s.rs[i].hi {
+		return true
+	}
+	j := i
+	for j < len(s.rs) && s.rs[j].lo <= hi {
+		if s.rs[j].lo < lo {
+			lo = s.rs[j].lo
+		}
+		if s.rs[j].hi > hi {
+			hi = s.rs[j].hi
+		}
+		j++
+	}
+	s.rs = append(s.rs[:i], append([]shardRange{{lo, hi}}, s.rs[j:]...)...)
+	return false
+}
+
 // peerState tracks one replica across the coordinator's rounds.
 type peerState struct {
 	url      string
@@ -509,8 +547,17 @@ func (s *Server) handleSweepCoordinator(w http.ResponseWriter, r *http.Request) 
 	var mu sync.Mutex
 	var candidates []ShardPoint
 	var totalCompleted int64
+	var collected intervalSet
 	collect := func(c ShardChunk) {
 		mu.Lock()
+		if collected.add(c.CursorLo, c.CursorHi) {
+			// A replayed chunk: its cursor range was already folded in by an
+			// earlier dispatch (a peer resumed behind its durable progress).
+			// Accepting it would double-count every point in the merge.
+			mu.Unlock()
+			s.met.shardDuplicates.inc()
+			return
+		}
 		totalCompleted += int64(c.Completed)
 		candidates = append(candidates, c.Points...)
 		mu.Unlock()

@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -213,6 +215,117 @@ func TestShardCoordinatorRetriesDeadPeer(t *testing.T) {
 	if !bytes.Contains(metrics, []byte("amped_shard_retries_total")) ||
 		bytes.Contains(metrics, []byte("amped_shard_retries_total 0")) {
 		t.Errorf("dead-peer retries not counted:\n%s", metrics)
+	}
+}
+
+// TestShardCoordinatorDedupesReplayedChunks kills a peer mid-stream and
+// makes its replacement dispatch replay an already-collected chunk: the
+// proxy in front of a healthy replica relays two NDJSON chunks and dies,
+// then rewinds every later dispatch's cursor one chunk behind the
+// coordinator's durable progress. The merge must drop the replayed chunk —
+// totals and top-N byte-identical to a single node instead of
+// double-counted — and account it in amped_shard_duplicate_chunks_total.
+func TestShardCoordinatorDedupesReplayedChunks(t *testing.T) {
+	_, single := newTestServer(t, Config{})
+	want := sweepResponse(t, single.URL, sweepDoc)
+
+	_, peer := newTestServer(t, Config{})
+	var dispatches atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := dispatches.Add(1)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		if n >= 2 {
+			// Replay: this dispatch re-streams one chunk the coordinator
+			// already folded in from the broken first stream.
+			var req map[string]any
+			if err := json.Unmarshal(body, &req); err != nil {
+				t.Errorf("proxy: bad shard request: %v", err)
+				panic(http.ErrAbortHandler)
+			}
+			lo, _ := req["cursor_lo"].(float64)
+			if lo -= 7; lo < 0 {
+				lo = 0
+			}
+			req["cursor_lo"] = lo
+			if body, err = json.Marshal(req); err != nil {
+				t.Errorf("proxy: re-marshal: %v", err)
+				panic(http.ErrAbortHandler)
+			}
+		}
+		resp, err := http.Post(peer.URL+"/v1/sweep/shard", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(resp.StatusCode)
+		fl, _ := w.(http.Flusher)
+		sc := bufio.NewScanner(resp.Body)
+		for lines := 0; sc.Scan(); {
+			w.Write(sc.Bytes())
+			w.Write([]byte("\n"))
+			if fl != nil {
+				fl.Flush()
+			}
+			if lines++; n == 1 && lines == 2 {
+				// Die mid-stream: two chunks are durably delivered, the
+				// rest of the range goes back to the pending pool.
+				panic(http.ErrAbortHandler)
+			}
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	_, cts := newTestServer(t, Config{Peers: []string{proxy.URL}, ShardChunkCells: 7})
+	got := sweepResponse(t, cts.URL, sweepDoc)
+	if got.TotalPoints != want.TotalPoints {
+		t.Errorf("replayed chunk double-counted: TotalPoints %d, single-node %d",
+			got.TotalPoints, want.TotalPoints)
+	}
+	if !reflect.DeepEqual(got.Points, want.Points) {
+		t.Errorf("merge with a replayed chunk diverges:\n got %+v\nwant %+v", got.Points, want.Points)
+	}
+	if dispatches.Load() < 2 {
+		t.Fatalf("peer was dispatched %d times; the kill/replay path never ran", dispatches.Load())
+	}
+	_, metrics := get(t, cts.URL+"/metrics")
+	if !bytes.Contains(metrics, []byte("amped_shard_duplicate_chunks_total 1")) {
+		t.Errorf("replayed chunk not counted as a duplicate:\n%s", metrics)
+	}
+}
+
+// TestIntervalSetAdd pins the merge-dedupe primitive: containment detection
+// over a coalescing union of half-open ranges.
+func TestIntervalSetAdd(t *testing.T) {
+	var s intervalSet
+	steps := []struct {
+		lo, hi int64
+		dup    bool
+	}{
+		{0, 7, false},
+		{7, 14, false},   // adjacent: coalesces to [0, 14)
+		{7, 14, true},    // exact replay
+		{2, 9, true},     // contained straddling the old seam
+		{21, 28, false},  // disjoint
+		{12, 23, false},  // partial overlap bridging both: accepted whole
+		{0, 28, true},    // now fully covered
+		{28, 28, true},   // empty range adds nothing
+		{30, 35, false},  // new disjoint tail
+		{29, 30, false},  // fills up to the tail
+		{-3, 2, false},   // extends the front
+	}
+	for i, st := range steps {
+		if got := s.add(st.lo, st.hi); got != st.dup {
+			t.Fatalf("step %d: add(%d, %d) dup = %v, want %v (set %v)",
+				i, st.lo, st.hi, got, st.dup, s.rs)
+		}
+	}
+	want := []shardRange{{-3, 28}, {29, 35}}
+	if !reflect.DeepEqual(s.rs, want) {
+		t.Errorf("final set %v, want %v", s.rs, want)
 	}
 }
 

@@ -3,6 +3,25 @@
 // searches "how much machine does this deadline need?" — scaling the node
 // count of a machine template and picking the best parallelism mapping at
 // each size until the target training time is met.
+//
+// Times are ranked and checked against the deadline as expected total time:
+// the model's TotalTime inflated by the reliability spec's goodput overhead
+// when the recipe carries one (identical to the plain time otherwise), so a
+// deadline promise holds on a cluster that fails, not only on perfect
+// hardware.
+//
+// Feasibility is not guaranteed monotone in machine size: mapping
+// quantization, communication regimes that degrade with more inter-node
+// traffic, and goodput overhead growing with the failure domain can all
+// make a larger machine slower. MinimumNodes therefore does not blindly
+// trust the first size that fits — after finding it, it probes the next
+// (doubled) size, and if that larger machine regresses back past the
+// deadline the scan returns an error naming both data points instead of a
+// plan: a scaling curve that loses feasibility right above the chosen size
+// is evidence the answer sits on a quantization artifact, and committing
+// capacity on it needs a human look. A doubled size with no feasible
+// mapping at all (the batch stops dividing), or one beyond MaxNodes, does
+// not veto the plan — the fit size is the last word the search can check.
 package solver
 
 import (
@@ -109,10 +128,12 @@ func (r *Request) bestAt(nodes int) (*explore.Point, error) {
 }
 
 // MinimumNodes finds the smallest power-of-two node count whose best
-// mapping meets the deadline. It scans sizes ascending (training time is
-// not perfectly monotone in machine size because mappings quantize, so the
-// first satisfying size is the honest answer) and returns the scaling
-// curve of rejected sizes alongside the plan.
+// mapping meets the deadline, by expected (goodput-inflated) training time.
+// It scans sizes ascending and, before accepting a fit, probes the doubled
+// size: a larger machine that regresses back past the deadline turns the
+// answer into an error reporting both data points (see the package comment
+// on non-monotonic feasibility). The scaling curve of rejected sizes is
+// returned alongside the plan.
 func MinimumNodes(req Request) (*Plan, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -131,8 +152,24 @@ func MinimumNodes(req Request) (*Plan, error) {
 			rejected = append(rejected, Candidate{Nodes: nodes, Days: -1})
 			continue
 		}
-		days := best.Breakdown.TotalTime().Days()
+		days := best.Breakdown.ExpectedTotalTime().Days()
 		if days <= req.TargetDays {
+			// Probe the doubled size before trusting this fit: goodput
+			// inflation and communication regimes can regress past the
+			// deadline as the machine grows (see the package comment).
+			if next := nodes * 2; next <= maxNodes {
+				nb, err := req.bestAt(next)
+				if err != nil {
+					return nil, fmt.Errorf("solver: %d nodes: %w", next, err)
+				}
+				if nb != nil {
+					if nd := nb.Breakdown.ExpectedTotalTime().Days(); nd > req.TargetDays {
+						return nil, fmt.Errorf(
+							"solver: non-monotonic feasibility: %d nodes meet %g days at %.6g, but %d nodes regress to %.6g — the scaling curve is untrustworthy around this size, inspect the mapping quantization or communication regime before committing capacity",
+							nodes, req.TargetDays, days, next, nd)
+					}
+				}
+			}
 			return &Plan{
 				Nodes:        nodes,
 				Accelerators: nodes * req.Template.AccelsPerNode,

@@ -108,6 +108,92 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+// regressingRequest builds a problem whose scaling curve goes the wrong
+// way: one node is all fast intra-node links, while every larger machine
+// pays for an atrocious inter-node fabric, so doubling past the first fit
+// regresses the best achievable time.
+func regressingRequest(t *testing.T) Request {
+	t.Helper()
+	m := transformer.Model{
+		Name:     "regress",
+		Layers:   8,
+		Heads:    8,
+		Hidden:   1024,
+		SeqLen:   512,
+		Vocab:    32000,
+		FFNRatio: 4,
+	}
+	template := hardware.CaseStudy1System()
+	template.Inter = hardware.Link{
+		Name:      "awful-fabric",
+		Latency:   5, // seconds per hop: any inter-node collective is hopeless
+		Bandwidth: 1e6,
+	}
+	return Request{
+		Model:    &m,
+		Template: template,
+		Training: model.Training{
+			Batch:      parallel.Batch{Global: 64},
+			NumBatches: 100,
+		},
+		MaxNodes:   8,
+		TargetDays: 1, // placeholder; tests pin it from the 1-node optimum
+	}
+}
+
+func TestNonMonotonicFeasibilityDetected(t *testing.T) {
+	req := regressingRequest(t)
+	one, err := req.bestAt(1)
+	if err != nil || one == nil {
+		t.Fatalf("no 1-node baseline: best=%v err=%v", one, err)
+	}
+	two, err := req.bestAt(2)
+	if err != nil || two == nil {
+		t.Fatalf("no 2-node probe point: best=%v err=%v", two, err)
+	}
+	d1 := one.Breakdown.ExpectedTotalTime().Days()
+	d2 := two.Breakdown.ExpectedTotalTime().Days()
+	if d2 <= d1 {
+		t.Fatalf("scenario did not regress: 1 node %v days, 2 nodes %v days", d1, d2)
+	}
+	// Deadline between the two: 1 node fits, the doubled probe misses.
+	req.TargetDays = (d1 + d2) / 2
+	_, err = MinimumNodes(req)
+	if err == nil {
+		t.Fatal("regressing scaling curve produced a plan")
+	}
+	if !strings.Contains(err.Error(), "non-monotonic feasibility") {
+		t.Errorf("error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "1 nodes") || !strings.Contains(err.Error(), "2 nodes") {
+		t.Errorf("error does not name both data points: %v", err)
+	}
+}
+
+func TestNonMonotonicProbeSkippedAtMaxNodes(t *testing.T) {
+	// The same regressing scenario, but the search is capped at the fitting
+	// size: there is no doubled size to probe, so the fit stands.
+	req := regressingRequest(t)
+	one, err := req.bestAt(1)
+	if err != nil || one == nil {
+		t.Fatalf("no 1-node baseline: best=%v err=%v", one, err)
+	}
+	two, err := req.bestAt(2)
+	if err != nil || two == nil {
+		t.Fatalf("no 2-node probe point: best=%v err=%v", two, err)
+	}
+	req.TargetDays = (one.Breakdown.ExpectedTotalTime().Days() +
+		two.Breakdown.ExpectedTotalTime().Days()) / 2
+	req.MaxNodes = 1
+	plan, err := MinimumNodes(req)
+	if err != nil {
+		t.Fatalf("capped search should accept the fit: %v", err)
+	}
+	if plan.Nodes != 1 {
+		t.Errorf("plan sized %d nodes, want 1", plan.Nodes)
+	}
+}
+
 func TestScalingCurveMonotoneEnough(t *testing.T) {
 	// The rejected-size curve should broadly improve with machine size
 	// (mapping quantization allows small local wobbles, so require each
