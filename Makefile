@@ -3,7 +3,7 @@
 
 GO ?= go
 SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$|BenchmarkSolveGPT3$$'
-SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced)?$$|BenchmarkShardedSweep$$'
+SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced|Roofline)?$$|BenchmarkShardedSweep$$'
 BATCH_BENCH := 'BenchmarkEvaluateBatch|BenchmarkSessionEvaluatePoint$$'
 
 .PHONY: build test verify serve-smoke audit bench bench-sweep bench-serve bench-batch clean

@@ -264,6 +264,30 @@ func BenchmarkSessionEvaluatePoint(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionEvaluatePointRoofline is BenchmarkSessionEvaluatePoint
+// with roofline op pricing and gradient-comm overlap engaged — the priced-up
+// hot path of the memory-bandwidth model. The gap against the plain
+// benchmark is the cost of the per-class max and the overlap makespan; the
+// path must stay allocation-free like the legacy one.
+func BenchmarkSessionEvaluatePointRoofline(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	sess, err := amped.Compile(&m, &sys, amped.Training{Roofline: true, GradOverlap: 0.9}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Prepare(8192)
+	mp := amped.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64, SequenceParallel: true}
+	var bd amped.Breakdown
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.EvaluatePoint(mp, 8192, 64, &bd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSessionEvaluatePointTraced is BenchmarkSessionEvaluatePoint with
 // an obs span recorded around every evaluation — the serving hot path,
 // with span coalescing folding the repeated evaluate phases into one

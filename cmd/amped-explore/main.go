@@ -70,6 +70,9 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		heat      = fs.Bool("heatmap", false, "also render a days heatmap of the top mappings x batches")
 		ep        = fs.Bool("expert-parallel", false, "enable MoE expert parallelism in every mapping")
+		maxCP     = fs.Int("max-cp", 0, "max context-parallel degree (0 or 1 disables the dimension)")
+		maxVPP    = fs.Int("max-vpp", 0, "max virtual-pipeline chunks per stage (0 or 1 disables interleaving)")
+		sp        = fs.Bool("sp", false, "enable sequence parallelism in every mapping")
 		solve     = fs.Bool("solve", false, "run the branch-and-bound planner instead of the exhaustive sweep and print pruning statistics")
 		heteroStr = fs.String("hetero", "", "mixed accelerator pools as preset:count pairs, e.g. a100:8,h100:8 (implies -solve; stage assignment is searched jointly)")
 		schedStr  = fs.String("schedule", "1f1b", "pipeline schedule for the -hetero simulation (1f1b, gpipe)")
@@ -174,8 +177,14 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		sc.MemoryReserve = 0.1
 	}
 	opt := explore.Options{
-		Batches:          batchList,
-		Enumerate:        parallel.EnumerateOptions{PowerOfTwo: *pow2, ExpertParallel: *ep},
+		Batches: batchList,
+		Enumerate: parallel.EnumerateOptions{
+			PowerOfTwo:       *pow2,
+			ExpertParallel:   *ep,
+			SequenceParallel: *sp,
+			MaxCP:            *maxCP,
+			MaxVPP:           *maxVPP,
+		},
 		MicrobatchTarget: *target,
 	}
 	if *solve || *heteroStr != "" {

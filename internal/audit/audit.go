@@ -62,11 +62,12 @@ func (sc *Scenario) String() string {
 		sc.Model.String(), sc.System.Nodes, sc.System.AccelsPerNode,
 		sc.Mapping, sc.Training.Batch.Global, sc.Training.Batch.Microbatches,
 		struct {
-			R, ZeRO, Bf, Bc, Ov float64
-			Emb                 bool
+			R, ZeRO, Bf, Bc, Ov, GOv float64
+			Emb, Roof                bool
 		}{sc.Training.BubbleRatio, sc.Training.ZeROOverhead,
 			sc.Training.BackwardComputeFactor, sc.Training.BackwardCommFactor,
-			sc.Training.CommOverlap, sc.Training.IncludeEmbedding})
+			sc.Training.CommOverlap, sc.Training.GradOverlap,
+			sc.Training.IncludeEmbedding, sc.Training.Roofline})
 }
 
 // Check runs the four-way differential comparison and the metamorphic

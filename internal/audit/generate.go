@@ -38,15 +38,21 @@ func divisors(n int) []int {
 // The same *rand.Rand state always yields the same scenario, so a failing
 // seed reproduces the scenario exactly.
 func Generate(r *rand.Rand) Scenario {
-	// Parallelism degrees first; the machine is sized to fit them.
+	// Parallelism degrees first; the machine is sized to fit them. CP joins
+	// the device tiling (the system below absorbs it through IntraDegree/
+	// InterDegree), skewed toward 1 so plenty of legacy-shaped scenarios
+	// survive; SeqLen >= 128 always dominates the drawn CP degrees.
 	mp := parallel.Mapping{
 		TPIntra: pickI(r, []int{1, 2, 4}),
 		PPIntra: pickI(r, []int{1, 2}),
 		DPIntra: pickI(r, []int{1, 2}),
+		CPIntra: pickI(r, []int{1, 1, 2}),
 		TPInter: pickI(r, []int{1, 2}),
 		PPInter: pickI(r, []int{1, 2, 4}),
 		DPInter: pickI(r, []int{1, 2, 4}),
+		CPInter: pickI(r, []int{1, 1, 2}),
 	}
+	mp.SequenceParallel = r.Intn(2) == 0
 	tp, pp, dp := mp.TP(), mp.PP(), mp.DP()
 
 	// Model sized so TP divides the head count, hidden divides by heads,
@@ -84,6 +90,12 @@ func Generate(r *rand.Rand) Scenario {
 		m = vm
 	}
 
+	// Interleaved pipeline chunks, only where the schedule admits them
+	// (PP > 1 and enough layers per stage for two virtual chunks).
+	if pp > 1 && m.Layers >= 2*pp && r.Intn(2) == 0 {
+		mp.VPP = 2
+	}
+
 	sys := hardware.System{
 		Name: "audit-sys",
 		Accel: hardware.Accelerator{
@@ -96,6 +108,9 @@ func Generate(r *rand.Rand) Scenario {
 			NonlinUnits:     pickI(r, []int{16, 64, 128}),
 			NonlinWidth:     pickI(r, []int{1, 2, 4}),
 			NonlinPrecision: precision.Precision(pickI(r, []int{16, 32})),
+			// Zero keeps memory bandwidth unmodeled, exercising the
+			// pure-FLOP fallback even when the roofline flag is drawn.
+			MemBW: units.BitsPerSecond(pickF(r, []float64{0, 8e12, 2.7e13})),
 		},
 		Nodes:         mp.InterDegree(),
 		AccelsPerNode: mp.IntraDegree(),
@@ -144,6 +159,8 @@ func Generate(r *rand.Rand) Scenario {
 		BackwardComputeFactor: pickF(r, []float64{0, 2, 3}),
 		BackwardCommFactor:    pickF(r, []float64{0, 1, 2}),
 		CommOverlap:           pickF(r, []float64{0, 0, 0.3, 0.9, 1}),
+		GradOverlap:           pickF(r, []float64{0, 0, 0.5, 0.9, 1}),
+		Roofline:              r.Intn(2) == 0,
 		Operands:              operandSets[r.Intn(len(operandSets))],
 		Topology: topology.Choice{
 			AllReduce: kinds[r.Intn(len(kinds))],

@@ -8,6 +8,7 @@ import (
 	"amped/internal/model"
 	"amped/internal/precision"
 	"amped/internal/topology"
+	"amped/internal/transformer"
 	"amped/internal/units"
 )
 
@@ -38,6 +39,8 @@ func Literal(sc *Scenario) (*model.Breakdown, error) {
 	s := float64(m.SeqLen)
 	h := float64(m.Hidden)
 	workers := float64(mp.Workers())
+	cp := float64(mp.CP())
+	vpp := float64(mp.VPP)
 
 	// Schedule: N_ub and ub = B/(N_DP·N_ub), shared input arithmetic.
 	nub := float64(tr.Batch.MicrobatchesOrDefault(mp))
@@ -67,49 +70,93 @@ func Literal(sc *Scenario) (*model.Breakdown, error) {
 	gradBits := float64(tr.Operands.Grad.Bits())
 	ar := tr.Topology.AllReduce
 
+	// Roofline pricing, re-derived from the raw scenario fields: op time is
+	// max(compute, streamed bytes / memory bandwidth), with the element sizes
+	// taken straight from the operand bit widths and the bandwidth from the
+	// accelerator's bits-per-second figure. MemBW == 0 means "not modeled"
+	// and must fall back to pure-FLOP pricing exactly like production.
+	roofline := tr.Roofline && sys.Accel.MemBW > 0
+	memBWBytes := float64(sys.Accel.MemBW) / 8
+	actBytes := float64(tr.Operands.Act.Bits()) / 8
+	paramBytes := float64(tr.Operands.Param.Bits()) / 8
+
 	// Eq. 2 and 12: forward compute and weight update, layer by layer,
-	// sublayer by sublayer, on the full global batch.
+	// sublayer by sublayer, on the full global batch. Without sequence
+	// parallelism every tensor-parallel rank streams the full norm/residual
+	// activations, so the norm sublayer's bytes replicate across the TP group.
 	var ufTotal, uwTotal, macTotal float64
 	for l := 0; l < m.Layers; l++ {
 		for _, op := range m.LayerOps(l, B) {
-			ufTotal += float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
+			t := float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
+			if roofline {
+				act := float64(op.ActElems) * actBytes
+				if op.Sublayer == transformer.Norms && !mp.SequenceParallel {
+					act *= float64(mp.TP())
+				}
+				if mem := (act + float64(op.WeightElems)*paramBytes) / memBWBytes; mem > t {
+					t = mem
+				}
+			}
+			ufTotal += t
 			macTotal += float64(op.MACs)
 		}
 		uwTotal += m.LayerParams(l) * cMAC * macScale
 	}
 	if tr.IncludeEmbedding {
 		emb := float64(m.EmbeddingMACs(B))
-		ufTotal += emb * cMAC * macScale
+		t := emb * cMAC * macScale
+		if roofline {
+			eAct, eWeight := m.EmbeddingStreamElems(B)
+			if mem := (float64(eAct)*actBytes + float64(eWeight)*paramBytes) / memBWBytes; mem > t {
+				t = mem
+			}
+		}
+		ufTotal += t
 		uwTotal += m.EmbeddingParams() * cMAC * macScale
 		macTotal += emb
 	}
 	ubTotal := tr.BackwardComputeFactor * ufTotal
 
 	// Eq. 6: two all-reduces of 2·ub·s·h activation elements per layer,
-	// hierarchical over the intra- then inter-node TP groups.
+	// hierarchical over the intra- then inter-node TP groups. Context
+	// parallelism leaves each rank holding s/N_CP of the sequence, shrinking
+	// every activation volume by cp.
 	var tpIntra, tpInter float64
 	for l := 0; l < m.Layers; l++ {
-		nAct := 2 * ub * s * h
+		nAct := 2 * ub * s * h / cp
 		tpIntra += literalAllReduce(ar, mp.TPIntra, nAct*actBits, intraLat, intraBW)
 		tpInter += literalAllReduce(ar, mp.TPInter, nAct*actBits, interLat, interBW)
 	}
 
 	// Eq. 7: one boundary tensor of ub·s·h elements per hop, spread 1/L per
-	// layer; the pipeline runs at its slowest hop.
+	// layer; the pipeline runs at its slowest hop. An interleaved schedule
+	// crosses the stage boundary once per virtual chunk, i.e. vpp times.
 	var ppComm float64
 	if mp.PP() > 1 {
 		for l := 0; l < m.Layers; l++ {
 			var pi, pe float64
 			if mp.PPIntra > 1 {
-				pi = (intraLat + ub*s*h*actBits/intraBW) / L
+				pi = (intraLat + ub*s*h/cp*actBits/intraBW) / L
 			}
 			if mp.PPInter > 1 {
-				pe = (interLat + ub*s*h*actBits/interBW) / L
+				pe = (interLat + ub*s*h/cp*actBits/interBW) / L
 			}
 			if pe > pi {
 				pi = pe
 			}
-			ppComm += pi
+			ppComm += pi * vpp
+		}
+	}
+
+	// Context-parallel K/V exchange: each layer passes the rank's
+	// 2·ub·(s/N_CP)·h key/value shard around the CP group, hierarchically
+	// intra- then inter-node like the TP all-reduce.
+	var cpComm float64
+	if mp.CP() > 1 {
+		for l := 0; l < m.Layers; l++ {
+			nAct := 2 * ub * s * h / cp
+			cpComm += literalAllReduce(ar, mp.CPIntra, nAct*actBits, intraLat, intraBW)
+			cpComm += literalAllReduce(ar, mp.CPInter, nAct*actBits, interLat, interBW)
 		}
 	}
 
@@ -124,11 +171,11 @@ func Literal(sc *Scenario) (*model.Breakdown, error) {
 				continue
 			}
 			moeComm += 2*interLat*tMoE*n +
-				2*ub*s*h*actBits*tMoE*(1/(n*intraBW)+(n-1)/(n*interBW))
+				2*ub*s*h/cp*actBits*tMoE*(1/(n*intraBW)+(n-1)/(n*interBW))
 		}
 	}
 
-	fwdTotal := tpIntra + tpInter + ppComm + moeComm
+	fwdTotal := tpIntra + tpInter + ppComm + cpComm + moeComm
 	bf := tr.BackwardCommFactor
 	exposed := 1 - tr.CommOverlap
 
@@ -153,11 +200,29 @@ func Literal(sc *Scenario) (*model.Breakdown, error) {
 		}
 	}
 
-	// Eq. 8: fill/drain bubbles over the per-microbatch step time.
+	// Gradient-comm overlap: the all-reduce drains as one bucket per layer
+	// (plus one for the embedding) serialized on the NIC while backward
+	// produces them; only the part of that drain sticking out past backward
+	// compute stays exposed. Re-derived here as an explicit per-bucket
+	// simulation rather than the production closed form.
+	if o := tr.GradOverlap; o > 0 {
+		if g := gradIntra + gradInter; g > 0 {
+			buckets := m.Layers
+			if tr.IncludeEmbedding {
+				buckets++
+			}
+			scale := literalOverlapScale(o, g, ubTotal/workers, buckets)
+			gradIntra *= scale
+			gradInter *= scale
+		}
+	}
+
+	// Eq. 8: fill/drain bubbles over the per-microbatch step time; the
+	// interleaved schedule shrinks the bubble by the virtual chunk count.
 	var bubble float64
 	if pp := mp.PP(); pp > 1 && nub > 0 {
 		step := (ufTotal+ubTotal)/workers + (1+bf)*exposed*fwdTotal
-		bubble = tr.BubbleRatio * float64(pp-1) / nub * step
+		bubble = tr.BubbleRatio * float64(pp-1) / nub * step / vpp
 	}
 
 	// Eq. 5's (1 + M_f_DP) ZeRO factor, reported as its own component.
@@ -170,6 +235,7 @@ func Literal(sc *Scenario) (*model.Breakdown, error) {
 		TPIntraComm:     units.Seconds((1 + bf) * exposed * tpIntra),
 		TPInterComm:     units.Seconds((1 + bf) * exposed * tpInter),
 		PPComm:          units.Seconds((1 + bf) * exposed * ppComm),
+		CPComm:          units.Seconds((1 + bf) * exposed * cpComm),
 		MoEComm:         units.Seconds((1 + bf) * exposed * moeComm),
 		ZeROComm:        units.Seconds(zeroExtra),
 		GradIntraComm:   units.Seconds(gradIntra),
@@ -217,6 +283,34 @@ func literalDefaults(tr model.Training) model.Training {
 		tr.NumBatches = 1
 	}
 	return tr
+}
+
+// literalOverlapScale re-derives the overlapped gradient all-reduce's exposed
+// fraction by stepping the bucket pipeline explicitly: the drain is `buckets`
+// equal serialized transfers of total/buckets each, bucket i's gradients
+// arrive at (i+1)·(tb/buckets), the first ceil(o·buckets) transfers may start
+// as soon as their bucket arrives (concurrently with backward), and the rest
+// queue after both that drain and the backward pass finish. The exposed time
+// is whatever part of the drain outlasts backward compute.
+func literalOverlapScale(o, total, tb float64, buckets int) float64 {
+	nb := float64(buckets)
+	g := total / nb
+	overlapped := int(math.Ceil(o * nb))
+	var nicFree float64
+	for i := 0; i < overlapped; i++ {
+		ready := float64(i+1) * (tb / nb)
+		if ready > nicFree {
+			nicFree = ready
+		}
+		nicFree += g
+	}
+	if tb > nicFree {
+		nicFree = tb
+	}
+	for i := overlapped; i < buckets; i++ {
+		nicFree += g
+	}
+	return (nicFree - tb) / total
 }
 
 // literalPasses re-derives the Eq. 2 precision pass count

@@ -140,8 +140,11 @@ type Accelerator struct {
 	NonlinWidth     int      `json:"nonlin_width,omitempty"`
 	NonlinPrecision int      `json:"nonlin_precision_bits,omitempty"`
 	MemoryBytes     Quantity `json:"memory_bytes,omitempty"`
-	OffChipBW       Quantity `json:"offchip_bw_bps,omitempty"`
-	TDPWatts        float64  `json:"tdp_watts,omitempty"`
+	// MemBW is the device (HBM) memory bandwidth in bits/s, the roofline
+	// input; zero keeps the preset's value (or leaves bandwidth unmodeled).
+	MemBW     Quantity `json:"mem_bw_bps,omitempty"`
+	OffChipBW Quantity `json:"offchip_bw_bps,omitempty"`
+	TDPWatts  float64  `json:"tdp_watts,omitempty"`
 }
 
 func (a Accelerator) resolve() (hardware.Accelerator, error) {
@@ -177,6 +180,9 @@ func (a Accelerator) resolve() (hardware.Accelerator, error) {
 	}
 	if a.MemoryBytes != 0 {
 		out.Memory = units.Bytes(a.MemoryBytes)
+	}
+	if a.MemBW != 0 {
+		out.MemBW = units.BitsPerSecond(a.MemBW)
 	}
 	if a.OffChipBW != 0 {
 		out.OffChipBW = units.BitsPerSecond(a.OffChipBW)
@@ -233,13 +239,19 @@ func (s System) Resolve() (hardware.System, error) {
 
 // Mapping configures the parallelism degrees.
 type Mapping struct {
-	TPIntra        int  `json:"tp_intra,omitempty"`
-	TPInter        int  `json:"tp_inter,omitempty"`
-	PPIntra        int  `json:"pp_intra,omitempty"`
-	PPInter        int  `json:"pp_inter,omitempty"`
-	DPIntra        int  `json:"dp_intra,omitempty"`
-	DPInter        int  `json:"dp_inter,omitempty"`
-	ExpertParallel bool `json:"expert_parallel,omitempty"`
+	TPIntra int `json:"tp_intra,omitempty"`
+	TPInter int `json:"tp_inter,omitempty"`
+	PPIntra int `json:"pp_intra,omitempty"`
+	PPInter int `json:"pp_inter,omitempty"`
+	DPIntra int `json:"dp_intra,omitempty"`
+	DPInter int `json:"dp_inter,omitempty"`
+	CPIntra int `json:"cp_intra,omitempty"`
+	CPInter int `json:"cp_inter,omitempty"`
+	// VPP is the virtual-pipeline chunk count per stage (interleaved 1F1B);
+	// 0 or 1 means no interleaving.
+	VPP              int  `json:"vpp,omitempty"`
+	SequenceParallel bool `json:"sequence_parallel,omitempty"`
+	ExpertParallel   bool `json:"expert_parallel,omitempty"`
 }
 
 // Resolve produces the domain mapping.
@@ -248,7 +260,10 @@ func (m Mapping) Resolve() parallel.Mapping {
 		TPIntra: m.TPIntra, TPInter: m.TPInter,
 		PPIntra: m.PPIntra, PPInter: m.PPInter,
 		DPIntra: m.DPIntra, DPInter: m.DPInter,
-		ExpertParallel: m.ExpertParallel,
+		CPIntra: m.CPIntra, CPInter: m.CPInter,
+		VPP:              m.VPP,
+		SequenceParallel: m.SequenceParallel,
+		ExpertParallel:   m.ExpertParallel,
 	}
 }
 
@@ -263,6 +278,13 @@ type Training struct {
 	// model.ZeROOverheadForStage; mutually exclusive with ZeROOverhead.
 	ZeROStage   int     `json:"zero_stage,omitempty"`
 	CommOverlap float64 `json:"comm_overlap,omitempty"`
+	// Roofline prices every sublayer as max(compute, bytes/mem_bw); it needs
+	// the accelerator's mem_bw_bps and falls back to pure-FLOP pricing when
+	// that is zero.
+	Roofline bool `json:"roofline,omitempty"`
+	// Overlap is the fraction of the gradient all-reduce eligible to hide
+	// under backward compute (bucketed overlap, 0..1).
+	Overlap float64 `json:"overlap,omitempty"`
 	// BackwardComputeFactor and BackwardCommFactor scale forward compute
 	// and communication to their backward-pass counterparts (0 keeps the
 	// model defaults of 2 and 1).

@@ -14,6 +14,10 @@ func FuzzParse(f *testing.F) {
 		"reliability":{"accel_mtbf_s":"5M","checkpoint_bw_bytes_per_s":"2G","restart_s":300}}`))
 	f.Add([]byte(`{"reliability":{"accel_mtbf_s":"5M"}}`))
 	f.Add([]byte(`{"reliability":{"checkpoint_interval_s":-1}}`))
+	f.Add([]byte(`{"model":{"preset":"mingpt"},"training":{"global_batch":8,"roofline":true,"overlap":0.5}}`))
+	f.Add([]byte(`{"system":{"accelerator":{"preset":"a100","mem_bw_bps":"16.3T"}},"training":{"global_batch":8}}`))
+	f.Add([]byte(`{"mapping":{"cp_intra":2,"cp_inter":2,"vpp":2,"sequence_parallel":true},"training":{"global_batch":8}}`))
+	f.Add([]byte(`{"mapping":{"cp_inter":-1},"training":{"global_batch":8,"overlap":2}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		doc, err := Parse(data)
 		if err != nil {

@@ -53,6 +53,8 @@ func (t Training) resolveTraining() (model.Training, error) {
 		BubbleRatio:           t.BubbleRatio,
 		ZeROOverhead:          zero,
 		CommOverlap:           t.CommOverlap,
+		Roofline:              t.Roofline,
+		GradOverlap:           t.Overlap,
 		BackwardComputeFactor: t.BackwardComputeFactor,
 		BackwardCommFactor:    t.BackwardCommFactor,
 		Operands:              operands,

@@ -1,0 +1,88 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// rooflineDoc engages every new knob at once: the accelerator bandwidth
+// override, roofline pricing, gradient-comm overlap and the CP/VPP/SP
+// mapping dimensions.
+const rooflineDoc = `{
+  "model": {"preset": "megatron-145b"},
+  "system": {
+    "name": "cs1",
+    "accelerator": {"preset": "a100", "mem_bw_bps": "16.3T"},
+    "nodes": 128,
+    "accels_per_node": 8,
+    "intra": {"name": "nvlink", "latency_s": 2e-6, "bandwidth_bps": "2.4T"},
+    "inter": {"name": "hdr", "latency_s": 5e-6, "bandwidth_bps": "200G"}
+  },
+  "mapping": {"tp_intra": 8, "pp_inter": 2, "dp_inter": 32, "cp_inter": 2,
+              "vpp": 2, "sequence_parallel": true},
+  "training": {"global_batch": 8192, "microbatches": 64,
+               "roofline": true, "overlap": 0.9}
+}`
+
+// TestParseRooflineAndNewDimensions checks the new schema fields resolve
+// onto the domain types and the document evaluates end to end.
+func TestParseRooflineAndNewDimensions(t *testing.T) {
+	doc, err := Parse([]byte(rooflineDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := doc.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(est.System.Accel.MemBW); got != 16.3e12 {
+		t.Errorf("mem_bw_bps = %v, want 16.3e12", got)
+	}
+	if !est.Training.Roofline {
+		t.Error("roofline flag not resolved")
+	}
+	if est.Training.GradOverlap != 0.9 {
+		t.Errorf("overlap = %v, want 0.9", est.Training.GradOverlap)
+	}
+	mp := est.Mapping
+	if mp.CP() != 2 || mp.VPP != 2 || !mp.SequenceParallel {
+		t.Errorf("mapping = %v, want CP=2 VPP=2 +SP", mp)
+	}
+	b, err := est.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PerBatch() <= 0 {
+		t.Error("non-positive per-batch time")
+	}
+	if b.CPComm <= 0 {
+		t.Error("context parallelism produced no CP communication time")
+	}
+	// Round-trip: the document re-marshals and re-parses to the same
+	// resolved estimator inputs.
+	doc2, err := Parse(mustMarshal(t, doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Mapping != doc.Mapping || doc2.Training != doc.Training {
+		t.Error("new fields did not survive a marshal round-trip")
+	}
+
+	// Out-of-range overlap is rejected at resolution, not evaluation.
+	bad, err := Parse([]byte(`{"model":{"preset":"mingpt"},"training":{"global_batch":8,"overlap":1.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Estimator(); err == nil {
+		t.Error("overlap 1.5 accepted")
+	}
+}
+
+func mustMarshal(t *testing.T, doc *Document) []byte {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -97,6 +97,13 @@ func (a *Accelerator) PeakFLOPS() float64 {
 	return float64(a.PeakMACRate()) * units.FLOPsPerMAC
 }
 
+// MemBWBytes is the device memory bandwidth in bytes per second — the one
+// bits→bytes conversion every roofline consumer (the per-sublayer op
+// pricing in internal/model, RooflinePredictor, efficiency.Roofline) must
+// derive from, so the paths cannot disagree on units. Zero means memory
+// bandwidth is not modeled.
+func (a *Accelerator) MemBWBytes() float64 { return float64(a.MemBW) / 8 }
+
 // Link is a communication channel with a fixed per-message latency and a
 // bandwidth, the (C, BW) pairs of Eq. 6, 7, 9 and 11.
 type Link struct {

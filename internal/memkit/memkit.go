@@ -167,14 +167,23 @@ func (f Footprint) String() string {
 }
 
 // activationBytesPerToken estimates live activation elements per token per
-// layer for the standard transformer block: roughly 16·h for the linear
-// paths plus 2·a·s for the attention score matrices, each at activation
-// precision [Korthikanti'22-style accounting, simplified].
-func activationBytesPerToken(m *transformer.Model, actBytes float64) float64 {
+// layer for the standard transformer block [Korthikanti'22-style
+// accounting, simplified]: 12·h for the linear paths (sharded by TP via the
+// caller's global division), 4·h for the norm/dropout tensors — which are
+// REPLICATED across the tensor-parallel group unless sequence parallelism
+// shards them, hence the ·tp compensation against the caller's division —
+// plus 2·a·(s/cp) for the attention score matrices (context parallelism
+// leaves each rank attending over its s/N_CP key shard). At tp = cp = 1 the
+// expression is bit-identical to the legacy 16·h + 2·a·s.
+func activationBytesPerToken(m *transformer.Model, mp parallel.Mapping, actBytes float64) float64 {
 	h := float64(m.Hidden)
 	a := float64(m.Heads)
-	s := float64(m.SeqLen)
-	return (16*h + 2*a*s) * actBytes
+	s := float64(m.SeqLen) / float64(mp.CP())
+	norm := 4 * h
+	if !mp.SequenceParallel {
+		norm *= float64(mp.TP())
+	}
+	return (12*h + norm + 2*a*s) * actBytes
 }
 
 // Estimate computes the per-accelerator footprint of training model m on
@@ -217,8 +226,10 @@ func Estimate(m *transformer.Model, mp parallel.Mapping, b parallel.Batch, cfg C
 	// set × live microbatches, sharded by TP.
 	layersPerStage := float64(m.Layers) / pp
 	ub := b.Microbatch(mp)
-	tokensPerUB := ub * float64(m.SeqLen)
-	perLayer := tokensPerUB * activationBytesPerToken(m, float64(cfg.Operands.Act.Bytes()))
+	// Context parallelism shards the sequence: each rank holds s/N_CP of the
+	// microbatch's tokens (cp = 1 divides by 1.0, bit-identical to legacy).
+	tokensPerUB := ub * float64(m.SeqLen) / float64(mp.CP())
+	perLayer := tokensPerUB * activationBytesPerToken(m, mp, float64(cfg.Operands.Act.Bytes()))
 	if cfg.Checkpointing {
 		// Only the layer-boundary tensor stays live per layer, plus one
 		// full layer being recomputed.
@@ -232,7 +243,7 @@ func Estimate(m *transformer.Model, mp parallel.Mapping, b parallel.Batch, cfg C
 	actBytes := layersPerStage * perLayer * live / tp
 	if cfg.Checkpointing {
 		// One layer's full working set exists transiently during recompute.
-		actBytes += tokensPerUB * activationBytesPerToken(m, float64(cfg.Operands.Act.Bytes())) / tp
+		actBytes += tokensPerUB * activationBytesPerToken(m, mp, float64(cfg.Operands.Act.Bytes())) / tp
 	}
 
 	return Footprint{

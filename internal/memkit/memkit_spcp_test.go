@@ -1,0 +1,148 @@
+package memkit
+
+import (
+	"testing"
+
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+)
+
+// legacyPerToken is the historical activation accounting, 16·h + 2·a·s per
+// token at activation precision — the formula the sp/cp-aware version must
+// reproduce bit-for-bit when neither dimension is engaged.
+func legacyPerToken(m *transformer.Model, actBytes float64) float64 {
+	h := float64(m.Hidden)
+	a := float64(m.Heads)
+	s := float64(m.SeqLen)
+	return (16*h + 2*a*s) * actBytes
+}
+
+// TestActivationLegacyIdentity pins the compatibility contract: with tp = 1,
+// cp = 1 the activation estimate equals the historical 16·h + 2·a·s formula
+// exactly (0 ulp), with or without the sequence-parallel flag (at tp = 1 the
+// norm tensors have no replication to shed).
+func TestActivationLegacyIdentity(t *testing.T) {
+	m := transformer.MinGPT()
+	b := parallel.Batch{Global: 8, Microbatches: 1}
+	actB := float64(baseConfig().Operands.Act.Bytes())
+	for _, mp := range []parallel.Mapping{{}, {SequenceParallel: true}} {
+		fp, err := Estimate(&m, mp, b, baseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tokens := b.Microbatch(mp) * float64(m.SeqLen) / 1.0
+		live := float64(b.MicrobatchesOrDefault(mp))
+		want := float64(m.Layers) * (tokens * legacyPerToken(&m, actB)) * live / 1.0
+		if got := float64(fp.Activations); got != want {
+			t.Errorf("mapping %v: activations = %v, want legacy %v", mp, got, want)
+		}
+	}
+}
+
+// TestSequenceParallelShardsNorms checks the Korthikanti-style accounting
+// under tensor parallelism: without sequence parallelism the 4·h norm and
+// dropout tensors are replicated across the TP group (the global /tp
+// division over-shards them, so the per-token cost carries a ·tp
+// compensation); turning SP on shards them too, landing exactly on the
+// legacy per-token cost divided by tp.
+func TestSequenceParallelShardsNorms(t *testing.T) {
+	m := transformer.MinGPT()
+	b := parallel.Batch{Global: 8, Microbatches: 1}
+	actB := float64(baseConfig().Operands.Act.Bytes())
+	off, err := Estimate(&m, parallel.Mapping{TPIntra: 8}, b, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Estimate(&m, parallel.Mapping{TPIntra: 8, SequenceParallel: true}, b, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Activations >= off.Activations {
+		t.Fatalf("sequence parallelism did not shrink activations: %v vs %v",
+			on.Activations, off.Activations)
+	}
+	if on.Params != off.Params || on.Grads != off.Grads || on.Optimizer != off.Optimizer {
+		t.Error("sequence parallelism changed non-activation components")
+	}
+	// SP-on equals the legacy working set fully sharded by tp.
+	tokens := b.Microbatch(parallel.Mapping{}) * float64(m.SeqLen) / 1.0
+	want := float64(m.Layers) * (tokens * legacyPerToken(&m, actB)) * 1 / 8.0
+	if got := float64(on.Activations); got != want {
+		t.Errorf("SP activations = %v, want %v", got, want)
+	}
+	// SP-off carries the replicated norms: legacy + (tp-1)·4h per token, /tp.
+	h := float64(m.Hidden)
+	wantOff := float64(m.Layers) * (tokens * ((12*h + 4*h*8 + 2*float64(m.Heads)*float64(m.SeqLen)) * actB)) * 1 / 8.0
+	if got := float64(off.Activations); got != wantOff {
+		t.Errorf("no-SP activations = %v, want %v", got, wantOff)
+	}
+}
+
+// TestContextParallelShardsActivations checks that context parallelism
+// shards the sequence: tokens per rank drop by cp and the attention score
+// matrices shrink quadratically (each rank attends over its s/cp shard), so
+// cp = 2 more than halves the activation footprint.
+func TestContextParallelShardsActivations(t *testing.T) {
+	m := transformer.MinGPT()
+	b := parallel.Batch{Global: 8, Microbatches: 1}
+	actB := float64(baseConfig().Operands.Act.Bytes())
+	base, err := Estimate(&m, parallel.Mapping{}, b, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := Estimate(&m, parallel.Mapping{CPInter: 2}, b, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*float64(cp2.Activations) >= float64(base.Activations) {
+		t.Fatalf("cp=2 activations %v not below half of %v", cp2.Activations, base.Activations)
+	}
+	if cp2.Params != base.Params {
+		t.Error("context parallelism changed the parameter shard")
+	}
+	// Exact: tokens/2 at the cp-sharded per-token cost.
+	h, a := float64(m.Hidden), float64(m.Heads)
+	s := float64(m.SeqLen) / 2.0
+	tokens := b.Microbatch(parallel.Mapping{}) * float64(m.SeqLen) / 2.0
+	want := float64(m.Layers) * (tokens * ((12*h + 4*h + 2*a*s) * actB)) * 1 / 1.0
+	if got := float64(cp2.Activations); got != want {
+		t.Errorf("cp=2 activations = %v, want %v", got, want)
+	}
+	// Checkpointing shards the boundary tensors the same way.
+	cfg := baseConfig()
+	cfg.Checkpointing = true
+	ckBase, err := Estimate(&m, parallel.Mapping{}, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckCP, err := Estimate(&m, parallel.Mapping{CPInter: 2}, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckCP.Activations >= ckBase.Activations {
+		t.Error("checkpointed activations not sharded by cp")
+	}
+}
+
+// TestStageGatherCPSharded checks the torchgpipe last-stage output gather:
+// each context-parallel rank gathers only its sequence shard, so cp = 2
+// exactly halves the gathered bytes.
+func TestStageGatherCPSharded(t *testing.T) {
+	m := transformer.MinGPTPipeline()
+	b := parallel.Batch{Global: 256, Microbatches: 8}
+	gatherOf := func(mp parallel.Mapping) float64 {
+		stages, err := StageFootprints(&m, mp, b, baseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(stages[len(stages)-1].Activations - stages[0].Activations)
+	}
+	g1 := gatherOf(parallel.Mapping{PPIntra: 8})
+	g2 := gatherOf(parallel.Mapping{PPIntra: 8, CPInter: 2})
+	if g1 <= 0 || g2 <= 0 {
+		t.Fatalf("gathers = %v, %v", g1, g2)
+	}
+	if 2*g2 != g1 {
+		t.Errorf("cp=2 gather %v is not exactly half of %v", g2, g1)
+	}
+}

@@ -34,7 +34,7 @@ func StageFootprints(m *transformer.Model, mp parallel.Mapping, b parallel.Batch
 		ub := b.Microbatch(mp)
 		nub := float64(b.MicrobatchesOrDefault(mp))
 		gather := ub * float64(m.SeqLen) * float64(m.Hidden) *
-			float64(cfg.Operands.Act.Bytes()) * nub / float64(mp.TP())
+			float64(cfg.Operands.Act.Bytes()) * nub / float64(mp.TP()*mp.CP())
 		out[pp-1].Activations += units.Bytes(gather)
 	}
 	return out, nil

@@ -169,22 +169,32 @@ func (o *BatchOutput) fail(i int, code PointCode, err error) {
 // expectations.
 type mappingRun struct {
 	err          error // mapping does not tile the system (poisons the run)
-	fitErr       error // TP > heads or PP > layers
+	fitErr       error // TP > heads, PP > layers, CP > seq len or bad VPP
 	mpn          parallel.Mapping
 	workers      float64
 	workersInt   int
 	pp           int
 	dp           int
+	tpF          float64 // total TP degree, the roofline norm-class factor
+	cpF          float64 // total CP degree (1.0 when disengaged)
+	vppF         float64 // virtual-pipeline chunk count (1.0 when plain)
 	rPP          float64 // BubbleRatio · (N_PP − 1), Eq. 8's run constant
 	moeActive    bool
 	ppIntraOn    bool
 	ppInterOn    bool
 	tpIntraOn    bool
 	tpInterOn    bool
+	cpOn         bool
+	cpIntraOn    bool
+	cpInterOn    bool
 	tpIntraLatSt float64 // link latency · topology steps, hoisted Eq. 6 term
 	tpIntraFac   float64
 	tpInterLatSt float64
 	tpInterFac   float64
+	cpIntraLatSt float64 // same hoist for the context-parallel K/V exchange
+	cpIntraFac   float64
+	cpInterLatSt float64
+	cpInterFac   float64
 	gradIntra    float64 // Eq. 10/11 are batch-independent: hoisted whole
 	gradInter    float64
 	rel          faults.Expectation
@@ -197,17 +207,26 @@ func (s *Session) prepareRun(mp parallel.Mapping) mappingRun {
 		r.err = err
 		return r
 	}
+	mpn := mp.Normalized()
 	if tp := mp.TP(); tp > s.model.Heads {
 		r.fitErr = errorsf("model: TP degree %d exceeds %d attention heads", tp, s.model.Heads)
 	} else if pp := mp.PP(); pp > s.model.Layers {
 		r.fitErr = errorsf("model: PP degree %d exceeds %d layers", pp, s.model.Layers)
+	} else if cp := mp.CP(); cp > s.model.SeqLen {
+		r.fitErr = errorsf("model: CP degree %d exceeds sequence length %d", cp, s.model.SeqLen)
+	} else if vpp := mpn.VPP; vpp > 1 && mpn.PP() <= 1 {
+		r.fitErr = errorsf("model: virtual pipeline depth %d requires PP > 1", vpp)
+	} else if vpp > 1 && mpn.PP()*vpp > s.model.Layers {
+		r.fitErr = errorsf("model: PP %d x VPP %d exceeds %d layers", mpn.PP(), vpp, s.model.Layers)
 	}
-	mpn := mp.Normalized()
 	r.mpn = mpn
 	r.workersInt = mpn.Workers()
 	r.workers = float64(r.workersInt)
 	r.pp = mpn.PP()
 	r.dp = mpn.DP()
+	r.tpF = float64(mpn.TP())
+	r.cpF = float64(mpn.CP())
+	r.vppF = float64(mpn.VPP)
 	if r.pp > 1 {
 		r.rPP = s.tr.BubbleRatio * float64(r.pp-1)
 		r.ppIntraOn = mpn.PPIntra > 1
@@ -223,6 +242,19 @@ func (s *Session) prepareRun(mp parallel.Mapping) mappingRun {
 		r.tpInterOn = true
 		r.tpInterLatSt = float64(s.inter.Latency) * float64(topology.Steps(s.arKind, mpn.TPInter))
 		r.tpInterFac = topology.Factor(s.arKind, mpn.TPInter)
+	}
+	if mpn.CP() > 1 {
+		r.cpOn = true
+		if mpn.CPIntra > 1 {
+			r.cpIntraOn = true
+			r.cpIntraLatSt = float64(s.intra.Latency) * float64(topology.Steps(s.arKind, mpn.CPIntra))
+			r.cpIntraFac = topology.Factor(s.arKind, mpn.CPIntra)
+		}
+		if mpn.CPInter > 1 {
+			r.cpInterOn = true
+			r.cpInterLatSt = float64(s.inter.Latency) * float64(topology.Steps(s.arKind, mpn.CPInter))
+			r.cpInterFac = topology.Factor(s.arKind, mpn.CPInter)
+		}
 	}
 	if mpn.DP() > 1 {
 		shard := 1 / float64(mpn.TP()*mpn.PP())
@@ -309,6 +341,7 @@ func (s *Session) EvaluateBatch(in BatchInput, out *BatchOutput) error {
 	exposed := 1 - tr.CommOverlap
 	commScale := (1 + bf) * exposed
 	zeroScale := tr.ZeROOverhead * (1 + bf) * exposed
+	gradOv := tr.GradOverlap
 	bwIntra := float64(s.intra.Bandwidth)
 	bwInter := float64(s.inter.Bandwidth)
 	latIntra := float64(s.intra.Latency)
@@ -372,13 +405,18 @@ func (s *Session) EvaluateBatch(in BatchInput, out *BatchOutput) error {
 		// Eq. 2–4, factored exactly as the scalar path.
 		cMAC := 1 / (s.peakMAC * eff)
 		agg := aggs.get(s, g)
-		ufTotal := agg.macSum*cMAC*s.macScale + agg.nonlinSum*s.cNonlin*s.nonlinScale
+		var ufTotal float64
+		if s.roofline {
+			ufTotal = s.rooflineUF(&agg, cMAC, run.tpF, run.mpn.SequenceParallel)
+		} else {
+			ufTotal = agg.macSum*cMAC*s.macScale + agg.nonlinSum*s.cNonlin*s.nonlinScale
+		}
 		uwTotal := s.updateParams * cMAC * s.macScale
 		ubTotal := tr.BackwardComputeFactor * ufTotal
 
 		// Eq. 5–7, 9 on the per-point microbatch, over hoisted run constants.
 		bEff := ub
-		nActTP := 2 * bEff * s.seqHidden
+		nActTP := 2 * bEff * s.seqHidden / run.cpF
 		var tpIntra, tpInter float64
 		if run.tpIntraOn {
 			tpIntra = s.layersF * (run.tpIntraLatSt + nActTP*s.actBits/bwIntra*run.tpIntraFac)
@@ -388,7 +426,7 @@ func (s *Session) EvaluateBatch(in BatchInput, out *BatchOutput) error {
 		}
 		var ppComm float64
 		if run.pp > 1 {
-			nActPP := bEff * s.seqHidden
+			nActPP := bEff * s.seqHidden / run.cpF
 			var ppI, ppE float64
 			if run.ppIntraOn {
 				ppI = latIntra + nActPP*s.actBits/bwIntra
@@ -396,19 +434,40 @@ func (s *Session) EvaluateBatch(in BatchInput, out *BatchOutput) error {
 			if run.ppInterOn {
 				ppE = latInter + nActPP*s.actBits/bwInter
 			}
-			ppComm = max2(ppI, ppE)
+			ppComm = max2(ppI, ppE) * run.vppF
+		}
+		var cpComm float64
+		if run.cpOn {
+			nActCP := 2 * bEff * s.seqHidden / run.cpF
+			var cpI, cpE float64
+			if run.cpIntraOn {
+				cpI = run.cpIntraLatSt + nActCP*s.actBits/bwIntra*run.cpIntraFac
+			}
+			if run.cpInterOn {
+				cpE = run.cpInterLatSt + nActCP*s.actBits/bwInter*run.cpInterFac
+			}
+			cpComm = s.layersF * (cpI + cpE)
 		}
 		var moe float64
 		if run.moeActive {
-			moe = s.moeLayers * (s.moeLatTerm + bEff*s.seqHidden*s.moeVolCoeff)
+			moe = s.moeLayers * (s.moeLatTerm + bEff*s.seqHidden*s.moeVolCoeff/run.cpF)
 		}
-		fwdTotal := tpIntra + tpInter + ppComm + moe
+		fwdTotal := tpIntra + tpInter + ppComm + cpComm + moe
+
+		gradIntra, gradInter := run.gradIntra, run.gradInter
+		if gradOv > 0 {
+			if g := gradIntra + gradInter; g > 0 {
+				scale := gradOverlapScale(gradOv, g, ubTotal/run.workers, s.gradLatCount)
+				gradIntra *= scale
+				gradInter *= scale
+			}
+		}
 
 		// Eq. 8 over the hoisted R·(N_PP−1).
 		var bubble float64
 		if run.pp > 1 && nubF > 0 {
 			step := (ufTotal+ubTotal)/run.workers + commScale*fwdTotal
-			bubble = run.rPP / nubF * step
+			bubble = run.rPP / nubF * step / run.vppF
 		}
 		zeroExtra := zeroScale * fwdTotal
 
@@ -420,10 +479,11 @@ func (s *Session) EvaluateBatch(in BatchInput, out *BatchOutput) error {
 			TPIntraComm:     units.Seconds(commScale * tpIntra),
 			TPInterComm:     units.Seconds(commScale * tpInter),
 			PPComm:          units.Seconds(commScale * ppComm),
+			CPComm:          units.Seconds(commScale * cpComm),
 			MoEComm:         units.Seconds(commScale * moe),
 			ZeROComm:        units.Seconds(zeroExtra),
-			GradIntraComm:   units.Seconds(run.gradIntra),
-			GradInterComm:   units.Seconds(run.gradInter),
+			GradIntraComm:   units.Seconds(gradIntra),
+			GradInterComm:   units.Seconds(gradInter),
 			Bubble:          units.Seconds(bubble),
 			Microbatch:      ub,
 			Efficiency:      eff,

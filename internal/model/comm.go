@@ -26,10 +26,11 @@ type fwdComm struct {
 	tpIntra float64
 	tpInter float64
 	pp      float64
+	cp      float64
 	moe     float64
 }
 
-func (f fwdComm) total() float64 { return f.tpIntra + f.tpInter + f.pp + f.moe }
+func (f fwdComm) total() float64 { return f.tpIntra + f.tpInter + f.pp + f.cp + f.moe }
 
 // allReduceTime is the Eq. 6/11 pattern: latency·steps + volume·T/BW, for
 // an all-reduce of `elems` elements of `bits` bits each over n workers on
@@ -66,16 +67,20 @@ func (c commState) forward(m *transformer.Model, mp parallel.Mapping, sys *hardw
 	ar := tr.Topology.AllReduce
 
 	// Eq. 6: two all-reduces of b·s·h activations per layer, hierarchical
-	// (intra first, then inter). N_act,TP = 2bsh covers both.
-	nActTP := 2 * bEff * s * h
+	// (intra first, then inter). N_act,TP = 2bsh covers both; context
+	// parallelism shards the sequence, shrinking every activation volume by
+	// the CP degree (an exact no-op at the default CP = 1).
+	cpF := float64(mp.CP())
+	nActTP := 2 * bEff * s * h / cpF
 	tpIntraPerLayer := allReduceTime(ar, mp.TPIntra, nActTP, actBits, intra)
 	tpInterPerLayer := allReduceTime(ar, mp.TPInter, nActTP, actBits, inter)
 
 	// Eq. 7: one boundary tensor of b·s·h activations per pipeline hop;
 	// the 1/L spreads the pipeline's batch-level overhead across layers,
 	// so the layer sum recovers C + V/BW once. The pipeline runs at the
-	// speed of its slowest hop: max(intra, inter).
-	nActPP := bEff * s * h
+	// speed of its slowest hop: max(intra, inter); interleaved schedules
+	// cross the stage boundary VPP times per microbatch.
+	nActPP := bEff * s * h / cpF
 	var ppPerLayer float64
 	if mp.PP() > 1 {
 		L := float64(m.Layers)
@@ -86,7 +91,17 @@ func (c commState) forward(m *transformer.Model, mp parallel.Mapping, sys *hardw
 		if mp.PPInter > 1 {
 			ppInter = (float64(inter.Latency) + nActPP*actBits/float64(inter.Bandwidth)) / L
 		}
-		ppPerLayer = max2(ppIntra, ppInter)
+		ppPerLayer = max2(ppIntra, ppInter) * float64(mp.Normalized().VPP)
+	}
+
+	// Context-parallel K/V exchange: once per layer, each rank passes its
+	// 2·ub·(s/N_CP)·h key/value shard around the CP group, hierarchically
+	// like the TP all-reduce.
+	var cpPerLayer float64
+	if mp.CP() > 1 {
+		nActCP := 2 * bEff * s * h / cpF
+		cpPerLayer = allReduceTime(ar, mp.CPIntra, nActCP, actBits, intra) +
+			allReduceTime(ar, mp.CPInter, nActCP, actBits, inter)
 	}
 
 	// Eq. 9: two all-to-alls per MoE layer across N_nodes node groups,
@@ -106,6 +121,7 @@ func (c commState) forward(m *transformer.Model, mp parallel.Mapping, sys *hardw
 		out.tpIntra += tpIntraPerLayer
 		out.tpInter += tpInterPerLayer
 		out.pp += ppPerLayer
+		out.cp += cpPerLayer
 		if m.IsMoELayer(l) {
 			out.moe += moePerLayer
 		}

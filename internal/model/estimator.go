@@ -33,6 +33,16 @@ func (e *Estimator) Validate() error {
 	if pp := e.Mapping.PP(); pp > e.Model.Layers {
 		return errorsf("model: PP degree %d exceeds %d layers", pp, e.Model.Layers)
 	}
+	if cp := e.Mapping.CP(); cp > e.Model.SeqLen {
+		return errorsf("model: CP degree %d exceeds sequence length %d", cp, e.Model.SeqLen)
+	}
+	if vpp := e.Mapping.Normalized().VPP; vpp > 1 {
+		if pp := e.Mapping.PP(); pp <= 1 {
+			return errorsf("model: virtual pipeline depth %d requires PP > 1", vpp)
+		} else if pp*vpp > e.Model.Layers {
+			return errorsf("model: PP %d x VPP %d exceeds %d layers", pp, vpp, e.Model.Layers)
+		}
+	}
 	return nil
 }
 

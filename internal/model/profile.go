@@ -2,6 +2,7 @@ package model
 
 import (
 	"amped/internal/efficiency"
+	"amped/internal/transformer"
 	"amped/internal/units"
 )
 
@@ -52,6 +53,19 @@ func (e *Estimator) ProfileLayers() ([]LayerProfile, error) {
 	nonlinScale := float64(tr.Operands.NonlinScale(sys.Accel.NonlinPrecision))
 	bf := tr.BackwardCommFactor
 
+	// Roofline pricing per sublayer, from the same shared derivations the
+	// session hoists. Within a layer the per-sublayer max matches the
+	// session's class-level max exactly, because every member of a class is
+	// an identical layer.
+	roofline := tr.Roofline && sys.Accel.MemBW > 0
+	var invMemBW float64
+	if roofline {
+		invMemBW = 1 / sys.Accel.MemBWBytes()
+	}
+	actBytesF := tr.Operands.ActBytesF()
+	paramBytesF := tr.Operands.ParamBytesF()
+	tpF := float64(mp.TP())
+
 	// Reuse the communication machinery per layer by evaluating a
 	// single-layer view of each distinct layer kind; PP's 1/L spreading
 	// already makes forward() per-layer additive.
@@ -62,7 +76,7 @@ func (e *Estimator) ProfileLayers() ([]LayerProfile, error) {
 
 	// Distribute the layer-uniform components evenly and the MoE
 	// component over MoE layers only.
-	perLayerBase := (full.tpIntra + full.tpInter + full.pp) / L
+	perLayerBase := (full.tpIntra + full.tpInter + full.pp + full.cp) / L
 	var perMoE float64
 	if moeLayers > 0 {
 		perMoE = full.moe / float64(moeLayers)
@@ -89,7 +103,17 @@ func (e *Estimator) ProfileLayers() ([]LayerProfile, error) {
 	for l := 0; l < m.Layers; l++ {
 		var uf float64
 		for _, op := range m.LayerOps(l, B) {
-			uf += float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
+			t := float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
+			if roofline {
+				actBytes := float64(op.ActElems) * actBytesF
+				if op.Sublayer == transformer.Norms && !mp.SequenceParallel {
+					actBytes *= tpF
+				}
+				if mem := (actBytes + float64(op.WeightElems)*paramBytesF) * invMemBW; mem > t {
+					t = mem
+				}
+			}
+			uf += t
 		}
 		uw := m.LayerParams(l) * cMAC * macScale
 		p := LayerProfile{

@@ -33,14 +33,18 @@ func RooflinePredictor(accel hardware.Accelerator, m *transformer.Model, tp int,
 	if err := operands.Validate(); err != nil {
 		return efficiency.Roofline{}, err
 	}
+	// Both the bandwidth (bits→bytes) and the element size come from the
+	// shared derivations in hardware/precision — the same ones the
+	// per-sublayer roofline in session.go hoists — so the two paths cannot
+	// silently disagree on units.
 	scale := float64(operands.MACScale(accel.MACPrecision))
 	r := efficiency.Roofline{
 		PeakMACs:     float64(accel.PeakMACRate()) / scale,
-		MemBW:        float64(accel.MemBW) / 8,
+		MemBW:        accel.MemBWBytes(),
 		Hidden:       m.Hidden,
 		SeqLen:       m.SeqLen,
 		TPShard:      tp,
-		BytesPerElem: float64(precision.Max(operands.Param, operands.Act).Bytes()),
+		BytesPerElem: operands.MACOperandBytes(),
 	}
 	if err := r.Validate(); err != nil {
 		return efficiency.Roofline{}, err

@@ -2,6 +2,7 @@ package model
 
 import (
 	"errors"
+	"math"
 	"sync"
 
 	"amped/internal/efficiency"
@@ -39,6 +40,18 @@ type Session struct {
 	cNonlin     float64
 	macScale    float64
 	nonlinScale float64
+
+	// Roofline hoists: roofline is true only when the recipe asks for
+	// roofline pricing AND the accelerator models memory bandwidth —
+	// MemBW == 0 ("not modeled") silently keeps the pure-FLOP path, so
+	// every preset-free custom accelerator evaluates bit-identically to
+	// the legacy model. The byte sizes come from the shared precision
+	// derivations (ActBytesF/ParamBytesF) and the bandwidth from
+	// hardware.MemBWBytes, the same sources RooflinePredictor uses.
+	roofline    bool
+	invMemBW    float64 // 1 / MemBWBytes
+	actBytesF   float64 // streamed activation element size, bytes
+	paramBytesF float64 // streamed weight element size, bytes
 
 	// Communication hoists: links, operand widths, topology kinds.
 	intra    hardware.Link
@@ -84,13 +97,37 @@ type Session struct {
 	dyn sync.Map
 }
 
+// Roofline op classes. The per-sublayer roofline t_op = max(work/peak,
+// bytes/BW) does not distribute over sums, so the model-wide aggregate keeps
+// one bucket per class of identical sublayers: within a class every member
+// has the same compute/byte ratio, so the class-level max equals the sum of
+// member-level maxes exactly (max(Σc, Σb) = Σ max(c,b) when all members are
+// scalar multiples of one another — here they are identical layers).
+const (
+	clsAttn = iota // attention sublayers (all layers identical)
+	clsMLPDense
+	clsMLPMoE
+	clsNorms
+	clsEmbed // logit projection, when IncludeEmbedding
+	numOpClasses
+)
+
+// opClass is one roofline class's operation and streamed-element totals.
+type opClass struct {
+	mac, nonlin, act, weight float64
+}
+
 // batchAgg is the Eq. 2/12 operation aggregate for one global batch size:
 // the model-wide MAC and nonlinear-op sums (embedding included when the
-// training recipe asks for it) and the derived useful-work FLOPs.
+// training recipe asks for it), the derived useful-work FLOPs, and the
+// per-class splits the roofline path prices individually. macSum/nonlinSum
+// are accumulated exactly as the legacy path did (per-layer OpSums in layer
+// order) so the pure-FLOP path stays bit-identical.
 type batchAgg struct {
 	macSum    float64
 	nonlinSum float64
 	flops     units.FLOPs
+	cls       [numOpClasses]opClass
 }
 
 // errNonFinite mirrors the legacy Evaluate error for degenerate points; a
@@ -140,7 +177,14 @@ func Compile(m *transformer.Model, sys *hardware.System, tr Training, eff effici
 		moeLayers: float64(m.MoELayers()),
 		seqHidden: float64(m.SeqLen) * float64(m.Hidden),
 
+		actBytesF:   tr.Operands.ActBytesF(),
+		paramBytesF: tr.Operands.ParamBytesF(),
+
 		batches: make(map[int]batchAgg),
+	}
+	if tr.Roofline && sys.Accel.MemBW > 0 {
+		s.roofline = true
+		s.invMemBW = 1 / sys.Accel.MemBWBytes()
 	}
 
 	// Eq. 9 constants: 2 all-to-alls per MoE layer across the node groups,
@@ -213,7 +257,9 @@ func (s *Session) Prepare(batches ...int) *Session {
 }
 
 // computeAgg builds the Eq. 2/12 operation aggregate for one batch size by
-// summing the per-layer op counts in layer order.
+// summing the per-layer op counts in layer order. macSum/nonlinSum keep the
+// exact legacy accumulation (OpSums per layer); the roofline class buckets
+// are filled alongside from the same sublayer counts.
 func (s *Session) computeAgg(batch int) batchAgg {
 	var a batchAgg
 	m := s.model
@@ -221,12 +267,84 @@ func (s *Session) computeAgg(batch int) batchAgg {
 		macs, nonlin := m.OpSums(l, batch)
 		a.macSum += float64(macs)
 		a.nonlinSum += float64(nonlin)
+		for _, op := range m.LayerOps(l, batch) {
+			var k int
+			switch op.Sublayer {
+			case transformer.Attention:
+				k = clsAttn
+			case transformer.MLP:
+				k = clsMLPDense
+				if m.IsMoELayer(l) {
+					k = clsMLPMoE
+				}
+			default:
+				k = clsNorms
+			}
+			c := &a.cls[k]
+			c.mac += float64(op.MACs)
+			c.nonlin += float64(op.Nonlin)
+			c.act += float64(op.ActElems)
+			c.weight += float64(op.WeightElems)
+		}
 	}
 	if s.tr.IncludeEmbedding {
 		a.macSum += float64(m.EmbeddingMACs(batch))
+		eAct, eWeight := m.EmbeddingStreamElems(batch)
+		e := &a.cls[clsEmbed]
+		e.mac = float64(m.EmbeddingMACs(batch))
+		e.act = float64(eAct)
+		e.weight = float64(eWeight)
 	}
 	a.flops = units.FLOPs(a.macSum * 3 * units.FLOPsPerMAC)
 	return a
+}
+
+// rooflineUF prices the forward pass per roofline class: each class costs
+// max(compute, bytes/BW), with compute the same reciprocal-throughput
+// expression the pure-FLOP path uses and bytes the streamed activation and
+// weight traffic at the shared precision-derived element sizes. Without
+// sequence parallelism the norm-class activation traffic is replicated
+// across the tensor-parallel group (every TP rank streams the full b·s·h
+// norm tensors), so it scales by tpF; the tiny 4h-per-layer norm weights are
+// left unscaled. Called identically by the scalar and batched paths so the
+// two stay bit-identical.
+func (s *Session) rooflineUF(agg *batchAgg, cMAC, tpF float64, sequenceParallel bool) float64 {
+	var total float64
+	for k := 0; k < numOpClasses; k++ {
+		c := &agg.cls[k]
+		t := c.mac*cMAC*s.macScale + c.nonlin*s.cNonlin*s.nonlinScale
+		actBytes := c.act * s.actBytesF
+		if k == clsNorms && !sequenceParallel {
+			actBytes *= tpF
+		}
+		if mem := (actBytes + c.weight*s.paramBytesF) * s.invMemBW; mem > t {
+			t = mem
+		}
+		total += t
+	}
+	return total
+}
+
+// gradOverlapScale returns the factor in [0,1] by which the exposed
+// gradient all-reduce shrinks when a fraction o of its buckets overlaps
+// with backward compute. The all-reduce is modeled as `buckets` equal
+// serialized buckets of g = total/buckets each; backward produces bucket i's
+// gradients at i·(tb/buckets). The first m = ceil(o·buckets) buckets drain
+// concurrently with backward — a two-server pipeline whose makespan is
+// max(rel + m·g, m·rel + g) (the linear objective peaks at an endpoint) —
+// and the rest serialize after whichever of that drain or the backward pass
+// finishes last. Exposed time is the makespan beyond tb; communication that
+// outlasts compute stays exposed even at o = 1.
+func gradOverlapScale(o, total, tb, buckets float64) float64 {
+	g := total / buckets
+	m := math.Ceil(o * buckets)
+	rel := tb / buckets
+	var finishO float64
+	if m > 0 {
+		finishO = max2(rel+m*g, m*rel+g)
+	}
+	makespan := max2(finishO, tb) + (buckets-m)*g
+	return (makespan - tb) / total
 }
 
 // agg returns the cached aggregate for a batch. Batches that were never
@@ -291,34 +409,55 @@ func (s *Session) evaluate(mp parallel.Mapping, batch, microbatches int, out *Br
 	if pp := mp.PP(); pp > s.model.Layers {
 		return errorsf("model: PP degree %d exceeds %d layers", pp, s.model.Layers)
 	}
+	if cp := mp.CP(); cp > s.model.SeqLen {
+		return errorsf("model: CP degree %d exceeds sequence length %d", cp, s.model.SeqLen)
+	}
+	if vpp := mp.Normalized().VPP; vpp > 1 {
+		if pp := mp.PP(); pp <= 1 {
+			return errorsf("model: virtual pipeline depth %d requires PP > 1", vpp)
+		} else if pp*vpp > s.model.Layers {
+			return errorsf("model: PP %d x VPP %d exceeds %d layers", pp, vpp, s.model.Layers)
+		}
+	}
 
 	tr := s.tr
 	mpn := mp.Normalized()
 	workers := float64(mpn.Workers())
+	cpF := float64(mpn.CP())
+	vppF := float64(mpn.VPP)
 
 	ub := bt.Microbatch(mpn)
 	eff := s.eff.Eff(ub)
 	nub := float64(bt.MicrobatchesOrDefault(mpn))
 
 	// Eq. 2–4: the per-layer, per-sublayer double sum factors into the two
-	// cached aggregates times the point's reciprocal throughputs.
+	// cached aggregates times the point's reciprocal throughputs — or, under
+	// roofline pricing, the per-class max of compute and bandwidth time.
 	cMAC := 1 / (s.peakMAC * eff)
 	agg := s.agg(batch)
-	ufTotal := agg.macSum*cMAC*s.macScale + agg.nonlinSum*s.cNonlin*s.nonlinScale
+	var ufTotal float64
+	if s.roofline {
+		ufTotal = s.rooflineUF(&agg, cMAC, float64(mpn.TP()), mpn.SequenceParallel)
+	} else {
+		ufTotal = agg.macSum*cMAC*s.macScale + agg.nonlinSum*s.cNonlin*s.nonlinScale
+	}
 	uwTotal := s.updateParams * cMAC * s.macScale
 	ubTotal := tr.BackwardComputeFactor * ufTotal
 
-	// Eq. 5–7, 9: forward communication on the per-point microbatch.
+	// Eq. 5–7, 9: forward communication on the per-point microbatch. With
+	// context parallelism every rank holds s/N_CP tokens, so the activation
+	// volumes shrink by cpF (an exact no-op at the default CP = 1).
 	bEff := ub
-	nActTP := 2 * bEff * s.seqHidden
+	nActTP := 2 * bEff * s.seqHidden / cpF
 	tpIntra := s.layersF * allReduceTime(s.arKind, mpn.TPIntra, nActTP, s.actBits, s.intra)
 	tpInter := s.layersF * allReduceTime(s.arKind, mpn.TPInter, nActTP, s.actBits, s.inter)
 
 	// Eq. 7: the 1/L spreading cancels against the layer sum, leaving the
-	// boundary cost once; the pipeline runs at its slowest hop.
+	// boundary cost once; the pipeline runs at its slowest hop. Interleaved
+	// schedules cross the stage boundary VPP times per microbatch.
 	var ppComm float64
 	if mpn.PP() > 1 {
-		nActPP := bEff * s.seqHidden
+		nActPP := bEff * s.seqHidden / cpF
 		var ppI, ppE float64
 		if mpn.PPIntra > 1 {
 			ppI = float64(s.intra.Latency) + nActPP*s.actBits/float64(s.intra.Bandwidth)
@@ -326,15 +465,26 @@ func (s *Session) evaluate(mp parallel.Mapping, batch, microbatches int, out *Br
 		if mpn.PPInter > 1 {
 			ppE = float64(s.inter.Latency) + nActPP*s.actBits/float64(s.inter.Bandwidth)
 		}
-		ppComm = max2(ppI, ppE)
+		ppComm = max2(ppI, ppE) * vppF
+	}
+
+	// Context-parallel K/V exchange: once per layer each rank passes its
+	// 2·ub·(s/N_CP)·h key/value shard around the CP group (hierarchically,
+	// intra then inter, like the TP all-reduce). Gradient synchronization
+	// across the CP group is not modeled separately.
+	var cpComm float64
+	if mpn.CP() > 1 {
+		nActCP := 2 * bEff * s.seqHidden / cpF
+		cpComm = s.layersF * (allReduceTime(s.arKind, mpn.CPIntra, nActCP, s.actBits, s.intra) +
+			allReduceTime(s.arKind, mpn.CPInter, nActCP, s.actBits, s.inter))
 	}
 
 	var moe float64
 	if !relaxed && s.model.MoE() && mpn.ExpertParallel {
-		moe = s.moeLayers * (s.moeLatTerm + bEff*s.seqHidden*s.moeVolCoeff)
+		moe = s.moeLayers * (s.moeLatTerm + bEff*s.seqHidden*s.moeVolCoeff/cpF)
 	}
 
-	fwdTotal := tpIntra + tpInter + ppComm + moe
+	fwdTotal := tpIntra + tpInter + ppComm + cpComm + moe
 	bf := tr.BackwardCommFactor
 	exposed := 1 - tr.CommOverlap
 
@@ -351,12 +501,20 @@ func (s *Session) evaluate(mp parallel.Mapping, batch, microbatches int, out *Br
 		gradIntra = s.allReduceSum(mpn.DPIntra, ngSum, s.intra)
 		gradInter = s.allReduceSum(mpn.DPInter, ngSum, s.inter)
 	}
+	if o := tr.GradOverlap; o > 0 {
+		if g := gradIntra + gradInter; g > 0 {
+			scale := gradOverlapScale(o, g, ubTotal/workers, s.gradLatCount)
+			gradIntra *= scale
+			gradInter *= scale
+		}
+	}
 
-	// Eq. 8: pipeline bubbles over the per-microbatch step time.
+	// Eq. 8: pipeline bubbles over the per-microbatch step time; the
+	// interleaved schedule shrinks the bubble by the chunk count.
 	var bubble float64
 	if pp := mpn.PP(); pp > 1 && nub > 0 {
 		step := (ufTotal+ubTotal)/workers + (1+bf)*exposed*fwdTotal
-		bubble = tr.BubbleRatio * float64(pp-1) / nub * step
+		bubble = tr.BubbleRatio * float64(pp-1) / nub * step / vppF
 	}
 
 	zeroExtra := tr.ZeROOverhead * (1 + bf) * exposed * fwdTotal
@@ -368,6 +526,7 @@ func (s *Session) evaluate(mp parallel.Mapping, batch, microbatches int, out *Br
 		TPIntraComm:     units.Seconds((1 + bf) * exposed * tpIntra),
 		TPInterComm:     units.Seconds((1 + bf) * exposed * tpInter),
 		PPComm:          units.Seconds((1 + bf) * exposed * ppComm),
+		CPComm:          units.Seconds((1 + bf) * exposed * cpComm),
 		MoEComm:         units.Seconds((1 + bf) * exposed * moe),
 		ZeROComm:        units.Seconds(zeroExtra),
 		GradIntraComm:   units.Seconds(gradIntra),

@@ -48,6 +48,25 @@ type Training struct {
 	// error). Gradient all-reduce is not discounted: it happens after the
 	// backward pass by Eq. 1's construction.
 	CommOverlap float64
+	// GradOverlap is the fraction of the data-parallel gradient all-reduce
+	// launched as buckets under the backward pass (DDP/FSDP-style
+	// overlapping), in [0,1]. The exposed gradient time is derived from a
+	// bucketed pipeline closed form — the first ceil(GradOverlap·L) of the
+	// L(+1) per-layer buckets drain while backward compute still runs —
+	// rather than a flat discount, so communication that outlasts the
+	// backward pass stays exposed. 0 keeps Eq. 1's fully-serialized
+	// all-reduce bit-identically.
+	GradOverlap float64
+	// Roofline prices every sublayer at t_op = max(work/peak, bytes/BW)
+	// instead of pure FLOP time, using the per-sublayer streamed-byte
+	// counts (transformer.Ops.ActElems/WeightElems) against the
+	// accelerator's memory bandwidth. Memory-bound sublayers (LayerNorm,
+	// softmax, residuals) stop pricing as nearly free. When the
+	// accelerator's MemBW is zero ("not modeled") the flag silently falls
+	// back to pure-FLOP pricing, bit-identical to the legacy path. The
+	// weight-update term stays pure-FLOP (optimizer state traffic is not
+	// modeled), and weight streaming is charged once per global-batch pass.
+	Roofline bool
 	// Operands supplies S_p, S_act, S_nonlin and S_g.
 	Operands precision.Operands
 	// Topology selects the collective algorithms (default ring + pairwise).
@@ -103,6 +122,9 @@ func (t Training) Validate() error {
 	if d.CommOverlap < 0 || d.CommOverlap > 1 {
 		return fmt.Errorf("model: comm overlap %g outside [0,1]", d.CommOverlap)
 	}
+	if d.GradOverlap < 0 || d.GradOverlap > 1 {
+		return fmt.Errorf("model: gradient overlap %g outside [0,1]", d.GradOverlap)
+	}
 	if d.NumBatches < 0 {
 		return fmt.Errorf("model: batch count %d must be non-negative", d.NumBatches)
 	}
@@ -145,8 +167,15 @@ type Breakdown struct {
 	TPIntraComm units.Seconds
 	TPInterComm units.Seconds
 	// PPComm is the pipeline point-to-point time (forward + backward),
-	// Eq. 7, already max(intra, inter) per the paper.
+	// Eq. 7, already max(intra, inter) per the paper, multiplied by the
+	// virtual-pipeline chunk count (interleaving crosses stage boundaries
+	// VPP times per microbatch).
 	PPComm units.Seconds
+	// CPComm is the context-parallel K/V exchange time (forward +
+	// backward): each rank ring-exchanges its 2·ub·(s/N_CP)·h key/value
+	// shard with the rest of the CP group once per layer. Zero without
+	// context parallelism.
+	CPComm units.Seconds
 	// MoEComm is the expert all-to-all time (forward + backward), Eq. 9.
 	MoEComm units.Seconds
 	// ZeROComm is the extra communication added by the (1 + M_f_DP)
@@ -184,7 +213,7 @@ func (b *Breakdown) ComputeTime() units.Seconds {
 
 // CommTime sums every communication component.
 func (b *Breakdown) CommTime() units.Seconds {
-	return b.TPIntraComm + b.TPInterComm + b.PPComm + b.MoEComm +
+	return b.TPIntraComm + b.TPInterComm + b.PPComm + b.CPComm + b.MoEComm +
 		b.ZeROComm + b.GradIntraComm + b.GradInterComm
 }
 
@@ -238,6 +267,7 @@ func (b *Breakdown) Components() []Component {
 		{"TP comm intra", b.TPIntraComm},
 		{"TP comm inter", b.TPInterComm},
 		{"PP comm", b.PPComm},
+		{"CP comm", b.CPComm},
 		{"MoE comm", b.MoEComm},
 		{"ZeRO comm", b.ZeROComm},
 		{"grad AR intra", b.GradIntraComm},

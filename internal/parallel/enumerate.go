@@ -14,9 +14,20 @@ type EnumerateOptions struct {
 	// MaxPP caps the total pipeline degree (bounded by the layer count).
 	// Zero means unlimited.
 	MaxPP int
+	// MaxCP caps the total context-parallel degree. Zero or 1 disables
+	// context parallelism entirely, keeping the legacy mapping list
+	// byte-identical (CP shards are carved out of the DP shares, so
+	// enabling it strictly grows the space).
+	MaxCP int
+	// MaxVPP caps the virtual-pipeline chunk count per stage. Zero or 1
+	// disables interleaving; values above 1 emit extra variants of every
+	// pp>1 mapping (callers bound it by layers/pp at evaluation time).
+	MaxVPP int
 	// PowerOfTwo restricts every per-level degree to powers of two, the
 	// shape real deployments use. Default false enumerates all divisors.
 	PowerOfTwo bool
+	// SequenceParallel sets the flag on every produced mapping.
+	SequenceParallel bool
 	// ExpertParallel sets the flag on every produced mapping.
 	ExpertParallel bool
 }
@@ -48,43 +59,96 @@ func divisorTriples(n int, pow2 bool) [][3]int {
 
 func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
+// cpSplits returns the (cp, dp) factorings of a data-parallel share: every
+// divisor cp of dpShare (respecting pow2) up to maxCP, paired with the
+// remaining dp = dpShare/cp. maxCP <= 1 yields only the identity split.
+func cpSplits(dpShare, maxCP int, pow2 bool) [][2]int {
+	if maxCP <= 1 {
+		return [][2]int{{1, dpShare}}
+	}
+	var out [][2]int
+	for _, cp := range Divisors(dpShare) {
+		if cp > maxCP {
+			continue
+		}
+		if pow2 && !isPow2(cp) {
+			continue
+		}
+		out = append(out, [2]int{cp, dpShare / cp})
+	}
+	return out
+}
+
 // Enumerate lists every mapping that exactly tiles the system: all ways of
-// factoring the node population into intra-node (TP,PP,DP) and the node
-// count into inter-node (TP,PP,DP), subject to the options. The result is
-// sorted by total TP, then PP, then DP degree for deterministic output.
+// factoring the node population into intra-node (TP,PP,DP,CP) and the node
+// count into inter-node (TP,PP,DP,CP), subject to the options, with
+// virtual-pipeline variants when requested. The result is sorted by total
+// TP, then PP, then DP, then CP, then VPP degree for deterministic output;
+// with MaxCP and MaxVPP disabled the list is byte-identical to the
+// historical three-dimension enumeration.
 func Enumerate(sys *hardware.System, opt EnumerateOptions) []Mapping {
 	if sys == nil || sys.AccelsPerNode <= 0 || sys.Nodes <= 0 {
 		return nil
 	}
 	intra := divisorTriples(sys.AccelsPerNode, opt.PowerOfTwo)
 	inter := divisorTriples(sys.Nodes, opt.PowerOfTwo)
+	maxVPP := opt.MaxVPP
+	if maxVPP < 1 {
+		maxVPP = 1
+	}
 	// Each candidate's total degrees fall straight out of the divisor
 	// triples (every factor is >= 1, so no normalization is needed), and the
 	// string identity is rendered once up front — the sort comparator then
 	// runs on precomputed keys instead of re-deriving degrees and formatting
-	// strings O(n log n) times. The ordering is exactly the historical one:
-	// total TP, then PP, then DP, then the rendered identity.
+	// strings O(n log n) times. The ordering extends the historical one:
+	// total TP, then PP, then DP, then CP, then VPP, then the rendered
+	// identity — CP and VPP are 1 everywhere in legacy sweeps, so those keys
+	// never reorder a legacy list.
 	type keyed struct {
-		m          Mapping
-		tp, pp, dp int
-		id         string
+		m                   Mapping
+		tp, pp, dp, cp, vpp int
+		id                  string
 	}
 	keys := make([]keyed, 0, len(intra)*len(inter))
 	for _, i := range intra {
 		for _, e := range inter {
-			tp, pp, dp := i[0]*e[0], i[1]*e[1], i[2]*e[2]
+			tp, pp := i[0]*e[0], i[1]*e[1]
 			if opt.MaxTP > 0 && tp > opt.MaxTP {
 				continue
 			}
 			if opt.MaxPP > 0 && pp > opt.MaxPP {
 				continue
 			}
-			m := Mapping{
-				TPIntra: i[0], PPIntra: i[1], DPIntra: i[2],
-				TPInter: e[0], PPInter: e[1], DPInter: e[2],
-				ExpertParallel: opt.ExpertParallel,
+			for _, ci := range cpSplits(i[2], opt.MaxCP, opt.PowerOfTwo) {
+				for _, ce := range cpSplits(e[2], opt.MaxCP, opt.PowerOfTwo) {
+					cp := ci[0] * ce[0]
+					if cp > 1 && (opt.MaxCP <= 0 || cp > opt.MaxCP) {
+						continue
+					}
+					dp := ci[1] * ce[1]
+					for vpp := 1; vpp <= maxVPP; vpp++ {
+						if vpp > 1 && (pp <= 1 || (opt.PowerOfTwo && !isPow2(vpp))) {
+							continue
+						}
+						m := Mapping{
+							TPIntra: i[0], PPIntra: i[1], DPIntra: ci[1],
+							TPInter: e[0], PPInter: e[1], DPInter: ce[1],
+							SequenceParallel: opt.SequenceParallel,
+							ExpertParallel:   opt.ExpertParallel,
+						}
+						// Disengaged dimensions stay at their zero value so
+						// a legacy enumeration returns structs identical to
+						// the historical three-dimension output.
+						if cp > 1 {
+							m.CPIntra, m.CPInter = ci[0], ce[0]
+						}
+						if vpp > 1 {
+							m.VPP = vpp
+						}
+						keys = append(keys, keyed{m: m, tp: tp, pp: pp, dp: dp, cp: cp, vpp: vpp, id: m.String()})
+					}
+				}
 			}
-			keys = append(keys, keyed{m: m, tp: tp, pp: pp, dp: dp, id: m.String()})
 		}
 	}
 	sort.Slice(keys, func(a, b int) bool {
@@ -97,6 +161,12 @@ func Enumerate(sys *hardware.System, opt EnumerateOptions) []Mapping {
 		}
 		if ka.dp != kb.dp {
 			return ka.dp < kb.dp
+		}
+		if ka.cp != kb.cp {
+			return ka.cp < kb.cp
+		}
+		if ka.vpp != kb.vpp {
+			return ka.vpp < kb.vpp
 		}
 		return ka.id < kb.id
 	})

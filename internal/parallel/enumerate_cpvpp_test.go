@@ -1,0 +1,151 @@
+package parallel
+
+import (
+	"testing"
+)
+
+// TestEnumerateLegacyIdentity pins the compatibility contract: with MaxCP
+// and MaxVPP disabled (zero or one), Enumerate emits exactly the historical
+// three-dimension list — every struct has its CP/VPP fields at the zero
+// value, and 0 and 1 are interchangeable disable spellings.
+func TestEnumerateLegacyIdentity(t *testing.T) {
+	sys := cs1()
+	legacy := Enumerate(sys, EnumerateOptions{PowerOfTwo: true})
+	if len(legacy) == 0 {
+		t.Fatal("no mappings enumerated")
+	}
+	for _, m := range legacy {
+		if m.CPIntra != 0 || m.CPInter != 0 || m.VPP != 0 {
+			t.Fatalf("legacy enumeration produced engaged new dimensions: %+v", m)
+		}
+	}
+	one := Enumerate(sys, EnumerateOptions{PowerOfTwo: true, MaxCP: 1, MaxVPP: 1})
+	if len(one) != len(legacy) {
+		t.Fatalf("MaxCP=MaxVPP=1 list has %d mappings, legacy %d", len(one), len(legacy))
+	}
+	for i := range legacy {
+		if one[i] != legacy[i] {
+			t.Fatalf("MaxCP=MaxVPP=1 differs from legacy at %d: %v vs %v", i, one[i], legacy[i])
+		}
+	}
+}
+
+// TestEnumerateCPVPP checks the grown space: every emitted mapping still
+// tiles the system exactly (CP counts toward the worker product), respects
+// the caps, only attaches VPP to real pipelines, and strictly contains the
+// legacy list.
+func TestEnumerateCPVPP(t *testing.T) {
+	sys := cs1()
+	opt := EnumerateOptions{PowerOfTwo: true, MaxCP: 2, MaxVPP: 2}
+	maps := Enumerate(sys, opt)
+	legacy := Enumerate(sys, EnumerateOptions{PowerOfTwo: true})
+	if len(maps) <= len(legacy) {
+		t.Fatalf("enabling CP/VPP did not grow the space: %d vs %d", len(maps), len(legacy))
+	}
+	var sawCP, sawVPP bool
+	seen := make(map[Mapping]bool, len(maps))
+	for _, m := range maps {
+		if seen[m] {
+			t.Fatalf("duplicate mapping %v", m)
+		}
+		seen[m] = true
+		if err := m.Validate(sys); err != nil {
+			t.Fatalf("enumerated mapping invalid: %v", err)
+		}
+		if m.Workers() != sys.TotalAccelerators() {
+			t.Fatalf("mapping %v occupies %d workers, want %d", m, m.Workers(), sys.TotalAccelerators())
+		}
+		if cp := m.CP(); cp > 2 {
+			t.Fatalf("mapping %v exceeds MaxCP", m)
+		} else if cp > 1 {
+			sawCP = true
+		}
+		if vpp := m.Normalized().VPP; vpp > 1 {
+			sawVPP = true
+			if m.PP() <= 1 {
+				t.Fatalf("mapping %v interleaves without a pipeline", m)
+			}
+		}
+	}
+	if !sawCP || !sawVPP {
+		t.Fatalf("space missing new dimensions: sawCP=%v sawVPP=%v", sawCP, sawVPP)
+	}
+	for _, m := range legacy {
+		if !seen[m] {
+			t.Fatalf("legacy mapping %v missing from the grown space", m)
+		}
+	}
+}
+
+// TestMappingStringNewDimensions pins the rendering: legacy mappings keep
+// their exact historical strings, and CP/VPP/SP render only when engaged.
+func TestMappingStringNewDimensions(t *testing.T) {
+	legacy := Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}
+	if got, want := legacy.String(), "TP8x1 PP1x2 DP1x64"; got != want {
+		t.Errorf("legacy String() = %q, want %q", got, want)
+	}
+	m := Mapping{TPIntra: 4, CPIntra: 2, PPInter: 2, DPInter: 32, CPInter: 2,
+		VPP: 2, SequenceParallel: true, ExpertParallel: true}
+	if got, want := m.String(), "TP4x1 PP1x2 DP1x32 CP2x2 VPP2 +SP +EP"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// A degree of 1 on one CP level still renders both levels.
+	half := Mapping{TPIntra: 8, PPInter: 2, DPInter: 32, CPInter: 2}
+	if got, want := half.String(), "TP8x1 PP1x2 DP1x32 CP1x2"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestCPWorkersAndDegrees checks the accounting of the context-parallel
+// dimension in the degree products.
+func TestCPWorkersAndDegrees(t *testing.T) {
+	m := Mapping{TPIntra: 4, CPIntra: 2, PPInter: 2, DPInter: 32, CPInter: 2}
+	if got := m.CP(); got != 4 {
+		t.Errorf("CP = %d, want 4", got)
+	}
+	if got := m.Workers(); got != 4*2*2*32*2 {
+		t.Errorf("Workers = %d, want %d", got, 4*2*2*32*2)
+	}
+	if got := m.IntraDegree(); got != 8 {
+		t.Errorf("IntraDegree = %d, want 8", got)
+	}
+	if got := m.InterDegree(); got != 128 {
+		t.Errorf("InterDegree = %d, want 128", got)
+	}
+	sys := cs1()
+	if err := m.Validate(sys); err != nil {
+		t.Errorf("CP mapping rejected: %v", err)
+	}
+	if err := (Mapping{TPIntra: 8, CPInter: -1, DPInter: 128}).Validate(sys); err == nil {
+		t.Error("negative CP degree accepted")
+	}
+	if err := (Mapping{TPIntra: 8, DPInter: 128, VPP: -1}).Validate(sys); err == nil {
+		t.Error("negative VPP accepted")
+	}
+}
+
+// TestCPSplitsProperty checks the factoring invariant behind the CP
+// enumeration: every split multiplies back to the share and respects the
+// cap and the pow2 restriction.
+func TestCPSplitsProperty(t *testing.T) {
+	for share := 1; share <= 48; share++ {
+		for _, maxCP := range []int{0, 1, 2, 4, 48} {
+			for _, pow2 := range []bool{false, true} {
+				for _, s := range cpSplits(share, maxCP, pow2) {
+					if s[0]*s[1] != share {
+						t.Fatalf("cpSplits(%d,%d,%v) produced %v", share, maxCP, pow2, s)
+					}
+					if maxCP > 1 && s[0] > maxCP {
+						t.Fatalf("cpSplits(%d,%d,%v) exceeds cap: %v", share, maxCP, pow2, s)
+					}
+					if maxCP <= 1 && s[0] != 1 {
+						t.Fatalf("cpSplits(%d,%d,%v) engaged CP while disabled: %v", share, maxCP, pow2, s)
+					}
+					if pow2 && maxCP > 1 && !isPow2(s[0]) {
+						t.Fatalf("cpSplits(%d,%d,%v) non-pow2 CP: %v", share, maxCP, pow2, s)
+					}
+				}
+			}
+		}
+	}
+}

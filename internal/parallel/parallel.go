@@ -23,6 +23,22 @@ type Mapping struct {
 	PPIntra, PPInter int
 	// DPIntra and DPInter compose N_DP.
 	DPIntra, DPInter int
+	// CPIntra and CPInter compose N_CP, the context-parallel degree: the
+	// sequence dimension is sharded across the group, each rank holding
+	// s/N_CP tokens and exchanging K/V shards per layer (ring-attention
+	// style). Zero means 1 (no context parallelism).
+	CPIntra, CPInter int
+	// VPP is the virtual-pipeline (interleaved schedule) chunk count v:
+	// each pipeline stage holds v non-contiguous layer chunks, shrinking
+	// the Eq. 8 bubble by v at the price of v× the stage-boundary traffic
+	// [Narayanan'21]. Zero or 1 means the plain schedule.
+	VPP int
+	// SequenceParallel shards the norm/dropout activations across the
+	// tensor-parallel group [Korthikanti'22]: it changes activation-memory
+	// accounting (memkit) and the bandwidth-bound norm traffic of the
+	// roofline op pricing, not the TP communication volume (the all-reduce
+	// becomes an equal-volume reduce-scatter + all-gather pair).
+	SequenceParallel bool
 	// ExpertParallel distributes MoE experts across workers; the paper
 	// models its communication as node-level all-to-all (Eq. 9), so the
 	// flag records intent and the expert count lives with the model.
@@ -51,6 +67,15 @@ func (m Mapping) normalize() Mapping {
 	if m.DPInter == 0 {
 		m.DPInter = 1
 	}
+	if m.CPIntra == 0 {
+		m.CPIntra = 1
+	}
+	if m.CPInter == 0 {
+		m.CPInter = 1
+	}
+	if m.VPP == 0 {
+		m.VPP = 1
+	}
 	return m
 }
 
@@ -66,19 +91,22 @@ func (m Mapping) PP() int { n := m.normalize(); return n.PPIntra * n.PPInter }
 // DP returns the total data-parallel degree N_DP.
 func (m Mapping) DP() int { n := m.normalize(); return n.DPIntra * n.DPInter }
 
+// CP returns the total context-parallel degree N_CP.
+func (m Mapping) CP() int { n := m.normalize(); return n.CPIntra * n.CPInter }
+
 // Workers returns the total accelerator count the mapping occupies.
-func (m Mapping) Workers() int { return m.TP() * m.PP() * m.DP() }
+func (m Mapping) Workers() int { return m.TP() * m.PP() * m.DP() * m.CP() }
 
 // IntraDegree returns the accelerators per node the mapping uses.
 func (m Mapping) IntraDegree() int {
 	n := m.normalize()
-	return n.TPIntra * n.PPIntra * n.DPIntra
+	return n.TPIntra * n.PPIntra * n.DPIntra * n.CPIntra
 }
 
 // InterDegree returns the node count the mapping uses.
 func (m Mapping) InterDegree() int {
 	n := m.normalize()
-	return n.TPInter * n.PPInter * n.DPInter
+	return n.TPInter * n.PPInter * n.DPInter * n.CPInter
 }
 
 // String renders the mapping compactly, e.g. "TP8x1 PP1x2 DP1x64". Built
@@ -99,6 +127,22 @@ func (m Mapping) String() string {
 	b = strconv.AppendInt(b, int64(n.DPIntra), 10)
 	b = append(b, 'x')
 	b = strconv.AppendInt(b, int64(n.DPInter), 10)
+	// New dimensions render only when engaged so legacy mappings keep their
+	// exact historical strings (sort order, sweep cursors and goldens depend
+	// on them byte-for-byte).
+	if n.CPIntra > 1 || n.CPInter > 1 {
+		b = append(b, " CP"...)
+		b = strconv.AppendInt(b, int64(n.CPIntra), 10)
+		b = append(b, 'x')
+		b = strconv.AppendInt(b, int64(n.CPInter), 10)
+	}
+	if n.VPP > 1 {
+		b = append(b, " VPP"...)
+		b = strconv.AppendInt(b, int64(n.VPP), 10)
+	}
+	if m.SequenceParallel {
+		b = append(b, " +SP"...)
+	}
 	if m.ExpertParallel {
 		b = append(b, " +EP"...)
 	}
@@ -120,6 +164,8 @@ func (m Mapping) Validate(sys *hardware.System) error {
 		{"TP intra", n.TPIntra}, {"TP inter", n.TPInter},
 		{"PP intra", n.PPIntra}, {"PP inter", n.PPInter},
 		{"DP intra", n.DPIntra}, {"DP inter", n.DPInter},
+		{"CP intra", n.CPIntra}, {"CP inter", n.CPInter},
+		{"VPP", n.VPP},
 	} {
 		if d.v < 1 {
 			return fmt.Errorf("parallel: %s degree %d must be >= 1", d.name, d.v)

@@ -8,8 +8,10 @@ import (
 	"amped/internal/explore"
 	"amped/internal/hardware"
 	"amped/internal/memkit"
+	"amped/internal/model"
 	"amped/internal/parallel"
 	"amped/internal/pipesim"
+	"amped/internal/precision"
 	"amped/internal/transformer"
 	"amped/internal/units"
 )
@@ -139,6 +141,120 @@ func TestSolveMatchesExhaustive(t *testing.T) {
 	} else {
 		t.Logf("aggregate expansion %.2f%% (%d of %d cells)", 100*frac, aggExpanded, aggTotal)
 	}
+}
+
+// TestSolveSPCPMemoryEquivalence is the regression case for the activation
+// accounting bug: before memkit sharded activations by sequence/context
+// parallelism, every cp > 1 cell carried the same footprint as its cp = 1
+// sibling, so a memory budget sized between the two marked the whole space
+// infeasible and the planner (whose feasibility filter is the same
+// estimate) agreed on the wrong answer. The scenario is attention-heavy
+// (2·a·s ≈ 4 × 16·h per token) with the device capacity set strictly
+// between the cp = 2 and cp = 1 working sets: under the corrected
+// accounting only context-parallel cells fit, and the branch-and-bound
+// planner must land on the identical optimum as the exhaustive sweep —
+// exact rank bits, identity and breakdown.
+func TestSolveSPCPMemoryEquivalence(t *testing.T) {
+	m := transformer.Model{
+		Name:     "spcp-test",
+		Layers:   8,
+		Heads:    8,
+		Hidden:   512,
+		SeqLen:   2048,
+		Vocab:    1000,
+		FFNRatio: 4,
+	}
+	sys := hardware.System{
+		Name: "spcp-sys", Accel: hardware.NvidiaA100(),
+		Nodes: 2, AccelsPerNode: 4,
+		Intra:       hardware.NVLinkA100(),
+		Inter:       hardware.InfinibandHDR(),
+		NICsPerNode: 4,
+	}
+	// Under GPipe every non-CP cell holds the full 16-sequence batch's
+	// activations (~2.7 GB); cp = 2 shrinks the score matrices
+	// quadratically (~1.6 GB). 2.2 GB splits the two populations.
+	sys.Accel.Memory = 2.2e9
+	mem := &memkit.Config{Operands: precision.Mixed16(), Optimizer: memkit.Adam}
+	sc := explore.Scenario{
+		Model:    &m,
+		System:   &sys,
+		Training: model.Training{NumBatches: 10},
+		Memory:   mem,
+	}
+	opt := explore.Options{
+		Batches: []int{16},
+		Enumerate: parallel.EnumerateOptions{
+			PowerOfTwo:       true,
+			MaxCP:            2,
+			MaxVPP:           2,
+			SequenceParallel: true,
+		},
+		MicrobatchTarget: 4,
+		KeepInvalid:      true,
+	}
+
+	res, err := Solve(sc, opt)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	points, err := explore.Sweep(sc, opt)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	want, wantRank := sweepFront(points)
+	if want == nil || res.Best == nil {
+		t.Fatalf("space unexpectedly infeasible: sweep front %v, solver best %v", want, res.Best)
+	}
+	if res.RankSeconds != wantRank {
+		t.Errorf("rank_s diverged: solver %x, sweep %x", res.RankSeconds, wantRank)
+	}
+	if res.Best.String() != want.String() {
+		t.Errorf("optimum diverged: solver %q, sweep %q", res.Best.String(), want.String())
+	}
+	if res.Best.Breakdown == nil || *res.Best.Breakdown != *want.Breakdown {
+		t.Error("optimum breakdown not byte-identical")
+	}
+
+	// The optimum only exists because the accounting shards by cp: every
+	// cp = 1 cell in the space exceeds the device, so a regression back to
+	// the unsharded formula empties the feasible set.
+	if res.Best.Mapping.CP() <= 1 {
+		t.Fatalf("optimum %v does not engage context parallelism", res.Best)
+	}
+	var sawUnsharded bool
+	for i := range points {
+		p := &points[i]
+		if p.Err != nil || p.Mapping.CP() > 1 {
+			continue
+		}
+		sawUnsharded = true
+		if p.Fits {
+			t.Fatalf("cp=1 cell %v fits in %v — the budget no longer separates the populations", p, p.Footprint)
+		}
+	}
+	if !sawUnsharded {
+		t.Fatal("space contains no cp=1 cells to contrast against")
+	}
+
+	// Sequence parallelism is load-bearing the same way: the SP-off twin
+	// of the optimum carries the replicated norm tensors.
+	spOff := res.Best.Mapping
+	spOff.SequenceParallel = false
+	b := parallel.Batch{Global: res.Best.Batch, Microbatches: res.Best.Microbatches}
+	got, err := memkit.Estimate(&m, res.Best.Mapping, b, *mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := memkit.Estimate(&m, spOff, b, *mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Mapping.TP() > 1 && off.Activations <= got.Activations {
+		t.Errorf("SP-off footprint %v not above SP-on %v", off.Activations, got.Activations)
+	}
+	t.Logf("optimum %v, footprint %v, expanded %d of %d cells",
+		res.Best, res.Best.Footprint, res.Stats.CellsExpanded, res.Stats.CellsTotal)
 }
 
 // heteroTestModel is a small architecture the heterogeneous space stays

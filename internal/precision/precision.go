@@ -118,6 +118,21 @@ func (o Operands) MACScale(unit Precision) int {
 	return ScaleFactor(Max(o.Param, o.Act), unit)
 }
 
+// MACOperandBytes is the per-element byte size of the dominant-GEMM
+// operands, bytes(max(S_p, S_act)) — the roofline bytes-per-element. Every
+// bandwidth estimate (per-sublayer op pricing, RooflinePredictor,
+// efficiency.Roofline) shares this derivation so the paths cannot silently
+// disagree on the element size.
+func (o Operands) MACOperandBytes() float64 { return float64(Max(o.Param, o.Act).Bytes()) }
+
+// ActBytesF is the activation element size in bytes as a float — the
+// per-element size of streamed activation traffic in the roofline terms.
+func (o Operands) ActBytesF() float64 { return float64(o.Act.Bytes()) }
+
+// ParamBytesF is the parameter element size in bytes as a float — the
+// per-element size of streamed weight traffic in the roofline terms.
+func (o Operands) ParamBytesF() float64 { return float64(o.Param.Bytes()) }
+
 // NonlinScale returns the Eq. 2 pass count for a non-linear op:
 // ceil(S_nonlin/S_FU_nonlin).
 func (o Operands) NonlinScale(unit Precision) int {

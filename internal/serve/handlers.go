@@ -182,6 +182,14 @@ type SweepParams struct {
 	// MaxTP / MaxPP cap the enumerated degrees (0 = model limits).
 	MaxTP int `json:"max_tp,omitempty"`
 	MaxPP int `json:"max_pp,omitempty"`
+	// MaxCP caps the context-parallel degree (0 or 1 disables the
+	// dimension, keeping the legacy enumeration).
+	MaxCP int `json:"max_cp,omitempty"`
+	// MaxVPP caps the virtual-pipeline chunk count (0 or 1 disables
+	// interleaving).
+	MaxVPP int `json:"max_vpp,omitempty"`
+	// SequenceParallel enables sequence parallelism on every mapping.
+	SequenceParallel bool `json:"sequence_parallel,omitempty"`
 	// Top truncates the response to the fastest N points (default 20).
 	Top int `json:"top,omitempty"`
 	// KeepInvalid includes failed points (with their errors) in the
@@ -315,10 +323,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Batches:          req.Sweep.Batches,
 		MicrobatchTarget: req.Sweep.MicrobatchTarget,
 		Enumerate: parallel.EnumerateOptions{
-			PowerOfTwo:     req.Sweep.PowerOfTwo,
-			ExpertParallel: req.Sweep.ExpertParallel,
-			MaxTP:          req.Sweep.MaxTP,
-			MaxPP:          req.Sweep.MaxPP,
+			PowerOfTwo:       req.Sweep.PowerOfTwo,
+			ExpertParallel:   req.Sweep.ExpertParallel,
+			SequenceParallel: req.Sweep.SequenceParallel,
+			MaxTP:            req.Sweep.MaxTP,
+			MaxPP:            req.Sweep.MaxPP,
+			MaxCP:            req.Sweep.MaxCP,
+			MaxVPP:           req.Sweep.MaxVPP,
 		},
 		KeepInvalid: req.Sweep.KeepInvalid,
 		Progress:    &prog,

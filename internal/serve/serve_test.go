@@ -118,8 +118,8 @@ func TestEvaluateRoundTripAndSessionCache(t *testing.T) {
 	if resp.Workers != 8 || resp.PerBatchS <= 0 || resp.TotalS <= 0 || resp.TFLOPSPerGPU <= 0 {
 		t.Errorf("implausible evaluation: %+v", resp)
 	}
-	if len(resp.Breakdown) != 11 {
-		t.Errorf("breakdown has %d components, want 11", len(resp.Breakdown))
+	if len(resp.Breakdown) != 12 {
+		t.Errorf("breakdown has %d components, want 12", len(resp.Breakdown))
 	}
 	var sum float64
 	for _, v := range resp.Breakdown {

@@ -118,10 +118,13 @@ func sweepOptions(p SweepParams) explore.Options {
 		Batches:          p.Batches,
 		MicrobatchTarget: p.MicrobatchTarget,
 		Enumerate: parallel.EnumerateOptions{
-			PowerOfTwo:     p.PowerOfTwo,
-			ExpertParallel: p.ExpertParallel,
-			MaxTP:          p.MaxTP,
-			MaxPP:          p.MaxPP,
+			PowerOfTwo:       p.PowerOfTwo,
+			ExpertParallel:   p.ExpertParallel,
+			SequenceParallel: p.SequenceParallel,
+			MaxTP:            p.MaxTP,
+			MaxPP:            p.MaxPP,
+			MaxCP:            p.MaxCP,
+			MaxVPP:           p.MaxVPP,
 		},
 		KeepInvalid: p.KeepInvalid,
 	}

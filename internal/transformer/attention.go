@@ -124,6 +124,38 @@ func (m *Model) attentionNonlin(batch int) float64 {
 	return total
 }
 
+// attentionActElems counts the activation elements the attention sublayer
+// streams per forward pass under the active variant (see the LayerOps
+// streamed-byte conventions): two passes each over x, Q, the context and
+// the output ((8)·b·s·h), two passes each over K and V (4·kvFrac·b·s·h),
+// and four passes over the b·a·s·span score matrices (write, the softmax
+// read+write, the context-matmul read).
+func (m *Model) attentionActElems(batch int) float64 {
+	b := float64(batch)
+	s := float64(m.SeqLen)
+	h := float64(m.Hidden)
+	a := float64(m.Heads)
+	kvFrac := float64(m.kvHeads()) / float64(m.Heads)
+	total := (8+4*kvFrac)*b*s*h + 4*b*a*s*m.attnSpan()
+	if m.variant.CrossAttention {
+		se := m.encoderSeq()
+		total += 4*b*s*h + 4*kvFrac*b*se*h + 4*b*a*s*se
+	}
+	return total
+}
+
+// attentionWeightElems counts the weight elements streamed once per forward
+// pass: the same (2+2·kvFrac)·h² matrices the projections multiply by.
+func (m *Model) attentionWeightElems() float64 {
+	h := float64(m.Hidden)
+	kvFrac := float64(m.kvHeads()) / float64(m.Heads)
+	w := h * h * (2 + 2*kvFrac)
+	if m.variant.CrossAttention {
+		w += h * h * (2 + 2*kvFrac)
+	}
+	return w
+}
+
 // attentionParams counts the attention projections under the active
 // variant: Q and output are h×h, K and V shrink with the KV-head fraction.
 func (m *Model) attentionParams() float64 {

@@ -160,6 +160,15 @@ type Ops struct {
 	MACs units.Ops
 	// Nonlin is N_nonlin(l,i), non-linear elementwise operations.
 	Nonlin units.Ops
+	// ActElems counts the activation elements the sublayer streams through
+	// device memory in the forward pass (reads + writes), the bytes-side
+	// numerator of the per-sublayer roofline t_op = max(work/peak, bytes/bw).
+	// Element counts, not bytes: the operand precision is applied by the
+	// model layer. See layerOps for the counting conventions.
+	ActElems units.Ops
+	// WeightElems counts the weight elements the sublayer streams once per
+	// forward pass (each matrix read once).
+	WeightElems units.Ops
 }
 
 // LayerOps returns the forward-pass operation counts of block l for a batch
@@ -174,6 +183,22 @@ type Ops struct {
 //	MoE MLP MACs     = TopK·2·r·b·s·h² + b·s·h·E   (experts + gate)
 //	MLP nonlin       = opsGELU·b·s·r·h (per activated expert for MoE)
 //	norms nonlin     = 2·opsLayerNorm·b·s·h + 2·opsResidual·b·s·h
+//
+// Streamed-byte conventions (ActElems/WeightElems): every distinct
+// activation tensor costs one write plus one read (2 passes), and every
+// elementwise pass over an existing tensor (softmax over the scores, GELU
+// over the MLP interior, each residual's second operand) costs its extra
+// read+write. Weights are streamed once per forward pass. This yields:
+//
+//	attention act = (8+4k)·b·s·h + 4·b·a·s·w,  weights = (2+2k)·h²
+//	dense MLP act = 2·b·s·h + 4·r·b·s·h,       weights = 2·r·h²
+//	MoE MLP act   = TopK·dense + 2·b·s·E,      weights = TopK·2·r·h² + h·E
+//	norms act     = 10·b·s·h,                  weights = 4h
+//
+// (MoE weights count the activated experts only — the streaming view of
+// the same TopK convention the MAC count uses.) Like opsSoftmax/opsGELU,
+// these are fixed accounting conventions, not microarchitectural truth;
+// they exist so bandwidth-bound sublayers stop pricing as free.
 func (m *Model) LayerOps(l, batch int) []Ops {
 	ops := m.layerOps(l, batch)
 	return ops[:]
@@ -188,24 +213,34 @@ func (m *Model) layerOps(l, batch int) [3]Ops {
 	tokens := b * s
 
 	attn := Ops{
-		Sublayer: Attention,
-		MACs:     units.Ops(m.attentionMACs(batch)),
-		Nonlin:   units.Ops(m.attentionNonlin(batch)),
+		Sublayer:    Attention,
+		MACs:        units.Ops(m.attentionMACs(batch)),
+		Nonlin:      units.Ops(m.attentionNonlin(batch)),
+		ActElems:    units.Ops(m.attentionActElems(batch)),
+		WeightElems: units.Ops(m.attentionWeightElems()),
 	}
 
 	mlp := Ops{Sublayer: MLP}
+	denseAct := 2*tokens*h + 4*tokens*m.ffn()
+	denseW := 2 * h * m.ffn()
 	if m.IsMoELayer(l) {
 		k := float64(m.topK())
 		mlp.MACs = units.Ops(k*2*tokens*h*m.ffn() + tokens*h*float64(m.Experts))
 		mlp.Nonlin = units.Ops(k * opsGELU * tokens * m.ffn())
+		mlp.ActElems = units.Ops(k*denseAct + 2*tokens*float64(m.Experts))
+		mlp.WeightElems = units.Ops(k*denseW + h*float64(m.Experts))
 	} else {
 		mlp.MACs = units.Ops(2 * tokens * h * m.ffn())
 		mlp.Nonlin = units.Ops(opsGELU * tokens * m.ffn())
+		mlp.ActElems = units.Ops(denseAct)
+		mlp.WeightElems = units.Ops(denseW)
 	}
 
 	norms := Ops{
-		Sublayer: Norms,
-		Nonlin:   units.Ops((2*opsLayerNorm + 2*opsResidual) * tokens * h),
+		Sublayer:    Norms,
+		Nonlin:      units.Ops((2*opsLayerNorm + 2*opsResidual) * tokens * h),
+		ActElems:    units.Ops(10 * tokens * h),
+		WeightElems: units.Ops(4 * h),
 	}
 
 	return [3]Ops{attn, mlp, norms}
@@ -240,6 +275,17 @@ func (m *Model) LayerNonlin(l, batch int) units.Ops {
 // (b·s·h·V). The input embedding is a lookup and contributes no MACs.
 func (m *Model) EmbeddingMACs(batch int) units.Ops {
 	return units.Ops(float64(batch) * float64(m.SeqLen) * float64(m.Hidden) * float64(m.Vocab))
+}
+
+// EmbeddingStreamElems returns the activation and weight element counts the
+// logit projection streams per forward pass, under the same conventions as
+// LayerOps: the hidden stream is read once (b·s·h), the logits written once
+// (b·s·V), and the tied V×h matrix streamed once.
+func (m *Model) EmbeddingStreamElems(batch int) (act, weight units.Ops) {
+	tokens := float64(batch) * float64(m.SeqLen)
+	act = units.Ops(tokens*float64(m.Hidden) + tokens*float64(m.Vocab))
+	weight = units.Ops(float64(m.Hidden) * float64(m.Vocab))
+	return act, weight
 }
 
 // ForwardMACs counts all forward-pass MACs for one batch: every block plus
