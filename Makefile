@@ -2,7 +2,7 @@
 # external tools — so every target works in the bare module checkout.
 
 GO ?= go
-SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$|BenchmarkSolveGPT3$$'
+SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$|BenchmarkSolveGPT3$$|BenchmarkSessionEvaluateInferencePoint$$'
 SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced|Roofline)?$$|BenchmarkShardedSweep$$'
 BATCH_BENCH := 'BenchmarkEvaluateBatch|BenchmarkSessionEvaluatePoint$$'
 
@@ -45,6 +45,7 @@ audit:
 	$(GO) test -race -count=1 -run Shard ./internal/serve
 	$(GO) test -race -count=1 ./internal/serve ./internal/obs
 	$(GO) test -race -count=1 ./internal/plan
+	$(GO) test -race -count=1 -run Infer ./internal/model ./internal/audit ./internal/serve ./internal/config
 	$(GO) test -race ./...
 
 ## bench runs every benchmark once, without touching the ledger.

@@ -67,6 +67,13 @@ type (
 	Session = model.Session
 	// Breakdown is the evaluated per-phase time decomposition.
 	Breakdown = model.Breakdown
+	// Inference describes a serving workload (prompt + generation lengths).
+	Inference = model.Inference
+	// InferenceSession is a compiled serving scenario; build one with
+	// CompileInference to price TTFT and per-token decode steps in O(1).
+	InferenceSession = model.InferenceSession
+	// InferenceBreakdown is the evaluated serving phase decomposition.
+	InferenceBreakdown = model.InferenceBreakdown
 	// Operands bundles the operand precisions (S_p, S_act, S_nonlin, S_g).
 	Operands = precision.Operands
 	// Precision is an operand width in bits.
@@ -132,6 +139,14 @@ func EvaluateWithEfficiency(m *Model, sys *System, mp Mapping, tr Training, eff 
 // default saturating curve.
 func Compile(m *Model, sys *System, tr Training, eff EfficiencyModel) (*Session, error) {
 	return model.Compile(m, sys, tr, eff)
+}
+
+// CompileInference validates a serving scenario once and returns the
+// compiled InferenceSession — the fast path for pricing many mappings of
+// the same model/system/workload tuple. A nil efficiency model selects the
+// default saturating curve.
+func CompileInference(m *Model, sys *System, tr Training, eff EfficiencyModel, inf Inference) (*InferenceSession, error) {
+	return model.CompileInference(m, sys, tr, eff, inf)
 }
 
 // Sweep evaluates every (mapping, batch) combination of a scenario; see

@@ -264,6 +264,33 @@ func BenchmarkSessionEvaluatePoint(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionEvaluateInferencePoint isolates the serving fast path:
+// one prepared InferenceSession evaluated at a fixed mapping into a reused
+// InferenceBreakdown — the inner loop of the serving planner and the
+// /v1/infer endpoint, expected to run allocation-free like the training
+// twin. Roofline pricing is on so the KV-cache read term is exercised.
+func BenchmarkSessionEvaluateInferencePoint(b *testing.B) {
+	m := amped.Megatron145B()
+	sys := amped.CaseStudy1System()
+	sys.Accel.MemBW = 2e12
+	sess, err := amped.CompileInference(&m, &sys, amped.Training{Roofline: true}, nil,
+		amped.Inference{PromptLen: 1024, GenTokens: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.Prepare(1024)
+	mp := amped.Mapping{TPIntra: 8, PPInter: 2, DPInter: 64}
+	var bd amped.InferenceBreakdown
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.EvaluateInferencePoint(mp, 1024, &bd); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bd.TokensPerSecond(), "tokens/s")
+}
+
 // BenchmarkSessionEvaluatePointRoofline is BenchmarkSessionEvaluatePoint
 // with roofline op pricing and gradient-comm overlap engaged — the priced-up
 // hot path of the memory-bandwidth model. The gap against the plain

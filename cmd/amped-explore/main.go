@@ -74,6 +74,11 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		maxVPP    = fs.Int("max-vpp", 0, "max virtual-pipeline chunks per stage (0 or 1 disables interleaving)")
 		sp        = fs.Bool("sp", false, "enable sequence parallelism in every mapping")
 		solve     = fs.Bool("solve", false, "run the branch-and-bound planner instead of the exhaustive sweep and print pruning statistics")
+		workload  = fs.String("workload", "training", "workload to rank mappings for (training, inference)")
+		promptLen = fs.Int("prompt", 1024, "inference prompt length in tokens")
+		genTokens = fs.Int("gen", 256, "inference generated tokens per request")
+		servBatch = fs.Int("serve-batch", 64, "inference concurrent-sequence count across the fleet")
+		occupancy = fs.Float64("occupancy", 0, "continuous-batching occupancy in (0,1] (0 = off)")
 		heteroStr = fs.String("hetero", "", "mixed accelerator pools as preset:count pairs, e.g. a100:8,h100:8 (implies -solve; stage assignment is searched jointly)")
 		schedStr  = fs.String("schedule", "1f1b", "pipeline schedule for the -hetero simulation (1f1b, gpipe)")
 		progress  = fs.Bool("progress", false, "report live sweep progress on stderr")
@@ -186,6 +191,15 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 			MaxVPP:           *maxVPP,
 		},
 		MicrobatchTarget: *target,
+	}
+	switch *workload {
+	case "", "training":
+	case "inference":
+		return runInference(out, sc, opt,
+			model.Inference{PromptLen: *promptLen, GenTokens: *genTokens},
+			*servBatch, *occupancy)
+	default:
+		return fmt.Errorf("unknown workload %q (want training or inference)", *workload)
 	}
 	if *solve || *heteroStr != "" {
 		return runSolve(out, sc, opt, *heteroStr, *schedStr)
@@ -339,6 +353,62 @@ func runSolve(out io.Writer, sc explore.Scenario, opt explore.Options, pools, sc
 	fmt.Fprintf(out, "hetero best: %s -> %.1f days\n", b.ID, b.Value/86400)
 	for i, pool := range sp.Pools {
 		fmt.Fprintf(out, "  %-6s serves %d of %d pipeline stages\n", pool.Name, b.Counts[i], b.PP)
+	}
+	return nil
+}
+
+// runInference ranks serving mappings by tokens/s: the branch-and-bound
+// planner minimizes the per-token step time of the fixed concurrent-sequence
+// count under the session's admissible relaxed-MoE bound, with the KV-aware
+// feasibility gate discarding mappings whose decode state cannot fit. KV
+// reads are priced whenever the accelerator models its memory bandwidth
+// (roofline pricing engages automatically).
+func runInference(out io.Writer, sc explore.Scenario, opt explore.Options,
+	inf model.Inference, batch int, occupancy float64) error {
+	tr := sc.Training
+	tr.Roofline = sc.System.Accel.MemBW > 0
+	eff := sc.Eff
+	if occupancy > 0 {
+		cb := efficiency.ContinuousBatching{Base: eff, Occupancy: occupancy}
+		if err := cb.Validate(); err != nil {
+			return err
+		}
+		eff = cb
+	}
+	sess, err := model.CompileInference(sc.Model, sc.System, tr, eff, inf)
+	if err != nil {
+		return err
+	}
+	res, err := plan.SolveInference(sess, plan.InferenceOptions{
+		Batch:         batch,
+		Enumerate:     opt.Enumerate,
+		MemoryReserve: 0.1,
+	})
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(out, "%s: serving search over %d mappings (prompt %d, gen %d, %d concurrent seqs)\n",
+		sc.Name, st.CellsTotal, inf.PromptLen, inf.GenTokens, batch)
+	fmt.Fprintf(out, "  expanded   %6d (%.1f%% of the space)\n", st.CellsExpanded, 100*st.ExpandedFraction())
+	fmt.Fprintf(out, "  bounded    %6d cut off by the admissible lower bound\n", st.CellsBounded)
+	fmt.Fprintf(out, "  kv-pruned  %6d over the KV-aware concurrency ceiling\n", st.CellsPrunedMemory)
+	fmt.Fprintf(out, "  infeasible %6d unrankable (validation)\n", st.CellsInfeasible)
+	if res.Best == nil {
+		fmt.Fprintln(out, "no feasible serving mapping")
+		return nil
+	}
+	b := res.Best.Breakdown
+	fmt.Fprintf(out, "best: %v -> %.1f tokens/s fleet decode throughput\n",
+		res.Best.Mapping, res.TokensPerSecond)
+	fmt.Fprintf(out, "  TTFT        %8.2f ms\n", float64(b.TTFT())*1e3)
+	fmt.Fprintf(out, "  per-token   %8.3f ms/step\n", float64(b.PerToken())*1e3)
+	fmt.Fprintf(out, "  request     %8.2f s end-to-end (%d generated tokens)\n",
+		float64(b.RequestLatency()), inf.GenTokens)
+	fmt.Fprintf(out, "  KV cache    %8.1f MiB per sequence per accelerator\n",
+		float64(b.KVBytesPerSeq)/(1<<20))
+	if res.Best.MaxSeqs > 0 {
+		fmt.Fprintf(out, "  max seqs    %8d per replica (KV-aware ceiling)\n", res.Best.MaxSeqs)
 	}
 	return nil
 }

@@ -1,0 +1,22 @@
+package audit
+
+import "math/rand"
+
+// GenerateInference draws one random serving scenario that is valid by
+// construction: the underlying (model, system, mapping, recipe) tuple comes
+// from Generate, the prompt takes half the drawn sequence length and the
+// generation a quarter (so prompt >= 64 always dominates the drawn CP
+// degrees and prompt+generate fits the trained context), and the
+// concurrent-sequence count reuses the drawn batch's global size, which
+// divides the data-parallel degree by construction.
+func GenerateInference(r *rand.Rand) InferenceScenario {
+	sc := Generate(r)
+	s := sc.Model.SeqLen
+	inf := InferenceScenario{
+		Scenario: sc,
+		Batch:    sc.Training.Batch.Global,
+	}
+	inf.Inference.PromptLen = s / 2
+	inf.Inference.GenTokens = pickI(r, []int{1, s / 8, s / 4})
+	return inf
+}

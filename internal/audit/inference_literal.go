@@ -1,0 +1,271 @@
+package audit
+
+import (
+	"errors"
+	"math"
+
+	"amped/internal/efficiency"
+	"amped/internal/model"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// InferenceScenario is one serving design point for the differential
+// harness: a training-style scenario plus the workload shape and the
+// concurrent-sequence count (the mapping's batch schedule is unused —
+// inference has no microbatching).
+type InferenceScenario struct {
+	Scenario
+	Inference model.Inference
+	Batch     int
+}
+
+// InferenceLiteral evaluates the serving scenario by transcribing the
+// phase decomposition naively: explicit per-layer, per-sublayer loops over
+// the prefill ops at the prompt length and the decode ops at the mean
+// cache depth, with the pricing (peak rates, precision passes, link
+// constants, topology factors, roofline maxima) re-derived from the raw
+// scenario fields exactly like Literal. It shares only the op/parameter
+// counts and schedule arithmetic with the production InferenceSession, so
+// any slip in the compiled session's hoisting or aggregate folding shows
+// up as a divergence.
+//
+// Like Literal, it assumes a scenario the production evaluator accepts and
+// performs no input validation of its own.
+func InferenceLiteral(sc *InferenceScenario) (*model.InferenceBreakdown, error) {
+	m := &sc.Model
+	sys := &sc.System
+	tr := literalDefaults(sc.Training)
+	mp := sc.Mapping.Normalized()
+	effModel := sc.Eff
+	if effModel == nil {
+		effModel = efficiency.Default()
+	}
+
+	// The prefill pass runs the model truncated to the prompt; the decode
+	// steps read the original model's window against the mean cache depth.
+	pm := m.AtSeqLen(sc.Inference.PromptLen)
+	kmean := sc.Inference.PromptLen + (sc.Inference.GenTokens+1)/2
+
+	B := sc.Batch
+	L := float64(m.Layers)
+	s := float64(pm.SeqLen)
+	h := float64(m.Hidden)
+	workers := float64(mp.Workers())
+	pp := float64(mp.PP())
+	cp := float64(mp.CP())
+	vpp := float64(mp.VPP)
+	br := float64(B / mp.DP())
+	eff := effModel.Eff(br)
+
+	// Pricing constants, re-derived from raw fields (see Literal).
+	peakMAC := float64(sys.Accel.Freq) * float64(sys.Accel.Cores) *
+		float64(sys.Accel.MACUnits) * float64(sys.Accel.MACWidth)
+	cMAC := 1 / (peakMAC * eff)
+	cNonlin := 1 / (float64(sys.Accel.Freq) * float64(sys.Accel.NonlinUnits) * float64(sys.Accel.NonlinWidth))
+	macScale := literalPasses(maxPrec(tr.Operands.Param, tr.Operands.Act), sys.Accel.MACPrecision)
+	nonlinScale := literalPasses(tr.Operands.Nonlin, sys.Accel.NonlinPrecision)
+
+	intraLat := float64(sys.Intra.Latency)
+	intraBW := float64(sys.Intra.Bandwidth)
+	interLat := float64(sys.Inter.Latency)
+	over := sys.Oversubscription
+	if over < 1 {
+		over = 1
+	}
+	interBW := float64(sys.Inter.Bandwidth) * float64(sys.NICsPerNode) /
+		float64(sys.AccelsPerNode) / over
+
+	actBits := float64(tr.Operands.Act.Bits())
+	ar := tr.Topology.AllReduce
+
+	roofline := tr.Roofline && sys.Accel.MemBW > 0
+	memBWBytes := float64(sys.Accel.MemBW) / 8
+	actBytes := float64(tr.Operands.Act.Bits()) / 8
+	paramBytes := float64(tr.Operands.Param.Bits()) / 8
+	exposed := 1 - tr.CommOverlap
+
+	// priceOps prices one sublayer's op counts, KV-cache reads included as
+	// streamed activation bytes (they are zero for prefill ops).
+	priceOps := func(op transformer.Ops) float64 {
+		t := float64(op.MACs)*cMAC*macScale + float64(op.Nonlin)*cNonlin*nonlinScale
+		if roofline {
+			act := (float64(op.ActElems) + float64(op.KVElems)) * actBytes
+			if op.Sublayer == transformer.Norms && !mp.SequenceParallel {
+				act *= float64(mp.TP())
+			}
+			if mem := (act + float64(op.WeightElems)*paramBytes) / memBWBytes; mem > t {
+				t = mem
+			}
+		}
+		return t
+	}
+
+	// Prefill compute: the forward pass at the prompt length.
+	var ufPre, macPre float64
+	for l := 0; l < pm.Layers; l++ {
+		for _, op := range pm.LayerOps(l, B) {
+			ufPre += priceOps(op)
+			macPre += float64(op.MACs)
+		}
+	}
+	if tr.IncludeEmbedding {
+		emb := float64(pm.EmbeddingMACs(B))
+		t := emb * cMAC * macScale
+		if roofline {
+			eAct, eWeight := pm.EmbeddingStreamElems(B)
+			if mem := (float64(eAct)*actBytes + float64(eWeight)*paramBytes) / memBWBytes; mem > t {
+				t = mem
+			}
+		}
+		ufPre += t
+		macPre += emb
+	}
+
+	// Prefill communication: forward-only Eq. 6/7/9 at the prompt length,
+	// with the pipeline paying every boundary on the first token's path.
+	var tpIntraPre, tpInterPre float64
+	for l := 0; l < m.Layers; l++ {
+		nAct := 2 * br * s * h / cp
+		tpIntraPre += literalAllReduce(ar, mp.TPIntra, nAct*actBits, intraLat, intraBW)
+		tpInterPre += literalAllReduce(ar, mp.TPInter, nAct*actBits, interLat, interBW)
+	}
+	var ppPre float64
+	if mp.PP() > 1 {
+		var pi, pe float64
+		if mp.PPIntra > 1 {
+			pi = intraLat + br*s*h/cp*actBits/intraBW
+		}
+		if mp.PPInter > 1 {
+			pe = interLat + br*s*h/cp*actBits/interBW
+		}
+		if pe > pi {
+			pi = pe
+		}
+		ppPre = pi * (pp - 1)
+	}
+	var cpPre float64
+	if mp.CP() > 1 {
+		kvFrac := float64(m.KVHeads()) / float64(m.Heads)
+		for l := 0; l < m.Layers; l++ {
+			nAct := 2 * br * s * h * kvFrac / cp
+			cpPre += literalAllReduce(ar, mp.CPIntra, nAct*actBits, intraLat, intraBW)
+			cpPre += literalAllReduce(ar, mp.CPInter, nAct*actBits, interLat, interBW)
+		}
+	}
+	var moePre float64
+	if m.MoE() && mp.ExpertParallel {
+		n := float64(sys.Nodes)
+		tMoE := literalFactor(tr.Topology.AllToAll, sys.Nodes)
+		for l := 0; l < m.Layers; l++ {
+			if !m.IsMoELayer(l) {
+				continue
+			}
+			moePre += 2*interLat*tMoE*n +
+				2*br*s*h/cp*actBits*tMoE*(1/(n*intraBW)+(n-1)/(n*interBW))
+		}
+	}
+
+	// Decode compute: one token per sequence against the mean-depth cache.
+	var ufDec, macDec float64
+	for l := 0; l < m.Layers; l++ {
+		for _, op := range m.DecodeLayerOps(l, B, kmean) {
+			ufDec += priceOps(op)
+			macDec += float64(op.MACs)
+		}
+	}
+	if tr.IncludeEmbedding {
+		emb := float64(m.DecodeEmbeddingMACs(B))
+		t := emb * cMAC * macScale
+		if roofline {
+			eAct, eWeight := m.DecodeEmbeddingStreamElems(B)
+			if mem := (float64(eAct)*actBytes + float64(eWeight)*paramBytes) / memBWBytes; mem > t {
+				t = mem
+			}
+		}
+		ufDec += t
+		macDec += emb
+	}
+
+	// Decode communication: the prefill formulas with the sequence collapsed
+	// to the single new token, steady-state pipeline (one boundary crossing
+	// per virtual chunk).
+	var tpIntraDec, tpInterDec float64
+	for l := 0; l < m.Layers; l++ {
+		nAct := 2 * br * h / cp
+		tpIntraDec += literalAllReduce(ar, mp.TPIntra, nAct*actBits, intraLat, intraBW)
+		tpInterDec += literalAllReduce(ar, mp.TPInter, nAct*actBits, interLat, interBW)
+	}
+	var ppDec float64
+	if mp.PP() > 1 {
+		var pi, pe float64
+		if mp.PPIntra > 1 {
+			pi = intraLat + br*h/cp*actBits/intraBW
+		}
+		if mp.PPInter > 1 {
+			pe = interLat + br*h/cp*actBits/interBW
+		}
+		if pe > pi {
+			pi = pe
+		}
+		ppDec = pi * vpp
+	}
+	var cpDec float64
+	if mp.CP() > 1 {
+		kvFrac := float64(m.KVHeads()) / float64(m.Heads)
+		for l := 0; l < m.Layers; l++ {
+			nAct := 2 * br * h * kvFrac / cp
+			cpDec += literalAllReduce(ar, mp.CPIntra, nAct*actBits, intraLat, intraBW)
+			cpDec += literalAllReduce(ar, mp.CPInter, nAct*actBits, interLat, interBW)
+		}
+	}
+	var moeDec float64
+	if m.MoE() && mp.ExpertParallel {
+		n := float64(sys.Nodes)
+		tMoE := literalFactor(tr.Topology.AllToAll, sys.Nodes)
+		for l := 0; l < m.Layers; l++ {
+			if !m.IsMoELayer(l) {
+				continue
+			}
+			moeDec += 2*interLat*tMoE*n +
+				2*br*h/cp*actBits*tMoE*(1/(n*intraBW)+(n-1)/(n*interBW))
+		}
+	}
+
+	// KV-cache footprint at full context, re-derived: keys and values per
+	// layer at the KV-head width over the live span, sharded by TP and CP.
+	ctx := sc.Inference.PromptLen + sc.Inference.GenTokens
+	live := m.DecodeSpan(ctx)
+	kvFrac := float64(m.KVHeads()) / float64(m.Heads)
+	kvBytes := 2 * L * live * kvFrac * h * actBytes / (float64(mp.TP()) * float64(mp.CP()))
+
+	bd := &model.InferenceBreakdown{
+		PrefillCompute:     units.Seconds(pp * ufPre / workers),
+		PrefillTPIntraComm: units.Seconds(exposed * tpIntraPre),
+		PrefillTPInterComm: units.Seconds(exposed * tpInterPre),
+		PrefillPPComm:      units.Seconds(exposed * ppPre),
+		PrefillCPComm:      units.Seconds(exposed * cpPre),
+		PrefillMoEComm:     units.Seconds(exposed * moePre),
+		DecodeCompute:      units.Seconds(ufDec / workers),
+		DecodeTPIntraComm:  units.Seconds(exposed * tpIntraDec),
+		DecodeTPInterComm:  units.Seconds(exposed * tpInterDec),
+		DecodePPComm:       units.Seconds(exposed * ppDec),
+		DecodeCPComm:       units.Seconds(exposed * cpDec),
+		DecodeMoEComm:      units.Seconds(exposed * moeDec),
+		GlobalBatch:        B,
+		BatchPerReplica:    br,
+		Efficiency:         eff,
+		Workers:            mp.Workers(),
+		PromptLen:          sc.Inference.PromptLen,
+		GenTokens:          sc.Inference.GenTokens,
+		PrefillFLOPs:       units.FLOPs(macPre * units.FLOPsPerMAC),
+		DecodeFLOPs:        units.FLOPs(macDec * units.FLOPsPerMAC),
+		KVBytesPerSeq:      units.Bytes(kvBytes),
+	}
+	for _, c := range bd.Components() {
+		if math.IsNaN(float64(c.Time)) || math.IsInf(float64(c.Time), 0) {
+			return bd, errors.New("audit: inference literal produced non-finite time")
+		}
+	}
+	return bd, nil
+}

@@ -149,12 +149,15 @@ func Literal(sc *Scenario) (*model.Breakdown, error) {
 	}
 
 	// Context-parallel K/V exchange: each layer passes the rank's
-	// 2·ub·(s/N_CP)·h key/value shard around the CP group, hierarchically
-	// intra- then inter-node like the TP all-reduce.
+	// 2·ub·(s/N_CP)·kvFrac·h key/value shard around the CP group,
+	// hierarchically intra- then inter-node like the TP all-reduce. The
+	// exchanged tensors are keys and values, so under grouped-query
+	// attention they are only KVHeads/Heads of the hidden width.
 	var cpComm float64
 	if mp.CP() > 1 {
+		kvFrac := float64(m.KVHeads()) / float64(m.Heads)
 		for l := 0; l < m.Layers; l++ {
-			nAct := 2 * ub * s * h / cp
+			nAct := 2 * ub * s * h * kvFrac / cp
 			cpComm += literalAllReduce(ar, mp.CPIntra, nAct*actBits, intraLat, intraBW)
 			cpComm += literalAllReduce(ar, mp.CPInter, nAct*actBits, interLat, interBW)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"amped/internal/efficiency"
 	"amped/internal/model"
+	"amped/internal/transformer"
 	"amped/internal/units"
 )
 
@@ -22,6 +23,7 @@ func invariants(sc *Scenario, bd *model.Breakdown, tol float64) []string {
 	out = append(out, invCollapseDP(sc)...)
 	out = append(out, invCollapsePP(sc)...)
 	out = append(out, invCollapseCP(sc)...)
+	out = append(out, invCollapseVariant(sc)...)
 	return out
 }
 
@@ -192,6 +194,42 @@ func invCollapsePP(sc *Scenario) []string {
 	if bd.PPComm != 0 || bd.Bubble != 0 {
 		return []string{fmt.Sprintf("invariant: PP=1 has PP comm %v and bubble %v, want zero",
 			bd.PPComm, bd.Bubble)}
+	}
+	return nil
+}
+
+// invCollapseVariant checks the attention-variant machinery collapses to
+// the identity: a model carrying the explicit no-op variant (KVHeads =
+// Heads, Window = SeqLen) must evaluate bit-identically to the same
+// architecture with no variant attached. Every kvFrac factor is exactly
+// 1.0 and every span exactly SeqLen, so any divergence means a variant
+// term leaked into a path that should not see it (or a fix applied the
+// fraction inconsistently across the evaluators).
+func invCollapseVariant(sc *Scenario) []string {
+	m := sc.Model
+	plain := transformer.Model{
+		Name: m.Name, Layers: m.Layers, Hidden: m.Hidden, Heads: m.Heads,
+		SeqLen: m.SeqLen, Vocab: m.Vocab, FFNRatio: m.FFNRatio,
+		Experts: m.Experts, MoEEvery: m.MoEEvery, TopK: m.TopK,
+	}
+	ident, err := transformer.Variant{KVHeads: plain.Heads, Window: plain.SeqLen}.Apply(plain)
+	if err != nil {
+		return []string{fmt.Sprintf("invariant: identity variant rejected: %v", err)}
+	}
+	a := *sc
+	a.Model = plain
+	b := *sc
+	b.Model = ident
+	bdA, errA := evalDerived(&a)
+	bdB, errB := evalDerived(&b)
+	if errA != nil || errB != nil {
+		if (errA == nil) != (errB == nil) {
+			return []string{fmt.Sprintf("invariant: identity variant error disagreement: %v vs %v", errA, errB)}
+		}
+		return nil
+	}
+	if *bdA != *bdB {
+		return []string{"invariant: identity variant (KVHeads=Heads, Window=SeqLen) diverged bit-wise from the plain model"}
 	}
 	return nil
 }

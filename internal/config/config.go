@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"amped/internal/hardware"
+	"amped/internal/model"
 	"amped/internal/parallel"
 	"amped/internal/precision"
 	"amped/internal/transformer"
@@ -337,14 +338,45 @@ type Reliability struct {
 	Optimizer string `json:"optimizer,omitempty"`
 }
 
+// Inference configures the serving workload, selected by
+// workload: "inference". The training section still supplies the precision
+// operands, topology, roofline switch and efficiency curve; its
+// global_batch is ignored (the serving batch lives here).
+type Inference struct {
+	// PromptLen is the prompt length in tokens (the prefill pass).
+	PromptLen int `json:"prompt_len"`
+	// GenTokens is the number of tokens generated per request.
+	GenTokens int `json:"gen_tokens"`
+	// GlobalBatch is the concurrent-sequence count across the fleet; it
+	// must divide the data-parallel degree.
+	GlobalBatch int `json:"global_batch"`
+	// Occupancy, when set, wraps the efficiency curve in continuous
+	// batching: the kernel batch the accelerator sees is only this fraction
+	// of the admitted sequences (scheduler gaps, ragged generation).
+	Occupancy float64 `json:"occupancy,omitempty"`
+}
+
+// Resolve produces the domain workload.
+func (i *Inference) Resolve() model.Inference {
+	return model.Inference{PromptLen: i.PromptLen, GenTokens: i.GenTokens}
+}
+
 // Document is a complete design point.
 type Document struct {
+	// Workload selects what the point evaluates: "" or "training" runs the
+	// paper's training model; "inference" prices the serving workload in the
+	// inference section instead.
+	Workload    string       `json:"workload,omitempty"`
 	Model       Model        `json:"model"`
 	System      System       `json:"system"`
 	Mapping     Mapping      `json:"mapping"`
 	Training    Training     `json:"training"`
+	Inference   *Inference   `json:"inference,omitempty"`
 	Reliability *Reliability `json:"reliability,omitempty"`
 }
+
+// IsInference reports whether the document selects the serving workload.
+func (d *Document) IsInference() bool { return d.Workload == "inference" }
 
 // Load reads and parses a document from path.
 func Load(path string) (*Document, error) {
@@ -364,8 +396,20 @@ func Parse(data []byte) (*Document, error) {
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("config: %w", err)
 	}
-	if doc.Training.GlobalBatch <= 0 {
-		return nil, errors.New("config: training.global_batch must be positive")
+	switch doc.Workload {
+	case "", "training":
+		if doc.Training.GlobalBatch <= 0 {
+			return nil, errors.New("config: training.global_batch must be positive")
+		}
+	case "inference":
+		if doc.Inference == nil {
+			return nil, errors.New("config: workload \"inference\" requires an inference section")
+		}
+		if doc.Inference.GlobalBatch <= 0 {
+			return nil, errors.New("config: inference.global_batch must be positive")
+		}
+	default:
+		return nil, fmt.Errorf("config: unknown workload %q (want \"training\" or \"inference\")", doc.Workload)
 	}
 	return &doc, nil
 }

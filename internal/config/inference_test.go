@@ -1,0 +1,112 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"amped/internal/efficiency"
+)
+
+// inferenceDoc exercises the serving workload end to end: a GQA preset,
+// roofline pricing (so KV reads are priced), and a continuous-batching
+// occupancy wrap over the efficiency curve.
+const inferenceDoc = `{
+  "workload": "inference",
+  "model": {"preset": "llama-70b"},
+  "system": {
+    "name": "serving-pod",
+    "accelerator": {"preset": "a100", "mem_bw_bps": "2T"},
+    "nodes": 2,
+    "accels_per_node": 8,
+    "intra": {"name": "nvlink", "latency_s": 2e-6, "bandwidth_bps": "2.4T"},
+    "inter": {"name": "hdr", "latency_s": 5e-6, "bandwidth_bps": "200G"}
+  },
+  "mapping": {"tp_intra": 8, "dp_inter": 2},
+  "training": {"global_batch": 1, "roofline": true},
+  "inference": {"prompt_len": 1024, "gen_tokens": 256, "global_batch": 16,
+                "occupancy": 0.85}
+}`
+
+func TestInferenceWorkloadResolution(t *testing.T) {
+	doc, err := Parse([]byte(inferenceDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.IsInference() {
+		t.Fatal("workload discriminator not parsed")
+	}
+	comp, inf, batch, err := doc.InferenceScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.PromptLen != 1024 || inf.GenTokens != 256 || batch != 16 {
+		t.Fatalf("workload = %+v batch %d, want 1024/256 at 16", inf, batch)
+	}
+	if _, ok := comp.Eff.(efficiency.ContinuousBatching); !ok {
+		t.Errorf("occupancy did not wrap the efficiency curve: %T", comp.Eff)
+	}
+	sess, err := comp.CompileInference(inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Key() != comp.InferenceKey(inf) {
+		t.Errorf("components key %q != compiled session key %q",
+			comp.InferenceKey(inf), sess.Key())
+	}
+	b, err := sess.Evaluate(doc.Mapping.Resolve(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TTFT() <= 0 || b.PerToken() <= 0 || b.TokensPerSecond() <= 0 {
+		t.Errorf("degenerate serving point: TTFT %v, per-token %v", b.TTFT(), b.PerToken())
+	}
+	if b.KVBytesPerSeq <= 0 {
+		t.Error("GQA preset produced no KV-cache footprint")
+	}
+}
+
+// TestInferenceWorkloadParseRules pins the schema gate: inference docs may
+// omit training.global_batch but must carry an inference section, training
+// docs must not lose the batch requirement, and typo'd workloads fail.
+func TestInferenceWorkloadParseRules(t *testing.T) {
+	// training.global_batch is not required for inference docs.
+	relaxed := strings.Replace(inferenceDoc, `"global_batch": 1, `, ``, 1)
+	if _, err := Parse([]byte(relaxed)); err != nil {
+		t.Errorf("inference doc without training batch rejected: %v", err)
+	}
+	bad := []struct {
+		name, doc string
+	}{
+		{"missing inference section",
+			`{"workload":"inference","model":{"preset":"mingpt"},"training":{"global_batch":8}}`},
+		{"non-positive serving batch",
+			`{"workload":"inference","model":{"preset":"mingpt"},"inference":{"prompt_len":64,"gen_tokens":8}}`},
+		{"unknown workload",
+			`{"workload":"serving","model":{"preset":"mingpt"},"training":{"global_batch":8}}`},
+		{"training doc without batch",
+			`{"workload":"training","model":{"preset":"mingpt"}}`},
+	}
+	for _, tc := range bad {
+		if _, err := Parse([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// A training document does not resolve as a serving scenario.
+	doc, err := Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := doc.InferenceScenario(); err == nil {
+		t.Error("training doc resolved as inference scenario")
+	}
+
+	// Out-of-range occupancy is rejected at resolution.
+	badOcc := strings.Replace(inferenceDoc, `"occupancy": 0.85`, `"occupancy": 1.5`, 1)
+	doc, err = Parse([]byte(badOcc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := doc.InferenceScenario(); err == nil {
+		t.Error("occupancy 1.5 accepted")
+	}
+}

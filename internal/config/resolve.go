@@ -1,6 +1,7 @@
 package config
 
 import (
+	"errors"
 	"fmt"
 
 	"amped/internal/efficiency"
@@ -196,6 +197,40 @@ func (c *Components) Key() string {
 // Compile compiles the components into an evaluation session.
 func (c *Components) Compile() (*model.Session, error) {
 	return model.Compile(&c.Model, &c.System, c.Training, c.Eff)
+}
+
+// InferenceKey returns the canonical cache key of the components plus the
+// serving workload.
+func (c *Components) InferenceKey(inf model.Inference) string {
+	return model.InferenceScenarioKey(&c.Model, &c.System, c.Training, c.Eff, inf)
+}
+
+// CompileInference compiles the components into a serving session for the
+// given workload.
+func (c *Components) CompileInference(inf model.Inference) (*model.InferenceSession, error) {
+	return model.CompileInference(&c.Model, &c.System, c.Training, c.Eff, inf)
+}
+
+// InferenceScenario resolves an inference-workload document into the
+// serving tuple: the mapping-independent components (with the efficiency
+// curve wrapped in continuous batching when occupancy is set), the
+// workload, and the concurrent-sequence count.
+func (d *Document) InferenceScenario() (*Components, model.Inference, int, error) {
+	if !d.IsInference() || d.Inference == nil {
+		return nil, model.Inference{}, 0, errors.New("config: document does not select workload \"inference\"")
+	}
+	comp, err := d.Components()
+	if err != nil {
+		return nil, model.Inference{}, 0, err
+	}
+	if occ := d.Inference.Occupancy; occ != 0 {
+		cb := efficiency.ContinuousBatching{Base: comp.Eff, Occupancy: occ}
+		if err := cb.Validate(); err != nil {
+			return nil, model.Inference{}, 0, fmt.Errorf("config: %w", err)
+		}
+		comp.Eff = cb
+	}
+	return comp, d.Inference.Resolve(), d.Inference.GlobalBatch, nil
 }
 
 // Estimator resolves the whole document into a ready-to-run estimator.

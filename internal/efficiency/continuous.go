@@ -1,0 +1,50 @@
+package efficiency
+
+import "fmt"
+
+// ContinuousBatching adapts a batch-efficiency curve to a continuously
+// batched serving replica. A decode scheduler that admits and retires
+// sequences on the fly never runs every admitted slot at once: requests
+// finish mid-step, refills lag, and ragged generation lengths leave slots
+// idle — so the kernel batch the accelerator actually sees is only an
+// Occupancy fraction of the nominal concurrent-sequence count. The variant
+// evaluates the wrapped curve at that effective batch, shifting the
+// saturation point right without re-fitting the underlying parameters.
+type ContinuousBatching struct {
+	// Base is the wrapped efficiency curve (nil means Default()).
+	Base Model
+	// Occupancy is the mean fraction of admitted slots that are actively
+	// decoding, in (0, 1]. Measured vLLM-style schedulers typically sit
+	// around 0.8–0.9 under load.
+	Occupancy float64
+}
+
+// Eff evaluates the wrapped curve at the occupancy-derated batch.
+func (c ContinuousBatching) Eff(ub float64) float64 {
+	base := c.Base
+	if base == nil {
+		base = Default()
+	}
+	occ := c.Occupancy
+	if occ <= 0 || occ > 1 {
+		occ = 1
+	}
+	return base.Eff(occ * ub)
+}
+
+// Validate checks the parameterization.
+func (c ContinuousBatching) Validate() error {
+	if c.Occupancy <= 0 || c.Occupancy > 1 {
+		return fmt.Errorf("efficiency: continuous-batching occupancy %g outside (0,1]", c.Occupancy)
+	}
+	return nil
+}
+
+// String renders the parameterization.
+func (c ContinuousBatching) String() string {
+	base := c.Base
+	if base == nil {
+		base = Default()
+	}
+	return fmt.Sprintf("continuous-batching occupancy %.2f over %v", c.Occupancy, base)
+}

@@ -1,0 +1,36 @@
+package efficiency
+
+import "testing"
+
+func TestContinuousBatching(t *testing.T) {
+	base := Saturating{A: 0.9, B: 28}
+	cb := ContinuousBatching{Base: base, Occupancy: 0.8}
+	for _, ub := range []float64{1, 8, 64, 512} {
+		if got, want := cb.Eff(ub), base.Eff(0.8*ub); got != want {
+			t.Errorf("Eff(%g) = %g, want base at derated batch %g", ub, got, want)
+		}
+		if cb.Eff(ub) > base.Eff(ub) {
+			t.Errorf("occupancy derating raised efficiency at ub=%g", ub)
+		}
+	}
+	// Full occupancy is the identity; nil base falls back to Default().
+	if got, want := (ContinuousBatching{Base: base, Occupancy: 1}).Eff(16), base.Eff(16); got != want {
+		t.Errorf("occupancy 1: got %g, want %g", got, want)
+	}
+	if got, want := (ContinuousBatching{Occupancy: 0.5}).Eff(16), Default().Eff(8.0); got != want {
+		t.Errorf("nil base: got %g, want %g", got, want)
+	}
+	// Out-of-range occupancy degrades to the identity rather than exploding.
+	if got, want := (ContinuousBatching{Base: base}).Eff(16), base.Eff(16); got != want {
+		t.Errorf("zero occupancy: got %g, want %g", got, want)
+	}
+
+	if err := (ContinuousBatching{Occupancy: 0.8}).Validate(); err != nil {
+		t.Errorf("valid occupancy rejected: %v", err)
+	}
+	for _, occ := range []float64{0, -1, 1.5} {
+		if err := (ContinuousBatching{Occupancy: occ}).Validate(); err == nil {
+			t.Errorf("occupancy %g accepted, want error", occ)
+		}
+	}
+}

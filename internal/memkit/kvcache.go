@@ -1,0 +1,69 @@
+package memkit
+
+import (
+	"errors"
+
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// KV-cache accounting for inference serving. Decode reuses the keys and
+// values of every previous token, so each live sequence pins
+// 2·L·ctx·kvFrac·h elements of device memory — the quantity that, not the
+// weights, bounds how many sequences a serving replica can batch. The cache
+// is sharded with the attention heads (TP) and the sequence (CP); PP shards
+// the layers, but so does the weight term, so the per-stage view divides
+// both by pp.
+
+// KVCacheBytesPerSeq returns one sequence's KV-cache footprint on one
+// accelerator when its cache holds ctx tokens: keys and values for every
+// layer (2·L·ctx·kvFrac·h elements at the activation operand width),
+// divided across the tensor-parallel group (the cache shards with the KV
+// heads) and the context-parallel group (each rank holds its s/N_CP token
+// shard). A sliding window bounds the live cache at Window tokens — evicted
+// positions are freed.
+func KVCacheBytesPerSeq(m *transformer.Model, mp parallel.Mapping, ctx int, ops precision.Operands) units.Bytes {
+	if ctx <= 0 {
+		return 0
+	}
+	live := float64(ctx)
+	if w := m.DecodeSpan(ctx); w < live {
+		live = w
+	}
+	elems := 2 * float64(m.Layers) * live * m.KVFrac() * float64(m.Hidden)
+	shard := float64(mp.TP()) * float64(mp.CP())
+	return units.Bytes(elems * float64(ops.Act.Bytes()) / shard)
+}
+
+// MaxConcurrentSeqs returns the largest number of sequences a serving
+// replica can hold decode state for: the accelerator memory left after the
+// reserve fraction and the resident weight shard, divided by one sequence's
+// KV cache at the full context length ctx (prompt plus generated tokens —
+// the worst case a scheduler must admit against). Zero when the weights
+// alone overflow or the accelerator's memory is unmodeled (Memory == 0).
+func MaxConcurrentSeqs(m *transformer.Model, mp parallel.Mapping, ctx int, ops precision.Operands, accel hardware.Accelerator, reserve float64) (int, error) {
+	if m == nil {
+		return 0, errors.New("memkit: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if ctx <= 0 {
+		return 0, errors.New("memkit: non-positive context length")
+	}
+	if accel.Memory <= 0 {
+		return 0, nil
+	}
+	usable := float64(accel.Memory) * (1 - reserve)
+	weights := m.TotalParams() / (float64(mp.TP()) * float64(mp.PP())) *
+		float64(ops.Param.Bytes())
+	free := usable - weights
+	perSeq := float64(KVCacheBytesPerSeq(m, mp, ctx, ops))
+	if free <= 0 || perSeq <= 0 {
+		return 0, nil
+	}
+	return int(free / perSeq), nil
+}

@@ -168,22 +168,27 @@ func (f Footprint) String() string {
 
 // activationBytesPerToken estimates live activation elements per token per
 // layer for the standard transformer block [Korthikanti'22-style
-// accounting, simplified]: 12·h for the linear paths (sharded by TP via the
-// caller's global division), 4·h for the norm/dropout tensors — which are
-// REPLICATED across the tensor-parallel group unless sequence parallelism
-// shards them, hence the ·tp compensation against the caller's division —
-// plus 2·a·(s/cp) for the attention score matrices (context parallelism
-// leaves each rank attending over its s/N_CP key shard). At tp = cp = 1 the
-// expression is bit-identical to the legacy 16·h + 2·a·s.
+// accounting, simplified]: (10+2·kvFrac)·h for the linear paths (Q, the
+// context and MLP tensors at full width, K and V shrunk to the GQA head
+// fraction; sharded by TP via the caller's global division), 4·h for the
+// norm/dropout tensors — which are REPLICATED across the tensor-parallel
+// group unless sequence parallelism shards them, hence the ·tp compensation
+// against the caller's division — plus 2·a·(span/cp) for the attention
+// score matrices, spanning the sliding window when one is set (the same
+// AttnSpan the transformer op counts price — charging full SeqLen would
+// reject mappings the windowed model actually fits). At kvFrac = 1,
+// span = s and tp = cp = 1 the expression is bit-identical to the legacy
+// 16·h + 2·a·s.
 func activationBytesPerToken(m *transformer.Model, mp parallel.Mapping, actBytes float64) float64 {
 	h := float64(m.Hidden)
 	a := float64(m.Heads)
-	s := float64(m.SeqLen) / float64(mp.CP())
+	kvFrac := m.KVFrac()
+	span := m.AttnSpan() / float64(mp.CP())
 	norm := 4 * h
 	if !mp.SequenceParallel {
 		norm *= float64(mp.TP())
 	}
-	return (12*h + norm + 2*a*s) * actBytes
+	return ((10+2*kvFrac)*h + norm + 2*a*span) * actBytes
 }
 
 // Estimate computes the per-accelerator footprint of training model m on

@@ -1,0 +1,201 @@
+package memkit
+
+import (
+	"testing"
+
+	"amped/internal/hardware"
+	"amped/internal/parallel"
+	"amped/internal/precision"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// variantBase is a model whose head count admits every GQA fraction the
+// table exercises.
+func variantBase() transformer.Model {
+	return transformer.Model{
+		Name: "variant-base", Layers: 4, Hidden: 1024, Heads: 16,
+		SeqLen: 2048, Vocab: 1000, FFNRatio: 4,
+	}
+}
+
+// variantPerToken mirrors activationBytesPerToken's documented formula —
+// (10+2·kvFrac)·h + norm + 2·a·span — so the table can state expected
+// footprints independently of the production code path.
+func variantPerToken(m *transformer.Model, actBytes float64) float64 {
+	h := float64(m.Hidden)
+	a := float64(m.Heads)
+	return ((10+2*m.KVFrac())*h + 4*h + 2*a*m.AttnSpan()) * actBytes
+}
+
+// TestEstimateAttentionVariants pins the activation footprint under
+// GQA/MQA/sliding-window variants: the K/V share of the linear term shrinks
+// to the KV-head fraction and the score matrices span the window, exactly
+// matching the transformer op-count conventions. The identity variant
+// (KVHeads = Heads, no window) must land bit-identically on the legacy
+// 16·h + 2·a·s accounting.
+func TestEstimateAttentionVariants(t *testing.T) {
+	base := variantBase()
+	b := parallel.Batch{Global: 8, Microbatches: 1}
+	cfg := baseConfig()
+	actB := float64(cfg.Operands.Act.Bytes())
+
+	cases := []struct {
+		name    string
+		variant transformer.Variant
+	}{
+		{"identity", transformer.Variant{KVHeads: 16}},
+		{"gqa-4", transformer.Variant{KVHeads: 4}},
+		{"mqa", transformer.Variant{KVHeads: 1}},
+		{"window-quarter", transformer.Variant{Window: 512}},
+		{"gqa-4+window", transformer.Variant{KVHeads: 4, Window: 512}},
+	}
+	legacy := (16*float64(base.Hidden) + 2*float64(base.Heads)*float64(base.SeqLen)) * actB
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := c.variant.Apply(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp, err := Estimate(&m, parallel.Mapping{}, b, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tokens := b.Microbatch(parallel.Mapping{}) * float64(m.SeqLen)
+			live := float64(b.MicrobatchesOrDefault(parallel.Mapping{}))
+			want := float64(m.Layers) * (tokens * variantPerToken(&m, actB)) * live
+			if got := float64(fp.Activations); got != want {
+				t.Errorf("activations = %.17g, want %.17g", got, want)
+			}
+			if c.variant.KVHeads == 16 && c.variant.Window == 0 {
+				if got := float64(fp.Activations); got != float64(m.Layers)*tokens*legacy*live {
+					t.Errorf("identity variant diverged from legacy accounting")
+				}
+			}
+		})
+	}
+}
+
+// TestWindowFootprintDeflation is the regression for the satellite bugfix:
+// a sliding-window model's score matrices live over the window, not the
+// full sequence, so its footprint must be strictly smaller than the
+// full-attention twin's — previously both charged 2·a·s and windowed
+// models were rejected from mappings they actually fit.
+func TestWindowFootprintDeflation(t *testing.T) {
+	base := variantBase()
+	windowed, err := transformer.Variant{Window: base.SeqLen / 8}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := parallel.Batch{Global: 8, Microbatches: 1}
+	full, err := Estimate(&base, parallel.Mapping{}, b, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := Estimate(&windowed, parallel.Mapping{}, b, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Activations >= full.Activations {
+		t.Fatalf("windowed activations %v not below full-attention %v",
+			win.Activations, full.Activations)
+	}
+	// The deflation is exactly the score-matrix shrink: 2·a·(s - w) elements
+	// per token at activation width.
+	actB := float64(baseConfig().Operands.Act.Bytes())
+	tokens := b.Microbatch(parallel.Mapping{}) * float64(base.SeqLen)
+	wantDelta := float64(base.Layers) * tokens *
+		2 * float64(base.Heads) * float64(base.SeqLen-base.SeqLen/8) * actB
+	if got := float64(full.Activations - win.Activations); got != wantDelta {
+		t.Errorf("deflation = %.17g, want %.17g", got, wantDelta)
+	}
+}
+
+// TestKVCacheBytesPerSeq pins the KV-cache footprint formula
+// 2·L·ctx·kvFrac·h·bytes/(tp·cp) and its variant/window behavior.
+func TestKVCacheBytesPerSeq(t *testing.T) {
+	base := variantBase()
+	gqa, err := transformer.Variant{KVHeads: 4}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := transformer.Variant{Window: 256}.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := precision.Mixed16()
+	actB := float64(ops.Act.Bytes())
+	ctx := 1024
+
+	cases := []struct {
+		name string
+		m    *transformer.Model
+		mp   parallel.Mapping
+		want float64
+	}{
+		{"dense", &base, parallel.Mapping{},
+			2 * 4 * 1024 * 1.0 * 1024 * actB},
+		{"gqa-4", &gqa, parallel.Mapping{},
+			2 * 4 * 1024 * 0.25 * 1024 * actB},
+		{"window-caps-cache", &windowed, parallel.Mapping{},
+			2 * 4 * 256 * 1.0 * 1024 * actB},
+		{"tp-cp-sharded", &base, parallel.Mapping{TPIntra: 4, CPIntra: 2},
+			2 * 4 * 1024 * 1.0 * 1024 * actB / 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := float64(KVCacheBytesPerSeq(c.m, c.mp, ctx, ops)); got != c.want {
+				t.Errorf("KV cache = %.17g, want %.17g", got, c.want)
+			}
+		})
+	}
+	if got := KVCacheBytesPerSeq(&base, parallel.Mapping{}, 0, ops); got != 0 {
+		t.Errorf("empty cache = %v, want 0", got)
+	}
+}
+
+// TestMaxConcurrentSeqs checks the KV-aware admission bound: weights are
+// subtracted once, the remainder divides by the per-sequence cache, and an
+// unmodeled (zero-memory) accelerator or overflowing weights yield zero
+// rather than an error.
+func TestMaxConcurrentSeqs(t *testing.T) {
+	m := variantBase()
+	ops := precision.Mixed16()
+	accel := hardware.Accelerator{Memory: units.Bytes(16e9)}
+	ctx := 2048
+
+	n, err := MaxConcurrentSeqs(&m, parallel.Mapping{}, ctx, ops, accel, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usable := 16e9 * 0.9
+	weights := m.TotalParams() * float64(ops.Param.Bytes())
+	perSeq := float64(KVCacheBytesPerSeq(&m, parallel.Mapping{}, ctx, ops))
+	if want := int((usable - weights) / perSeq); n != want {
+		t.Errorf("max seqs = %d, want %d", n, want)
+	}
+	if n <= 0 {
+		t.Fatalf("max seqs = %d, want positive for a 16 GB device", n)
+	}
+
+	// GQA frees cache: the same budget admits more sequences.
+	gqa, err := transformer.Variant{KVHeads: 1}.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := MaxConcurrentSeqs(&gqa, parallel.Mapping{}, ctx, ops, accel, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng <= n {
+		t.Errorf("MQA admits %d seqs, want more than MHA's %d", ng, n)
+	}
+
+	if n, err := MaxConcurrentSeqs(&m, parallel.Mapping{}, ctx, ops, hardware.Accelerator{}, 0); err != nil || n != 0 {
+		t.Errorf("unmodeled memory: got %d, %v; want 0, nil", n, err)
+	}
+	tiny := hardware.Accelerator{Memory: units.Bytes(1e6)}
+	if n, err := MaxConcurrentSeqs(&m, parallel.Mapping{}, ctx, ops, tiny, 0); err != nil || n != 0 {
+		t.Errorf("overflowing weights: got %d, %v; want 0, nil", n, err)
+	}
+}

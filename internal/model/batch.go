@@ -438,7 +438,7 @@ func (s *Session) EvaluateBatch(in BatchInput, out *BatchOutput) error {
 		}
 		var cpComm float64
 		if run.cpOn {
-			nActCP := 2 * bEff * s.seqHidden / run.cpF
+			nActCP := 2 * bEff * s.seqHidden * s.kvFrac / run.cpF
 			var cpI, cpE float64
 			if run.cpIntraOn {
 				cpI = run.cpIntraLatSt + nActCP*s.actBits/bwIntra*run.cpIntraFac

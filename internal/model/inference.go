@@ -1,0 +1,533 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"amped/internal/efficiency"
+	"amped/internal/hardware"
+	"amped/internal/memkit"
+	"amped/internal/parallel"
+	"amped/internal/transformer"
+	"amped/internal/units"
+)
+
+// Inference describes a serving workload on the compiled model: every
+// request carries a PromptLen-token prompt (processed in one prefill pass)
+// and generates GenTokens tokens autoregressively against a growing KV
+// cache. Prefill is priced as the training forward pass at the prompt
+// length; decode is priced per token at the mean cache depth, with the
+// KV-cache reads flowing through the roofline bandwidth term.
+type Inference struct {
+	// PromptLen is the prompt length in tokens (the prefill sequence).
+	PromptLen int
+	// GenTokens is the number of tokens generated per request.
+	GenTokens int
+}
+
+// Validate checks the workload against the model it will run on: the
+// context (prompt plus generated tokens) must fit the model's trained
+// sequence length.
+func (inf Inference) Validate(m *transformer.Model) error {
+	if inf.PromptLen < 1 {
+		return errorsf("model: prompt length %d must be at least 1", inf.PromptLen)
+	}
+	if inf.GenTokens < 1 {
+		return errorsf("model: generated token count %d must be at least 1", inf.GenTokens)
+	}
+	if ctx := inf.PromptLen + inf.GenTokens; ctx > m.SeqLen {
+		return errorsf("model: context %d (prompt %d + generate %d) exceeds sequence length %d",
+			ctx, inf.PromptLen, inf.GenTokens, m.SeqLen)
+	}
+	return nil
+}
+
+// InferenceSession is a compiled serving scenario: one (model, system,
+// recipe, efficiency, workload) tuple with every point-invariant hoisted,
+// mirroring Session for the training workload. The prefill phase reuses a
+// full training Session compiled at the prompt length — same hoists, same
+// cached per-batch aggregates, same roofline pricing — while the decode
+// phase keeps its own aggregate table built from the per-token decode op
+// counts at the mean cache depth, with the KV-cache reads folded into the
+// attention class's streamed activation bytes so rooflineUF prices them
+// against memory bandwidth unchanged. EvaluateInferencePoint runs in O(1)
+// with zero heap allocations for Prepared batches.
+//
+// An InferenceSession is immutable after Prepare and safe for concurrent
+// use; un-Prepared batches memoize through concurrent-safe side tables.
+type InferenceSession struct {
+	// pre is the prefill scenario: the model truncated to the prompt length
+	// (AtSeqLen clamps a longer sliding window too), compiled exactly as a
+	// training session. Its hoists (links, precision scales, roofline
+	// constants, parameter aggregates) are shared by the decode path.
+	pre *Session
+	// full is the original model, with the trained sequence length and the
+	// unclamped window — the decode op counts and the KV-cache footprint
+	// depend on the serving context, not the prefill truncation.
+	full *transformer.Model
+	inf  Inference
+	// kmean is the cache depth a decode step is priced at: the mean context
+	// over the generation, prompt + (gen+1)/2, so one representative
+	// aggregate prices every step (decode cost is affine in the span, so the
+	// mean-depth step time equals the per-token average exactly for
+	// unwindowed attention).
+	kmean int
+
+	// dec caches the decode-step operation aggregates by global batch;
+	// read-only after Prepare. decDyn memoizes batches that were never
+	// Prepared, concurrent-safe, exactly like Session.dyn.
+	dec    map[int]batchAgg
+	decDyn sync.Map
+}
+
+// CompileInference validates a serving scenario once and returns the
+// compiled InferenceSession. A nil efficiency model selects
+// efficiency.Default(). The training recipe supplies the precision
+// operands, topology, roofline switch and communication overlap; its
+// batch, backward and optimizer knobs are ignored (inference runs forward
+// only, batch is a per-point input).
+func CompileInference(m *transformer.Model, sys *hardware.System, tr Training, eff efficiency.Model, inf Inference) (*InferenceSession, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := inf.Validate(m); err != nil {
+		return nil, err
+	}
+	pm := m.AtSeqLen(inf.PromptLen)
+	pre, err := Compile(&pm, sys, tr, eff)
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceSession{
+		pre:   pre,
+		full:  m,
+		inf:   inf,
+		kmean: inf.PromptLen + (inf.GenTokens+1)/2,
+		dec:   make(map[int]batchAgg),
+	}, nil
+}
+
+// Model returns the compiled transformer architecture (the original model,
+// not the prompt-length truncation).
+func (s *InferenceSession) Model() *transformer.Model { return s.full }
+
+// System returns the compiled machine description.
+func (s *InferenceSession) System() *hardware.System { return s.pre.sys }
+
+// Training returns the compiled recipe with defaults applied.
+func (s *InferenceSession) Training() Training { return s.pre.tr }
+
+// Eff returns the compiled microbatch-efficiency model.
+func (s *InferenceSession) Eff() efficiency.Model { return s.pre.eff }
+
+// Inference returns the compiled serving workload.
+func (s *InferenceSession) Inference() Inference { return s.inf }
+
+// Key returns the canonical scenario key: the training ScenarioKey of the
+// underlying tuple extended with the serving workload, so the serving
+// layer's session cache distinguishes inference scenarios from training
+// ones and from each other by prompt/generation shape.
+func (s *InferenceSession) Key() string {
+	return InferenceScenarioKey(s.full, s.pre.sys, s.pre.tr, s.pre.eff, s.inf)
+}
+
+// Prepare precomputes the prefill and decode aggregates for the given
+// global batch sizes so EvaluateInferencePoint runs allocation-free for
+// them. Not safe to call concurrently with EvaluateInferencePoint.
+func (s *InferenceSession) Prepare(batches ...int) *InferenceSession {
+	s.pre.Prepare(batches...)
+	for _, b := range batches {
+		if _, ok := s.dec[b]; !ok {
+			s.dec[b] = s.computeDecodeAgg(b)
+		}
+	}
+	return s
+}
+
+// computeDecodeAgg builds the decode-step aggregate for one global batch:
+// per-layer decode op counts at the mean cache depth, bucketed by roofline
+// class exactly like the training aggregate. The KV-cache reads land in the
+// attention class's activation elements — they are streamed bytes at the
+// activation width, and folding them here lets rooflineUF price the decode
+// step's bandwidth bound without a special case (in pure-FLOP mode they are
+// free, as all memory traffic is).
+func (s *InferenceSession) computeDecodeAgg(batch int) batchAgg {
+	var a batchAgg
+	m := s.full
+	for l := 0; l < m.Layers; l++ {
+		macs, nonlin := m.DecodeOpSums(l, batch, s.kmean)
+		a.macSum += float64(macs)
+		a.nonlinSum += float64(nonlin)
+		for _, op := range m.DecodeLayerOps(l, batch, s.kmean) {
+			var k int
+			switch op.Sublayer {
+			case transformer.Attention:
+				k = clsAttn
+			case transformer.MLP:
+				k = clsMLPDense
+				if m.IsMoELayer(l) {
+					k = clsMLPMoE
+				}
+			default:
+				k = clsNorms
+			}
+			c := &a.cls[k]
+			c.mac += float64(op.MACs)
+			c.nonlin += float64(op.Nonlin)
+			c.act += float64(op.ActElems) + float64(op.KVElems)
+			c.weight += float64(op.WeightElems)
+		}
+	}
+	if s.pre.tr.IncludeEmbedding {
+		a.macSum += float64(m.DecodeEmbeddingMACs(batch))
+		eAct, eWeight := m.DecodeEmbeddingStreamElems(batch)
+		e := &a.cls[clsEmbed]
+		e.mac = float64(m.DecodeEmbeddingMACs(batch))
+		e.act = float64(eAct)
+		e.weight = float64(eWeight)
+	}
+	// Useful work per decode step: forward MACs only (2 FLOPs each) — no
+	// backward, no weight update.
+	a.flops = units.FLOPs(a.macSum * units.FLOPsPerMAC)
+	return a
+}
+
+// decodeAgg returns the cached decode aggregate for a batch, memoizing
+// un-Prepared batches on the side table.
+func (s *InferenceSession) decodeAgg(batch int) batchAgg {
+	if a, ok := s.dec[batch]; ok {
+		return a
+	}
+	if v, ok := s.decDyn.Load(batch); ok {
+		return v.(batchAgg)
+	}
+	a := s.computeDecodeAgg(batch)
+	s.decDyn.Store(batch, a)
+	return a
+}
+
+// InferenceBreakdown is the evaluated serving-time decomposition. The
+// prefill fields compose time-to-first-token; the decode fields compose the
+// steady-state per-token latency. All durations are in seconds.
+type InferenceBreakdown struct {
+	// PrefillCompute is the prompt's forward compute on the critical path:
+	// the batch crosses all N_PP stages serially (no microbatch pipelining
+	// hides the traversal from the first token), so the per-worker forward
+	// time carries a N_PP factor relative to the training throughput view.
+	PrefillCompute units.Seconds
+	// PrefillTPIntraComm and PrefillTPInterComm are the prefill
+	// tensor-parallel all-reduce time (Eq. 6 at the prompt length,
+	// forward only), split by link level.
+	PrefillTPIntraComm units.Seconds
+	PrefillTPInterComm units.Seconds
+	// PrefillPPComm is the pipeline point-to-point time on the first
+	// token's path: N_PP−1 boundary crossings at the slowest hop.
+	PrefillPPComm units.Seconds
+	// PrefillCPComm is the context-parallel K/V exchange over the prompt.
+	PrefillCPComm units.Seconds
+	// PrefillMoEComm is the expert all-to-all over the prompt (Eq. 9).
+	PrefillMoEComm units.Seconds
+
+	// DecodeCompute is one decode step's forward compute in the
+	// steady-state throughput view: concurrent decode waves keep every
+	// pipeline stage busy, so the per-token step time is the per-worker
+	// share without the pipeline-traversal factor.
+	DecodeCompute units.Seconds
+	// DecodeTPIntraComm and DecodeTPInterComm are the decode-step TP
+	// all-reduce time (one token per sequence).
+	DecodeTPIntraComm units.Seconds
+	DecodeTPInterComm units.Seconds
+	// DecodePPComm is the decode-step boundary crossing (once per step,
+	// times the virtual-pipeline chunk count, mirroring Eq. 7).
+	DecodePPComm units.Seconds
+	// DecodeCPComm is the decode-step K/V exchange: the new token's
+	// kvFrac·h-wide key/value broadcast around the CP group.
+	DecodeCPComm units.Seconds
+	// DecodeMoEComm is the decode-step expert all-to-all.
+	DecodeMoEComm units.Seconds
+
+	// GlobalBatch is the concurrent sequence count across the fleet;
+	// BatchPerReplica is its data-parallel share (the serving batch one
+	// replica decodes together).
+	GlobalBatch     int
+	BatchPerReplica float64
+	// Efficiency is eff(BatchPerReplica) as used in C_MAC for both phases.
+	Efficiency float64
+	// Workers echoes the mapping's total accelerator count.
+	Workers int
+	// PromptLen and GenTokens echo the compiled workload.
+	PromptLen int
+	GenTokens int
+	// PrefillFLOPs and DecodeFLOPs are the useful forward work (2·MACs) of
+	// the prefill pass and of one decode step, for MFU-style metrics.
+	PrefillFLOPs units.FLOPs
+	DecodeFLOPs  units.FLOPs
+	// KVBytesPerSeq is one sequence's KV-cache footprint per accelerator at
+	// the full context (prompt + generated), the admission quantity behind
+	// memkit.MaxConcurrentSeqs.
+	KVBytesPerSeq units.Bytes
+}
+
+// TTFT is the time to first token: prefill compute plus exposed prefill
+// communication.
+func (b *InferenceBreakdown) TTFT() units.Seconds {
+	return b.PrefillCompute + b.PrefillTPIntraComm + b.PrefillTPInterComm +
+		b.PrefillPPComm + b.PrefillCPComm + b.PrefillMoEComm
+}
+
+// PerToken is the steady-state decode latency per generated token.
+func (b *InferenceBreakdown) PerToken() units.Seconds {
+	return b.DecodeCompute + b.DecodeTPIntraComm + b.DecodeTPInterComm +
+		b.DecodePPComm + b.DecodeCPComm + b.DecodeMoEComm
+}
+
+// RequestLatency is one request end to end: prefill plus every generated
+// token.
+func (b *InferenceBreakdown) RequestLatency() units.Seconds {
+	return b.TTFT() + units.Seconds(float64(b.GenTokens)*float64(b.PerToken()))
+}
+
+// TokensPerSecond is the fleet-wide steady-state generation throughput:
+// every step emits one token per concurrent sequence.
+func (b *InferenceBreakdown) TokensPerSecond() float64 {
+	t := float64(b.PerToken())
+	if t <= 0 {
+		return 0
+	}
+	return float64(b.GlobalBatch) / t
+}
+
+// Components returns the named contributions in presentation order, for
+// breakdown tables and the audit differential.
+func (b *InferenceBreakdown) Components() []Component {
+	return []Component{
+		{"prefill compute", b.PrefillCompute},
+		{"prefill TP intra", b.PrefillTPIntraComm},
+		{"prefill TP inter", b.PrefillTPInterComm},
+		{"prefill PP", b.PrefillPPComm},
+		{"prefill CP", b.PrefillCPComm},
+		{"prefill MoE", b.PrefillMoEComm},
+		{"decode compute", b.DecodeCompute},
+		{"decode TP intra", b.DecodeTPIntraComm},
+		{"decode TP inter", b.DecodeTPInterComm},
+		{"decode PP", b.DecodePPComm},
+		{"decode CP", b.DecodeCPComm},
+		{"decode MoE", b.DecodeMoEComm},
+	}
+}
+
+// String summarizes the breakdown.
+func (b *InferenceBreakdown) String() string {
+	return sprintf("TTFT %v, %v/token, %.1f tok/s (batch %d, eff %.1f%%)",
+		b.TTFT(), b.PerToken(), b.TokensPerSecond(), b.GlobalBatch, b.Efficiency*100)
+}
+
+// finiteInf reports whether every duration in the breakdown is finite.
+func finiteInf(b *InferenceBreakdown) bool {
+	for _, c := range b.Components() {
+		if math.IsInf(float64(c.Time), 0) || math.IsNaN(float64(c.Time)) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvaluateInferencePoint evaluates one serving design point — a parallelism
+// mapping and a global concurrent-sequence count — writing the breakdown
+// into out. The caller owns out; for Prepared batches the hot path performs
+// no heap allocations.
+func (s *InferenceSession) EvaluateInferencePoint(mp parallel.Mapping, batch int, out *InferenceBreakdown) error {
+	return s.evaluateInf(mp, batch, out, false)
+}
+
+// LowerBound returns an admissible lower bound on the point's per-token
+// decode latency — the exact rank key float64(PerToken()) — for
+// branch-and-bound search over the mapping space (minimizing PerToken at a
+// fixed global batch maximizes tokens/s). It runs the full evaluation with
+// the MoE all-to-all terms forced to exactly zero in the same association
+// order, so the bound is bit-identical to the true rank on every cell whose
+// MoE term is zero and never above it otherwise. The error contract matches
+// EvaluateInferencePoint.
+func (s *InferenceSession) LowerBound(mp parallel.Mapping, batch int) (float64, error) {
+	var bd InferenceBreakdown
+	if err := s.evaluateInf(mp, batch, &bd, true); err != nil {
+		return 0, err
+	}
+	return float64(bd.PerToken()), nil
+}
+
+// Evaluate is the one-shot convenience over EvaluateInferencePoint. On a
+// non-finite result the partial breakdown is returned alongside the error,
+// matching Session.Evaluate.
+func (s *InferenceSession) Evaluate(mp parallel.Mapping, batch int) (*InferenceBreakdown, error) {
+	out := new(InferenceBreakdown)
+	if err := s.EvaluateInferencePoint(mp, batch, out); err != nil {
+		if errors.Is(err, errNonFinite) {
+			return out, err
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// evaluateInf is the shared body behind EvaluateInferencePoint and
+// LowerBound. Both phases reuse the prefill session's hoists; the decode
+// phase re-runs the forward communication formulas with the sequence
+// collapsed to the single new token. With relaxed set the MoE terms are
+// kept at exactly 0.0, relaxing the point into the admissible bound.
+func (s *InferenceSession) evaluateInf(mp parallel.Mapping, batch int, out *InferenceBreakdown, relaxed bool) error {
+	p := s.pre
+	if err := mp.Validate(p.sys); err != nil {
+		return err
+	}
+	mpn := mp.Normalized()
+	dp := mpn.DP()
+	if batch <= 0 {
+		return errorsf("model: global batch %d must be positive", batch)
+	}
+	if batch%dp != 0 {
+		return errorsf("model: global batch %d not divisible by %d data-parallel replicas", batch, dp)
+	}
+	if tp := mpn.TP(); tp > p.model.Heads {
+		return errorsf("model: TP degree %d exceeds %d attention heads", tp, p.model.Heads)
+	}
+	if pp := mpn.PP(); pp > p.model.Layers {
+		return errorsf("model: PP degree %d exceeds %d layers", pp, p.model.Layers)
+	}
+	// The prefill model's SeqLen is the prompt length: context parallelism
+	// shards prompt tokens, so its degree is bounded by the prompt.
+	if cp := mpn.CP(); cp > p.model.SeqLen {
+		return errorsf("model: CP degree %d exceeds prompt length %d", cp, p.model.SeqLen)
+	}
+	if vpp := mpn.VPP; vpp > 1 {
+		if pp := mpn.PP(); pp <= 1 {
+			return errorsf("model: virtual pipeline depth %d requires PP > 1", vpp)
+		} else if pp*vpp > p.model.Layers {
+			return errorsf("model: PP %d x VPP %d exceeds %d layers", pp, vpp, p.model.Layers)
+		}
+	}
+
+	workers := float64(mpn.Workers())
+	ppF := float64(mpn.PP())
+	cpF := float64(mpn.CP())
+	vppF := float64(mpn.VPP)
+	tpF := float64(mpn.TP())
+	br := float64(batch / dp)
+	eff := p.eff.Eff(br)
+	cMAC := 1 / (p.peakMAC * eff)
+	exposed := 1 - p.tr.CommOverlap
+
+	// Prefill: the training forward pass at the prompt length, priced by the
+	// inner session's aggregate (roofline or pure-FLOP, identically).
+	aggP := p.agg(batch)
+	var ufPre float64
+	if p.roofline {
+		ufPre = p.rooflineUF(&aggP, cMAC, tpF, mpn.SequenceParallel)
+	} else {
+		ufPre = aggP.macSum*cMAC*p.macScale + aggP.nonlinSum*p.cNonlin*p.nonlinScale
+	}
+
+	nActTP := 2 * br * p.seqHidden / cpF
+	tpIntraPre := p.layersF * allReduceTime(p.arKind, mpn.TPIntra, nActTP, p.actBits, p.intra)
+	tpInterPre := p.layersF * allReduceTime(p.arKind, mpn.TPInter, nActTP, p.actBits, p.inter)
+
+	var ppPre float64
+	if mpn.PP() > 1 {
+		nActPP := br * p.seqHidden / cpF
+		var ppI, ppE float64
+		if mpn.PPIntra > 1 {
+			ppI = float64(p.intra.Latency) + nActPP*p.actBits/float64(p.intra.Bandwidth)
+		}
+		if mpn.PPInter > 1 {
+			ppE = float64(p.inter.Latency) + nActPP*p.actBits/float64(p.inter.Bandwidth)
+		}
+		// The first token crosses every stage boundary; interleaving does not
+		// shorten a single pass's traversal.
+		ppPre = max2(ppI, ppE) * (ppF - 1)
+	}
+
+	var cpPre float64
+	if mpn.CP() > 1 {
+		nActCP := 2 * br * p.seqHidden * p.kvFrac / cpF
+		cpPre = p.layersF * (allReduceTime(p.arKind, mpn.CPIntra, nActCP, p.actBits, p.intra) +
+			allReduceTime(p.arKind, mpn.CPInter, nActCP, p.actBits, p.inter))
+	}
+
+	var moePre float64
+	if !relaxed && p.model.MoE() && mpn.ExpertParallel {
+		moePre = p.moeLayers * (p.moeLatTerm + br*p.seqHidden*p.moeVolCoeff/cpF)
+	}
+
+	// Decode: one token per sequence against the mean-depth cache. The
+	// communication formulas are the prefill ones with s·h collapsed to h.
+	aggD := s.decodeAgg(batch)
+	var ufDec float64
+	if p.roofline {
+		ufDec = p.rooflineUF(&aggD, cMAC, tpF, mpn.SequenceParallel)
+	} else {
+		ufDec = aggD.macSum*cMAC*p.macScale + aggD.nonlinSum*p.cNonlin*p.nonlinScale
+	}
+
+	hid := float64(s.full.Hidden)
+	nActTPd := 2 * br * hid / cpF
+	tpIntraDec := p.layersF * allReduceTime(p.arKind, mpn.TPIntra, nActTPd, p.actBits, p.intra)
+	tpInterDec := p.layersF * allReduceTime(p.arKind, mpn.TPInter, nActTPd, p.actBits, p.inter)
+
+	var ppDec float64
+	if mpn.PP() > 1 {
+		nActPPd := br * hid / cpF
+		var ppI, ppE float64
+		if mpn.PPIntra > 1 {
+			ppI = float64(p.intra.Latency) + nActPPd*p.actBits/float64(p.intra.Bandwidth)
+		}
+		if mpn.PPInter > 1 {
+			ppE = float64(p.inter.Latency) + nActPPd*p.actBits/float64(p.inter.Bandwidth)
+		}
+		// Steady-state view, mirroring Eq. 7: concurrent decode waves keep
+		// the stages busy, so each step pays one boundary crossing (per
+		// virtual chunk), not the full traversal.
+		ppDec = max2(ppI, ppE) * vppF
+	}
+
+	var cpDec float64
+	if mpn.CP() > 1 {
+		nActCPd := 2 * br * hid * p.kvFrac / cpF
+		cpDec = p.layersF * (allReduceTime(p.arKind, mpn.CPIntra, nActCPd, p.actBits, p.intra) +
+			allReduceTime(p.arKind, mpn.CPInter, nActCPd, p.actBits, p.inter))
+	}
+
+	var moeDec float64
+	if !relaxed && p.model.MoE() && mpn.ExpertParallel {
+		moeDec = p.moeLayers * (p.moeLatTerm + br*hid*p.moeVolCoeff/cpF)
+	}
+
+	*out = InferenceBreakdown{
+		PrefillCompute:     units.Seconds(ppF * ufPre / workers),
+		PrefillTPIntraComm: units.Seconds(exposed * tpIntraPre),
+		PrefillTPInterComm: units.Seconds(exposed * tpInterPre),
+		PrefillPPComm:      units.Seconds(exposed * ppPre),
+		PrefillCPComm:      units.Seconds(exposed * cpPre),
+		PrefillMoEComm:     units.Seconds(exposed * moePre),
+		DecodeCompute:      units.Seconds(ufDec / workers),
+		DecodeTPIntraComm:  units.Seconds(exposed * tpIntraDec),
+		DecodeTPInterComm:  units.Seconds(exposed * tpInterDec),
+		DecodePPComm:       units.Seconds(exposed * ppDec),
+		DecodeCPComm:       units.Seconds(exposed * cpDec),
+		DecodeMoEComm:      units.Seconds(exposed * moeDec),
+		GlobalBatch:        batch,
+		BatchPerReplica:    br,
+		Efficiency:         eff,
+		Workers:            mpn.Workers(),
+		PromptLen:          s.inf.PromptLen,
+		GenTokens:          s.inf.GenTokens,
+		PrefillFLOPs:       units.FLOPs(aggP.macSum * units.FLOPsPerMAC),
+		DecodeFLOPs:        aggD.flops,
+		KVBytesPerSeq: memkit.KVCacheBytesPerSeq(s.full, mpn,
+			s.inf.PromptLen+s.inf.GenTokens, p.tr.Operands),
+	}
+	if !finiteInf(out) {
+		return errNonFinite
+	}
+	return nil
+}

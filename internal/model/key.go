@@ -55,3 +55,15 @@ func ScenarioKey(m *transformer.Model, sys *hardware.System, tr Training, eff ef
 func (s *Session) Key() string {
 	return ScenarioKey(s.model, s.sys, s.tr, s.eff)
 }
+
+// InferenceScenarioKey derives the canonical cache key for a compiled
+// inference scenario: the training ScenarioKey of the underlying tuple
+// extended with the serving workload shape, so inference sessions never
+// collide with training sessions (or with each other across different
+// prompt/generation lengths) in the serving layer's cache.
+func InferenceScenarioKey(m *transformer.Model, sys *hardware.System, tr Training, eff efficiency.Model, inf Inference) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "scenario|%s\n", ScenarioKey(m, sys, tr, eff))
+	fmt.Fprintf(h, "inference|%d|%d\n", inf.PromptLen, inf.GenTokens)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -69,6 +69,7 @@ type Session struct {
 	layersF   float64 // L
 	moeLayers float64 // MoE block count
 	seqHidden float64 // s·h, the per-sequence activation element count
+	kvFrac    float64 // KVHeads/Heads, the K/V tensor width fraction (GQA)
 
 	// Eq. 11–12 parameter aggregates (batch-independent).
 	updateParams    float64 // Σ_l LayerParams (+ embedding when included)
@@ -176,6 +177,7 @@ func Compile(m *transformer.Model, sys *hardware.System, tr Training, eff effici
 		layersF:   float64(m.Layers),
 		moeLayers: float64(m.MoELayers()),
 		seqHidden: float64(m.SeqLen) * float64(m.Hidden),
+		kvFrac:    m.KVFrac(),
 
 		actBytesF:   tr.Operands.ActBytesF(),
 		paramBytesF: tr.Operands.ParamBytesF(),
@@ -469,12 +471,14 @@ func (s *Session) evaluate(mp parallel.Mapping, batch, microbatches int, out *Br
 	}
 
 	// Context-parallel K/V exchange: once per layer each rank passes its
-	// 2·ub·(s/N_CP)·h key/value shard around the CP group (hierarchically,
-	// intra then inter, like the TP all-reduce). Gradient synchronization
-	// across the CP group is not modeled separately.
+	// 2·ub·(s/N_CP)·kvFrac·h key/value shard around the CP group
+	// (hierarchically, intra then inter, like the TP all-reduce). Under GQA
+	// the K/V tensors are only kvFrac·h wide — pricing them at the full
+	// hidden width would overcount the exchange by Heads/KVHeads. Gradient
+	// synchronization across the CP group is not modeled separately.
 	var cpComm float64
 	if mpn.CP() > 1 {
-		nActCP := 2 * bEff * s.seqHidden / cpF
+		nActCP := 2 * bEff * s.seqHidden * s.kvFrac / cpF
 		cpComm = s.layersF * (allReduceTime(s.arKind, mpn.CPIntra, nActCP, s.actBits, s.intra) +
 			allReduceTime(s.arKind, mpn.CPInter, nActCP, s.actBits, s.inter))
 	}

@@ -1,0 +1,213 @@
+package pipesim
+
+import (
+	"fmt"
+
+	"amped/internal/eventsim"
+)
+
+// Disaggregated prefill/decode serving. Production serving fleets
+// increasingly split the two inference phases onto separate replica pools:
+// prefill replicas run the compute-bound prompt pass, then stream the
+// request's KV cache to a decode replica that holds the sequence for the
+// whole bandwidth-bound generation. The phases stop contending for the
+// same accelerators at the price of a cache transfer per request — whether
+// that trade wins depends on the pool ratio and the phase times, which is
+// exactly what this two-pool schedule prices. The phase durations come
+// from the analytical model (an InferenceBreakdown's TTFT and
+// GenTokens·PerToken at the pool's serving batch); the simulator
+// contributes the queueing behavior the closed forms cannot see.
+
+// DisaggConfig describes one disaggregated serving run: a closed burst of
+// requests through a prefill pool, a per-request KV-cache handoff, and a
+// decode pool that holds each request for its full generation.
+type DisaggConfig struct {
+	// PrefillReplicas and DecodeReplicas size the two pools.
+	PrefillReplicas int
+	DecodeReplicas  int
+	// Requests is the number of requests in the burst (all arrive at t=0).
+	Requests int
+	// PrefillTime is one request's prompt pass on one prefill replica.
+	PrefillTime eventsim.Time
+	// DecodeTime is one request's full generation on one decode replica
+	// (GenTokens × the per-token step time).
+	DecodeTime eventsim.Time
+	// TransferTime is the KV-cache handoff between the pools. Like the
+	// pipeline hop, the sender's side is assumed DMA-overlapped: the
+	// transfer delays the decode start without occupying the prefill
+	// replica.
+	TransferTime eventsim.Time
+	// KeepTrace records per-replica busy intervals.
+	KeepTrace bool
+}
+
+// Validate checks the configuration.
+func (c DisaggConfig) Validate() error {
+	switch {
+	case c.PrefillReplicas <= 0:
+		return fmt.Errorf("pipesim: prefill pool size %d must be positive", c.PrefillReplicas)
+	case c.DecodeReplicas <= 0:
+		return fmt.Errorf("pipesim: decode pool size %d must be positive", c.DecodeReplicas)
+	case c.Requests <= 0:
+		return fmt.Errorf("pipesim: request count %d must be positive", c.Requests)
+	case c.PrefillTime < 0 || c.DecodeTime < 0 || c.TransferTime < 0:
+		return fmt.Errorf("pipesim: negative phase durations")
+	case c.PrefillTime == 0 && c.DecodeTime == 0:
+		return fmt.Errorf("pipesim: zero-work serving schedule")
+	}
+	return nil
+}
+
+// pool dispatches FIFO work onto a set of interchangeable replicas.
+type pool struct {
+	res   []*eventsim.Resource
+	free  []int
+	queue []poolTask
+}
+
+type poolTask struct {
+	dur   eventsim.Time
+	label string
+	then  func()
+}
+
+func newPool(sim *eventsim.Sim, name string, n int, trace bool) *pool {
+	p := &pool{}
+	for i := 0; i < n; i++ {
+		p.res = append(p.res, eventsim.NewResource(sim, fmt.Sprintf("%s%d", name, i), trace))
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+// submit runs the task on a free replica, or queues it FIFO until one
+// frees up.
+func (p *pool) submit(dur eventsim.Time, label string, then func()) {
+	if len(p.free) == 0 {
+		p.queue = append(p.queue, poolTask{dur, label, then})
+		return
+	}
+	i := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.res[i].Acquire(dur, label, func() {
+		p.free = append(p.free, i)
+		if len(p.queue) > 0 {
+			next := p.queue[0]
+			p.queue = p.queue[1:]
+			p.submit(next.dur, next.label, next.then)
+		}
+		then()
+	})
+}
+
+// DisaggResult is the outcome of one disaggregated serving burst.
+type DisaggResult struct {
+	// Makespan is the burst completion time.
+	Makespan eventsim.Time
+	// PrefillBusy and DecodeBusy are per-replica busy totals.
+	PrefillBusy []eventsim.Time
+	DecodeBusy  []eventsim.Time
+	// DecodeStart[i] is when request i began decoding (its first token
+	// follows one step later); Done[i] is its completion.
+	DecodeStart []eventsim.Time
+	Done        []eventsim.Time
+	// Traces holds prefill- then decode-replica busy intervals when
+	// requested.
+	Traces [][]eventsim.Interval
+}
+
+// PoolUtilization returns the mean busy fraction of each pool over the
+// makespan: prefill first, decode second.
+func (r *DisaggResult) PoolUtilization() (prefill, decode float64) {
+	if r.Makespan <= 0 {
+		return 0, 0
+	}
+	var pb, db eventsim.Time
+	for _, b := range r.PrefillBusy {
+		pb += b
+	}
+	for _, b := range r.DecodeBusy {
+		db += b
+	}
+	prefill = float64(pb) / (float64(r.Makespan) * float64(len(r.PrefillBusy)))
+	decode = float64(db) / (float64(r.Makespan) * float64(len(r.DecodeBusy)))
+	return prefill, decode
+}
+
+// MeanQueueDelay is the average time requests spent waiting beyond their
+// own service phases: decode start minus the unqueued prefill+transfer
+// path, averaged over the burst.
+func (r *DisaggResult) MeanQueueDelay(cfg DisaggConfig) eventsim.Time {
+	if len(r.DecodeStart) == 0 {
+		return 0
+	}
+	var sum eventsim.Time
+	for _, t := range r.DecodeStart {
+		sum += t - cfg.PrefillTime - cfg.TransferTime
+	}
+	return sum / eventsim.Time(len(r.DecodeStart))
+}
+
+// RunDisagg simulates the burst through the two pools and returns the
+// schedule outcome.
+func RunDisagg(cfg DisaggConfig) (*DisaggResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var sim eventsim.Sim
+	pre := newPool(&sim, "prefill", cfg.PrefillReplicas, cfg.KeepTrace)
+	dec := newPool(&sim, "decode", cfg.DecodeReplicas, cfg.KeepTrace)
+
+	res := &DisaggResult{
+		DecodeStart: make([]eventsim.Time, cfg.Requests),
+		Done:        make([]eventsim.Time, cfg.Requests),
+	}
+	sim.At(0, func() {
+		for i := 0; i < cfg.Requests; i++ {
+			req := i
+			pre.submit(cfg.PrefillTime, fmt.Sprintf("P%d", req), func() {
+				sim.After(cfg.TransferTime, func() {
+					dec.submit(cfg.DecodeTime, fmt.Sprintf("D%d", req), func() {
+						res.Done[req] = sim.Now()
+						res.DecodeStart[req] = res.Done[req] - cfg.DecodeTime
+					})
+				})
+			})
+		}
+	})
+	end, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = end
+	for _, r := range pre.res {
+		res.PrefillBusy = append(res.PrefillBusy, r.BusyTime())
+		if cfg.KeepTrace {
+			res.Traces = append(res.Traces, r.Trace())
+		}
+	}
+	for _, r := range dec.res {
+		res.DecodeBusy = append(res.DecodeBusy, r.BusyTime())
+		if cfg.KeepTrace {
+			res.Traces = append(res.Traces, r.Trace())
+		}
+	}
+	return res, nil
+}
+
+// BalancedDecodeReplicas is the decode pool size that matches the prefill
+// pool's steady-state request rate: decode holds a request DecodeTime/
+// PrefillTime times longer than prefill does, so the pools balance at that
+// ratio (rounded up — an undersized decode pool queues without bound in an
+// open system). The closed-form cross-check for RunDisagg pool sizing.
+func BalancedDecodeReplicas(prefillReplicas int, prefillTime, decodeTime eventsim.Time) int {
+	if prefillTime <= 0 || prefillReplicas <= 0 {
+		return 1
+	}
+	ratio := float64(decodeTime) / float64(prefillTime)
+	n := int(float64(prefillReplicas)*ratio + 0.9999999999)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+package pipesim
+
+import (
+	"testing"
+
+	"amped/internal/eventsim"
+)
+
+// TestDisaggSerial pins the degenerate single-replica case: requests flow
+// strictly serially through each pool, so the makespan is the first
+// request's full path plus the slower pool's remaining service times.
+func TestDisaggSerial(t *testing.T) {
+	cfg := DisaggConfig{
+		PrefillReplicas: 1, DecodeReplicas: 1, Requests: 3,
+		PrefillTime: 2, DecodeTime: 10, TransferTime: 1,
+	}
+	res, err := RunDisagg(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode dominates: first decode starts at 2+1=3, then 3 serial decodes.
+	if want := eventsim.Time(3 + 30); res.Makespan != want {
+		t.Errorf("makespan = %v, want %v", res.Makespan, want)
+	}
+	// Prefill replica busy 3x2, decode replica 3x10.
+	if res.PrefillBusy[0] != 6 || res.DecodeBusy[0] != 30 {
+		t.Errorf("busy = %v / %v, want 6 / 30", res.PrefillBusy[0], res.DecodeBusy[0])
+	}
+	// Requests are decoded in arrival order; completions are monotone.
+	for i := 1; i < cfg.Requests; i++ {
+		if res.Done[i] <= res.Done[i-1] {
+			t.Errorf("completion order violated: Done[%d]=%v <= Done[%d]=%v",
+				i, res.Done[i], i-1, res.Done[i-1])
+		}
+	}
+}
+
+// TestDisaggBalancedPools checks the sizing cross-check: a decode pool at
+// the balanced ratio keeps both pools near full utilization and beats the
+// undersized pool's makespan.
+func TestDisaggBalancedPools(t *testing.T) {
+	prefill, decode := eventsim.Time(2), eventsim.Time(10)
+	n := BalancedDecodeReplicas(2, prefill, decode)
+	if n != 10 {
+		t.Fatalf("balanced decode pool = %d, want 10 (ratio 5 x 2 replicas)", n)
+	}
+	balanced := DisaggConfig{
+		PrefillReplicas: 2, DecodeReplicas: n, Requests: 40,
+		PrefillTime: prefill, DecodeTime: decode, TransferTime: 0,
+	}
+	starved := balanced
+	starved.DecodeReplicas = 2
+	rb, err := RunDisagg(balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RunDisagg(starved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Makespan >= rs.Makespan {
+		t.Errorf("balanced makespan %v not below starved %v", rb.Makespan, rs.Makespan)
+	}
+	// In the balanced steady state the decode pool is the bottleneck:
+	// 40 requests x 10s over 10 replicas = 40s of decode work, reached
+	// after the first wave's prefill; utilization must be high.
+	if _, du := rb.PoolUtilization(); du < 0.8 {
+		t.Errorf("balanced decode utilization %.2f, want >= 0.8", du)
+	}
+	// The starved run queues: mean queue delay must be strictly positive
+	// and larger than the balanced run's.
+	if qs, qb := rs.MeanQueueDelay(starved), rb.MeanQueueDelay(balanced); qs <= qb {
+		t.Errorf("starved queue delay %v not above balanced %v", qs, qb)
+	}
+}
+
+func TestDisaggValidate(t *testing.T) {
+	bad := []DisaggConfig{
+		{PrefillReplicas: 0, DecodeReplicas: 1, Requests: 1, PrefillTime: 1},
+		{PrefillReplicas: 1, DecodeReplicas: 0, Requests: 1, PrefillTime: 1},
+		{PrefillReplicas: 1, DecodeReplicas: 1, Requests: 0, PrefillTime: 1},
+		{PrefillReplicas: 1, DecodeReplicas: 1, Requests: 1, PrefillTime: -1},
+		{PrefillReplicas: 1, DecodeReplicas: 1, Requests: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunDisagg(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

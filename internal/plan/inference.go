@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"amped/internal/memkit"
+	"amped/internal/model"
+	"amped/internal/parallel"
+)
+
+// Serving-mapping search. The training planner minimizes the expected run
+// time of a fixed recipe; the serving planner minimizes the steady-state
+// per-token step time of a fixed concurrent-sequence count — with the
+// serving batch fixed, the mapping that minimizes PerToken is exactly the
+// mapping that maximizes tokens/s, so the rank key stays a time and the
+// bound stays admissible. InferenceSession.LowerBound carries the same
+// contract as the training bound (the MoE all-to-all term relaxed to
+// exactly zero in the same association order): bit-identical to the true
+// rank on non-MoE mappings, never above it otherwise.
+
+// InferenceOptions selects the serving search space.
+type InferenceOptions struct {
+	// Mappings lists explicit mappings to rank. Empty means enumerate all
+	// mappings valid for the session's system via parallel.Enumerate.
+	Mappings []parallel.Mapping
+	// Enumerate configures the enumeration when Mappings is empty. MaxTP
+	// and MaxPP default to the model's head and layer counts.
+	Enumerate parallel.EnumerateOptions
+	// Batch is the concurrent-sequence count across the fleet (required).
+	Batch int
+	// MemoryReserve is the fraction of device memory held back for
+	// framework overhead in the KV-cache feasibility gate.
+	MemoryReserve float64
+}
+
+// InferencePoint is one ranked serving mapping.
+type InferencePoint struct {
+	Mapping   parallel.Mapping
+	Breakdown *model.InferenceBreakdown
+	// MaxSeqs is the KV-aware per-replica concurrent-sequence ceiling at
+	// the full context length (0 when device memory is unmodeled).
+	MaxSeqs int
+	Err     error
+}
+
+// String identifies the point.
+func (p InferencePoint) String() string {
+	return p.Mapping.String()
+}
+
+// InferenceResult is the serving planner's outcome.
+type InferenceResult struct {
+	// Best is the optimal feasible mapping: minimal per-token step time,
+	// ties broken by the mapping's string identity. Nil when no mapping is
+	// feasible.
+	Best *InferencePoint
+	// RankSeconds is Best's exact rank key (float64 of the per-token step
+	// time); 0 when Best is nil.
+	RankSeconds float64
+	// TokensPerSecond is Best's fleet decode throughput; 0 when Best is nil.
+	TokensPerSecond float64
+	// Stats describes the search effort (ComputeFloorSeconds stays 0 — the
+	// training-only root statistic has no serving analogue).
+	Stats Stats
+}
+
+// SolveInference runs the best-first branch-and-bound search over the
+// serving mappings: each mapping is bounded by the session's admissible
+// relaxed-MoE bound, and expansion stops as soon as the best unexpanded
+// bound can no longer beat (or tie-and-win against) the incumbent. When
+// the accelerator's memory is modeled, mappings whose per-replica batch
+// exceeds the KV-aware concurrent-sequence ceiling are discarded before
+// bounding — the decode state would not fit, no matter how fast the step.
+func SolveInference(sess *model.InferenceSession, opt InferenceOptions) (*InferenceResult, error) {
+	if sess == nil {
+		return nil, errors.New("plan: nil inference session")
+	}
+	if opt.Batch <= 0 {
+		return nil, fmt.Errorf("plan: serving batch %d must be positive", opt.Batch)
+	}
+	mappings := opt.Mappings
+	if len(mappings) == 0 {
+		en := opt.Enumerate
+		if en.MaxTP == 0 {
+			en.MaxTP = sess.Model().Heads
+		}
+		if en.MaxPP == 0 {
+			en.MaxPP = sess.Model().Layers
+		}
+		mappings = parallel.Enumerate(sess.System(), en)
+	}
+	if len(mappings) == 0 {
+		return nil, errors.New("plan: no mappings to rank")
+	}
+
+	res := &InferenceResult{}
+	st := &res.Stats
+	st.CellsTotal = int64(len(mappings))
+
+	m := sess.Model()
+	inf := sess.Inference()
+	ctx := inf.PromptLen + inf.GenTokens
+	ops := sess.Training().Operands
+	accel := sess.System().Accel
+
+	points := make([]InferencePoint, len(mappings))
+	h := make(cellHeap, 0, len(mappings))
+	for i, mp := range mappings {
+		points[i] = InferencePoint{Mapping: mp}
+		// KV-cache feasibility gate: dominance, not pricing — the ceiling
+		// depends only on the mapping, so an over-ceiling mapping is
+		// discarded without bounding. Non-dividing batches fall through to
+		// the bound, which rejects them with the evaluator's own error.
+		if dp := mp.DP(); accel.Memory > 0 && opt.Batch%dp == 0 {
+			maxSeqs, err := memkit.MaxConcurrentSeqs(m, mp.Normalized(), ctx, ops, accel, opt.MemoryReserve)
+			if err == nil {
+				points[i].MaxSeqs = maxSeqs
+				if opt.Batch/dp > maxSeqs {
+					points[i].Err = fmt.Errorf(
+						"plan: %v B=%d infeasible: per-replica batch %d exceeds KV-aware ceiling %d",
+						mp, opt.Batch, opt.Batch/dp, maxSeqs)
+					st.CellsPrunedMemory++
+					continue
+				}
+			}
+		}
+		lb, err := sess.LowerBound(mp, opt.Batch)
+		if err != nil {
+			// The full evaluation shares the bound's validation prefix and
+			// would fail with the identical error.
+			points[i].Err = err
+			st.CellsInfeasible++
+			continue
+		}
+		h = append(h, cellRef{lb: lb, id: mp.String(), idx: i})
+	}
+	heap.Init(&h)
+
+	bds := make([]model.InferenceBreakdown, len(mappings))
+	var bestRank float64
+	var bestID string
+	for h.Len() > 0 {
+		c := h[0]
+		if res.Best != nil &&
+			(c.lb > bestRank || (c.lb == bestRank && c.id > bestID)) {
+			st.CellsBounded = int64(h.Len())
+			break
+		}
+		heap.Pop(&h)
+		p := &points[c.idx]
+		st.CellsExpanded++
+		if err := sess.EvaluateInferencePoint(p.Mapping, opt.Batch, &bds[c.idx]); err != nil {
+			p.Err = err
+			continue
+		}
+		p.Breakdown = &bds[c.idx]
+		rank := float64(p.Breakdown.PerToken())
+		if res.Best == nil || rank < bestRank || (rank == bestRank && c.id < bestID) {
+			res.Best, bestRank, bestID = p, rank, c.id
+		}
+	}
+	if res.Best != nil {
+		res.RankSeconds = bestRank
+		res.TokensPerSecond = res.Best.Breakdown.TokensPerSecond()
+	}
+	return res, nil
+}

@@ -3,16 +3,17 @@ package serve
 import (
 	"container/list"
 	"sync"
-
-	"amped/internal/model"
 )
 
-// sessionCache is an LRU of compiled model.Sessions keyed by the canonical
-// scenario hash (model.ScenarioKey), with singleflight compilation: any
-// number of concurrent misses for one key share a single model.Compile.
-// Sessions are immutable and safe to share, so a hit hands the same
-// *Session to any number of concurrent requests; the cache only guards its
-// own bookkeeping.
+// sessionCache is an LRU of compiled sessions keyed by the canonical
+// scenario hash, with singleflight compilation: any number of concurrent
+// misses for one key share a single compile. Entries are either training
+// sessions (*model.Session under model.ScenarioKey) or serving sessions
+// (*model.InferenceSession under model.InferenceScenarioKey) — the key
+// spaces are domain-separated by construction, so one LRU serves both and
+// the typed accessors in handlers assert the entry back. Sessions are
+// immutable and safe to share, so a hit hands the same session to any
+// number of concurrent requests; the cache only guards its own bookkeeping.
 type sessionCache struct {
 	mu       sync.Mutex
 	cap      int
@@ -25,14 +26,14 @@ type sessionCache struct {
 
 type cacheEntry struct {
 	key  string
-	sess *model.Session
+	sess any
 }
 
 // compileCall is one in-flight compilation. The leader closes done after
 // filling sess/err; followers block on done and share the result.
 type compileCall struct {
 	done chan struct{}
-	sess *model.Session
+	sess any
 	err  error
 }
 
@@ -49,7 +50,7 @@ func newSessionCache(capacity int) *sessionCache {
 }
 
 // get returns the cached session and promotes it to most recently used.
-func (c *sessionCache) get(key string) (*model.Session, bool) {
+func (c *sessionCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -69,7 +70,7 @@ func (c *sessionCache) get(key string) (*model.Session, bool) {
 // result. The status return tells the story for response bodies and tests:
 // "hit" (cached), "miss" (this caller compiled), "join" (shared a
 // concurrent caller's compile).
-func (c *sessionCache) getOrCompile(key string, compile func() (*model.Session, error)) (*model.Session, string, error) {
+func (c *sessionCache) getOrCompile(key string, compile func() (any, error)) (any, string, error) {
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
@@ -104,13 +105,13 @@ func (c *sessionCache) getOrCompile(key string, compile func() (*model.Session, 
 // A concurrent insert of the same key wins by arrival order; the later one
 // just refreshes recency (the sessions are interchangeable by construction
 // of the key).
-func (c *sessionCache) put(key string, sess *model.Session) {
+func (c *sessionCache) put(key string, sess any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.putLocked(key, sess)
 }
 
-func (c *sessionCache) putLocked(key string, sess *model.Session) {
+func (c *sessionCache) putLocked(key string, sess any) {
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		return

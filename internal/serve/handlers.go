@@ -12,6 +12,7 @@ import (
 
 	"amped/internal/config"
 	"amped/internal/explore"
+	"amped/internal/memkit"
 	"amped/internal/model"
 	"amped/internal/obs"
 	"amped/internal/parallel"
@@ -25,18 +26,39 @@ import (
 // "join"; it is tallied into the cache counters and echoed in responses.
 func (s *Server) session(ctx context.Context, comp *config.Components) (*model.Session, string, error) {
 	sp := obs.FromContext(ctx).StartSpan(obs.PhaseCache)
-	sess, status, err := s.cache.getOrCompile(comp.Key(), func() (*model.Session, error) {
+	sess, status, err := s.cache.getOrCompile(comp.Key(), func() (any, error) {
 		csp := obs.FromContext(ctx).StartSpan(obs.PhaseCompile)
 		defer csp.End()
 		s.met.compiles.inc()
-		return comp.Compile()
+		compiled, err := comp.Compile()
+		return compiled, err
 	})
 	sp.End()
 	if err != nil {
 		return nil, status, err
 	}
 	s.met.cacheStatus(status)
-	return sess, status, nil
+	return sess.(*model.Session), status, nil
+}
+
+// inferenceSession is session's serving twin: it resolves the scenario plus
+// workload to a compiled model.InferenceSession through the same LRU and
+// singleflight machinery, under the domain-separated inference key.
+func (s *Server) inferenceSession(ctx context.Context, comp *config.Components, inf model.Inference) (*model.InferenceSession, string, error) {
+	sp := obs.FromContext(ctx).StartSpan(obs.PhaseCache)
+	sess, status, err := s.cache.getOrCompile(comp.InferenceKey(inf), func() (any, error) {
+		csp := obs.FromContext(ctx).StartSpan(obs.PhaseCompile)
+		defer csp.End()
+		s.met.compiles.inc()
+		compiled, err := comp.CompileInference(inf)
+		return compiled, err
+	})
+	sp.End()
+	if err != nil {
+		return nil, status, err
+	}
+	s.met.cacheStatus(status)
+	return sess.(*model.InferenceSession), status, nil
 }
 
 // readBody slurps a bounded request body.
@@ -149,6 +171,115 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		resp.CheckpointWriteS = e.CheckpointWrite
 		resp.ExpectedTotalS = float64(bd.ExpectedTotalTime())
 		resp.ExpectedTotalDays = bd.ExpectedTotalTime().Days()
+	}
+	wsp := tr.StartSpan(obs.PhaseEncode)
+	writeJSON(w, http.StatusOK, resp)
+	wsp.End()
+}
+
+// InferResponse is the /v1/infer reply: the serving phase breakdown plus
+// the headline serving metrics.
+type InferResponse struct {
+	ScenarioKey string             `json:"scenario_key"`
+	Cache       string             `json:"cache"`
+	Mapping     string             `json:"mapping"`
+	Batch       int                `json:"batch"`
+	PromptLen   int                `json:"prompt_len"`
+	GenTokens   int                `json:"gen_tokens"`
+	Efficiency  float64            `json:"efficiency"`
+	Workers     int                `json:"workers"`
+	Breakdown   map[string]float64 `json:"breakdown_s"`
+	// TTFTS is the time to first token (prefill plus the first decode
+	// pipeline transit); PerTokenS the steady-state decode step time;
+	// RequestS the end-to-end request latency.
+	TTFTS           float64 `json:"ttft_s"`
+	PerTokenS       float64 `json:"per_token_s"`
+	RequestS        float64 `json:"request_s"`
+	TokensPerSecond float64 `json:"tokens_per_second"`
+	// KVBytesPerSeq is one sequence's KV-cache footprint per accelerator at
+	// the full context; MaxConcurrentSeqs the KV-aware per-replica ceiling
+	// (present only when the accelerator's memory is modeled).
+	KVBytesPerSeq     float64 `json:"kv_bytes_per_seq"`
+	MaxConcurrentSeqs int     `json:"max_concurrent_seqs,omitempty"`
+}
+
+// handleInfer prices one serving design point. The request body is a
+// config.Document with workload: "inference" — the same schema the CLIs
+// load from disk.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.lim.release()
+	tr := obs.FromContext(r.Context())
+
+	sp := tr.StartSpan(obs.PhaseDecode)
+	body, err := s.readBody(w, r)
+	if err != nil {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	doc, err := config.Parse(body)
+	if err != nil {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !doc.IsInference() {
+		sp.End()
+		s.error(w, r, http.StatusBadRequest, `infer request: document must set workload: "inference"`)
+		return
+	}
+	comp, inf, batch, err := doc.InferenceScenario()
+	sp.End()
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, status, err := s.inferenceSession(r.Context(), comp, inf)
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	mp := doc.Mapping.Resolve()
+	esp := tr.StartSpan(obs.PhaseEvaluate)
+	bd, err := sess.Evaluate(mp, batch)
+	esp.End()
+	if err != nil {
+		// The scenario compiled but this point is unusable: the client's
+		// input, the client's 4xx.
+		s.error(w, r, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+
+	breakdown := make(map[string]float64, 12)
+	for _, c := range bd.Components() {
+		breakdown[c.Name] = float64(c.Time)
+	}
+	resp := InferResponse{
+		ScenarioKey:     sess.Key(),
+		Cache:           status,
+		Mapping:         mp.Normalized().String(),
+		Batch:           batch,
+		PromptLen:       bd.PromptLen,
+		GenTokens:       bd.GenTokens,
+		Efficiency:      bd.Efficiency,
+		Workers:         bd.Workers,
+		Breakdown:       breakdown,
+		TTFTS:           float64(bd.TTFT()),
+		PerTokenS:       float64(bd.PerToken()),
+		RequestS:        float64(bd.RequestLatency()),
+		TokensPerSecond: bd.TokensPerSecond(),
+		KVBytesPerSeq:   float64(bd.KVBytesPerSeq),
+	}
+	if accel := sess.System().Accel; accel.Memory > 0 {
+		maxSeqs, err := memkit.MaxConcurrentSeqs(sess.Model(), mp.Normalized(),
+			inf.PromptLen+inf.GenTokens, sess.Training().Operands, accel, 0)
+		if err == nil {
+			resp.MaxConcurrentSeqs = maxSeqs
+		}
 	}
 	wsp := tr.StartSpan(obs.PhaseEncode)
 	writeJSON(w, http.StatusOK, resp)

@@ -143,6 +143,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.wrap("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.wrap("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/v1/evaluate", s.wrap("evaluate", s.handleEvaluate))
+	s.mux.HandleFunc("/v1/infer", s.wrap("infer", s.handleInfer))
 	s.mux.HandleFunc("/v1/sweep", s.wrap("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/sweep/shard", s.wrap("sweep_shard", s.handleSweepShard))
 	s.mux.HandleFunc("/v1/plan", s.wrap("plan", s.handlePlan))
@@ -190,7 +191,7 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // per request. The trace rides the request context, so the sweep engine and
 // error paths see the same request ID the client got in X-Request-Id.
 func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
-	evaluation := name == "evaluate" || name == "sweep" || name == "sweep_shard" || name == "plan"
+	evaluation := name == "evaluate" || name == "infer" || name == "sweep" || name == "sweep_shard" || name == "plan"
 	return func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace()
 		w.Header().Set("X-Request-Id", tr.ID())

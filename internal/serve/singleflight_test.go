@@ -43,7 +43,7 @@ func TestGetOrCompileSingleflight(t *testing.T) {
 
 	var compiles atomic.Int64
 	gate := make(chan struct{})
-	compile := func() (*model.Session, error) {
+	compile := func() (any, error) {
 		compiles.Add(1)
 		<-gate // hold every concurrent caller inside the singleflight window
 		return sess, nil
@@ -51,7 +51,7 @@ func TestGetOrCompileSingleflight(t *testing.T) {
 
 	const callers = 6
 	type res struct {
-		sess   *model.Session
+		sess   any
 		status string
 		err    error
 	}
@@ -99,11 +99,11 @@ func TestGetOrCompileSingleflight(t *testing.T) {
 func TestGetOrCompileErrorNotCached(t *testing.T) {
 	_, sess := compileEvalDoc(t)
 	c := newSessionCache(4)
-	fail := func() (*model.Session, error) { return nil, errBusy }
+	fail := func() (any, error) { return nil, errBusy }
 	if _, status, err := c.getOrCompile("k", fail); err != errBusy || status != "miss" {
 		t.Fatalf("failed compile = (%q, %v), want (miss, errBusy)", status, err)
 	}
-	ok := func() (*model.Session, error) { return sess, nil }
+	ok := func() (any, error) { return sess, nil }
 	if got, status, err := c.getOrCompile("k", ok); err != nil || status != "miss" || got != sess {
 		t.Fatalf("retry after failure = (%q, %v), want a fresh miss", status, err)
 	}

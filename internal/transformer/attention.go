@@ -80,6 +80,17 @@ func (m *Model) kvHeads() int {
 	return m.Heads
 }
 
+// KVHeads returns the effective key/value head count: the GQA head count
+// when the variant sets one, otherwise the full head count (standard MHA).
+func (m *Model) KVHeads() int { return m.kvHeads() }
+
+// KVFrac is the key/value width fraction KVHeads/Heads — the factor by which
+// GQA shrinks every K/V-sized tensor (projections, CP exchange payloads,
+// KV-cache entries). 1 for standard multi-head attention.
+func (m *Model) KVFrac() float64 {
+	return float64(m.kvHeads()) / float64(m.Heads)
+}
+
 // attnSpan returns the per-token attention span: the window if sliding
 // attention is enabled, otherwise the full sequence.
 func (m *Model) attnSpan() float64 {
@@ -87,6 +98,22 @@ func (m *Model) attnSpan() float64 {
 		return float64(m.variant.Window)
 	}
 	return float64(m.SeqLen)
+}
+
+// AttnSpan returns the per-token attention span in tokens: the sliding
+// window when the variant sets one, otherwise the full sequence length.
+// Memory estimators must use this span for score-matrix sizing so they
+// agree with the op counts.
+func (m *Model) AttnSpan() float64 { return m.attnSpan() }
+
+// DecodeSpan returns the attention span of one decode step against a
+// KV cache holding ctx tokens: min(window, ctx) under sliding attention,
+// otherwise the whole cached context.
+func (m *Model) DecodeSpan(ctx int) float64 {
+	if m.variant.Window > 0 && m.variant.Window < ctx {
+		return float64(m.variant.Window)
+	}
+	return float64(ctx)
 }
 
 // attentionMACs counts the attention sublayer's forward MACs under the

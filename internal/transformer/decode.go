@@ -1,0 +1,126 @@
+package transformer
+
+import "amped/internal/units"
+
+// Decode-phase op counting. One autoregressive decode step processes a
+// single new token per sequence against a KV cache of previously computed
+// keys/values, so every tokens term of the training conventions collapses
+// to b (the concurrent sequence count) and the score/context matmuls run
+// over the cached context instead of the full sequence. The KV-cache reads
+// are the decode step's defining memory traffic and are counted separately
+// (Ops.KVElems) so the roofline path can price them without conflating them
+// with freshly produced activations.
+
+// decodeAttentionOps counts the self-attention (plus optional
+// cross-attention) ops of one decode step for `batch` concurrent sequences
+// whose caches hold ctx tokens each.
+//
+// Conventions (b sequences, h hidden, a heads, k = KV fraction,
+// w = DecodeSpan(ctx)):
+//
+//	MACs    = (2+2k)·b·h² + 2·b·w·h      (projections, score + context)
+//	nonlin  = opsSoftmax·b·a·w
+//	act     = (8+4k)·b·h + 4·b·a·w       (same two-passes-per-tensor rule)
+//	KV      = 2·b·w·k·h                  (cached K and V read once each)
+//	weights = (2+2k)·h²
+//
+// Cross-attention decodes against the fixed encoder sequence: its K/V are
+// computed once at prefill and reused, so a decode step only adds the Q/out
+// projections, the encoder-wide score/context matmuls and the encoder-side
+// cache reads.
+func (m *Model) decodeAttentionOps(batch, ctx int) Ops {
+	b := float64(batch)
+	h := float64(m.Hidden)
+	a := float64(m.Heads)
+	k := m.KVFrac()
+	w := m.DecodeSpan(ctx)
+	ops := Ops{
+		Sublayer:    Attention,
+		MACs:        units.Ops((2+2*k)*b*h*h + 2*b*w*h),
+		Nonlin:      units.Ops(opsSoftmax * b * a * w),
+		ActElems:    units.Ops((8+4*k)*b*h + 4*b*a*w),
+		KVElems:     units.Ops(2 * b * w * k * h),
+		WeightElems: units.Ops(h * h * (2 + 2*k)),
+	}
+	if m.variant.CrossAttention {
+		se := m.encoderSeq()
+		ops.MACs += units.Ops(2*b*h*h + 2*b*se*h)
+		ops.Nonlin += units.Ops(opsSoftmax * b * a * se)
+		ops.ActElems += units.Ops(4*b*h + 4*b*a*se)
+		ops.KVElems += units.Ops(2 * b * se * k * h)
+		ops.WeightElems += units.Ops(h * h * (2 + 2*k))
+	}
+	return ops
+}
+
+// decodeLayerOps is the fixed-size-array core of DecodeLayerOps.
+func (m *Model) decodeLayerOps(l, batch, ctx int) [3]Ops {
+	b := float64(batch)
+	h := float64(m.Hidden)
+
+	attn := m.decodeAttentionOps(batch, ctx)
+
+	// MLP and norms see exactly the training sublayers at tokens = b.
+	mlp := Ops{Sublayer: MLP}
+	denseAct := 2*b*h + 4*b*m.ffn()
+	denseW := 2 * h * m.ffn()
+	if m.IsMoELayer(l) {
+		k := float64(m.topK())
+		mlp.MACs = units.Ops(k*2*b*h*m.ffn() + b*h*float64(m.Experts))
+		mlp.Nonlin = units.Ops(k * opsGELU * b * m.ffn())
+		mlp.ActElems = units.Ops(k*denseAct + 2*b*float64(m.Experts))
+		mlp.WeightElems = units.Ops(k*denseW + h*float64(m.Experts))
+	} else {
+		mlp.MACs = units.Ops(2 * b * h * m.ffn())
+		mlp.Nonlin = units.Ops(opsGELU * b * m.ffn())
+		mlp.ActElems = units.Ops(denseAct)
+		mlp.WeightElems = units.Ops(denseW)
+	}
+
+	norms := Ops{
+		Sublayer:    Norms,
+		Nonlin:      units.Ops((2*opsLayerNorm + 2*opsResidual) * b * h),
+		ActElems:    units.Ops(10 * b * h),
+		WeightElems: units.Ops(4 * h),
+	}
+
+	return [3]Ops{attn, mlp, norms}
+}
+
+// DecodeLayerOps returns the operation counts of block l for one decode
+// step of `batch` concurrent sequences, each attending over a KV cache of
+// ctx tokens. The conventions mirror LayerOps with tokens = b and the
+// score/context matmuls spanning DecodeSpan(ctx); the KV-cache reads land
+// in Ops.KVElems.
+func (m *Model) DecodeLayerOps(l, batch, ctx int) []Ops {
+	ops := m.decodeLayerOps(l, batch, ctx)
+	return ops[:]
+}
+
+// DecodeOpSums sums one decode step's block-l op counts across sublayers
+// without allocating — the hot-path accessor for compiled inference
+// sessions, mirroring OpSums.
+func (m *Model) DecodeOpSums(l, batch, ctx int) (macs, nonlin units.Ops) {
+	ops := m.decodeLayerOps(l, batch, ctx)
+	for i := range ops {
+		macs += ops[i].MACs
+		nonlin += ops[i].Nonlin
+	}
+	return macs, nonlin
+}
+
+// DecodeEmbeddingMACs counts the logit projection of one decode step:
+// b·h·V for the single new token of each sequence.
+func (m *Model) DecodeEmbeddingMACs(batch int) units.Ops {
+	return units.Ops(float64(batch) * float64(m.Hidden) * float64(m.Vocab))
+}
+
+// DecodeEmbeddingStreamElems returns the activation and weight elements the
+// decode-step logit projection streams, under the EmbeddingStreamElems
+// conventions at one token per sequence.
+func (m *Model) DecodeEmbeddingStreamElems(batch int) (act, weight units.Ops) {
+	b := float64(batch)
+	act = units.Ops(b*float64(m.Hidden) + b*float64(m.Vocab))
+	weight = units.Ops(float64(m.Hidden) * float64(m.Vocab))
+	return act, weight
+}

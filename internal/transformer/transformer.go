@@ -169,6 +169,12 @@ type Ops struct {
 	// WeightElems counts the weight elements the sublayer streams once per
 	// forward pass (each matrix read once).
 	WeightElems units.Ops
+	// KVElems counts the KV-cache elements a decode step reads from device
+	// memory (2·w·kvFrac·h per sequence for self-attention). Zero for
+	// training/prefill ops, where K and V are freshly produced activations
+	// already counted in ActElems. Priced on the bytes side of the roofline
+	// like ActElems, at the activation operand width.
+	KVElems units.Ops
 }
 
 // LayerOps returns the forward-pass operation counts of block l for a batch
@@ -377,6 +383,20 @@ func (m *Model) TokensPerBatch(batch int) float64 {
 // paper's TFLOP/s/GPU metric (Table II, Fig. 2c).
 func (m *Model) TrainingFLOPs(batch int) units.FLOPs {
 	return units.FLOPs(float64(m.ForwardMACs(batch)) * 3 * units.FLOPsPerMAC)
+}
+
+// AtSeqLen returns a copy of the model with its sequence length replaced —
+// the prefill view of an inference workload, where the "training" sequence
+// length is the prompt length. The attention variant survives the copy; a
+// sliding window longer than the new sequence is clamped to it so the copy
+// stays valid under Variant.Apply's rules.
+func (m *Model) AtSeqLen(s int) Model {
+	out := *m
+	out.SeqLen = s
+	if out.variant.Window > s {
+		out.variant.Window = s
+	}
+	return out
 }
 
 // String summarizes the architecture.
