@@ -3,10 +3,10 @@
 
 GO ?= go
 SWEEP_BENCH := 'BenchmarkSweep(GPT3|Megatron530B|MoE)$$|BenchmarkEvaluate$$|BenchmarkSolveGPT3$$|BenchmarkSessionEvaluateInferencePoint$$'
-SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced|Roofline)?$$|BenchmarkShardedSweep$$'
+SERVE_BENCH := 'BenchmarkSessionEvaluatePoint(Traced|Roofline)?$$|BenchmarkShardedSweep(ChaosOff)?$$'
 BATCH_BENCH := 'BenchmarkEvaluateBatch|BenchmarkSessionEvaluatePoint$$'
 
-.PHONY: build test verify serve-smoke audit bench bench-sweep bench-serve bench-batch clean
+.PHONY: build test verify serve-smoke audit chaos bench bench-sweep bench-serve bench-batch clean
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,20 @@ audit:
 	$(GO) test -race -count=1 ./internal/serve ./internal/obs
 	$(GO) test -race -count=1 ./internal/plan
 	$(GO) test -race -count=1 -run Infer ./internal/model ./internal/audit ./internal/serve ./internal/config
+	$(MAKE) chaos
 	$(GO) test -race ./...
+
+## chaos runs the seeded network-fault property suite at full strength:
+## every seed is one sharded sweep job driven through per-peer chaosnet
+## proxies (latency, resets, mid-stream truncation, 429/503 bursts,
+## flapping and slow-loris peers) under the race detector, uncached. The
+## property: every job converges byte-identical to a clean run or fails
+## with a classified error — never silent corruption, never a hang. The
+## plain test suite runs the same property at 12 seeds; CHAOS_SEEDS=...
+## overrides.
+CHAOS_SEEDS ?= 200
+chaos:
+	AMPED_CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -count=1 -timeout 20m -run TestChaos ./internal/serve
 
 ## bench runs every benchmark once, without touching the ledger.
 bench:

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"amped"
+	"amped/internal/chaosnet"
 	"amped/internal/collective"
 	"amped/internal/hardware"
 	"amped/internal/hetero"
@@ -905,6 +906,46 @@ func BenchmarkShardedSweep(b *testing.B) {
 		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
 		defer ts.Close()
 		peers = append(peers, ts.URL)
+	}
+	coord := httptest.NewServer(serve.New(serve.Config{Peers: peers, ShardChunkCells: 64}).Handler())
+	defer coord.Close()
+
+	var rate, points float64
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(coord.URL+"/v1/sweep", "application/json", strings.NewReader(shardedSweepDoc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sr serve.SweepResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("sweep = %d, %v", resp.StatusCode, err)
+		}
+		rate = sr.PointsPerSecond
+		points = float64(sr.TotalPoints)
+	}
+	b.ReportMetric(points, "design_points")
+	b.ReportMetric(rate, "points/s")
+}
+
+// BenchmarkShardedSweepChaosOff is BenchmarkShardedSweep with every peer
+// connection routed through a zero-fault chaosnet proxy — the resilience
+// layer's clean path, measured end to end. Its ledgered ns/op against
+// BenchmarkShardedSweep's bounds what the breaker/hedging/journal engine
+// plus the interposed proxy hop cost when nothing goes wrong (required
+// <5%).
+func BenchmarkShardedSweepChaosOff(b *testing.B) {
+	var peers []string
+	for i := 0; i < 3; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		defer ts.Close()
+		px, err := chaosnet.New(chaosnet.Config{Seed: int64(i + 1), Target: strings.TrimPrefix(ts.URL, "http://")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer px.Close()
+		peers = append(peers, px.URL())
 	}
 	coord := httptest.NewServer(serve.New(serve.Config{Peers: peers, ShardChunkCells: 64}).Handler())
 	defer coord.Close()

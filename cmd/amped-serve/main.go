@@ -6,8 +6,9 @@
 //	amped-serve -addr :8080 -max-inflight 4 -queue 16 -timeout 30s
 //
 // On SIGINT/SIGTERM the server drains: /healthz flips to 503, new
-// evaluation work is refused, and in-flight requests run to completion
-// before the process exits.
+// evaluation work is refused, in-flight requests run to completion, and
+// running jobs (-journal-dir) suspend with their progress fsynced — a
+// restarted server resumes them exactly where they stopped.
 package main
 
 import (
@@ -48,6 +49,11 @@ func run(args []string, out io.Writer) error {
 		drainFor  = fs.Duration("drain-timeout", 35*time.Second, "max wait for in-flight requests on shutdown")
 		peers     = fs.String("peers", "", "comma-separated replica base URLs; non-empty makes /v1/sweep a sharding coordinator")
 		chunk     = fs.Int64("shard-chunk-cells", 0, "cells per streamed shard chunk (0 = peer default)")
+		journal   = fs.String("journal-dir", "", "directory for crash-safe job journals; empty disables durability for /v1/sweep/jobs")
+		probe     = fs.Duration("peer-probe-interval", 0, "how often open peer breakers are health-probed (0 = default)")
+		backBase  = fs.Duration("peer-backoff-base", 0, "initial per-peer backoff (0 = default)")
+		backMax   = fs.Duration("peer-backoff-max", 0, "per-peer backoff cap (0 = default)")
+		stall     = fs.Duration("stall-budget", 0, "max wall-clock without durable sweep progress before a sharded run fails (0 = default)")
 		quiet     = fs.Bool("quiet", false, "suppress per-request logs")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +78,11 @@ func run(args []string, out io.Writer) error {
 		MaxBodyBytes:    *maxBody,
 		Peers:           peerList,
 		ShardChunkCells: *chunk,
+		JournalDir:      *journal,
+		ProbeInterval:   *probe,
+		PeerBackoffBase: *backBase,
+		PeerBackoffMax:  *backMax,
+		StallBudget:     *stall,
 		Logger:          logger,
 	})
 
@@ -128,6 +139,11 @@ func run(args []string, out io.Writer) error {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	// Close after Shutdown: waits for every running job to write its
+	// journaled suspend record (resumable on the next start) and stops the
+	// peer prober. StartDraining already cancelled the job runners, so this
+	// converges quickly.
+	svc.Close()
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

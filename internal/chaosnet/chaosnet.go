@@ -1,0 +1,344 @@
+// Package chaosnet is a deterministic network-fault injection proxy for
+// exercising amped-serve's resilience layer. A Proxy listens on a loopback
+// port and forwards TCP connections to a target address; every accepted
+// connection draws a fault plan — pass through, inject latency, reject with
+// a canned 429/503, reset mid-stream, truncate the response, or trickle it
+// slow-loris style — from a PRNG seeded per connection as
+//
+//	seed' = Seed ^ (connection index * splitmix64 constant)
+//
+// so a given (Seed, config) pair produces the exact same fault sequence on
+// every run regardless of goroutine scheduling: connection k always draws
+// plan k. The proxy also models a flapping peer: a square wave of up/down
+// windows derived from the same seed, during which connections are refused
+// outright.
+//
+// chaosnet sits below HTTP on purpose. The failure modes the serving fleet
+// actually sees — RSTs mid-NDJSON-line, FINs halfway through a chunk, load
+// shedding, a peer that accepts and then goes silent — are transport-level,
+// and injecting them above the socket would miss the exact byte positions
+// where the decoder has to prove it never corrupts or double-counts.
+package chaosnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects the fault mix. Probabilities are per accepted connection
+// and drawn in field order; they need not sum to 1 — the remainder passes
+// clean. Zero values disable a fault.
+type Config struct {
+	// Seed fixes the fault schedule. The same seed against the same config
+	// always yields the same per-connection plans.
+	Seed int64
+	// Target is the upstream "host:port" to forward to.
+	Target string
+
+	// RejectP answers the connection with a canned HTTP 429 (even draws) or
+	// 503 (odd draws) carrying a Retry-After, then closes.
+	RejectP float64
+	// ResetP forwards a prefix of the upstream response, then hard-resets
+	// the client connection (RST via SO_LINGER=0) mid-stream.
+	ResetP float64
+	// TruncateP forwards a prefix of the upstream response, then closes
+	// cleanly (FIN) as if the peer died after a partial write.
+	TruncateP float64
+	// SlowP trickles the response at SlowBPS bytes/second — a slow-loris
+	// peer that keeps the stream alive without delivering progress.
+	SlowP float64
+	// SlowBPS is the slow-loris trickle rate (default 64 B/s).
+	SlowBPS int
+
+	// LatencyP delays the upstream dial by up to MaxLatency (uniform).
+	LatencyP float64
+	// MaxLatency bounds injected latency (default 50ms).
+	MaxLatency time.Duration
+
+	// FlapEvery, when set, square-waves the proxy: alternating up/down
+	// windows of this length (phase offset drawn from Seed). Connections
+	// arriving in a down window are closed immediately, like a peer whose
+	// process is gone between restarts.
+	FlapEvery time.Duration
+}
+
+// Fault classes, reported in Stats.
+const (
+	FaultPass     = "pass"
+	FaultReject   = "reject"
+	FaultReset    = "reset"
+	FaultTruncate = "truncate"
+	FaultSlow     = "slow"
+	FaultFlap     = "flap"
+)
+
+// plan is one connection's drawn fate.
+type plan struct {
+	fault      string
+	delay      time.Duration
+	prefix     int64 // response bytes forwarded before reset/truncate
+	bps        int
+	rejectCode int
+}
+
+// Proxy is one running chaos proxy.
+type Proxy struct {
+	cfg   Config
+	ln    net.Listener
+	conns atomic.Int64 // connection index counter
+	start time.Time    // flap phase origin
+
+	mu    sync.Mutex
+	stats map[string]int64
+
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	flapOff time.Duration // seeded phase offset
+}
+
+// New starts a proxy on an ephemeral loopback port.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("chaosnet: empty target")
+	}
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 50 * time.Millisecond
+	}
+	if cfg.SlowBPS <= 0 {
+		cfg.SlowBPS = 64
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		ln:    ln,
+		start: time.Now(),
+		stats: make(map[string]int64),
+	}
+	if cfg.FlapEvery > 0 {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		p.flapOff = time.Duration(r.Int63n(int64(2 * cfg.FlapEvery)))
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address ("127.0.0.1:port").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL is the proxy's http base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Close stops accepting and waits for in-flight connections to finish
+// their (bounded) fault scripts.
+func (p *Proxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+// Stats returns how many connections drew each fault class.
+func (p *Proxy) Stats() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.stats))
+	for k, v := range p.stats {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *Proxy) count(fault string) {
+	p.mu.Lock()
+	p.stats[fault]++
+	p.mu.Unlock()
+}
+
+// planFor draws connection i's fault plan. Deterministic in (Seed, cfg, i).
+func (p *Proxy) planFor(i int64) plan {
+	// splitmix64's odd constant decorrelates consecutive connection seeds.
+	r := rand.New(rand.NewSource(p.cfg.Seed ^ (i+1)*-7046029254386353131))
+	pl := plan{fault: FaultPass}
+	u := r.Float64()
+	switch {
+	case u < p.cfg.RejectP:
+		pl.fault = FaultReject
+		pl.rejectCode = 429
+		if i%2 == 1 {
+			pl.rejectCode = 503
+		}
+	case u < p.cfg.RejectP+p.cfg.ResetP:
+		pl.fault = FaultReset
+		pl.prefix = 1 + r.Int63n(2048)
+	case u < p.cfg.RejectP+p.cfg.ResetP+p.cfg.TruncateP:
+		pl.fault = FaultTruncate
+		pl.prefix = 1 + r.Int63n(2048)
+	case u < p.cfg.RejectP+p.cfg.ResetP+p.cfg.TruncateP+p.cfg.SlowP:
+		pl.fault = FaultSlow
+		pl.bps = p.cfg.SlowBPS
+	}
+	if r.Float64() < p.cfg.LatencyP {
+		pl.delay = time.Duration(r.Int63n(int64(p.cfg.MaxLatency) + 1))
+	}
+	return pl
+}
+
+// down reports whether the flap square wave is in a down window.
+func (p *Proxy) down() bool {
+	if p.cfg.FlapEvery <= 0 {
+		return false
+	}
+	phase := (time.Since(p.start) + p.flapOff) % (2 * p.cfg.FlapEvery)
+	return phase >= p.cfg.FlapEvery
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		i := p.conns.Add(1) - 1
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(c, i)
+		}()
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, i int64) {
+	defer client.Close()
+	if p.down() {
+		// Flapping peer: the process is "gone"; kill the connection with a
+		// reset so the client sees a dead peer, not a graceful close.
+		p.count(FaultFlap)
+		hardReset(client)
+		return
+	}
+	pl := p.planFor(i)
+	p.count(pl.fault)
+
+	if pl.delay > 0 {
+		time.Sleep(pl.delay)
+	}
+
+	if pl.fault == FaultReject {
+		// A canned load-shed answer; no upstream involved. Drain the request
+		// head first so the client is not mid-write when the answer lands.
+		// Retry-After: 0 keeps chaos runs fast while still exercising the
+		// header parse path.
+		drainRequestHead(client)
+		fmt.Fprintf(client, "HTTP/1.1 %d %s\r\nRetry-After: 0\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+			pl.rejectCode, statusText(pl.rejectCode))
+		// Let the client read the answer (it closes on Connection: close)
+		// before our FIN; bounded so a dead client can't pin the handler.
+		client.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		io.Copy(io.Discard, client)
+		return
+	}
+
+	upstream, err := net.DialTimeout("tcp", p.cfg.Target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+
+	// Request side: forward everything the client sends.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(upstream, client)
+		// The client finished its request (or died): pass the half-close on
+		// so the upstream sees EOF where it expects it.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	// Response side: apply the plan.
+	switch pl.fault {
+	case FaultReset:
+		io.CopyN(client, upstream, pl.prefix)
+		hardReset(client)
+	case FaultTruncate:
+		io.CopyN(client, upstream, pl.prefix)
+		// Plain close below sends FIN: a clean-looking death mid-response.
+	case FaultSlow:
+		trickle(client, upstream, pl.bps)
+	default:
+		io.Copy(client, upstream)
+	}
+}
+
+// trickle forwards upstream→client at roughly bps bytes per second until
+// either side dies. Chunks of bps/10 every 100ms keep the cadence smooth at
+// test-sized rates.
+func trickle(client net.Conn, upstream net.Conn, bps int) {
+	chunk := bps / 10
+	if chunk < 1 {
+		chunk = 1
+	}
+	buf := make([]byte, chunk)
+	for {
+		n, err := upstream.Read(buf)
+		if n > 0 {
+			if _, werr := client.Write(buf[:n]); werr != nil {
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// drainRequestHead reads the client's request up to the end of its headers
+// (or 64KB, or 2s), enough for a shedding answer to arrive after the
+// request instead of racing it.
+func drainRequestHead(c net.Conn) {
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	defer c.SetReadDeadline(time.Time{})
+	buf := make([]byte, 4096)
+	var seen []byte
+	for len(seen) < 64*1024 {
+		n, err := c.Read(buf)
+		seen = append(seen, buf[:n]...)
+		if bytes.Contains(seen, []byte("\r\n\r\n")) || err != nil {
+			return
+		}
+	}
+}
+
+// hardReset closes a TCP connection with SO_LINGER=0 so the kernel sends
+// RST instead of FIN — the client's next read fails with "connection reset
+// by peer", exactly like a crashed process with unread socket data.
+func hardReset(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func statusText(code int) string {
+	switch code {
+	case 429:
+		return "Too Many Requests"
+	case 503:
+		return "Service Unavailable"
+	}
+	return "Error"
+}

@@ -1,0 +1,206 @@
+package chaosnet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func backend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newProxy(t *testing.T, cfg Config) *Proxy {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// noKeepAlive avoids pooled connections so every request draws a fresh
+// fault plan.
+func noKeepAlive() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	ts := backend(t, "hello through chaos")
+	p := newProxy(t, Config{Seed: 1, Target: strings.TrimPrefix(ts.URL, "http://")})
+
+	resp, err := noKeepAlive().Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello through chaos" {
+		t.Fatalf("body = %q", b)
+	}
+	if st := p.Stats(); st[FaultPass] != 1 {
+		t.Fatalf("stats = %v, want one pass", st)
+	}
+}
+
+func TestPlansAreDeterministic(t *testing.T) {
+	ts := backend(t, "x")
+	cfg := Config{
+		Seed: 42, Target: strings.TrimPrefix(ts.URL, "http://"),
+		RejectP: 0.2, ResetP: 0.2, TruncateP: 0.2, SlowP: 0.1,
+		LatencyP: 0.5, MaxLatency: 10 * time.Millisecond,
+	}
+	a := newProxy(t, cfg)
+	b := newProxy(t, cfg)
+	for i := int64(0); i < 200; i++ {
+		if pa, pb := a.planFor(i), b.planFor(i); pa != pb {
+			t.Fatalf("conn %d: plans diverge under one seed: %+v vs %+v", i, pa, pb)
+		}
+	}
+
+	cfg.Seed = 43
+	c := newProxy(t, cfg)
+	same := true
+	for i := int64(0); i < 200; i++ {
+		if a.planFor(i) != c.planFor(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("200 plans identical across different seeds")
+	}
+
+	// The fault mix actually covers every class at these probabilities.
+	seen := map[string]bool{}
+	for i := int64(0); i < 200; i++ {
+		seen[a.planFor(i).fault] = true
+	}
+	for _, f := range []string{FaultPass, FaultReject, FaultReset, FaultTruncate, FaultSlow} {
+		if !seen[f] {
+			t.Fatalf("fault %s never drawn in 200 plans", f)
+		}
+	}
+}
+
+func TestRejectAnswersCanned(t *testing.T) {
+	ts := backend(t, "unreachable")
+	p := newProxy(t, Config{Seed: 7, Target: strings.TrimPrefix(ts.URL, "http://"), RejectP: 1})
+
+	codes := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		resp, err := noKeepAlive().Get(p.URL())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("reject without Retry-After")
+		}
+		codes[resp.StatusCode] = true
+		resp.Body.Close()
+	}
+	if !codes[429] || !codes[503] {
+		t.Fatalf("reject codes = %v, want both 429 and 503", codes)
+	}
+}
+
+func TestResetBreaksMidStream(t *testing.T) {
+	// A response far larger than any reset prefix, so the cut always lands
+	// mid-body.
+	ts := backend(t, strings.Repeat("abcdefgh", 64*1024))
+	p := newProxy(t, Config{Seed: 3, Target: strings.TrimPrefix(ts.URL, "http://"), ResetP: 1})
+
+	resp, err := noKeepAlive().Get(p.URL())
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("reset connection delivered a complete response")
+	}
+	if st := p.Stats(); st[FaultReset] == 0 {
+		t.Fatalf("stats = %v, want reset draws", st)
+	}
+}
+
+func TestTruncateEndsEarly(t *testing.T) {
+	full := strings.Repeat("abcdefgh", 64*1024)
+	ts := backend(t, full)
+	p := newProxy(t, Config{Seed: 5, Target: strings.TrimPrefix(ts.URL, "http://"), TruncateP: 1})
+
+	resp, err := noKeepAlive().Get(p.URL())
+	var n int
+	if err == nil {
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		n, err = len(b), rerr
+	}
+	if err == nil && n >= len(full) {
+		t.Fatal("truncated connection delivered the full response")
+	}
+}
+
+func TestSlowStillDelivers(t *testing.T) {
+	ts := backend(t, "slow but intact")
+	// ~200 B response headers+body at 4KB/s: arrives well under a second,
+	// but through the trickle path.
+	p := newProxy(t, Config{Seed: 9, Target: strings.TrimPrefix(ts.URL, "http://"), SlowP: 1, SlowBPS: 4096})
+
+	resp, err := noKeepAlive().Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "slow but intact" {
+		t.Fatalf("body = %q", b)
+	}
+	if st := p.Stats(); st[FaultSlow] == 0 {
+		t.Fatalf("stats = %v, want slow draws", st)
+	}
+}
+
+func TestFlapWindows(t *testing.T) {
+	ts := backend(t, "x")
+	p := newProxy(t, Config{Seed: 11, Target: strings.TrimPrefix(ts.URL, "http://"), FlapEvery: 30 * time.Millisecond})
+
+	// Over a few full periods every connection either works or dies — and
+	// both must occur.
+	var ok, dead int
+	cl := noKeepAlive()
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		resp, err := cl.Get(p.URL())
+		if err != nil {
+			dead++
+		} else {
+			resp.Body.Close()
+			ok++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ok == 0 || dead == 0 {
+		t.Fatalf("flapping proxy: ok=%d dead=%d, want both non-zero", ok, dead)
+	}
+	if st := p.Stats(); st[FaultFlap] == 0 {
+		t.Fatalf("stats = %v, want flap draws", st)
+	}
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"amped/internal/chaosnet"
+)
+
+// chaosSeedCount reads AMPED_CHAOS_SEEDS (default 12 for the ordinary test
+// run; `make chaos` raises it to 200).
+func chaosSeedCount(t *testing.T) int {
+	t.Helper()
+	if v := os.Getenv("AMPED_CHAOS_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad AMPED_CHAOS_SEEDS=%q", v)
+		}
+		return n
+	}
+	return 12
+}
+
+// chaosConfig derives one seed's fault mix. The draw itself is seeded, so
+// seed k always runs the exact same schedule: which faults, how hard, and —
+// inside each proxy — the per-connection plans.
+func chaosConfig(seed int64, target string) chaosnet.Config {
+	r := rand.New(rand.NewSource(seed))
+	cfg := chaosnet.Config{
+		Seed:       seed,
+		Target:     target,
+		RejectP:    r.Float64() * 0.25,
+		ResetP:     r.Float64() * 0.25,
+		TruncateP:  r.Float64() * 0.25,
+		SlowP:      r.Float64() * 0.15,
+		SlowBPS:    256,
+		LatencyP:   r.Float64() * 0.5,
+		MaxLatency: 5 * time.Millisecond,
+	}
+	if r.Float64() < 0.3 {
+		cfg.FlapEvery = time.Duration(30+r.Int63n(60)) * time.Millisecond
+	}
+	return cfg
+}
+
+// chaosJobClasses is every failure class a chaos run may legitimately end
+// in. Anything else — journal, internal, bad_request, an empty class — is a
+// resilience-layer bug the suite exists to catch.
+var chaosJobClasses = map[string]bool{
+	errClassStalled: true,
+	errClassNoPeers: true,
+}
+
+// waitJobDeadline polls until the job leaves running or the hang budget
+// expires. A hang is its own first-class failure: the resilience layer must
+// always reach a verdict.
+func waitJobDeadline(t *testing.T, url, id string, hang time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(hang)
+	for {
+		code, b := get(t, url+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("job get = %d %s", code, b)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != jobRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("HANG: job %s still running after %v (covered %d/%d)",
+				id, hang, st.CoveredCells, st.TotalCells)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosSweepJobsConvergeOrClassify is the headline resilience property:
+// under seeded network chaos between the coordinator and its peers — injected
+// latency, connection resets, mid-stream truncation, 429/503 bursts,
+// flapping and slow-loris peers — every sweep job either completes with a
+// ranking byte-identical to a clean single-node run, or fails with a
+// classified error. Never silent corruption, never a hang past the stall
+// budget.
+func TestChaosSweepJobsConvergeOrClassify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short")
+	}
+	_, cleanTS := newTestServer(t, Config{})
+	_, cleanBody := post(t, cleanTS.URL+"/v1/sweep", sweepDoc)
+	wantPoints := pointsJSON(t, cleanBody)
+
+	seeds := chaosSeedCount(t)
+	counts := struct {
+		mu   chan struct{}
+		done int
+		fail map[string]int
+	}{mu: make(chan struct{}, 1), fail: map[string]int{}}
+	counts.mu <- struct{}{}
+
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			// Two real peers, each behind its own seeded chaos proxy.
+			proxied := make([]string, 2)
+			for i := range proxied {
+				_, pts := newTestServer(t, Config{})
+				px, err := chaosnet.New(chaosConfig(int64(seed*2+i+1), strings.TrimPrefix(pts.URL, "http://")))
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(px.Close)
+				proxied[i] = px.URL()
+			}
+			_, cts := newTestServer(t, Config{
+				Peers:           proxied,
+				ShardChunkCells: 7,
+				JournalDir:      t.TempDir(),
+				StallBudget:     1500 * time.Millisecond,
+				ProbeInterval:   20 * time.Millisecond,
+				PeerBackoffBase: 5 * time.Millisecond,
+				PeerBackoffMax:  60 * time.Millisecond,
+			})
+
+			id := createJob(t, cts.URL, "/v1/sweep/jobs", sweepDoc)
+			st := waitJobDeadline(t, cts.URL, id, 20*time.Second)
+
+			switch st.State {
+			case jobDone:
+				if st.CoveredCells != st.TotalCells {
+					t.Fatalf("done with %d/%d cells covered", st.CoveredCells, st.TotalCells)
+				}
+				if got := pointsJSON(t, st.Result); !bytes.Equal(got, wantPoints) {
+					t.Fatalf("SILENT CORRUPTION: chaos ranking diverges from clean run:\n got %s\nwant %s",
+						got, wantPoints)
+				}
+				<-counts.mu
+				counts.done++
+				counts.mu <- struct{}{}
+			case jobFailed:
+				if !chaosJobClasses[st.Class] {
+					t.Fatalf("unclassified chaos failure: class=%q err=%q", st.Class, st.Error)
+				}
+				<-counts.mu
+				counts.fail[st.Class]++
+				counts.mu <- struct{}{}
+			default:
+				t.Fatalf("job ended in state %q", st.State)
+			}
+		})
+	}
+
+	t.Cleanup(func() {
+		t.Logf("chaos: %d seeds -> done=%d failed=%v", seeds, counts.done, counts.fail)
+	})
+}
+
+// TestChaosKillAndRestart runs the crash-safety property end to end under
+// chaos: a coordinator journaling a sharded sweep through faulty links is
+// drained mid-job (the SIGTERM path), then a fresh server over the same
+// journal directory — with clean links — finishes the job. The resumed
+// ranking must be byte-identical to an uninterrupted clean run, and the
+// resume must be visible in amped_job_resumes_total.
+func TestChaosKillAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short")
+	}
+	_, cleanTS := newTestServer(t, Config{})
+	_, cleanBody := post(t, cleanTS.URL+"/v1/sweep", bigSweepDoc)
+	wantPoints := pointsJSON(t, cleanBody)
+
+	dir := t.TempDir()
+	proxyURLs := make([]string, 2)
+	directURLs := make([]string, 2)
+	for i := range proxyURLs {
+		_, pts := newTestServer(t, Config{})
+		directURLs[i] = pts.URL
+		// Moderate, non-flapping chaos: the job must make some progress so
+		// the drain lands mid-flight.
+		px, err := chaosnet.New(chaosnet.Config{
+			Seed: int64(1000 + i), Target: strings.TrimPrefix(pts.URL, "http://"),
+			RejectP: 0.1, ResetP: 0.15, TruncateP: 0.15,
+			LatencyP: 0.5, MaxLatency: 3 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(px.Close)
+		proxyURLs[i] = px.URL()
+	}
+
+	srv, ts := newTestServer(t, Config{
+		Peers:           proxyURLs,
+		ShardChunkCells: 3,
+		JournalDir:      dir,
+		StallBudget:     2 * time.Second,
+		ProbeInterval:   20 * time.Millisecond,
+		PeerBackoffBase: 5 * time.Millisecond,
+		PeerBackoffMax:  60 * time.Millisecond,
+	})
+	id := createJob(t, ts.URL, "/v1/sweep/jobs", bigSweepDoc)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.jobs.get(id).st.coveredCells() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job made no progress under chaos")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	srv.StartDraining()
+	srv.Close()
+
+	st := srv.jobs.get(id).status()
+	if st.State != jobSuspended && st.State != jobDone {
+		t.Fatalf("after drain state = %q, want suspended (or done on a fast race)", st.State)
+	}
+	if st.State == jobDone {
+		t.Skip("job finished before the drain landed; nothing to resume")
+	}
+
+	// The restarted coordinator talks to the peers directly: the resilience
+	// property under test here is the journal resume, not re-running the
+	// fault gauntlet (the headline suite covers that).
+	_, ts2 := newTestServer(t, Config{
+		Peers:           directURLs,
+		ShardChunkCells: 3,
+		JournalDir:      dir,
+		StallBudget:     2 * time.Second,
+		ProbeInterval:   20 * time.Millisecond,
+		PeerBackoffBase: 5 * time.Millisecond,
+		PeerBackoffMax:  60 * time.Millisecond,
+	})
+	fin := waitJobDeadline(t, ts2.URL, id, 20*time.Second)
+	if fin.State != jobDone {
+		t.Fatalf("resumed job state = %q (class=%s err=%s), want done", fin.State, fin.Class, fin.Error)
+	}
+	if got := pointsJSON(t, fin.Result); !bytes.Equal(got, wantPoints) {
+		t.Fatalf("resumed ranking diverges from clean run:\n got %s\nwant %s", got, wantPoints)
+	}
+	_, metBody := get(t, ts2.URL+"/metrics")
+	if !strings.Contains(string(metBody), "amped_job_resumes_total 1") {
+		t.Fatal("metrics missing amped_job_resumes_total after resume")
+	}
+}

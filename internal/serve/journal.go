@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The job journal is the crash-safety substrate of the durable-jobs layer:
+// every unit of durable progress (a merged shard chunk) is appended as one
+// CRC-framed record and fsynced before the coordinator acknowledges it to
+// itself. A coordinator that dies — kill -9, OOM, power loss — replays the
+// journal on restart and resumes the sweep exactly where the last durable
+// chunk left it, with the final ranking byte-identical to an uninterrupted
+// run.
+//
+// Frame layout, little-endian, one record per frame:
+//
+//	[4B payload length][4B IEEE CRC32 of payload][payload JSON]
+//
+// A torn tail — a partial frame from a crash mid-write — fails the length
+// bound or the CRC and terminates replay cleanly at the last whole record;
+// the writer then truncates the file at that offset before appending, so a
+// resumed journal never carries garbage in the middle.
+
+// maxJournalRecordBytes bounds one record's payload. Chunk records carry at
+// most one chunk's top-N points; anything larger is a corrupt length field
+// from a torn or damaged frame.
+const maxJournalRecordBytes = 8 << 20
+
+// journalRecord is the union of every record type, discriminated by T.
+// Exactly one of the optional sections is populated per record.
+type journalRecord struct {
+	// T is the record type: "job" (header, always first), "chunk" (one
+	// durably merged shard chunk), "done" (terminal success, carrying the
+	// final marshaled result), "fail" (terminal classified failure) or
+	// "suspend" (clean mid-sweep stop at drain; the job is resumable).
+	T string `json:"t"`
+
+	// Header fields (t = "job").
+	ID      string          `json:"id,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	Body    json.RawMessage `json:"body,omitempty"`
+	Created int64           `json:"created,omitempty"`
+
+	// Chunk fields (t = "chunk"): the merged cursor range, how many points
+	// it completed and its top-N candidates — everything the merge needs to
+	// reconstruct its state.
+	Lo        int64        `json:"lo,omitempty"`
+	Hi        int64        `json:"hi,omitempty"`
+	Completed int          `json:"completed,omitempty"`
+	Points    []ShardPoint `json:"points,omitempty"`
+
+	// Terminal fields: the final result JSON (t = "done") or the classified
+	// failure (t = "fail").
+	Result json.RawMessage `json:"result,omitempty"`
+	Class  string          `json:"class,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// journalWriter appends framed records to one job's journal file. Appends
+// are serialized by the mutex; every append is fsynced before returning, so
+// a record the writer acknowledged survives any crash.
+type journalWriter struct {
+	mu    sync.Mutex
+	f     *os.File
+	bytes *counter // amped_journal_bytes_total (may be nil in tests)
+}
+
+// journalPath names a job's journal file inside dir.
+func journalPath(dir, jobID string) string {
+	return filepath.Join(dir, jobID+".journal")
+}
+
+// createJournal opens a fresh journal for writing. The directory is created
+// on demand so a configured -journal-dir works on first boot.
+func createJournal(dir, jobID string, bytes *counter) (*journalWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal dir: %w", err)
+	}
+	f, err := os.OpenFile(journalPath(dir, jobID), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &journalWriter{f: f, bytes: bytes}, nil
+}
+
+// resumeJournal reopens an existing journal for appending after a replay
+// reported validBytes of intact frames: the torn tail (if any) is truncated
+// away first so the file ends on a whole record.
+func resumeJournal(path string, validBytes int64, bytes *counter) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Truncate(validBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &journalWriter{f: f, bytes: bytes}, nil
+}
+
+// append frames, writes and fsyncs one record. The fsync is the durability
+// point: a chunk is only folded into the in-memory merge after its record
+// is on stable storage, so the journal never lags the state it reconstructs.
+func (w *journalWriter) append(rec journalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	if w.bytes != nil {
+		w.bytes.add(uint64(8 + len(payload)))
+	}
+	return nil
+}
+
+func (w *journalWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// replayJournal reads every intact record from a journal file. It is torn-
+// tail tolerant by construction: a truncated frame, an oversized length
+// field or a CRC mismatch ends the replay at the last whole record instead
+// of failing it — exactly the state a crash mid-append leaves behind.
+// validBytes is the offset of the first byte past the last intact record;
+// the caller truncates there before resuming appends.
+func replayJournal(path string) (recs []journalRecord, validBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := newCountingReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// EOF here is a clean end; anything shorter is a torn header.
+			return recs, validBytes, nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxJournalRecordBytes {
+			return recs, validBytes, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, validBytes, nil
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return recs, validBytes, nil
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The frame is intact but the payload is not a record — treat it
+			// like corruption and stop, keeping everything before it.
+			return recs, validBytes, nil
+		}
+		recs = append(recs, rec)
+		validBytes = r.n
+	}
+}
+
+// countingReader tracks how many bytes have been consumed, so replay knows
+// the exact offset of the last intact record.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// listJournals returns the job IDs with a journal file in dir, in lexical
+// order. A missing directory is an empty fleet, not an error.
+func listJournals(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if filepath.Ext(name) == ".journal" {
+			ids = append(ids, name[:len(name)-len(".journal")])
+		}
+	}
+	return ids, nil
+}

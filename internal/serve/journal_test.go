@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTestRecords appends n chunk records behind a header and returns the
+// journal path.
+func writeTestRecords(t *testing.T, dir string, n int) string {
+	t.Helper()
+	w, err := createJournal(dir, "job1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if err := w.append(journalRecord{T: "job", ID: "job1", Kind: "sweep", Body: []byte(`{"x":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := journalRecord{
+			T: "chunk", Lo: int64(i * 7), Hi: int64((i + 1) * 7), Completed: 7,
+			Points: []ShardPoint{{SweepPoint: SweepPoint{Mapping: "tp=2", Batch: 64}, RankS: 1.25 + float64(i)}},
+		}
+		if err := w.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return journalPath(dir, "job1")
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := writeTestRecords(t, t.TempDir(), 3)
+	recs, valid, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != st.Size() {
+		t.Errorf("validBytes = %d, file size = %d", valid, st.Size())
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	if recs[0].T != "job" || recs[0].ID != "job1" || string(recs[0].Body) != `{"x":1}` {
+		t.Errorf("header mangled: %+v", recs[0])
+	}
+	for i, rec := range recs[1:] {
+		if rec.T != "chunk" || rec.Lo != int64(i*7) || rec.Hi != int64((i+1)*7) {
+			t.Errorf("chunk %d mangled: %+v", i, rec)
+		}
+		if len(rec.Points) != 1 || rec.Points[0].RankS != 1.25+float64(i) {
+			t.Errorf("chunk %d points mangled (float round-trip): %+v", i, rec.Points)
+		}
+	}
+}
+
+// TestJournalTornTail simulates a crash mid-append: progressively truncated
+// journals must replay every record before the tear and report the offset of
+// the last whole record, never an error.
+func TestJournalTornTail(t *testing.T) {
+	path := writeTestRecords(t, t.TempDir(), 3)
+	whole, wholeValid, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := len(raw) - 1; cut >= 0; cut-- {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, valid, err := replayJournal(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) > len(whole) || valid > int64(cut) {
+			t.Fatalf("cut %d: replay overran the tear (%d recs, valid %d)", cut, len(recs), valid)
+		}
+		if valid > wholeValid {
+			t.Fatalf("cut %d: valid %d > intact size %d", cut, valid, wholeValid)
+		}
+		for i, rec := range recs {
+			if !reflect.DeepEqual(rec, whole[i]) {
+				t.Fatalf("cut %d: record %d diverges after tear", cut, i)
+			}
+		}
+	}
+}
+
+// TestJournalCRCCorruption flips one payload byte: replay must stop at the
+// corrupted record, keeping everything before it.
+func TestJournalCRCCorruption(t *testing.T) {
+	path := writeTestRecords(t, t.TempDir(), 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the third record's payload: skip the header
+	// record and two chunk frames, then land past the frame header.
+	off := 0
+	for i := 0; i < 2; i++ {
+		n := binary.LittleEndian.Uint32(raw[off : off+4])
+		off += 8 + int(n)
+	}
+	raw[off+12] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, valid, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replay past a CRC mismatch: %d records, want 2", len(recs))
+	}
+	if valid != int64(off) {
+		t.Errorf("validBytes = %d, want %d (start of corrupt frame)", valid, off)
+	}
+}
+
+// TestJournalResumeAfterTear: resuming a torn journal truncates the tail and
+// appends cleanly; a second replay sees old records plus the new one.
+func TestJournalResumeAfterTear(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestRecords(t, dir, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the last record.
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, valid, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn replay = %d records, want 2", len(recs))
+	}
+	w, err := resumeJournal(path, valid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(journalRecord{T: "suspend"}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	recs, _, err = replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].T != "suspend" {
+		t.Fatalf("resumed journal = %+v, want 2 old records + suspend", recs)
+	}
+}
+
+// TestJournalOversizedLength: a corrupt length field larger than the record
+// bound must terminate replay, not attempt a giant allocation.
+func TestJournalOversizedLength(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestRecords(t, dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], maxJournalRecordBytes+1)
+	binary.LittleEndian.PutUint32(frame[4:8], 0)
+	raw = append(raw, frame[:]...)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("oversized frame not rejected: %d records", len(recs))
+	}
+}
+
+func TestListJournals(t *testing.T) {
+	dir := t.TempDir()
+	if ids, err := listJournals(filepath.Join(dir, "missing")); err != nil || ids != nil {
+		t.Fatalf("missing dir = (%v, %v), want (nil, nil)", ids, err)
+	}
+	writeTestRecords(t, dir, 1)
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := listJournals(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"job1"}) {
+		t.Fatalf("listJournals = %v, want [job1]", ids)
+	}
+}

@@ -131,6 +131,13 @@ type metrics struct {
 	shardReroutes   counter     // amped_shard_reroutes_total
 	shardDuplicates counter     // amped_shard_duplicate_chunks_total
 
+	// Resilience-layer counters: hedged dispatches of the final straggler
+	// range, jobs resumed from their journal after a restart, and bytes
+	// durably appended to job journals.
+	hedges       *counterVec // amped_hedges_total{outcome}
+	jobResumes   counter     // amped_job_resumes_total
+	journalBytes counter     // amped_journal_bytes_total
+
 	latency      *obs.Histogram                // amped_request_duration_seconds
 	queueWait    *obs.Histogram                // amped_queue_wait_seconds
 	sweepRate    *obs.Histogram                // amped_sweep_points_per_second
@@ -140,12 +147,17 @@ type metrics struct {
 	// gauges reads live values: in-flight requests, queue depth, cached
 	// sessions. Set once at server construction.
 	gauges func() (inFlight, queueDepth, cachedSessions int)
+
+	// peerRows samples every peer's breaker state for amped_peer_state;
+	// nil when no peers are configured.
+	peerRows func() []peerStateRow
 }
 
 func newMetrics() *metrics {
 	m := &metrics{
 		requests:     newCounterVec(),
 		shards:       newCounterVec(),
+		hedges:       newCounterVec(),
 		latency:      obs.NewHistogram(latencyBuckets...),
 		queueWait:    obs.NewHistogram(queueBuckets...),
 		sweepRate:    obs.NewHistogram(sweepRateBuckets...),
@@ -212,12 +224,30 @@ func (m *metrics) writeTo(w io.Writer) {
 	c("amped_shard_retries_total", "Shard dispatches requeued after a failure, busy signal or partial stream.", m.shardRetries.value())
 	c("amped_shard_reroutes_total", "Shards moved off a draining peer onto surviving peers.", m.shardReroutes.value())
 	c("amped_shard_duplicate_chunks_total", "Shard chunks dropped by the coordinator's merge because their cursor range was already collected.", m.shardDuplicates.value())
+	c("amped_job_resumes_total", "Jobs resumed from their journal after a coordinator restart.", m.jobResumes.value())
+	c("amped_journal_bytes_total", "Bytes durably appended to job journals (frames included).", m.journalBytes.value())
 
 	if labels, vals = m.shards.snapshot(); len(labels) > 0 {
 		fmt.Fprintf(w, "# HELP amped_shards_total Coordinator shard dispatches, by peer and outcome.\n")
 		fmt.Fprintf(w, "# TYPE amped_shards_total counter\n")
 		for i, l := range labels {
 			fmt.Fprintf(w, "amped_shards_total{%s} %d\n", l, vals[i])
+		}
+	}
+
+	if labels, vals = m.hedges.snapshot(); len(labels) > 0 {
+		fmt.Fprintf(w, "# HELP amped_hedges_total Hedged dispatches of the final straggler shard, by outcome.\n")
+		fmt.Fprintf(w, "# TYPE amped_hedges_total counter\n")
+		for i, l := range labels {
+			fmt.Fprintf(w, "amped_hedges_total{%s} %d\n", l, vals[i])
+		}
+	}
+
+	if m.peerRows != nil {
+		fmt.Fprintf(w, "# HELP amped_peer_state Peer breaker state (one-hot), by peer and state.\n")
+		fmt.Fprintf(w, "# TYPE amped_peer_state gauge\n")
+		for _, row := range m.peerRows() {
+			fmt.Fprintf(w, "amped_peer_state{peer=%q,state=%q} %d\n", row.url, row.state, row.val)
 		}
 	}
 

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestPeerManager builds a manager with fast timers and a discarded log.
+func newTestPeerManager(t *testing.T, urls []string) *peerManager {
+	t.Helper()
+	m := newPeerManager(urls, 10*time.Millisecond, 100*time.Millisecond,
+		10*time.Millisecond, &http.Client{}, log.New(io.Discard, "", 0))
+	t.Cleanup(m.stop)
+	return m
+}
+
+func TestPeerBreakerOpensAfterStrikes(t *testing.T) {
+	m := newTestPeerManager(t, []string{"http://a", "http://b"})
+	a := m.peers[0]
+
+	for i := 0; i < peerFailLimit-1; i++ {
+		m.report(a, shardFailed, 0)
+		if a.phase != peerClosed {
+			t.Fatalf("after %d strikes phase = %v, want closed", i+1, a.phase)
+		}
+	}
+	m.report(a, shardFailed, 0)
+	if a.phase != peerOpen {
+		t.Fatalf("after %d strikes phase = %v, want open", peerFailLimit, a.phase)
+	}
+
+	avail := m.available()
+	if len(avail) != 1 || avail[0].url != "http://b" {
+		t.Fatalf("available() = %d peers, want only http://b", len(avail))
+	}
+}
+
+func TestPeerBreakerSuccessResetsStrikes(t *testing.T) {
+	m := newTestPeerManager(t, []string{"http://a"})
+	a := m.peers[0]
+
+	m.report(a, shardFailed, 0)
+	m.report(a, shardFailed, 0)
+	m.report(a, shardDone, 0)
+	if a.strikes != 0 || a.backoff != 0 || a.phase != peerClosed {
+		t.Fatalf("after success: strikes=%d backoff=%s phase=%v, want full reset",
+			a.strikes, a.backoff, a.phase)
+	}
+	// A partial stream is backpressure, not a fault: it must also reset.
+	m.report(a, shardFailed, 0)
+	m.report(a, shardPartial, 0)
+	if a.strikes != 0 {
+		t.Fatalf("after partial: strikes=%d, want 0", a.strikes)
+	}
+}
+
+func TestPeerBusyBacksOffWithoutOpening(t *testing.T) {
+	m := newTestPeerManager(t, []string{"http://a"})
+	a := m.peers[0]
+
+	d := m.report(a, shardBusy, 0)
+	if d <= 0 {
+		t.Fatalf("busy report returned backoff %s, want > 0", d)
+	}
+	if a.phase != peerClosed {
+		t.Fatalf("busy opened the breaker: phase=%v", a.phase)
+	}
+	if len(m.available()) != 1 {
+		t.Fatal("busy peer left rotation")
+	}
+}
+
+func TestPeerDrainOpensImmediately(t *testing.T) {
+	m := newTestPeerManager(t, []string{"http://a"})
+	a := m.peers[0]
+
+	m.report(a, shardDrain, 0)
+	if a.phase != peerOpen {
+		t.Fatalf("drain did not open breaker: phase=%v", a.phase)
+	}
+	if len(m.available()) != 0 {
+		t.Fatal("draining peer still in rotation")
+	}
+}
+
+func TestPeerHalfOpenSingleTrial(t *testing.T) {
+	m := newTestPeerManager(t, []string{"http://a"})
+	a := m.peers[0]
+	m.mu.Lock()
+	a.phase = peerHalfOpen
+	m.mu.Unlock()
+
+	first := m.available()
+	if len(first) != 1 {
+		t.Fatalf("half-open peer not offered: got %d peers", len(first))
+	}
+	if again := m.available(); len(again) != 0 {
+		t.Fatalf("second trial admitted while first in flight: got %d peers", len(again))
+	}
+
+	// Releasing (e.g. a cancelled wave) returns the trial slot.
+	m.release(a)
+	if len(m.available()) != 1 {
+		t.Fatal("released half-open peer not offered again")
+	}
+
+	// A successful trial closes the breaker.
+	m.report(a, shardDone, 0)
+	if a.phase != peerClosed {
+		t.Fatalf("trial success phase=%v, want closed", a.phase)
+	}
+}
+
+func TestPeerHalfOpenFailureReopens(t *testing.T) {
+	m := newTestPeerManager(t, []string{"http://a"})
+	a := m.peers[0]
+	m.mu.Lock()
+	a.phase = peerHalfOpen
+	a.trial = true
+	m.mu.Unlock()
+
+	m.report(a, shardFailed, 0)
+	if a.phase != peerOpen {
+		t.Fatalf("half-open trial failure phase=%v, want open", a.phase)
+	}
+	if a.trial {
+		t.Fatal("trial flag not cleared by report")
+	}
+}
+
+func TestPeerBackoffJitterBounds(t *testing.T) {
+	m := newTestPeerManager(t, []string{"http://a"})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Repeated draws from the same state stay inside the equal-jitter
+	// envelope [next/2, next] and never exceed the cap.
+	for i := 0; i < 200; i++ {
+		d := m.nextBackoffLocked(0, 0)
+		if d < m.base/2 || d > m.base {
+			t.Fatalf("first backoff %s outside [%s, %s]", d, m.base/2, m.base)
+		}
+	}
+	// From the cap, doubling stays at the cap.
+	for i := 0; i < 200; i++ {
+		d := m.nextBackoffLocked(m.max, 0)
+		if d < m.max/2 || d > m.max {
+			t.Fatalf("capped backoff %s outside [%s, %s]", d, m.max/2, m.max)
+		}
+	}
+	// A Retry-After hint stretches the draw but never past the cap and
+	// never below the exponential envelope.
+	for i := 0; i < 200; i++ {
+		d := m.nextBackoffLocked(0, 60*time.Millisecond)
+		if d < 30*time.Millisecond || d > 60*time.Millisecond {
+			t.Fatalf("hinted backoff %s outside [30ms, 60ms]", d)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		d := m.nextBackoffLocked(0, time.Hour)
+		if d > m.max {
+			t.Fatalf("hinted backoff %s exceeds cap %s", d, m.max)
+		}
+	}
+}
+
+func TestPeerProbeReadmitsRecoveredPeer(t *testing.T) {
+	var healthy atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer peer.Close()
+
+	m := newTestPeerManager(t, []string{peer.URL})
+	p := m.peers[0]
+	for i := 0; i < peerFailLimit; i++ {
+		m.report(p, shardFailed, 0)
+	}
+	if p.phase != peerOpen {
+		t.Fatalf("phase=%v, want open", p.phase)
+	}
+
+	// Unhealthy: the prober must keep the breaker open.
+	time.Sleep(100 * time.Millisecond)
+	m.mu.Lock()
+	ph := p.phase
+	m.mu.Unlock()
+	if ph != peerOpen {
+		t.Fatalf("unhealthy peer readmitted: phase=%v", ph)
+	}
+
+	// Recover the peer; the prober should move it to half-open.
+	healthy.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m.mu.Lock()
+		ph = p.phase
+		m.mu.Unlock()
+		if ph == peerHalfOpen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered peer never probed back: phase=%v", ph)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPeerStateRows(t *testing.T) {
+	m := newTestPeerManager(t, []string{"http://a", "http://b"})
+	m.mu.Lock()
+	m.peers[1].phase = peerOpen
+	m.mu.Unlock()
+
+	rows := m.stateRows()
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	want := map[string]int{
+		"http://a/closed": 1, "http://a/open": 0, "http://a/half-open": 0,
+		"http://b/closed": 0, "http://b/open": 1, "http://b/half-open": 0,
+	}
+	for _, r := range rows {
+		if got := want[r.url+"/"+r.state]; got != r.val {
+			t.Fatalf("row %s/%s = %d, want %d", r.url, r.state, r.val, got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"amped/internal/config"
 	"amped/internal/explore"
 	"amped/internal/hardware"
+	"amped/internal/model"
 	"amped/internal/obs"
 	"amped/internal/pipesim"
 	"amped/internal/plan"
@@ -149,6 +151,92 @@ func heteroSpace(req *PlanRequest, comp *config.Components) (plan.HeteroSpace, e
 	}, nil
 }
 
+// compiledPlan is a plan request decoded, validated and compiled: the
+// shared input of the synchronous /v1/plan handler and the plan job runner.
+type compiledPlan struct {
+	req    PlanRequest
+	hsp    plan.HeteroSpace
+	sess   *model.Session
+	status string
+}
+
+// compilePlan decodes a plan body, resolves the heterogeneous space (so a
+// bad pool preset or schedule name fails cheaply, before any search runs)
+// and compiles the session. Failures are classified bad_request.
+func (s *Server) compilePlan(ctx context.Context, body []byte) (*compiledPlan, error) {
+	cp := &compiledPlan{}
+	if err := decodeSweepBody(body, &cp.req); err != nil {
+		return nil, &jobError{errClassBadRequest, err.Error()}
+	}
+	if len(cp.req.Sweep.Batches) == 0 {
+		return nil, &jobError{errClassBadRequest, "plan request: sweep.batches is required"}
+	}
+	doc := config.Document{
+		Model: cp.req.Model, System: cp.req.System, Training: cp.req.Training,
+		Reliability: cp.req.Reliability,
+	}
+	comp, err := doc.Components()
+	if err != nil {
+		return nil, &jobError{errClassBadRequest, err.Error()}
+	}
+	if len(cp.req.Pools) > 0 {
+		if cp.hsp, err = heteroSpace(&cp.req, comp); err != nil {
+			return nil, &jobError{errClassBadRequest, err.Error()}
+		}
+	}
+	cp.sess, cp.status, err = s.session(ctx, comp)
+	if err != nil {
+		return nil, &jobError{errClassBadRequest, err.Error()}
+	}
+	return cp, nil
+}
+
+// solvePlan runs the homogeneous (and, with pools, heterogeneous) search
+// over a compiled plan and assembles the response.
+func (s *Server) solvePlan(cp *compiledPlan) (PlanResponse, error) {
+	start := time.Now()
+	res, err := plan.Solve(explore.Scenario{Session: cp.sess}, sweepOptions(cp.req.Sweep))
+	if err != nil {
+		return PlanResponse{}, &jobError{errClassBadRequest, err.Error()}
+	}
+	// Expanded cells are full evaluations — the same unit of work the sweep
+	// throughput metrics count.
+	s.met.sweepPoints.add(uint64(res.Stats.CellsExpanded))
+
+	resp := PlanResponse{
+		ScenarioKey: cp.sess.Key(),
+		Cache:       cp.status,
+		Stats:       toPlanStats(res.Stats),
+	}
+	if res.Best != nil {
+		best := toSweepPoint(*res.Best)
+		resp.Best = &best
+		resp.RankS = res.RankSeconds
+	}
+
+	if len(cp.req.Pools) > 0 {
+		hres, err := plan.SolveHetero(cp.hsp)
+		if err != nil {
+			return PlanResponse{}, &jobError{errClassBadRequest, err.Error()}
+		}
+		hp := &HeteroPlan{Stats: toPlanStats(hres.Stats)}
+		if hres.Best != nil {
+			hp.Best = &HeteroPoint{
+				ID:           hres.Best.ID,
+				TP:           hres.Best.TP,
+				PP:           hres.Best.PP,
+				Stages:       hres.Best.Counts,
+				Batch:        hres.Best.Batch,
+				Microbatches: hres.Best.Microbatches,
+				TotalS:       hres.Best.Value,
+			}
+		}
+		resp.Hetero = hp
+	}
+	resp.DurationS = time.Since(start).Seconds()
+	return resp, nil
+}
+
 // handlePlan runs the branch-and-bound planner (internal/plan) over the
 // compiled session's cell space and returns the provably optimal design
 // point with the search's pruning statistics — the solver-grade counterpart
@@ -169,88 +257,20 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.error(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	var req PlanRequest
-	if err := decodeSweepBody(body, &req); err != nil {
-		sp.End()
-		s.error(w, r, http.StatusBadRequest, err.Error())
-		return
-	}
-	if len(req.Sweep.Batches) == 0 {
-		sp.End()
-		s.error(w, r, http.StatusBadRequest, "plan request: sweep.batches is required")
-		return
-	}
-	doc := config.Document{
-		Model: req.Model, System: req.System, Training: req.Training,
-		Reliability: req.Reliability,
-	}
-	comp, err := doc.Components()
-	if err != nil {
-		sp.End()
-		s.error(w, r, http.StatusBadRequest, err.Error())
-		return
-	}
-	// Resolve the heterogeneous space up front so a bad pool preset or
-	// schedule name is a cheap 400 before any search runs.
-	var hsp plan.HeteroSpace
-	if len(req.Pools) > 0 {
-		if hsp, err = heteroSpace(&req, comp); err != nil {
-			sp.End()
-			s.error(w, r, http.StatusBadRequest, err.Error())
-			return
-		}
-	}
+	cp, err := s.compilePlan(r.Context(), body)
 	sp.End()
-	sess, status, err := s.session(r.Context(), comp)
 	if err != nil {
-		s.error(w, r, http.StatusBadRequest, err.Error())
+		s.error(w, r, http.StatusBadRequest, classifyErr(err).msg)
 		return
 	}
 
-	start := time.Now()
 	ssp := tr.StartSpan(obs.PhaseSweep)
-	res, err := plan.Solve(explore.Scenario{Session: sess}, sweepOptions(req.Sweep))
+	resp, err := s.solvePlan(cp)
 	ssp.End()
 	if err != nil {
-		s.error(w, r, http.StatusBadRequest, err.Error())
+		s.error(w, r, http.StatusBadRequest, classifyErr(err).msg)
 		return
 	}
-	// Expanded cells are full evaluations — the same unit of work the sweep
-	// throughput metrics count.
-	s.met.sweepPoints.add(uint64(res.Stats.CellsExpanded))
-
-	resp := PlanResponse{
-		ScenarioKey: sess.Key(),
-		Cache:       status,
-		Stats:       toPlanStats(res.Stats),
-	}
-	if res.Best != nil {
-		best := toSweepPoint(*res.Best)
-		resp.Best = &best
-		resp.RankS = res.RankSeconds
-	}
-
-	if len(req.Pools) > 0 {
-		hres, err := plan.SolveHetero(hsp)
-		if err != nil {
-			s.error(w, r, http.StatusBadRequest, err.Error())
-			return
-		}
-		hp := &HeteroPlan{Stats: toPlanStats(hres.Stats)}
-		if hres.Best != nil {
-			hp.Best = &HeteroPoint{
-				ID:           hres.Best.ID,
-				TP:           hres.Best.TP,
-				PP:           hres.Best.PP,
-				Stages:       hres.Best.Counts,
-				Batch:        hres.Best.Batch,
-				Microbatches: hres.Best.Microbatches,
-				TotalS:       hres.Best.Value,
-			}
-		}
-		resp.Hetero = hp
-	}
-	resp.DurationS = time.Since(start).Seconds()
 
 	wsp := tr.StartSpan(obs.PhaseEncode)
 	writeJSON(w, http.StatusOK, resp)

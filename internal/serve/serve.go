@@ -71,6 +71,24 @@ type Config struct {
 	// (default 32768). Smaller chunks mean finer resume granularity after
 	// a peer failure at the cost of more HTTP framing.
 	ShardChunkCells int64
+	// JournalDir, when set, makes /v1/sweep/jobs and /v1/plan/jobs durable:
+	// every job journals its progress to an append-only CRC-framed file in
+	// this directory, and a restarted server replays the directory and
+	// resumes interrupted jobs where they stopped. Empty disables
+	// durability (jobs still run, but do not survive a restart).
+	JournalDir string
+	// ProbeInterval is how often the peer manager probes open-breaker
+	// peers' /healthz for readmission (default 500ms).
+	ProbeInterval time.Duration
+	// PeerBackoffBase and PeerBackoffMax bound the per-peer jittered
+	// exponential backoff shared across busy/drain/dead outcomes
+	// (defaults 100ms and 5s).
+	PeerBackoffBase time.Duration
+	PeerBackoffMax  time.Duration
+	// StallBudget is how long a sharded sweep may go without any durable
+	// progress — no live peers, or live peers delivering nothing — before
+	// it fails with a classified error instead of spinning (default 10s).
+	StallBudget time.Duration
 	// Logger receives structured request logs; nil discards them.
 	Logger *log.Logger
 }
@@ -93,6 +111,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.PeerBackoffBase <= 0 {
+		c.PeerBackoffBase = 100 * time.Millisecond
+	}
+	if c.PeerBackoffMax <= 0 {
+		c.PeerBackoffMax = 5 * time.Second
+	}
+	if c.StallBudget <= 0 {
+		c.StallBudget = 10 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
@@ -110,6 +140,11 @@ type Server struct {
 	mux      *http.ServeMux
 	log      *log.Logger
 	draining atomic.Bool
+
+	// peers is the self-healing view of the replica fleet (nil without
+	// configured peers); jobs owns the durable sweep/plan jobs.
+	peers *peerManager
+	jobs  *jobManager
 
 	// shardClient carries coordinator → peer shard requests. Streaming
 	// responses are paced by evaluation, so it deliberately has no overall
@@ -147,7 +182,29 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/sweep", s.wrap("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/sweep/shard", s.wrap("sweep_shard", s.handleSweepShard))
 	s.mux.HandleFunc("/v1/plan", s.wrap("plan", s.handlePlan))
+	s.mux.HandleFunc("POST /v1/sweep/jobs", s.wrap("sweep_jobs", s.handleSweepJobCreate))
+	s.mux.HandleFunc("POST /v1/plan/jobs", s.wrap("plan_jobs", s.handlePlanJobCreate))
+	s.mux.HandleFunc("GET /v1/jobs", s.wrap("jobs", s.handleJobList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.wrap("jobs", s.handleJobGet))
+
+	if len(cfg.Peers) > 0 {
+		s.peers = newPeerManager(cfg.Peers, cfg.PeerBackoffBase, cfg.PeerBackoffMax,
+			cfg.ProbeInterval, s.shardClient, s.log)
+		s.met.peerRows = s.peers.stateRows
+	}
+	s.jobs = newJobManager(s)
+	s.jobs.recover()
 	return s
+}
+
+// Close stops the server's background machinery — the peer prober and every
+// running job. Jobs with a journal write a resumable suspend record; the
+// call blocks until all runners have stopped. Use after http.Server.Shutdown.
+func (s *Server) Close() {
+	s.jobs.suspendAll()
+	if s.peers != nil {
+		s.peers.stop()
+	}
 }
 
 // Handler returns the service's HTTP handler.
@@ -156,8 +213,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // StartDraining flips the server into draining mode: /healthz starts
 // failing (so load balancers stop routing here) and new evaluation work is
 // refused with 503 while in-flight requests run to completion under
-// http.Server.Shutdown.
-func (s *Server) StartDraining() { s.draining.Store(true) }
+// http.Server.Shutdown. Running jobs are cancelled with the suspend cause;
+// each flushes a resumable suspend record to its journal on the way out
+// (Close waits for them).
+func (s *Server) StartDraining() {
+	s.draining.Store(true)
+	if s.jobs != nil {
+		s.jobs.beginSuspend()
+	}
+}
 
 // Draining reports whether the server is shutting down.
 func (s *Server) Draining() bool { return s.draining.Load() }

@@ -49,9 +49,26 @@ const sweepDoc = `{
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	// Shrink the resilience timers so breaker/probe/stall paths run at test
+	// speed; tests that care set their own values.
+	if cfg.StallBudget == 0 {
+		cfg.StallBudget = time.Second
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 50 * time.Millisecond
+	}
+	if cfg.PeerBackoffBase == 0 {
+		cfg.PeerBackoffBase = 10 * time.Millisecond
+	}
+	if cfg.PeerBackoffMax == 0 {
+		cfg.PeerBackoffMax = 250 * time.Millisecond
+	}
 	srv := New(cfg)
 	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
 	return srv, ts
 }
 

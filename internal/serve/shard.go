@@ -1,14 +1,16 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
-	"sync"
 	"time"
 
 	"amped/internal/config"
@@ -298,19 +300,34 @@ func (s *intervalSet) add(lo, hi int64) (dup bool) {
 	return false
 }
 
-// peerState tracks one replica across the coordinator's rounds.
-type peerState struct {
-	url      string
-	draining bool
-	fails    int
+// uncovered returns the gaps of [lo, hi) not covered by the set, in order.
+// It is the fan-out engine's pending computation: whatever the interval set
+// has not durably absorbed is exactly what still needs dispatching.
+func (s *intervalSet) uncovered(lo, hi int64) []shardRange {
+	var out []shardRange
+	cur := lo
+	for _, r := range s.rs {
+		if r.hi <= cur {
+			continue
+		}
+		if r.lo >= hi {
+			break
+		}
+		if r.lo > cur {
+			out = append(out, shardRange{cur, r.lo})
+		}
+		if r.hi > cur {
+			cur = r.hi
+		}
+		if cur >= hi {
+			return out
+		}
+	}
+	if cur < hi {
+		out = append(out, shardRange{cur, hi})
+	}
+	return out
 }
-
-// peerFailLimit removes a peer from rotation after this many hard failures
-// (transport errors, malformed streams, unexpected statuses). Draining
-// peers leave rotation immediately.
-const peerFailLimit = 3
-
-func (p *peerState) live() bool { return !p.draining && p.fails < peerFailLimit }
 
 // shardOutcome classifies one shard dispatch for the retry loop.
 type shardOutcome int
@@ -366,7 +383,20 @@ func (s *Server) runShard(ctx context.Context, peer string, req ShardRequest,
 		s.met.shardLatency.observe(fmt.Sprintf("peer=%q", peer), time.Since(start).Seconds())
 	}()
 
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	// Idle watchdog: a dispatch that delivers no chunk for a full stall
+	// budget is cut off. A peer trickling bytes one at a time (slow-loris)
+	// keeps the TCP stream technically alive forever; only durable chunk
+	// progress counts as liveness, exactly like the engine's stall budget.
+	ictx, icancel := context.WithCancel(ctx)
+	defer icancel()
+	idle := time.AfterFunc(s.cfg.StallBudget, icancel)
+	defer idle.Stop()
+	watched := func(c ShardChunk) {
+		idle.Reset(s.cfg.StallBudget)
+		collect(c)
+	}
+
+	hreq, err := http.NewRequestWithContext(ictx, http.MethodPost,
 		peer+"/v1/sweep/shard", bytes.NewReader(body))
 	if err != nil {
 		res.outcome, res.err = shardFailed, err
@@ -384,11 +414,11 @@ func (s *Server) runShard(ctx context.Context, peer string, req ShardRequest,
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
 		res.outcome = shardBusy
-		res.backoff = retryAfterHint(resp)
+		res.backoff = retryAfterHint(resp, time.Now())
 		return res
 	case http.StatusServiceUnavailable:
 		res.outcome = shardDrain
-		res.backoff = retryAfterHint(resp)
+		res.backoff = retryAfterHint(resp, time.Now())
 		return res
 	default:
 		res.outcome = shardFailed
@@ -396,18 +426,46 @@ func (s *Server) runShard(ctx context.Context, peer string, req ShardRequest,
 		return res
 	}
 
-	dec := json.NewDecoder(resp.Body)
-	for {
+	res = consumeShardStream(resp.Body, req.CursorLo, req.CursorHi, watched)
+	if res.err != nil {
+		res.err = fmt.Errorf("peer %s: %w", peer, res.err)
+	}
+	return res
+}
+
+// maxShardLineBytes bounds one NDJSON stream line. A chunk line carries at
+// most the chunk's top-N points; anything larger is a corrupt or hostile
+// stream, and the decoder fails it rather than buffering without bound.
+const maxShardLineBytes = 4 << 20
+
+// consumeShardStream decodes one peer's NDJSON chunk stream, folding valid
+// chunks into the collector. It enforces the resume invariant the journal
+// depends on: resume is monotone, never moving backwards past a durably
+// collected cell, even when a peer re-streams cells it already delivered (a
+// resume cursor rewound to a chunk boundary). Replayed chunks still reach
+// the collector — the coordinator's interval set is the authority on what
+// is a duplicate — but they can never rewind this stream's progress.
+func consumeShardStream(r io.Reader, lo, hi int64, collect func(ShardChunk)) shardResult {
+	res := shardResult{resume: lo}
+	sc := bufio.NewScanner(r)
+	// Start small; the scanner grows toward maxShardLineBytes only when a
+	// peer actually streams an oversized line.
+	sc.Buffer(make([]byte, 4096), maxShardLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
 		var chunk ShardChunk
-		if err := dec.Decode(&chunk); err != nil {
-			// Stream broke mid-line (peer died, connection reset). Every
-			// chunk decoded so far is safe; resume covers the rest.
-			res.outcome, res.err = shardFailed, fmt.Errorf("peer %s: stream: %w", peer, err)
+		if err := json.Unmarshal(line, &chunk); err != nil {
+			// Stream broke mid-line (peer died, connection reset, garbage).
+			// Every chunk decoded so far is safe; resume covers the rest.
+			res.outcome, res.err = shardFailed, fmt.Errorf("stream: %w", err)
 			return res
 		}
 		if chunk.Done {
 			res.outcome = shardDone
-			res.resume = req.CursorHi
+			res.resume = hi
 			return res
 		}
 		if chunk.Error != "" {
@@ -416,17 +474,56 @@ func (s *Server) runShard(ctx context.Context, peer string, req ShardRequest,
 			res.outcome = shardPartial
 			return res
 		}
+		if chunk.CursorLo > chunk.CursorHi {
+			res.outcome = shardFailed
+			res.err = fmt.Errorf("stream: inverted chunk range [%d,%d)", chunk.CursorLo, chunk.CursorHi)
+			return res
+		}
+		if chunk.Completed < 0 || int64(chunk.Completed) > chunk.CursorHi-chunk.CursorLo ||
+			len(chunk.Points) > chunk.Completed {
+			res.outcome = shardFailed
+			res.err = fmt.Errorf("stream: chunk [%d,%d) claims %d completed with %d points",
+				chunk.CursorLo, chunk.CursorHi, chunk.Completed, len(chunk.Points))
+			return res
+		}
 		collect(chunk)
-		res.resume = chunk.CursorHi
+		if chunk.CursorHi > res.resume {
+			res.resume = chunk.CursorHi
+		}
 	}
+	if err := sc.Err(); err != nil {
+		res.outcome, res.err = shardFailed, fmt.Errorf("stream: %w", err)
+		return res
+	}
+	res.outcome, res.err = shardFailed, errors.New("stream: ended without done marker")
+	return res
 }
 
-// retryAfterHint parses a Retry-After seconds header, defaulting to 1s.
-func retryAfterHint(resp *http.Response) time.Duration {
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
+// retryAfterHint parses a Retry-After header in either RFC 9110 form — delta
+// seconds or an HTTP-date — clamped to [0, maxCoordinatorBackoff]. A missing
+// or unparseable header defaults to 1s: back off a beat rather than hammer a
+// peer that just shed load.
+func retryAfterHint(resp *http.Response, now time.Time) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return clampBackoff(time.Duration(secs) * time.Second)
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		return clampBackoff(t.Sub(now))
 	}
 	return time.Second
+}
+
+// clampBackoff bounds a Retry-After hint: never negative (a date in the
+// past means "now"), never past the coordinator's reroute cap.
+func clampBackoff(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	if d > maxCoordinatorBackoff {
+		return maxCoordinatorBackoff
+	}
+	return d
 }
 
 // maxCoordinatorBackoff caps how long a worker sleeps on a peer's
@@ -466,247 +563,3 @@ func splitRanges(pending []shardRange, n int) [][]shardRange {
 	return groups
 }
 
-// handleSweepCoordinator fans one sweep out over the configured peers'
-// /v1/sweep/shard endpoints and merges their top-N streams into the same
-// SweepResponse a single-node sweep returns. It deliberately does not take
-// a limiter slot: the coordinator does no model evaluation itself, and
-// every unit of real work is admitted by a peer's own limiter (a peers list
-// containing this server's address would otherwise deadlock a
-// MaxInFlight=1 deployment against itself). Drain semantics still apply.
-//
-// Scheduling runs in rounds: pending cell ranges are dealt evenly across
-// live peers, each peer worker walks its ranges sequentially, and whatever
-// a peer failed to finish — it drained away, died mid-stream, hit its
-// request deadline, or shed load — returns to the pending pool for the
-// survivors. A round that collects nothing twice in a row aborts the sweep
-// rather than spinning.
-func (s *Server) handleSweepCoordinator(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		s.error(w, r, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	if s.Draining() {
-		w.Header().Set("Retry-After", s.retryAfter())
-		s.error(w, r, http.StatusServiceUnavailable, "server draining")
-		return
-	}
-	tr := obs.FromContext(r.Context())
-
-	sp := tr.StartSpan(obs.PhaseDecode)
-	body, err := s.readBody(w, r)
-	if err != nil {
-		sp.End()
-		s.error(w, r, http.StatusBadRequest, err.Error())
-		return
-	}
-	var req SweepRequest
-	if err := decodeSweepBody(body, &req); err != nil {
-		sp.End()
-		s.error(w, r, http.StatusBadRequest, err.Error())
-		return
-	}
-	if len(req.Sweep.Batches) == 0 {
-		sp.End()
-		s.error(w, r, http.StatusBadRequest, "sweep request: sweep.batches is required")
-		return
-	}
-	doc := config.Document{
-		Model: req.Model, System: req.System, Training: req.Training,
-		Reliability: req.Reliability,
-	}
-	comp, err := doc.Components()
-	sp.End()
-	if err != nil {
-		s.error(w, r, http.StatusBadRequest, err.Error())
-		return
-	}
-	// Compile (or fetch) the session locally only to size the canonical
-	// enumeration; all evaluation happens on peers against their own caches.
-	sess, status, err := s.session(r.Context(), comp)
-	if err != nil {
-		s.error(w, r, http.StatusBadRequest, err.Error())
-		return
-	}
-	opt := sweepOptions(req.Sweep)
-	total, err := explore.Cells(explore.Scenario{Session: sess}, opt)
-	if err != nil {
-		s.error(w, r, http.StatusBadRequest, err.Error())
-		return
-	}
-	top := req.Sweep.Top
-	if top <= 0 {
-		top = 20
-	}
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
-
-	peers := make([]*peerState, len(s.cfg.Peers))
-	for i, u := range s.cfg.Peers {
-		peers[i] = &peerState{url: u}
-	}
-
-	var mu sync.Mutex
-	var candidates []ShardPoint
-	var totalCompleted int64
-	var collected intervalSet
-	collect := func(c ShardChunk) {
-		mu.Lock()
-		if collected.add(c.CursorLo, c.CursorHi) {
-			// A replayed chunk: its cursor range was already folded in by an
-			// earlier dispatch (a peer resumed behind its durable progress).
-			// Accepting it would double-count every point in the merge.
-			mu.Unlock()
-			s.met.shardDuplicates.inc()
-			return
-		}
-		totalCompleted += int64(c.Completed)
-		candidates = append(candidates, c.Points...)
-		mu.Unlock()
-	}
-
-	pending := []shardRange{{0, total}}
-	stalled := 0
-	start := time.Now()
-	ssp := tr.StartSpan(obs.PhaseSweep)
-	for len(pending) > 0 && ctx.Err() == nil {
-		var live []*peerState
-		for _, p := range peers {
-			if p.live() {
-				live = append(live, p)
-			}
-		}
-		if len(live) == 0 {
-			break
-		}
-		groups := splitRanges(pending, len(live))
-		type roundResult struct {
-			peer    *peerState
-			left    []shardRange
-			drained bool
-			failed  bool
-		}
-		results := make(chan roundResult, len(groups))
-		before := func() int64 { mu.Lock(); defer mu.Unlock(); return totalCompleted }()
-		for gi := range groups {
-			go func(peer *peerState, ranges []shardRange) {
-				rr := roundResult{peer: peer}
-				for ri, rg := range ranges {
-					sreq := ShardRequest{
-						SweepRequest: req,
-						CursorLo:     rg.lo, CursorHi: rg.hi,
-						ChunkCells: s.cfg.ShardChunkCells,
-					}
-					res := s.runShard(ctx, peer.url, sreq, collect)
-					s.met.shards.inc(fmt.Sprintf("peer=%q,outcome=%q", peer.url, res.outcome))
-					if res.outcome == shardDone {
-						continue
-					}
-					// Whatever this peer did not durably deliver goes back
-					// to the pool, starting at the resumable cursor.
-					if res.resume < rg.hi {
-						rr.left = append(rr.left, shardRange{res.resume, rg.hi})
-					}
-					switch res.outcome {
-					case shardDrain:
-						s.met.shardReroutes.inc()
-						rr.drained = true
-						rr.left = append(rr.left, ranges[ri+1:]...)
-						results <- rr
-						return
-					case shardBusy:
-						s.met.shardRetries.inc()
-						backoff := res.backoff
-						if backoff > maxCoordinatorBackoff {
-							backoff = maxCoordinatorBackoff
-						}
-						select {
-						case <-time.After(backoff):
-						case <-ctx.Done():
-						}
-					case shardFailed:
-						s.met.shardRetries.inc()
-						if res.err != nil {
-							s.log.Printf("level=warn handler=sweep request_id=%s shard peer=%s err=%q",
-								obs.RequestID(r.Context()), peer.url, res.err)
-						}
-						rr.failed = true
-						rr.left = append(rr.left, ranges[ri+1:]...)
-						results <- rr
-						return
-					case shardPartial:
-						s.met.shardRetries.inc()
-						// Progress-preserving deadline stop; keep going on
-						// this peer with its next range.
-					}
-				}
-				results <- rr
-			}(live[gi], groups[gi])
-		}
-		pending = pending[:0]
-		for range groups {
-			rr := <-results
-			if rr.drained {
-				rr.peer.draining = true
-			}
-			if rr.failed {
-				rr.peer.fails++
-			}
-			pending = append(pending, rr.left...)
-		}
-		sort.Slice(pending, func(i, j int) bool { return pending[i].lo < pending[j].lo })
-		after := func() int64 { mu.Lock(); defer mu.Unlock(); return totalCompleted }()
-		if after == before {
-			if stalled++; stalled >= 2 {
-				break
-			}
-		} else {
-			stalled = 0
-		}
-	}
-	ssp.End()
-	elapsed := time.Since(start)
-
-	if len(pending) > 0 {
-		if err := ctx.Err(); err != nil {
-			s.error(w, r, statusForContextErr(err),
-				fmt.Sprintf("sharded sweep incomplete: %v with %d ranges pending", err, len(pending)))
-			return
-		}
-		s.error(w, r, http.StatusBadGateway,
-			fmt.Sprintf("sharded sweep incomplete: no live peers for %d pending ranges", len(pending)))
-		return
-	}
-
-	rate := 0.0
-	if totalCompleted > 0 && elapsed > 0 {
-		rate = float64(totalCompleted) / elapsed.Seconds()
-		s.met.sweepRate.Observe(rate)
-	}
-	s.met.sweepPoints.add(uint64(totalCompleted))
-
-	sortShardPoints(candidates)
-	truncated := int64(len(candidates)) > int64(top) || totalCompleted > int64(len(candidates))
-	if len(candidates) > top {
-		candidates = candidates[:top]
-	}
-	out := make([]SweepPoint, len(candidates))
-	for i := range candidates {
-		out[i] = candidates[i].SweepPoint
-	}
-	wsp := tr.StartSpan(obs.PhaseEncode)
-	writeJSON(w, http.StatusOK, SweepResponse{
-		ScenarioKey:     sess.Key(),
-		Cache:           status,
-		TotalPoints:     int(totalCompleted),
-		Returned:        len(out),
-		Truncated:       truncated,
-		DurationS:       elapsed.Seconds(),
-		Points:          out,
-		Sharded:         true,
-		Peers:           len(peers),
-		PointsPerSecond: rate,
-	})
-	wsp.End()
-}

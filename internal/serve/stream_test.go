@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRetryAfterHint(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"missing", "", time.Second},
+		{"integer seconds", "1", time.Second},
+		{"zero seconds", "0", 0},
+		{"clamped seconds", "3600", maxCoordinatorBackoff},
+		{"negative seconds", "-5", time.Second},
+		{"http date future", now.Add(500 * time.Millisecond).Format(http.TimeFormat), 0},
+		{"http date far future", now.Add(time.Hour).Format(http.TimeFormat), maxCoordinatorBackoff},
+		{"http date past", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"garbage", "soon", time.Second},
+		{"float seconds", "1.5", time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if tc.header != "" {
+				resp.Header.Set("Retry-After", tc.header)
+			}
+			got := retryAfterHint(resp, now)
+			// HTTP-dates have whole-second resolution, so sub-second deltas
+			// round down to zero; everything else must match exactly.
+			if got != tc.want {
+				t.Fatalf("retryAfterHint(%q) = %s, want %s", tc.header, got, tc.want)
+			}
+			if got < 0 || got > maxCoordinatorBackoff {
+				t.Fatalf("retryAfterHint(%q) = %s outside [0, %s]", tc.header, got, maxCoordinatorBackoff)
+			}
+		})
+	}
+}
+
+func chunkLine(lo, hi int64, completed int) string {
+	return fmt.Sprintf(`{"cursor_lo":%d,"cursor_hi":%d,"completed":%d}`, lo, hi, completed)
+}
+
+func TestConsumeShardStream(t *testing.T) {
+	cases := []struct {
+		name     string
+		stream   string
+		outcome  shardOutcome
+		resume   int64
+		collects int
+	}{
+		{
+			name:     "clean completion",
+			stream:   chunkLine(0, 5, 5) + "\n" + chunkLine(5, 10, 5) + "\n" + `{"done":true}` + "\n",
+			outcome:  shardDone,
+			resume:   10,
+			collects: 2,
+		},
+		{
+			name:     "blank lines skipped",
+			stream:   "\n\n" + chunkLine(0, 5, 5) + "\n\n" + `{"done":true}` + "\n",
+			outcome:  shardDone,
+			resume:   10,
+			collects: 1,
+		},
+		{
+			name:     "peer deadline is partial",
+			stream:   chunkLine(0, 5, 5) + "\n" + `{"error":"deadline"}` + "\n",
+			outcome:  shardPartial,
+			resume:   5,
+			collects: 1,
+		},
+		{
+			name:     "truncated mid line",
+			stream:   chunkLine(0, 5, 5) + "\n" + `{"cursor_lo":5,"cur`,
+			outcome:  shardFailed,
+			resume:   5,
+			collects: 1,
+		},
+		{
+			name:     "eof without done",
+			stream:   chunkLine(0, 5, 5) + "\n",
+			outcome:  shardFailed,
+			resume:   5,
+			collects: 1,
+		},
+		{
+			name:     "empty stream",
+			stream:   "",
+			outcome:  shardFailed,
+			resume:   0,
+			collects: 0,
+		},
+		{
+			name:     "inverted chunk range",
+			stream:   `{"cursor_lo":7,"cursor_hi":3}` + "\n",
+			outcome:  shardFailed,
+			resume:   0,
+			collects: 0,
+		},
+		{
+			name:     "negative completed",
+			stream:   chunkLine(0, 5, -1) + "\n",
+			outcome:  shardFailed,
+			resume:   0,
+			collects: 0,
+		},
+		{
+			name:     "completed exceeds cells",
+			stream:   chunkLine(0, 5, 6) + "\n",
+			outcome:  shardFailed,
+			resume:   0,
+			collects: 0,
+		},
+		{
+			name:     "more points than completed",
+			stream:   `{"cursor_lo":0,"cursor_hi":5,"completed":1,"points":[{},{}]}` + "\n",
+			outcome:  shardFailed,
+			resume:   0,
+			collects: 0,
+		},
+		{
+			name: "replayed chunk keeps resume monotone",
+			// The peer rewinds and re-streams [0,5) after [5,10): the
+			// duplicate still reaches the collector (the merge dedupes) but
+			// resume never moves backwards.
+			stream: chunkLine(0, 5, 5) + "\n" + chunkLine(5, 10, 5) + "\n" +
+				chunkLine(0, 5, 5) + "\n" + `{"done":true}` + "\n",
+			outcome:  shardDone,
+			resume:   10,
+			collects: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var collects int
+			var lastResume int64
+			res := consumeShardStream(strings.NewReader(tc.stream), 0, 10, func(c ShardChunk) {
+				collects++
+				if c.CursorHi > lastResume {
+					lastResume = c.CursorHi
+				}
+			})
+			if res.outcome != tc.outcome {
+				t.Fatalf("outcome = %v, want %v (err=%v)", res.outcome, tc.outcome, res.err)
+			}
+			if res.resume != tc.resume {
+				t.Fatalf("resume = %d, want %d", res.resume, tc.resume)
+			}
+			if collects != tc.collects {
+				t.Fatalf("collected %d chunks, want %d", collects, tc.collects)
+			}
+			if res.outcome == shardFailed && res.err == nil {
+				t.Fatal("failed outcome without error")
+			}
+		})
+	}
+}
+
+// FuzzShardStream drives the NDJSON shard-stream decoder with arbitrary
+// bytes. Whatever a peer sends — truncation, garbage, duplicate or rewound
+// cursors, oversized claims — the decoder must never panic, never accept an
+// inconsistent chunk, and never let the resume cursor go backwards past a
+// collected (durably mergeable) cell.
+func FuzzShardStream(f *testing.F) {
+	f.Add([]byte(chunkLine(0, 5, 5) + "\n" + `{"done":true}` + "\n"))
+	f.Add([]byte(chunkLine(0, 5, 5) + "\n" + chunkLine(0, 5, 5) + "\n" + `{"done":true}` + "\n"))
+	f.Add([]byte(chunkLine(0, 5, 5) + "\n" + `{"error":"deadline exceeded"}` + "\n"))
+	f.Add([]byte(`{"cursor_lo":7,"cursor_hi":3}` + "\n"))
+	f.Add([]byte(`{"cursor_lo":0,"cursor_hi":5,"completed":2,"points":[{"rank_s":1.5},{"rank_s":2.5}]}` + "\n" + `{"done":true}` + "\n"))
+	f.Add([]byte("\x00\xff garbage \n{\n"))
+	f.Add([]byte(chunkLine(0, 1<<40, 5) + "\n"))
+	f.Add([]byte(""))
+
+	const lo, hi = int64(0), int64(100)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var lastResume int64 = lo
+		res := consumeShardStream(strings.NewReader(string(data)), lo, hi, func(c ShardChunk) {
+			if c.CursorLo > c.CursorHi {
+				t.Fatalf("collector saw inverted range [%d,%d)", c.CursorLo, c.CursorHi)
+			}
+			if c.Completed < 0 || int64(c.Completed) > c.CursorHi-c.CursorLo {
+				t.Fatalf("collector saw inconsistent completed=%d for [%d,%d)",
+					c.Completed, c.CursorLo, c.CursorHi)
+			}
+			if len(c.Points) > c.Completed {
+				t.Fatalf("collector saw %d points > %d completed", len(c.Points), c.Completed)
+			}
+			if c.CursorHi > lastResume {
+				lastResume = c.CursorHi
+			}
+		})
+		if res.resume < lo {
+			t.Fatalf("resume %d went backwards past dispatch lo %d", res.resume, lo)
+		}
+		if res.resume < lastResume && res.outcome != shardDone {
+			t.Fatalf("resume %d went backwards past collected cell %d", res.resume, lastResume)
+		}
+		if res.outcome == shardDone && res.resume != hi {
+			t.Fatalf("done stream resumed at %d, want hi %d", res.resume, hi)
+		}
+		if res.outcome == shardFailed && res.err == nil {
+			t.Fatal("failed outcome without error")
+		}
+	})
+}
